@@ -1,0 +1,65 @@
+"""A7 — ablation: VC buffer depth (and the credit loop).
+
+The paper limits the MMR's buffers to "a few flits per virtual channel",
+relying on credit flow control and the NIC's host-memory-backed queues.
+This ablation sweeps the per-VC depth at high CBR load under COA.
+
+Expected shape: depth 1 serializes the credit loop (a VC cannot receive
+a new flit until the previous one's credit returns), throttling busy
+connections; a few flits of depth cover the credit round trip and
+recover full throughput; beyond that, more buffering buys nothing but
+silicon — supporting the paper's "few flits" choice.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED
+from repro.analysis import render_table
+from repro.sim.engine import RunControl
+from repro.sim.experiments import default_config, get_scale
+from repro.sim.simulation import SingleRouterSim
+from repro.traffic.mixes import build_cbr_workload
+
+DEPTHS = (1, 2, 4, 8)
+LOAD = 0.85
+
+
+def _run():
+    scale = get_scale("ci")
+    control = RunControl(scale.cbr_cycles, scale.cbr_warmup)
+    out = {}
+    for depth in DEPTHS:
+        config = default_config(vc_buffer_depth=depth)
+        sim = SingleRouterSim(config, arbiter="coa", seed=BENCH_SEED)
+        workload = build_cbr_workload(sim.router, LOAD, sim.rng.workload)
+        out[depth] = sim.run(workload, control)
+    return out
+
+
+@pytest.mark.benchmark(group="ablation-depth")
+def test_ablation_buffer_depth(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    rows = [
+        [depth, r.throughput * 100, r.flit_delay_us["overall"], r.backlog]
+        for depth, r in results.items()
+    ]
+    print(render_table(
+        ["VC buffer depth", "throughput %", "mean delay us", "backlog"],
+        rows,
+        title=f"A7 — per-VC buffer depth under COA at {LOAD:.0%} CBR load "
+              "(credit return delay = 1 cycle)",
+    ))
+
+    # The paper's few-flit depth delivers the offered load...
+    assert results[4].normalized_throughput > 0.97
+    # ...and doubling it buys essentially nothing.
+    assert results[8].throughput == pytest.approx(
+        results[4].throughput, rel=0.02
+    )
+    assert results[8].flit_delay_us["overall"] <= \
+        1.5 * results[4].flit_delay_us["overall"]
+    # Depth never *hurts* throughput (weak monotonicity).
+    depths = list(DEPTHS)
+    for a, b in zip(depths, depths[1:]):
+        assert results[b].throughput >= results[a].throughput * 0.98

@@ -1,0 +1,82 @@
+"""A6 — ablation: the VBR admission concurrency factor.
+
+Paper §2: a VBR connection is admitted only if the summed *peak*
+bandwidth stays within round x concurrency factor; "the concurrency
+factor is a trade-off between the ability to make QoS guarantees, the
+number of connections that can be concurrently serviced, and link
+utilization."  The paper states the trade-off without plotting it — this
+bench does, sweeping the factor at a fixed (high) VBR demand under COA.
+
+Expected shape:
+  * factor 1 (no overbooking): peak sums cap admissions well below the
+    average-bandwidth budget — few connections, low utilization, and the
+    best (lowest) frame delays;
+  * growing factors admit more connections and carry more load;
+  * past the point where the *average* rule becomes binding, larger
+    factors admit nothing extra (the curve flattens) — overbooking peaks
+    is safe precisely because averages still fit.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED
+from repro.analysis import render_table
+from repro.sim.engine import RunControl
+from repro.sim.experiments import default_config, get_scale
+from repro.sim.simulation import SingleRouterSim
+from repro.traffic.mixes import build_vbr_workload
+
+FACTORS = (1.0, 1.5, 2.0, 4.0, 8.0)
+TARGET_LOAD = 0.8
+
+
+def _run():
+    scale = get_scale("ci")
+    control = RunControl(
+        cycles=scale.vbr_cycles, warmup_cycles=scale.vbr_warmup
+    )
+    out = {}
+    for factor in FACTORS:
+        config = default_config(concurrency_factor=factor)
+        sim = SingleRouterSim(config, arbiter="coa", seed=BENCH_SEED)
+        workload = build_vbr_workload(
+            sim.router, TARGET_LOAD, sim.rng.workload, model="SR",
+            frame_time_cycles=scale.vbr_frame_time_cycles,
+            bandwidth_scale=scale.vbr_bandwidth_scale,
+            num_gops=scale.vbr_num_gops,
+        )
+        out[factor] = sim.run(workload, control)
+    return out
+
+
+@pytest.mark.benchmark(group="ablation-concurrency")
+def test_ablation_concurrency_factor(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    rows = [
+        [factor, r.connections, r.offered_load * 100, r.utilization * 100,
+         r.overall_frame_delay_us]
+        for factor, r in results.items()
+    ]
+    print(render_table(
+        ["concurrency factor", "admitted conns", "carried load %",
+         "utilization %", "frame delay us"],
+        rows,
+        title=f"A6 — VBR admission concurrency factor at {TARGET_LOAD:.0%} "
+              "demand (COA, SR)",
+    ))
+
+    # More overbooking admits more connections and carries more load...
+    assert results[1.0].connections < results[2.0].connections
+    assert results[1.0].offered_load < results[2.0].offered_load
+    # ...monotonically (weakly) across the sweep.
+    factors = list(FACTORS)
+    for a, b in zip(factors, factors[1:]):
+        assert results[a].connections <= results[b].connections
+    # The strictest factor keeps QoS easiest (lowest frame delay).
+    assert results[1.0].overall_frame_delay_us <= \
+        min(r.overall_frame_delay_us for f, r in results.items() if f >= 4.0)
+    # Once averages bind, further overbooking buys nothing.
+    assert results[8.0].connections == pytest.approx(
+        results[4.0].connections, abs=max(2, 0.1 * results[4.0].connections)
+    )

@@ -1,0 +1,85 @@
+"""B1 — extension: QoS protection under best-effort background traffic.
+
+The paper's architecture statement (§1): the MMR "should satisfy the QoS
+requirements of a large number of multimedia connections while allocating
+the remaining bandwidth to best-effort traffic".  The MediaWorm study
+(the paper's ref [18]) evaluates exactly such traffic mixes.  This bench
+reproduces the claim on our router: a CBR workload at moderate load plus
+aggressive best-effort background, across both arbiters.
+
+Shape claims:
+  * under COA, adding the background leaves reserved-class delays within
+    a small factor of the clean run (reserved tier + priorities);
+  * best-effort throughput fills a substantial part of the leftover
+    bandwidth (work conservation);
+  * the best-effort flits see (much) higher delay than the reserved
+    classes — they are, by design, second-class.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED
+from repro.analysis import render_table
+from repro.sim.engine import RunControl
+from repro.sim.experiments import default_config, get_scale
+from repro.sim.simulation import SingleRouterSim
+from repro.traffic.mixes import build_besteffort_workload, build_cbr_workload
+
+CBR_LOAD = 0.6
+BE_LOAD = 0.35
+
+
+def _run():
+    scale = get_scale("ci")
+    control = RunControl(scale.cbr_cycles, scale.cbr_warmup)
+    out = {}
+    for arbiter in ("coa", "wfa"):
+        for background in (False, True):
+            sim = SingleRouterSim(default_config(), arbiter=arbiter,
+                                  seed=BENCH_SEED)
+            workload = build_cbr_workload(sim.router, CBR_LOAD,
+                                          sim.rng.workload)
+            if background:
+                extra = build_besteffort_workload(sim.router, BE_LOAD,
+                                                  sim.rng.workload)
+                for item in extra.loads:
+                    workload.add(item)
+            out[(arbiter, background)] = sim.run(workload, control)
+    return out
+
+
+@pytest.mark.benchmark(group="besteffort")
+def test_besteffort_background_mix(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    rows = []
+    for (arbiter, background), r in results.items():
+        rows.append([
+            arbiter,
+            "CBR+BE" if background else "CBR",
+            r.offered_load * 100,
+            r.throughput * 100,
+            r.flit_delay_us.get("medium", float("nan")),
+            r.flit_delay_us.get("high", float("nan")),
+            r.flit_delay_us.get("best-effort", float("nan")),
+        ])
+    print(render_table(
+        ["arbiter", "mix", "offered %", "thr %", "medium us", "high us",
+         "best-effort us"],
+        rows,
+        title=f"B1 — CBR at {CBR_LOAD:.0%} with {BE_LOAD:.0%} best-effort "
+              "background",
+    ))
+
+    clean = results[("coa", False)]
+    mixed = results[("coa", True)]
+    # Reserved classes are protected under COA.
+    for label in ("medium", "high"):
+        assert mixed.flit_delay_us[label] <= \
+            3.0 * clean.flit_delay_us[label] + 2.0, label
+    # Best-effort fills leftover bandwidth: total throughput rises by at
+    # least half the background load.
+    assert mixed.throughput >= clean.throughput + BE_LOAD / 2
+    # Best-effort is second-class: its delay exceeds the high class's.
+    assert mixed.flit_delay_us["best-effort"] > \
+        mixed.flit_delay_us["high"]

@@ -1,0 +1,75 @@
+"""F5 — Fig. 5(a-c): average flit delay vs offered load, CBR traffic.
+
+The paper's Fig. 5 plots average flit delay since generation against
+offered load for the three CBR bandwidth classes (64 Kbps, 1.54 Mbps,
+55 Mbps), comparing the Candidate-Order Arbiter against the Wave Front
+Arbiter.  Its reading (§5.1): both schemes behave alike at low/medium
+loads, but WFA saturates around 70% of link bandwidth while COA holds
+QoS until ~83% — because WFA maximizes matching size without regard to
+connection priorities, while a multiplexed crossbar under WFA also
+suffers head-of-line blocking on the single head-of-line request per
+link.
+
+Shape claims asserted (S1):
+  * WFA's delivered throughput detaches from offered load by ~70%,
+    COA's does not until >=80%.
+  * At loads in the 70-85% band, every CBR class sees far higher delay
+    under WFA than under COA.
+"""
+
+import pytest
+
+from conftest import cbr_result
+from repro.analysis import (
+    knee_by_deficit,
+    render_series,
+    render_xy_plot,
+    sparkline,
+)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_cbr_flit_delay(benchmark):
+    result = benchmark.pedantic(cbr_result, rounds=1, iterations=1)
+    arbiters = ("coa", "wfa")
+    print()
+    for label, sub in (("low", "(a) 64 Kbps"), ("medium", "(b) 1.54 Mbps"),
+                       ("high", "(c) 55 Mbps")):
+        series = {a: result.class_series(a, label) for a in arbiters}
+        print(render_series(
+            "load %", series,
+            title=f"Fig. 5{sub} connections — avg flit delay (us)",
+        ))
+        for a in arbiters:
+            print(f"  {a}: {sparkline([v for _l, v in series[a]], log=True)}")
+        print()
+    print(render_xy_plot(
+        {a: result.class_series(a, "high") for a in arbiters},
+        log_y=True,
+        title="Fig. 5(c) as a plot — 55 Mbps class",
+        x_label="offered load %", y_label="flit delay us",
+    ))
+
+    # S1: saturation loads read from delivered-vs-offered throughput.
+    thr = {
+        a: [(p.offered_load, p.result.throughput)
+            for p in result.sweeps[a].points]
+        for a in arbiters
+    }
+    sat = {a: knee_by_deficit(thr[a], tolerance=0.03) for a in arbiters}
+    print(f"Saturation load (throughput detaches from offered): "
+          f"COA {sat['coa']:.0%}  WFA {sat['wfa']:.0%} "
+          f"(paper: ~83% vs ~70%)")
+    assert sat["wfa"] <= 0.76, "WFA must saturate by ~70-75% load"
+    assert sat["coa"] >= 0.80, "COA must hold QoS to >=80% load"
+
+    # Per-class delay gap in the band between the two knees.
+    for label in ("low", "medium", "high"):
+        for (load_c, d_coa), (load_w, d_wfa) in zip(
+            result.class_series("coa", label), result.class_series("wfa", label)
+        ):
+            if 0.72 <= load_c / 100 <= 0.86 and d_coa == d_coa and d_wfa == d_wfa:
+                assert d_wfa > 3 * d_coa, (
+                    f"{label} @ {load_c:.1f}%: WFA {d_wfa:.1f}us "
+                    f"vs COA {d_coa:.1f}us"
+                )

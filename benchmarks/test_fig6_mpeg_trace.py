@@ -1,0 +1,60 @@
+"""F6 — Fig. 6: bitrate-over-time of a typical MPEG-2 sequence.
+
+The paper's Fig. 6 shows the Flower Garden sequence's instantaneous
+bitrate (Mbit/s per frame slot) over time: a strong periodic spike at
+every I frame, intermediate P levels, and a low B-frame floor.  This
+bench regenerates the series from the synthetic trace generator, prints
+it as a sparkline plus summary rows, and asserts the burst structure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table, sparkline
+from repro.traffic.mpeg import (
+    FRAME_PERIOD_SECONDS,
+    GOP_LENGTH,
+    FrameKind,
+    SEQUENCE_STATS,
+    frame_kinds,
+    generate_trace,
+)
+
+NUM_GOPS = 4  # the window the paper plots (~2 seconds of video)
+
+
+def _build(seed: int):
+    stats = SEQUENCE_STATS["flower_garden"]
+    trace = generate_trace(stats, NUM_GOPS, np.random.default_rng(seed))
+    mbps = trace / FRAME_PERIOD_SECONDS / 1e6
+    return trace, mbps
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_flower_garden_trace(benchmark, bench_seed):
+    trace, mbps = benchmark.pedantic(
+        lambda: _build(bench_seed), rounds=1, iterations=1
+    )
+    kinds = frame_kinds(len(trace))
+    print()
+    print("Fig. 6 — Flower Garden sequence, instantaneous bitrate (Mbit/s)")
+    print(f"  {sparkline(mbps)}")
+    rows = []
+    for kind in (FrameKind.I, FrameKind.P, FrameKind.B):
+        sel = mbps[kinds == kind]
+        rows.append([kind.name, len(sel), sel.mean(), sel.min(), sel.max()])
+    print(render_table(["frame type", "count", "mean Mbps", "min", "max"], rows))
+
+    i_rate = mbps[kinds == FrameKind.I].mean()
+    p_rate = mbps[kinds == FrameKind.P].mean()
+    b_rate = mbps[kinds == FrameKind.B].mean()
+    # The figure's signature: I spikes well above P, P above B.
+    assert i_rate > 1.5 * p_rate > 1.5 * b_rate
+    # The mean rate matches the sequence's published average bitrate.
+    target = SEQUENCE_STATS["flower_garden"].avg_rate_bps / 1e6
+    assert mbps.mean() == pytest.approx(target, rel=0.05)
+    # Spikes recur with GOP periodicity: every I-frame slot is a local
+    # maximum over its GOP.
+    for g in range(NUM_GOPS):
+        gop = mbps[g * GOP_LENGTH:(g + 1) * GOP_LENGTH]
+        assert gop.argmax() == 0

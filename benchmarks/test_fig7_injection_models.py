@@ -1,0 +1,73 @@
+"""F7 — Fig. 7: the Back-to-Back and Smooth-Rate injection models.
+
+The paper's Fig. 7 is a timing diagram: under BB a frame's flits are
+injected at the common peak rate from the frame boundary and the source
+then idles; under SR the same flits are evenly spaced across the whole
+frame time.  This bench regenerates both timelines for the same two-frame
+trace and asserts the defining properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.traffic.vbr import VBRSource
+
+FRAME_TIME = 120
+FRAMES = np.array([6, 12])  # a small and a large frame
+PEAK = 24  # common peak: IATp = FRAME_TIME / PEAK = 5 cycles
+
+
+def _build():
+    rng = np.random.default_rng(0)
+    out = {}
+    for model in ("BB", "SR"):
+        src = VBRSource(
+            FRAMES,
+            FRAME_TIME,
+            model=model,
+            peak_flits_per_frame=PEAK if model == "BB" else None,
+        )
+        out[model] = src.schedule(2 * FRAME_TIME, rng)
+    return out
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_injection_models(benchmark):
+    schedules = benchmark.pedantic(_build, rounds=1, iterations=1)
+    print()
+    print("Fig. 7 — VBR injection models (cycle of each flit injection)")
+    rows = []
+    for model, sched in schedules.items():
+        for frame in (0, 1):
+            times = sched.cycles[sched.frame_ids == frame]
+            rows.append(
+                [model, frame, len(times), int(times[0]), int(times[-1]),
+                 f"{np.diff(times).mean():.1f}" if len(times) > 1 else "-"]
+            )
+    print(render_table(
+        ["model", "frame", "flits", "first cycle", "last cycle", "mean IAT"],
+        rows,
+    ))
+
+    bb, sr = schedules["BB"], schedules["SR"]
+    iatp = FRAME_TIME / PEAK
+
+    for frame, size in enumerate(FRAMES):
+        bb_times = bb.cycles[bb.frame_ids == frame]
+        sr_times = sr.cycles[sr.frame_ids == frame]
+        boundary = frame * FRAME_TIME
+        # Both models start at the frame boundary.
+        assert bb_times[0] == boundary
+        assert sr_times[0] == boundary
+        # BB: constant peak spacing, then idle until the next boundary.
+        np.testing.assert_array_equal(np.diff(bb_times), int(iatp))
+        assert bb_times[-1] == boundary + (size - 1) * iatp
+        assert bb_times[-1] < boundary + FRAME_TIME / 2  # long idle tail
+        # SR: spacing = frame_time / frame size; spans the whole window.
+        sr_iat = FRAME_TIME / size
+        assert abs(np.diff(sr_times).mean() - sr_iat) < 1.0
+        assert sr_times[-1] >= boundary + FRAME_TIME - sr_iat - 1
+        # Same flits, same frame-boundary alignment, different pacing:
+        # BB finishes strictly earlier than SR.
+        assert bb_times[-1] < sr_times[-1]

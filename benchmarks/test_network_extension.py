@@ -1,0 +1,67 @@
+"""N1 — extension (paper §6): does the COA's advantage survive a network?
+
+The paper's conclusions: "In order to assess the conclusions obtained,
+this study must be further extended to a network composed of several
+MMRs."  This bench runs that study at example scale: a ring of four MMRs,
+CBR connections between random endpoints (hop-by-hop PCS reservations,
+credit-controlled inter-router links), sweeping the per-router injected
+load under both arbiters.
+
+Shape claims:
+  * at low load the arbiters are indistinguishable end to end;
+  * approaching saturation, COA's end-to-end delay stays a small multiple
+    of the zero-load delay while WFA's blows up — the single-router
+    result composes across hops;
+  * the network stays loss-free throughout (delivered == injected after
+    drain).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.network.experiments import network_load_experiment
+
+LOADS = (0.4, 0.6, 0.8, 0.95)
+CYCLES = 4_000
+SEED = 7
+
+
+@pytest.mark.benchmark(group="network")
+def test_network_ring_load_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: network_load_experiment(loads=LOADS, cycles=CYCLES, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    rows = []
+    for arbiter, runs in results.items():
+        for r in runs:
+            rows.append([
+                arbiter, f"{r.target_load:.0%}", r.connections, r.injected,
+                f"{r.delivered_fraction:.1%}", r.mean_delay_cycles,
+                r.max_delay_cycles, r.residue,
+            ])
+    print(render_table(
+        ["arbiter", "inj load", "conns", "flits", "delivered",
+         "mean e2e delay (cyc)", "max", "residue"],
+        rows,
+        title="N1 — ring of 4 MMRs, CBR connections, end-to-end",
+    ))
+
+    coa = {r.target_load: r for r in results["coa"]}
+    wfa = {r.target_load: r for r in results["wfa"]}
+    # Loss-free across the whole sweep.
+    for runs in results.values():
+        for r in runs:
+            assert r.delivered == r.injected, (r.arbiter, r.target_load)
+            assert r.residue == 0
+    # Indistinguishable at low load...
+    assert coa[0.4].mean_delay_cycles == pytest.approx(
+        wfa[0.4].mean_delay_cycles, rel=0.25
+    )
+    # ...but COA holds near saturation where WFA degrades multi-hop too.
+    for load in (0.8, 0.95):
+        assert wfa[load].mean_delay_cycles > 3 * coa[load].mean_delay_cycles
+    # COA itself stays within a small multiple of its low-load delay.
+    assert coa[0.8].mean_delay_cycles < 5 * coa[0.4].mean_delay_cycles

@@ -1,0 +1,78 @@
+"""S1-R — robustness of the headline saturation claim across seeds.
+
+The paper's central result — WFA saturates near 70% offered load, COA
+holds well past 80% — is asserted by F5/F8/F9 on one seed.  This bench
+replicates the CBR throughput measurement over independent seeds
+(independent connection mixes, destinations, phases) and requires the
+claim to hold for *every* replication, not on average: the mechanism
+(head-of-line blocking vs multi-candidate priority matching) is
+structural, so no lucky workload should rescue the WFA.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.sim.engine import RunControl
+from repro.sim.experiments import default_config, get_scale
+from repro.sim.replication import replicate
+from repro.traffic.mixes import build_cbr_workload
+
+SEEDS = (101, 202, 303)
+LOADS = (0.7, 0.85)
+
+
+def _builder(router, rng, load):
+    return build_cbr_workload(router, load, rng)
+
+
+def _run():
+    scale = get_scale("ci")
+    control = RunControl(scale.cbr_cycles, scale.cbr_warmup)
+    out = {}
+    for arbiter in ("coa", "wfa"):
+        for load in LOADS:
+            out[(arbiter, load)] = replicate(
+                _builder, default_config(), arbiter, control, load, SEEDS
+            )
+    return out
+
+
+@pytest.mark.benchmark(group="s1-robustness")
+def test_s1_saturation_claim_across_seeds(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    rows = []
+    for (arbiter, load), point in results.items():
+        thr = point.throughput
+        rows.append([
+            arbiter, f"{load:.0%}", point.n,
+            f"{thr.mean:.1%} ± {thr.half_width:.1%}",
+            f"{min(r.normalized_throughput for r in point.results):.3f}",
+        ])
+    print(render_table(
+        ["arbiter", "target load", "seeds", "throughput (95% CI)",
+         "worst delivered/offered"],
+        rows,
+        title="S1-R — saturation claim replicated over "
+              f"{len(SEEDS)} independent workloads",
+    ))
+
+    # COA delivers the offered load at every seed and load — including
+    # 85%, past the paper's ~83% reading.
+    for load in LOADS:
+        for r in results[("coa", load)].results:
+            assert r.normalized_throughput > 0.97, (load, r.seed)
+
+    # 70% is the WFA's knee itself: individual workloads land on either
+    # side of it (the paper says "around 70%"), so the claim there is the
+    # mean, not every seed.
+    wfa_70 = results[("wfa", 0.7)]
+    assert wfa_70.throughput.mean < results[("coa", 0.7)].throughput.mean + 0.01
+
+    # 85% is decisively past the knee: every seed must show saturation,
+    # and the throughput CIs must separate cleanly.
+    coa_85 = results[("coa", 0.85)]
+    wfa_85 = results[("wfa", 0.85)]
+    for r in wfa_85.results:
+        assert r.normalized_throughput < 0.9, r.seed
+    assert coa_85.throughput.low > wfa_85.throughput.high

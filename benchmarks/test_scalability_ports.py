@@ -1,0 +1,69 @@
+"""A8 — scalability: does the COA/WFA gap survive a bigger crossbar?
+
+The paper evaluates a 4x4 MMR.  Matching theory says the head-of-line
+limit of a single-request maximal matcher is 1-(1-1/N)^N of link
+bandwidth under uniform traffic — 68.4% at N=4, falling toward
+1-1/e ≈ 63.2% as N grows — so the WFA's wall should *drop slightly* on a
+bigger switch while the COA, with its four candidate levels, keeps
+tracking the offered load.  This bench doubles the router to 8x8 and
+re-measures both arbiters at the 4x4 knee loads.
+"""
+
+import pytest
+
+from conftest import BENCH_SEED
+from repro.analysis import render_table
+from repro.sim.engine import RunControl
+from repro.sim.experiments import default_config, get_scale
+from repro.sim.simulation import SingleRouterSim
+from repro.traffic.mixes import build_cbr_workload
+
+PORTS = (4, 8)
+LOADS = (0.6, 0.8)
+
+
+def _run():
+    scale = get_scale("ci")
+    control = RunControl(scale.cbr_cycles, scale.cbr_warmup)
+    out = {}
+    for ports in PORTS:
+        for arbiter in ("coa", "wfa"):
+            for load in LOADS:
+                config = default_config(num_ports=ports)
+                sim = SingleRouterSim(config, arbiter=arbiter,
+                                      seed=BENCH_SEED)
+                workload = build_cbr_workload(sim.router, load,
+                                              sim.rng.workload)
+                out[(ports, arbiter, load)] = sim.run(workload, control)
+    return out
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_scalability_with_port_count(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    rows = [
+        [f"{p}x{p}", arb, f"{load:.0%}", r.offered_load * 100,
+         r.throughput * 100, r.flit_delay_us["overall"]]
+        for (p, arb, load), r in results.items()
+    ]
+    print(render_table(
+        ["router", "arbiter", "target", "offered %", "throughput %",
+         "mean delay us"],
+        rows,
+        title="A8 — COA vs WFA on 4x4 and 8x8 routers (CBR)",
+    ))
+
+    for ports in PORTS:
+        # COA keeps delivering the offered load at 80% on both sizes.
+        assert results[(ports, "coa", 0.8)].normalized_throughput > 0.97, ports
+        # WFA is saturated at 80% on both sizes...
+        assert results[(ports, "wfa", 0.8)].normalized_throughput < 0.9, ports
+    # ...and its ceiling does not *improve* with size (theory: the
+    # single-request matching limit falls toward 1 - 1/e).
+    assert results[(8, "wfa", 0.8)].throughput <= \
+        results[(4, "wfa", 0.8)].throughput + 0.02
+    # At 60% everyone still delivers (below every knee).
+    for ports in PORTS:
+        for arb in ("coa", "wfa"):
+            assert results[(ports, arb, 0.6)].normalized_throughput > 0.97

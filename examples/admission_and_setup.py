@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Connection admission control and PCS setup in the MMR.
+
+Demonstrates the control plane the data-plane experiments take for
+granted: pipelined-circuit-switching setup probes, per-link bandwidth
+accounting in flit-cycle slots per round, the CBR admission rule
+(sum of reservations <= round) and the VBR rule (average within the
+round AND peak within round x concurrency factor), plus what happens
+when virtual channels run out.
+
+Run:  python examples/admission_and_setup.py
+"""
+
+from repro import MMRouter, RouterConfig, TrafficClass
+from repro.analysis import render_table
+
+
+def attempt(router, description, *args, **kwargs):
+    result = router.establish(*args, **kwargs)
+    status = "ACCEPTED" if result.accepted else "rejected"
+    detail = (
+        f"vc {result.connection.vc}" if result.accepted else result.reason
+    )
+    print(f"  {description:<46} {status:<9} ({detail})")
+    return result
+
+
+def main() -> None:
+    config = RouterConfig(
+        num_ports=4,
+        vcs_per_link=4,              # tiny, to show VC exhaustion
+        candidate_levels=2,
+        flit_cycles_per_round=4_000,
+        concurrency_factor=2.0,
+    )
+    router = MMRouter(config)
+    round_slots = config.round_cycles
+    print(
+        f"Round = {round_slots} flit cycles; one slot/round = "
+        f"{config.slots_to_rate(1) / 1e3:.0f} Kbps; concurrency factor = "
+        f"{config.concurrency_factor}"
+    )
+    print("\nCBR admissions on input 0 -> output 1:")
+    attempt(router, "CBR 50% of the link", 0, 1, TrafficClass.CBR,
+            avg_slots=round_slots // 2)
+    attempt(router, "CBR 40% of the link", 0, 1, TrafficClass.CBR,
+            avg_slots=round_slots * 2 // 5)
+    attempt(router, "CBR 20% of the link (would exceed 100%)", 0, 1,
+            TrafficClass.CBR, avg_slots=round_slots // 5)
+
+    print("\nVBR admissions on input 1 -> output 2 (peak vs concurrency):")
+    attempt(router, "VBR avg 30%, peak 120% of a round", 1, 2,
+            TrafficClass.VBR, avg_slots=round_slots * 3 // 10,
+            peak_slots=round_slots * 12 // 10)
+    attempt(router, "VBR avg 30%, peak 120% (peaks now sum to 240%)", 1, 2,
+            TrafficClass.VBR, avg_slots=round_slots * 3 // 10,
+            peak_slots=round_slots * 12 // 10)
+
+    print("\nBest-effort needs no bandwidth, only a free VC (input 2):")
+    for k in range(5):
+        attempt(router, f"best-effort connection #{k + 1}", 2, 3,
+                TrafficClass.BEST_EFFORT, avg_slots=1)
+
+    print("\nPer-link reservation state:")
+    rows = [
+        [p,
+         f"{router.admission.reserved_avg_load(p):.0%}",
+         f"{router.admission.reserved_avg_load_out(p):.0%}"]
+        for p in range(config.num_ports)
+    ]
+    print(render_table(["port", "input reserved", "output reserved"], rows))
+
+    print("\nTearing down the 50% CBR connection frees its budget:")
+    router.teardown(0)
+    attempt(router, "CBR 50% of the link (retry)", 0, 1, TrafficClass.CBR,
+            avg_slots=round_slots // 2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""MPEG-2 video over the MMR: frame delay and jitter under SR and BB.
+
+Reproduces the paper's §5.2 scenario at example scale: every input link
+carries a bundle of MPEG-2 streams (synthetic traces with the paper's
+IBBPBBPBBPBBPBB GOP and Table-1 statistics), injected either smoothly
+(SR: a frame's flits spread over the whole 33 ms) or in bursts (BB: each
+frame transmitted back-to-back at a shared peak rate).  For each injection
+model and arbiter the script reports average frame delay (last-flit rule)
+and adjacent-frame jitter — the QoS metrics an MPEG receiver cares about.
+
+Run:  python examples/mpeg_vbr_qos.py
+"""
+
+from repro import RunControl, SingleRouterSim, default_config
+from repro.analysis import render_table
+from repro.traffic import build_vbr_workload
+
+TARGET_LOAD = 0.70
+FRAME_TIME_CYCLES = 1_500   # scaled 33 ms frame window (DESIGN.md §2)
+NUM_GOPS = 2
+SEED = 7
+
+
+def main() -> None:
+    config = default_config()
+    cycles = FRAME_TIME_CYCLES * 15 * NUM_GOPS
+    rows = []
+    for model in ("SR", "BB"):
+        for arbiter in ("coa", "wfa"):
+            sim = SingleRouterSim(config, arbiter=arbiter, seed=SEED)
+            workload = build_vbr_workload(
+                sim.router,
+                TARGET_LOAD,
+                sim.rng.workload,
+                model=model,
+                frame_time_cycles=FRAME_TIME_CYCLES,
+                bandwidth_scale=8.0,
+                num_gops=NUM_GOPS,
+            )
+            result = sim.run(
+                workload,
+                RunControl(cycles=cycles, warmup_cycles=FRAME_TIME_CYCLES),
+            )
+            rows.append(
+                [
+                    model,
+                    arbiter,
+                    len(workload),
+                    result.offered_load * 100,
+                    result.utilization * 100,
+                    result.overall_frame_delay_us,
+                    result.overall_jitter_us,
+                ]
+            )
+
+    print(
+        render_table(
+            ["model", "arbiter", "streams", "load %", "util %",
+             "frame delay us", "jitter us"],
+            rows,
+            title=f"MPEG-2 VBR at {TARGET_LOAD:.0%} generated load "
+                  f"({NUM_GOPS} GOPs per stream)",
+        )
+    )
+    print(
+        "\nJitter stays microseconds-scale — far inside the milliseconds an "
+        "MPEG-2 receiver can absorb (paper §5.2) — and BB's bursts cost "
+        "extra frame delay versus SR, as in the paper's Fig. 9."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Multi-router MMR network (the paper's §6 future-work extension).
+
+Builds a 2x2 mesh of MMRs, establishes cross-network connections with
+hop-by-hop PCS reservations, streams CBR traffic through them, and
+reports end-to-end delay — demonstrating that the single-router QoS
+machinery (VC-per-connection, credit flow control, SIABP + COA
+scheduling) composes across hops.
+
+Run:  python examples/multirouter_network.py
+"""
+
+import numpy as np
+
+from repro import RouterConfig, TrafficClass
+from repro.analysis import render_table
+from repro.network import MultiRouterNetwork, mesh
+
+CYCLES = 3_000
+SEED = 11
+
+
+def main() -> None:
+    config = RouterConfig(
+        num_ports=4,           # degree <= 2 in a 2x2 mesh + host ports
+        vcs_per_link=16,
+        candidate_levels=4,
+        vc_buffer_depth=4,
+    )
+    topo = mesh(2, 2)
+    net = MultiRouterNetwork(topo, config, arbiter="coa", scheme="siabp")
+    print(f"Topology: 2x2 mesh, {topo.num_routers} routers, "
+          f"{len(topo.edges)} directed links")
+
+    # Diagonal connections contend for the mesh links.
+    pairs = [(0, 3), (3, 0), (1, 2), (2, 1)]
+    conns = []
+    for src, dst in pairs:
+        conn = net.establish(src, dst, TrafficClass.CBR, avg_slots=200)
+        assert conn is not None, f"setup {src}->{dst} rejected"
+        path = "->".join(str(r) for r in conn.router_path)
+        print(f"  connection {src} => {dst}: PCS path {path} "
+              f"({conn.num_hops} reserved hops)")
+        conns.append(conn)
+
+    rng = np.random.default_rng(SEED)
+    injected = 0
+    for t in range(CYCLES):
+        for conn in conns:
+            if rng.random() < 0.2:  # ~20% load per source
+                net.inject(conn, gen_cycle=t)
+                injected += 1
+        net.step(t, rng)
+    # Drain the pipeline.
+    t = CYCLES
+    while net.total_buffered() > 0:
+        net.step(t, rng)
+        t += 1
+
+    us = config.flit_cycle_us
+    print()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["flits injected", injected],
+            ["flits delivered", net.delivered],
+            ["mean end-to-end delay (us)", net.end_to_end_delay.mean * us],
+            ["max end-to-end delay (us)", net.end_to_end_delay.max * us],
+            ["drain cycles beyond horizon", t - CYCLES],
+        ],
+        title="2x2 mesh, 4 diagonal CBR connections at ~20% load each",
+    ))
+    assert net.delivered == injected, "loss-free delivery violated"
+    print("\nEvery injected flit was delivered (credit-based flow control "
+          "is loss-free across hops).")
+
+
+if __name__ == "__main__":
+    main()

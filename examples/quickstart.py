@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one MMR router under a CBR mix.
+
+Builds the paper's testbed (a 4x4 Multimedia Router with one NIC per
+input link), fills it to 70% offered load with the paper's random CBR mix
+(64 Kbps / 1.54 Mbps / 55 Mbps connections), and runs it twice — once
+with the Candidate-Order Arbiter (the paper's proposal) and once with the
+Wave Front Arbiter (the baseline) — printing the per-class average flit
+delay each arbiter delivers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RunControl, SingleRouterSim, default_config
+from repro.analysis import render_table
+from repro.traffic import build_cbr_workload
+
+TARGET_LOAD = 0.85
+CYCLES = 30_000
+WARMUP = 5_000
+SEED = 42
+
+
+def main() -> None:
+    config = default_config()
+    print(
+        f"MMR: {config.num_ports}x{config.num_ports} crossbar, "
+        f"{config.vcs_per_link} VCs/link, {config.candidate_levels} candidate "
+        f"levels, flit cycle {config.flit_cycle_us:.3f} us"
+    )
+
+    rows = []
+    for arbiter in ("coa", "wfa"):
+        # Same seed => identical workload; only the arbiter differs.
+        sim = SingleRouterSim(config, arbiter=arbiter, scheme="siabp", seed=SEED)
+        workload = build_cbr_workload(sim.router, TARGET_LOAD, sim.rng.workload)
+        result = sim.run(workload, RunControl(cycles=CYCLES, warmup_cycles=WARMUP))
+        rows.append(
+            [
+                arbiter,
+                result.offered_load * 100,
+                result.utilization * 100,
+                result.flit_delay_us.get("low", float("nan")),
+                result.flit_delay_us.get("medium", float("nan")),
+                result.flit_delay_us.get("high", float("nan")),
+                result.backlog,
+            ]
+        )
+
+    print()
+    print(
+        render_table(
+            ["arbiter", "offered %", "util %", "low us", "medium us",
+             "high us", "backlog"],
+            rows,
+            title=f"CBR mix at {TARGET_LOAD:.0%} offered load "
+                  f"({CYCLES} flit cycles, {WARMUP} warmup)",
+        )
+    )
+    print(
+        "\nAt this load the priority-blind WFA is past its saturation knee "
+        "(the paper puts it near 70-75%): contention bleeds into the "
+        "low/medium classes as orders-of-magnitude delay. The Candidate-"
+        "Order Arbiter honours connection priorities and keeps every class "
+        "flat until ~83-85% load."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Walkthrough of the Candidate-Order Arbiter on a concrete matrix (Fig. 3).
+
+Builds a 4x4, two-level selection matrix by hand, prints it with its
+conflict vector in the layout of the paper's Fig. 3, and then replays the
+COA's decision sequence (port ordering -> arbitration -> drop ->
+recompute) step by step so the algorithm can be read off the output.
+
+Run:  python examples/selection_matrix_demo.py
+"""
+
+import numpy as np
+
+from repro.core import Candidate, CandidateOrderArbiter, SelectionMatrix
+
+N, LEVELS = 4, 2
+
+#: (in_port, vc, out_port, priority, level) — a contended scenario:
+#: out0 is hot (three level-0 requesters), out2 has a lone requester.
+CANDIDATES = [
+    [Candidate(0, 0, 0, 96.0, 0), Candidate(0, 1, 1, 40.0, 1)],
+    [Candidate(1, 0, 0, 80.0, 0), Candidate(1, 1, 3, 12.0, 1)],
+    [Candidate(2, 0, 0, 64.0, 0), Candidate(2, 1, 1, 30.0, 1)],
+    [Candidate(3, 0, 2, 8.0, 0)],
+]
+
+
+def main() -> None:
+    matrix = SelectionMatrix.from_candidates(CANDIDATES, N, LEVELS)
+    print("Selection matrix (rows: output x candidate level; cells: priority)")
+    print(matrix.render())
+    print()
+
+    coa = CandidateOrderArbiter(N, LEVELS)
+    rng = np.random.default_rng(0)
+
+    print("COA decision sequence:")
+    step = 1
+    while matrix.has_requests():
+        level, out_port = coa._next_output(matrix, rng)
+        requests = matrix.row_requests(level, out_port)
+        in_port, vc = coa._grant(matrix, level, out_port, rng)
+        contenders = ", ".join(
+            f"in{i}(prio {p:g})" for i, _v, p in requests
+        )
+        print(
+            f"  step {step}: serve out{out_port} at level {level} "
+            f"(fewest conflicts among lowest level); contenders: {contenders}"
+            f" -> grant in{in_port} (highest priority)"
+        )
+        matrix.drop_input(in_port)
+        matrix.drop_output(out_port)
+        step += 1
+
+    print()
+    grants = coa.match(CANDIDATES, np.random.default_rng(0))
+    print("Final matching:", ", ".join(f"in{i}->out{o}" for i, _v, o in grants))
+    print(
+        "\nNote how the lone request for out2 is served first (least "
+        "conflicts), the hot output goes to the highest-priority input, "
+        "and a level-0 loser recovers through its level-1 candidate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Inspecting scheduler decisions with the event tracer.
+
+Attaches a :class:`repro.sim.Tracer` to a small router, replays a
+contended scenario (three connections fighting for one output), and
+prints the recorded matchings and departures — the workflow for debugging
+a scheduling question ("why did this flit wait?") without print
+statements in the simulator.
+
+Run:  python examples/trace_debugging.py
+"""
+
+import numpy as np
+
+from repro.router import MMRouter, RouterConfig, TrafficClass
+from repro.sim import EventKind, Tracer
+
+CYCLES = 12
+
+
+def main() -> None:
+    config = RouterConfig(
+        num_ports=4, vcs_per_link=4, candidate_levels=2,
+        vc_buffer_depth=2, flit_cycles_per_round=400,
+    )
+    router = MMRouter(config, arbiter="coa", scheme="siabp")
+
+    # Three inputs target output 0; bandwidths differ, so SIABP+COA
+    # should serve the fattest connection first and age the others in.
+    conns = []
+    for in_port, slots in ((0, 100), (1, 10), (2, 1)):
+        res = router.establish(in_port, 0, TrafficClass.CBR, avg_slots=slots)
+        conns.append(res.connection)
+        print(f"connection {res.connection.conn_id}: input {in_port} "
+              f"-> output 0, {slots} slots/round")
+
+    rng = np.random.default_rng(0)
+    with Tracer(router) as tracer:
+        for conn in conns:
+            router.nics[conn.in_port].inject(conn.vc, gen_cycle=0)
+        for t in range(CYCLES):
+            router.step(t, rng)
+
+        print(f"\nRecorded {len(tracer)} events:")
+        print(tracer.render())
+
+        print("\nDeparture order for the contested output:")
+        for event in tracer.filter(kind=EventKind.DEPARTURE):
+            in_port = event.data[0]
+            slots = {0: 100, 1: 10, 2: 1}[in_port]
+            print(f"  cycle {event.cycle}: input {in_port} "
+                  f"({slots} slots/round)")
+
+    print(
+        "\nThe highest-bandwidth connection crosses first (largest SIABP "
+        "seed); the waiting connections' priorities double as their delay "
+        "counters cross powers of two, so they follow within a few cycles "
+        "instead of starving."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs (which need ``bdist_wheel``) fail.  This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``pip install -e .`` on environments with wheel available) work from the
+metadata in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — reproduction of the Multimedia Router switch-scheduling study.
+
+Caminero, Carrión, Quiles, Duato, Yalamanchili: *Investigating Switch
+Scheduling Algorithms to Support QoS in the Multimedia Router*
+(IPDPS 2002 workshops).
+
+Public API tour
+---------------
+
+Router substrate (``repro.router``)
+    :class:`RouterConfig`, :class:`MMRouter` and the subsystems it
+    composes (VC memory, credit flow control, NICs, crossbar, admission).
+
+Scheduling algorithms (``repro.core``)
+    Priority biasing (:class:`SIABP`, :class:`IABP`), the link scheduler,
+    and the arbiters: :class:`CandidateOrderArbiter` (the paper's
+    proposal), :class:`WaveFrontArbiter` (its baseline), iSLIP, PIM.
+
+Workloads (``repro.traffic``)
+    CBR classes, MPEG-2 trace synthesis, SR/BB VBR injection,
+    best-effort, and the mix builders.
+
+Experiments (``repro.sim``)
+    :class:`SingleRouterSim`, load sweeps, and one function per paper
+    figure (:func:`cbr_delay_experiment`, :func:`vbr_experiment`).
+
+Quickstart
+----------
+
+>>> from repro import SingleRouterSim, RunControl, default_config
+>>> from repro.traffic import build_cbr_workload
+>>> sim = SingleRouterSim(default_config(), arbiter="coa", seed=1)
+>>> wl = build_cbr_workload(sim.router, 0.5, sim.rng.workload)
+>>> res = sim.run(wl, RunControl(cycles=20_000, warmup_cycles=2_000))
+>>> res.utilization  # doctest: +SKIP
+0.49
+"""
+
+from .core import (
+    ARBITER_NAMES,
+    SCHEME_NAMES,
+    CandidateOrderArbiter,
+    ISLIP,
+    PIM,
+    SIABP,
+    IABP,
+    WaveFrontArbiter,
+    make_arbiter,
+    make_scheme,
+)
+from .router import MMRouter, RouterConfig, TrafficClass
+from .sim import (
+    RunControl,
+    SimResult,
+    SingleRouterSim,
+    cbr_delay_experiment,
+    default_config,
+    vbr_experiment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARBITER_NAMES",
+    "SCHEME_NAMES",
+    "CandidateOrderArbiter",
+    "ISLIP",
+    "PIM",
+    "SIABP",
+    "IABP",
+    "WaveFrontArbiter",
+    "make_arbiter",
+    "make_scheme",
+    "MMRouter",
+    "RouterConfig",
+    "TrafficClass",
+    "RunControl",
+    "SimResult",
+    "SingleRouterSim",
+    "cbr_delay_experiment",
+    "default_config",
+    "vbr_experiment",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Post-processing: statistics, saturation detection, table rendering."""
+
+from .plots import render_xy_plot
+from .saturation import knee_by_deficit, knee_by_delay, saturation_gap
+from .stats import MeanCI, geometric_mean, mean_ci, relative_gap
+from .tables import render_series, render_table, sparkline
+from .theory import (
+    KAROL_HLUCHYJ_TABLE,
+    fresh_uniform_matching_limit,
+    hol_asymptote,
+    karol_hluchyj_limit,
+)
+
+__all__ = [
+    "render_xy_plot",
+    "knee_by_deficit",
+    "knee_by_delay",
+    "saturation_gap",
+    "MeanCI",
+    "geometric_mean",
+    "mean_ci",
+    "relative_gap",
+    "render_series",
+    "render_table",
+    "sparkline",
+    "KAROL_HLUCHYJ_TABLE",
+    "fresh_uniform_matching_limit",
+    "hol_asymptote",
+    "karol_hluchyj_limit",
+]

@@ -1,0 +1,101 @@
+"""ASCII x/y plots: render figure-shaped output in a terminal.
+
+The paper's figures are delay/utilization-vs-load curves; the benches
+print them as tables (exact values) *and* as these character plots (the
+shape at a glance, including the log-scale hockey sticks of Figs. 5/9).
+No plotting dependency — pure text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["render_xy_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _nice(value: float) -> str:
+    if value != value:
+        return "nan"
+    if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+        return f"{value:.2e}"
+    return f"{value:.4g}"
+
+
+def render_xy_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot one or more (x, y) series on a character grid.
+
+    NaN points are skipped.  With ``log_y`` non-positive values are
+    clamped to the smallest positive value present.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10x4")
+
+    points: dict[str, list[tuple[float, float]]] = {}
+    for name, data in series.items():
+        cleaned = [(x, y) for x, y in data if y == y and x == x]
+        points[name] = cleaned
+    all_pts = [p for data in points.values() for p in data]
+    if not all_pts:
+        raise ValueError("every point is NaN")
+
+    xs = [x for x, _ in all_pts]
+    ys = [y for _, y in all_pts]
+    if log_y:
+        floor = min((y for y in ys if y > 0), default=1.0)
+        tr = lambda y: math.log10(max(y, floor))  # noqa: E731
+    else:
+        tr = lambda y: y  # noqa: E731
+    x_lo, x_hi = min(xs), max(xs)
+    ty = [tr(y) for y in ys]
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, data) in enumerate(points.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in data:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((tr(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_hi_label = _nice(ys and max(ys))
+    y_lo_label = _nice(min(ys))
+    gutter = max(len(y_hi_label), len(y_lo_label)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_hi_label.rjust(gutter)
+        elif r == height - 1:
+            label = y_lo_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_left = _nice(x_lo)
+    x_right = _nice(x_hi)
+    pad = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (gutter + 1) + x_left + " " * max(1, pad) + x_right
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(points)
+    )
+    scale = " (log y)" if log_y else ""
+    lines.append(f"  {x_label} vs {y_label}{scale}   {legend}")
+    return "\n".join(lines)

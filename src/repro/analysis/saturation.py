@@ -1,0 +1,82 @@
+"""Saturation-point detection on delay-vs-load and utilization curves.
+
+The paper reads saturation off its plots ("saturation is reached around
+70% of link bandwidth when the WFA scheme is used, ... 83% with COA").
+These helpers make that reading programmatic so the benches can assert
+the S1 claims:
+
+* :func:`knee_by_delay` — first load where delay exceeds a multiple of
+  the low-load baseline delay (the "hockey stick" of Figs. 5 and 9).
+* :func:`knee_by_deficit` — first load where delivered throughput (or
+  crossbar utilization, Fig. 8) falls measurably below the offered load.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["knee_by_delay", "knee_by_deficit", "saturation_gap"]
+
+#: Series type: (load, value) pairs, loads ascending.
+Series = Sequence[tuple[float, float]]
+
+
+def _check(series: Series) -> None:
+    if len(series) == 0:
+        raise ValueError("series is empty")
+    loads = [p[0] for p in series]
+    if loads != sorted(loads):
+        raise ValueError("series loads must ascend")
+
+
+def knee_by_delay(
+    series: Series,
+    blowup: float = 10.0,
+    baseline_points: int = 2,
+) -> float:
+    """First load whose delay exceeds ``blowup`` x the low-load baseline.
+
+    The baseline is the mean of the first ``baseline_points`` delays.
+    Returns ``inf`` when the curve never blows up.
+    """
+    _check(series)
+    if blowup <= 1.0:
+        raise ValueError("blowup must exceed 1")
+    k = min(max(1, baseline_points), len(series))
+    baseline = sum(v for _l, v in series[:k]) / k
+    if baseline <= 0:
+        raise ValueError("baseline delay must be positive")
+    for load, value in series:
+        if value > blowup * baseline:
+            return load
+    return float("inf")
+
+
+def knee_by_deficit(
+    series: Series,
+    tolerance: float = 0.05,
+) -> float:
+    """First load where ``value`` (throughput/utilization, same units as
+    load) falls more than ``tolerance`` (relative) below the load.
+
+    Returns ``inf`` if delivery always tracks offered load.
+    """
+    _check(series)
+    if not (0 < tolerance < 1):
+        raise ValueError("tolerance must be in (0, 1)")
+    for load, value in series:
+        if load > 0 and value < load * (1.0 - tolerance):
+            return load
+    return float("inf")
+
+
+def saturation_gap(knee_a: float, knee_b: float) -> float:
+    """Load-points of saturation headroom of A over B (positive = A
+    saturates later).  Handles the never-saturates ``inf`` cases."""
+    if knee_a == float("inf") and knee_b == float("inf"):
+        return 0.0
+    if knee_a == float("inf"):
+        return float("inf")
+    if knee_b == float("inf"):
+        return float("-inf")
+    return knee_a - knee_b

@@ -1,0 +1,76 @@
+"""Statistical helpers for experiment post-processing.
+
+Small, dependency-light routines the benches and examples share:
+confidence intervals over replicated runs, geometric means for speedup
+summaries, and simple series utilities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["MeanCI", "mean_ci", "geometric_mean", "relative_gap"]
+
+#: Two-sided t critical values at 95% for small samples (df 1..30);
+#: falls back to the normal 1.96 beyond.  Hard-coded to avoid a scipy
+#: dependency in the core analysis path.
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """Sample mean with a 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def mean_ci(samples: Sequence[float]) -> MeanCI:
+    """95% t-interval over independent replications."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    n = arr.size
+    if n == 0:
+        raise ValueError("need at least one sample")
+    if n == 1:
+        return MeanCI(float(arr[0]), float("inf"), 1)
+    mean = float(arr.mean())
+    sem = float(arr.std(ddof=1)) / math.sqrt(n)
+    t = _T95[n - 2] if n - 2 < len(_T95) else 1.96
+    return MeanCI(mean, t * sem, n)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (for ratios/speedups); values must be positive."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def relative_gap(a: float, b: float) -> float:
+    """(a - b) / b — how much ``a`` exceeds ``b``, signed."""
+    if b == 0:
+        raise ValueError("reference value must be nonzero")
+    return (a - b) / b

@@ -1,0 +1,103 @@
+"""ASCII rendering of result tables and curve series.
+
+Every bench prints its reproduced table/figure through these helpers so
+the output reads like the paper's artifacts: a header, aligned columns,
+and for figures a simple (load, value-per-arbiter) series table plus an
+optional log-scale sparkline for eyeballing the hockey stick.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "sparkline"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table; floats are shown with 4 significant digits."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell != cell:  # NaN
+                return "-"
+            if cell in (float("inf"), float("-inf")):
+                return "inf" if cell > 0 else "-inf"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    series: dict[str, Sequence[tuple[float, float]]],
+    title: str | None = None,
+) -> str:
+    """Table with one x column and one column per named series.
+
+    All series must share their x grid (the sweeps guarantee it).
+    """
+    if not series:
+        raise ValueError("no series to render")
+    names = list(series)
+    first = list(series[names[0]])
+    xs = [x for x, _ in first]
+    for name in names[1:]:
+        other = [x for x, _ in series[name]]
+        if len(other) != len(xs) or any(
+            abs(a - b) > 1e-6 * max(1.0, abs(a)) for a, b in zip(xs, other)
+        ):
+            raise ValueError(f"series {name!r} has a different x grid")
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [list(series[name])[i][1] for name in names])
+    return render_table([x_label] + names, rows, title)
+
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], log: bool = False) -> str:
+    """Unicode mini-chart of a series (log scale optional).
+
+    NaN entries (e.g. "no flits of this class departed at this load")
+    render as ``·``.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    finite = [v for v in vals if v == v]
+    if not finite:
+        return "·" * len(vals)
+    if log:
+        floor = min((v for v in finite if v > 0), default=1.0)
+        vals = [math.log10(max(v, floor)) if v == v else v for v in vals]
+        finite = [v for v in vals if v == v]
+    lo, hi = min(finite), max(finite)
+    out = []
+    for v in vals:
+        if v != v:
+            out.append("·")
+        elif hi == lo:
+            out.append(_BARS[1])
+        else:
+            idx = 1 + int((v - lo) / (hi - lo) * (len(_BARS) - 2))
+            out.append(_BARS[min(idx, len(_BARS) - 1)])
+    return "".join(out)

@@ -1,0 +1,75 @@
+"""Queueing-theory anchors for validating the simulator.
+
+The paper's reference [10] — Karol, Hluchyj & Morgan, *Input versus
+output queueing on a space-division packet switch* (1987) — derives the
+saturation throughput of an input-queued switch whose head-of-line cells
+have uniform random destinations.  That is *exactly* the regime the MMR
+puts a conventional single-request arbiter (WFA/iSLIP/PIM with
+``max_levels=1``) in, so the published numbers anchor the simulator: a
+correct implementation's WFA must saturate at the Karol-Hluchyj value
+for its port count, and the test suite asserts it does.
+
+Also included: the single-round matching expectation for fresh uniform
+requests (no queueing memory), useful to reason about the multi-candidate
+variants.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "KAROL_HLUCHYJ_TABLE",
+    "karol_hluchyj_limit",
+    "fresh_uniform_matching_limit",
+    "hol_asymptote",
+]
+
+#: Saturation throughput of a uniform input-queued (HOL-blocked) switch,
+#: per Karol-Hluchyj-Morgan 1987, Table I.
+KAROL_HLUCHYJ_TABLE: dict[int, float] = {
+    1: 1.0000,
+    2: 0.7500,
+    3: 0.6825,
+    4: 0.6553,
+    5: 0.6399,
+    6: 0.6302,
+    7: 0.6234,
+    8: 0.6184,
+}
+
+#: The N -> infinity limit: 2 - sqrt(2).
+HOL_ASYMPTOTE = 2.0 - math.sqrt(2.0)
+
+
+def hol_asymptote() -> float:
+    """Saturation throughput of HOL blocking as N -> infinity."""
+    return HOL_ASYMPTOTE
+
+
+def karol_hluchyj_limit(num_ports: int) -> float:
+    """Saturation throughput of a single-request input-queued switch.
+
+    Exact published values for N <= 8; the 2 - sqrt(2) asymptote beyond
+    (the finite-N values converge to it from above).
+    """
+    if num_ports <= 0:
+        raise ValueError("num_ports must be positive")
+    if num_ports in KAROL_HLUCHYJ_TABLE:
+        return KAROL_HLUCHYJ_TABLE[num_ports]
+    return HOL_ASYMPTOTE
+
+
+def fresh_uniform_matching_limit(num_ports: int) -> float:
+    """Expected matched fraction for one round of fresh uniform requests.
+
+    With every input requesting an independent uniform output and a
+    maximal matching granted, the expected number of matched outputs is
+    ``N * (1 - (1 - 1/N)^N)`` — higher than the Karol-Hluchyj limit
+    because queueing correlates successive head-of-line requests (a
+    blocked head re-requests the same hot output next cycle).
+    """
+    if num_ports <= 0:
+        raise ValueError("num_ports must be positive")
+    n = num_ports
+    return 1.0 - (1.0 - 1.0 / n) ** n

@@ -1,0 +1,305 @@
+"""Command-line interface: run, sweep, and reproduce from a shell.
+
+Examples
+--------
+
+List what is available::
+
+    python -m repro list
+
+One simulation run, printed as a table::
+
+    python -m repro run --traffic cbr --arbiter coa --load 0.8
+    python -m repro run --traffic vbr --model BB --arbiter wfa --load 0.7
+
+A load sweep comparing arbiters (the shape of the paper's figures)::
+
+    python -m repro sweep --traffic cbr --arbiters coa,wfa \
+        --loads 0.5,0.7,0.8,0.85
+
+Regenerate a specific paper artifact::
+
+    python -m repro reproduce table1
+    python -m repro reproduce fig5
+    python -m repro reproduce hwcost
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .analysis import render_series, render_table
+from .core import ARBITER_NAMES, SCHEME_NAMES, hwcost
+from .router.config import RouterConfig
+from .sim.engine import RunControl
+from .sim.experiments import (
+    cbr_delay_experiment,
+    default_config,
+    get_scale,
+    vbr_experiment,
+)
+from .sim.simulation import SingleRouterSim
+from .traffic.mixes import build_cbr_workload, build_vbr_workload
+from .traffic.mpeg import SEQUENCE_STATS, generate_trace, trace_statistics
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_from_args(args: argparse.Namespace) -> RouterConfig:
+    return default_config(
+        num_ports=args.ports,
+        vcs_per_link=args.vcs,
+        candidate_levels=args.levels,
+    )
+
+
+def _parse_floats(text: str) -> list[float]:
+    try:
+        return [float(x) for x in text.split(",") if x]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a float list: {text!r}") from None
+
+
+def _parse_names(text: str) -> list[str]:
+    return [x.strip() for x in text.split(",") if x.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MMR switch-scheduling reproduction (IPDPS 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_router_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--ports", type=int, default=4,
+                       help="crossbar size (default 4)")
+        p.add_argument("--vcs", type=int, default=64,
+                       help="virtual channels per link (default 64)")
+        p.add_argument("--levels", type=int, default=4,
+                       help="candidate levels (default 4)")
+        p.add_argument("--scheme", default="siabp", choices=SCHEME_NAMES,
+                       help="priority biasing function")
+        p.add_argument("--seed", type=int, default=0)
+
+    def add_traffic_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--traffic", choices=("cbr", "vbr"), default="cbr")
+        p.add_argument("--model", choices=("SR", "BB"), default="SR",
+                       help="VBR injection model")
+        p.add_argument("--cycles", type=int, default=0,
+                       help="flit cycles to simulate (0 = scale default)")
+        p.add_argument("--warmup", type=int, default=-1,
+                       help="warmup cycles (-1 = scale default)")
+        p.add_argument("--scale", default="ci", choices=("tiny", "ci", "paper"),
+                       help="run-length profile")
+
+    p_list = sub.add_parser("list", help="list algorithms and sequences")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="one simulation run")
+    add_router_args(p_run)
+    add_traffic_args(p_run)
+    p_run.add_argument("--arbiter", default="coa", choices=ARBITER_NAMES)
+    p_run.add_argument("--load", type=float, default=0.7,
+                       help="target offered load per input link (0-1)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="load sweep over arbiters")
+    add_router_args(p_sweep)
+    add_traffic_args(p_sweep)
+    p_sweep.add_argument("--arbiters", type=_parse_names, default=["coa", "wfa"],
+                         help="comma-separated arbiter names")
+    p_sweep.add_argument("--loads", type=_parse_floats,
+                         default=[0.3, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85],
+                         help="comma-separated target loads (0-1)")
+    p_sweep.add_argument(
+        "--metric",
+        choices=("delay", "frame-delay", "utilization", "jitter",
+                 "throughput"),
+        default="delay",
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
+    p_repro.add_argument(
+        "artifact",
+        choices=("table1", "fig5", "fig6", "fig8", "fig9", "jitter", "hwcost"),
+    )
+    p_repro.add_argument("--seed", type=int, default=2002)
+    p_repro.add_argument("--scale", default="ci", choices=("tiny", "ci", "paper"))
+    p_repro.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print(render_table(
+        ["kind", "names"],
+        [
+            ["arbiters", ", ".join(ARBITER_NAMES)],
+            ["priority schemes", ", ".join(SCHEME_NAMES)],
+            ["MPEG-2 sequences", ", ".join(SEQUENCE_STATS)],
+        ],
+    ))
+    return 0
+
+
+def _build_and_run(args: argparse.Namespace, arbiter: str, load: float):
+    config = _config_from_args(args)
+    scale = get_scale(args.scale)
+    sim = SingleRouterSim(config, arbiter=arbiter, scheme=args.scheme,
+                          seed=args.seed)
+    if args.traffic == "cbr":
+        workload = build_cbr_workload(sim.router, load, sim.rng.workload)
+        cycles = args.cycles or scale.cbr_cycles
+        # Default warmup: the scale's, capped to a fifth of a short run.
+        warmup = args.warmup if args.warmup >= 0 else min(
+            scale.cbr_warmup, cycles // 5
+        )
+    else:
+        workload = build_vbr_workload(
+            sim.router, load, sim.rng.workload, model=args.model,
+            frame_time_cycles=scale.vbr_frame_time_cycles,
+            bandwidth_scale=scale.vbr_bandwidth_scale,
+            num_gops=scale.vbr_num_gops,
+        )
+        cycles = args.cycles or scale.vbr_cycles
+        warmup = args.warmup if args.warmup >= 0 else min(
+            scale.vbr_warmup, cycles // 5
+        )
+    return sim.run(workload, RunControl(cycles=cycles, warmup_cycles=warmup))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = _build_and_run(args, args.arbiter, args.load)
+    rows = [
+        ["arbiter / scheme", f"{result.arbiter} / {result.scheme}"],
+        ["connections", result.connections],
+        ["offered load", f"{result.offered_load:.1%}"],
+        ["throughput", f"{result.throughput:.1%}"],
+        ["crossbar utilization", f"{result.utilization:.1%}"],
+        ["backlog at end (flits)", result.backlog],
+    ]
+    for label, value in sorted(result.flit_delay_us.items()):
+        rows.append([f"flit delay [{label}] (us)", value])
+    if result.frames.get("overall"):
+        rows.append(["frame delay (us)", result.overall_frame_delay_us])
+        rows.append(["frame jitter (us)", result.overall_jitter_us])
+    print(render_table(["metric", "value"], rows,
+                       title=f"{args.traffic.upper()} run, "
+                             f"{result.cycles} cycles"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    pick = {
+        "delay": lambda r: r.flit_delay_us["overall"],
+        "frame-delay": lambda r: r.overall_frame_delay_us,
+        "utilization": lambda r: r.utilization * 100,
+        "jitter": lambda r: r.overall_jitter_us,
+        "throughput": lambda r: r.throughput * 100,
+    }[args.metric]
+    series = {}
+    for arbiter in args.arbiters:
+        if arbiter not in ARBITER_NAMES:
+            print(f"error: unknown arbiter {arbiter!r}", file=sys.stderr)
+            return 2
+        points = []
+        for load in args.loads:
+            result = _build_and_run(args, arbiter, load)
+            points.append((result.offered_load * 100, pick(result)))
+        series[arbiter] = points
+    unit = {"delay": "us", "frame-delay": "us", "jitter": "us",
+            "utilization": "%", "throughput": "%"}[args.metric]
+    print(render_series(
+        "load %", series,
+        title=f"{args.traffic.upper()} sweep — {args.metric} ({unit})",
+    ))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    if args.artifact == "table1":
+        rows = []
+        for name, stats in SEQUENCE_STATS.items():
+            trace = generate_trace(stats, 40, np.random.default_rng(args.seed))
+            got = trace_statistics(trace)
+            rows.append([name, got.max_bits, got.min_bits, got.avg_bits])
+        print(render_table(
+            ["sequence", "max bits", "min bits", "avg bits"], rows,
+            title="Table 1 — MPEG-2 sequence statistics (synthetic)",
+        ))
+        return 0
+    if args.artifact == "fig6":
+        from .traffic.mpeg import FRAME_PERIOD_SECONDS
+        from .analysis import sparkline
+
+        stats = SEQUENCE_STATS["flower_garden"]
+        trace = generate_trace(stats, 4, np.random.default_rng(args.seed))
+        mbps = trace / FRAME_PERIOD_SECONDS / 1e6
+        print("Fig. 6 — Flower Garden bitrate over time (Mbit/s)")
+        print(sparkline(mbps))
+        print(f"mean {mbps.mean():.1f}  min {mbps.min():.1f}  "
+              f"max {mbps.max():.1f}")
+        return 0
+    if args.artifact == "hwcost":
+        iabp, siabp = hwcost.iabp_cost(), hwcost.siabp_cost()
+        print(render_table(
+            ["block", "area (GE)", "delay (levels)"],
+            [["IABP", iabp.area_ge, iabp.delay_levels],
+             ["SIABP", siabp.area_ge, siabp.delay_levels],
+             ["ratio", iabp.area_ge / siabp.area_ge,
+              iabp.delay_levels / siabp.delay_levels]],
+            title="H1 — priority-update hardware cost",
+        ))
+        return 0
+    if args.artifact == "fig5":
+        result = cbr_delay_experiment(seed=args.seed, scale=args.scale)
+        for label in ("low", "medium", "high"):
+            print(render_series(
+                "load %",
+                {a: result.class_series(a, label) for a in ("coa", "wfa")},
+                title=f"Fig. 5 — {label} class, avg flit delay (us)",
+            ))
+        return 0
+    if args.artifact in ("fig8", "fig9", "jitter"):
+        for model in ("SR", "BB"):
+            result = vbr_experiment(model=model, seed=args.seed,
+                                    scale=args.scale)
+            if args.artifact == "fig8":
+                series = {a: result.utilization_series(a)
+                          for a in ("coa", "wfa")}
+                title = f"Fig. 8 ({model}) — crossbar utilization (%)"
+            elif args.artifact == "fig9":
+                series = {a: result.frame_delay_series(a)
+                          for a in ("coa", "wfa")}
+                title = f"Fig. 9 ({model}) — avg frame delay (us)"
+            else:
+                series = {a: result.jitter_series(a) for a in ("coa", "wfa")}
+                title = f"§5.2 ({model}) — avg frame jitter (us)"
+            print(render_series("load %", series, title=title))
+        return 0
+    raise AssertionError(f"unhandled artifact {args.artifact}")  # pragma: no cover
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

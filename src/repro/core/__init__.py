@@ -1,0 +1,56 @@
+"""The paper's contribution: link and switch scheduling algorithms.
+
+* Priority biasing: :class:`IABP`, :class:`SIABP` (plus baselines).
+* Link scheduling: :class:`LinkScheduler` (candidate selection).
+* Switch scheduling: :class:`CandidateOrderArbiter` (the proposal),
+  :class:`WaveFrontArbiter` (the paper's comparison point), and the
+  related-work baselines :class:`ISLIP` and :class:`PIM`.
+"""
+
+from .coa import CandidateOrderArbiter
+from .islip import ISLIP
+from .link_scheduler import LinkScheduler
+from .matching import (
+    Arbiter,
+    Candidate,
+    Grant,
+    best_candidate_for,
+    is_conflict_free,
+    is_maximal,
+    matching_size,
+    request_matrix,
+)
+from .pim import PIM
+from .priorities import FIFOPriority, IABP, PriorityScheme, SIABP, StaticPriority
+from .registry import ARBITER_NAMES, SCHEME_NAMES, make_arbiter, make_scheme
+from .rr import GreedyPriorityMatcher, RandomMatcher
+from .selection import SelectionMatrix
+from .wfa import WaveFrontArbiter
+
+__all__ = [
+    "CandidateOrderArbiter",
+    "ISLIP",
+    "LinkScheduler",
+    "Arbiter",
+    "Candidate",
+    "Grant",
+    "best_candidate_for",
+    "is_conflict_free",
+    "is_maximal",
+    "matching_size",
+    "request_matrix",
+    "PIM",
+    "FIFOPriority",
+    "IABP",
+    "PriorityScheme",
+    "SIABP",
+    "StaticPriority",
+    "ARBITER_NAMES",
+    "SCHEME_NAMES",
+    "make_arbiter",
+    "make_scheme",
+    "GreedyPriorityMatcher",
+    "RandomMatcher",
+    "SelectionMatrix",
+    "WaveFrontArbiter",
+]

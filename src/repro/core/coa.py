@@ -1,0 +1,230 @@
+"""The Candidate-Order Arbiter (COA) — the paper's contribution.
+
+COA computes the crossbar matching from the selection matrix in three
+repeated steps (paper §4):
+
+1. **Conflict vector** — count the competing requests per (level, output)
+   row.
+2. **Port ordering** — pick the next output to serve: lowest candidate
+   level first, and within a level the output with the *fewest* conflicts
+   first.  Ties are broken randomly.  Rationale: heavily-conflicted
+   outputs can wait because they will still have matching opportunities
+   after other ports are served, while a lightly-conflicted output may
+   lose its only requester to another output's grant.
+3. **Arbitration** — among the requests for the selected output, grant the
+   one with the highest biased priority; then drop every request involving
+   the matched input and output and recompute.
+
+The loop ends when no requests remain, yielding a conflict-free — and, as
+the property tests verify, maximal — matching that honours connection
+priorities, unlike pure matching-size maximizers such as the Wave Front
+Arbiter.
+
+For the ablation benches (DESIGN.md A1) the two decision rules are
+pluggable: ``ordering`` picks the port-ordering key and ``arbitration``
+the per-output grant rule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .matching import Arbiter, Candidate, Grant
+from .selection import SelectionMatrix
+
+__all__ = ["CandidateOrderArbiter"]
+
+_ORDERINGS = ("level_conflict", "level_only", "conflict_only", "random")
+_ARBITRATIONS = ("priority", "random")
+
+
+class CandidateOrderArbiter(Arbiter):
+    """Priority-aware crossbar arbiter driven by the selection matrix."""
+
+    name = "coa"
+
+    def __init__(
+        self,
+        num_ports: int,
+        levels: int,
+        ordering: str = "level_conflict",
+        arbitration: str = "priority",
+    ) -> None:
+        if ordering not in _ORDERINGS:
+            raise ValueError(f"ordering must be one of {_ORDERINGS}, got {ordering!r}")
+        if arbitration not in _ARBITRATIONS:
+            raise ValueError(
+                f"arbitration must be one of {_ARBITRATIONS}, got {arbitration!r}"
+            )
+        self.num_ports = num_ports
+        self.levels = levels
+        self.ordering = ordering
+        self.arbitration = arbitration
+        if ordering != "level_conflict" or arbitration != "priority":
+            self.name = f"coa[{ordering}/{arbitration}]"
+
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        candidates: Sequence[Sequence[Candidate]],
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        """Fast pure-Python matching loop.
+
+        Semantically identical to :meth:`match_reference` (the test suite
+        checks they agree draw for draw); rebuilt without the numpy
+        selection matrix because at router sizes (N=4, C=4) per-call
+        numpy overhead dominates the whole simulation.
+        """
+        n = self.num_ports
+        # rows[level * n + out] -> list of (priority, in_port, vc)
+        rows: list[list[tuple[float, int, int]]] = [
+            [] for _ in range(self.levels * n)
+        ]
+        for port_cands in candidates:
+            for cand in port_cands:
+                rows[cand.level * n + cand.out_port].append(
+                    (cand.priority, cand.in_port, cand.vc)
+                )
+        in_free = [True] * n
+        out_free = [True] * n
+        grants: list[Grant] = []
+        ordering = self.ordering
+        by_priority = self.arbitration == "priority"
+
+        while True:
+            # Live rows: requests whose input and output are both free.
+            live: list[tuple[int, int]] = []  # (row_index, conflict_count)
+            for idx, row in enumerate(rows):
+                if not row or not out_free[idx % n]:
+                    continue
+                count = 0
+                for _prio, in_port, _vc in row:
+                    if in_free[in_port]:
+                        count += 1
+                if count:
+                    live.append((idx, count))
+            if not live:
+                break
+
+            row_idx = self._pick_row(live, rng, ordering, n)
+            requests = [
+                (prio, in_port, vc)
+                for prio, in_port, vc in rows[row_idx]
+                if in_free[in_port]
+            ]
+            if by_priority:
+                best = max(prio for prio, _i, _v in requests)
+                winners = [(i, v) for prio, i, v in requests if prio == best]
+                if len(winners) == 1:
+                    in_port, vc = winners[0]
+                else:
+                    in_port, vc = winners[int(rng.integers(len(winners)))]
+            else:
+                _prio, in_port, vc = requests[int(rng.integers(len(requests)))]
+            out_port = row_idx % n
+            grants.append((in_port, vc, out_port))
+            in_free[in_port] = False
+            out_free[out_port] = False
+        return grants
+
+    @staticmethod
+    def _pick_row(
+        live: list[tuple[int, int]],
+        rng: np.random.Generator,
+        ordering: str,
+        n: int,
+    ) -> int:
+        """Port ordering over the live rows; mirrors `_next_output`."""
+        if ordering == "random":
+            return live[int(rng.integers(len(live)))][0]
+        min_level = min(idx // n for idx, _c in live)
+        if ordering == "level_only":
+            pool = [idx for idx, _c in live if idx // n == min_level]
+            return pool[int(rng.integers(len(pool)))]
+        if ordering == "conflict_only":
+            pool = live
+        else:  # "level_conflict" — the paper's rule
+            pool = [(idx, c) for idx, c in live if idx // n == min_level]
+        min_conf = min(c for _idx, c in pool)
+        least = [idx for idx, c in pool if c == min_conf]
+        if len(least) == 1:
+            return least[0]
+        return least[int(rng.integers(len(least)))]
+
+    def match_reference(
+        self,
+        candidates: Sequence[Sequence[Candidate]],
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        """Reference implementation over the explicit selection matrix.
+
+        Follows the paper's description literally (build matrix, compute
+        conflict vector, order, arbitrate, drop, recompute); used by the
+        equivalence tests and the Fig. 3 demo.
+        """
+        matrix = SelectionMatrix.from_candidates(
+            candidates, self.num_ports, self.levels
+        )
+        grants: list[Grant] = []
+        while matrix.has_requests():
+            level, out_port = self._next_output(matrix, rng)
+            in_port, vc = self._grant(matrix, level, out_port, rng)
+            grants.append((in_port, vc, out_port))
+            matrix.drop_input(in_port)
+            matrix.drop_output(out_port)
+        return grants
+
+    # ------------------------------------------------------------------
+
+    def _next_output(
+        self, matrix: SelectionMatrix, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        """Port ordering: choose the next (level, output) row to serve."""
+        conflicts = matrix.conflict_vector()
+        active = np.flatnonzero(conflicts > 0)
+        n = self.num_ports
+        if self.ordering == "random":
+            row = int(active[int(rng.integers(active.size))])
+            return row // n, row % n
+
+        levels = active // n
+        if self.ordering == "level_only":
+            # Lowest level; random among that level's active outputs.
+            lowest = active[levels == levels.min()]
+            row = int(lowest[int(rng.integers(lowest.size))])
+            return row // n, row % n
+
+        if self.ordering == "conflict_only":
+            pool = active
+        else:  # "level_conflict" — the paper's rule
+            pool = active[levels == levels.min()]
+
+        # Fewest conflicts first; random tie-break.
+        pool_conflicts = conflicts[pool]
+        least = pool[pool_conflicts == pool_conflicts.min()]
+        row = int(least[0]) if least.size == 1 else int(least[int(rng.integers(least.size))])
+        return row // n, row % n
+
+    def _grant(
+        self,
+        matrix: SelectionMatrix,
+        level: int,
+        out_port: int,
+        rng: np.random.Generator,
+    ) -> tuple[int, int]:
+        """Arbitration: choose which request on the selected row wins."""
+        requests = matrix.row_requests(level, out_port)
+        if not requests:  # pragma: no cover - guarded by conflict_vector
+            raise RuntimeError("port ordering selected an empty row")
+        if self.arbitration == "random":
+            in_port, vc, _ = requests[int(rng.integers(len(requests)))]
+            return in_port, vc
+        best_prio = max(prio for _i, _v, prio in requests)
+        winners = [(i, v) for i, v, prio in requests if prio == best_prio]
+        if len(winners) == 1:
+            return winners[0]
+        return winners[int(rng.integers(len(winners)))]

@@ -1,0 +1,185 @@
+"""Link scheduling: candidate selection.
+
+Per physical input link, the link scheduler ranks the head flits of all
+occupied virtual channels by their biased priority (see
+:mod:`repro.core.priorities`) and forwards the top ``candidate_levels``
+of them — the *candidates* — to the switch scheduler.  Level 0 holds the
+highest-priority candidate of each link, level 1 the next, and so on;
+these levels are the row blocks of the selection matrix.
+
+Best-effort subordination: the MMR "allocates the remaining bandwidth to
+best-effort traffic" (paper §1), so a reserved (CBR/VBR) head flit must
+outrank *any* best-effort head flit regardless of how the biasing
+function scores them.  The scheduler implements this as a class bonus
+added to reserved VCs' priorities before ranking — a strict two-tier
+hierarchy, while preserving biased ordering within each tier.
+
+The selection is vectorized: one priority evaluation over the whole link's
+VC vector plus an ``argpartition`` for the top-C extraction, so cost per
+cycle is O(V) with small constants rather than a Python loop over VCs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .matching import Candidate
+from .priorities import PriorityScheme
+
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> router cycle
+    from ..router.config import RouterConfig
+    from ..router.vc_memory import HeadView
+
+__all__ = ["LinkScheduler", "RESERVED_SCALE"]
+
+#: Multiplier that lifts every reserved (CBR/VBR) candidate above every
+#: best-effort candidate.  A power of two, so the float multiply is
+#: *exact* and preserves the biased ordering within the reserved tier
+#: bit for bit; any reserved priority (>= 1) scaled by 2**200 exceeds
+#: any unscaled best-effort priority (< 2**63).
+RESERVED_SCALE = 2.0**200
+
+
+class LinkScheduler:
+    """Selects each input link's candidate VCs for switch scheduling."""
+
+    def __init__(self, config: RouterConfig, scheme: PriorityScheme) -> None:
+        self.config = config
+        self.scheme = scheme
+
+    def select_port(
+        self,
+        port: int,
+        heads: HeadView,
+        slots: np.ndarray,
+        dests: np.ndarray,
+        now: int,
+        tier_scale: np.ndarray | None = None,
+    ) -> list[Candidate]:
+        """Candidates for one input port, ordered by level.
+
+        Parameters
+        ----------
+        port:
+            Input port index.
+        heads:
+            Head-flit view of this port's VC memory.
+        slots:
+            (vcs,) reserved slots per round for each VC (0 where no
+            connection is established).
+        dests:
+            (vcs,) output port of each VC's connection (-1 where none).
+        now:
+            Current flit cycle; queuing delay = ``now - arrival``.
+        tier_scale:
+            Optional (vcs,) per-VC priority multiplier implementing the
+            reserved/best-effort hierarchy (:data:`RESERVED_SCALE` for
+            reserved VCs, 1.0 for best-effort).  ``None`` treats every
+            VC as one tier.
+        """
+        occ = heads.occupancy
+        eligible = np.flatnonzero(occ > 0)
+        if eligible.size == 0:
+            return []
+        delay = now - heads.arrival_cycle[eligible]
+        prio = self.scheme.compute(slots[eligible], delay).astype(np.float64)
+        if tier_scale is not None:
+            prio = prio * tier_scale[eligible]
+        c = min(self.config.candidate_levels, eligible.size)
+        if eligible.size > c:
+            # Top-C by priority; stable ordering resolved by the sort below.
+            top = np.argpartition(-prio, c - 1)[:c]
+        else:
+            top = np.arange(eligible.size)
+        # Order the winners by descending priority; break ties by VC index
+        # (deterministic, mirrors a fixed-priority encoder in hardware).
+        order = np.lexsort((eligible[top], -prio[top]))
+        ranked = top[order]
+        out: list[Candidate] = []
+        for level, k in enumerate(ranked):
+            vc = int(eligible[k])
+            out.append(
+                Candidate(
+                    in_port=port,
+                    vc=vc,
+                    out_port=int(dests[vc]),
+                    priority=float(prio[k]),
+                    level=level,
+                )
+            )
+        return out
+
+    def select_all(
+        self,
+        heads_per_port: Sequence[HeadView],
+        slots: np.ndarray,
+        dests: np.ndarray,
+        now: int,
+        tier_scale: np.ndarray | None = None,
+    ) -> list[list[Candidate]]:
+        """Candidates for every input port (per-port reference path).
+
+        ``slots``/``dests`` are the (ports, vcs) connection-table arrays.
+        """
+        return [
+            self.select_port(
+                p,
+                heads_per_port[p],
+                slots[p],
+                dests[p],
+                now,
+                tier_scale[p] if tier_scale is not None else None,
+            )
+            for p in range(self.config.num_ports)
+        ]
+
+    def select_batch(
+        self,
+        heads: HeadView,
+        slots: np.ndarray,
+        dests: np.ndarray,
+        now: int,
+        tier_scale: np.ndarray | None = None,
+    ) -> list[list[Candidate]]:
+        """Candidates for every input port in one vectorized pass.
+
+        ``heads`` is the (ports, vcs)-shaped view from
+        :meth:`repro.router.VCMemory.heads_all`.  Produces exactly the
+        same candidates as :meth:`select_all` (a property the test suite
+        asserts); it exists because evaluating the whole router in one
+        numpy call chain is several times faster than per-port calls.
+        """
+        occ = heads.occupancy
+        n, _v = occ.shape
+        c = self.config.candidate_levels
+        occupied = occ > 0
+        delay = np.where(occupied, now - heads.arrival_cycle, 0)
+        prio = self.scheme.compute(slots, delay).astype(np.float64)
+        if tier_scale is not None:
+            prio = prio * tier_scale
+        # Mask out empty VCs with -inf so argsort never selects them.
+        masked = np.where(occupied, prio, -np.inf)
+        # Order each row by (-priority, vc); vc tie-break falls out of
+        # stable argsort on the negated priorities.
+        order = np.argsort(-masked, axis=1, kind="stable")[:, :c]
+        out: list[list[Candidate]] = []
+        for p in range(n):
+            port_cands: list[Candidate] = []
+            row = masked[p]
+            for level in range(min(c, order.shape[1])):
+                vc = int(order[p, level])
+                if row[vc] == -np.inf:
+                    break
+                port_cands.append(
+                    Candidate(
+                        in_port=p,
+                        vc=vc,
+                        out_port=int(dests[p, vc]),
+                        priority=float(prio[p, vc]),
+                        level=level,
+                    )
+                )
+            out.append(port_cands)
+        return out

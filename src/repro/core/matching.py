@@ -1,0 +1,181 @@
+"""Shared types and invariants for switch-scheduling (crossbar arbitration).
+
+Every arbiter in :mod:`repro.core` consumes the *candidates* produced by
+link scheduling — per input port, up to ``candidate_levels`` virtual
+channels ordered by descending biased priority — and produces a
+*matching*: a conflict-free set of (input port, VC, output port) grants.
+
+The checking helpers here (:func:`is_conflict_free`, :func:`is_maximal`)
+are what the property-based tests run against every arbiter on random
+request sets.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Candidate",
+    "Grant",
+    "Arbiter",
+    "is_conflict_free",
+    "is_maximal",
+    "matching_size",
+    "request_matrix",
+    "best_candidate_for",
+    "restrict_levels",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One link-scheduling candidate: a head flit competing for an output.
+
+    ``level`` is the candidate's rank within its input port (0 = highest
+    priority), i.e. the row block it occupies in the selection matrix.
+    """
+
+    in_port: int
+    vc: int
+    out_port: int
+    priority: float
+    level: int
+
+
+#: A single grant: (in_port, vc, out_port).
+Grant = tuple[int, int, int]
+
+
+class Arbiter(abc.ABC):
+    """Base class for switch-scheduling algorithms.
+
+    Subclasses implement :meth:`match`.  Arbiters are stateless with
+    respect to the traffic (any fairness state such as rotating pointers
+    is internal and advances once per call), and take the RNG explicitly
+    so that experiments can give each arbiter its own tie-breaking stream
+    while sharing the workload stream.
+    """
+
+    #: Registry/display name; subclasses override.
+    name: str = "arbiter"
+
+    @abc.abstractmethod
+    def match(
+        self,
+        candidates: Sequence[Sequence[Candidate]],
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        """Compute a conflict-free matching.
+
+        ``candidates[p]`` is input port ``p``'s candidate list, ordered by
+        level (``candidates[p][k].level == k``).  Ports with no eligible
+        flits contribute an empty list.
+        """
+
+    def reset(self) -> None:
+        """Clear any internal fairness state (pointers); default no-op."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# ----------------------------------------------------------------------
+# Invariant checks (used by the crossbar, the tests, and the benches)
+# ----------------------------------------------------------------------
+
+
+def is_conflict_free(matching: Sequence[Grant], num_ports: int) -> bool:
+    """True iff no input port and no output port is matched twice."""
+    ins: set[int] = set()
+    outs: set[int] = set()
+    for in_port, _vc, out_port in matching:
+        if not (0 <= in_port < num_ports and 0 <= out_port < num_ports):
+            return False
+        if in_port in ins or out_port in outs:
+            return False
+        ins.add(in_port)
+        outs.add(out_port)
+    return True
+
+
+def is_maximal(
+    candidates: Sequence[Sequence[Candidate]],
+    matching: Sequence[Grant],
+    num_ports: int,
+) -> bool:
+    """True iff no grant can be added without breaking conflict-freedom.
+
+    A maximal matching leaves no (unmatched input, unmatched output) pair
+    with a pending request.  All the arbiters here produce maximal
+    matchings; the property tests assert it.
+    """
+    ins = {g[0] for g in matching}
+    outs = {g[2] for g in matching}
+    for port_cands in candidates:
+        for cand in port_cands:
+            if cand.in_port not in ins and cand.out_port not in outs:
+                return False
+    return True
+
+
+def matching_size(matching: Sequence[Grant]) -> int:
+    """Number of matched pairs."""
+    return len(matching)
+
+
+def request_matrix(
+    candidates: Sequence[Sequence[Candidate]], num_ports: int
+) -> np.ndarray:
+    """Collapse candidates into the N x N boolean request matrix.
+
+    ``R[i, j]`` is True iff input ``i`` has at least one candidate bound
+    for output ``j``.  Priority-blind arbiters (WFA, iSLIP, PIM) operate
+    on this view.
+    """
+    r = np.zeros((num_ports, num_ports), dtype=bool)
+    for port_cands in candidates:
+        for cand in port_cands:
+            r[cand.in_port, cand.out_port] = True
+    return r
+
+
+def restrict_levels(
+    candidates: Sequence[Sequence[Candidate]], max_levels: int | None
+) -> Sequence[Sequence[Candidate]]:
+    """Drop candidates above a level cutoff (``None`` keeps everything).
+
+    Conventional crossbar arbiters on the MMR's multiplexed crossbar see
+    one request per input link — the head-of-line VC the link scheduler
+    picked — so WFA/iSLIP/PIM default to ``max_levels=1``; their
+    ``*-multi`` registry variants see every level (ablation A5).
+    """
+    if max_levels is None:
+        return candidates
+    if max_levels <= 0:
+        raise ValueError("max_levels must be positive or None")
+    return [[c for c in port if c.level < max_levels] for port in candidates]
+
+
+def best_candidate_for(
+    candidates: Sequence[Sequence[Candidate]], in_port: int, out_port: int
+) -> Candidate:
+    """Highest-priority candidate of ``in_port`` bound for ``out_port``.
+
+    Used by priority-blind arbiters to decide *which VC* transmits once
+    the (input, output) pair has been granted: the matching ignores
+    priority, but the link scheduler's ranking still picks the flit.
+    """
+    best: Candidate | None = None
+    for cand in candidates[in_port]:
+        if cand.out_port == out_port and (best is None or cand.level < best.level):
+            best = cand
+    if best is None:
+        raise ValueError(
+            f"no candidate from input {in_port} to output {out_port}; "
+            "arbiter granted a non-existent request"
+        )
+    return best

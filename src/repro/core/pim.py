@@ -1,0 +1,89 @@
+"""PIM — Parallel Iterative Matching (Anderson et al., 1993).
+
+Baseline from the paper's related-work discussion (the paper notes the
+WFA beats PIM on hardware complexity).  Each iteration:
+
+* **Grant**: every unmatched output grants a *uniformly random* one of
+  its unmatched requesting inputs.
+* **Accept**: every input that received grants accepts a uniformly random
+  one of them.
+
+Randomization breaks grant/accept symmetry; with log2(N) + O(1) expected
+iterations PIM converges to a maximal matching.  Priority-blind, like the
+WFA and iSLIP.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .matching import (
+    Arbiter,
+    Candidate,
+    Grant,
+    best_candidate_for,
+    request_matrix,
+    restrict_levels,
+)
+
+__all__ = ["PIM"]
+
+
+class PIM(Arbiter):
+    """Parallel Iterative Matching with configurable iteration count."""
+
+    name = "pim"
+
+    def __init__(
+        self,
+        num_ports: int,
+        iterations: int | None = None,
+        max_levels: int | None = 1,
+    ) -> None:
+        if max_levels is not None and max_levels <= 0:
+            raise ValueError("max_levels must be positive or None")
+        self.num_ports = num_ports
+        self.iterations = iterations if iterations is not None else num_ports
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.max_levels = max_levels
+        if max_levels is None:
+            self.name = "pim[multi]"
+
+    def match(
+        self,
+        candidates: Sequence[Sequence[Candidate]],
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        n = self.num_ports
+        candidates = restrict_levels(candidates, self.max_levels)
+        requests = request_matrix(candidates, n)
+        in_matched = np.full(n, -1, dtype=np.int64)
+        out_matched = np.zeros(n, dtype=bool)
+
+        for _ in range(self.iterations):
+            grants_to: dict[int, list[int]] = {}
+            for j in range(n):
+                if out_matched[j]:
+                    continue
+                requesters = np.flatnonzero(requests[:, j] & (in_matched == -1))
+                if requesters.size == 0:
+                    continue
+                i = int(requesters[int(rng.integers(requesters.size))])
+                grants_to.setdefault(i, []).append(j)
+            if not grants_to:
+                break
+            for i, outs in grants_to.items():
+                j = outs[int(rng.integers(len(outs)))]
+                in_matched[i] = j
+                out_matched[j] = True
+
+        out: list[Grant] = []
+        for i in range(n):
+            j = int(in_matched[i])
+            if j >= 0:
+                cand = best_candidate_for(candidates, i, j)
+                out.append((i, cand.vc, j))
+        return out

@@ -1,0 +1,159 @@
+"""Priority biasing functions for link scheduling.
+
+The MMR's link scheduler ranks the head flits of a physical link's virtual
+channels by a *biased priority* that combines the QoS a connection
+requested (its reserved bandwidth) with the QoS its head flit is receiving
+(its queuing delay).  The paper discusses two biasing functions plus the
+degenerate schemes we keep as baselines:
+
+* **IABP** (Inter-Arrival Based Priority): ``priority = queuing_delay /
+  IAT`` where the inter-arrival time ``IAT = round / reserved_slots``.
+  Equivalent to ``delay * reserved_slots / round`` — a product, i.e. a
+  theoretical reference needing a divider (or multiplier) per VC, too
+  slow/large for the router's cycle time.
+* **SIABP** (Simple IABP): the practical scheme.  The priority register is
+  seeded with the connection's reserved slots per round (an integer) and
+  shifted left each time the queuing-delay counter sets a bit for the
+  first time — i.e. each time the delay crosses a power of two.  In closed
+  form: ``priority = slots << bit_length(delay)``.  Hardware cost: a
+  shifter plus combinational logic (see :mod:`repro.core.hwcost`).
+* **StaticPriority**: rank by reserved bandwidth only (no aging) — shows
+  why biasing is needed (low-bandwidth connections starve... never age).
+* **FIFOPriority**: rank by queuing delay only (oldest first) — shows why
+  bandwidth awareness is needed.
+
+All schemes are vectorized: they map numpy arrays of reserved slots and
+queuing delays to an array of priorities, so the link scheduler evaluates
+a whole physical link's VCs in a handful of vector operations.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "PriorityScheme",
+    "IABP",
+    "SIABP",
+    "StaticPriority",
+    "FIFOPriority",
+    "bit_length",
+]
+
+#: Cap on the SIABP shift amount.  Reserved slots fit comfortably in
+#: ~20 bits; capping the shift at 40 keeps priorities inside int64 while
+#: preserving the ordering for any delay the simulator can produce.
+_MAX_SHIFT = 40
+
+
+def bit_length(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` for non-negative int64 arrays.
+
+    ``bit_length(0) == 0``, ``bit_length(1) == 1``, ``bit_length(2) == 2``,
+    ``bit_length(3) == 2`` ... exactly matching Python's semantics.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and values.min() < 0:
+        raise ValueError("bit_length requires non-negative values")
+    # frexp represents v as m * 2**e with m in [0.5, 1); e is exactly the
+    # bit length for integers below 2**53 (np.log2 would round values
+    # like 2**49 - 1 up and overshoot by one).  frexp(0) yields e == 0,
+    # matching bit_length(0) == 0.
+    _m, exp = np.frexp(values.astype(np.float64))
+    return exp.astype(np.int64)
+
+
+class PriorityScheme(abc.ABC):
+    """Maps (reserved slots, queuing delay) to a biased priority."""
+
+    #: Registry/display name; subclasses override.
+    name: str = "scheme"
+    #: True when priorities are exact integers (hardware-realizable).
+    integer_valued: bool = False
+
+    @abc.abstractmethod
+    def compute(self, slots: np.ndarray, delay: np.ndarray) -> np.ndarray:
+        """Vectorized priority computation.
+
+        Parameters
+        ----------
+        slots:
+            Reserved flit-cycle slots per round, per VC (static).
+        delay:
+            Queuing delay of each VC's head flit, in flit cycles, measured
+            since the flit entered the router's VC memory.
+        """
+
+    def scalar(self, slots: int, delay: int) -> float:
+        """Convenience scalar form (tests, examples)."""
+        return float(
+            self.compute(
+                np.asarray([slots], dtype=np.int64),
+                np.asarray([delay], dtype=np.int64),
+            )[0]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class IABP(PriorityScheme):
+    """Inter-Arrival Based Priority: ``delay / IAT`` (reference model).
+
+    ``IAT = round_cycles / slots`` so the priority is
+    ``delay * slots / round_cycles``.  Floating point; grows linearly with
+    delay, faster for high-bandwidth connections.
+    """
+
+    name = "iabp"
+    integer_valued = False
+
+    def __init__(self, round_cycles: int) -> None:
+        if round_cycles <= 0:
+            raise ValueError("round_cycles must be positive")
+        self.round_cycles = round_cycles
+
+    def compute(self, slots: np.ndarray, delay: np.ndarray) -> np.ndarray:
+        return (
+            delay.astype(np.float64) * slots.astype(np.float64) / self.round_cycles
+        )
+
+
+class SIABP(PriorityScheme):
+    """Simple IABP: shift-based hardware approximation of IABP.
+
+    ``priority = slots << bit_length(delay)`` (shift capped to keep int64
+    exact).  The seed (``delay == 0``) is the reserved slots themselves;
+    every time the delay counter sets a new most-significant bit the
+    priority doubles.  Piecewise-exponential envelope of IABP's linear
+    growth: within a factor of two of ``2 * slots * delay``.
+    """
+
+    name = "siabp"
+    integer_valued = True
+
+    def compute(self, slots: np.ndarray, delay: np.ndarray) -> np.ndarray:
+        shift = np.minimum(bit_length(delay), _MAX_SHIFT)
+        return slots.astype(np.int64) << shift
+
+
+class StaticPriority(PriorityScheme):
+    """Rank by reserved bandwidth only — no aging (baseline)."""
+
+    name = "static"
+    integer_valued = True
+
+    def compute(self, slots: np.ndarray, delay: np.ndarray) -> np.ndarray:
+        return slots.astype(np.int64).copy()
+
+
+class FIFOPriority(PriorityScheme):
+    """Rank by queuing delay only — oldest-first (baseline)."""
+
+    name = "fifo"
+    integer_valued = True
+
+    def compute(self, slots: np.ndarray, delay: np.ndarray) -> np.ndarray:
+        return delay.astype(np.int64).copy()

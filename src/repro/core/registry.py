@@ -1,0 +1,91 @@
+"""Name-based factories for arbiters and priority schemes.
+
+The experiment harness, the benches and the examples refer to algorithms
+by name ("coa", "wfa", ...); this module is the single place those names
+are resolved, so adding an algorithm automatically exposes it everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from .coa import CandidateOrderArbiter
+from .islip import ISLIP
+from .matching import Arbiter
+from .pim import PIM
+from .priorities import FIFOPriority, IABP, PriorityScheme, SIABP, StaticPriority
+from .rr import GreedyPriorityMatcher, RandomMatcher
+from .wfa import WaveFrontArbiter
+
+if TYPE_CHECKING:  # type-only: avoids a core <-> router import cycle
+    from ..router.config import RouterConfig
+
+__all__ = [
+    "ARBITER_NAMES",
+    "SCHEME_NAMES",
+    "make_arbiter",
+    "make_scheme",
+]
+
+_ARBITERS: dict[str, Callable[[RouterConfig], Arbiter]] = {
+    "coa": lambda cfg: CandidateOrderArbiter(cfg.num_ports, cfg.candidate_levels),
+    "coa-level-only": lambda cfg: CandidateOrderArbiter(
+        cfg.num_ports, cfg.candidate_levels, ordering="level_only"
+    ),
+    "coa-conflict-only": lambda cfg: CandidateOrderArbiter(
+        cfg.num_ports, cfg.candidate_levels, ordering="conflict_only"
+    ),
+    "coa-random-order": lambda cfg: CandidateOrderArbiter(
+        cfg.num_ports, cfg.candidate_levels, ordering="random"
+    ),
+    "coa-random-arb": lambda cfg: CandidateOrderArbiter(
+        cfg.num_ports, cfg.candidate_levels, arbitration="random"
+    ),
+    "wfa": lambda cfg: WaveFrontArbiter(cfg.num_ports, wrapped=True),
+    "wfa-plain": lambda cfg: WaveFrontArbiter(cfg.num_ports, wrapped=False),
+    "wfa-multi": lambda cfg: WaveFrontArbiter(
+        cfg.num_ports, wrapped=True, max_levels=None
+    ),
+    "islip": lambda cfg: ISLIP(cfg.num_ports),
+    "islip-1": lambda cfg: ISLIP(cfg.num_ports, iterations=1),
+    "islip-multi": lambda cfg: ISLIP(cfg.num_ports, max_levels=None),
+    "pim": lambda cfg: PIM(cfg.num_ports),
+    "pim-1": lambda cfg: PIM(cfg.num_ports, iterations=1),
+    "pim-multi": lambda cfg: PIM(cfg.num_ports, max_levels=None),
+    "greedy": lambda cfg: GreedyPriorityMatcher(),
+    "random": lambda cfg: RandomMatcher(),
+}
+
+_SCHEMES: dict[str, Callable[[RouterConfig], PriorityScheme]] = {
+    "siabp": lambda cfg: SIABP(),
+    "iabp": lambda cfg: IABP(cfg.round_cycles),
+    "static": lambda cfg: StaticPriority(),
+    "fifo": lambda cfg: FIFOPriority(),
+}
+
+#: Registered arbiter names, in registration order.
+ARBITER_NAMES = tuple(_ARBITERS)
+#: Registered priority-scheme names.
+SCHEME_NAMES = tuple(_SCHEMES)
+
+
+def make_arbiter(name: str, config: RouterConfig) -> Arbiter:
+    """Instantiate an arbiter by registry name."""
+    try:
+        factory = _ARBITERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown arbiter {name!r}; known: {', '.join(ARBITER_NAMES)}"
+        ) from None
+    return factory(config)
+
+
+def make_scheme(name: str, config: RouterConfig) -> PriorityScheme:
+    """Instantiate a priority scheme by registry name."""
+    try:
+        factory = _SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; known: {', '.join(SCHEME_NAMES)}"
+        ) from None
+    return factory(config)

@@ -1,0 +1,76 @@
+"""Simple sanity-baseline matchers.
+
+Neither appears in the paper's evaluation; they bracket the design space
+for the ablation benches:
+
+* :class:`GreedyPriorityMatcher` — sort *all* candidates by priority and
+  grant greedily.  Priority-aware like COA but without the candidate-order
+  port ordering; isolates how much the conflict-aware ordering buys.
+* :class:`RandomMatcher` — repeatedly grant a uniformly random remaining
+  request.  Maximal but blind to both priority and conflict structure;
+  the floor any reasonable arbiter must beat.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .matching import Arbiter, Candidate, Grant
+
+__all__ = ["GreedyPriorityMatcher", "RandomMatcher"]
+
+
+class GreedyPriorityMatcher(Arbiter):
+    """Globally greedy by priority; ties broken by (level, input)."""
+
+    name = "greedy"
+
+    def match(
+        self,
+        candidates: Sequence[Sequence[Candidate]],
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        flat = [c for port_cands in candidates for c in port_cands]
+        flat.sort(key=lambda c: (-c.priority, c.level, c.in_port))
+        ins: set[int] = set()
+        outs: set[int] = set()
+        grants: list[Grant] = []
+        for cand in flat:
+            if cand.in_port in ins or cand.out_port in outs:
+                continue
+            ins.add(cand.in_port)
+            outs.add(cand.out_port)
+            grants.append((cand.in_port, cand.vc, cand.out_port))
+        return grants
+
+
+class RandomMatcher(Arbiter):
+    """Uniformly random maximal matching over the candidates."""
+
+    name = "random"
+
+    def match(
+        self,
+        candidates: Sequence[Sequence[Candidate]],
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        remaining = [c for port_cands in candidates for c in port_cands]
+        ins: set[int] = set()
+        outs: set[int] = set()
+        grants: list[Grant] = []
+        while remaining:
+            idx = int(rng.integers(len(remaining)))
+            cand = remaining.pop(idx)
+            if cand.in_port in ins or cand.out_port in outs:
+                continue
+            ins.add(cand.in_port)
+            outs.add(cand.out_port)
+            grants.append((cand.in_port, cand.vc, cand.out_port))
+            remaining = [
+                c
+                for c in remaining
+                if c.in_port not in ins and c.out_port not in outs
+            ]
+        return grants

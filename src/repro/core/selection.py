@@ -1,0 +1,136 @@
+"""Selection matrix and conflict vector (paper Fig. 3).
+
+The switch scheduler's working state is the **selection matrix**: a
+``(levels * num_ports) x num_ports`` array whose first ``num_ports`` rows
+hold the level-0 (highest priority) candidate requests of every input
+link, the next ``num_ports`` rows the level-1 requests, and so on.  Row
+``level * N + out_port``, column ``in_port`` is non-null iff input
+``in_port``'s level-``level`` candidate requests output ``out_port``; the
+entry stores the candidate's priority.
+
+The **conflict vector** has one entry per row: the number of non-null
+entries, i.e. how many inputs are competing for that output at that
+candidate level.  The Candidate-Order Arbiter's port ordering is computed
+from this vector.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .matching import Candidate
+
+__all__ = ["SelectionMatrix"]
+
+
+class SelectionMatrix:
+    """Mutable selection matrix with incremental row/column dropping."""
+
+    def __init__(self, num_ports: int, levels: int) -> None:
+        if num_ports <= 0 or levels <= 0:
+            raise ValueError("num_ports and levels must be positive")
+        self.num_ports = num_ports
+        self.levels = levels
+        rows = levels * num_ports
+        # Priority of the request occupying each cell; NaN = null entry.
+        self._prio = np.full((rows, num_ports), np.nan)
+        # VC carried by each request (for grant construction); -1 = null.
+        self._vc = np.full((rows, num_ports), -1, dtype=np.int64)
+
+    @classmethod
+    def from_candidates(
+        cls, candidates: Sequence[Sequence[Candidate]], num_ports: int, levels: int
+    ) -> "SelectionMatrix":
+        """Build the matrix from per-port candidate lists."""
+        matrix = cls(num_ports, levels)
+        for port_cands in candidates:
+            for cand in port_cands:
+                if cand.level >= levels:
+                    raise ValueError(
+                        f"candidate level {cand.level} exceeds matrix levels "
+                        f"{levels}"
+                    )
+                matrix.place(cand)
+        return matrix
+
+    def place(self, cand: Candidate) -> None:
+        """Insert one candidate request."""
+        row = cand.level * self.num_ports + cand.out_port
+        if self._vc[row, cand.in_port] != -1:
+            raise ValueError(
+                f"input {cand.in_port} already has a level-{cand.level} "
+                "request"
+            )
+        # An input contributes at most one request per level; enforce it.
+        level_rows = slice(
+            cand.level * self.num_ports, (cand.level + 1) * self.num_ports
+        )
+        if (self._vc[level_rows, cand.in_port] != -1).any():
+            raise ValueError(
+                f"input {cand.in_port} already has a level-{cand.level} "
+                "request on another output"
+            )
+        self._prio[row, cand.in_port] = cand.priority
+        self._vc[row, cand.in_port] = cand.vc
+
+    # ------------------------------------------------------------------
+
+    def conflict_vector(self) -> np.ndarray:
+        """(levels * N,) count of non-null entries per row (Fig. 3)."""
+        return (self._vc != -1).sum(axis=1)
+
+    def row_requests(self, level: int, out_port: int) -> list[tuple[int, int, float]]:
+        """Requests on one row as ``(in_port, vc, priority)`` triples."""
+        row = level * self.num_ports + out_port
+        ins = np.flatnonzero(self._vc[row] != -1)
+        return [
+            (int(i), int(self._vc[row, i]), float(self._prio[row, i])) for i in ins
+        ]
+
+    def requests_for_output(self, out_port: int) -> list[tuple[int, int, int, float]]:
+        """All requests for an output, as ``(level, in_port, vc, prio)``."""
+        out: list[tuple[int, int, int, float]] = []
+        for level in range(self.levels):
+            for in_port, vc, prio in self.row_requests(level, out_port):
+                out.append((level, in_port, vc, prio))
+        return out
+
+    def drop_input(self, in_port: int) -> None:
+        """Drop every request made by an input port (it got matched)."""
+        self._prio[:, in_port] = np.nan
+        self._vc[:, in_port] = -1
+
+    def drop_output(self, out_port: int) -> None:
+        """Drop every request for an output port (it got matched)."""
+        rows = np.arange(self.levels) * self.num_ports + out_port
+        self._prio[rows, :] = np.nan
+        self._vc[rows, :] = -1
+
+    def has_requests(self) -> bool:
+        return bool((self._vc != -1).any())
+
+    def total_requests(self) -> int:
+        return int((self._vc != -1).sum())
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """ASCII rendering in the layout of the paper's Fig. 3."""
+        lines: list[str] = []
+        header = "        " + " ".join(f"in{i}" for i in range(self.num_ports))
+        lines.append(header + "   conflicts")
+        conflicts = self.conflict_vector()
+        for level in range(self.levels):
+            lines.append(f"-- level {level} candidates --")
+            for out_port in range(self.num_ports):
+                row = level * self.num_ports + out_port
+                cells = []
+                for in_port in range(self.num_ports):
+                    vc = self._vc[row, in_port]
+                    cells.append(" . " if vc == -1 else f"{self._prio[row, in_port]:3.0f}")
+                lines.append(
+                    f"out{out_port}    " + " ".join(cells) + f"   {conflicts[row]}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Wave Front Arbiter (WFA) — the comparison baseline (Tamir & Chi 1993).
+
+The WFA is a symmetric crossbar arbiter built from an N x N array of
+arbitration cells, one per crosspoint.  An arbitration *wave* sweeps the
+array along anti-diagonals from the top-left to the bottom-right corner; a
+cell grants its request iff no cell above it in the same column and no
+cell to its left in the same row has already granted.  Cells on the same
+diagonal touch disjoint rows and columns, so each diagonal's cells decide
+concurrently in hardware — the scheme is fast and cheap, and produces a
+maximal matching.
+
+Two fairness variants are provided:
+
+* plain WFA: the wave always starts at diagonal 0, giving crosspoints near
+  the top-left persistent precedence (the original paper's basic array);
+* **wrapped WFA** (default): diagonals are wrapped (cell ``(i, j)`` lies
+  on diagonal ``(i + j) mod N``) and the starting diagonal rotates every
+  arbitration, so precedence circulates — the variant normally used in
+  practice and the fair one the MMR paper compares against.
+
+The WFA is *priority-blind*: it sees only the boolean request matrix.
+Which VC transmits on a granted (input, output) pair is still decided by
+the link scheduler's ranking (the best-level candidate), but the matching
+itself ignores QoS — exactly the deficiency the paper demonstrates.
+
+**Requests per input.**  On the MMR's multiplexed crossbar a conventional
+symmetric arbiter receives *one* request per input link: the link
+scheduler has already selected the head-of-line virtual channel, and the
+crossbar cell array only resolves output conflicts among those N heads
+(paper §2: "arbitration is needed at the input side (link scheduling), to
+select one virtual channel from each physical channel, but it is also
+needed within the switch").  ``max_levels=1`` (the default) models this —
+and the resulting head-of-line blocking is what pins WFA's saturation
+near 70-75% in the paper's figures, while the COA exploits all candidate
+levels.  Pass ``max_levels=None`` for a VOQ-style variant that sees every
+candidate level (the "wfa-multi" registry entry, used by the ablation
+benches to separate multi-candidate selection from priority awareness).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .matching import (
+    Arbiter,
+    Candidate,
+    Grant,
+    best_candidate_for,
+    request_matrix,
+    restrict_levels,
+)
+
+__all__ = ["WaveFrontArbiter"]
+
+
+class WaveFrontArbiter(Arbiter):
+    """Wrapped (or plain) wave front arbiter over the request matrix."""
+
+    name = "wfa"
+
+    def __init__(
+        self,
+        num_ports: int,
+        wrapped: bool = True,
+        max_levels: int | None = 1,
+    ) -> None:
+        if max_levels is not None and max_levels <= 0:
+            raise ValueError("max_levels must be positive or None")
+        self.num_ports = num_ports
+        self.wrapped = wrapped
+        self.max_levels = max_levels
+        tags = []
+        if not wrapped:
+            tags.append("plain")
+        if max_levels is None:
+            tags.append("multi")
+        elif max_levels > 1:
+            tags.append(f"levels={max_levels}")
+        if tags:
+            self.name = f"wfa[{','.join(tags)}]"
+        self._start_diag = 0
+
+    def reset(self) -> None:
+        self._start_diag = 0
+
+    def match(
+        self,
+        candidates: Sequence[Sequence[Candidate]],
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        n = self.num_ports
+        candidates = restrict_levels(candidates, self.max_levels)
+        requests = request_matrix(candidates, n)
+        row_free = np.ones(n, dtype=bool)
+        col_free = np.ones(n, dtype=bool)
+        grants: list[Grant] = []
+
+        if self.wrapped:
+            diag_order = [(self._start_diag + d) % n for d in range(n)]
+            self._start_diag = (self._start_diag + 1) % n
+        else:
+            # Unwrapped array: 2N-1 anti-diagonals i + j = d.
+            diag_order = list(range(2 * n - 1))
+
+        for d in diag_order:
+            if self.wrapped:
+                cells = ((i, (d - i) % n) for i in range(n))
+            else:
+                cells = ((i, d - i) for i in range(max(0, d - n + 1), min(d, n - 1) + 1))
+            for i, j in cells:
+                if requests[i, j] and row_free[i] and col_free[j]:
+                    row_free[i] = False
+                    col_free[j] = False
+                    cand = best_candidate_for(candidates, i, j)
+                    grants.append((i, cand.vc, j))
+        return grants

@@ -1,0 +1,21 @@
+"""Multi-router MMR networks (paper §6 future-work extension)."""
+
+from .experiments import (
+    NetworkRunResult,
+    network_load_experiment,
+    run_network_load,
+)
+from .multirouter import MultiRouterNetwork, NetworkConnection
+from .topology import Topology, from_edges, mesh, ring
+
+__all__ = [
+    "NetworkRunResult",
+    "network_load_experiment",
+    "run_network_load",
+    "MultiRouterNetwork",
+    "NetworkConnection",
+    "Topology",
+    "from_edges",
+    "mesh",
+    "ring",
+]

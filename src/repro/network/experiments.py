@@ -1,0 +1,158 @@
+"""Network-scale experiments (paper §6: "extend to a network of MMRs").
+
+The single-router study answers which arbiter preserves QoS inside one
+switch; this module asks the paper's follow-up question: does the COA's
+advantage survive multi-hop paths, where a flit must win arbitration at
+every router and congestion can back-propagate through link credits?
+
+:func:`network_load_experiment` drives a ring (or any topology) of MMRs
+with CBR connections between random endpoints and sweeps injected load,
+reporting delivered throughput and end-to-end delay per arbiter — the
+network analogue of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..router.config import RouterConfig
+from ..router.connection import TrafficClass
+from .multirouter import MultiRouterNetwork, NetworkConnection
+from .topology import Topology, ring
+
+__all__ = ["NetworkRunResult", "run_network_load", "network_load_experiment"]
+
+
+@dataclass(frozen=True)
+class NetworkRunResult:
+    """One network run at one injected load."""
+
+    arbiter: str
+    target_load: float
+    connections: int
+    injected: int
+    delivered: int
+    #: Mean/max end-to-end flit delay since generation, in flit cycles.
+    mean_delay_cycles: float
+    max_delay_cycles: float
+    #: Flits still inside the network when the horizon ended.
+    residue: int
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.delivered / self.injected if self.injected else float("nan")
+
+
+def _build_connections(
+    net: MultiRouterNetwork,
+    conns_per_router: int,
+    slots: int,
+    rng: np.random.Generator,
+) -> list[NetworkConnection]:
+    """Random-destination CBR connections, one batch per source router."""
+    routers = net.topology.num_routers
+    out: list[NetworkConnection] = []
+    for src in range(routers):
+        placed = 0
+        guard = 0
+        while placed < conns_per_router and guard < 50 * conns_per_router:
+            guard += 1
+            dst = int(rng.integers(routers))
+            if dst == src:
+                continue
+            conn = net.establish(src, dst, TrafficClass.CBR, avg_slots=slots)
+            if conn is not None:
+                out.append(conn)
+                placed += 1
+    return out
+
+
+def run_network_load(
+    topology: Topology,
+    config: RouterConfig,
+    arbiter: str,
+    target_load: float,
+    cycles: int,
+    seed: int = 0,
+    conns_per_router: int = 4,
+) -> NetworkRunResult:
+    """One network run: CBR sources at ``target_load`` per source router.
+
+    The load is split evenly over ``conns_per_router`` connections from
+    each router, injected as deterministic CBR trains with random phases.
+    The run drains after the horizon (sources stop; the network empties)
+    so delivered counts are exact unless the network is saturated past
+    recovery (the residue field reports what stayed stuck).
+    """
+    if not (0 < target_load < 1):
+        raise ValueError("target_load must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    net = MultiRouterNetwork(topology, config, arbiter=arbiter)
+    per_conn_load = target_load / conns_per_router
+    slots = max(1, round(per_conn_load * config.round_cycles))
+    conns = _build_connections(net, conns_per_router, slots, rng)
+
+    # Precompute CBR injection trains.
+    iat = 1.0 / per_conn_load
+    schedules = []
+    for conn in conns:
+        phase = rng.uniform(0, iat)
+        times = np.floor(phase + np.arange(int(cycles / iat) + 1) * iat)
+        schedules.append(times[times < cycles].astype(np.int64))
+    pointers = [0] * len(conns)
+
+    injected = 0
+    arb_rng = np.random.default_rng(seed + 1)
+    for now in range(cycles):
+        for idx, conn in enumerate(conns):
+            times = schedules[idx]
+            ptr = pointers[idx]
+            while ptr < len(times) and times[ptr] <= now:
+                net.inject(conn, gen_cycle=now)
+                injected += 1
+                ptr += 1
+            pointers[idx] = ptr
+        net.step(now, arb_rng)
+    # Drain (bounded: saturated networks may not empty).
+    now = cycles
+    while net.total_buffered() > 0 and now < cycles * 3:
+        net.step(now, arb_rng)
+        now += 1
+
+    stat = net.end_to_end_delay
+    return NetworkRunResult(
+        arbiter=arbiter,
+        target_load=target_load,
+        connections=len(conns),
+        injected=injected,
+        delivered=net.delivered,
+        mean_delay_cycles=stat.mean if stat.n else float("nan"),
+        max_delay_cycles=stat.max if stat.n else float("nan"),
+        residue=net.total_buffered(),
+    )
+
+
+def network_load_experiment(
+    arbiters: Sequence[str] = ("coa", "wfa"),
+    loads: Sequence[float] = (0.2, 0.4, 0.6, 0.7),
+    num_routers: int = 4,
+    config: RouterConfig | None = None,
+    cycles: int = 4_000,
+    seed: int = 0,
+) -> dict[str, list[NetworkRunResult]]:
+    """N1: ring-of-MMRs load sweep, per arbiter (same seed => same
+    connection pattern and injection schedules)."""
+    topo = ring(num_routers)
+    cfg = config or RouterConfig(
+        num_ports=4, vcs_per_link=32, candidate_levels=4, vc_buffer_depth=4
+    )
+    return {
+        arbiter: [
+            run_network_load(topo, cfg, arbiter, load, cycles, seed)
+            for load in loads
+        ]
+        for arbiter in arbiters
+    }

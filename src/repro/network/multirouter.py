@@ -1,0 +1,299 @@
+"""Multi-router MMR networks (the paper's §6 "future work" extension).
+
+The paper evaluates a single MMR and explicitly defers the multi-router
+study ("this study must be further extended to a network composed of
+several MMRs").  This module builds that extension on the same
+subsystems: every node is a full :class:`~repro.router.MMRouter`; routers
+are wired by a :class:`~repro.network.topology.Topology`; connections are
+set up hop by hop with pipelined circuit switching (a VC and a bandwidth
+reservation on every traversed link, as the MMR's probe would do); and
+credit-based flow control covers the inter-router links exactly as it
+covers the NIC links.
+
+Port convention: on a router of degree ``d``, ports ``0..d-1`` are the
+inter-router links (indexed by the topology's port map) and the remaining
+ports attach host NICs.
+
+Scheduling detail: a head flit bound for a downstream router may only
+compete for the crossbar when the downstream VC buffer has space (the
+upstream router holds its credits).  The network step therefore filters
+the link scheduler's candidates by downstream credit before arbitration —
+the same eligibility rule the NIC link controller applies on the host
+links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..router.config import RouterConfig
+from ..router.connection import Connection, TrafficClass
+from ..router.router import MMRouter
+from ..sim.metrics import StreamingStat
+from .topology import Topology
+
+__all__ = ["NetworkConnection", "MultiRouterNetwork"]
+
+
+@dataclass(frozen=True)
+class NetworkConnection:
+    """A multi-hop connection: one Connection (VC + reservation) per hop."""
+
+    net_conn_id: int
+    src_router: int
+    dst_router: int
+    router_path: tuple[int, ...]
+    hops: tuple[Connection, ...]
+    avg_slots: int
+    peak_slots: int
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.hops)
+
+
+class MultiRouterNetwork:
+    """A network of MMRs with PCS setup and credit-controlled links."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: RouterConfig,
+        arbiter: str = "coa",
+        scheme: str = "siabp",
+    ) -> None:
+        if config.num_ports <= topology.max_degree():
+            raise ValueError(
+                f"config.num_ports ({config.num_ports}) must exceed the "
+                f"topology's max degree ({topology.max_degree()}) to leave "
+                "host ports"
+            )
+        self.topology = topology
+        self.config = config
+        self.routers = [
+            MMRouter(config, arbiter, scheme) for _ in range(topology.num_routers)
+        ]
+        # Inter-router credits: (router, out_port) -> per-VC counters at
+        # the *upstream* side mirroring the downstream buffer space.
+        self._link_credits: dict[tuple[int, int], np.ndarray] = {}
+        # (router, out_port) -> (downstream router, downstream in_port)
+        self._link_dest: dict[tuple[int, int], tuple[int, int]] = {}
+        # (router, in_port) -> (upstream router, upstream out_port)
+        self._upstream_of: dict[tuple[int, int], tuple[int, int]] = {}
+        for (u, v), port in topology.port_map.items():
+            self._link_credits[(u, port)] = np.full(
+                config.vcs_per_link, config.vc_buffer_depth, dtype=np.int64
+            )
+            down_port = topology.port_map[(v, u)]
+            self._link_dest[(u, port)] = (v, down_port)
+            self._upstream_of[(v, down_port)] = (u, port)
+        # In-flight inter-router flits: arrival_cycle -> list of
+        # (router, in_port, vc, gen_cycle, frame_id, frame_last).
+        self._in_flight: dict[int, list[tuple[int, int, int, int, int, bool]]] = {}
+        # In-flight inter-router credit returns.
+        self._credit_returns: dict[int, list[tuple[int, int, int]]] = {}
+        self._connections: list[NetworkConnection] = []
+        # (router, in_port, vc) -> (net_conn, hop_index)
+        self._hop_lookup: dict[tuple[int, int, int], tuple[NetworkConnection, int]] = {}
+        #: End-to-end delay since generation, in cycles.
+        self.end_to_end_delay = StreamingStat()
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    # Ports
+    # ------------------------------------------------------------------
+
+    def host_ports(self, router: int) -> list[int]:
+        """Ports of a router that attach host NICs."""
+        degree = self.topology.degree(router)
+        return list(range(degree, self.config.num_ports))
+
+    def first_host_port(self, router: int) -> int:
+        return self.topology.degree(router)
+
+    # ------------------------------------------------------------------
+    # PCS setup
+    # ------------------------------------------------------------------
+
+    def establish(
+        self,
+        src_router: int,
+        dst_router: int,
+        traffic_class: TrafficClass = TrafficClass.CBR,
+        avg_slots: int = 1,
+        peak_slots: int | None = None,
+    ) -> NetworkConnection | None:
+        """Set up a connection along the shortest path, or roll back.
+
+        The source injects at the first host port of ``src_router``; the
+        flow ejects at the first host port of ``dst_router``.  Returns
+        ``None`` (with every partial reservation released) if any hop
+        rejects — the PCS probe would backtrack the same way.
+        """
+        path = self.topology.shortest_path(src_router, dst_router)
+        if len(path) < 2 and src_router != dst_router:
+            raise ValueError("path must traverse at least one link")
+        hops: list[Connection] = []
+        in_port = self.first_host_port(src_router)
+        for idx, router_id in enumerate(path):
+            if idx + 1 < len(path):
+                out_port = self.topology.port_toward(router_id, path[idx + 1])
+            else:
+                out_port = self.first_host_port(router_id)
+            result = self.routers[router_id].establish(
+                in_port, out_port, traffic_class, avg_slots, peak_slots
+            )
+            if not result.accepted:
+                for back_idx, conn in enumerate(hops):
+                    self.routers[path[back_idx]].teardown(conn.conn_id)
+                return None
+            hops.append(result.connection)
+            if idx + 1 < len(path):
+                next_router = path[idx + 1]
+                in_port = self.topology.port_toward(next_router, router_id)
+        net_conn = NetworkConnection(
+            net_conn_id=len(self._connections),
+            src_router=src_router,
+            dst_router=dst_router,
+            router_path=tuple(path),
+            hops=tuple(hops),
+            avg_slots=avg_slots,
+            peak_slots=peak_slots if peak_slots is not None else avg_slots,
+        )
+        self._connections.append(net_conn)
+        for hop_idx, conn in enumerate(hops):
+            self._hop_lookup[(path[hop_idx], conn.in_port, conn.vc)] = (
+                net_conn,
+                hop_idx,
+            )
+        return net_conn
+
+    @property
+    def connections(self) -> list[NetworkConnection]:
+        return list(self._connections)
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+
+    def inject(
+        self,
+        net_conn: NetworkConnection,
+        gen_cycle: int,
+        frame_id: int = -1,
+        frame_last: bool = False,
+    ) -> None:
+        """Deposit one flit at the source NIC of a network connection."""
+        first = net_conn.hops[0]
+        self.routers[net_conn.src_router].nics[first.in_port].inject(
+            first.vc, gen_cycle, frame_id, frame_last
+        )
+
+    # ------------------------------------------------------------------
+    # Cycle loop
+    # ------------------------------------------------------------------
+
+    def step(self, now: int, rng: np.random.Generator) -> None:
+        """Advance the whole network by one flit cycle."""
+        self._deliver_in_flight(now)
+        self._deliver_credit_returns(now)
+        for router_id, router in enumerate(self.routers):
+            router.credits.deliver(now)
+            candidates = self._eligible_candidates(router_id, router, now)
+            grants = router.arbiter.match(candidates, rng)
+            departures = router.crossbar.transfer(grants, router.vc_memory, now)
+            degree = self.topology.degree(router_id)
+            for dep in departures:
+                if dep.in_port < degree:
+                    # Flit arrived over an inter-router link: return the
+                    # credit to the upstream router's output side.
+                    self._return_link_credit(router_id, dep.in_port, dep.vc, now)
+                else:
+                    # Flit arrived from a host NIC: NIC-side credit.
+                    router.credits.schedule_return(dep.in_port, dep.vc, now)
+                self._route_departure(router_id, dep, now)
+            router._accept_from_nics(now)
+
+    def _eligible_candidates(self, router_id: int, router: MMRouter, now: int):
+        candidates = router._link_schedule(now)
+        filtered = []
+        for port_cands in candidates:
+            keep = []
+            for cand in port_cands:
+                key = (router_id, cand.out_port)
+                credits = self._link_credits.get(key)
+                if credits is None:
+                    keep.append(cand)  # host-bound: sink always drains
+                    continue
+                hop = self._hop_lookup.get((router_id, cand.in_port, cand.vc))
+                if hop is None:  # pragma: no cover - defensive
+                    continue
+                net_conn, hop_idx = hop
+                down_vc = net_conn.hops[hop_idx + 1].vc
+                if credits[down_vc] > 0:
+                    keep.append(cand)
+            # Re-level after filtering so the arbiter sees dense levels.
+            keep = [
+                type(c)(c.in_port, c.vc, c.out_port, c.priority, lvl)
+                for lvl, c in enumerate(keep)
+            ]
+            filtered.append(keep)
+        return filtered
+
+    def _route_departure(self, router_id: int, dep, now: int) -> None:
+        key = (router_id, dep.out_port)
+        dest = self._link_dest.get(key)
+        if dest is None:
+            # Ejected at a host port: the flit left the network.
+            self.delivered += 1
+            self.end_to_end_delay.add(now - dep.gen_cycle + 1)
+            return
+        net_conn, hop_idx = self._hop_lookup[(router_id, dep.in_port, dep.vc)]
+        down_router, down_port = dest
+        down_vc = net_conn.hops[hop_idx + 1].vc
+        self._link_credits[key][down_vc] -= 1
+        if self._link_credits[key][down_vc] < 0:
+            raise RuntimeError("inter-router credit underflow")
+        # One cycle of link traversal.
+        self._in_flight.setdefault(now + 1, []).append(
+            (down_router, down_port, down_vc, dep.gen_cycle, dep.frame_id,
+             dep.frame_last)
+        )
+
+    def _deliver_in_flight(self, now: int) -> None:
+        arrivals = self._in_flight.pop(now, None)
+        if not arrivals:
+            return
+        for router, in_port, vc, gen, frame_id, frame_last in arrivals:
+            self.routers[router].vc_memory.push(
+                in_port, vc, gen, frame_id, frame_last, now
+            )
+
+    def _deliver_credit_returns(self, now: int) -> None:
+        returns = self._credit_returns.pop(now, None)
+        if not returns:
+            return
+        for router, out_port, vc in returns:
+            self._link_credits[(router, out_port)][vc] += 1
+
+    def _return_link_credit(self, router: int, in_port: int, vc: int, now: int):
+        """Called when a flit leaves a downstream buffer that an upstream
+        router holds credits for."""
+        u, port = self._upstream_of[(router, in_port)]
+        self._credit_returns.setdefault(
+            now + self.config.credit_return_delay, []
+        ).append((u, port, vc))
+
+    # ------------------------------------------------------------------
+
+    def total_buffered(self) -> int:
+        """Flits inside all routers, NICs, and links."""
+        buffered = sum(r.buffered_flits() + r.nic_backlog() for r in self.routers)
+        in_flight = sum(len(v) for v in self._in_flight.values())
+        return buffered + in_flight
+
+    def run(self, cycles: int, rng: np.random.Generator) -> None:
+        for now in range(cycles):
+            self.step(now, rng)

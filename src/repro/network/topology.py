@@ -1,0 +1,118 @@
+"""Network topologies for multi-router MMR studies (paper §6 outlook).
+
+The paper's evaluation uses a single router; its conclusions call for the
+study to "be further extended to a network composed of several MMRs".
+This module provides the topologies that extension runs on: regular
+meshes/rings and arbitrary graphs (backed by networkx when richer
+analysis is wanted), plus deterministic shortest-path routing tables —
+the MMR uses source-routed pipelined circuit switching, so per-connection
+paths are computed once at setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+__all__ = ["Topology", "mesh", "ring", "from_edges"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A directed router-to-router connectivity graph.
+
+    Nodes are router ids ``0..num_routers-1``.  Each directed edge is one
+    physical link; ``port_map[(u, v)]`` gives the output port of ``u``
+    that reaches ``v`` (and the input port of ``v`` it lands on — the MMR
+    testbed wires link ``k`` of a router to link ``k`` of its peer, so
+    the indices match by construction).
+    """
+
+    num_routers: int
+    edges: tuple[tuple[int, int], ...]
+    port_map: dict[tuple[int, int], int]
+
+    def __post_init__(self) -> None:
+        for u, v in self.edges:
+            if not (0 <= u < self.num_routers and 0 <= v < self.num_routers):
+                raise ValueError(f"edge ({u}, {v}) out of range")
+            if u == v:
+                raise ValueError("self-loop links are not allowed")
+
+    def graph(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.num_routers))
+        g.add_edges_from(self.edges)
+        return g
+
+    def neighbors(self, router: int) -> list[int]:
+        return sorted(v for u, v in self.edges if u == router)
+
+    def degree(self, router: int) -> int:
+        """Number of inter-router links leaving a router."""
+        return sum(1 for u, _v in self.edges if u == router)
+
+    def max_degree(self) -> int:
+        return max((self.degree(r) for r in range(self.num_routers)), default=0)
+
+    def shortest_path(self, src: int, dst: int) -> list[int]:
+        """Deterministic shortest router path (lowest-id tie-break)."""
+        if src == dst:
+            return [src]
+        g = self.graph()
+        try:
+            # networkx BFS follows adjacency insertion order; re-sorting
+            # neighbours makes the choice deterministic and id-ordered.
+            paths = nx.all_shortest_paths(g, src, dst)
+            return min(paths)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise ValueError(f"no path from router {src} to {dst}") from None
+
+    def port_toward(self, u: int, v: int) -> int:
+        """Output port of ``u`` on the direct link to ``v``."""
+        try:
+            return self.port_map[(u, v)]
+        except KeyError:
+            raise ValueError(f"no direct link {u} -> {v}") from None
+
+
+def _bidirectional(pairs: list[tuple[int, int]], num_routers: int) -> Topology:
+    """Assign port indices per router in edge-insertion order."""
+    port_map: dict[tuple[int, int], int] = {}
+    next_port = [0] * num_routers
+    edges: list[tuple[int, int]] = []
+    for u, v in pairs:
+        for a, b in ((u, v), (v, u)):
+            edges.append((a, b))
+            port_map[(a, b)] = next_port[a]
+            next_port[a] += 1
+    return Topology(num_routers, tuple(edges), port_map)
+
+
+def mesh(rows: int, cols: int) -> Topology:
+    """2-D mesh with bidirectional links."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                pairs.append((node, node + 1))
+            if r + 1 < rows:
+                pairs.append((node, node + cols))
+    return _bidirectional(pairs, rows * cols)
+
+
+def ring(n: int) -> Topology:
+    """Bidirectional ring of n routers."""
+    if n < 2:
+        raise ValueError("a ring needs at least 2 routers")
+    pairs = [(i, (i + 1) % n) for i in range(n)] if n > 2 else [(0, 1)]
+    return _bidirectional(pairs, n)
+
+
+def from_edges(num_routers: int, pairs: list[tuple[int, int]]) -> Topology:
+    """Arbitrary topology from undirected router pairs."""
+    return _bidirectional(pairs, num_routers)

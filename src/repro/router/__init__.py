@@ -1,0 +1,48 @@
+"""MMR router substrate: buffers, flow control, crossbar, admission.
+
+See DESIGN.md §3 for the module map.  The composition root is
+:class:`repro.router.MMRouter`.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .config import DEFAULT_CONFIG, RouterConfig
+from .connection import Connection, ConnectionTable, TrafficClass
+from .credits import CreditState
+from .crossbar import Crossbar, Departure
+from .flit import FRAME_NONE, Flit, FlitType
+from .link import PhitPipeline, pipelined_latency_phits, store_and_forward_latency_phits
+from .presets import PRESETS, config_from_dict, config_to_dict, preset
+from .nic import NIC
+from .router import MMRouter
+from .routing import SetupResult, SetupUnit
+from .vc_memory import HeadView, InterleavedRam, VCMemory
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "DEFAULT_CONFIG",
+    "RouterConfig",
+    "Connection",
+    "ConnectionTable",
+    "TrafficClass",
+    "CreditState",
+    "Crossbar",
+    "Departure",
+    "FRAME_NONE",
+    "PhitPipeline",
+    "pipelined_latency_phits",
+    "store_and_forward_latency_phits",
+    "PRESETS",
+    "config_from_dict",
+    "config_to_dict",
+    "preset",
+    "Flit",
+    "FlitType",
+    "NIC",
+    "MMRouter",
+    "SetupResult",
+    "SetupUnit",
+    "HeadView",
+    "InterleavedRam",
+    "VCMemory",
+]

@@ -1,0 +1,154 @@
+"""Connection admission control (CAC).
+
+The MMR accepts a new connection only if the QoS of already-admitted
+connections remains guaranteeable (paper §2, "Connection Set up"):
+
+* A **CBR** connection is accepted iff, on every link it uses, the total
+  reserved flit-cycle slots (including the new connection) do not exceed
+  the number of flit cycles in a round.
+* A **VBR** connection is accepted iff, on every link it uses,
+  (a) the summed *average* (permanent) bandwidth does not exceed the round
+  and (b) the summed *peak* bandwidth does not exceed the round times the
+  **concurrency factor** — the knob trading QoS strength against the
+  number of concurrently serviced connections and link utilization.
+* **Best-effort** connections reserve nothing; they only need a free
+  virtual channel.
+
+Single-router scope: the links checked are the router's input and output
+links; the network extension applies the same test per hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import RouterConfig
+from .connection import Connection, ConnectionTable, TrafficClass
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of an admission test."""
+
+    admitted: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """Tracks per-link reservations and applies the paper's CAC rules."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        self.config = config
+        n = config.num_ports
+        # Reserved average slots per round, per input and output link.
+        self._avg_in = np.zeros(n, dtype=np.int64)
+        self._avg_out = np.zeros(n, dtype=np.int64)
+        # Reserved peak slots per round (VBR accounting).
+        self._peak_in = np.zeros(n, dtype=np.int64)
+        self._peak_out = np.zeros(n, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+
+    def check(self, conn: Connection) -> AdmissionDecision:
+        """Test a connection without committing its reservation."""
+        if conn.traffic_class is TrafficClass.BEST_EFFORT:
+            return AdmissionDecision(True, "best-effort needs no reservation")
+
+        round_cycles = self.config.round_cycles
+        avg_budget = round_cycles
+        new_avg_in = self._avg_in[conn.in_port] + conn.avg_slots
+        new_avg_out = self._avg_out[conn.out_port] + conn.avg_slots
+        if new_avg_in > avg_budget:
+            return AdmissionDecision(
+                False,
+                f"input link {conn.in_port}: average reservation "
+                f"{new_avg_in} > round {avg_budget}",
+            )
+        if new_avg_out > avg_budget:
+            return AdmissionDecision(
+                False,
+                f"output link {conn.out_port}: average reservation "
+                f"{new_avg_out} > round {avg_budget}",
+            )
+
+        if conn.traffic_class is TrafficClass.VBR:
+            peak_budget = round_cycles * self.config.concurrency_factor
+            new_peak_in = self._peak_in[conn.in_port] + conn.peak_slots
+            new_peak_out = self._peak_out[conn.out_port] + conn.peak_slots
+            if new_peak_in > peak_budget:
+                return AdmissionDecision(
+                    False,
+                    f"input link {conn.in_port}: peak reservation "
+                    f"{new_peak_in} > round * concurrency "
+                    f"{peak_budget:.0f}",
+                )
+            if new_peak_out > peak_budget:
+                return AdmissionDecision(
+                    False,
+                    f"output link {conn.out_port}: peak reservation "
+                    f"{new_peak_out} > round * concurrency "
+                    f"{peak_budget:.0f}",
+                )
+        return AdmissionDecision(True, "reservation fits")
+
+    def commit(self, conn: Connection) -> None:
+        """Record an admitted connection's reservation."""
+        if conn.traffic_class is TrafficClass.BEST_EFFORT:
+            return
+        self._avg_in[conn.in_port] += conn.avg_slots
+        self._avg_out[conn.out_port] += conn.avg_slots
+        if conn.traffic_class is TrafficClass.VBR:
+            self._peak_in[conn.in_port] += conn.peak_slots
+            self._peak_out[conn.out_port] += conn.peak_slots
+
+    def release(self, conn: Connection) -> None:
+        """Return a torn-down connection's reservation."""
+        if conn.traffic_class is TrafficClass.BEST_EFFORT:
+            return
+        self._avg_in[conn.in_port] -= conn.avg_slots
+        self._avg_out[conn.out_port] -= conn.avg_slots
+        if conn.traffic_class is TrafficClass.VBR:
+            self._peak_in[conn.in_port] -= conn.peak_slots
+            self._peak_out[conn.out_port] -= conn.peak_slots
+        if (
+            self._avg_in.min() < 0
+            or self._avg_out.min() < 0
+            or self._peak_in.min() < 0
+            or self._peak_out.min() < 0
+        ):
+            raise RuntimeError("admission accounting went negative on release")
+
+    def admit(self, conn: Connection, table: ConnectionTable) -> AdmissionDecision:
+        """Check + commit + register in the connection table atomically."""
+        decision = self.check(conn)
+        if decision:
+            table.add(conn)  # raises on VC conflicts before committing
+            self.commit(conn)
+        return decision
+
+    # ------------------------------------------------------------------
+
+    def reserved_avg_load(self, in_port: int) -> float:
+        """Fraction of an input link's bandwidth reserved on average."""
+        return float(self._avg_in[in_port]) / self.config.round_cycles
+
+    def reserved_avg_load_out(self, out_port: int) -> float:
+        """Fraction of an output link's bandwidth reserved on average."""
+        return float(self._avg_out[out_port]) / self.config.round_cycles
+
+    def headroom(self, in_port: int, out_port: int) -> int:
+        """Average slots still available across both links."""
+        round_cycles = self.config.round_cycles
+        return int(
+            min(
+                round_cycles - self._avg_in[in_port],
+                round_cycles - self._avg_out[out_port],
+            )
+        )

@@ -1,0 +1,202 @@
+"""Router configuration for the Multimedia Router (MMR).
+
+The MMR evaluated in the paper is a compact single-chip router with a
+multiplexed crossbar: one crossbar port per *physical* link, many virtual
+channels (one per connection) multiplexed onto each physical link.  All
+architectural parameters used by the simulator live in
+:class:`RouterConfig`, together with the derived time constants that turn
+flit cycles into wall-clock time.
+
+Reconstructed defaults (the OCR of the paper garbles several numerals; see
+DESIGN.md §2) follow the companion MMR papers:
+
+* 4x4 router (``num_ports = 4``),
+* 1024-bit flits over 1.24 Gbps, 16-bit-wide links (so a flit cycle is
+  ``1024 / 1.24e9 ~= 826 ns`` and a flit is 64 phits),
+* four candidate levels in the link/switch scheduler (stated intact in the
+  paper text),
+* small per-virtual-channel buffers inside the router (credit-based flow
+  control keeps them from overflowing),
+* rounds (frames of flit cycles) sized as an integer multiple of the
+  number of virtual channels per link.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = ["RouterConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Static architectural parameters of one MMR router.
+
+    Instances are immutable; use :meth:`with_overrides` to derive variants
+    for parameter sweeps.
+    """
+
+    #: Number of physical input links == number of physical output links
+    #: (the crossbar is square).
+    num_ports: int = 4
+
+    #: Virtual channels per physical link.  The MMR dedicates one VC to
+    #: each connection, so this bounds the number of concurrently admitted
+    #: connections per input link.
+    vcs_per_link: int = 64
+
+    #: Candidate levels used by the link scheduler: per input link, the
+    #: ``candidate_levels`` highest-priority head flits are forwarded to
+    #: the switch scheduler.  The paper uses four levels.
+    candidate_levels: int = 4
+
+    #: Flit size in bits.  Large flits amortize arbitration and crossbar
+    #: reconfiguration; the MMR uses 1024-bit flits.
+    flit_size_bits: int = 1024
+
+    #: Physical link width in bits (one phit per link cycle).
+    phit_size_bits: int = 16
+
+    #: Physical link rate in bits per second.
+    link_rate_bps: float = 1.24e9
+
+    #: Router VC buffer depth, in flits, per virtual channel.  The paper
+    #: limits the MMR buffers to "a few flits per virtual channel".
+    vc_buffer_depth: int = 4
+
+    #: Flit cycles per round (bandwidth-accounting frame).  Must be a
+    #: positive integer multiple of ``vcs_per_link``.  Admission control
+    #: and the SIABP priority seed are expressed in reserved flit-cycle
+    #: slots per round.  ``0`` means "auto": pick the smallest multiple of
+    #: ``vcs_per_link`` that gives the lowest-bandwidth paper class
+    #: (64 Kbps) at least one slot per round.
+    flit_cycles_per_round: int = 0
+
+    #: VBR admission concurrency factor: the sum of *peak* bandwidths of
+    #: admitted VBR connections may exceed a round by this factor.
+    concurrency_factor: float = 4.0
+
+    #: Delay, in flit cycles, for a credit to travel back from the router
+    #: to the NIC.  Links are short in the MMR, and a credit is a single
+    #: phit, so the default is one flit cycle.
+    credit_return_delay: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_ports <= 0:
+            raise ValueError(f"num_ports must be positive, got {self.num_ports}")
+        if self.vcs_per_link <= 0:
+            raise ValueError(f"vcs_per_link must be positive, got {self.vcs_per_link}")
+        if not (0 < self.candidate_levels):
+            raise ValueError(
+                f"candidate_levels must be positive, got {self.candidate_levels}"
+            )
+        if self.candidate_levels > self.vcs_per_link:
+            raise ValueError(
+                "candidate_levels cannot exceed vcs_per_link "
+                f"({self.candidate_levels} > {self.vcs_per_link})"
+            )
+        if self.flit_size_bits <= 0 or self.phit_size_bits <= 0:
+            raise ValueError("flit and phit sizes must be positive")
+        if self.flit_size_bits % self.phit_size_bits != 0:
+            raise ValueError(
+                "flit_size_bits must be a multiple of phit_size_bits "
+                f"({self.flit_size_bits} % {self.phit_size_bits} != 0)"
+            )
+        if self.link_rate_bps <= 0:
+            raise ValueError("link_rate_bps must be positive")
+        if self.vc_buffer_depth <= 0:
+            raise ValueError("vc_buffer_depth must be positive")
+        if self.flit_cycles_per_round < 0:
+            raise ValueError("flit_cycles_per_round must be >= 0 (0 = auto)")
+        if self.flit_cycles_per_round and (
+            self.flit_cycles_per_round % self.vcs_per_link != 0
+        ):
+            raise ValueError(
+                "flit_cycles_per_round must be an integer multiple of "
+                f"vcs_per_link ({self.flit_cycles_per_round} % "
+                f"{self.vcs_per_link} != 0)"
+            )
+        if self.concurrency_factor < 1.0:
+            raise ValueError("concurrency_factor must be >= 1.0")
+        if self.credit_return_delay < 0:
+            raise ValueError("credit_return_delay must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def phits_per_flit(self) -> int:
+        """Number of phits needed to transfer one flit."""
+        return self.flit_size_bits // self.phit_size_bits
+
+    @property
+    def flit_cycle_seconds(self) -> float:
+        """Duration of one flit cycle: time to push one flit onto a link."""
+        return self.flit_size_bits / self.link_rate_bps
+
+    @property
+    def flit_cycle_us(self) -> float:
+        """Duration of one flit cycle in microseconds."""
+        return self.flit_cycle_seconds * 1e6
+
+    @property
+    def round_cycles(self) -> int:
+        """Flit cycles per round, resolving the ``0 = auto`` setting.
+
+        The auto rule sizes the round so the lowest-bandwidth paper class
+        (64 Kbps) reserves at least one whole flit-cycle slot per round.
+        """
+        if self.flit_cycles_per_round:
+            return self.flit_cycles_per_round
+        min_rate = 64e3  # lowest CBR class in the paper
+        # slots(r) = rate / link_rate * round  >= 1
+        needed = self.link_rate_bps / min_rate
+        multiple = max(1, math.ceil(needed / self.vcs_per_link))
+        return multiple * self.vcs_per_link
+
+    @property
+    def round_seconds(self) -> float:
+        """Duration of one round in seconds."""
+        return self.round_cycles * self.flit_cycle_seconds
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert a duration in flit cycles to microseconds."""
+        return cycles * self.flit_cycle_us
+
+    def us_to_cycles(self, us: float) -> float:
+        """Convert a duration in microseconds to (fractional) flit cycles."""
+        return us / self.flit_cycle_us
+
+    def rate_to_slots(self, rate_bps: float) -> int:
+        """Reserved flit-cycle slots per round for a given bit rate.
+
+        This is the integer magnitude SIABP seeds the priority register
+        with, and the quantity admission control sums per link.  Rates too
+        small for a whole slot round up to one slot (a connection cannot
+        reserve less than one flit per round).
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        exact = rate_bps / self.link_rate_bps * self.round_cycles
+        return max(1, round(exact))
+
+    def slots_to_rate(self, slots: int) -> float:
+        """Inverse of :meth:`rate_to_slots` (bits per second)."""
+        if slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        return slots / self.round_cycles * self.link_rate_bps
+
+    def rate_to_load(self, rate_bps: float) -> float:
+        """Fraction of one link's bandwidth consumed by a bit rate."""
+        return rate_bps / self.link_rate_bps
+
+    def with_overrides(self, **kwargs: Any) -> "RouterConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The paper's reconstructed baseline configuration.
+DEFAULT_CONFIG = RouterConfig()

@@ -1,0 +1,158 @@
+"""Connection descriptors and the per-router connection table.
+
+The MMR is connection-oriented for multimedia traffic: every CBR/VBR flow
+holds a dedicated virtual channel on each link of its path, with bandwidth
+reserved in flit-cycle slots per round at connection-setup time.
+Best-effort traffic needs no reservation (it travels under virtual
+cut-through) but still occupies a virtual channel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from .config import RouterConfig
+
+__all__ = ["TrafficClass", "Connection", "ConnectionTable"]
+
+
+class TrafficClass(enum.IntEnum):
+    """Service classes distinguished by the MMR."""
+
+    CBR = 0
+    VBR = 1
+    BEST_EFFORT = 2
+
+
+@dataclass(frozen=True)
+class Connection:
+    """One established connection through the router.
+
+    Attributes
+    ----------
+    conn_id:
+        Global identifier, unique across the simulation.
+    in_port / vc:
+        Input physical link and the virtual channel reserved on it.
+    out_port:
+        Output physical link the connection is routed to.
+    traffic_class:
+        CBR, VBR or best-effort.
+    avg_slots:
+        Reserved flit-cycle slots per round for the *average* (CBR:
+        constant) bandwidth.  This is the SIABP priority seed and the
+        quantity CBR admission sums.  Best-effort connections have
+        ``avg_slots == 1`` by convention (minimum seed, no reservation).
+    peak_slots:
+        Slots per round at the connection's *peak* rate (VBR only; equal
+        to ``avg_slots`` for CBR).  VBR admission sums this against
+        ``round * concurrency_factor``.
+    """
+
+    conn_id: int
+    in_port: int
+    vc: int
+    out_port: int
+    traffic_class: TrafficClass
+    avg_slots: int
+    peak_slots: int
+
+    def __post_init__(self) -> None:
+        if self.conn_id < 0:
+            raise ValueError("conn_id must be >= 0")
+        if self.avg_slots <= 0:
+            raise ValueError("avg_slots must be positive")
+        if self.peak_slots < self.avg_slots:
+            raise ValueError(
+                f"peak_slots ({self.peak_slots}) must be >= avg_slots "
+                f"({self.avg_slots})"
+            )
+
+    @property
+    def is_reserved(self) -> bool:
+        """True for classes that reserve bandwidth (CBR/VBR)."""
+        return self.traffic_class is not TrafficClass.BEST_EFFORT
+
+    def avg_rate_bps(self, config: RouterConfig) -> float:
+        """Average bit rate implied by the reservation."""
+        return config.slots_to_rate(self.avg_slots)
+
+    def peak_rate_bps(self, config: RouterConfig) -> float:
+        """Peak bit rate implied by the reservation."""
+        return config.slots_to_rate(self.peak_slots)
+
+
+class ConnectionTable:
+    """All connections established through one router.
+
+    Enforces the structural invariants the hardware enforces by
+    construction: one connection per (input port, VC) pair, ports and VCs
+    within range.
+    """
+
+    def __init__(self, config: RouterConfig) -> None:
+        self._config = config
+        self._by_id: dict[int, Connection] = {}
+        # (in_port, vc) -> Connection
+        self._by_vc: dict[tuple[int, int], Connection] = {}
+
+    def add(self, conn: Connection) -> None:
+        """Register a connection; raises on any structural conflict."""
+        cfg = self._config
+        if not (0 <= conn.in_port < cfg.num_ports):
+            raise ValueError(f"in_port {conn.in_port} out of range")
+        if not (0 <= conn.out_port < cfg.num_ports):
+            raise ValueError(f"out_port {conn.out_port} out of range")
+        if not (0 <= conn.vc < cfg.vcs_per_link):
+            raise ValueError(f"vc {conn.vc} out of range")
+        if conn.conn_id in self._by_id:
+            raise ValueError(f"duplicate conn_id {conn.conn_id}")
+        key = (conn.in_port, conn.vc)
+        if key in self._by_vc:
+            raise ValueError(
+                f"VC {conn.vc} on input port {conn.in_port} already taken "
+                f"by connection {self._by_vc[key].conn_id}"
+            )
+        self._by_id[conn.conn_id] = conn
+        self._by_vc[key] = conn
+
+    def remove(self, conn_id: int) -> Connection:
+        """Tear a connection down, freeing its VC."""
+        conn = self._by_id.pop(conn_id, None)
+        if conn is None:
+            raise KeyError(f"unknown connection {conn_id}")
+        del self._by_vc[(conn.in_port, conn.vc)]
+        return conn
+
+    def get(self, conn_id: int) -> Connection:
+        return self._by_id[conn_id]
+
+    def at_vc(self, in_port: int, vc: int) -> Connection | None:
+        """Connection holding (in_port, vc), if any."""
+        return self._by_vc.get((in_port, vc))
+
+    def free_vc(self, in_port: int) -> int | None:
+        """Lowest-numbered free VC on an input port, or ``None`` if full."""
+        for vc in range(self._config.vcs_per_link):
+            if (in_port, vc) not in self._by_vc:
+                return vc
+        return None
+
+    def on_input(self, in_port: int) -> list[Connection]:
+        """Connections entering through a given input port."""
+        return [c for c in self._by_id.values() if c.in_port == in_port]
+
+    def on_output(self, out_port: int) -> list[Connection]:
+        """Connections leaving through a given output port."""
+        return [c for c in self._by_id.values() if c.out_port == out_port]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Connection]:
+        return iter(self._by_id.values())
+
+    def __contains__(self, conn_id: int) -> bool:
+        return conn_id in self._by_id

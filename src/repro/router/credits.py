@@ -1,0 +1,103 @@
+"""Credit-based flow control between the NICs and the router.
+
+The MMR avoids flit loss with per-connection credit flow control: the NIC
+may only forward a flit to the router when the corresponding virtual
+channel has free buffer space, which the NIC learns through credits
+returned when flits leave the router through the crossbar.  Credits travel
+in a single phit, so their return latency is a small constant number of
+flit cycles (links are short in a cluster).
+
+:class:`CreditState` tracks the NIC-side credit counters for every
+(input port, VC) pair plus the in-flight credit returns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import RouterConfig
+
+__all__ = ["CreditState"]
+
+
+class CreditState:
+    """NIC-side credit counters with delayed credit return.
+
+    Invariant (checked by tests): for every (port, vc),
+    ``credits + in_flight_returns + router_occupancy == vc_buffer_depth``.
+    """
+
+    def __init__(self, config: RouterConfig) -> None:
+        n, v = config.num_ports, config.vcs_per_link
+        self._credits = np.full((n, v), config.vc_buffer_depth, dtype=np.int64)
+        self._delay = config.credit_return_delay
+        self._depth = config.vc_buffer_depth
+        # cycle -> list of (port, vc) credits that land on that cycle
+        self._pending: dict[int, list[tuple[int, int]]] = {}
+        self._in_flight = 0
+        # Per-port bitmask of VCs with credits > 0 (hot-path view: lets
+        # the NIC link controller test eligibility without numpy calls).
+        self._mask = [(1 << v) - 1 for _ in range(n)]
+
+    @property
+    def counters(self) -> np.ndarray:
+        """(ports, vcs) credit counters (read-only view)."""
+        view = self._credits.view()
+        view.flags.writeable = False
+        return view
+
+    def counters_for(self, port: int) -> np.ndarray:
+        """Writable-free view of one port's credit row (hot path)."""
+        return self._credits[port]
+
+    def available(self, port: int, vc: int) -> int:
+        return int(self._credits[port, vc])
+
+    @property
+    def in_flight(self) -> int:
+        """Credits currently travelling back to the NICs."""
+        return self._in_flight
+
+    def mask_for(self, port: int) -> int:
+        """Bitmask of this port's VCs holding at least one credit."""
+        return self._mask[port]
+
+    def consume(self, port: int, vc: int) -> None:
+        """NIC forwards a flit: spend one credit."""
+        remaining = self._credits[port, vc] - 1
+        if remaining < 0:
+            raise RuntimeError(
+                f"credit underflow at port {port} vc {vc}: the NIC link "
+                "controller must not forward without a credit"
+            )
+        self._credits[port, vc] = remaining
+        if remaining == 0:
+            self._mask[port] &= ~(1 << vc)
+
+    def schedule_return(self, port: int, vc: int, now: int) -> None:
+        """A flit left the router: send a credit back to the NIC."""
+        land = now + self._delay
+        self._pending.setdefault(land, []).append((port, vc))
+        self._in_flight += 1
+
+    def deliver(self, now: int) -> None:
+        """Land all credits whose return delay has elapsed.
+
+        Call once per cycle *before* the NIC link controllers run, so a
+        credit sent ``credit_return_delay`` cycles ago is usable this
+        cycle.
+        """
+        landed = self._pending.pop(now, None)
+        if not landed:
+            return
+        for port, vc in landed:
+            new = self._credits[port, vc] + 1
+            if new > self._depth:
+                raise RuntimeError(
+                    f"credit overflow at port {port} vc {vc}: more credits "
+                    "returned than buffer slots exist"
+                )
+            self._credits[port, vc] = new
+            if new == 1:
+                self._mask[port] |= 1 << vc
+        self._in_flight -= len(landed)

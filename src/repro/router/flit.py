@@ -1,0 +1,87 @@
+"""Flit and phit data types.
+
+The MMR's flow-control unit is the *flit*; physical transfer happens one
+*phit* (physical transfer unit, the link width) per link clock.  Flits are
+large (1024 bits) so that arbitration and crossbar reconfiguration can be
+hidden behind flit transmission; latency is recovered by pipelining flit
+transfer at the phit level.
+
+The cycle-accurate hot path of the simulator does not allocate ``Flit``
+objects (it keeps flit metadata in preallocated ring buffers, see
+:mod:`repro.router.vc_memory`); this module provides the object form used
+by the connection-setup machinery, the multi-router network extension, the
+examples, and the tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["FlitType", "Flit", "FRAME_NONE"]
+
+#: Frame id used for flits that do not belong to an application frame
+#: (CBR flits, best-effort packets, control flits).
+FRAME_NONE = -1
+
+
+class FlitType(enum.IntEnum):
+    """Kinds of flits that traverse the MMR.
+
+    ``PROBE``/``ACK`` implement pipelined circuit switching (PCS) used to
+    set up multimedia connections; ``HEAD``/``BODY``/``TAIL`` carry
+    best-effort packets under virtual cut-through; ``DATA`` carries the
+    payload of an established multimedia connection (a stream, so it has
+    no packet framing of its own — application frames are tracked by
+    ``frame_id``/``frame_last``).
+    """
+
+    DATA = 0
+    HEAD = 1
+    BODY = 2
+    TAIL = 3
+    PROBE = 4
+    ACK = 5
+
+
+@dataclass(slots=True)
+class Flit:
+    """One flow-control unit.
+
+    Attributes
+    ----------
+    conn_id:
+        Global id of the connection the flit belongs to.
+    ftype:
+        Flit kind (see :class:`FlitType`).
+    gen_cycle:
+        Flit cycle at which the source generated the flit (used for
+        latency-since-generation metrics, as in the paper).
+    frame_id:
+        Application frame (e.g. one MPEG-2 picture) this flit belongs to,
+        or :data:`FRAME_NONE`.
+    frame_last:
+        True if this is the last flit of its application frame.  Frame
+        delay in the paper is the delay of the last flit of the frame.
+    dest_port:
+        Output port requested at the current router (single-router runs),
+        or the final destination node id (network runs).
+    payload:
+        Free-form payload used by tests and the network extension.
+    """
+
+    conn_id: int
+    ftype: FlitType = FlitType.DATA
+    gen_cycle: int = 0
+    frame_id: int = FRAME_NONE
+    frame_last: bool = False
+    dest_port: int = 0
+    payload: object = None
+
+    def is_control(self) -> bool:
+        """True for PCS control flits (probe/ack)."""
+        return self.ftype in (FlitType.PROBE, FlitType.ACK)
+
+    def is_packet_boundary(self) -> bool:
+        """True for flits that begin or end a best-effort packet."""
+        return self.ftype in (FlitType.HEAD, FlitType.TAIL)

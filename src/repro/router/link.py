@@ -1,0 +1,139 @@
+"""Phit-level link transfer model.
+
+The MMR uses large flits (1024 bits) to amortize arbitration and crossbar
+reconfiguration, which would inflate latency if a flit had to be fully
+received before being forwarded.  The paper's answer (§2): "The use of
+large flits will increase flit latency.  However, this is avoided by
+pipelining flit transmission at the phit level" — a flit's phits start
+crossing the next stage as soon as the first phit (plus a fixed stage
+delay) has arrived, virtual-cut-through style.
+
+The main simulator abstracts all of this into the flit cycle (a matched
+flit crosses link + crossbar in one flit cycle); this module makes the
+abstraction *checkable*: it simulates a multi-stage phit pipeline exactly
+and provides the closed forms the paper's flit-cycle abstraction relies
+on.  The test suite verifies simulation == closed form, and that the
+pipelined latency stays within one flit cycle per hop while
+store-and-forward would pay the full serialization latency at every hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import RouterConfig
+
+__all__ = [
+    "PhitPipeline",
+    "pipelined_latency_phits",
+    "store_and_forward_latency_phits",
+]
+
+
+def pipelined_latency_phits(
+    phits_per_flit: int, hops: int, stage_delay: int = 1
+) -> int:
+    """Phit times for one flit to fully arrive after ``hops`` stages,
+    with phit-level cut-through (each stage adds ``stage_delay`` phit
+    times of latency before it starts re-transmitting)."""
+    if phits_per_flit <= 0 or hops <= 0 or stage_delay < 0:
+        raise ValueError("phits_per_flit and hops must be positive")
+    # The head phit reaches the destination after hops * (1 + stage_delay)
+    # ... minus the source's own stage (the source serializes directly).
+    head_arrival = hops + (hops - 1) * stage_delay
+    return head_arrival + (phits_per_flit - 1)
+
+
+def store_and_forward_latency_phits(phits_per_flit: int, hops: int) -> int:
+    """Phit times for one flit across ``hops`` stages when every stage
+    must receive the whole flit before forwarding it."""
+    if phits_per_flit <= 0 or hops <= 0:
+        raise ValueError("phits_per_flit and hops must be positive")
+    return hops * phits_per_flit
+
+
+@dataclass
+class _Stage:
+    """One pipeline stage: received phit count and retransmit progress."""
+
+    received: int = 0
+    sent: int = 0
+
+
+class PhitPipeline:
+    """Exact phit-by-phit simulation of a flit crossing a pipeline.
+
+    ``hops`` stages connect source to sink; each stage forwards one phit
+    per phit time and may forward phit ``k`` once it has received it and
+    ``stage_delay`` phit times have elapsed since (cut_through=True), or
+    once the whole flit has been received (cut_through=False).
+    """
+
+    def __init__(
+        self,
+        phits_per_flit: int,
+        hops: int,
+        cut_through: bool = True,
+        stage_delay: int = 1,
+    ) -> None:
+        if phits_per_flit <= 0 or hops <= 0:
+            raise ValueError("phits_per_flit and hops must be positive")
+        if stage_delay < 0:
+            raise ValueError("stage_delay must be >= 0")
+        self.phits_per_flit = phits_per_flit
+        self.hops = hops
+        self.cut_through = cut_through
+        self.stage_delay = stage_delay
+
+    @classmethod
+    def from_config(
+        cls, config: RouterConfig, hops: int, cut_through: bool = True
+    ) -> "PhitPipeline":
+        return cls(config.phits_per_flit, hops, cut_through)
+
+    def simulate(self) -> int:
+        """Phit times until the last phit reaches the sink.
+
+        Event-exact simulation: per phit time, every stage that is
+        eligible forwards one phit downstream (the source is stage 0's
+        upstream and always eligible).
+        """
+        p = self.phits_per_flit
+        # arrival_time[s][k] = phit time at which stage s has phit k.
+        # The source (stage index -1) has every phit at time k + 1 after
+        # serializing it onto the first link... we model links+stages
+        # uniformly: sending from stage s begins when eligible, one phit
+        # per time step.
+        inf = float("inf")
+        arrivals = [[inf] * p for _ in range(self.hops)]
+        # Stage 0 receives phit k straight off the source's serialization.
+        for k in range(p):
+            arrivals[0][k] = k + 1
+        for s in range(1, self.hops):
+            send_free = 0.0  # next phit time stage s-1's output is free
+            for k in range(p):
+                have = arrivals[s - 1][k]
+                if self.cut_through:
+                    ready = have + self.stage_delay
+                else:
+                    ready = arrivals[s - 1][p - 1] + self.stage_delay
+                start = max(ready, send_free)
+                arrivals[s][k] = start + 1
+                send_free = start + 1
+        return int(arrivals[-1][p - 1])
+
+    def closed_form(self) -> int:
+        """The latency the flit-cycle abstraction assumes."""
+        if self.cut_through:
+            return pipelined_latency_phits(
+                self.phits_per_flit, self.hops, self.stage_delay
+            )
+        # Store and forward with per-stage delay.
+        return (
+            store_and_forward_latency_phits(self.phits_per_flit, self.hops)
+            + (self.hops - 1) * self.stage_delay
+        )
+
+    def latency_flit_cycles(self, config: RouterConfig) -> float:
+        """Latency of the pipeline expressed in flit cycles."""
+        return self.simulate() / config.phits_per_flit

@@ -1,0 +1,113 @@
+"""Network Interface Card (NIC) model.
+
+One NIC sits on every input link of the router (paper Fig. 4).  Traffic
+sources deposit flits into per-connection NIC buffers, which are modelled
+as infinite (the host's main memory backs them).  A demand-driven
+round-robin link controller forwards, each flit cycle, at most one flit
+onto the physical link — choosing among the connections that have both a
+flit queued *and* a credit available.  The paper finds this simple policy
+sufficient because the router's own scheduler is what enforces QoS; the
+NIC merely adapts to the router's consumption through back-pressure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .config import RouterConfig
+
+__all__ = ["NIC"]
+
+
+class NIC:
+    """NIC attached to one router input port.
+
+    Flits are stored as ``(gen_cycle, frame_id, frame_last)`` tuples in
+    per-VC deques; a parallel numpy occupancy vector drives the link
+    controller's eligibility test without scanning the deques.
+    """
+
+    def __init__(self, config: RouterConfig, port: int) -> None:
+        self.config = config
+        self.port = port
+        v = config.vcs_per_link
+        self._queues: list[deque[tuple[int, int, bool]]] = [deque() for _ in range(v)]
+        self._qlen = np.zeros(v, dtype=np.int64)
+        # Bitmask of non-empty queues (hot-path eligibility test).
+        self._mask = 0
+        self._rr_ptr = 0
+        #: Total flits ever accepted from sources.
+        self.accepted = 0
+        #: Total flits ever forwarded to the router.
+        self.forwarded = 0
+
+    # ------------------------------------------------------------------
+    # Source side
+    # ------------------------------------------------------------------
+
+    def inject(
+        self, vc: int, gen_cycle: int, frame_id: int = -1, frame_last: bool = False
+    ) -> None:
+        """Deposit one flit into the NIC buffer of a connection's VC."""
+        self._queues[vc].append((gen_cycle, frame_id, frame_last))
+        self._qlen[vc] += 1
+        self._mask |= 1 << vc
+        self.accepted += 1
+
+    # ------------------------------------------------------------------
+    # Link side
+    # ------------------------------------------------------------------
+
+    def select(self, credit_mask: int) -> int:
+        """Demand-driven round-robin choice of the VC to forward.
+
+        ``credit_mask`` is this port's bitmask of VCs with a credit
+        available (see :meth:`repro.router.CreditState.mask_for`).
+        Returns the VC index, or ``-1`` when no connection has both a
+        flit and a credit.  Does not dequeue; callers follow up with
+        :meth:`pop`.
+        """
+        eligible = self._mask & credit_mask
+        if not eligible:
+            return -1
+        # First eligible VC at or after the round-robin pointer, else the
+        # lowest eligible VC (wrap-around).
+        ahead = eligible >> self._rr_ptr
+        if ahead:
+            return self._rr_ptr + ((ahead & -ahead).bit_length() - 1)
+        return (eligible & -eligible).bit_length() - 1
+
+    def pop(self, vc: int) -> tuple[int, int, bool]:
+        """Dequeue the head flit of ``vc`` and advance the RR pointer."""
+        remaining = self._qlen[vc] - 1
+        if remaining < 0:
+            raise IndexError(f"pop from empty NIC queue, port {self.port} vc {vc}")
+        flit = self._queues[vc].popleft()
+        self._qlen[vc] = remaining
+        if remaining == 0:
+            self._mask &= ~(1 << vc)
+        self._rr_ptr = (vc + 1) % self.config.vcs_per_link
+        self.forwarded += 1
+        return flit
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_lengths(self) -> np.ndarray:
+        """(vcs,) flit counts waiting in the NIC (read-only view)."""
+        view = self._qlen.view()
+        view.flags.writeable = False
+        return view
+
+    def backlog(self) -> int:
+        """Total flits waiting in this NIC."""
+        return int(self._qlen.sum())
+
+    def oldest_gen_cycle(self, vc: int) -> int | None:
+        """Generation cycle of the head flit of a VC, if any."""
+        q = self._queues[vc]
+        return q[0][0] if q else None

@@ -1,0 +1,87 @@
+"""Named configuration presets and config (de)serialization.
+
+Presets capture the router configurations the reproduction and its
+companion papers discuss, so experiments can name them instead of
+repeating field lists; serialization round-trips a
+:class:`~repro.router.config.RouterConfig` through a plain dict (JSON/
+TOML-friendly) for experiment manifests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from .config import RouterConfig
+
+__all__ = ["PRESETS", "preset", "config_to_dict", "config_from_dict"]
+
+
+#: Named configurations.
+PRESETS: dict[str, RouterConfig] = {
+    # The paper's reconstructed evaluation testbed (DESIGN.md §2).
+    "paper-4x4": RouterConfig(
+        num_ports=4,
+        vcs_per_link=64,
+        candidate_levels=4,
+        flit_size_bits=1024,
+        phit_size_bits=16,
+        link_rate_bps=1.24e9,
+        vc_buffer_depth=4,
+    ),
+    # Larger switch, same per-link parameters (companion papers discuss
+    # scaling the MMR design point up).
+    "mmr-8x8": RouterConfig(
+        num_ports=8,
+        vcs_per_link=64,
+        candidate_levels=4,
+        flit_size_bits=1024,
+        phit_size_bits=16,
+        link_rate_bps=1.24e9,
+        vc_buffer_depth=4,
+    ),
+    # Dense-VC variant: one VC per connection for very many connections.
+    "many-vcs": RouterConfig(
+        num_ports=4,
+        vcs_per_link=256,
+        candidate_levels=4,
+        vc_buffer_depth=2,
+    ),
+    # Tiny configuration for unit tests and fast CI experiments.
+    "tiny": RouterConfig(
+        num_ports=2,
+        vcs_per_link=4,
+        candidate_levels=2,
+        vc_buffer_depth=2,
+        flit_cycles_per_round=400,
+    ),
+}
+
+
+def preset(name: str, **overrides: Any) -> RouterConfig:
+    """Fetch a named preset, optionally overriding fields."""
+    try:
+        base = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; known: {', '.join(PRESETS)}"
+        ) from None
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def config_to_dict(config: RouterConfig) -> dict[str, Any]:
+    """Plain-dict form of a config (JSON/TOML friendly)."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: dict[str, Any]) -> RouterConfig:
+    """Rebuild a config from :func:`config_to_dict` output.
+
+    Unknown keys are rejected (catching schema drift early); missing
+    keys fall back to the dataclass defaults.
+    """
+    known = {f.name for f in dataclasses.fields(RouterConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown config fields: {sorted(unknown)}")
+    return RouterConfig(**data)

@@ -1,0 +1,180 @@
+"""The Multimedia Router: composition of all subsystems (paper Fig. 1).
+
+:class:`MMRouter` wires together the virtual channel memories, the
+credit-based flow control, the NICs on each input link, the admission /
+setup machinery, the link scheduler and a switch-scheduling arbiter, and
+exposes a single :meth:`step` implementing one flit cycle of the router
+pipeline:
+
+1. deliver credits whose return delay elapsed (single-phit control path);
+2. link scheduling — each input link ranks its occupied VCs by biased
+   priority and nominates ``candidate_levels`` candidates;
+3. switch scheduling — the arbiter computes a conflict-free matching;
+4. crossbar transfer — matched head flits forward synchronously, credits
+   are returned toward the NICs;
+5. link transfer — each NIC's link controller forwards at most one flit
+   (demand-driven round-robin over connections with flits and credits)
+   into the router's VC memory.
+
+Scheduling (2-3) runs on the buffer state at the start of the cycle,
+concurrently with the link transfer (5), mirroring the paper's "arbitration
+is made concurrently with flit transmission".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.link_scheduler import RESERVED_SCALE, LinkScheduler
+from ..core.matching import Arbiter, Candidate
+from ..core.priorities import PriorityScheme
+from ..core.registry import make_arbiter, make_scheme
+from .admission import AdmissionController
+from .config import RouterConfig
+from .connection import Connection, ConnectionTable, TrafficClass
+from .credits import CreditState
+from .crossbar import Crossbar, Departure
+from .nic import NIC
+from .routing import SetupResult, SetupUnit
+from .vc_memory import VCMemory
+
+__all__ = ["MMRouter"]
+
+
+class MMRouter:
+    """A single MMR with one NIC per input link (paper Fig. 4 testbed)."""
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        arbiter: Arbiter | str = "coa",
+        scheme: PriorityScheme | str = "siabp",
+    ) -> None:
+        self.config = config
+        self.table = ConnectionTable(config)
+        self.admission = AdmissionController(config)
+        self.setup_unit = SetupUnit(config, self.table, self.admission)
+        self.vc_memory = VCMemory(config)
+        self.crossbar = Crossbar(config)
+        self.credits = CreditState(config)
+        self.nics = [NIC(config, p) for p in range(config.num_ports)]
+        self.arbiter = (
+            make_arbiter(arbiter, config) if isinstance(arbiter, str) else arbiter
+        )
+        self.scheme = make_scheme(scheme, config) if isinstance(scheme, str) else scheme
+        self.link_scheduler = LinkScheduler(config, self.scheme)
+        n, v = config.num_ports, config.vcs_per_link
+        # Per-VC connection attributes, kept as arrays for the vectorized
+        # link scheduler.  slots == 0 / dest == -1 mark unassigned VCs.
+        self._slots = np.zeros((n, v), dtype=np.int64)
+        self._dest = np.full((n, v), -1, dtype=np.int64)
+        self._conn_of_vc = np.full((n, v), -1, dtype=np.int64)
+        # Priority tier: RESERVED_SCALE for CBR/VBR VCs, 1.0 for
+        # best-effort — reserved traffic strictly outranks best-effort
+        # at link scheduling (the MMR gives best-effort only leftover
+        # bandwidth).
+        self._tier = np.ones((n, v), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def establish(
+        self,
+        in_port: int,
+        out_port: int,
+        traffic_class: TrafficClass,
+        avg_slots: int,
+        peak_slots: int | None = None,
+    ) -> SetupResult:
+        """PCS setup: probe, admission test, VC + bandwidth reservation."""
+        result = self.setup_unit.request(
+            in_port, out_port, traffic_class, avg_slots, peak_slots
+        )
+        if result.accepted:
+            conn = result.connection
+            assert conn is not None
+            self._slots[conn.in_port, conn.vc] = conn.avg_slots
+            self._dest[conn.in_port, conn.vc] = conn.out_port
+            self._conn_of_vc[conn.in_port, conn.vc] = conn.conn_id
+            self._tier[conn.in_port, conn.vc] = (
+                RESERVED_SCALE if conn.is_reserved else 1.0
+            )
+        return result
+
+    def teardown(self, conn_id: int) -> Connection:
+        """Release a connection (its VC buffers must have drained)."""
+        conn = self.table.get(conn_id)
+        if self.vc_memory.occupancy_of(conn.in_port, conn.vc) != 0:
+            raise RuntimeError(
+                f"cannot tear down connection {conn_id}: flits still "
+                "buffered in its virtual channel"
+            )
+        self.setup_unit.teardown(conn_id)
+        self._slots[conn.in_port, conn.vc] = 0
+        self._dest[conn.in_port, conn.vc] = -1
+        self._conn_of_vc[conn.in_port, conn.vc] = -1
+        self._tier[conn.in_port, conn.vc] = 1.0
+        return conn
+
+    def connection_at(self, in_port: int, vc: int) -> int:
+        """conn_id occupying (port, vc), or -1."""
+        return int(self._conn_of_vc[in_port, vc])
+
+    # ------------------------------------------------------------------
+    # One flit cycle
+    # ------------------------------------------------------------------
+
+    def step(self, now: int, rng: np.random.Generator) -> list[Departure]:
+        """Advance the router by one flit cycle; return the departures."""
+        self.credits.deliver(now)
+
+        candidates = self._link_schedule(now)
+        grants = self.arbiter.match(candidates, rng)
+        departures = self.crossbar.transfer(grants, self.vc_memory, now)
+        for dep in departures:
+            self.credits.schedule_return(dep.in_port, dep.vc, now)
+
+        self._accept_from_nics(now)
+        return departures
+
+    def _link_schedule(self, now: int) -> list[list[Candidate]]:
+        heads = self.vc_memory.heads_all()
+        return self.link_scheduler.select_batch(
+            heads, self._slots, self._dest, now, self._tier
+        )
+
+    def _accept_from_nics(self, now: int) -> None:
+        for port, nic in enumerate(self.nics):
+            vc = nic.select(self.credits.mask_for(port))
+            if vc < 0:
+                continue
+            gen_cycle, frame_id, frame_last = nic.pop(vc)
+            self.credits.consume(port, vc)
+            self.vc_memory.push(port, vc, gen_cycle, frame_id, frame_last, now)
+
+    # ------------------------------------------------------------------
+    # Inspection / invariants
+    # ------------------------------------------------------------------
+
+    def buffered_flits(self) -> int:
+        """Flits inside the router (excludes NIC backlogs)."""
+        return self.vc_memory.total_flits()
+
+    def nic_backlog(self) -> int:
+        """Flits waiting in all NICs."""
+        return sum(nic.backlog() for nic in self.nics)
+
+    def check_flow_control_invariant(self) -> None:
+        """credits + in-flight credits + occupancy == depth, per VC."""
+        depth = self.config.vc_buffer_depth
+        total_slots = self.config.num_ports * self.config.vcs_per_link * depth
+        held = int(self.credits.counters.sum())
+        in_flight = self.credits.in_flight
+        occupied = self.vc_memory.total_flits()
+        if held + in_flight + occupied != total_slots:
+            raise AssertionError(
+                "flow-control invariant violated: "
+                f"credits({held}) + in_flight({in_flight}) + "
+                f"buffered({occupied}) != slots({total_slots})"
+            )

@@ -1,0 +1,107 @@
+"""Routing and arbitration unit: connection setup and teardown.
+
+Multimedia connections in the MMR are established with **Pipelined
+Circuit Switching** (PCS): the source emits a routing probe that walks
+the path reserving a virtual channel, link bandwidth and buffer space at
+every hop; an acknowledgment returns along the reserved path and data may
+then flow.  Best-effort messages skip reservation entirely and travel
+under **Virtual Cut-Through** (they still occupy a VC while present).
+
+For the single-router experiments the paper pre-establishes all
+connections ("all the connections are considered to be active throughout
+all the simulation time"); this unit is what does that pre-establishment,
+and the network extension reuses it per hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .admission import AdmissionController
+from .config import RouterConfig
+from .connection import Connection, ConnectionTable, TrafficClass
+
+__all__ = ["SetupResult", "SetupUnit"]
+
+
+@dataclass(frozen=True)
+class SetupResult:
+    """Outcome of a PCS setup attempt."""
+
+    accepted: bool
+    connection: Connection | None
+    reason: str
+    #: Cycles from probe emission to ACK receipt (reservation latency).
+    latency_cycles: int
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+class SetupUnit:
+    """Processes PCS probes against the router's admission state.
+
+    Probe/ACK traversal latency is modelled as a constant: the probe
+    crosses the router (one flit cycle of pipeline), the admission check
+    happens within the cycle, and the single-phit ACK returns in
+    ``credit_return_delay`` cycles — consistent with how the simulator
+    treats other single-phit control traffic.
+    """
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        table: ConnectionTable,
+        admission: AdmissionController,
+    ) -> None:
+        self.config = config
+        self.table = table
+        self.admission = admission
+        self._next_id = 0
+        #: Counters for inspection.
+        self.accepted = 0
+        self.rejected = 0
+
+    def _setup_latency(self) -> int:
+        return 1 + self.config.credit_return_delay
+
+    def request(
+        self,
+        in_port: int,
+        out_port: int,
+        traffic_class: TrafficClass,
+        avg_slots: int,
+        peak_slots: int | None = None,
+    ) -> SetupResult:
+        """Attempt to establish a connection (probe + admission + ack)."""
+        latency = self._setup_latency()
+        vc = self.table.free_vc(in_port)
+        if vc is None:
+            self.rejected += 1
+            return SetupResult(
+                False, None, f"no free virtual channel on input {in_port}", latency
+            )
+        conn = Connection(
+            conn_id=self._next_id,
+            in_port=in_port,
+            vc=vc,
+            out_port=out_port,
+            traffic_class=traffic_class,
+            avg_slots=avg_slots,
+            peak_slots=peak_slots if peak_slots is not None else avg_slots,
+        )
+        decision = self.admission.check(conn)
+        if not decision:
+            self.rejected += 1
+            return SetupResult(False, None, decision.reason, latency)
+        self.table.add(conn)
+        self.admission.commit(conn)
+        self._next_id += 1
+        self.accepted += 1
+        return SetupResult(True, conn, decision.reason, latency)
+
+    def teardown(self, conn_id: int) -> Connection:
+        """Release a connection's VC and bandwidth reservation."""
+        conn = self.table.remove(conn_id)
+        self.admission.release(conn)
+        return conn

@@ -1,0 +1,224 @@
+"""Virtual channel memory: per-VC flit FIFOs over interleaved RAM modules.
+
+The MMR supports one virtual channel per connection, so it needs a large
+number of small buffers.  To keep the implementation compact the buffers
+are not discrete FIFOs but views onto a handful of interleaved RAM modules
+(paper Fig. 2): a control-word decoder demultiplexes incoming phits, an
+address generator interleaves consecutive buffer slots across modules so
+that sequential accesses never collide on a module.
+
+Two layers live here:
+
+* :class:`InterleavedRam` — the address-generation model of Fig. 2.  It is
+  not on the hot path; it exists to verify (and let tests verify) that the
+  interleaving scheme is conflict-free for the access patterns the router
+  generates, and to feed the hardware-cost model.
+* :class:`VCMemory` — the functional, cycle-accurate buffer state used by
+  the simulator.  All flit metadata is held in preallocated numpy ring
+  buffers indexed ``[port, vc, slot]``; the hot path performs no Python
+  object allocation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import RouterConfig
+
+__all__ = ["InterleavedRam", "VCMemory", "HeadView"]
+
+
+class InterleavedRam:
+    """Address-generation model for the interleaved buffer RAM (Fig. 2).
+
+    Buffer slot ``s`` of virtual channel ``v`` maps to RAM module
+    ``(v + s) % num_modules`` at offset ``(v * depth + s) // num_modules``.
+    With ``num_modules`` dividing neither pattern pathologically, a FIFO
+    that is pushed and popped in order touches modules round-robin, so a
+    push and a pop in the same cycle hit the same module only when they
+    target the same slot parity — the classic simple interleaving scheme
+    the paper sketches.
+    """
+
+    def __init__(self, num_vcs: int, depth: int, num_modules: int = 4) -> None:
+        if num_modules <= 0:
+            raise ValueError("num_modules must be positive")
+        if num_vcs <= 0 or depth <= 0:
+            raise ValueError("num_vcs and depth must be positive")
+        self.num_vcs = num_vcs
+        self.depth = depth
+        self.num_modules = num_modules
+
+    def address(self, vc: int, slot: int) -> tuple[int, int]:
+        """Map (vc, slot) to (module, offset)."""
+        if not (0 <= vc < self.num_vcs):
+            raise ValueError(f"vc {vc} out of range")
+        if not (0 <= slot < self.depth):
+            raise ValueError(f"slot {slot} out of range")
+        linear = vc * self.depth + slot
+        return ((vc + slot) % self.num_modules, linear // self.num_modules)
+
+    def words_per_module(self) -> int:
+        """Capacity each module must provide, in flit-sized words."""
+        total = self.num_vcs * self.depth
+        return -(-total // self.num_modules)
+
+    def conflicts(self, accesses: list[tuple[int, int]]) -> int:
+        """Number of module conflicts among simultaneous accesses.
+
+        ``accesses`` is a list of (vc, slot) pairs touched in the same
+        cycle; the return value counts accesses beyond the first to each
+        module (0 means fully conflict-free).
+        """
+        seen: dict[int, int] = {}
+        for vc, slot in accesses:
+            module, _ = self.address(vc, slot)
+            seen[module] = seen.get(module, 0) + 1
+        return sum(n - 1 for n in seen.values())
+
+
+class HeadView:
+    """Read-only vectorized view of every VC's head flit on one port.
+
+    Exposed by :meth:`VCMemory.heads`; consumed by the link scheduler,
+    which needs, per VC: occupancy, head generation cycle and head arrival
+    cycle (for priority biasing).  Arrays are length ``vcs_per_link`` and
+    only valid where ``occupancy > 0``.
+    """
+
+    __slots__ = ("occupancy", "gen_cycle", "arrival_cycle")
+
+    def __init__(
+        self,
+        occupancy: np.ndarray,
+        gen_cycle: np.ndarray,
+        arrival_cycle: np.ndarray,
+    ) -> None:
+        self.occupancy = occupancy
+        self.gen_cycle = gen_cycle
+        self.arrival_cycle = arrival_cycle
+
+
+class VCMemory:
+    """Cycle-accurate virtual-channel buffer state for all input ports.
+
+    Ring buffers of depth ``config.vc_buffer_depth`` hold, per flit:
+    generation cycle, arrival cycle (when it entered this memory — the
+    queuing-delay clock for priority biasing), application frame id and a
+    last-flit-of-frame flag.
+    """
+
+    def __init__(self, config: RouterConfig) -> None:
+        n, v, b = config.num_ports, config.vcs_per_link, config.vc_buffer_depth
+        self._depth = b
+        shape = (n, v, b)
+        self._gen = np.zeros(shape, dtype=np.int64)
+        self._arr = np.zeros(shape, dtype=np.int64)
+        self._frame = np.full(shape, -1, dtype=np.int64)
+        self._last = np.zeros(shape, dtype=bool)
+        self._head = np.zeros((n, v), dtype=np.int64)
+        self._len = np.zeros((n, v), dtype=np.int64)
+        self.config = config
+        self.ram = InterleavedRam(v, b)
+
+    # ------------------------------------------------------------------
+    # Hot-path operations
+    # ------------------------------------------------------------------
+
+    def push(
+        self,
+        port: int,
+        vc: int,
+        gen_cycle: int,
+        frame_id: int,
+        frame_last: bool,
+        now: int,
+    ) -> None:
+        """Append a flit to (port, vc); raises if the buffer is full.
+
+        Credit-based flow control guarantees the caller never overflows a
+        buffer; a full buffer here therefore indicates a flow-control bug
+        and is an error, mirroring the MMR's loss-free design.
+        """
+        length = self._len[port, vc]
+        if length >= self._depth:
+            raise OverflowError(
+                f"VC buffer overflow at port {port} vc {vc}: flow control "
+                "must prevent pushes to a full buffer"
+            )
+        slot = (self._head[port, vc] + length) % self._depth
+        self._gen[port, vc, slot] = gen_cycle
+        self._arr[port, vc, slot] = now
+        self._frame[port, vc, slot] = frame_id
+        self._last[port, vc, slot] = frame_last
+        self._len[port, vc] = length + 1
+
+    def pop(self, port: int, vc: int) -> tuple[int, int, int, bool]:
+        """Remove and return the head flit of (port, vc).
+
+        Returns ``(gen_cycle, arrival_cycle, frame_id, frame_last)``.
+        """
+        length = self._len[port, vc]
+        if length == 0:
+            raise IndexError(f"pop from empty VC buffer port {port} vc {vc}")
+        slot = self._head[port, vc]
+        out = (
+            int(self._gen[port, vc, slot]),
+            int(self._arr[port, vc, slot]),
+            int(self._frame[port, vc, slot]),
+            bool(self._last[port, vc, slot]),
+        )
+        self._head[port, vc] = (slot + 1) % self._depth
+        self._len[port, vc] = length - 1
+        return out
+
+    def heads(self, port: int) -> HeadView:
+        """Vectorized head-flit view for one input port (see HeadView)."""
+        head = self._head[port]
+        idx = np.arange(head.shape[0])
+        return HeadView(
+            occupancy=self._len[port],
+            gen_cycle=self._gen[port, idx, head],
+            arrival_cycle=self._arr[port, idx, head],
+        )
+
+    def heads_all(self) -> HeadView:
+        """Head-flit view across all ports at once (hot path).
+
+        Arrays are shaped (ports, vcs).  Equivalent to stacking
+        :meth:`heads` over every port; the batched form lets the link
+        scheduler evaluate the whole router in a handful of vector ops.
+        """
+        n, v = self._len.shape
+        ports = np.arange(n)[:, None]
+        vcs = np.arange(v)[None, :]
+        return HeadView(
+            occupancy=self._len,
+            gen_cycle=self._gen[ports, vcs, self._head],
+            arrival_cycle=self._arr[ports, vcs, self._head],
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> np.ndarray:
+        """(ports, vcs) array of buffered flit counts (read-only view)."""
+        view = self._len.view()
+        view.flags.writeable = False
+        return view
+
+    def occupancy_of(self, port: int, vc: int) -> int:
+        return int(self._len[port, vc])
+
+    def free_space(self, port: int, vc: int) -> int:
+        return self._depth - int(self._len[port, vc])
+
+    def total_flits(self) -> int:
+        """Total flits currently buffered in the router."""
+        return int(self._len.sum())
+
+    def head_arrival(self, port: int, vc: int) -> int:
+        """Arrival cycle of the head flit (caller must check occupancy)."""
+        return int(self._arr[port, vc, self._head[port, vc]])

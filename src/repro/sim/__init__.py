@@ -1,0 +1,45 @@
+"""Simulation engine, metrics, and the per-figure experiment harness."""
+
+from .engine import RngStreams, RunControl
+from .experiments import (
+    CBR_LOADS,
+    VBR_LOADS,
+    CBRDelayResult,
+    ExperimentScale,
+    VBRResult,
+    cbr_delay_experiment,
+    default_config,
+    vbr_experiment,
+)
+from .metrics import GroupStats, MetricsCollector, StreamingStat
+from .replication import ReplicatedPoint, replicate, replicate_sweep
+from .tracing import EventKind, TraceEvent, Tracer
+from .simulation import SimResult, SingleRouterSim
+from .sweep import LoadSweep, SweepPoint, run_load_sweep
+
+__all__ = [
+    "RngStreams",
+    "RunControl",
+    "CBR_LOADS",
+    "VBR_LOADS",
+    "CBRDelayResult",
+    "ExperimentScale",
+    "VBRResult",
+    "cbr_delay_experiment",
+    "default_config",
+    "vbr_experiment",
+    "GroupStats",
+    "ReplicatedPoint",
+    "replicate",
+    "replicate_sweep",
+    "EventKind",
+    "TraceEvent",
+    "Tracer",
+    "MetricsCollector",
+    "StreamingStat",
+    "SimResult",
+    "SingleRouterSim",
+    "LoadSweep",
+    "SweepPoint",
+    "run_load_sweep",
+]

@@ -1,0 +1,86 @@
+"""Simulation kernel utilities: deterministic RNG streams and run control.
+
+Determinism policy (DESIGN.md §5): every random decision in a simulation
+draws from a named :class:`numpy.random.Generator` spawned from one seed.
+Streams are split by *role* so that, e.g., two runs differing only in the
+arbiter share identical workloads — the arbiter's tie-breaking stream is
+separate from the traffic streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RngStreams", "RunControl"]
+
+#: Stable role -> child index mapping.  Append-only: renumbering roles
+#: would silently change every seeded experiment.
+_ROLES = ("workload", "sources", "arbiter", "misc")
+
+
+class RngStreams:
+    """Named deterministic RNG streams derived from one seed."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        ss = np.random.SeedSequence(seed)
+        children = ss.spawn(len(_ROLES))
+        self._streams = {
+            role: np.random.default_rng(child)
+            for role, child in zip(_ROLES, children)
+        }
+
+    def __getitem__(self, role: str) -> np.random.Generator:
+        try:
+            return self._streams[role]
+        except KeyError:
+            raise KeyError(
+                f"unknown RNG role {role!r}; known: {', '.join(_ROLES)}"
+            ) from None
+
+    @property
+    def workload(self) -> np.random.Generator:
+        """Connection placement, class draws, destinations, phases."""
+        return self._streams["workload"]
+
+    @property
+    def sources(self) -> np.random.Generator:
+        """Traffic generation (trace sizes, Poisson arrivals)."""
+        return self._streams["sources"]
+
+    @property
+    def arbiter(self) -> np.random.Generator:
+        """Arbiter tie-breaking."""
+        return self._streams["arbiter"]
+
+    @property
+    def misc(self) -> np.random.Generator:
+        return self._streams["misc"]
+
+
+@dataclass(frozen=True)
+class RunControl:
+    """Length and warmup of one simulation run.
+
+    ``warmup_cycles`` sets the measurement cut: only flits *generated* at
+    or after the warmup point contribute to delay statistics, and the
+    crossbar utilization counters restart there.  The paper runs long
+    simulations (~6M router cycles); pure-Python runs are shorter and the
+    warmup removes the empty-router transient (see EXPERIMENTS.md for the
+    lengths used per experiment).
+    """
+
+    cycles: int
+    warmup_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError("cycles must be positive")
+        if not (0 <= self.warmup_cycles < self.cycles):
+            raise ValueError("warmup_cycles must be in [0, cycles)")
+
+    @property
+    def measured_cycles(self) -> int:
+        return self.cycles - self.warmup_cycles

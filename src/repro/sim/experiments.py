@@ -1,0 +1,220 @@
+"""One entry point per paper experiment (DESIGN.md §4 index).
+
+Each function reproduces the data behind one table or figure and returns
+plain structures the benches print and assert on.  Experiment-scale knobs
+(cycle counts, router size) default to CI-scale values that preserve the
+curves' shape; pass ``scale="paper"`` for longer runs closer to the
+paper's operating points (see EXPERIMENTS.md for the recorded settings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..router.config import RouterConfig
+from ..traffic.mixes import build_cbr_workload, build_vbr_workload
+from .engine import RunControl
+from .sweep import LoadSweep, run_load_sweep
+
+__all__ = [
+    "ExperimentScale",
+    "CBR_LOADS",
+    "VBR_LOADS",
+    "cbr_delay_experiment",
+    "vbr_experiment",
+    "default_config",
+]
+
+#: Offered-load grids (fractions of link bandwidth), as in the figures.
+CBR_LOADS: tuple[float, ...] = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9)
+VBR_LOADS: tuple[float, ...] = (0.3, 0.4, 0.5, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Run-length profile for the experiments."""
+
+    name: str
+    cbr_cycles: int
+    cbr_warmup: int
+    vbr_frame_time_cycles: int
+    vbr_num_gops: int
+    vbr_bandwidth_scale: float
+
+    @property
+    def vbr_cycles(self) -> int:
+        from ..traffic.mpeg import GOP_LENGTH
+
+        return self.vbr_frame_time_cycles * GOP_LENGTH * self.vbr_num_gops
+
+    @property
+    def vbr_warmup(self) -> int:
+        # One frame time of fill-up; frame accounting already excludes
+        # frames truncated by the horizon.
+        return self.vbr_frame_time_cycles
+
+
+_SCALES = {
+    # Tiny: seconds; for unit tests and interactive smoke runs.  Curves
+    # are noisy at this scale — use "ci" or "paper" for real numbers.
+    "tiny": ExperimentScale(
+        "tiny",
+        cbr_cycles=4_000,
+        cbr_warmup=800,
+        vbr_frame_time_cycles=400,
+        vbr_num_gops=1,
+        vbr_bandwidth_scale=8.0,
+    ),
+    # CI-scale: minutes for the full bench suite.
+    "ci": ExperimentScale(
+        "ci",
+        cbr_cycles=30_000,
+        cbr_warmup=5_000,
+        vbr_frame_time_cycles=1_500,
+        vbr_num_gops=2,
+        vbr_bandwidth_scale=8.0,
+    ),
+    # Paper-scale: longer runs, finer granularity (still far below the
+    # paper's 6M cycles; the curves are stable well before that).
+    "paper": ExperimentScale(
+        "paper",
+        cbr_cycles=120_000,
+        cbr_warmup=20_000,
+        vbr_frame_time_cycles=2_500,
+        vbr_num_gops=4,
+        vbr_bandwidth_scale=8.0,
+    ),
+}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return _SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; known: {', '.join(_SCALES)}"
+        ) from None
+
+
+def default_config(**overrides) -> RouterConfig:
+    """The experiments' router: 4x4, 64 VCs/link, 4 candidate levels."""
+    base = RouterConfig(num_ports=4, vcs_per_link=64, candidate_levels=4)
+    return base.with_overrides(**overrides) if overrides else base
+
+
+# ----------------------------------------------------------------------
+# F5 — CBR flit delay vs offered load, per bandwidth class
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CBRDelayResult:
+    """Data behind Fig. 5 (a: low, b: medium, c: high)."""
+
+    sweeps: dict[str, LoadSweep]
+    scale: ExperimentScale
+
+    def class_series(self, arbiter: str, label: str) -> list[tuple[float, float]]:
+        """(load %, mean flit delay µs) for one class and arbiter."""
+        return self.sweeps[arbiter].series(
+            lambda r: r.flit_delay_us.get(label, float("nan"))
+        )
+
+    def saturation_load(self, arbiter: str, threshold: float = 0.97) -> float:
+        """First load (%) where throughput stops tracking offered load."""
+        for point in self.sweeps[arbiter].points:
+            if point.result.normalized_throughput < threshold:
+                return point.offered_load * 100.0
+        return float("inf")
+
+
+def cbr_delay_experiment(
+    arbiters: Sequence[str] = ("coa", "wfa"),
+    loads: Sequence[float] = CBR_LOADS,
+    config: RouterConfig | None = None,
+    scheme: str = "siabp",
+    seed: int = 0,
+    scale: str | ExperimentScale = "ci",
+) -> CBRDelayResult:
+    """Reproduce Fig. 5: average flit delay since generation, CBR mix."""
+    sc = get_scale(scale)
+    cfg = config or default_config()
+    control = RunControl(cycles=sc.cbr_cycles, warmup_cycles=sc.cbr_warmup)
+
+    def builder(router, rng, load):
+        return build_cbr_workload(router, load, rng)
+
+    sweeps = {
+        arbiter: run_load_sweep(loads, builder, cfg, arbiter, control, scheme, seed)
+        for arbiter in arbiters
+    }
+    return CBRDelayResult(sweeps=sweeps, scale=sc)
+
+
+# ----------------------------------------------------------------------
+# F8 / F9 / J1 — VBR utilization, frame delay, jitter
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class VBRResult:
+    """Data behind Figs. 8-9 and the §5.2 jitter numbers."""
+
+    model: str  # "SR" or "BB"
+    sweeps: dict[str, LoadSweep]
+    scale: ExperimentScale
+
+    def utilization_series(self, arbiter: str) -> list[tuple[float, float]]:
+        """(generated load %, crossbar utilization %) — Fig. 8."""
+        return self.sweeps[arbiter].series(lambda r: r.utilization * 100.0)
+
+    def frame_delay_series(self, arbiter: str) -> list[tuple[float, float]]:
+        """(generated load %, mean frame delay µs) — Fig. 9 (log y)."""
+        return self.sweeps[arbiter].series(lambda r: r.overall_frame_delay_us)
+
+    def jitter_series(self, arbiter: str) -> list[tuple[float, float]]:
+        """(generated load %, mean adjacent-frame jitter µs) — §5.2."""
+        return self.sweeps[arbiter].series(lambda r: r.overall_jitter_us)
+
+    def saturation_load(self, arbiter: str, threshold: float = 0.95) -> float:
+        """First load (%) where utilization stops tracking generated load."""
+        for point in self.sweeps[arbiter].points:
+            r = point.result
+            if r.offered_load > 0 and r.utilization / r.offered_load < threshold:
+                return point.offered_load * 100.0
+        return float("inf")
+
+
+def vbr_experiment(
+    model: str = "SR",
+    arbiters: Sequence[str] = ("coa", "wfa"),
+    loads: Sequence[float] = VBR_LOADS,
+    config: RouterConfig | None = None,
+    scheme: str = "siabp",
+    seed: int = 0,
+    scale: str | ExperimentScale = "ci",
+) -> VBRResult:
+    """Reproduce Figs. 8-9: MPEG-2 VBR under the SR or BB model."""
+    sc = get_scale(scale)
+    cfg = config or default_config()
+    control = RunControl(cycles=sc.vbr_cycles, warmup_cycles=sc.vbr_warmup)
+
+    def builder(router, rng, load):
+        return build_vbr_workload(
+            router,
+            load,
+            rng,
+            model=model,
+            frame_time_cycles=sc.vbr_frame_time_cycles,
+            bandwidth_scale=sc.vbr_bandwidth_scale,
+            num_gops=sc.vbr_num_gops,
+        )
+
+    sweeps = {
+        arbiter: run_load_sweep(loads, builder, cfg, arbiter, control, scheme, seed)
+        for arbiter in arbiters
+    }
+    return VBRResult(model=model, sweeps=sweeps, scale=sc)

@@ -1,0 +1,163 @@
+"""Measurement: flit delay, frame delay, jitter, utilization, throughput.
+
+Metric definitions follow the paper exactly:
+
+* **Flit delay** — time from a flit's *generation* at the source to its
+  departure through the crossbar, i.e. NIC queueing + link + router
+  queueing + switch transfer (paper Fig. 5: "average flit latency
+  considering both the time the flit has been waiting in the network
+  interface and the time to go through the switch").
+* **Frame delay** — the delay since generation of the *last* flit of an
+  application frame, which makes the metric independent of the injection
+  model (paper §5.2).
+* **Jitter** — the variation in delay between *adjacent frames* of the
+  same connection: mean |frame_delay(k) - frame_delay(k-1)|.
+* **Crossbar utilization** — average fraction of crossbar ports busy per
+  cycle (paper Fig. 8), taken from the crossbar counters after warmup.
+
+All statistics are streaming (O(1) memory per group) plus a bounded
+reservoir for percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..router.config import RouterConfig
+from ..router.crossbar import Departure
+
+__all__ = ["StreamingStat", "GroupStats", "MetricsCollector"]
+
+
+class StreamingStat:
+    """Count / mean / max / min plus a reservoir for percentiles."""
+
+    __slots__ = ("n", "total", "max", "min", "_reservoir", "_cap", "_seen", "_rng")
+
+    def __init__(self, reservoir: int = 2048, seed: int = 0xC0A) -> None:
+        self.n = 0
+        self.total = 0.0
+        self.max = float("-inf")
+        self.min = float("inf")
+        self._cap = reservoir
+        self._reservoir: list[float] = []
+        self._seen = 0
+        self._rng = np.random.default_rng(seed)
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+        # Vitter's algorithm R keeps a uniform sample of the stream.
+        self._seen += 1
+        if len(self._reservoir) < self._cap:
+            self._reservoir.append(value)
+        else:
+            j = int(self._rng.integers(self._seen))
+            if j < self._cap:
+                self._reservoir[j] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else float("nan")
+
+    def percentile(self, q: float) -> float:
+        if not self._reservoir:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._reservoir), q))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<StreamingStat n={self.n} mean={self.mean:.3g} max={self.max:.3g}>"
+
+
+@dataclass
+class GroupStats:
+    """Per-label metric bundle."""
+
+    flit_delay: StreamingStat = field(default_factory=StreamingStat)
+    frame_delay: StreamingStat = field(default_factory=StreamingStat)
+    jitter: StreamingStat = field(default_factory=StreamingStat)
+    flits: int = 0
+    frames: int = 0
+
+
+class MetricsCollector:
+    """Consumes crossbar departures and accumulates the paper's metrics."""
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        labels_by_conn: dict[int, str],
+        conn_of_vc: dict[tuple[int, int], int],
+        measure_from: int = 0,
+    ) -> None:
+        self.config = config
+        self.measure_from = measure_from
+        self._labels = labels_by_conn
+        self._conn_of_vc = conn_of_vc
+        self.groups: dict[str, GroupStats] = {}
+        self.overall = GroupStats()
+        # conn_id -> previous frame delay (for jitter).
+        self._prev_frame_delay: dict[int, float] = {}
+        self.total_departures = 0
+        self.measured_departures = 0
+
+    def _group(self, label: str) -> GroupStats:
+        group = self.groups.get(label)
+        if group is None:
+            group = GroupStats()
+            self.groups[label] = group
+        return group
+
+    def record(self, departure: Departure, now: int) -> None:
+        """Account one flit leaving the router at cycle ``now``."""
+        self.total_departures += 1
+        if departure.gen_cycle < self.measure_from:
+            return
+        self.measured_departures += 1
+        conn_id = self._conn_of_vc[(departure.in_port, departure.vc)]
+        label = self._labels.get(conn_id, "unlabelled")
+        # +1: the flit occupies the crossbar for the cycle it traverses.
+        delay = now - departure.gen_cycle + 1
+        group = self._group(label)
+        group.flit_delay.add(delay)
+        group.flits += 1
+        self.overall.flit_delay.add(delay)
+        self.overall.flits += 1
+        if departure.frame_last and departure.frame_id >= 0:
+            group.frame_delay.add(delay)
+            group.frames += 1
+            self.overall.frame_delay.add(delay)
+            self.overall.frames += 1
+            prev = self._prev_frame_delay.get(conn_id)
+            if prev is not None:
+                jitter = abs(delay - prev)
+                group.jitter.add(jitter)
+                self.overall.jitter.add(jitter)
+            self._prev_frame_delay[conn_id] = delay
+
+    # ------------------------------------------------------------------
+    # Reporting (paper units: microseconds)
+    # ------------------------------------------------------------------
+
+    def mean_flit_delay_us(self, label: str | None = None) -> float:
+        stat = (self.groups[label] if label else self.overall).flit_delay
+        return self.config.cycles_to_us(stat.mean)
+
+    def mean_frame_delay_us(self, label: str | None = None) -> float:
+        stat = (self.groups[label] if label else self.overall).frame_delay
+        return self.config.cycles_to_us(stat.mean)
+
+    def mean_jitter_us(self, label: str | None = None) -> float:
+        stat = (self.groups[label] if label else self.overall).jitter
+        return self.config.cycles_to_us(stat.mean)
+
+    def throughput_flits_per_cycle(self, measured_cycles: int) -> float:
+        if measured_cycles <= 0:
+            raise ValueError("measured_cycles must be positive")
+        return self.measured_departures / measured_cycles

@@ -1,0 +1,105 @@
+"""Replicated runs: seed ensembles and confidence intervals.
+
+Single-seed sweeps (what the benches run at CI scale) are subject to
+workload randomness: each load point draws its own connection mix and
+destinations.  For publication-grade curves a point should be replicated
+over independent seeds and reported with a confidence interval.  This
+module provides that layer on top of :class:`SingleRouterSim` without
+touching the single-run API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..analysis.stats import MeanCI, mean_ci
+from ..router.config import RouterConfig
+from ..router.router import MMRouter
+from ..traffic.mixes import Workload
+from .engine import RunControl
+from .simulation import SimResult, SingleRouterSim
+
+__all__ = ["ReplicatedPoint", "replicate", "replicate_sweep"]
+
+#: Builds a workload onto a router: (router, workload_rng, target_load).
+WorkloadBuilder = Callable[[MMRouter, np.random.Generator, float], Workload]
+
+
+@dataclass(frozen=True)
+class ReplicatedPoint:
+    """Aggregate of one (arbiter, load) point over several seeds."""
+
+    target_load: float
+    results: tuple[SimResult, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.results)
+
+    @property
+    def offered_load(self) -> MeanCI:
+        return mean_ci([r.offered_load for r in self.results])
+
+    @property
+    def throughput(self) -> MeanCI:
+        return mean_ci([r.throughput for r in self.results])
+
+    @property
+    def utilization(self) -> MeanCI:
+        return mean_ci([r.utilization for r in self.results])
+
+    def metric(self, pick: Callable[[SimResult], float]) -> MeanCI:
+        """CI over an arbitrary per-run metric (NaN runs are dropped)."""
+        values = [pick(r) for r in self.results]
+        finite = [v for v in values if v == v]
+        if not finite:
+            return MeanCI(float("nan"), float("nan"), 0)
+        return mean_ci(finite)
+
+    def flit_delay_us(self, label: str = "overall") -> MeanCI:
+        return self.metric(lambda r: r.flit_delay_us.get(label, float("nan")))
+
+    def frame_delay_us(self) -> MeanCI:
+        return self.metric(lambda r: r.overall_frame_delay_us)
+
+    def jitter_us(self) -> MeanCI:
+        return self.metric(lambda r: r.overall_jitter_us)
+
+
+def replicate(
+    builder: WorkloadBuilder,
+    config: RouterConfig,
+    arbiter: str,
+    control: RunControl,
+    target_load: float,
+    seeds: Sequence[int],
+    scheme: str = "siabp",
+) -> ReplicatedPoint:
+    """Run one (arbiter, load) point over independent seeds."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = []
+    for seed in seeds:
+        sim = SingleRouterSim(config, arbiter=arbiter, scheme=scheme, seed=seed)
+        workload = builder(sim.router, sim.rng.workload, target_load)
+        results.append(sim.run(workload, control))
+    return ReplicatedPoint(target_load, tuple(results))
+
+
+def replicate_sweep(
+    loads: Sequence[float],
+    builder: WorkloadBuilder,
+    config: RouterConfig,
+    arbiter: str,
+    control: RunControl,
+    seeds: Sequence[int],
+    scheme: str = "siabp",
+) -> list[ReplicatedPoint]:
+    """Replicated load sweep: one :class:`ReplicatedPoint` per load."""
+    return [
+        replicate(builder, config, arbiter, control, load, seeds, scheme)
+        for load in loads
+    ]

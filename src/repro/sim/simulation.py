@@ -1,0 +1,189 @@
+"""End-to-end single-router simulation (the paper's Fig. 4 testbed).
+
+One :class:`SingleRouterSim` owns an :class:`~repro.router.MMRouter` (with
+its NICs), builds a workload onto it, and runs the cycle loop:
+
+    per flit cycle t:
+        1. deposit the flits each source generates at t into its NIC;
+        2. step the router (credits -> scheduling -> crossbar -> NIC link
+           transfer);
+        3. account each departure in the metrics collector.
+
+Results come back as a :class:`SimResult` holding the per-group metric
+summaries the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.matching import Arbiter
+from ..core.priorities import PriorityScheme
+from ..router.config import RouterConfig
+from ..router.router import MMRouter
+from ..traffic.mixes import Workload
+from .engine import RngStreams, RunControl
+from .metrics import MetricsCollector
+
+__all__ = ["SimResult", "SingleRouterSim"]
+
+
+@dataclass
+class SimResult:
+    """Summary of one run, in the figures' units."""
+
+    config: RouterConfig
+    arbiter: str
+    scheme: str
+    seed: int
+    cycles: int
+    warmup_cycles: int
+    #: Offered load averaged over input ports (flits/cycle = link fraction).
+    offered_load: float
+    #: Average crossbar utilization after warmup (Fig. 8 y-axis).
+    utilization: float
+    #: Accepted throughput after warmup, flits/cycle averaged over ports.
+    throughput: float
+    #: Mean flit delay since generation, microseconds, per group + overall.
+    flit_delay_us: dict[str, float]
+    #: 99th-percentile flit delay (reservoir estimate), microseconds.
+    flit_delay_p99_us: dict[str, float]
+    #: Mean frame delay since generation, microseconds (VBR groups).
+    frame_delay_us: dict[str, float]
+    #: Mean adjacent-frame jitter, microseconds.
+    jitter_us: dict[str, float]
+    #: Flits / frames measured per group.
+    flits: dict[str, int]
+    frames: dict[str, int]
+    #: Flits still queued in NICs + router when the run ended.
+    backlog: int
+    #: Number of established connections.
+    connections: int
+
+    def delay_of(self, label: str) -> float:
+        return self.flit_delay_us[label]
+
+    @property
+    def overall_flit_delay_us(self) -> float:
+        return self.flit_delay_us["overall"]
+
+    @property
+    def overall_frame_delay_us(self) -> float:
+        return self.frame_delay_us["overall"]
+
+    @property
+    def overall_jitter_us(self) -> float:
+        return self.jitter_us["overall"]
+
+    @property
+    def normalized_throughput(self) -> float:
+        """Throughput / offered load (1.0 = keeping up; <1 = saturated)."""
+        if self.offered_load == 0:
+            return float("nan")
+        return self.throughput / self.offered_load
+
+
+class SingleRouterSim:
+    """Builds and runs one router + NICs + workload instance."""
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        arbiter: Arbiter | str = "coa",
+        scheme: PriorityScheme | str = "siabp",
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.router = MMRouter(config, arbiter, scheme)
+        self.rng = RngStreams(seed)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def run(self, workload: Workload, control: RunControl) -> SimResult:
+        """Run the cycle loop and summarize.
+
+        The workload's connections must already be established on this
+        sim's router (the ``build_*_workload`` helpers do that).
+        """
+        router = self.router
+        config = self.config
+        feeds = workload.build_feeds(control.cycles, self.rng.sources)
+        labels = workload.labels_by_conn()
+        conn_of_vc = {
+            (item.conn.in_port, item.conn.vc): item.conn.conn_id
+            for item in workload.loads
+        }
+        metrics = MetricsCollector(
+            config, labels, conn_of_vc, measure_from=control.warmup_cycles
+        )
+        arb_rng = self.rng.arbiter
+        nics = router.nics
+        pointers = [0] * config.num_ports
+        counters_reset = control.warmup_cycles == 0
+        if counters_reset:
+            router.crossbar.reset_counters()
+
+        for now in range(control.cycles):
+            if not counters_reset and now == control.warmup_cycles:
+                router.crossbar.reset_counters()
+                counters_reset = True
+            # 1. Source injection into the NICs.
+            for port, feed in enumerate(feeds):
+                ptr = pointers[port]
+                cycles = feed.cycles
+                end = len(cycles)
+                nic = nics[port]
+                while ptr < end and cycles[ptr] <= now:
+                    nic.inject(
+                        int(feed.vcs[ptr]),
+                        int(cycles[ptr]),
+                        int(feed.frame_ids[ptr]),
+                        bool(feed.frame_last[ptr]),
+                    )
+                    ptr += 1
+                pointers[port] = ptr
+            # 2. Router pipeline.  3. Metrics.
+            for dep in router.step(now, arb_rng):
+                metrics.record(dep, now)
+
+        return self._summarize(workload, control, metrics)
+
+    # ------------------------------------------------------------------
+
+    def _summarize(
+        self, workload: Workload, control: RunControl, metrics: MetricsCollector
+    ) -> SimResult:
+        config = self.config
+        router = self.router
+
+        def per_group(pick) -> dict[str, float]:
+            out = {
+                label: pick(group) for label, group in sorted(metrics.groups.items())
+            }
+            out["overall"] = pick(metrics.overall)
+            return out
+
+        def us(stat_mean_cycles: float) -> float:
+            return config.cycles_to_us(stat_mean_cycles)
+
+        return SimResult(
+            config=config,
+            arbiter=router.arbiter.name,
+            scheme=router.scheme.name,
+            seed=self.seed,
+            cycles=control.cycles,
+            warmup_cycles=control.warmup_cycles,
+            offered_load=workload.mean_offered_load(),
+            utilization=router.crossbar.utilization,
+            throughput=metrics.measured_departures
+            / (control.measured_cycles * config.num_ports),
+            flit_delay_us=per_group(lambda g: us(g.flit_delay.mean)),
+            flit_delay_p99_us=per_group(lambda g: us(g.flit_delay.percentile(99))),
+            frame_delay_us=per_group(lambda g: us(g.frame_delay.mean)),
+            jitter_us=per_group(lambda g: us(g.jitter.mean)),
+            flits=per_group(lambda g: g.flits),
+            frames=per_group(lambda g: g.frames),
+            backlog=router.nic_backlog() + router.buffered_flits(),
+            connections=len(workload),
+        )

@@ -1,0 +1,73 @@
+"""Offered-load sweeps: the x-axis of every figure in the paper.
+
+A sweep runs one simulation per (arbiter, target load) point.  Fairness
+rule: all arbiters at the same load share the same seed, and because
+workload construction and arbiter tie-breaking draw from separate RNG
+streams (see :class:`repro.sim.engine.RngStreams`), they see *identical*
+connection layouts and injection schedules — the arbiter is the only
+difference, as in the paper's comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..router.config import RouterConfig
+from ..router.router import MMRouter
+from ..traffic.mixes import Workload
+from .engine import RunControl
+from .simulation import SimResult, SingleRouterSim
+
+__all__ = ["SweepPoint", "LoadSweep", "run_load_sweep"]
+
+#: Builds a workload onto a router: (router, workload_rng, target_load).
+WorkloadBuilder = Callable[[MMRouter, np.random.Generator, float], Workload]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (target load, result) pair of a sweep."""
+
+    target_load: float
+    result: SimResult
+
+    @property
+    def offered_load(self) -> float:
+        return self.result.offered_load
+
+
+@dataclass
+class LoadSweep:
+    """All points of one arbiter's sweep, ascending by load."""
+
+    arbiter: str
+    points: list[SweepPoint]
+
+    def series(self, pick: Callable[[SimResult], float]) -> list[tuple[float, float]]:
+        """(offered load %, metric) pairs, the shape the figures plot."""
+        return [(p.offered_load * 100.0, pick(p.result)) for p in self.points]
+
+    def loads_percent(self) -> list[float]:
+        return [p.offered_load * 100.0 for p in self.points]
+
+
+def run_load_sweep(
+    loads: Sequence[float],
+    builder: WorkloadBuilder,
+    config: RouterConfig,
+    arbiter: str,
+    control: RunControl,
+    scheme: str = "siabp",
+    seed: int = 0,
+) -> LoadSweep:
+    """Simulate one arbiter across the given target loads."""
+    points: list[SweepPoint] = []
+    for load in loads:
+        sim = SingleRouterSim(config, arbiter=arbiter, scheme=scheme, seed=seed)
+        workload = builder(sim.router, sim.rng.workload, load)
+        result = sim.run(workload, control)
+        points.append(SweepPoint(load, result))
+    return LoadSweep(arbiter, points)

@@ -1,0 +1,157 @@
+"""Structured event tracing for debugging and inspection.
+
+A :class:`Tracer` subscribes to a :class:`SingleRouterSim`-style cycle
+loop and records per-cycle events — injections, link transfers, matchings,
+departures — as plain tuples that tests and notebooks can filter.  Tracing
+is opt-in and bounded (a ring of the last ``capacity`` events) so it can
+stay enabled on long runs without exhausting memory.
+
+The tracer hooks the router by wrapping its ``step``; it does not change
+behaviour (verified by the equivalence test in the suite).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..router.router import MMRouter
+
+__all__ = ["EventKind", "TraceEvent", "Tracer"]
+
+
+class EventKind(enum.Enum):
+    """Kinds of traced events."""
+
+    MATCH = "match"
+    DEPARTURE = "departure"
+    NIC_FORWARD = "nic_forward"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``data`` holds the event-specific payload:
+
+    * MATCH: tuple of grants ``(in_port, vc, out_port)``;
+    * DEPARTURE: ``(in_port, vc, out_port, gen_cycle, frame_id)``;
+    * NIC_FORWARD: ``(port, vc)``.
+    """
+
+    cycle: int
+    kind: EventKind
+    data: tuple
+
+    def __str__(self) -> str:
+        return f"[{self.cycle:>8}] {self.kind.value}: {self.data}"
+
+
+class Tracer:
+    """Bounded event recorder attached to one router."""
+
+    def __init__(self, router: MMRouter, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.router = router
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._installed = False
+        self._orig_step: Callable | None = None
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+
+    def install(self) -> "Tracer":
+        """Wrap the router's ``step`` to record events; idempotent."""
+        if self._installed:
+            return self
+        original = self.router.step
+        nics = self.router.nics
+        forwarded_before = [nic.forwarded for nic in nics]
+
+        def traced_step(now: int, rng: np.random.Generator):
+            departures = original(now, rng)
+            if departures:
+                grants = tuple(
+                    (d.in_port, d.vc, d.out_port) for d in departures
+                )
+                self._record(TraceEvent(now, EventKind.MATCH, grants))
+                for d in departures:
+                    self._record(TraceEvent(
+                        now, EventKind.DEPARTURE,
+                        (d.in_port, d.vc, d.out_port, d.gen_cycle, d.frame_id),
+                    ))
+            for port, nic in enumerate(nics):
+                if nic.forwarded != forwarded_before[port]:
+                    forwarded_before[port] = nic.forwarded
+                    self._record(TraceEvent(
+                        now, EventKind.NIC_FORWARD,
+                        (port, (nic._rr_ptr - 1) % self.router.config.vcs_per_link),
+                    ))
+            return departures
+
+        self._orig_step = original
+        self.router.step = traced_step  # type: ignore[method-assign]
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the router's original ``step``."""
+        if self._installed and self._orig_step is not None:
+            self.router.step = self._orig_step  # type: ignore[method-assign]
+            self._installed = False
+
+    def __enter__(self) -> "Tracer":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------
+
+    def _record(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def filter(
+        self,
+        kind: EventKind | None = None,
+        cycle_range: tuple[int, int] | None = None,
+    ) -> list[TraceEvent]:
+        """Events matching a kind and/or half-open cycle range."""
+        out: Iterable[TraceEvent] = self._events
+        if kind is not None:
+            out = (e for e in out if e.kind is kind)
+        if cycle_range is not None:
+            lo, hi = cycle_range
+            out = (e for e in out if lo <= e.cycle < hi)
+        return list(out)
+
+    def departures_of(self, in_port: int, vc: int) -> list[TraceEvent]:
+        """Departure events of one (port, vc) — one connection's flits."""
+        return [
+            e for e in self._events
+            if e.kind is EventKind.DEPARTURE
+            and e.data[0] == in_port and e.data[1] == vc
+        ]
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable dump of the most recent events."""
+        tail = list(self._events)[-limit:]
+        lines = [str(e) for e in tail]
+        if self.dropped:
+            lines.insert(0, f"... ({self.dropped} earlier events dropped)")
+        return "\n".join(lines)

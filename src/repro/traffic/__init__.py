@@ -1,0 +1,52 @@
+"""Workload generators: CBR classes, MPEG-2 VBR, best-effort, mixes."""
+
+from .base import InjectionSchedule, TrafficSource
+from .besteffort import BestEffortSource
+from .cbr import CBR_CLASSES, CBRClass, CBRSource
+from .mpeg import (
+    FRAME_PERIOD_SECONDS,
+    GOP_LENGTH,
+    GOP_PATTERN,
+    FrameKind,
+    SEQUENCE_STATS,
+    SequenceStats,
+    generate_trace,
+    trace_bitrate_bps,
+    trace_statistics,
+)
+from .mixes import (
+    ConnectionLoad,
+    PortFeed,
+    Workload,
+    build_besteffort_workload,
+    build_cbr_workload,
+    build_vbr_workload,
+)
+from .vbr import VBRSource, default_frame_time_cycles, trace_to_flits
+
+__all__ = [
+    "InjectionSchedule",
+    "TrafficSource",
+    "BestEffortSource",
+    "CBR_CLASSES",
+    "CBRClass",
+    "CBRSource",
+    "FRAME_PERIOD_SECONDS",
+    "GOP_LENGTH",
+    "GOP_PATTERN",
+    "FrameKind",
+    "SEQUENCE_STATS",
+    "SequenceStats",
+    "generate_trace",
+    "trace_bitrate_bps",
+    "trace_statistics",
+    "ConnectionLoad",
+    "PortFeed",
+    "Workload",
+    "build_besteffort_workload",
+    "build_cbr_workload",
+    "build_vbr_workload",
+    "VBRSource",
+    "default_frame_time_cycles",
+    "trace_to_flits",
+]

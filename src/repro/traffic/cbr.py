@@ -1,0 +1,100 @@
+"""Constant-bit-rate traffic sources.
+
+The paper's CBR evaluation (its Fig. 5) uses a random mix of connections
+drawn from three bandwidth classes modelled on real services:
+
+* **low** — 64 Kbps (voice / ISDN channel),
+* **medium** — 1.54 Mbps (T1 / compressed video),
+* **high** — 55 Mbps (uncompressed / production video).
+
+A CBR source emits one flit every fixed inter-arrival time
+``IAT = flit_size / rate`` (in flit cycles, generally fractional; the
+schedule rounds each arrival down to its cycle, keeping the long-run rate
+exact).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..router.config import RouterConfig
+from .base import InjectionSchedule, TrafficSource
+
+__all__ = ["CBR_CLASSES", "CBRClass", "CBRSource"]
+
+
+@dataclass(frozen=True)
+class CBRClass:
+    """One of the paper's CBR bandwidth classes."""
+
+    name: str
+    rate_bps: float
+
+
+#: The paper's three classes, by name.
+CBR_CLASSES: dict[str, CBRClass] = {
+    "low": CBRClass("low", 64e3),
+    "medium": CBRClass("medium", 1.54e6),
+    "high": CBRClass("high", 55e6),
+}
+
+
+class CBRSource(TrafficSource):
+    """Deterministic constant-rate flit source with a random phase.
+
+    ``phase`` shifts the whole arrival train (connections in a mix start
+    at random offsets within one inter-arrival time, as independent
+    sources would).
+    """
+
+    name = "cbr"
+
+    def __init__(self, config: RouterConfig, rate_bps: float, phase: float = 0.0) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if rate_bps > config.link_rate_bps:
+            raise ValueError(
+                f"rate {rate_bps:g} bps exceeds link rate "
+                f"{config.link_rate_bps:g} bps"
+            )
+        if phase < 0:
+            raise ValueError("phase must be >= 0")
+        self.config = config
+        self.rate_bps = rate_bps
+        #: Inter-arrival time in flit cycles (possibly fractional).
+        self.iat_cycles = config.flit_size_bits / rate_bps / config.flit_cycle_seconds
+        self.phase = phase
+
+    @classmethod
+    def from_class(
+        cls,
+        config: RouterConfig,
+        cls_name: str,
+        rng: np.random.Generator | None = None,
+    ) -> "CBRSource":
+        """Build a source for a named class with a random phase."""
+        klass = CBR_CLASSES[cls_name]
+        iat = config.flit_size_bits / klass.rate_bps / config.flit_cycle_seconds
+        phase = float(rng.uniform(0.0, iat)) if rng is not None else 0.0
+        return cls(config, klass.rate_bps, phase)
+
+    def mean_load(self) -> float:
+        return self.rate_bps / self.config.link_rate_bps
+
+    def schedule(self, horizon: int, rng: np.random.Generator) -> InjectionSchedule:
+        if horizon <= 0:
+            return InjectionSchedule.empty()
+        count = max(0, math.ceil((horizon - self.phase) / self.iat_cycles))
+        # One extra arrival guards against float rounding at the edge.
+        k = np.arange(count + 1, dtype=np.float64)
+        cycles = np.floor(self.phase + k * self.iat_cycles).astype(np.int64)
+        cycles = cycles[cycles < horizon]
+        n = len(cycles)
+        return InjectionSchedule(
+            cycles=cycles,
+            frame_ids=np.full(n, -1, dtype=np.int64),
+            frame_last=np.zeros(n, dtype=bool),
+        )

@@ -1,0 +1,314 @@
+"""Workload construction: connection mixes bound to router ports.
+
+This module turns traffic sources into *workloads*: sets of established
+connections (each holding a VC and a bandwidth reservation on the router)
+paired with their injection sources, plus the bookkeeping the experiment
+harness needs (per-port offered load, per-class grouping for metrics).
+
+Builders mirror the paper's §5 setup:
+
+* :func:`build_cbr_workload` — a random mix of low / medium / high CBR
+  connections with uniformly random destinations, filled per input port
+  until a target offered load is reached (Fig. 5 workload).
+* :func:`build_vbr_workload` — MPEG-2 streams drawn randomly from the
+  seven Table-1 sequences, randomly aligned within a GOP time, under the
+  SR or BB injection model (Figs. 8-9 workload).  All BB connections
+  share one peak bandwidth sized by the largest frame in the workload.
+* :func:`build_besteffort_workload` — Poisson background traffic for the
+  extension benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..router.config import RouterConfig
+from ..router.connection import Connection, TrafficClass
+from ..router.router import MMRouter
+from .base import InjectionSchedule, TrafficSource
+from .besteffort import BestEffortSource
+from .cbr import CBR_CLASSES, CBRSource
+from .mpeg import GOP_LENGTH, SEQUENCE_STATS, generate_trace
+from .vbr import VBRSource, trace_to_flits
+
+__all__ = [
+    "ConnectionLoad",
+    "PortFeed",
+    "Workload",
+    "build_cbr_workload",
+    "build_vbr_workload",
+    "build_besteffort_workload",
+]
+
+
+@dataclass(frozen=True)
+class ConnectionLoad:
+    """One established connection and the source that drives it."""
+
+    conn: Connection
+    source: TrafficSource
+    #: Metrics group ("low"/"medium"/"high", sequence name, ...).
+    label: str
+
+
+@dataclass(frozen=True)
+class PortFeed:
+    """Merged, time-sorted injection stream for one input port."""
+
+    cycles: np.ndarray
+    vcs: np.ndarray
+    frame_ids: np.ndarray
+    frame_last: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+
+@dataclass
+class Workload:
+    """All connections of one experiment plus derived bookkeeping."""
+
+    config: RouterConfig
+    loads: list[ConnectionLoad] = field(default_factory=list)
+
+    def add(self, item: ConnectionLoad) -> None:
+        self.loads.append(item)
+
+    # ------------------------------------------------------------------
+
+    def offered_load(self, in_port: int) -> float:
+        """Mean offered load on one input port (flits/cycle)."""
+        return sum(
+            item.source.mean_load()
+            for item in self.loads
+            if item.conn.in_port == in_port
+        )
+
+    def mean_offered_load(self) -> float:
+        """Offered load averaged over input ports (the figures' x-axis)."""
+        ports = self.config.num_ports
+        return sum(self.offered_load(p) for p in range(ports)) / ports
+
+    def label_of(self, conn_id: int) -> str:
+        for item in self.loads:
+            if item.conn.conn_id == conn_id:
+                return item.label
+        raise KeyError(f"connection {conn_id} not in workload")
+
+    def labels_by_conn(self) -> dict[int, str]:
+        return {item.conn.conn_id: item.label for item in self.loads}
+
+    def connections(self) -> list[Connection]:
+        return [item.conn for item in self.loads]
+
+    def __len__(self) -> int:
+        return len(self.loads)
+
+    # ------------------------------------------------------------------
+
+    def build_feeds(self, horizon: int, rng: np.random.Generator) -> list[PortFeed]:
+        """Merge all sources into per-port, time-sorted injection arrays."""
+        ports = self.config.num_ports
+        parts: list[list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]] = [
+            [] for _ in range(ports)
+        ]
+        for item in self.loads:
+            sched: InjectionSchedule = item.source.schedule(horizon, rng)
+            if len(sched) == 0:
+                continue
+            vcs = np.full(len(sched), item.conn.vc, dtype=np.int64)
+            parts[item.conn.in_port].append(
+                (sched.cycles, vcs, sched.frame_ids, sched.frame_last)
+            )
+        feeds: list[PortFeed] = []
+        for port_parts in parts:
+            if not port_parts:
+                empty = np.zeros(0, dtype=np.int64)
+                feeds.append(PortFeed(empty, empty, empty, np.zeros(0, dtype=bool)))
+                continue
+            cycles = np.concatenate([p[0] for p in port_parts])
+            vcs = np.concatenate([p[1] for p in port_parts])
+            frame_ids = np.concatenate([p[2] for p in port_parts])
+            frame_last = np.concatenate([p[3] for p in port_parts])
+            order = np.argsort(cycles, kind="stable")
+            feeds.append(
+                PortFeed(cycles[order], vcs[order], frame_ids[order], frame_last[order])
+            )
+        return feeds
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+
+def _establish_random_dest(
+    router: MMRouter,
+    in_port: int,
+    rng: np.random.Generator,
+    traffic_class: TrafficClass,
+    avg_slots: int,
+    peak_slots: int | None = None,
+):
+    """Try random output ports until admission accepts; None if none fit."""
+    dests = rng.permutation(router.config.num_ports)
+    for dest in dests:
+        result = router.establish(
+            in_port, int(dest), traffic_class, avg_slots, peak_slots
+        )
+        if result.accepted:
+            return result.connection
+    return None
+
+
+#: Default draw probabilities of the CBR classes ("random mix").
+DEFAULT_CBR_MIX: dict[str, float] = {"low": 0.2, "medium": 0.4, "high": 0.4}
+
+
+def build_cbr_workload(
+    router: MMRouter,
+    target_load: float,
+    rng: np.random.Generator,
+    class_mix: dict[str, float] | None = None,
+    load_tolerance: float = 0.005,
+) -> Workload:
+    """Fill every input port with a random CBR mix up to ``target_load``.
+
+    Draws connection classes with the ``class_mix`` probabilities, skipping
+    classes whose rate no longer fits in the remaining deficit, so the
+    achieved offered load lands within roughly one low-class rate of the
+    target.  Connections that admission rejects on every output are
+    dropped (near 100 % load the random destinations stop fitting, as in
+    any measured admission-controlled system).
+    """
+    if not (0 < target_load <= 1.0):
+        raise ValueError("target_load must be in (0, 1]")
+    mix = dict(DEFAULT_CBR_MIX if class_mix is None else class_mix)
+    if not mix:
+        raise ValueError("class_mix must not be empty")
+    for name in mix:
+        if name not in CBR_CLASSES:
+            raise ValueError(f"unknown CBR class {name!r}")
+    config = router.config
+    workload = Workload(config)
+    class_loads = {
+        name: CBR_CLASSES[name].rate_bps / config.link_rate_bps for name in mix
+    }
+    for port in range(config.num_ports):
+        deficit = target_load
+        while deficit > load_tolerance:
+            viable = {n: w for n, w in mix.items() if class_loads[n] <= deficit}
+            if not viable:
+                break
+            names = list(viable)
+            weights = np.array([viable[n] for n in names], dtype=np.float64)
+            weights /= weights.sum()
+            name = names[int(rng.choice(len(names), p=weights))]
+            rate = CBR_CLASSES[name].rate_bps
+            avg_slots = config.rate_to_slots(rate)
+            conn = _establish_random_dest(
+                router, port, rng, TrafficClass.CBR, avg_slots
+            )
+            if conn is None:
+                break
+            source = CBRSource.from_class(config, name, rng)
+            workload.add(ConnectionLoad(conn, source, name))
+            deficit -= class_loads[name]
+    return workload
+
+
+def build_vbr_workload(
+    router: MMRouter,
+    target_load: float,
+    rng: np.random.Generator,
+    model: str = "SR",
+    frame_time_cycles: int = 2500,
+    bandwidth_scale: float = 8.0,
+    num_gops: int = 4,
+    sequences: list[str] | None = None,
+) -> Workload:
+    """Fill every input port with MPEG-2 streams up to ``target_load``.
+
+    Sequences are drawn uniformly from ``sequences`` (default: all seven
+    Table-1 sequences).  Each stream gets a fresh synthetic trace of
+    ``num_gops`` GOPs, a random alignment within one GOP time, and a
+    uniformly random admissible destination.  ``model`` selects SR or BB
+    injection; under BB every connection shares the workload-wide peak
+    bandwidth (largest frame / frame time), as the paper specifies.
+    """
+    if not (0 < target_load <= 1.0):
+        raise ValueError("target_load must be in (0, 1]")
+    config = router.config
+    names = list(SEQUENCE_STATS if sequences is None else sequences)
+    for name in names:
+        if name not in SEQUENCE_STATS:
+            raise ValueError(f"unknown MPEG sequence {name!r}")
+    # Pass 1: draw streams per port until the offered load target is met.
+    pending: list[tuple[int, str, np.ndarray]] = []  # (port, seq, flits)
+    for port in range(config.num_ports):
+        deficit = target_load
+        guard = 0
+        while guard < 10_000:
+            guard += 1
+            name = names[int(rng.integers(len(names)))]
+            trace_bits = generate_trace(SEQUENCE_STATS[name], num_gops, rng)
+            flits = trace_to_flits(trace_bits, config, frame_time_cycles, bandwidth_scale)
+            load = float(flits.mean()) / frame_time_cycles
+            if load > deficit:
+                break
+            pending.append((port, name, flits))
+            deficit -= load
+    # Pass 2: the BB peak is global (common to all connections).
+    peak_flits = max((int(f.max()) for _p, _n, f in pending), default=1)
+    workload = Workload(config)
+    for port, name, flits in pending:
+        mean_load = float(flits.mean()) / frame_time_cycles
+        peak_load = float(flits.max()) / frame_time_cycles
+        avg_slots = max(1, round(mean_load * config.round_cycles))
+        peak_slots = max(avg_slots, round(peak_load * config.round_cycles))
+        conn = _establish_random_dest(
+            router, port, rng, TrafficClass.VBR, avg_slots, peak_slots
+        )
+        if conn is None:
+            continue
+        # Random alignment within a GOP time (paper §5.2): rotate the
+        # frame sequence by a random frame count and offset the first
+        # boundary within one frame time, so every stream is active from
+        # cycle 0 but the GOP phases (I-frame instants) are spread out.
+        rot = int(rng.integers(GOP_LENGTH))
+        source = VBRSource(
+            np.roll(flits, -rot),
+            frame_time_cycles,
+            model=model,
+            peak_flits_per_frame=peak_flits if model == "BB" else None,
+            phase_cycles=int(rng.integers(frame_time_cycles)),
+        )
+        workload.add(ConnectionLoad(conn, source, name))
+    return workload
+
+
+def build_besteffort_workload(
+    router: MMRouter,
+    load_per_port: float,
+    rng: np.random.Generator,
+    mean_packet_flits: float = 8.0,
+    sources_per_port: int = 4,
+) -> Workload:
+    """Background best-effort traffic (extension benches)."""
+    if sources_per_port <= 0:
+        raise ValueError("sources_per_port must be positive")
+    config = router.config
+    workload = Workload(config)
+    per_source = load_per_port / sources_per_port
+    for port in range(config.num_ports):
+        for _ in range(sources_per_port):
+            conn = _establish_random_dest(
+                router, port, rng, TrafficClass.BEST_EFFORT, avg_slots=1
+            )
+            if conn is None:
+                continue
+            source = BestEffortSource(per_source, mean_packet_flits)
+            workload.add(ConnectionLoad(conn, source, "best-effort"))
+    return workload

@@ -1,0 +1,246 @@
+"""MPEG-2 video modelling: GOP structure, Table-1 statistics, traces.
+
+The paper's VBR workload is driven by real MPEG-2 video traces whose
+per-sequence frame-size statistics it reports in Table 1 (max / min /
+average image size in bits for seven sequences).  The traces themselves
+are not available, and the OCR of the paper lost Table 1's numerals; this
+module therefore
+
+* records **reconstructed** per-sequence statistics calibrated to
+  published MPEG-2 trace studies (30 fps sequences coding at roughly
+  3–10 Mbps: high-motion sequences such as Flower Garden and Mobile
+  Calendar at the top, head-and-shoulders material at the bottom), and
+* generates **synthetic traces** with the paper's GOP structure
+  (``IBBPBBPBBPBBPBB``) whose per-frame-type sizes follow clipped
+  lognormal distributions calibrated so the generated max/min/average
+  match the recorded statistics.
+
+The simulator consumes only per-frame flit counts at 33 ms boundaries, so
+matching the GOP periodicity (the I-frame bursts every 15 frames drive
+router saturation in the paper's §5.2) and the marginal size statistics
+reproduces the behaviour that matters.  See DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FrameKind",
+    "GOP_PATTERN",
+    "GOP_LENGTH",
+    "FRAME_PERIOD_SECONDS",
+    "SequenceStats",
+    "SEQUENCE_STATS",
+    "TYPE_SIZE_RATIOS",
+    "TYPE_SIGMAS",
+    "mean_type_sizes",
+    "generate_trace",
+    "trace_statistics",
+    "trace_bitrate_bps",
+    "save_trace_csv",
+    "load_trace_csv",
+]
+
+
+class FrameKind(enum.IntEnum):
+    """MPEG picture types."""
+
+    I = 0
+    P = 1
+    B = 2
+
+
+#: The paper's Group-Of-Pictures pattern: 15 frames, 1 I + 4 P + 10 B.
+GOP_PATTERN = "IBBPBBPBBPBBPBB"
+GOP_LENGTH = len(GOP_PATTERN)
+_GOP_KINDS = np.array([FrameKind[ch] for ch in GOP_PATTERN], dtype=np.int64)
+_COUNT_I = GOP_PATTERN.count("I")
+_COUNT_P = GOP_PATTERN.count("P")
+_COUNT_B = GOP_PATTERN.count("B")
+
+#: One frame every 33 milliseconds (NTSC ~30 fps), per the paper.
+FRAME_PERIOD_SECONDS = 33e-3
+
+
+@dataclass(frozen=True)
+class SequenceStats:
+    """Frame-size statistics of one video sequence (Table 1 schema)."""
+
+    name: str
+    max_bits: int
+    min_bits: int
+    avg_bits: int
+
+    def __post_init__(self) -> None:
+        if not (0 < self.min_bits <= self.avg_bits <= self.max_bits):
+            raise ValueError(
+                f"{self.name}: need 0 < min <= avg <= max, got "
+                f"{self.min_bits}/{self.avg_bits}/{self.max_bits}"
+            )
+
+    @property
+    def avg_rate_bps(self) -> float:
+        """Mean bit rate of the sequence at 30 fps."""
+        return self.avg_bits / FRAME_PERIOD_SECONDS
+
+
+#: Reconstructed Table 1.  The paper names these seven sequences; the
+#: OCR dropped the numbers, so the values below are calibrated to typical
+#: published MPEG-2 trace statistics (see module docstring).  High-motion
+#: sequences (Flower Garden, Mobile Calendar, Football) have the largest
+#: frames; the mean rates span roughly 3.5–10 Mbps.
+SEQUENCE_STATS: dict[str, SequenceStats] = {
+    "ayersroc": SequenceStats("ayersroc", 870_000, 18_000, 130_000),
+    "hook": SequenceStats("hook", 760_000, 14_000, 115_000),
+    "martin": SequenceStats("martin", 700_000, 12_000, 105_000),
+    "flower_garden": SequenceStats("flower_garden", 1_250_000, 45_000, 310_000),
+    "mobile_calendar": SequenceStats("mobile_calendar", 1_320_000, 50_000, 330_000),
+    "table_tennis": SequenceStats("table_tennis", 1_000_000, 28_000, 215_000),
+    "football": SequenceStats("football", 1_120_000, 35_000, 255_000),
+}
+
+#: Relative mean sizes of I : P : B pictures.  I frames are intra-coded
+#: (largest); B frames borrow from both neighbours (smallest).  5:2.2:1
+#: is a standard working ratio for MPEG-2 material.
+TYPE_SIZE_RATIOS: dict[FrameKind, float] = {
+    FrameKind.I: 5.0,
+    FrameKind.P: 2.2,
+    FrameKind.B: 1.0,
+}
+
+#: Lognormal sigma per type: motion makes P/B sizes more variable than I.
+TYPE_SIGMAS: dict[FrameKind, float] = {
+    FrameKind.I: 0.18,
+    FrameKind.P: 0.35,
+    FrameKind.B: 0.42,
+}
+
+
+def mean_type_sizes(stats: SequenceStats) -> dict[FrameKind, float]:
+    """Per-type mean frame sizes consistent with the sequence average.
+
+    Solves ``(nI*rI + nP*rP + nB*rB) * base = GOP_LENGTH * avg`` for the
+    base size, then scales by the type ratios.
+    """
+    weight = (
+        _COUNT_I * TYPE_SIZE_RATIOS[FrameKind.I]
+        + _COUNT_P * TYPE_SIZE_RATIOS[FrameKind.P]
+        + _COUNT_B * TYPE_SIZE_RATIOS[FrameKind.B]
+    )
+    base = GOP_LENGTH * stats.avg_bits / weight
+    return {kind: base * ratio for kind, ratio in TYPE_SIZE_RATIOS.items()}
+
+
+def generate_trace(
+    stats: SequenceStats,
+    num_gops: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Synthetic frame-size trace (bits per frame, display order).
+
+    Each frame's size is lognormal around its type mean, clipped into
+    ``[min_bits, max_bits]``, and the whole trace is rescaled so its mean
+    matches ``stats.avg_bits`` exactly (clipping would otherwise bias it).
+    """
+    if num_gops <= 0:
+        raise ValueError("num_gops must be positive")
+    means = mean_type_sizes(stats)
+    kinds = np.tile(_GOP_KINDS, num_gops)
+    mu = np.array([means[FrameKind(k)] for k in kinds])
+    sigma = np.array([TYPE_SIGMAS[FrameKind(k)] for k in kinds])
+    # Lognormal with the requested mean: E[exp(N(m, s^2))] = exp(m + s^2/2).
+    sizes = rng.lognormal(mean=np.log(mu) - sigma**2 / 2.0, sigma=sigma)
+    sizes = np.clip(sizes, stats.min_bits, stats.max_bits)
+    # Restore the exact sequence mean after clipping, then re-clip; one
+    # pass is enough for the calibration tests' tolerance.
+    sizes *= stats.avg_bits / sizes.mean()
+    sizes = np.clip(sizes, stats.min_bits, stats.max_bits)
+    return np.round(sizes).astype(np.int64)
+
+
+def frame_kinds(num_frames: int) -> np.ndarray:
+    """Picture type of each frame position (display order)."""
+    reps = -(-num_frames // GOP_LENGTH)
+    return np.tile(_GOP_KINDS, reps)[:num_frames]
+
+
+def trace_statistics(trace_bits: np.ndarray) -> SequenceStats:
+    """Measured max/min/avg of a trace, as a :class:`SequenceStats`."""
+    return SequenceStats(
+        "measured",
+        int(trace_bits.max()),
+        int(trace_bits.min()),
+        int(round(float(trace_bits.mean()))),
+    )
+
+
+def trace_bitrate_bps(trace_bits: np.ndarray) -> float:
+    """Mean bit rate of a trace at the 33 ms frame period."""
+    return float(trace_bits.mean()) / FRAME_PERIOD_SECONDS
+
+
+# ----------------------------------------------------------------------
+# Trace file I/O
+# ----------------------------------------------------------------------
+#
+# The paper drove its VBR workloads from real MPEG-2 trace files (frame
+# sizes per 33 ms slot).  Users who have such traces — e.g. the public
+# Rose/TU-Berlin trace archives use the same frames-per-line shape — can
+# load them here and feed :class:`repro.traffic.VBRSource` directly.
+
+_CSV_HEADER = "frame_index,frame_type,size_bits"
+
+
+def save_trace_csv(path, trace_bits: np.ndarray) -> None:
+    """Write a trace as CSV: ``frame_index,frame_type,size_bits``.
+
+    Frame types follow the display-order GOP pattern.
+    """
+    trace_bits = np.asarray(trace_bits)
+    if trace_bits.ndim != 1 or len(trace_bits) == 0:
+        raise ValueError("trace must be a non-empty 1-D array")
+    if (trace_bits <= 0).any():
+        raise ValueError("frame sizes must be positive")
+    kinds = frame_kinds(len(trace_bits))
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(_CSV_HEADER + "\n")
+        for i, (kind, bits) in enumerate(zip(kinds, trace_bits)):
+            fh.write(f"{i},{FrameKind(kind).name},{int(bits)}\n")
+
+
+def load_trace_csv(path) -> np.ndarray:
+    """Read a trace written by :func:`save_trace_csv` (bits per frame).
+
+    Validates the header, contiguous frame indices, and positive sizes;
+    the frame-type column is informational (sizes drive the simulator).
+    """
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline().strip()
+        if header != _CSV_HEADER:
+            raise ValueError(
+                f"bad trace header {header!r}; expected {_CSV_HEADER!r}"
+            )
+        sizes: list[int] = []
+        for lineno, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(",")
+            if len(parts) != 3:
+                raise ValueError(f"line {lineno + 2}: expected 3 columns")
+            index, _kind, bits = parts
+            if int(index) != len(sizes):
+                raise ValueError(
+                    f"line {lineno + 2}: frame index {index} out of order"
+                )
+            size = int(bits)
+            if size <= 0:
+                raise ValueError(f"line {lineno + 2}: non-positive size")
+            sizes.append(size)
+    if not sizes:
+        raise ValueError("trace file contains no frames")
+    return np.asarray(sizes, dtype=np.int64)

@@ -1,0 +1,189 @@
+"""VBR traffic sources: MPEG frames under the BB and SR injection models.
+
+A VBR connection must deliver one video frame (a burst of flits whose
+count varies frame to frame) every 33 ms.  The paper studies two ways the
+NIC-side source spreads a frame's flits over the frame time (its Fig. 7):
+
+* **Back-to-Back (BB)** — all of a frame's flits are injected at a fixed
+  *peak* rate common to all connections (chosen so the largest frame of
+  the whole workload fits in one frame time), starting at the frame
+  boundary; the source then idles until the next boundary.
+* **Smooth-Rate (SR)** — a frame's flits are spread evenly across the
+  whole frame time: the per-frame inter-arrival time is
+  ``frame_time / frame_flits``.
+
+Frame delay is measured on the last flit of each frame, which makes the
+metric independent of the injection model (paper §5.2).
+
+Scaling (DESIGN.md §2): a pure-Python simulator cannot afford the paper's
+~40 000 flit cycles per frame time x hundreds of streams, so
+:func:`trace_to_flits` maps a bits-per-frame trace onto a configurable
+``frame_time_cycles`` and a ``bandwidth_scale`` that fattens each stream
+(fewer, proportionally heavier connections).  Per-connection *fractional*
+link load and the I/P/B burst structure — the quantities the results
+depend on — are preserved exactly; only the granularity coarsens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..router.config import RouterConfig
+from .base import InjectionSchedule, TrafficSource
+from .mpeg import FRAME_PERIOD_SECONDS
+
+__all__ = ["InjectionModel", "trace_to_flits", "VBRSource", "default_frame_time_cycles"]
+
+#: Injection model names accepted by :class:`VBRSource`.
+InjectionModel = str
+_MODELS = ("SR", "BB")
+
+
+def default_frame_time_cycles(config: RouterConfig) -> int:
+    """Unscaled frame time: 33 ms in flit cycles (~40k at paper defaults)."""
+    return max(1, round(FRAME_PERIOD_SECONDS / config.flit_cycle_seconds))
+
+
+def trace_to_flits(
+    trace_bits: np.ndarray,
+    config: RouterConfig,
+    frame_time_cycles: int,
+    bandwidth_scale: float = 1.0,
+) -> np.ndarray:
+    """Convert a bits-per-frame trace into flits per frame, scaled.
+
+    The flit count is chosen so each frame's contribution to link load,
+    ``flits / frame_time_cycles``, equals ``bandwidth_scale`` times the
+    real stream's ``bits / (33 ms * link_rate)`` — i.e. shrinking
+    ``frame_time_cycles`` below the physical 40k does *not* inflate load.
+    """
+    if frame_time_cycles <= 0:
+        raise ValueError("frame_time_cycles must be positive")
+    if bandwidth_scale <= 0:
+        raise ValueError("bandwidth_scale must be positive")
+    real_frame_cycles = FRAME_PERIOD_SECONDS / config.flit_cycle_seconds
+    flits_real = trace_bits.astype(np.float64) / config.flit_size_bits
+    flits = flits_real * (frame_time_cycles / real_frame_cycles) * bandwidth_scale
+    out = np.maximum(1, np.round(flits)).astype(np.int64)
+    if (out > frame_time_cycles).any():
+        raise ValueError(
+            "a frame needs more flits than the frame time holds cycles; "
+            "lower bandwidth_scale or raise frame_time_cycles"
+        )
+    return out
+
+
+class VBRSource(TrafficSource):
+    """Frame-driven VBR source under the SR or BB injection model.
+
+    Parameters
+    ----------
+    frame_flits:
+        Flits per frame (one entry per frame; reused cyclically if the
+        horizon outlives the trace).
+    frame_time_cycles:
+        Flit cycles between frame boundaries.
+    model:
+        ``"SR"`` or ``"BB"``.
+    peak_flits_per_frame:
+        BB only: the common peak rate, expressed as the frame size that
+        exactly fills a frame time at that rate.  The builder passes the
+        largest frame of the *whole workload* so all BB connections share
+        one peak bandwidth, as in the paper.
+    phase_cycles:
+        Start offset of the first frame boundary.  The paper aligns
+        connections randomly within a GOP time.
+    """
+
+    name = "vbr"
+
+    def __init__(
+        self,
+        frame_flits: np.ndarray,
+        frame_time_cycles: int,
+        model: InjectionModel = "SR",
+        peak_flits_per_frame: int | None = None,
+        phase_cycles: int = 0,
+    ) -> None:
+        if model not in _MODELS:
+            raise ValueError(f"model must be one of {_MODELS}, got {model!r}")
+        frame_flits = np.asarray(frame_flits, dtype=np.int64)
+        if frame_flits.ndim != 1 or len(frame_flits) == 0:
+            raise ValueError("frame_flits must be a non-empty 1-D array")
+        if (frame_flits <= 0).any():
+            raise ValueError("every frame needs at least one flit")
+        if (frame_flits > frame_time_cycles).any():
+            raise ValueError("a frame cannot exceed frame_time_cycles flits")
+        if phase_cycles < 0:
+            raise ValueError("phase_cycles must be >= 0")
+        self.frame_flits = frame_flits
+        self.frame_time_cycles = int(frame_time_cycles)
+        self.model = model
+        if model == "BB":
+            peak = (
+                int(frame_flits.max())
+                if peak_flits_per_frame is None
+                else int(peak_flits_per_frame)
+            )
+            if peak < frame_flits.max():
+                raise ValueError(
+                    "peak_flits_per_frame smaller than the largest frame: "
+                    "the largest frame would overrun its frame time"
+                )
+            self.peak_flits_per_frame = peak
+        else:
+            self.peak_flits_per_frame = None
+        self.phase_cycles = int(phase_cycles)
+
+    # ------------------------------------------------------------------
+
+    def mean_load(self) -> float:
+        return float(self.frame_flits.mean()) / self.frame_time_cycles
+
+    def peak_load(self) -> float:
+        """Highest single-frame load (the VBR admission peak)."""
+        return float(self.frame_flits.max()) / self.frame_time_cycles
+
+    def schedule(self, horizon: int, rng: np.random.Generator) -> InjectionSchedule:
+        if horizon <= 0:
+            return InjectionSchedule.empty()
+        w = self.frame_time_cycles
+        num_frames = max(0, -(-(horizon - self.phase_cycles) // w))
+        cycles_parts: list[np.ndarray] = []
+        frame_ids_parts: list[np.ndarray] = []
+        last_parts: list[np.ndarray] = []
+        trace_len = len(self.frame_flits)
+        for k in range(num_frames):
+            t0 = self.phase_cycles + k * w
+            if t0 >= horizon:
+                break
+            size = int(self.frame_flits[k % trace_len])
+            if self.model == "BB":
+                # Fixed peak spacing from the frame boundary.
+                iat = w / self.peak_flits_per_frame
+            else:
+                # Evenly spread over the whole frame time.
+                iat = w / size
+            offs = np.floor(np.arange(size, dtype=np.float64) * iat).astype(np.int64)
+            times = t0 + offs
+            cycles_parts.append(times)
+            frame_ids_parts.append(np.full(size, k, dtype=np.int64))
+            last = np.zeros(size, dtype=bool)
+            last[-1] = True
+            last_parts.append(last)
+        if not cycles_parts:
+            return InjectionSchedule.empty()
+        cycles = np.concatenate(cycles_parts)
+        frame_ids = np.concatenate(frame_ids_parts)
+        frame_last = np.concatenate(last_parts)
+        # A frame truncated by the horizon loses its last-flit marker with
+        # the truncation itself, so its delivery is never measured —
+        # matching the paper's whole-frame accounting.
+        keep = cycles < horizon
+        if not keep.all():
+            cycles, frame_ids, frame_last = (
+                cycles[keep],
+                frame_ids[keep],
+                frame_last[keep],
+            )
+        return InjectionSchedule(cycles, frame_ids, frame_last)

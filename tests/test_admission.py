@@ -1,0 +1,149 @@
+"""Tests for repro.router.admission (the paper's CAC rules)."""
+
+import pytest
+
+from repro.router.admission import AdmissionController
+from repro.router.config import RouterConfig
+from repro.router.connection import Connection, ConnectionTable, TrafficClass
+
+
+def make_cfg(**kw) -> RouterConfig:
+    base = dict(num_ports=2, vcs_per_link=4, candidate_levels=1,
+                flit_cycles_per_round=100, concurrency_factor=2.0)
+    base.update(kw)
+    return RouterConfig(**base)
+
+
+def conn(conn_id, avg, peak=None, in_port=0, out_port=1, vc=0,
+         tclass=TrafficClass.CBR) -> Connection:
+    return Connection(conn_id, in_port, vc, out_port, tclass, avg,
+                      peak if peak is not None else avg)
+
+
+class TestCBRRule:
+    def test_accepts_up_to_round(self):
+        ac = AdmissionController(make_cfg())
+        d = ac.check(conn(0, avg=100))
+        assert d and "fits" in d.reason
+
+    def test_rejects_beyond_round_input(self):
+        ac = AdmissionController(make_cfg())
+        ac.commit(conn(0, avg=60))
+        decision = ac.check(conn(1, avg=50))
+        assert not decision
+        assert "input link" in decision.reason
+
+    def test_rejects_beyond_round_output(self):
+        ac = AdmissionController(make_cfg())
+        # Two different inputs converging on output 1.
+        ac.commit(conn(0, avg=60, in_port=0))
+        decision = ac.check(conn(1, avg=50, in_port=1))
+        assert not decision
+        assert "output link" in decision.reason
+
+    def test_exact_fit_accepted(self):
+        ac = AdmissionController(make_cfg())
+        ac.commit(conn(0, avg=60))
+        assert ac.check(conn(1, avg=40, in_port=1, out_port=0))
+
+
+class TestVBRRule:
+    def test_average_and_peak_both_checked(self):
+        ac = AdmissionController(make_cfg())  # round=100, concurrency=2
+        # avg fits, peak busts the concurrency budget (200).
+        ac.commit(conn(0, avg=50, peak=150, tclass=TrafficClass.VBR))
+        decision = ac.check(conn(1, avg=40, peak=100, tclass=TrafficClass.VBR))
+        assert not decision
+        assert "peak" in decision.reason
+
+    def test_concurrency_factor_allows_peak_overbooking(self):
+        ac = AdmissionController(make_cfg())
+        # Peaks sum to 180 > round 100, allowed by factor 2.
+        ac.commit(conn(0, avg=40, peak=90, tclass=TrafficClass.VBR))
+        assert ac.check(conn(1, avg=40, peak=90, tclass=TrafficClass.VBR))
+
+    def test_vbr_average_rule_still_applies(self):
+        ac = AdmissionController(make_cfg())
+        ac.commit(conn(0, avg=80, peak=80, tclass=TrafficClass.VBR))
+        decision = ac.check(conn(1, avg=30, peak=30, tclass=TrafficClass.VBR))
+        assert not decision
+        assert "average" in decision.reason
+
+
+class TestBestEffort:
+    def test_always_admitted(self):
+        ac = AdmissionController(make_cfg())
+        ac.commit(conn(0, avg=100))  # link fully reserved
+        assert ac.check(conn(1, avg=1, tclass=TrafficClass.BEST_EFFORT))
+
+    def test_reserves_nothing(self):
+        ac = AdmissionController(make_cfg())
+        ac.commit(conn(0, avg=1, tclass=TrafficClass.BEST_EFFORT))
+        assert ac.reserved_avg_load(0) == 0.0
+
+
+class TestAccounting:
+    def test_release_restores_budget(self):
+        ac = AdmissionController(make_cfg())
+        c = conn(0, avg=100)
+        ac.commit(c)
+        assert not ac.check(conn(1, avg=1))
+        ac.release(c)
+        assert ac.check(conn(1, avg=100))
+
+    def test_release_vbr_restores_peak(self):
+        ac = AdmissionController(make_cfg())
+        c = conn(0, avg=50, peak=200, tclass=TrafficClass.VBR)
+        ac.commit(c)
+        ac.release(c)
+        assert ac.check(conn(1, avg=50, peak=200, tclass=TrafficClass.VBR))
+
+    def test_double_release_detected(self):
+        ac = AdmissionController(make_cfg())
+        c = conn(0, avg=50)
+        ac.commit(c)
+        ac.release(c)
+        with pytest.raises(RuntimeError):
+            ac.release(c)
+
+    def test_reserved_load_fractions(self):
+        ac = AdmissionController(make_cfg())
+        ac.commit(conn(0, avg=25))
+        assert ac.reserved_avg_load(0) == pytest.approx(0.25)
+        assert ac.reserved_avg_load_out(1) == pytest.approx(0.25)
+
+    def test_headroom(self):
+        ac = AdmissionController(make_cfg())
+        ac.commit(conn(0, avg=30, in_port=0, out_port=1))
+        ac.commit(conn(1, avg=50, in_port=1, out_port=1, vc=1))
+        assert ac.headroom(0, 1) == 20  # output is the bottleneck
+        assert ac.headroom(1, 0) == 50
+
+
+class TestAdmitAtomicity:
+    def test_admit_registers_and_commits(self):
+        cfg = make_cfg()
+        ac = AdmissionController(cfg)
+        table = ConnectionTable(cfg)
+        assert ac.admit(conn(0, avg=60), table)
+        assert 0 in table
+        assert ac.reserved_avg_load(0) == pytest.approx(0.6)
+
+    def test_admit_rejection_leaves_no_state(self):
+        cfg = make_cfg()
+        ac = AdmissionController(cfg)
+        table = ConnectionTable(cfg)
+        ac.admit(conn(0, avg=80), table)
+        decision = ac.admit(conn(1, avg=30, vc=1), table)
+        assert not decision
+        assert 1 not in table
+        assert ac.reserved_avg_load(0) == pytest.approx(0.8)
+
+    def test_admit_vc_conflict_raises_before_commit(self):
+        cfg = make_cfg()
+        ac = AdmissionController(cfg)
+        table = ConnectionTable(cfg)
+        ac.admit(conn(0, avg=10, vc=2), table)
+        with pytest.raises(ValueError):
+            ac.admit(conn(1, avg=10, vc=2), table)
+        assert ac.reserved_avg_load(0) == pytest.approx(0.1)

@@ -1,0 +1,100 @@
+"""Hypothesis property tests for admission control.
+
+Invariant: under any sequence of admissions and releases, (a) committed
+average reservations never exceed the round on any link, (b) committed
+VBR peaks never exceed round x concurrency, and (c) releasing everything
+returns the controller to a pristine state.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.router.admission import AdmissionController
+from repro.router.config import RouterConfig
+from repro.router.connection import Connection, TrafficClass
+
+CONFIG = RouterConfig(
+    num_ports=3,
+    vcs_per_link=64,
+    candidate_levels=1,
+    flit_cycles_per_round=64 * 4,
+    concurrency_factor=3.0,
+)
+ROUND = CONFIG.round_cycles
+
+
+@st.composite
+def requests(draw):
+    tclass = draw(st.sampled_from(list(TrafficClass)))
+    avg = draw(st.integers(1, ROUND))
+    if tclass is TrafficClass.VBR:
+        peak = draw(st.integers(avg, int(ROUND * CONFIG.concurrency_factor)))
+    else:
+        peak = avg
+    return (
+        tclass,
+        avg,
+        peak,
+        draw(st.integers(0, CONFIG.num_ports - 1)),
+        draw(st.integers(0, CONFIG.num_ports - 1)),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=st.lists(requests(), min_size=1, max_size=60),
+       release_mask=st.lists(st.booleans(), min_size=60, max_size=60))
+def test_admission_never_overcommits(ops, release_mask):
+    ac = AdmissionController(CONFIG)
+    committed: list[Connection] = []
+    next_id = 0
+    for i, (tclass, avg, peak, in_port, out_port) in enumerate(ops):
+        conn = Connection(next_id, in_port, 0, out_port, tclass, avg, peak)
+        decision = ac.check(conn)
+        if decision:
+            ac.commit(conn)
+            committed.append(conn)
+            next_id += 1
+        # Occasionally release an old reservation.
+        if committed and release_mask[i % len(release_mask)]:
+            ac.release(committed.pop(0))
+
+        # Invariants over the *currently committed* set, per link.
+        for port in range(CONFIG.num_ports):
+            avg_in = sum(c.avg_slots for c in committed
+                         if c.in_port == port and c.is_reserved)
+            avg_out = sum(c.avg_slots for c in committed
+                          if c.out_port == port and c.is_reserved)
+            assert avg_in <= ROUND
+            assert avg_out <= ROUND
+            peak_in = sum(c.peak_slots for c in committed
+                          if c.in_port == port
+                          and c.traffic_class is TrafficClass.VBR)
+            assert peak_in <= ROUND * CONFIG.concurrency_factor
+            # Controller's own accounting agrees with the ground truth.
+            assert ac.reserved_avg_load(port) * ROUND == avg_in
+
+    # Release everything: pristine state, a full-round request fits again.
+    for conn in committed:
+        ac.release(conn)
+    probe = Connection(99_999, 0, 1, 1, TrafficClass.CBR, ROUND, ROUND)
+    assert ac.check(probe)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_check_never_mutates(seed):
+    """check() must be side-effect free regardless of outcome."""
+    rng = np.random.default_rng(seed)
+    ac = AdmissionController(CONFIG)
+    baseline = Connection(0, 0, 0, 1, TrafficClass.CBR, ROUND // 2, ROUND // 2)
+    ac.commit(baseline)
+    before = [ac.reserved_avg_load(p) for p in range(CONFIG.num_ports)]
+    for i in range(10):
+        conn = Connection(
+            i + 1, int(rng.integers(3)), 0, int(rng.integers(3)),
+            TrafficClass.VBR, int(rng.integers(1, ROUND + 1)),
+            int(rng.integers(ROUND, 3 * ROUND + 1)),
+        )
+        ac.check(conn)
+    after = [ac.reserved_avg_load(p) for p in range(CONFIG.num_ports)]
+    assert before == after

@@ -1,0 +1,107 @@
+"""Tests for repro.analysis (stats, saturation detection, rendering)."""
+
+import math
+
+import pytest
+
+from repro.analysis.saturation import knee_by_deficit, knee_by_delay, saturation_gap
+from repro.analysis.stats import geometric_mean, mean_ci, relative_gap
+from repro.analysis.tables import render_series, render_table, sparkline
+
+
+class TestStats:
+    def test_mean_ci_contains_truth_roughly(self):
+        ci = mean_ci([10.0, 12.0, 11.0, 9.0, 13.0])
+        assert ci.low < 11.0 < ci.high
+        assert ci.n == 5
+        assert "±" in str(ci)
+
+    def test_single_sample_infinite_interval(self):
+        ci = mean_ci([4.0])
+        assert ci.mean == 4.0
+        assert ci.half_width == float("inf")
+
+    def test_mean_ci_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_relative_gap(self):
+        assert relative_gap(11.0, 10.0) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_gap(1.0, 0.0)
+
+
+class TestSaturation:
+    DELAY = [(10, 2.0), (30, 2.2), (50, 2.5), (70, 3.5), (80, 40.0), (90, 900.0)]
+
+    def test_knee_by_delay_finds_blowup(self):
+        assert knee_by_delay(self.DELAY, blowup=10.0) == 80
+
+    def test_knee_by_delay_never(self):
+        flat = [(10, 2.0), (50, 2.1), (90, 2.3)]
+        assert knee_by_delay(flat) == float("inf")
+
+    def test_knee_by_delay_validation(self):
+        with pytest.raises(ValueError):
+            knee_by_delay([])
+        with pytest.raises(ValueError):
+            knee_by_delay(self.DELAY, blowup=1.0)
+        with pytest.raises(ValueError):
+            knee_by_delay([(50, 1.0), (10, 1.0)])
+
+    def test_knee_by_deficit(self):
+        series = [(0.3, 0.30), (0.6, 0.60), (0.8, 0.78), (0.9, 0.80)]
+        assert knee_by_deficit(series, tolerance=0.05) == 0.9
+        assert knee_by_deficit(series, tolerance=0.2) == float("inf")
+        with pytest.raises(ValueError):
+            knee_by_deficit(series, tolerance=0.0)
+
+    def test_saturation_gap(self):
+        assert saturation_gap(85.0, 70.0) == pytest.approx(15.0)
+        assert saturation_gap(float("inf"), 70.0) == float("inf")
+        assert saturation_gap(70.0, float("inf")) == float("-inf")
+        assert saturation_gap(float("inf"), float("inf")) == 0.0
+
+
+class TestRendering:
+    def test_render_table_aligns_and_formats(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1.23456], ["b", float("nan")], ["c", float("inf")]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "1.235" in text
+        assert lines[4].endswith("-")  # NaN cell renders as a dash
+        assert "inf" in text
+
+    def test_render_series(self):
+        text = render_series(
+            "load%",
+            {"coa": [(50, 1.0), (80, 2.0)], "wfa": [(50, 1.5), (80, 9.0)]},
+        )
+        assert "coa" in text and "wfa" in text
+        assert text.count("\n") == 3
+
+    def test_render_series_mismatched_grid_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", {"a": [(1, 1.0)], "b": [(2, 1.0)]})
+        with pytest.raises(ValueError):
+            render_series("x", {})
+
+    def test_sparkline(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert len(line) == 5
+        assert line[0] != line[-1]
+        assert sparkline([]) == ""
+        assert sparkline([2, 2, 2]) == "▁▁▁"
+        log_line = sparkline([1, 10, 100, 1000], log=True)
+        assert len(log_line) == 4

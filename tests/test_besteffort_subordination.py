@@ -1,0 +1,97 @@
+"""Best-effort subordination: reserved traffic strictly outranks it.
+
+The MMR "should satisfy the QoS requirements of a large number of
+multimedia connections while allocating the remaining bandwidth to
+best-effort traffic" (paper §1).  These tests pin the mechanism — the
+link scheduler's reserved tier — and the end-to-end behaviour: adding
+best-effort background load leaves reserved-class delays essentially
+untouched while best-effort soaks up the leftover bandwidth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.link_scheduler import RESERVED_SCALE
+from repro.router import MMRouter, RouterConfig, TrafficClass
+from repro.sim.engine import RunControl
+from repro.sim.simulation import SingleRouterSim
+from repro.traffic.mixes import build_besteffort_workload, build_cbr_workload
+
+
+def make_router(**kw) -> MMRouter:
+    base = dict(num_ports=2, vcs_per_link=4, vc_buffer_depth=2,
+                candidate_levels=2, flit_cycles_per_round=400)
+    base.update(kw)
+    return MMRouter(RouterConfig(**base))
+
+
+class TestTierMechanism:
+    def test_scale_is_exact_power_of_two(self):
+        # Power-of-two multiplication is exact in float64, so ordering
+        # inside the reserved tier is preserved bit for bit.
+        assert RESERVED_SCALE == 2.0**200
+        for prio in (1.0, 3.0, 12345.0, 2.0**53 - 1):
+            assert (prio * RESERVED_SCALE) / RESERVED_SCALE == prio
+
+    def test_reserved_candidate_outranks_aged_best_effort(self):
+        router = make_router()
+        be = router.establish(0, 1, TrafficClass.BEST_EFFORT, 1).connection
+        cbr = router.establish(0, 1, TrafficClass.CBR, 1).connection
+        # The best-effort flit has aged 4096 cycles (SIABP priority
+        # 1 << 13 = 8192); the reserved flit is brand new (priority 1).
+        # The tier must still rank the reserved flit first.
+        router.vc_memory.push(0, be.vc, 0, -1, False, now=0)
+        router.vc_memory.push(0, cbr.vc, 4096, -1, False, now=4096)
+        port0 = router._link_schedule(4096)[0]
+        assert [c.vc for c in port0[:2]] == [cbr.vc, be.vc]
+        assert port0[0].priority > port0[1].priority
+
+    def test_teardown_resets_tier(self):
+        router = make_router()
+        conn = router.establish(0, 1, TrafficClass.CBR, 1).connection
+        assert router._tier[0, conn.vc] == RESERVED_SCALE
+        router.teardown(conn.conn_id)
+        assert router._tier[0, conn.vc] == 1.0
+
+    def test_best_effort_still_served_when_alone(self):
+        router = make_router()
+        rng = np.random.default_rng(1)
+        be = router.establish(0, 1, TrafficClass.BEST_EFFORT, 1).connection
+        router.nics[0].inject(be.vc, gen_cycle=0)
+        deps = []
+        for t in range(4):
+            deps += router.step(t, rng)
+        assert len(deps) == 1
+
+
+class TestEndToEndProtection:
+    @pytest.mark.parametrize("arbiter", ["coa"])
+    def test_background_load_does_not_degrade_cbr(self, arbiter):
+        """CBR at 60% with and without 30% best-effort background: the
+        reserved classes' delays must stay within a small factor, and
+        best-effort must actually deliver flits (work conservation)."""
+        config = RouterConfig(num_ports=4, vcs_per_link=64,
+                              candidate_levels=4)
+        control = RunControl(cycles=12_000, warmup_cycles=2_000)
+
+        def run(with_background: bool):
+            sim = SingleRouterSim(config, arbiter=arbiter, seed=31)
+            workload = build_cbr_workload(sim.router, 0.6, sim.rng.workload)
+            if with_background:
+                extra = build_besteffort_workload(
+                    sim.router, 0.3, sim.rng.workload
+                )
+                for item in extra.loads:
+                    workload.add(item)
+            return sim.run(workload, control)
+
+        clean = run(False)
+        mixed = run(True)
+        # Reserved classes barely notice the background.
+        for label in ("medium", "high"):
+            assert mixed.flit_delay_us[label] <= \
+                3.0 * clean.flit_delay_us[label] + 2.0, label
+        # Best-effort flits do flow (leftover bandwidth is used).
+        assert mixed.flits.get("best-effort", 0) > 0
+        # And total delivered work grew accordingly.
+        assert mixed.throughput > clean.throughput * 1.2

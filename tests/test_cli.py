@@ -1,0 +1,96 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.arbiter == "coa"
+        assert args.traffic == "cbr"
+        assert args.scale == "ci"
+
+    def test_rejects_unknown_arbiter(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--arbiter", "bogus"])
+
+    def test_loads_parsing(self):
+        args = build_parser().parse_args(["sweep", "--loads", "0.4,0.8"])
+        assert args.loads == [0.4, 0.8]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--loads", "a,b"])
+
+    def test_arbiters_parsing(self):
+        args = build_parser().parse_args(["sweep", "--arbiters", "coa, wfa"])
+        assert args.arbiters == ["coa", "wfa"]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "coa" in out and "wfa" in out
+        assert "siabp" in out
+        assert "flower_garden" in out
+
+    def test_reproduce_table1(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "football" in out
+
+    def test_reproduce_hwcost(self, capsys):
+        assert main(["reproduce", "hwcost"]) == 0
+        out = capsys.readouterr().out
+        assert "IABP" in out and "SIABP" in out
+
+    def test_reproduce_fig6(self, capsys):
+        assert main(["reproduce", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "Flower Garden" in out
+        assert "mean" in out
+
+    def test_run_cbr_small(self, capsys):
+        code = main([
+            "run", "--traffic", "cbr", "--load", "0.4",
+            "--cycles", "3000", "--vcs", "16", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "offered load" in out
+        assert "coa / siabp" in out
+        assert "flit delay" in out
+
+    def test_run_vbr_small(self, capsys):
+        code = main([
+            "run", "--traffic", "vbr", "--model", "BB", "--load", "0.4",
+            "--cycles", "3000", "--vcs", "16", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frame delay" in out
+
+    def test_sweep_small(self, capsys):
+        code = main([
+            "sweep", "--traffic", "cbr", "--arbiters", "coa,wfa",
+            "--loads", "0.3,0.5", "--cycles", "2000", "--vcs", "16",
+            "--metric", "throughput",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coa" in out and "wfa" in out
+        assert "throughput" in out
+
+    def test_sweep_unknown_arbiter_fails_cleanly(self, capsys):
+        code = main([
+            "sweep", "--arbiters", "coa,hypothetical",
+            "--loads", "0.3", "--cycles", "500", "--vcs", "8",
+        ])
+        assert code == 2
+        assert "unknown arbiter" in capsys.readouterr().err

@@ -1,0 +1,134 @@
+"""Tests for the Candidate-Order Arbiter (the paper's §4 algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coa import CandidateOrderArbiter
+from repro.core.matching import Candidate, is_conflict_free, is_maximal
+
+
+def cand(i, v, o, prio, level=0):
+    return Candidate(i, v, o, prio, level)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestConstruction:
+    def test_rejects_unknown_ordering(self):
+        with pytest.raises(ValueError):
+            CandidateOrderArbiter(4, 4, ordering="zigzag")
+
+    def test_rejects_unknown_arbitration(self):
+        with pytest.raises(ValueError):
+            CandidateOrderArbiter(4, 4, arbitration="fifo")
+
+    def test_name_reflects_variants(self):
+        assert CandidateOrderArbiter(4, 4).name == "coa"
+        assert "level_only" in CandidateOrderArbiter(4, 4, ordering="level_only").name
+
+
+class TestBehaviour:
+    def test_empty_candidates(self):
+        coa = CandidateOrderArbiter(4, 4)
+        assert coa.match([[], [], [], []], rng()) == []
+
+    def test_single_request_granted(self):
+        coa = CandidateOrderArbiter(4, 4)
+        cands = [[cand(0, 3, 2, 10.0)], [], [], []]
+        assert coa.match(cands, rng()) == [(0, 3, 2)]
+
+    def test_highest_priority_wins_contention(self):
+        coa = CandidateOrderArbiter(2, 1)
+        cands = [[cand(0, 0, 1, prio=5.0)], [cand(1, 0, 1, prio=50.0)]]
+        grants = coa.match(cands, rng())
+        assert grants == [(1, 0, 1)]
+
+    def test_least_conflicted_output_served_first(self):
+        """Output with one request is matched before the 2-conflict one,
+        letting all three inputs be served."""
+        coa = CandidateOrderArbiter(3, 2)
+        cands = [
+            # Input 0: level0 -> out0 (contested), level1 -> out1
+            [cand(0, 0, 0, 10.0, 0), cand(0, 1, 1, 4.0, 1)],
+            # Input 1: level0 -> out0 (contested)
+            [cand(1, 0, 0, 9.0, 0)],
+            # Input 2: level0 -> out2 (alone, least conflicts)
+            [cand(2, 0, 2, 1.0, 0)],
+        ]
+        grants = coa.match(cands, rng())
+        # out2 is least conflicted at level 0, so input 2 always gets it;
+        # out0 then goes to the higher-priority input 0, and input 1 is
+        # left unmatched (its only candidate lost).
+        assert set(grants) == {(2, 0, 2), (0, 0, 0)}
+
+    def test_loser_recovers_via_higher_level(self):
+        """An input that loses its level-0 output gets matched through its
+        level-1 candidate — the point of multiple candidate levels."""
+        coa = CandidateOrderArbiter(2, 2)
+        cands = [
+            [cand(0, 0, 0, 10.0, 0), cand(0, 1, 1, 1.0, 1)],
+            [cand(1, 0, 0, 99.0, 0)],
+        ]
+        grants = coa.match(cands, rng())
+        assert set(grants) == {(1, 0, 0), (0, 1, 1)}
+
+    def test_levels_served_in_order(self):
+        """A level-0 request beats a level-1 request for the same output
+        even with lower priority (ordering is by level first)."""
+        coa = CandidateOrderArbiter(2, 2)
+        cands = [
+            [cand(0, 0, 1, prio=1.0, level=0)],
+            [cand(1, 7, 0, prio=50.0, level=0), cand(1, 8, 1, prio=50.0, level=1)],
+        ]
+        grants = coa.match(cands, rng())
+        # Input 1 is matched on out0 (its level-0 request, conflict 1);
+        # out1 then goes to input 0's level-0 request.
+        assert set(grants) == {(1, 7, 0), (0, 0, 1)}
+
+    def test_random_tie_break_covers_all_winners(self):
+        coa = CandidateOrderArbiter(2, 1)
+        cands = [[cand(0, 0, 1, 5.0)], [cand(1, 0, 1, 5.0)]]
+        winners = {coa.match(cands, rng(s))[0][0] for s in range(64)}
+        assert winners == {0, 1}
+
+    def test_matching_conflict_free_and_maximal(self):
+        generator = rng(42)
+        coa = CandidateOrderArbiter(4, 4)
+        for _ in range(200):
+            cands = _random_candidates(generator, 4, 4)
+            grants = coa.match(cands, generator)
+            assert is_conflict_free(grants, 4)
+            assert is_maximal(cands, grants, 4)
+
+
+class TestReferenceEquivalence:
+    @pytest.mark.parametrize("ordering", ["level_conflict", "level_only",
+                                          "conflict_only", "random"])
+    @pytest.mark.parametrize("arbitration", ["priority", "random"])
+    def test_fast_path_matches_selection_matrix_path(self, ordering, arbitration):
+        coa = CandidateOrderArbiter(4, 4, ordering, arbitration)
+        generator = rng(7)
+        for trial in range(100):
+            cands = _random_candidates(generator, 4, 4, tie_heavy=True)
+            fast = coa.match(cands, rng(trial))
+            reference = coa.match_reference(cands, rng(trial))
+            assert fast == reference
+
+
+def _random_candidates(generator, n, levels, tie_heavy=False):
+    out = []
+    for p in range(n):
+        k = int(generator.integers(0, levels + 1))
+        port_cands = []
+        hi = 4 if tie_heavy else 1000
+        prios = sorted(
+            (float(generator.integers(1, hi + 1)) for _ in range(k)), reverse=True
+        )
+        for level in range(k):
+            port_cands.append(
+                Candidate(p, level, int(generator.integers(n)), prios[level], level)
+            )
+        out.append(port_cands)
+    return out

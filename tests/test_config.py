@@ -1,0 +1,129 @@
+"""Tests for repro.router.config."""
+
+import math
+
+import pytest
+
+from repro.router.config import DEFAULT_CONFIG, RouterConfig
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        cfg = RouterConfig()
+        assert cfg.num_ports == 4
+        assert cfg.candidate_levels == 4
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_ports", 0),
+        ("num_ports", -1),
+        ("vcs_per_link", 0),
+        ("candidate_levels", 0),
+        ("flit_size_bits", 0),
+        ("phit_size_bits", 0),
+        ("link_rate_bps", 0),
+        ("link_rate_bps", -5.0),
+        ("vc_buffer_depth", 0),
+        ("flit_cycles_per_round", -1),
+        ("concurrency_factor", 0.5),
+        ("credit_return_delay", -1),
+    ])
+    def test_rejects_bad_field(self, field, value):
+        with pytest.raises(ValueError):
+            RouterConfig(**{field: value})
+
+    def test_candidate_levels_cannot_exceed_vcs(self):
+        with pytest.raises(ValueError):
+            RouterConfig(vcs_per_link=2, candidate_levels=3)
+
+    def test_flit_must_be_multiple_of_phit(self):
+        with pytest.raises(ValueError):
+            RouterConfig(flit_size_bits=100, phit_size_bits=16)
+
+    def test_round_must_be_multiple_of_vcs(self):
+        with pytest.raises(ValueError):
+            RouterConfig(vcs_per_link=64, flit_cycles_per_round=100)
+        # A correct multiple is accepted.
+        cfg = RouterConfig(vcs_per_link=64, flit_cycles_per_round=6400)
+        assert cfg.round_cycles == 6400
+
+
+class TestDerived:
+    def test_phits_per_flit(self):
+        cfg = RouterConfig(flit_size_bits=1024, phit_size_bits=16)
+        assert cfg.phits_per_flit == 64
+
+    def test_flit_cycle_time_matches_link_rate(self):
+        cfg = RouterConfig(flit_size_bits=1024, link_rate_bps=1.24e9)
+        assert cfg.flit_cycle_seconds == pytest.approx(1024 / 1.24e9)
+        assert cfg.flit_cycle_us == pytest.approx(1024 / 1.24e9 * 1e6)
+
+    def test_auto_round_gives_lowest_class_a_slot(self):
+        cfg = RouterConfig()  # auto round
+        # 64 Kbps must reserve at least one whole slot per round.
+        assert cfg.rate_to_slots(64e3) >= 1
+        assert cfg.round_cycles % cfg.vcs_per_link == 0
+
+    def test_auto_round_is_minimal_multiple(self):
+        cfg = RouterConfig(vcs_per_link=64)
+        needed = cfg.link_rate_bps / 64e3
+        assert cfg.round_cycles >= needed
+        assert cfg.round_cycles - cfg.vcs_per_link < needed
+
+    def test_cycles_us_roundtrip(self):
+        cfg = RouterConfig()
+        assert cfg.us_to_cycles(cfg.cycles_to_us(12345)) == pytest.approx(12345)
+
+    def test_round_seconds(self):
+        cfg = RouterConfig(vcs_per_link=64, flit_cycles_per_round=6400)
+        assert cfg.round_seconds == pytest.approx(6400 * cfg.flit_cycle_seconds)
+
+
+class TestSlots:
+    def test_rate_to_slots_roundtrip(self):
+        cfg = RouterConfig()
+        for rate in (64e3, 1.54e6, 55e6, 155e6):
+            slots = cfg.rate_to_slots(rate)
+            back = cfg.slots_to_rate(slots)
+            # Quantization error is at most one slot's worth of rate.
+            assert abs(back - rate) <= cfg.slots_to_rate(1)
+
+    def test_slots_monotone_in_rate(self):
+        cfg = RouterConfig()
+        rates = [64e3, 1e6, 1.54e6, 10e6, 55e6]
+        slots = [cfg.rate_to_slots(r) for r in rates]
+        assert slots == sorted(slots)
+
+    def test_minimum_one_slot(self):
+        cfg = RouterConfig()
+        assert cfg.rate_to_slots(1.0) == 1
+
+    def test_rejects_nonpositive(self):
+        cfg = RouterConfig()
+        with pytest.raises(ValueError):
+            cfg.rate_to_slots(0)
+        with pytest.raises(ValueError):
+            cfg.slots_to_rate(0)
+
+    def test_rate_to_load(self):
+        cfg = RouterConfig(link_rate_bps=1e9)
+        assert cfg.rate_to_load(55e6) == pytest.approx(0.055)
+
+    def test_full_link_rate_fills_round(self):
+        cfg = RouterConfig(vcs_per_link=64, flit_cycles_per_round=6400)
+        assert cfg.rate_to_slots(cfg.link_rate_bps) == cfg.round_cycles
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_instance(self):
+        cfg = RouterConfig()
+        other = cfg.with_overrides(num_ports=8)
+        assert other.num_ports == 8
+        assert cfg.num_ports == 4
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            RouterConfig().with_overrides(num_ports=-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.num_ports = 16  # type: ignore[misc]

@@ -1,0 +1,113 @@
+"""Tests for repro.router.connection."""
+
+import pytest
+
+from repro.router.config import RouterConfig
+from repro.router.connection import Connection, ConnectionTable, TrafficClass
+
+
+def conn(conn_id=0, in_port=0, vc=0, out_port=1, tclass=TrafficClass.CBR,
+         avg=10, peak=None) -> Connection:
+    return Connection(conn_id, in_port, vc, out_port, tclass, avg,
+                      peak if peak is not None else avg)
+
+
+class TestConnection:
+    def test_valid(self):
+        c = conn()
+        assert c.is_reserved
+        assert c.peak_slots == c.avg_slots
+
+    def test_best_effort_not_reserved(self):
+        c = conn(tclass=TrafficClass.BEST_EFFORT, avg=1)
+        assert not c.is_reserved
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            conn(conn_id=-1)
+
+    def test_rejects_nonpositive_slots(self):
+        with pytest.raises(ValueError):
+            conn(avg=0)
+
+    def test_rejects_peak_below_avg(self):
+        with pytest.raises(ValueError):
+            conn(avg=10, peak=5)
+
+    def test_rates_roundtrip_config(self):
+        cfg = RouterConfig()
+        c = conn(avg=100, peak=300)
+        assert c.avg_rate_bps(cfg) == pytest.approx(cfg.slots_to_rate(100))
+        assert c.peak_rate_bps(cfg) == pytest.approx(cfg.slots_to_rate(300))
+
+
+class TestConnectionTable:
+    def make(self) -> ConnectionTable:
+        return ConnectionTable(RouterConfig(num_ports=2, vcs_per_link=3,
+                                            candidate_levels=1))
+
+    def test_add_and_get(self):
+        table = self.make()
+        c = conn()
+        table.add(c)
+        assert table.get(0) is c
+        assert table.at_vc(0, 0) is c
+        assert 0 in table
+        assert len(table) == 1
+
+    def test_rejects_out_of_range(self):
+        table = self.make()
+        with pytest.raises(ValueError):
+            table.add(conn(in_port=2))
+        with pytest.raises(ValueError):
+            table.add(conn(out_port=5))
+        with pytest.raises(ValueError):
+            table.add(conn(vc=3))
+
+    def test_rejects_duplicate_id(self):
+        table = self.make()
+        table.add(conn(conn_id=1))
+        with pytest.raises(ValueError):
+            table.add(conn(conn_id=1, vc=1))
+
+    def test_rejects_vc_collision(self):
+        table = self.make()
+        table.add(conn(conn_id=0, vc=2))
+        with pytest.raises(ValueError):
+            table.add(conn(conn_id=1, vc=2))
+
+    def test_remove_frees_vc(self):
+        table = self.make()
+        table.add(conn(conn_id=0, vc=1))
+        removed = table.remove(0)
+        assert removed.conn_id == 0
+        assert table.at_vc(0, 1) is None
+        table.add(conn(conn_id=1, vc=1))  # VC reusable
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self.make().remove(99)
+
+    def test_free_vc_scans_in_order(self):
+        table = self.make()
+        assert table.free_vc(0) == 0
+        table.add(conn(conn_id=0, vc=0))
+        assert table.free_vc(0) == 1
+        table.add(conn(conn_id=1, vc=1))
+        table.add(conn(conn_id=2, vc=2))
+        assert table.free_vc(0) is None
+        assert table.free_vc(1) == 0  # other port unaffected
+
+    def test_on_input_output(self):
+        table = self.make()
+        table.add(conn(conn_id=0, in_port=0, vc=0, out_port=1))
+        table.add(conn(conn_id=1, in_port=1, vc=0, out_port=1))
+        table.add(conn(conn_id=2, in_port=0, vc=1, out_port=0))
+        assert {c.conn_id for c in table.on_input(0)} == {0, 2}
+        assert {c.conn_id for c in table.on_output(1)} == {0, 1}
+
+    def test_iteration(self):
+        table = self.make()
+        table.add(conn(conn_id=0, vc=0))
+        table.add(conn(conn_id=1, vc=1))
+        assert {c.conn_id for c in table} == {0, 1}

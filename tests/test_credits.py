@@ -1,0 +1,127 @@
+"""Tests for repro.router.credits (credit-based flow control)."""
+
+import numpy as np
+import pytest
+
+from repro.router.config import RouterConfig
+from repro.router.credits import CreditState
+
+
+def make_credits(ports=2, vcs=4, depth=3, delay=1) -> CreditState:
+    cfg = RouterConfig(
+        num_ports=ports,
+        vcs_per_link=vcs,
+        vc_buffer_depth=depth,
+        credit_return_delay=delay,
+        candidate_levels=1,
+    )
+    return CreditState(cfg)
+
+
+class TestBasics:
+    def test_initial_credits_equal_depth(self):
+        state = make_credits(depth=3)
+        assert (state.counters == 3).all()
+        assert state.in_flight == 0
+
+    def test_consume_decrements(self):
+        state = make_credits()
+        state.consume(0, 1)
+        assert state.available(0, 1) == 2
+        assert state.available(0, 0) == 3
+
+    def test_underflow_raises(self):
+        state = make_credits(depth=1)
+        state.consume(0, 0)
+        with pytest.raises(RuntimeError):
+            state.consume(0, 0)
+
+    def test_counters_view_readonly(self):
+        state = make_credits()
+        with pytest.raises(ValueError):
+            state.counters[0, 0] = 9
+
+
+class TestReturnPath:
+    def test_credit_lands_after_delay(self):
+        state = make_credits(delay=2)
+        state.consume(1, 2)
+        state.schedule_return(1, 2, now=10)
+        assert state.in_flight == 1
+        state.deliver(11)
+        assert state.available(1, 2) == 2  # not yet
+        state.deliver(12)
+        assert state.available(1, 2) == 3
+        assert state.in_flight == 0
+
+    def test_zero_delay_lands_same_cycle(self):
+        state = make_credits(delay=0)
+        state.consume(0, 0)
+        state.schedule_return(0, 0, now=5)
+        state.deliver(5)
+        assert state.available(0, 0) == 3
+
+    def test_overflow_detected(self):
+        state = make_credits(delay=0)
+        # Returning a credit that was never consumed overflows the pool.
+        state.schedule_return(0, 0, now=1)
+        with pytest.raises(RuntimeError):
+            state.deliver(1)
+
+    def test_deliver_with_nothing_pending_is_noop(self):
+        state = make_credits()
+        state.deliver(123)  # must not raise
+        assert state.in_flight == 0
+
+
+class TestMask:
+    def test_mask_initially_full(self):
+        state = make_credits(vcs=4)
+        assert state.mask_for(0) == 0b1111
+
+    def test_mask_clears_at_zero_and_returns(self):
+        state = make_credits(vcs=4, depth=1, delay=0)
+        state.consume(0, 2)
+        assert state.mask_for(0) == 0b1011
+        state.schedule_return(0, 2, now=3)
+        state.deliver(3)
+        assert state.mask_for(0) == 0b1111
+
+    def test_mask_matches_counters_under_random_ops(self):
+        rng = np.random.default_rng(7)
+        state = make_credits(ports=2, vcs=6, depth=2, delay=1)
+        outstanding: list[tuple[int, int]] = []
+        for now in range(300):
+            state.deliver(now)
+            p, v = int(rng.integers(2)), int(rng.integers(6))
+            if state.available(p, v) > 0 and rng.random() < 0.6:
+                state.consume(p, v)
+                outstanding.append((p, v))
+            elif outstanding and rng.random() < 0.8:
+                i = int(rng.integers(len(outstanding)))
+                op, ov = outstanding.pop(i)
+                state.schedule_return(op, ov, now)
+            for port in range(2):
+                mask = state.mask_for(port)
+                for vc in range(6):
+                    assert bool(mask & (1 << vc)) == (state.available(port, vc) > 0)
+
+
+class TestConservation:
+    def test_total_is_invariant(self):
+        """credits + in-flight == total slots when no flits are buffered."""
+        rng = np.random.default_rng(3)
+        state = make_credits(ports=2, vcs=4, depth=3, delay=2)
+        total = 2 * 4 * 3
+        buffered: list[tuple[int, int]] = []
+        for now in range(500):
+            state.deliver(now)
+            p, v = int(rng.integers(2)), int(rng.integers(4))
+            if state.available(p, v) > 0 and rng.random() < 0.5:
+                state.consume(p, v)
+                buffered.append((p, v))
+            elif buffered:
+                bp, bv = buffered.pop(0)
+                state.schedule_return(bp, bv, now)
+            held = int(state.counters.sum())
+            assert held + state.in_flight + len(buffered) == total

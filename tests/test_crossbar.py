@@ -1,0 +1,80 @@
+"""Tests for repro.router.crossbar."""
+
+import pytest
+
+from repro.router.config import RouterConfig
+from repro.router.crossbar import Crossbar
+from repro.router.vc_memory import VCMemory
+
+
+def make_pair(ports=4, vcs=4, depth=2):
+    cfg = RouterConfig(num_ports=ports, vcs_per_link=vcs, vc_buffer_depth=depth,
+                       candidate_levels=1)
+    return Crossbar(cfg), VCMemory(cfg)
+
+
+class TestTransfer:
+    def test_moves_head_flits(self):
+        xbar, mem = make_pair()
+        mem.push(0, 1, gen_cycle=3, frame_id=9, frame_last=True, now=4)
+        mem.push(2, 0, gen_cycle=5, frame_id=-1, frame_last=False, now=6)
+        deps = xbar.transfer([(0, 1, 2), (2, 0, 3)], mem, now=10)
+        assert len(deps) == 2
+        first = deps[0]
+        assert (first.in_port, first.vc, first.out_port) == (0, 1, 2)
+        assert first.gen_cycle == 3
+        assert first.arrival_cycle == 4
+        assert first.frame_id == 9
+        assert first.frame_last is True
+        assert mem.total_flits() == 0
+
+    def test_empty_matching_is_fine(self):
+        xbar, mem = make_pair()
+        assert xbar.transfer([], mem, now=0) == []
+        assert xbar.cycles == 1
+
+    def test_conflicting_input_raises(self):
+        xbar, mem = make_pair()
+        mem.push(0, 0, 0, -1, False, 0)
+        mem.push(0, 1, 0, -1, False, 0)
+        with pytest.raises(ValueError, match="input port 0"):
+            xbar.transfer([(0, 0, 1), (0, 1, 2)], mem, now=0)
+
+    def test_conflicting_output_raises(self):
+        xbar, mem = make_pair()
+        mem.push(0, 0, 0, -1, False, 0)
+        mem.push(1, 0, 0, -1, False, 0)
+        with pytest.raises(ValueError, match="output port 2"):
+            xbar.transfer([(0, 0, 2), (1, 0, 2)], mem, now=0)
+
+    def test_granting_empty_vc_raises(self):
+        xbar, mem = make_pair()
+        with pytest.raises(IndexError):
+            xbar.transfer([(0, 0, 1)], mem, now=0)
+
+
+class TestUtilization:
+    def test_counts_grants_per_cycle(self):
+        xbar, mem = make_pair(ports=4)
+        for t in range(10):
+            mem.push(0, 0, t, -1, False, t)
+            mem.push(1, 0, t, -1, False, t)
+            xbar.transfer([(0, 0, 1), (1, 0, 0)], mem, now=t)
+        # 2 of 4 ports busy every cycle.
+        assert xbar.utilization == pytest.approx(0.5)
+        assert xbar.total_grants == 20
+        assert xbar.output_grants[1] == 10
+        assert xbar.input_grants[0] == 10
+
+    def test_zero_cycles_zero_utilization(self):
+        xbar, _ = make_pair()
+        assert xbar.utilization == 0.0
+
+    def test_reset_counters(self):
+        xbar, mem = make_pair()
+        mem.push(0, 0, 0, -1, False, 0)
+        xbar.transfer([(0, 0, 1)], mem, now=0)
+        xbar.reset_counters()
+        assert xbar.utilization == 0.0
+        assert xbar.cycles == 0
+        assert (xbar.output_grants == 0).all()

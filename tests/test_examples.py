@@ -1,0 +1,64 @@
+"""Smoke tests: the lightweight example scripts must run end to end.
+
+The two simulation-heavy examples (quickstart, mpeg_vbr_qos) take tens
+of seconds and are exercised by the benches' equivalent experiments;
+here we run the fast ones plus the network extension demo as real
+subprocesses, exactly as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_selection_matrix_demo():
+    out = run_example("selection_matrix_demo.py")
+    assert "conflict" in out.lower()
+    assert "Final matching" in out
+    assert "grant" in out
+
+
+def test_admission_and_setup():
+    out = run_example("admission_and_setup.py")
+    assert "ACCEPTED" in out
+    assert "rejected" in out
+    assert "no free virtual channel" in out
+    assert "peak reservation" in out
+
+
+def test_multirouter_network():
+    out = run_example("multirouter_network.py")
+    assert "PCS path" in out
+    assert "Every injected flit was delivered" in out
+
+
+def test_trace_debugging():
+    out = run_example("trace_debugging.py")
+    assert "departure" in out
+    # Priority order: the 100-slot connection departs first.
+    assert "cycle 1: input 0 (100 slots/round)" in out
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py", "mpeg_vbr_qos.py",
+])
+def test_heavy_examples_importable(name):
+    """The heavy examples must at least compile (full runs are covered by
+    the equivalent benches)."""
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")

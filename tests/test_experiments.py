@@ -1,0 +1,70 @@
+"""Tests for the experiment harness (repro.sim.experiments) at tiny scale."""
+
+import pytest
+
+from repro.sim.experiments import (
+    cbr_delay_experiment,
+    default_config,
+    get_scale,
+    vbr_experiment,
+)
+
+
+class TestCBRExperiment:
+    def test_structure_and_series(self):
+        result = cbr_delay_experiment(
+            arbiters=("coa",), loads=(0.3, 0.5), scale="tiny", seed=11,
+            config=default_config(vcs_per_link=32),
+        )
+        assert set(result.sweeps) == {"coa"}
+        sweep = result.sweeps["coa"]
+        assert len(sweep.points) == 2
+        series = result.class_series("coa", "high")
+        assert len(series) == 2
+        loads = [x for x, _ in series]
+        assert loads == sorted(loads)
+        # Below saturation nothing saturates.
+        assert result.saturation_load("coa") == float("inf")
+
+    def test_same_seed_same_workloads_across_arbiters(self):
+        result = cbr_delay_experiment(
+            arbiters=("coa", "wfa"), loads=(0.4,), scale="tiny", seed=12,
+            config=default_config(vcs_per_link=32),
+        )
+        coa_point = result.sweeps["coa"].points[0]
+        wfa_point = result.sweeps["wfa"].points[0]
+        assert coa_point.offered_load == wfa_point.offered_load
+        assert coa_point.result.connections == wfa_point.result.connections
+
+
+class TestVBRExperiment:
+    def test_structure_and_series(self):
+        result = vbr_experiment(
+            model="SR", arbiters=("coa",), loads=(0.4,), scale="tiny",
+            seed=13, config=default_config(vcs_per_link=32),
+        )
+        assert result.model == "SR"
+        util = result.utilization_series("coa")
+        delay = result.frame_delay_series("coa")
+        jitter = result.jitter_series("coa")
+        assert len(util) == len(delay) == len(jitter) == 1
+        load_pct, util_pct = util[0]
+        # Utilization tracks load below saturation (percent units).
+        assert util_pct == pytest.approx(load_pct, rel=0.15)
+        assert delay[0][1] > 0
+
+    def test_bb_model_runs(self):
+        result = vbr_experiment(
+            model="BB", arbiters=("coa",), loads=(0.4,), scale="tiny",
+            seed=14, config=default_config(vcs_per_link=32),
+        )
+        assert result.frame_delay_series("coa")[0][1] > 0
+
+    def test_scale_cycles_derived(self):
+        tiny = get_scale("tiny")
+        result = vbr_experiment(
+            model="SR", arbiters=("coa",), loads=(0.3,), scale=tiny,
+            seed=15, config=default_config(vcs_per_link=32),
+        )
+        point = result.sweeps["coa"].points[0]
+        assert point.result.cycles == tiny.vbr_cycles

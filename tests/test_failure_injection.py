@@ -1,0 +1,88 @@
+"""Failure injection: broken components must be detected loudly.
+
+The MMR is loss-free by design; the simulator enforces that with
+invariant checks instead of silently dropping flits.  These tests inject
+faulty behaviour (a buggy arbiter, flow-control violations) and assert
+the substrate refuses to proceed rather than corrupting results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import Arbiter, Candidate, Grant
+from repro.router import MMRouter, RouterConfig, TrafficClass
+
+
+class DoubleGrantArbiter(Arbiter):
+    """Grants the same output twice whenever two inputs request it."""
+
+    name = "broken-double-grant"
+
+    def match(self, candidates, rng):
+        grants: list[Grant] = []
+        for port_cands in candidates:
+            if port_cands:
+                c = port_cands[0]
+                grants.append((c.in_port, c.vc, c.out_port))
+        return grants  # may conflict on outputs
+
+
+class PhantomGrantArbiter(Arbiter):
+    """Grants a (port, vc) pair that has no buffered flit."""
+
+    name = "broken-phantom"
+
+    def match(self, candidates, rng):
+        return [(0, 0, 0)]
+
+
+def make_router(arbiter) -> MMRouter:
+    cfg = RouterConfig(num_ports=2, vcs_per_link=4, vc_buffer_depth=2,
+                       candidate_levels=2, flit_cycles_per_round=400)
+    return MMRouter(cfg, arbiter=arbiter)
+
+
+class TestBrokenArbiters:
+    def test_conflicting_matching_detected_by_crossbar(self):
+        router = make_router(DoubleGrantArbiter())
+        rng = np.random.default_rng(0)
+        for port in (0, 1):
+            conn = router.establish(port, 0, TrafficClass.CBR, 10).connection
+            router.nics[port].inject(conn.vc, gen_cycle=0)
+        router.step(0, rng)  # flits enter the router buffers
+        with pytest.raises(ValueError, match="matched twice"):
+            router.step(1, rng)
+
+    def test_phantom_grant_detected(self):
+        router = make_router(PhantomGrantArbiter())
+        rng = np.random.default_rng(0)
+        with pytest.raises(IndexError):
+            router.step(0, rng)
+
+
+class TestFlowControlViolations:
+    def test_push_past_buffer_depth_is_an_error(self):
+        router = make_router("coa")
+        conn = router.establish(0, 1, TrafficClass.CBR, 10).connection
+        for _ in range(router.config.vc_buffer_depth):
+            router.vc_memory.push(0, conn.vc, 0, -1, False, 0)
+        with pytest.raises(OverflowError, match="flow control"):
+            router.vc_memory.push(0, conn.vc, 0, -1, False, 0)
+
+    def test_forwarding_without_credit_is_an_error(self):
+        router = make_router("coa")
+        for _ in range(router.config.vc_buffer_depth):
+            router.credits.consume(0, 0)
+        with pytest.raises(RuntimeError, match="underflow"):
+            router.credits.consume(0, 0)
+
+    def test_invariant_check_catches_leaked_flit(self):
+        router = make_router("coa")
+        conn = router.establish(0, 1, TrafficClass.CBR, 10).connection
+        router.nics[0].inject(conn.vc, gen_cycle=0)
+        rng = np.random.default_rng(0)
+        router.step(0, rng)
+        # Sabotage: remove a buffered flit without returning its credit.
+        router.vc_memory.pop(0, conn.vc)
+        with pytest.raises(AssertionError, match="invariant"):
+            router.check_flow_control_invariant()

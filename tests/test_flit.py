@@ -1,0 +1,39 @@
+"""Tests for repro.router.flit."""
+
+from repro.router.flit import FRAME_NONE, Flit, FlitType
+
+
+class TestFlitType:
+    def test_control_flits(self):
+        assert Flit(0, FlitType.PROBE).is_control()
+        assert Flit(0, FlitType.ACK).is_control()
+        assert not Flit(0, FlitType.DATA).is_control()
+
+    def test_packet_boundaries(self):
+        assert Flit(0, FlitType.HEAD).is_packet_boundary()
+        assert Flit(0, FlitType.TAIL).is_packet_boundary()
+        assert not Flit(0, FlitType.BODY).is_packet_boundary()
+        assert not Flit(0, FlitType.DATA).is_packet_boundary()
+
+
+class TestFlit:
+    def test_defaults(self):
+        flit = Flit(conn_id=3)
+        assert flit.ftype is FlitType.DATA
+        assert flit.gen_cycle == 0
+        assert flit.frame_id == FRAME_NONE
+        assert flit.frame_last is False
+        assert flit.payload is None
+
+    def test_frame_tracking_fields(self):
+        flit = Flit(1, FlitType.DATA, gen_cycle=10, frame_id=4, frame_last=True)
+        assert flit.frame_id == 4
+        assert flit.frame_last
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        flit = Flit(0)
+        try:
+            flit.bogus = 1  # type: ignore[attr-defined]
+        except AttributeError:
+            return
+        raise AssertionError("Flit should use __slots__")

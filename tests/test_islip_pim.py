@@ -1,0 +1,141 @@
+"""Tests for the iSLIP and PIM baseline arbiters."""
+
+import numpy as np
+import pytest
+
+from repro.core.islip import ISLIP
+from repro.core.matching import (
+    Candidate,
+    is_conflict_free,
+    is_maximal,
+    restrict_levels,
+)
+from repro.core.pim import PIM
+
+
+def cand(i, v, o, prio=1.0, level=0):
+    return Candidate(i, v, o, prio, level)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def full_uniform_candidates(n):
+    """Every input requests every output (via its n candidate levels)."""
+    return [
+        [cand(i, lvl, lvl, 1.0, lvl) for lvl in range(n)]
+        for i in range(n)
+    ]
+
+
+class TestISLIP:
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            ISLIP(4, iterations=0)
+        with pytest.raises(ValueError):
+            ISLIP(4, max_levels=0)
+
+    def test_head_of_line_default_sees_one_request(self):
+        """Conventional crossbar arbiters on the MMR see only the
+        head-of-line candidate per input link (DESIGN.md / paper §2)."""
+        islip = ISLIP(2)  # max_levels=1 default
+        cands = [
+            [cand(0, 0, 0, level=0), cand(0, 1, 1, level=1)],
+            [cand(1, 0, 0, level=0)],
+        ]
+        grants = islip.match(cands, rng())
+        # The level-1 escape is invisible: only one grant possible.
+        assert len(grants) == 1
+
+    def test_single_request(self):
+        islip = ISLIP(4)
+        assert islip.match([[cand(0, 2, 3)], [], [], []], rng()) == [(0, 2, 3)]
+
+    def test_full_matrix_gets_perfect_matching(self):
+        islip = ISLIP(4, max_levels=None)
+        grants = islip.match(full_uniform_candidates(4), rng())
+        assert len(grants) == 4
+        assert is_conflict_free(grants, 4)
+
+    def test_pointers_desynchronize(self):
+        """Two inputs contending for the same two outputs settle into a
+        phase where both are served every cycle (the iSLIP property)."""
+        islip = ISLIP(2, max_levels=None)
+        cands = [
+            [cand(0, 0, 0, level=0), cand(0, 1, 1, level=1)],
+            [cand(1, 0, 0, level=0), cand(1, 1, 1, level=1)],
+        ]
+        sizes = [len(islip.match(cands, rng())) for _ in range(6)]
+        assert sizes[-1] == 2  # after desynchronization, full matching
+        assert all(s == 2 for s in sizes[1:])
+
+    def test_round_robin_fairness_on_hotspot(self):
+        islip = ISLIP(2, iterations=1)
+        cands = [[cand(0, 0, 0)], [cand(1, 0, 0)]]
+        winners = [islip.match(cands, rng())[0][0] for _ in range(8)]
+        assert set(winners) == {0, 1}
+
+    def test_reset_clears_pointers(self):
+        islip = ISLIP(2)
+        cands = [[cand(0, 0, 0)], [cand(1, 0, 0)]]
+        first = islip.match(cands, rng())[0][0]
+        islip.match(cands, rng())
+        islip.reset()
+        assert islip.match(cands, rng())[0][0] == first
+
+    @pytest.mark.parametrize("max_levels", [1, None])
+    def test_conflict_free_and_maximal_fuzz(self, max_levels):
+        generator = rng(5)
+        islip = ISLIP(4, max_levels=max_levels)
+        for _ in range(300):
+            cands = _random_candidates(generator, 4)
+            grants = islip.match(cands, generator)
+            visible = restrict_levels(cands, max_levels)
+            assert is_conflict_free(grants, 4)
+            assert is_maximal(visible, grants, 4)
+
+
+class TestPIM:
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            PIM(4, iterations=-1)
+
+    def test_single_request(self):
+        pim = PIM(4)
+        assert pim.match([[], [cand(1, 5, 0)], [], []], rng()) == [(1, 5, 0)]
+
+    def test_randomization_spreads_grants(self):
+        pim = PIM(2, iterations=1)
+        cands = [[cand(0, 0, 0)], [cand(1, 0, 0)]]
+        winners = {pim.match(cands, rng(s))[0][0] for s in range(64)}
+        assert winners == {0, 1}
+
+    @pytest.mark.parametrize("max_levels", [1, None])
+    def test_enough_iterations_reach_maximal(self, max_levels):
+        generator = rng(9)
+        pim = PIM(4, max_levels=max_levels)  # N iterations always converge
+        for _ in range(300):
+            cands = _random_candidates(generator, 4)
+            grants = pim.match(cands, generator)
+            visible = restrict_levels(cands, max_levels)
+            assert is_conflict_free(grants, 4)
+            assert is_maximal(visible, grants, 4)
+
+    def test_single_iteration_may_be_submaximal_but_valid(self):
+        generator = rng(11)
+        pim = PIM(4, iterations=1)
+        for _ in range(100):
+            cands = _random_candidates(generator, 4)
+            grants = pim.match(cands, generator)
+            assert is_conflict_free(grants, 4)
+
+
+def _random_candidates(generator, n):
+    out = []
+    for p in range(n):
+        k = int(generator.integers(0, n + 1))
+        out.append(
+            [cand(p, lvl, int(generator.integers(n)), 1.0, lvl) for lvl in range(k)]
+        )
+    return out

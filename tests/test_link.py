@@ -1,0 +1,69 @@
+"""Tests for repro.router.link (phit-level pipeline model)."""
+
+import pytest
+
+from repro.router.config import RouterConfig
+from repro.router.link import (
+    PhitPipeline,
+    pipelined_latency_phits,
+    store_and_forward_latency_phits,
+)
+
+
+class TestClosedForms:
+    def test_single_hop_equal(self):
+        # One hop: pipelining cannot help; both equal serialization time.
+        assert pipelined_latency_phits(64, 1, stage_delay=1) == 64
+        assert store_and_forward_latency_phits(64, 1) == 64
+
+    def test_pipelining_beats_store_and_forward_multi_hop(self):
+        for hops in (2, 3, 5):
+            assert pipelined_latency_phits(64, hops) < \
+                store_and_forward_latency_phits(64, hops)
+
+    def test_pipelined_growth_is_per_hop_constant(self):
+        # Each extra hop adds 1 + stage_delay phit times, not a full flit.
+        l2 = pipelined_latency_phits(64, 2, stage_delay=1)
+        l3 = pipelined_latency_phits(64, 3, stage_delay=1)
+        assert l3 - l2 == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pipelined_latency_phits(0, 1)
+        with pytest.raises(ValueError):
+            store_and_forward_latency_phits(64, 0)
+
+
+class TestSimulationMatchesClosedForm:
+    @pytest.mark.parametrize("phits", [1, 2, 8, 64])
+    @pytest.mark.parametrize("hops", [1, 2, 3, 6])
+    @pytest.mark.parametrize("stage_delay", [0, 1, 3])
+    def test_cut_through(self, phits, hops, stage_delay):
+        pipe = PhitPipeline(phits, hops, cut_through=True,
+                            stage_delay=stage_delay)
+        assert pipe.simulate() == pipe.closed_form()
+
+    @pytest.mark.parametrize("phits", [1, 8, 64])
+    @pytest.mark.parametrize("hops", [1, 2, 4])
+    def test_store_and_forward(self, phits, hops):
+        pipe = PhitPipeline(phits, hops, cut_through=False)
+        assert pipe.simulate() == pipe.closed_form()
+
+
+class TestPaperClaim:
+    def test_large_flit_latency_hidden_by_phit_pipelining(self):
+        """Paper §2: large flits would increase latency, but phit-level
+        pipelining avoids it — crossing NIC link + crossbar + output link
+        costs barely more than one flit serialization."""
+        config = RouterConfig()  # 64 phits per flit
+        hops = 3  # NIC->router link, crossbar, router->sink link
+        pipelined = PhitPipeline.from_config(config, hops, cut_through=True)
+        naive = PhitPipeline.from_config(config, hops, cut_through=False)
+        # Pipelined: ~1.06 flit cycles; store-and-forward: ~3 flit cycles.
+        assert pipelined.latency_flit_cycles(config) < 1.2
+        assert naive.latency_flit_cycles(config) > 2.9
+
+    def test_from_config_uses_phit_width(self):
+        config = RouterConfig(flit_size_bits=256, phit_size_bits=16)
+        pipe = PhitPipeline.from_config(config, 2)
+        assert pipe.phits_per_flit == 16

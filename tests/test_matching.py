@@ -1,0 +1,80 @@
+"""Tests for repro.core.matching (shared arbiter types and invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import (
+    Candidate,
+    best_candidate_for,
+    is_conflict_free,
+    is_maximal,
+    matching_size,
+    request_matrix,
+)
+
+
+def cand(i, v, o, prio=1.0, level=0):
+    return Candidate(i, v, o, prio, level)
+
+
+class TestConflictFree:
+    def test_empty_is_conflict_free(self):
+        assert is_conflict_free([], 4)
+
+    def test_valid_matching(self):
+        assert is_conflict_free([(0, 0, 1), (1, 3, 0)], 4)
+
+    def test_duplicate_input_rejected(self):
+        assert not is_conflict_free([(0, 0, 1), (0, 1, 2)], 4)
+
+    def test_duplicate_output_rejected(self):
+        assert not is_conflict_free([(0, 0, 1), (2, 0, 1)], 4)
+
+    def test_out_of_range_rejected(self):
+        assert not is_conflict_free([(4, 0, 1)], 4)
+        assert not is_conflict_free([(0, 0, 4)], 4)
+        assert not is_conflict_free([(-1, 0, 1)], 4)
+
+
+class TestMaximal:
+    def test_empty_candidates_trivially_maximal(self):
+        assert is_maximal([[], []], [], 2)
+
+    def test_detects_missed_grant(self):
+        cands = [[cand(0, 0, 1)], []]
+        assert not is_maximal(cands, [], 2)
+        assert is_maximal(cands, [(0, 0, 1)], 2)
+
+    def test_blocked_request_does_not_break_maximality(self):
+        cands = [[cand(0, 0, 1)], [cand(1, 0, 1)]]
+        # Output 1 already taken: input 1's request cannot be served.
+        assert is_maximal(cands, [(0, 0, 1)], 2)
+
+    def test_matching_size(self):
+        assert matching_size([(0, 0, 1), (1, 0, 0)]) == 2
+
+
+class TestRequestMatrix:
+    def test_collapses_levels(self):
+        cands = [
+            [cand(0, 0, 1, level=0), cand(0, 1, 2, level=1)],
+            [cand(1, 0, 1, level=0)],
+        ]
+        r = request_matrix(cands, 3)
+        expected = np.zeros((3, 3), dtype=bool)
+        expected[0, 1] = expected[0, 2] = expected[1, 1] = True
+        np.testing.assert_array_equal(r, expected)
+
+
+class TestBestCandidateFor:
+    def test_picks_lowest_level(self):
+        cands = [
+            [cand(0, 3, 1, prio=10, level=0), cand(0, 5, 1, prio=99, level=1)],
+        ]
+        best = best_candidate_for(cands, 0, 1)
+        assert best.vc == 3  # level beats raw priority: the link
+        # scheduler already ranked level 0 highest.
+
+    def test_missing_request_raises(self):
+        with pytest.raises(ValueError):
+            best_candidate_for([[cand(0, 0, 1)]], 0, 2)

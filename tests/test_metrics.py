@@ -1,0 +1,130 @@
+"""Tests for repro.sim.engine and repro.sim.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.router.config import RouterConfig
+from repro.router.crossbar import Departure
+from repro.sim.engine import RngStreams, RunControl
+from repro.sim.metrics import MetricsCollector, StreamingStat
+
+
+class TestRngStreams:
+    def test_streams_are_independent_and_deterministic(self):
+        a, b = RngStreams(5), RngStreams(5)
+        assert a.workload.random() == b.workload.random()
+        assert a.arbiter.random() == b.arbiter.random()
+        # Drawing from one stream does not move another.
+        c, d = RngStreams(5), RngStreams(5)
+        c.workload.random()
+        assert c.arbiter.random() == d.arbiter.random()
+
+    def test_different_seeds_differ(self):
+        assert RngStreams(1).sources.random() != RngStreams(2).sources.random()
+
+    def test_getitem_and_unknown_role(self):
+        streams = RngStreams(0)
+        assert streams["misc"] is streams.misc
+        with pytest.raises(KeyError):
+            streams["bogus"]
+
+
+class TestRunControl:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunControl(cycles=0)
+        with pytest.raises(ValueError):
+            RunControl(cycles=10, warmup_cycles=10)
+        with pytest.raises(ValueError):
+            RunControl(cycles=10, warmup_cycles=-1)
+
+    def test_measured_cycles(self):
+        assert RunControl(100, 20).measured_cycles == 80
+
+
+class TestStreamingStat:
+    def test_moments(self):
+        stat = StreamingStat()
+        for v in (1.0, 2.0, 6.0):
+            stat.add(v)
+        assert stat.n == 3
+        assert stat.mean == pytest.approx(3.0)
+        assert stat.max == 6.0
+        assert stat.min == 1.0
+
+    def test_empty_mean_is_nan(self):
+        assert np.isnan(StreamingStat().mean)
+        assert np.isnan(StreamingStat().percentile(50))
+
+    def test_reservoir_percentiles_approximate(self):
+        stat = StreamingStat(reservoir=512)
+        rng = np.random.default_rng(0)
+        values = rng.exponential(10.0, size=20_000)
+        for v in values:
+            stat.add(float(v))
+        assert stat.percentile(50) == pytest.approx(
+            np.percentile(values, 50), rel=0.15
+        )
+
+
+def make_collector(measure_from=0):
+    cfg = RouterConfig(num_ports=2, vcs_per_link=4, candidate_levels=1)
+    labels = {0: "high", 1: "low"}
+    conn_of_vc = {(0, 0): 0, (1, 0): 1}
+    return cfg, MetricsCollector(cfg, labels, conn_of_vc, measure_from)
+
+
+def dep(in_port=0, vc=0, gen=0, frame_id=-1, frame_last=False):
+    return Departure(in_port, vc, 1, gen, gen, frame_id, frame_last)
+
+
+class TestMetricsCollector:
+    def test_flit_delay_grouping(self):
+        cfg, mc = make_collector()
+        mc.record(dep(in_port=0, gen=10), now=19)  # delay 10 cycles
+        mc.record(dep(in_port=1, gen=0), now=4)    # delay 5 cycles
+        assert mc.groups["high"].flit_delay.mean == pytest.approx(10)
+        assert mc.groups["low"].flit_delay.mean == pytest.approx(5)
+        assert mc.overall.flit_delay.mean == pytest.approx(7.5)
+        assert mc.mean_flit_delay_us("high") == pytest.approx(
+            cfg.cycles_to_us(10)
+        )
+
+    def test_warmup_cut_applies_to_generation_time(self):
+        _cfg, mc = make_collector(measure_from=100)
+        mc.record(dep(gen=50), now=200)   # generated before cut: ignored
+        mc.record(dep(gen=150), now=200)  # counted
+        assert mc.overall.flits == 1
+        assert mc.total_departures == 2
+        assert mc.measured_departures == 1
+
+    def test_frame_delay_on_last_flit_only(self):
+        _cfg, mc = make_collector()
+        mc.record(dep(gen=0, frame_id=0, frame_last=False), now=3)
+        mc.record(dep(gen=0, frame_id=0, frame_last=True), now=9)
+        assert mc.overall.frames == 1
+        assert mc.overall.frame_delay.mean == pytest.approx(10)
+
+    def test_jitter_between_adjacent_frames(self):
+        _cfg, mc = make_collector()
+        mc.record(dep(gen=0, frame_id=0, frame_last=True), now=9)    # delay 10
+        mc.record(dep(gen=100, frame_id=1, frame_last=True), now=115)  # 16
+        mc.record(dep(gen=200, frame_id=2, frame_last=True), now=211)  # 12
+        # |16-10| = 6 and |12-16| = 4 -> mean 5.
+        assert mc.overall.jitter.n == 2
+        assert mc.overall.jitter.mean == pytest.approx(5)
+
+    def test_jitter_tracked_per_connection(self):
+        _cfg, mc = make_collector()
+        mc.record(dep(in_port=0, gen=0, frame_id=0, frame_last=True), now=9)
+        mc.record(dep(in_port=1, gen=0, frame_id=0, frame_last=True), now=99)
+        # First frame of each connection: no jitter samples yet.
+        assert mc.overall.jitter.n == 0
+
+    def test_throughput(self):
+        _cfg, mc = make_collector()
+        for t in range(10):
+            mc.record(dep(gen=t), now=t)
+        assert mc.throughput_flits_per_cycle(10) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            mc.throughput_flits_per_cycle(0)

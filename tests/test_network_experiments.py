@@ -1,0 +1,54 @@
+"""Tests for repro.network.experiments (N1 harness)."""
+
+import pytest
+
+from repro.network.experiments import network_load_experiment, run_network_load
+from repro.network.topology import ring
+from repro.router import RouterConfig
+
+
+def tiny_config():
+    return RouterConfig(num_ports=4, vcs_per_link=16, candidate_levels=4,
+                        vc_buffer_depth=4)
+
+
+class TestRunNetworkLoad:
+    def test_loss_free_below_saturation(self):
+        result = run_network_load(ring(4), tiny_config(), "coa",
+                                  target_load=0.4, cycles=1_500, seed=3)
+        assert result.delivered == result.injected
+        assert result.residue == 0
+        assert result.delivered_fraction == 1.0
+        assert result.mean_delay_cycles >= 2  # at least two routers deep
+
+    def test_load_validation(self):
+        with pytest.raises(ValueError):
+            run_network_load(ring(4), tiny_config(), "coa", 0.0, 100)
+        with pytest.raises(ValueError):
+            run_network_load(ring(4), tiny_config(), "coa", 1.0, 100)
+
+    def test_same_seed_same_injections(self):
+        a = run_network_load(ring(4), tiny_config(), "coa", 0.5, 1_000, seed=9)
+        b = run_network_load(ring(4), tiny_config(), "wfa", 0.5, 1_000, seed=9)
+        assert a.injected == b.injected
+        assert a.connections == b.connections
+
+    def test_injected_tracks_target(self):
+        result = run_network_load(ring(4), tiny_config(), "coa",
+                                  target_load=0.5, cycles=2_000, seed=1)
+        # 4 source routers at 0.5 flits/cycle each over 2000 cycles.
+        assert result.injected == pytest.approx(4 * 0.5 * 2_000, rel=0.05)
+
+
+class TestExperiment:
+    def test_experiment_structure(self):
+        results = network_load_experiment(
+            arbiters=("coa",), loads=(0.3, 0.5), num_routers=3,
+            config=tiny_config(), cycles=800, seed=2,
+        )
+        assert set(results) == {"coa"}
+        runs = results["coa"]
+        assert [r.target_load for r in runs] == [0.3, 0.5]
+        assert all(r.arbiter == "coa" for r in runs)
+        # Delay grows (weakly) with load.
+        assert runs[1].mean_delay_cycles >= runs[0].mean_delay_cycles * 0.8

@@ -1,0 +1,97 @@
+"""Tests for repro.router.presets and repro.analysis.plots."""
+
+import pytest
+
+from repro.analysis.plots import render_xy_plot
+from repro.router.config import RouterConfig
+from repro.router.presets import (
+    PRESETS,
+    config_from_dict,
+    config_to_dict,
+    preset,
+)
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name, config in PRESETS.items():
+            assert isinstance(config, RouterConfig), name
+
+    def test_paper_preset_fields(self):
+        cfg = preset("paper-4x4")
+        assert cfg.num_ports == 4
+        assert cfg.candidate_levels == 4
+        assert cfg.flit_size_bits == 1024
+        assert cfg.link_rate_bps == 1.24e9
+
+    def test_preset_overrides(self):
+        cfg = preset("paper-4x4", num_ports=8)
+        assert cfg.num_ports == 8
+        # The stored preset is untouched.
+        assert PRESETS["paper-4x4"].num_ports == 4
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            preset("gigarouter")
+
+    def test_dict_roundtrip(self):
+        for name, config in PRESETS.items():
+            data = config_to_dict(config)
+            assert config_from_dict(data) == config, name
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = config_to_dict(preset("tiny"))
+        data["warp_drive"] = True
+        with pytest.raises(ValueError, match="unknown config fields"):
+            config_from_dict(data)
+
+    def test_from_dict_defaults_missing_keys(self):
+        cfg = config_from_dict({"num_ports": 8})
+        assert cfg.num_ports == 8
+        assert cfg.vcs_per_link == RouterConfig().vcs_per_link
+
+
+class TestXYPlot:
+    SERIES = {
+        "a": [(0, 1.0), (50, 2.0), (100, 100.0)],
+        "b": [(0, 1.0), (50, 50.0), (100, 5000.0)],
+    }
+
+    def test_basic_render(self):
+        text = render_xy_plot(self.SERIES, width=40, height=8,
+                              title="demo", x_label="load", y_label="delay")
+        assert "demo" in text
+        assert "o=a" in text and "x=b" in text
+        assert "load vs delay" in text
+        # Axis extremes are labelled.
+        assert "0" in text and "100" in text
+
+    def test_log_scale_annotated(self):
+        text = render_xy_plot(self.SERIES, log_y=True)
+        assert "(log y)" in text
+
+    def test_markers_land_on_grid(self):
+        text = render_xy_plot({"a": [(0, 1.0), (10, 2.0)]}, width=20, height=5)
+        body = [l for l in text.splitlines() if "|" in l]
+        assert sum(line.count("o") for line in body) == 2
+
+    def test_nan_points_skipped(self):
+        text = render_xy_plot(
+            {"a": [(0, 1.0), (5, float("nan")), (10, 3.0)]},
+        )
+        body = [l for l in text.splitlines() if "|" in l]
+        assert sum(line.count("o") for line in body) == 2
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            render_xy_plot({"a": [(0, float("nan"))]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_xy_plot({})
+        with pytest.raises(ValueError):
+            render_xy_plot(self.SERIES, width=5)
+
+    def test_flat_series(self):
+        text = render_xy_plot({"a": [(0, 3.0), (10, 3.0)]})
+        assert "o" in text

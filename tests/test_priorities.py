@@ -1,0 +1,144 @@
+"""Tests for repro.core.priorities (IABP / SIABP biasing functions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.priorities import (
+    FIFOPriority,
+    IABP,
+    SIABP,
+    StaticPriority,
+    bit_length,
+)
+
+
+class TestBitLength:
+    def test_matches_python_semantics(self):
+        values = np.array([0, 1, 2, 3, 4, 7, 8, 255, 256, 2**40])
+        expected = np.array([int(v).bit_length() for v in values])
+        np.testing.assert_array_equal(bit_length(values), expected)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bit_length(np.array([-1]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**50), min_size=1,
+                    max_size=32))
+    def test_property_matches_int_bit_length(self, values):
+        arr = np.array(values, dtype=np.int64)
+        np.testing.assert_array_equal(
+            bit_length(arr), [v.bit_length() for v in values]
+        )
+
+
+class TestSIABP:
+    def test_seed_is_reserved_slots(self):
+        s = SIABP()
+        assert s.scalar(slots=7, delay=0) == 7
+
+    def test_doubles_at_each_new_msb(self):
+        s = SIABP()
+        # delay 1 -> x2, delay 2..3 -> x4, delay 4..7 -> x8 ...
+        assert s.scalar(5, 1) == 10
+        assert s.scalar(5, 2) == 20
+        assert s.scalar(5, 3) == 20
+        assert s.scalar(5, 4) == 40
+        assert s.scalar(5, 7) == 40
+        assert s.scalar(5, 8) == 80
+
+    def test_integer_valued(self):
+        s = SIABP()
+        out = s.compute(np.array([3, 9]), np.array([5, 100]))
+        assert out.dtype == np.int64
+        assert s.integer_valued
+
+    def test_shift_capped_no_overflow(self):
+        s = SIABP()
+        out = s.scalar(slots=10_000, delay=2**60 - 1)
+        assert out == 10_000 * 2**40  # capped shift
+        assert out < 2**63
+
+    @given(
+        slots=st.integers(min_value=1, max_value=10_000),
+        d1=st.integers(min_value=0, max_value=10**6),
+        d2=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_property_monotone_in_delay(self, slots, d1, d2):
+        s = SIABP()
+        lo, hi = sorted((d1, d2))
+        assert s.scalar(slots, lo) <= s.scalar(slots, hi)
+
+    @given(
+        s1=st.integers(min_value=1, max_value=10_000),
+        s2=st.integers(min_value=1, max_value=10_000),
+        delay=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_property_monotone_in_bandwidth(self, s1, s2, delay):
+        s = SIABP()
+        lo, hi = sorted((s1, s2))
+        assert s.scalar(lo, delay) <= s.scalar(hi, delay)
+
+    @given(
+        slots=st.integers(min_value=1, max_value=5_000),
+        delay=st.integers(min_value=1, max_value=10**6),
+    )
+    def test_property_envelopes_iabp_within_factor_two(self, slots, delay):
+        """SIABP tracks 2*slots*delay within a factor of two (paper's
+        rationale: the shift approximates the product)."""
+        s = SIABP()
+        value = s.scalar(slots, delay)
+        product = slots * delay
+        assert product < value <= 4 * product
+
+
+class TestIABP:
+    def test_is_delay_over_iat(self):
+        scheme = IABP(round_cycles=1000)
+        # slots=10 -> IAT=100 cycles; delay 250 -> priority 2.5.
+        assert scheme.scalar(slots=10, delay=250) == pytest.approx(2.5)
+
+    def test_rejects_bad_round(self):
+        with pytest.raises(ValueError):
+            IABP(0)
+
+    def test_grows_faster_for_higher_bandwidth(self):
+        scheme = IABP(round_cycles=1000)
+        low = scheme.scalar(slots=1, delay=500)
+        high = scheme.scalar(slots=100, delay=500)
+        assert high == pytest.approx(100 * low)
+
+    def test_vectorized(self):
+        scheme = IABP(round_cycles=100)
+        out = scheme.compute(np.array([1, 2, 4]), np.array([100, 100, 100]))
+        np.testing.assert_allclose(out, [1.0, 2.0, 4.0])
+
+
+class TestBaselines:
+    def test_static_ignores_delay(self):
+        s = StaticPriority()
+        assert s.scalar(9, 0) == s.scalar(9, 10**6) == 9
+
+    def test_fifo_ignores_bandwidth(self):
+        s = FIFOPriority()
+        assert s.scalar(1, 44) == s.scalar(9999, 44) == 44
+
+    def test_compute_does_not_alias_inputs(self):
+        slots = np.array([1, 2, 3])
+        out = StaticPriority().compute(slots, np.zeros(3, dtype=np.int64))
+        out[0] = 99
+        assert slots[0] == 1
+
+
+class TestOrderingAgreement:
+    @given(st.data())
+    def test_siabp_and_iabp_rank_extremes_alike(self, data):
+        """If one VC dominates another in both slots and delay, every
+        biasing scheme must rank it at least as high."""
+        slots_a = data.draw(st.integers(1, 1000))
+        slots_b = data.draw(st.integers(slots_a, 1000))
+        delay_a = data.draw(st.integers(0, 10**5))
+        delay_b = data.draw(st.integers(delay_a, 10**5))
+        siabp, iabp = SIABP(), IABP(round_cycles=6400)
+        assert siabp.scalar(slots_b, delay_b) >= siabp.scalar(slots_a, delay_a)
+        assert iabp.scalar(slots_b, delay_b) >= iabp.scalar(slots_a, delay_a)

@@ -1,0 +1,137 @@
+"""Tests for repro.sim.replication and repro.sim.tracing."""
+
+import numpy as np
+import pytest
+
+from repro.router import MMRouter, RouterConfig, TrafficClass
+from repro.sim.engine import RunControl
+from repro.sim.replication import replicate, replicate_sweep
+from repro.sim.simulation import SingleRouterSim
+from repro.sim.tracing import EventKind, Tracer
+from repro.traffic.mixes import build_cbr_workload
+
+
+def small_config():
+    # Enough VCs that the CBR builder always reaches its target load
+    # (with 16 VCs the mix can exhaust the link's channels first).
+    return RouterConfig(num_ports=4, vcs_per_link=48, candidate_levels=4)
+
+
+def builder(router, rng, load):
+    return build_cbr_workload(router, load, rng)
+
+
+CONTROL = RunControl(cycles=2_000, warmup_cycles=400)
+
+
+class TestReplication:
+    def test_replicate_aggregates_over_seeds(self):
+        point = replicate(builder, small_config(), "coa", CONTROL,
+                          target_load=0.5, seeds=(1, 2, 3))
+        assert point.n == 3
+        thr = point.throughput
+        assert thr.n == 3
+        # Throughput tracks offered load below saturation.
+        assert thr.mean == pytest.approx(point.offered_load.mean, rel=0.05)
+        assert thr.half_width < 0.1
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(builder, small_config(), "coa", CONTROL, 0.5, seeds=())
+
+    def test_different_seeds_give_different_workloads(self):
+        point = replicate(builder, small_config(), "coa", CONTROL,
+                          target_load=0.6, seeds=(1, 2))
+        offered = [r.offered_load for r in point.results]
+        assert offered[0] != offered[1]
+
+    def test_metric_drops_nan_runs(self):
+        point = replicate(builder, small_config(), "coa", CONTROL,
+                          target_load=0.3, seeds=(1, 2))
+        # "low" class may have no departures in a tiny run; the CI must
+        # handle all-NaN gracefully and per-run NaN dropping.
+        ci = point.flit_delay_us("nonexistent-label")
+        assert ci.n == 0
+        assert ci.mean != ci.mean  # NaN
+
+    def test_replicate_sweep_shapes(self):
+        points = replicate_sweep((0.3, 0.5), builder, small_config(), "coa",
+                                 CONTROL, seeds=(1, 2))
+        assert [p.target_load for p in points] == [0.3, 0.5]
+        assert all(p.n == 2 for p in points)
+
+
+class TestTracer:
+    def make_router(self):
+        cfg = RouterConfig(num_ports=2, vcs_per_link=4, candidate_levels=2,
+                           flit_cycles_per_round=400)
+        return MMRouter(cfg)
+
+    def test_records_departures_and_matches(self):
+        router = self.make_router()
+        conn = router.establish(0, 1, TrafficClass.CBR, 10).connection
+        tracer = Tracer(router).install()
+        rng = np.random.default_rng(0)
+        router.nics[0].inject(conn.vc, gen_cycle=0)
+        for t in range(4):
+            router.step(t, rng)
+        tracer.uninstall()
+        departures = tracer.filter(kind=EventKind.DEPARTURE)
+        assert len(departures) == 1
+        assert departures[0].data[:3] == (0, conn.vc, 1)
+        assert len(tracer.filter(kind=EventKind.MATCH)) == 1
+        assert len(tracer.filter(kind=EventKind.NIC_FORWARD)) == 1
+
+    def test_context_manager_and_no_behaviour_change(self):
+        def run(traced: bool):
+            sim = SingleRouterSim(small_config(), arbiter="coa", seed=9)
+            wl = build_cbr_workload(sim.router, 0.5, sim.rng.workload)
+            if traced:
+                with Tracer(sim.router):
+                    return sim.run(wl, RunControl(cycles=1_000))
+            return sim.run(wl, RunControl(cycles=1_000))
+
+        plain = run(False)
+        traced = run(True)
+        assert plain.flit_delay_us == traced.flit_delay_us
+        assert plain.utilization == traced.utilization
+
+    def test_ring_bounds_memory(self):
+        router = self.make_router()
+        conn = router.establish(0, 1, TrafficClass.CBR, 10).connection
+        tracer = Tracer(router, capacity=10).install()
+        rng = np.random.default_rng(0)
+        for t in range(40):
+            router.nics[0].inject(conn.vc, gen_cycle=t)
+            router.step(t, rng)
+        assert len(tracer) == 10
+        assert tracer.dropped > 0
+        assert "dropped" in tracer.render()
+
+    def test_filters(self):
+        router = self.make_router()
+        conn = router.establish(0, 1, TrafficClass.CBR, 10).connection
+        tracer = Tracer(router).install()
+        rng = np.random.default_rng(0)
+        for t in range(8):
+            if t < 3:
+                router.nics[0].inject(conn.vc, gen_cycle=t)
+            router.step(t, rng)
+        in_window = tracer.filter(cycle_range=(0, 3))
+        assert all(0 <= e.cycle < 3 for e in in_window)
+        by_conn = tracer.departures_of(0, conn.vc)
+        assert len(by_conn) == 3
+
+    def test_install_idempotent(self):
+        router = self.make_router()
+        tracer = Tracer(router)
+        assert tracer.install() is tracer
+        tracer.install()  # second install must not double-wrap
+        rng = np.random.default_rng(0)
+        router.step(0, rng)
+        tracer.uninstall()
+        tracer.uninstall()  # and uninstall is safe to repeat
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(self.make_router(), capacity=0)

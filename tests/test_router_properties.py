@@ -1,0 +1,93 @@
+"""Hypothesis property tests over the whole router pipeline.
+
+Random workloads, random arbiters, random stepping — the invariants that
+must survive anything:
+
+* flow control conservation (credits + in-flight + buffered == slots);
+* per-connection FIFO delivery: a connection's flits depart in exactly
+  the order they were generated (streams must never reorder);
+* loss-free delivery: after draining, departures == injections;
+* departures only ever occur for established connections.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.registry import ARBITER_NAMES
+from repro.router import MMRouter, RouterConfig, TrafficClass
+
+
+def build_router(arbiter: str) -> MMRouter:
+    cfg = RouterConfig(num_ports=3, vcs_per_link=6, vc_buffer_depth=2,
+                       candidate_levels=3, flit_cycles_per_round=600)
+    return MMRouter(cfg, arbiter=arbiter)
+
+
+@st.composite
+def scenario(draw):
+    arbiter = draw(st.sampled_from(ARBITER_NAMES))
+    seed = draw(st.integers(0, 2**31 - 1))
+    num_conns = draw(st.integers(1, 12))
+    inject_prob = draw(st.floats(0.05, 0.6))
+    cycles = draw(st.integers(20, 120))
+    return arbiter, seed, num_conns, inject_prob, cycles
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=scenario())
+def test_pipeline_invariants_under_random_traffic(params):
+    arbiter, seed, num_conns, inject_prob, cycles = params
+    rng = np.random.default_rng(seed)
+    router = build_router(arbiter)
+
+    conns = []
+    for _ in range(num_conns):
+        in_port = int(rng.integers(3))
+        out_port = int(rng.integers(3))
+        tclass = TrafficClass.CBR if rng.random() < 0.8 else \
+            TrafficClass.BEST_EFFORT
+        res = router.establish(in_port, out_port, tclass,
+                               avg_slots=int(rng.integers(1, 40)))
+        if res.accepted:
+            conns.append(res.connection)
+    if not conns:
+        return
+
+    # Per-connection generation sequence numbers ride in gen_cycle.
+    seq = {c.conn_id: 0 for c in conns}
+    injected = 0
+    departed: dict[int, list[int]] = {c.conn_id: [] for c in conns}
+
+    def record(deps):
+        nonlocal_departed = 0
+        for dep in deps:
+            conn_id = router.connection_at(dep.in_port, dep.vc)
+            assert conn_id >= 0, "departure from an unestablished VC"
+            departed[conn_id].append(dep.gen_cycle)
+            nonlocal_departed += 1
+        return nonlocal_departed
+
+    arb_rng = np.random.default_rng(seed + 1)
+    for t in range(cycles):
+        for conn in conns:
+            if rng.random() < inject_prob:
+                router.nics[conn.in_port].inject(conn.vc, gen_cycle=seq[conn.conn_id])
+                seq[conn.conn_id] += 1
+                injected += 1
+        record(router.step(t, arb_rng))
+        router.check_flow_control_invariant()
+
+    # Drain completely (loss-free router must empty once sources stop).
+    t = cycles
+    while router.nic_backlog() + router.buffered_flits() > 0:
+        record(router.step(t, arb_rng))
+        t += 1
+        assert t < cycles + 50_000, "router failed to drain"
+
+    total_departed = sum(len(v) for v in departed.values())
+    assert total_departed == injected
+    for conn in conns:
+        gens = departed[conn.conn_id]
+        # FIFO per connection: sequence numbers in generation order.
+        assert gens == sorted(gens)
+        assert gens == list(range(seq[conn.conn_id]))

@@ -1,0 +1,80 @@
+"""Tests for repro.router.routing (PCS connection setup)."""
+
+import pytest
+
+from repro.router.admission import AdmissionController
+from repro.router.config import RouterConfig
+from repro.router.connection import ConnectionTable, TrafficClass
+from repro.router.routing import SetupUnit
+
+
+def make_unit(vcs=2, round_cycles=100):
+    cfg = RouterConfig(num_ports=2, vcs_per_link=vcs, candidate_levels=1,
+                       flit_cycles_per_round=round_cycles,
+                       credit_return_delay=1)
+    table = ConnectionTable(cfg)
+    admission = AdmissionController(cfg)
+    return SetupUnit(cfg, table, admission), table, admission
+
+
+class TestSetup:
+    def test_accepts_and_assigns_vc(self):
+        unit, table, _ = make_unit()
+        res = unit.request(0, 1, TrafficClass.CBR, avg_slots=10)
+        assert res
+        assert res.connection.vc == 0
+        assert res.connection.conn_id == 0
+        assert res.latency_cycles == 2  # 1 traversal + 1 ack phit
+        res2 = unit.request(0, 1, TrafficClass.CBR, avg_slots=10)
+        assert res2.connection.vc == 1
+        assert len(table) == 2
+        assert unit.accepted == 2
+
+    def test_rejects_when_vcs_exhausted(self):
+        unit, _, _ = make_unit(vcs=1)
+        assert unit.request(0, 1, TrafficClass.CBR, avg_slots=1)
+        res = unit.request(0, 0, TrafficClass.CBR, avg_slots=1)
+        assert not res
+        assert "virtual channel" in res.reason
+        assert unit.rejected == 1
+
+    def test_rejects_on_admission(self):
+        unit, _, _ = make_unit(round_cycles=100)
+        assert unit.request(0, 1, TrafficClass.CBR, avg_slots=80)
+        res = unit.request(0, 1, TrafficClass.CBR, avg_slots=30)
+        assert not res
+        assert "reservation" in res.reason
+
+    def test_vbr_defaults_peak_to_avg(self):
+        unit, _, _ = make_unit()
+        res = unit.request(0, 1, TrafficClass.VBR, avg_slots=10)
+        assert res.connection.peak_slots == 10
+
+    def test_vbr_peak_passed_through(self):
+        unit, _, _ = make_unit()
+        res = unit.request(0, 1, TrafficClass.VBR, avg_slots=10, peak_slots=40)
+        assert res.connection.peak_slots == 40
+
+    def test_conn_ids_unique_across_rejections(self):
+        unit, _, _ = make_unit(vcs=4, round_cycles=100)
+        a = unit.request(0, 1, TrafficClass.CBR, avg_slots=90).connection
+        rej = unit.request(0, 1, TrafficClass.CBR, avg_slots=90)
+        assert not rej
+        b = unit.request(1, 0, TrafficClass.CBR, avg_slots=10).connection
+        assert a.conn_id != b.conn_id
+
+
+class TestTeardown:
+    def test_teardown_releases_everything(self):
+        unit, table, admission = make_unit(vcs=1, round_cycles=100)
+        res = unit.request(0, 1, TrafficClass.CBR, avg_slots=100)
+        unit.teardown(res.connection.conn_id)
+        assert len(table) == 0
+        assert admission.reserved_avg_load(0) == 0.0
+        # Both the VC and the bandwidth are reusable.
+        assert unit.request(0, 1, TrafficClass.CBR, avg_slots=100)
+
+    def test_teardown_unknown_raises(self):
+        unit, _, _ = make_unit()
+        with pytest.raises(KeyError):
+            unit.teardown(42)

@@ -1,0 +1,138 @@
+"""Tests for the sanity baselines, the registry, and the hardware model."""
+
+import numpy as np
+import pytest
+
+from repro.core import hwcost
+from repro.core.matching import Candidate, is_conflict_free, is_maximal
+from repro.core.registry import (
+    ARBITER_NAMES,
+    SCHEME_NAMES,
+    make_arbiter,
+    make_scheme,
+)
+from repro.core.rr import GreedyPriorityMatcher, RandomMatcher
+from repro.router.config import RouterConfig
+
+
+def cand(i, v, o, prio=1.0, level=0):
+    return Candidate(i, v, o, prio, level)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestGreedy:
+    def test_grants_by_priority(self):
+        greedy = GreedyPriorityMatcher()
+        cands = [
+            [cand(0, 0, 1, prio=5.0)],
+            [cand(1, 0, 1, prio=9.0), cand(1, 1, 0, prio=2.0, level=1)],
+        ]
+        grants = greedy.match(cands, rng())
+        assert grants[0] == (1, 0, 1)  # highest priority first
+        assert (0, 0, 1) not in grants  # output taken
+
+    def test_fuzz_valid_and_maximal(self):
+        generator = rng(1)
+        greedy = GreedyPriorityMatcher()
+        for _ in range(200):
+            cands = _random_candidates(generator, 4)
+            grants = greedy.match(cands, generator)
+            assert is_conflict_free(grants, 4)
+            assert is_maximal(cands, grants, 4)
+
+
+class TestRandomMatcher:
+    def test_fuzz_valid_and_maximal(self):
+        generator = rng(2)
+        matcher = RandomMatcher()
+        for _ in range(200):
+            cands = _random_candidates(generator, 4)
+            grants = matcher.match(cands, generator)
+            assert is_conflict_free(grants, 4)
+            assert is_maximal(cands, grants, 4)
+
+    def test_spreads_choices(self):
+        matcher = RandomMatcher()
+        cands = [[cand(0, 0, 0)], [cand(1, 0, 0)]]
+        winners = {matcher.match(cands, rng(s))[0][0] for s in range(64)}
+        assert winners == {0, 1}
+
+
+class TestRegistry:
+    def test_all_arbiters_instantiate_and_match(self):
+        cfg = RouterConfig(num_ports=4, vcs_per_link=8, candidate_levels=4)
+        generator = rng(3)
+        cands = _random_candidates(generator, 4)
+        for name in ARBITER_NAMES:
+            arbiter = make_arbiter(name, cfg)
+            grants = arbiter.match(cands, generator)
+            assert is_conflict_free(grants, 4), name
+
+    def test_all_schemes_instantiate_and_compute(self):
+        cfg = RouterConfig()
+        for name in SCHEME_NAMES:
+            scheme = make_scheme(name, cfg)
+            out = scheme.compute(np.array([1, 5]), np.array([0, 100]))
+            assert out.shape == (2,)
+
+    def test_unknown_names_raise(self):
+        cfg = RouterConfig()
+        with pytest.raises(ValueError, match="unknown arbiter"):
+            make_arbiter("bogus", cfg)
+        with pytest.raises(ValueError, match="unknown scheme"):
+            make_scheme("bogus", cfg)
+
+
+class TestHwCost:
+    def test_siabp_much_cheaper_than_iabp(self):
+        """H1: the paper (via its ref [4]) reports ~an order of magnitude
+        in area and ~38x in delay; the gate model must reproduce the
+        qualitative gap."""
+        iabp = hwcost.iabp_cost()
+        siabp = hwcost.siabp_cost()
+        assert iabp.area_ge / siabp.area_ge > 5.0
+        assert iabp.delay_levels / siabp.delay_levels > 4.0
+
+    def test_gap_grows_with_width(self):
+        narrow = hwcost.iabp_cost(priority_bits=12).area_ge / \
+            hwcost.siabp_cost(priority_bits=12).area_ge
+        wide = hwcost.iabp_cost(priority_bits=48).area_ge / \
+            hwcost.siabp_cost(priority_bits=48).area_ge
+        assert wide > narrow  # divider is quadratic, shifter linear
+
+    def test_dispatch(self):
+        assert hwcost.priority_update_cost("iabp").name == "iabp"
+        assert hwcost.priority_update_cost("siabp").name == "siabp"
+        with pytest.raises(ValueError):
+            hwcost.priority_update_cost("static")
+
+    def test_wfa_cheaper_than_coa(self):
+        """The paper's §6: COA's priority awareness costs hardware; the
+        WFA array is the cheap baseline."""
+        coa = hwcost.coa_cost(num_ports=4, levels=4)
+        wfa = hwcost.wfa_cost(num_ports=4)
+        assert wfa.area_ge < coa.area_ge
+        assert wfa.delay_levels < coa.delay_levels
+
+    def test_block_cost_composition(self):
+        a = hwcost.BlockCost("a", 10.0, 2.0)
+        b = hwcost.BlockCost("b", 5.0, 3.0)
+        combined = a + b
+        assert combined.area_ge == 15.0
+        assert combined.delay_levels == 5.0
+        assert a.scaled(4).area_ge == 40.0
+        assert a.scaled(4).delay_levels == 2.0
+
+
+def _random_candidates(generator, n):
+    out = []
+    for p in range(n):
+        k = int(generator.integers(0, n + 1))
+        out.append(
+            [cand(p, lvl, int(generator.integers(n)),
+                  float(generator.integers(1, 50)), lvl) for lvl in range(k)]
+        )
+    return out

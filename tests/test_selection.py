@@ -1,0 +1,90 @@
+"""Tests for repro.core.selection (selection matrix + conflict vector)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import Candidate
+from repro.core.selection import SelectionMatrix
+
+
+def cand(i, v, o, prio=1.0, level=0):
+    return Candidate(i, v, o, prio, level)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectionMatrix(0, 2)
+        with pytest.raises(ValueError):
+            SelectionMatrix(4, 0)
+
+    def test_from_candidates_places_requests(self):
+        m = SelectionMatrix.from_candidates(
+            [[cand(0, 2, 1, 5.0, 0)], [cand(1, 0, 1, 3.0, 0)]], 2, 2
+        )
+        assert m.row_requests(0, 1) == [(0, 2, 5.0), (1, 0, 3.0)]
+        assert m.total_requests() == 2
+
+    def test_rejects_level_beyond_matrix(self):
+        with pytest.raises(ValueError):
+            SelectionMatrix.from_candidates([[cand(0, 0, 0, 1.0, level=2)]], 2, 2)
+
+    def test_rejects_two_requests_same_level_same_input(self):
+        m = SelectionMatrix(2, 2)
+        m.place(cand(0, 0, 0, 1.0, 0))
+        with pytest.raises(ValueError):
+            m.place(cand(0, 1, 1, 1.0, 0))
+
+
+class TestConflictVector:
+    def test_paper_fig3_style_example(self):
+        """4x4, two candidate levels, in the layout of the paper's Fig. 3."""
+        m = SelectionMatrix(4, 2)
+        # Level-0 candidates: inputs 0,1 want output 0; 2,3 want output 3.
+        m.place(cand(0, 0, 0, 9.0, 0))
+        m.place(cand(1, 0, 0, 8.0, 0))
+        m.place(cand(2, 0, 3, 7.0, 0))
+        m.place(cand(3, 0, 3, 6.0, 0))
+        # Level-1 candidates: inputs 0,2 want output 1.
+        m.place(cand(0, 1, 1, 4.0, 1))
+        m.place(cand(2, 1, 1, 3.0, 1))
+        cv = m.conflict_vector()
+        np.testing.assert_array_equal(cv, [2, 0, 0, 2, 0, 2, 0, 0])
+
+    def test_drop_input_clears_all_levels(self):
+        m = SelectionMatrix(2, 2)
+        m.place(cand(0, 0, 0, 1.0, 0))
+        m.place(cand(0, 1, 1, 1.0, 1))
+        m.place(cand(1, 0, 0, 1.0, 0))
+        m.drop_input(0)
+        assert m.total_requests() == 1
+        assert m.row_requests(0, 0) == [(1, 0, 1.0)]
+
+    def test_drop_output_clears_all_levels(self):
+        m = SelectionMatrix(2, 2)
+        m.place(cand(0, 0, 1, 1.0, 0))
+        m.place(cand(1, 1, 1, 1.0, 1))
+        m.place(cand(1, 0, 0, 2.0, 0))
+        m.drop_output(1)
+        assert m.total_requests() == 1
+        assert m.has_requests()
+        m.drop_output(0)
+        assert not m.has_requests()
+
+    def test_requests_for_output_spans_levels(self):
+        m = SelectionMatrix(2, 3)
+        m.place(cand(0, 0, 1, 5.0, 0))
+        m.place(cand(1, 1, 1, 4.0, 2))
+        assert m.requests_for_output(1) == [(0, 0, 0, 5.0), (2, 1, 1, 4.0)]
+
+
+class TestRender:
+    def test_render_mentions_levels_and_conflicts(self):
+        m = SelectionMatrix(2, 2)
+        m.place(cand(0, 0, 1, 5.0, 0))
+        text = m.render()
+        assert "level 0" in text
+        assert "level 1" in text
+        assert "conflicts" in text
+        # The single request shows as priority 5 on out1's row.
+        assert "  5" in text

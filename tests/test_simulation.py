@@ -1,0 +1,121 @@
+"""Integration tests for repro.sim.simulation / sweep / experiments."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import RunControl
+from repro.sim.experiments import default_config, get_scale
+from repro.sim.simulation import SingleRouterSim
+from repro.sim.sweep import run_load_sweep
+from repro.traffic.mixes import build_cbr_workload, build_vbr_workload
+
+
+def small_config(**kw):
+    base = dict(num_ports=4, vcs_per_link=32, candidate_levels=4)
+    base.update(kw)
+    return default_config(**base)
+
+
+class TestSingleRouterSim:
+    def test_conservation_and_sane_metrics(self):
+        sim = SingleRouterSim(small_config(), arbiter="coa", seed=1)
+        wl = build_cbr_workload(sim.router, 0.5, sim.rng.workload)
+        res = sim.run(wl, RunControl(cycles=8_000, warmup_cycles=1_000))
+        # Below saturation: throughput tracks offered load.
+        assert res.throughput == pytest.approx(res.offered_load, rel=0.05)
+        assert res.utilization == pytest.approx(res.offered_load, rel=0.1)
+        assert res.normalized_throughput == pytest.approx(1.0, rel=0.05)
+        # Delay is at least the minimum possible (one router traversal).
+        assert res.overall_flit_delay_us >= sim.config.flit_cycle_us
+        assert res.backlog < 100
+        sim.router.check_flow_control_invariant()
+
+    def test_accounting_exact(self):
+        """Departures + backlog == injections, flit for flit."""
+        sim = SingleRouterSim(small_config(), arbiter="coa", seed=2)
+        wl = build_cbr_workload(sim.router, 0.6, sim.rng.workload)
+        control = RunControl(cycles=5_000)
+        res = sim.run(wl, control)
+        injected = sum(nic.accepted for nic in sim.router.nics)
+        departed = sim.router.crossbar.total_grants
+        assert injected == departed + res.backlog
+
+    def test_determinism(self):
+        def run_once():
+            sim = SingleRouterSim(small_config(), arbiter="coa", seed=3)
+            wl = build_cbr_workload(sim.router, 0.5, sim.rng.workload)
+            return sim.run(wl, RunControl(cycles=3_000))
+
+        a, b = run_once(), run_once()
+        assert a.flit_delay_us == b.flit_delay_us
+        assert a.utilization == b.utilization
+
+    def test_workloads_identical_across_arbiters(self):
+        """The fairness rule: same seed => same connections/schedules."""
+        def build(arbiter):
+            sim = SingleRouterSim(small_config(), arbiter=arbiter, seed=4)
+            wl = build_cbr_workload(sim.router, 0.5, sim.rng.workload)
+            return [(i.conn.in_port, i.conn.vc, i.conn.out_port, i.label)
+                    for i in wl.loads]
+
+        assert build("coa") == build("wfa")
+
+    def test_vbr_run_produces_frame_metrics(self):
+        sim = SingleRouterSim(small_config(), arbiter="coa", seed=5)
+        wl = build_vbr_workload(sim.router, 0.5, sim.rng.workload,
+                                frame_time_cycles=800, bandwidth_scale=8.0,
+                                num_gops=1)
+        res = sim.run(wl, RunControl(cycles=800 * 15, warmup_cycles=800))
+        assert res.frames["overall"] > 0
+        assert res.overall_frame_delay_us > 0
+        assert res.overall_jitter_us >= 0
+
+    def test_scheme_affects_results(self):
+        def run_with(scheme):
+            sim = SingleRouterSim(small_config(), "coa", scheme, seed=6)
+            wl = build_cbr_workload(sim.router, 0.8, sim.rng.workload)
+            return sim.run(wl, RunControl(cycles=4_000)).flit_delay_us
+
+        assert run_with("siabp") != run_with("fifo")
+
+    def test_result_records_provenance(self):
+        sim = SingleRouterSim(small_config(), "wfa", "siabp", seed=7)
+        wl = build_cbr_workload(sim.router, 0.3, sim.rng.workload)
+        res = sim.run(wl, RunControl(cycles=1_000))
+        assert res.arbiter == "wfa"
+        assert res.scheme == "siabp"
+        assert res.seed == 7
+        assert res.cycles == 1_000
+        assert res.connections == len(wl)
+
+
+class TestSweep:
+    def test_sweep_points_ascend_and_series_shapes(self):
+        control = RunControl(cycles=2_000, warmup_cycles=200)
+
+        def builder(router, rng, load):
+            return build_cbr_workload(router, load, rng)
+
+        sweep = run_load_sweep((0.2, 0.5), builder, small_config(), "coa",
+                               control, seed=1)
+        assert sweep.arbiter == "coa"
+        assert len(sweep.points) == 2
+        assert sweep.points[0].offered_load < sweep.points[1].offered_load
+        series = sweep.series(lambda r: r.utilization)
+        assert len(series) == 2
+        assert series[0][0] == pytest.approx(
+            sweep.points[0].offered_load * 100
+        )
+
+
+class TestScales:
+    def test_known_scales(self):
+        ci = get_scale("ci")
+        assert ci.vbr_cycles == ci.vbr_frame_time_cycles * 15 * ci.vbr_num_gops
+        paper = get_scale("paper")
+        assert paper.cbr_cycles > ci.cbr_cycles
+        assert get_scale(ci) is ci
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")

@@ -1,0 +1,89 @@
+"""Validation against published queueing theory (paper ref [10]).
+
+The strongest correctness check a switch simulator can pass: drive the
+conventional single-request arbiter into saturation and compare the
+measured ceiling against Karol-Hluchyj-Morgan's published input-queueing
+saturation throughput for the same port count.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    KAROL_HLUCHYJ_TABLE,
+    fresh_uniform_matching_limit,
+    hol_asymptote,
+    karol_hluchyj_limit,
+)
+from repro.sim.engine import RunControl
+from repro.sim.experiments import default_config
+from repro.sim.simulation import SingleRouterSim
+from repro.traffic.mixes import build_cbr_workload
+
+
+class TestClosedForms:
+    def test_table_values(self):
+        assert karol_hluchyj_limit(2) == 0.75
+        assert karol_hluchyj_limit(4) == pytest.approx(0.6553)
+
+    def test_asymptote(self):
+        assert hol_asymptote() == pytest.approx(2 - math.sqrt(2))
+        assert karol_hluchyj_limit(1000) == pytest.approx(2 - math.sqrt(2))
+
+    def test_table_decreases_toward_asymptote(self):
+        values = [KAROL_HLUCHYJ_TABLE[n] for n in sorted(KAROL_HLUCHYJ_TABLE)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] > hol_asymptote()
+
+    def test_fresh_matching_exceeds_hol_limit(self):
+        # Coincides exactly at N=2; strictly above for larger switches.
+        assert fresh_uniform_matching_limit(2) == karol_hluchyj_limit(2)
+        for n in (3, 4, 8):
+            assert fresh_uniform_matching_limit(n) > karol_hluchyj_limit(n)
+
+    def test_fresh_matching_values(self):
+        assert fresh_uniform_matching_limit(1) == 1.0
+        assert fresh_uniform_matching_limit(4) == pytest.approx(
+            1 - (3 / 4) ** 4
+        )
+
+    def test_validation_args(self):
+        with pytest.raises(ValueError):
+            karol_hluchyj_limit(0)
+        with pytest.raises(ValueError):
+            fresh_uniform_matching_limit(0)
+
+
+class TestSimulatorMatchesTheory:
+    @pytest.mark.parametrize("ports,seed", [(4, 17), (4, 23)])
+    def test_wfa_saturation_matches_karol_hluchyj(self, ports, seed):
+        """Overdrive a WFA-arbitrated router: the delivered throughput
+        must settle at the published HOL-blocking ceiling.
+
+        The match is approximate: Karol-Hluchyj assumes each *new* HOL
+        cell draws a fresh uniform destination, while MMR connections
+        have *fixed* destinations and SIABP picks which VC is head — at
+        saturation the head's destination gets sticky and the random
+        per-workload destination mix is not perfectly balanced, both of
+        which pull the ceiling a few points below the iid theory.  ±0.07
+        absolute covers that modelling gap at N=4 while still pinning
+        the ceiling far below full load and far above pathological.
+        """
+        config = default_config(num_ports=ports)
+        sim = SingleRouterSim(config, arbiter="wfa", seed=seed)
+        workload = build_cbr_workload(sim.router, 0.95, sim.rng.workload)
+        result = sim.run(workload, RunControl(cycles=20_000, warmup_cycles=4_000))
+        theory = karol_hluchyj_limit(ports)
+        assert result.throughput == pytest.approx(theory, abs=0.07)
+        # And the ceiling is a real ceiling: far below the offered load.
+        assert result.throughput < result.offered_load - 0.15
+
+    def test_coa_exceeds_the_hol_ceiling(self):
+        """The COA's whole point: multi-candidate selection beats the
+        single-request ceiling decisively."""
+        config = default_config()
+        sim = SingleRouterSim(config, arbiter="coa", seed=17)
+        workload = build_cbr_workload(sim.router, 0.85, sim.rng.workload)
+        result = sim.run(workload, RunControl(cycles=20_000, warmup_cycles=4_000))
+        assert result.throughput > karol_hluchyj_limit(4) + 0.1

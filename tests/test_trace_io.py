@@ -1,0 +1,82 @@
+"""Tests for MPEG trace CSV I/O and the p99 delay reporting."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import RunControl
+from repro.sim.simulation import SingleRouterSim
+from repro.sim.experiments import default_config
+from repro.traffic.mixes import build_cbr_workload
+from repro.traffic.mpeg import (
+    SEQUENCE_STATS,
+    generate_trace,
+    load_trace_csv,
+    save_trace_csv,
+)
+
+
+class TestTraceCSV:
+    def test_roundtrip(self, tmp_path):
+        trace = generate_trace(SEQUENCE_STATS["hook"], 3,
+                               np.random.default_rng(0))
+        path = tmp_path / "hook.csv"
+        save_trace_csv(path, trace)
+        loaded = load_trace_csv(path)
+        np.testing.assert_array_equal(loaded, trace)
+
+    def test_file_format(self, tmp_path):
+        trace = np.array([100, 200, 300])
+        path = tmp_path / "t.csv"
+        save_trace_csv(path, trace)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "frame_index,frame_type,size_bits"
+        assert lines[1] == "0,I,100"
+        assert lines[2] == "1,B,200"  # GOP pattern: I B B P ...
+
+    def test_save_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace_csv(tmp_path / "x.csv", np.array([]))
+        with pytest.raises(ValueError):
+            save_trace_csv(tmp_path / "x.csv", np.array([10, 0]))
+
+    def test_load_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n0,I,10\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trace_csv(path)
+
+    def test_load_rejects_out_of_order(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("frame_index,frame_type,size_bits\n1,I,10\n")
+        with pytest.raises(ValueError, match="out of order"):
+            load_trace_csv(path)
+
+    def test_load_rejects_bad_size(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("frame_index,frame_type,size_bits\n0,I,-5\n")
+        with pytest.raises(ValueError, match="non-positive"):
+            load_trace_csv(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("frame_index,frame_type,size_bits\n")
+        with pytest.raises(ValueError, match="no frames"):
+            load_trace_csv(path)
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("frame_index,frame_type,size_bits\n0,I,10\n\n1,B,20\n")
+        np.testing.assert_array_equal(load_trace_csv(path), [10, 20])
+
+
+class TestP99Reporting:
+    def test_p99_at_least_mean(self):
+        sim = SingleRouterSim(
+            default_config(vcs_per_link=32), arbiter="coa", seed=4
+        )
+        wl = build_cbr_workload(sim.router, 0.6, sim.rng.workload)
+        res = sim.run(wl, RunControl(cycles=5_000, warmup_cycles=500))
+        for label, mean in res.flit_delay_us.items():
+            p99 = res.flit_delay_p99_us[label]
+            if mean == mean:  # skip NaN groups
+                assert p99 >= mean * 0.99, label

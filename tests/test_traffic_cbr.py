@@ -1,0 +1,106 @@
+"""Tests for repro.traffic.base and repro.traffic.cbr."""
+
+import numpy as np
+import pytest
+
+from repro.router.config import RouterConfig
+from repro.traffic.base import InjectionSchedule
+from repro.traffic.cbr import CBR_CLASSES, CBRSource
+
+
+CFG = RouterConfig()
+
+
+class TestInjectionSchedule:
+    def test_validates_lengths(self):
+        with pytest.raises(ValueError):
+            InjectionSchedule(
+                np.array([1, 2]), np.array([0]), np.array([False, False])
+            )
+
+    def test_validates_monotonicity(self):
+        with pytest.raises(ValueError):
+            InjectionSchedule(
+                np.array([2, 1]), np.array([0, 0]), np.array([False, False])
+            )
+
+    def test_empty(self):
+        s = InjectionSchedule.empty()
+        assert len(s) == 0
+        assert s.offered_flits_until(100) == 0
+
+    def test_offered_and_mean_load(self):
+        s = InjectionSchedule(
+            np.array([0, 10, 20, 30]),
+            np.full(4, -1),
+            np.zeros(4, dtype=bool),
+        )
+        assert s.offered_flits_until(21) == 3
+        assert s.mean_load(40) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            s.mean_load(0)
+
+
+class TestCBRSource:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            CBRSource(CFG, 0)
+        with pytest.raises(ValueError):
+            CBRSource(CFG, CFG.link_rate_bps * 2)
+        with pytest.raises(ValueError):
+            CBRSource(CFG, 1e6, phase=-1)
+
+    def test_mean_load_is_rate_fraction(self):
+        src = CBRSource(CFG, 55e6)
+        assert src.mean_load() == pytest.approx(55e6 / 1.24e9)
+
+    def test_long_run_rate_exact(self):
+        src = CBRSource(CFG, 55e6)
+        horizon = 100_000
+        sched = src.schedule(horizon, np.random.default_rng(0))
+        achieved = len(sched) / horizon
+        assert achieved == pytest.approx(src.mean_load(), rel=1e-3)
+
+    def test_cadence_is_regular(self):
+        src = CBRSource(CFG, 55e6)
+        sched = src.schedule(10_000, np.random.default_rng(0))
+        gaps = np.diff(sched.cycles)
+        iat = src.iat_cycles
+        assert gaps.min() >= np.floor(iat)
+        assert gaps.max() <= np.ceil(iat)
+
+    def test_phase_shifts_train(self):
+        base = CBRSource(CFG, 55e6, phase=0.0)
+        shifted = CBRSource(CFG, 55e6, phase=10.0)
+        a = base.schedule(5_000, np.random.default_rng(0))
+        b = shifted.schedule(5_000, np.random.default_rng(0))
+        assert b.cycles[0] == a.cycles[0] + 10
+
+    def test_no_frames(self):
+        sched = CBRSource(CFG, 1.54e6).schedule(50_000, np.random.default_rng(0))
+        assert (sched.frame_ids == -1).all()
+        assert not sched.frame_last.any()
+
+    def test_horizon_respected(self):
+        sched = CBRSource(CFG, 55e6).schedule(1_000, np.random.default_rng(0))
+        assert sched.cycles.max() < 1_000
+
+    def test_zero_horizon(self):
+        assert len(CBRSource(CFG, 55e6).schedule(0, np.random.default_rng(0))) == 0
+
+    def test_from_class_randomizes_phase(self):
+        rng = np.random.default_rng(1)
+        phases = {CBRSource.from_class(CFG, "high", rng).phase for _ in range(8)}
+        assert len(phases) > 1
+        for phase in phases:
+            assert 0 <= phase < CBRSource(CFG, 55e6).iat_cycles
+
+    def test_paper_classes_present(self):
+        assert CBR_CLASSES["low"].rate_bps == 64e3
+        assert CBR_CLASSES["medium"].rate_bps == 1.54e6
+        assert CBR_CLASSES["high"].rate_bps == 55e6
+
+    def test_low_class_has_long_iat(self):
+        src = CBRSource(CFG, 64e3)
+        # ~19k cycles between 64 Kbps flits at paper parameters.
+        assert 15_000 < src.iat_cycles < 25_000

@@ -1,0 +1,175 @@
+"""Tests for repro.traffic.besteffort and repro.traffic.mixes."""
+
+import numpy as np
+import pytest
+
+from repro.router import MMRouter, RouterConfig, TrafficClass
+from repro.traffic.besteffort import BestEffortSource
+from repro.traffic.mixes import (
+    Workload,
+    build_besteffort_workload,
+    build_cbr_workload,
+    build_vbr_workload,
+)
+
+
+def make_router(**kw) -> MMRouter:
+    base = dict(num_ports=4, vcs_per_link=64, candidate_levels=4)
+    base.update(kw)
+    return MMRouter(RouterConfig(**base))
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBestEffortSource:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BestEffortSource(0.0)
+        with pytest.raises(ValueError):
+            BestEffortSource(1.5)
+        with pytest.raises(ValueError):
+            BestEffortSource(0.5, mean_packet_flits=0.5)
+
+    def test_load_approximately_achieved(self):
+        src = BestEffortSource(0.3, mean_packet_flits=6)
+        sched = src.schedule(200_000, rng(1))
+        assert sched.mean_load(200_000) == pytest.approx(0.3, rel=0.1)
+
+    def test_packets_have_last_markers(self):
+        src = BestEffortSource(0.2, mean_packet_flits=4)
+        sched = src.schedule(10_000, rng(2))
+        n_packets = len(np.unique(sched.frame_ids))
+        # Possibly the final packet is truncated by the horizon.
+        assert sched.frame_last.sum() in (n_packets, n_packets - 1)
+
+    def test_single_flit_packets(self):
+        src = BestEffortSource(0.2, mean_packet_flits=1)
+        sched = src.schedule(5_000, rng(3))
+        counts = np.bincount(sched.frame_ids)
+        assert (counts == 1).all()
+
+
+class TestCBRWorkload:
+    def test_reaches_target_load(self):
+        router = make_router()
+        wl = build_cbr_workload(router, 0.7, rng(1))
+        for port in range(4):
+            assert wl.offered_load(port) == pytest.approx(0.7, abs=0.05)
+
+    def test_connections_admitted_and_within_reservation(self):
+        router = make_router()
+        wl = build_cbr_workload(router, 0.8, rng(2))
+        assert len(router.table) == len(wl)
+        for port in range(4):
+            assert router.admission.reserved_avg_load(port) <= 1.0
+
+    def test_mix_contains_all_classes(self):
+        router = make_router()
+        wl = build_cbr_workload(router, 0.8, rng(3))
+        labels = {item.label for item in wl.loads}
+        assert labels == {"low", "medium", "high"}
+
+    def test_respects_class_mix_argument(self):
+        router = make_router()
+        wl = build_cbr_workload(router, 0.5, rng(4), class_mix={"high": 1.0})
+        assert {item.label for item in wl.loads} == {"high"}
+
+    def test_rejects_bad_arguments(self):
+        router = make_router()
+        with pytest.raises(ValueError):
+            build_cbr_workload(router, 0.0, rng(0))
+        with pytest.raises(ValueError):
+            build_cbr_workload(router, 0.5, rng(0), class_mix={})
+        with pytest.raises(ValueError):
+            build_cbr_workload(router, 0.5, rng(0), class_mix={"huge": 1.0})
+
+    def test_label_lookup(self):
+        router = make_router()
+        wl = build_cbr_workload(router, 0.3, rng(5))
+        item = wl.loads[0]
+        assert wl.label_of(item.conn.conn_id) == item.label
+        with pytest.raises(KeyError):
+            wl.label_of(10_000)
+
+
+class TestVBRWorkload:
+    def test_reaches_target_load(self):
+        router = make_router()
+        wl = build_vbr_workload(router, 0.6, rng(1), frame_time_cycles=1_000,
+                                bandwidth_scale=8.0, num_gops=2)
+        for port in range(4):
+            assert wl.offered_load(port) == pytest.approx(0.6, abs=0.08)
+
+    def test_vbr_reservations_recorded(self):
+        router = make_router()
+        wl = build_vbr_workload(router, 0.5, rng(2), frame_time_cycles=1_000,
+                                bandwidth_scale=8.0, num_gops=2)
+        for item in wl.loads:
+            assert item.conn.traffic_class == TrafficClass.VBR
+            assert item.conn.peak_slots >= item.conn.avg_slots
+
+    def test_bb_shares_global_peak(self):
+        router = make_router()
+        wl = build_vbr_workload(router, 0.5, rng(3), model="BB",
+                                frame_time_cycles=1_000, bandwidth_scale=8.0,
+                                num_gops=2)
+        peaks = {item.source.peak_flits_per_frame for item in wl.loads}
+        assert len(peaks) == 1
+
+    def test_sequences_drawn_from_requested_set(self):
+        router = make_router()
+        wl = build_vbr_workload(router, 0.5, rng(4), frame_time_cycles=1_000,
+                                bandwidth_scale=8.0, num_gops=2,
+                                sequences=["hook", "football"])
+        assert {item.label for item in wl.loads} <= {"hook", "football"}
+
+    def test_unknown_sequence_rejected(self):
+        router = make_router()
+        with pytest.raises(ValueError):
+            build_vbr_workload(router, 0.5, rng(0), sequences=["casablanca"])
+
+
+class TestBestEffortWorkload:
+    def test_builds_sources(self):
+        router = make_router()
+        wl = build_besteffort_workload(router, 0.2, rng(1), sources_per_port=2)
+        assert len(wl) == 8
+        for port in range(4):
+            assert wl.offered_load(port) == pytest.approx(0.2, rel=1e-6)
+
+    def test_no_bandwidth_reserved(self):
+        router = make_router()
+        build_besteffort_workload(router, 0.2, rng(2))
+        for port in range(4):
+            assert router.admission.reserved_avg_load(port) == 0.0
+
+
+class TestFeeds:
+    def test_feeds_sorted_and_complete(self):
+        router = make_router()
+        wl = build_cbr_workload(router, 0.6, rng(6))
+        feeds = wl.build_feeds(5_000, rng(7))
+        assert len(feeds) == 4
+        total = 0
+        for feed in feeds:
+            assert (np.diff(feed.cycles) >= 0).all()
+            assert len(feed.cycles) == len(feed.vcs) == len(feed.frame_ids)
+            total += len(feed)
+        expected = 0.6 * 4 * 5_000
+        assert total == pytest.approx(expected, rel=0.1)
+
+    def test_feed_vcs_belong_to_port_connections(self):
+        router = make_router()
+        wl = build_cbr_workload(router, 0.4, rng(8))
+        feeds = wl.build_feeds(2_000, rng(9))
+        for port, feed in enumerate(feeds):
+            valid_vcs = {item.conn.vc for item in wl.loads
+                         if item.conn.in_port == port}
+            assert set(np.unique(feed.vcs)) <= valid_vcs
+
+    def test_empty_workload_feeds(self):
+        router = make_router()
+        feeds = Workload(router.config).build_feeds(100, rng(0))
+        assert all(len(f) == 0 for f in feeds)

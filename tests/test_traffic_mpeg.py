@@ -1,0 +1,130 @@
+"""Tests for repro.traffic.mpeg (GOP model + synthetic trace calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.mpeg import (
+    FRAME_PERIOD_SECONDS,
+    GOP_LENGTH,
+    GOP_PATTERN,
+    FrameKind,
+    SEQUENCE_STATS,
+    SequenceStats,
+    frame_kinds,
+    generate_trace,
+    mean_type_sizes,
+    trace_bitrate_bps,
+    trace_statistics,
+)
+
+
+class TestGOPStructure:
+    def test_pattern_is_the_papers(self):
+        assert GOP_PATTERN == "IBBPBBPBBPBBPBB"
+        assert GOP_LENGTH == 15
+
+    def test_frame_kinds_tile_pattern(self):
+        kinds = frame_kinds(2 * GOP_LENGTH + 3)
+        assert kinds[0] == FrameKind.I
+        assert kinds[GOP_LENGTH] == FrameKind.I
+        assert kinds[1] == FrameKind.B
+        assert kinds[3] == FrameKind.P
+        assert len(kinds) == 33
+
+    def test_composition_counts(self):
+        assert GOP_PATTERN.count("I") == 1
+        assert GOP_PATTERN.count("P") == 4
+        assert GOP_PATTERN.count("B") == 10
+
+
+class TestSequenceStats:
+    def test_all_seven_paper_sequences(self):
+        assert set(SEQUENCE_STATS) == {
+            "ayersroc", "hook", "martin", "flower_garden",
+            "mobile_calendar", "table_tennis", "football",
+        }
+
+    def test_stats_internally_consistent(self):
+        for stats in SEQUENCE_STATS.values():
+            assert stats.min_bits <= stats.avg_bits <= stats.max_bits
+
+    def test_rates_in_mpeg2_range(self):
+        """Sequences should code at roughly 3-10 Mbps at 30 fps."""
+        for stats in SEQUENCE_STATS.values():
+            assert 2e6 < stats.avg_rate_bps < 12e6, stats.name
+
+    def test_rejects_inconsistent(self):
+        with pytest.raises(ValueError):
+            SequenceStats("bad", max_bits=10, min_bits=20, avg_bits=15)
+
+
+class TestMeanTypeSizes:
+    def test_weighted_mean_matches_average(self):
+        stats = SEQUENCE_STATS["flower_garden"]
+        means = mean_type_sizes(stats)
+        weighted = (means[FrameKind.I] + 4 * means[FrameKind.P]
+                    + 10 * means[FrameKind.B]) / GOP_LENGTH
+        assert weighted == pytest.approx(stats.avg_bits)
+
+    def test_i_larger_than_p_larger_than_b(self):
+        means = mean_type_sizes(SEQUENCE_STATS["football"])
+        assert means[FrameKind.I] > means[FrameKind.P] > means[FrameKind.B]
+
+
+class TestGenerateTrace:
+    def test_length_and_bounds(self):
+        stats = SEQUENCE_STATS["hook"]
+        trace = generate_trace(stats, 4, np.random.default_rng(0))
+        assert len(trace) == 4 * GOP_LENGTH
+        assert trace.min() >= stats.min_bits
+        assert trace.max() <= stats.max_bits
+
+    def test_mean_calibrated(self):
+        stats = SEQUENCE_STATS["mobile_calendar"]
+        trace = generate_trace(stats, 40, np.random.default_rng(1))
+        assert trace.mean() == pytest.approx(stats.avg_bits, rel=0.02)
+
+    def test_i_frames_biggest_on_average(self):
+        stats = SEQUENCE_STATS["table_tennis"]
+        trace = generate_trace(stats, 20, np.random.default_rng(2))
+        kinds = frame_kinds(len(trace))
+        i_mean = trace[kinds == FrameKind.I].mean()
+        p_mean = trace[kinds == FrameKind.P].mean()
+        b_mean = trace[kinds == FrameKind.B].mean()
+        assert i_mean > p_mean > b_mean
+
+    def test_rejects_zero_gops(self):
+        with pytest.raises(ValueError):
+            generate_trace(SEQUENCE_STATS["hook"], 0, np.random.default_rng(0))
+
+    def test_deterministic_per_seed(self):
+        stats = SEQUENCE_STATS["martin"]
+        a = generate_trace(stats, 2, np.random.default_rng(3))
+        b = generate_trace(stats, 2, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_gop_periodicity_visible(self):
+        """Autocovariance of the trace peaks at the GOP period — the
+        burst structure Fig. 6 displays."""
+        stats = SEQUENCE_STATS["flower_garden"]
+        trace = generate_trace(stats, 30, np.random.default_rng(4)).astype(float)
+        x = trace - trace.mean()
+        def autocov(lag):
+            return float((x[:-lag] * x[lag:]).mean())
+        assert autocov(GOP_LENGTH) > 2 * abs(autocov(GOP_LENGTH // 2))
+
+
+class TestMeasurement:
+    def test_trace_statistics_roundtrip(self):
+        stats = SEQUENCE_STATS["ayersroc"]
+        trace = generate_trace(stats, 30, np.random.default_rng(5))
+        measured = trace_statistics(trace)
+        assert measured.min_bits >= stats.min_bits
+        assert measured.max_bits <= stats.max_bits
+        assert measured.avg_bits == pytest.approx(stats.avg_bits, rel=0.05)
+
+    def test_bitrate(self):
+        trace = np.full(30, 330_000)
+        assert trace_bitrate_bps(trace) == pytest.approx(
+            330_000 / FRAME_PERIOD_SECONDS
+        )

@@ -1,0 +1,158 @@
+"""Tests for repro.traffic.vbr (SR/BB injection models, Fig. 7 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.router.config import RouterConfig
+from repro.traffic.mpeg import SEQUENCE_STATS, generate_trace
+from repro.traffic.vbr import VBRSource, default_frame_time_cycles, trace_to_flits
+
+
+CFG = RouterConfig()
+RNG = np.random.default_rng(0)
+
+
+class TestTraceToFlits:
+    def test_load_preserved_under_time_scaling(self):
+        """Shrinking frame_time_cycles must not change per-stream load."""
+        trace = generate_trace(SEQUENCE_STATS["football"], 4,
+                               np.random.default_rng(1))
+        full = default_frame_time_cycles(CFG)
+        flits_full = trace_to_flits(trace, CFG, full)
+        flits_small = trace_to_flits(trace, CFG, 2_000)
+        load_full = flits_full.mean() / full
+        load_small = flits_small.mean() / 2_000
+        assert load_small == pytest.approx(load_full, rel=0.05)
+
+    def test_bandwidth_scale_multiplies_load(self):
+        trace = generate_trace(SEQUENCE_STATS["football"], 4,
+                               np.random.default_rng(1))
+        base = trace_to_flits(trace, CFG, 2_000, bandwidth_scale=1.0)
+        scaled = trace_to_flits(trace, CFG, 2_000, bandwidth_scale=8.0)
+        assert scaled.mean() / base.mean() == pytest.approx(8.0, rel=0.1)
+
+    def test_every_frame_at_least_one_flit(self):
+        trace = np.full(15, 1_000)  # tiny frames
+        flits = trace_to_flits(trace, CFG, 2_000)
+        assert (flits >= 1).all()
+
+    def test_rejects_overfull_frames(self):
+        trace = np.full(15, 10_000_000)
+        with pytest.raises(ValueError, match="frame time"):
+            trace_to_flits(trace, CFG, 100, bandwidth_scale=1000.0)
+
+    def test_validation(self):
+        trace = np.full(15, 1_000)
+        with pytest.raises(ValueError):
+            trace_to_flits(trace, CFG, 0)
+        with pytest.raises(ValueError):
+            trace_to_flits(trace, CFG, 100, bandwidth_scale=0)
+
+    def test_default_frame_time_is_33ms(self):
+        cycles = default_frame_time_cycles(CFG)
+        assert cycles * CFG.flit_cycle_seconds == pytest.approx(33e-3, rel=0.01)
+
+
+class TestVBRSourceValidation:
+    def test_rejects_bad_model(self):
+        with pytest.raises(ValueError):
+            VBRSource(np.array([5]), 100, model="XX")
+
+    def test_rejects_empty_or_zero_frames(self):
+        with pytest.raises(ValueError):
+            VBRSource(np.array([], dtype=np.int64), 100)
+        with pytest.raises(ValueError):
+            VBRSource(np.array([0]), 100)
+
+    def test_rejects_frame_bigger_than_window(self):
+        with pytest.raises(ValueError):
+            VBRSource(np.array([101]), 100)
+
+    def test_rejects_peak_below_largest_frame(self):
+        with pytest.raises(ValueError, match="peak"):
+            VBRSource(np.array([50]), 100, model="BB", peak_flits_per_frame=40)
+
+
+class TestSRModel:
+    def test_flits_spread_over_whole_frame_time(self):
+        src = VBRSource(np.array([10]), frame_time_cycles=100, model="SR")
+        sched = src.schedule(100, RNG)
+        assert len(sched) == 10
+        gaps = np.diff(sched.cycles)
+        assert gaps.min() >= 9
+        assert gaps.max() <= 11
+        assert sched.cycles[-1] >= 90  # spans the window
+
+    def test_per_frame_iat_varies_with_size(self):
+        src = VBRSource(np.array([4, 20]), frame_time_cycles=100, model="SR")
+        sched = src.schedule(200, RNG)
+        first = sched.cycles[sched.frame_ids == 0]
+        second = sched.cycles[sched.frame_ids == 1]
+        assert np.diff(first).mean() > np.diff(second).mean()
+
+    def test_last_flit_flagged_per_frame(self):
+        src = VBRSource(np.array([5, 7]), frame_time_cycles=100, model="SR")
+        sched = src.schedule(200, RNG)
+        assert sched.frame_last.sum() == 2
+        for fid, size in ((0, 5), (1, 7)):
+            frame_mask = sched.frame_ids == fid
+            assert frame_mask.sum() == size
+            assert sched.frame_last[np.flatnonzero(frame_mask)[-1]]
+
+
+class TestBBModel:
+    def test_flits_burst_at_peak_rate(self):
+        src = VBRSource(np.array([10]), frame_time_cycles=100, model="BB",
+                        peak_flits_per_frame=50)
+        sched = src.schedule(100, RNG)
+        # IATp = 100/50 = 2 cycles: the frame finishes within 20 cycles.
+        assert sched.cycles[-1] == 18
+        assert np.diff(sched.cycles).max() == 2
+
+    def test_source_idles_until_next_boundary(self):
+        src = VBRSource(np.array([10, 10]), frame_time_cycles=100, model="BB",
+                        peak_flits_per_frame=50)
+        sched = src.schedule(200, RNG)
+        second = sched.cycles[sched.frame_ids == 1]
+        assert second[0] == 100  # next frame boundary, not earlier
+
+    def test_default_peak_is_largest_frame(self):
+        src = VBRSource(np.array([10, 40]), frame_time_cycles=100, model="BB")
+        assert src.peak_flits_per_frame == 40
+
+    def test_common_peak_faster_than_sr_for_small_frames(self):
+        small = np.array([5])
+        bb = VBRSource(small, 100, model="BB", peak_flits_per_frame=50)
+        sr = VBRSource(small, 100, model="SR")
+        bb_last = bb.schedule(100, RNG).cycles[-1]
+        sr_last = sr.schedule(100, RNG).cycles[-1]
+        assert bb_last < sr_last
+
+
+class TestCommon:
+    def test_mean_and_peak_load(self):
+        src = VBRSource(np.array([10, 30]), frame_time_cycles=100)
+        assert src.mean_load() == pytest.approx(0.2)
+        assert src.peak_load() == pytest.approx(0.3)
+
+    def test_trace_reused_cyclically(self):
+        src = VBRSource(np.array([3, 6]), frame_time_cycles=10, model="SR")
+        sched = src.schedule(40, RNG)
+        sizes = [int((sched.frame_ids == k).sum()) for k in range(4)]
+        assert sizes == [3, 6, 3, 6]
+
+    def test_phase_offsets_boundaries(self):
+        src = VBRSource(np.array([4]), frame_time_cycles=100, model="SR",
+                        phase_cycles=25)
+        sched = src.schedule(300, RNG)
+        assert sched.cycles[0] == 25
+
+    def test_truncated_frame_loses_last_marker(self):
+        src = VBRSource(np.array([10]), frame_time_cycles=100, model="SR")
+        sched = src.schedule(50, RNG)  # frame cut in half
+        assert len(sched) < 10
+        assert not sched.frame_last.any()
+
+    def test_zero_horizon(self):
+        src = VBRSource(np.array([4]), frame_time_cycles=100)
+        assert len(src.schedule(0, RNG)) == 0

@@ -1,0 +1,166 @@
+"""Tests for repro.router.vc_memory (VC buffers + interleaved RAM model)."""
+
+import numpy as np
+import pytest
+
+from repro.router.config import RouterConfig
+from repro.router.vc_memory import InterleavedRam, VCMemory
+
+
+def make_mem(ports=2, vcs=4, depth=3) -> VCMemory:
+    cfg = RouterConfig(num_ports=ports, vcs_per_link=vcs, vc_buffer_depth=depth,
+                       candidate_levels=1)
+    return VCMemory(cfg)
+
+
+class TestFifoSemantics:
+    def test_pop_returns_push_order(self):
+        mem = make_mem()
+        mem.push(0, 1, gen_cycle=10, frame_id=7, frame_last=False, now=12)
+        mem.push(0, 1, gen_cycle=11, frame_id=7, frame_last=True, now=13)
+        assert mem.pop(0, 1) == (10, 12, 7, False)
+        assert mem.pop(0, 1) == (11, 13, 7, True)
+
+    def test_ring_wraparound_preserves_order(self):
+        mem = make_mem(depth=3)
+        seq = list(range(10))
+        produced = iter(seq)
+        consumed = []
+        # Interleave pushes and pops past several wraps.
+        pending = 0
+        for value in seq:
+            mem.push(0, 0, value, -1, False, value)
+            pending += 1
+            if pending == 3:
+                consumed.append(mem.pop(0, 0)[0])
+                pending -= 1
+        while pending:
+            consumed.append(mem.pop(0, 0)[0])
+            pending -= 1
+        assert consumed == seq
+
+    def test_overflow_raises(self):
+        mem = make_mem(depth=2)
+        mem.push(0, 0, 0, -1, False, 0)
+        mem.push(0, 0, 1, -1, False, 1)
+        with pytest.raises(OverflowError):
+            mem.push(0, 0, 2, -1, False, 2)
+
+    def test_pop_empty_raises(self):
+        mem = make_mem()
+        with pytest.raises(IndexError):
+            mem.pop(0, 0)
+
+    def test_vcs_are_independent(self):
+        mem = make_mem()
+        mem.push(0, 0, 100, -1, False, 100)
+        mem.push(0, 1, 200, -1, False, 200)
+        mem.push(1, 0, 300, -1, False, 300)
+        assert mem.pop(0, 1)[0] == 200
+        assert mem.pop(1, 0)[0] == 300
+        assert mem.pop(0, 0)[0] == 100
+
+
+class TestOccupancy:
+    def test_occupancy_tracks_push_pop(self):
+        mem = make_mem()
+        assert mem.total_flits() == 0
+        mem.push(0, 2, 0, -1, False, 0)
+        assert mem.occupancy_of(0, 2) == 1
+        assert mem.free_space(0, 2) == 2
+        mem.pop(0, 2)
+        assert mem.occupancy_of(0, 2) == 0
+        assert mem.total_flits() == 0
+
+    def test_occupancy_view_is_readonly(self):
+        mem = make_mem()
+        with pytest.raises(ValueError):
+            mem.occupancy[0, 0] = 5
+
+
+class TestHeads:
+    def test_heads_reflect_head_flit(self):
+        mem = make_mem()
+        mem.push(0, 1, gen_cycle=5, frame_id=-1, frame_last=False, now=8)
+        mem.push(0, 1, gen_cycle=6, frame_id=-1, frame_last=False, now=9)
+        view = mem.heads(0)
+        assert view.occupancy[1] == 2
+        assert view.gen_cycle[1] == 5
+        assert view.arrival_cycle[1] == 8
+        mem.pop(0, 1)
+        view = mem.heads(0)
+        assert view.gen_cycle[1] == 6
+        assert view.arrival_cycle[1] == 9
+
+    def test_heads_all_matches_per_port(self):
+        rng = np.random.default_rng(0)
+        mem = make_mem(ports=3, vcs=5, depth=4)
+        for _ in range(60):
+            p, v = int(rng.integers(3)), int(rng.integers(5))
+            if mem.free_space(p, v) and rng.random() < 0.7:
+                t = int(rng.integers(1000))
+                mem.push(p, v, t, -1, False, t + 1)
+            elif mem.occupancy_of(p, v):
+                mem.pop(p, v)
+        batched = mem.heads_all()
+        for p in range(3):
+            single = mem.heads(p)
+            np.testing.assert_array_equal(batched.occupancy[p], single.occupancy)
+            occ = single.occupancy > 0
+            np.testing.assert_array_equal(
+                batched.gen_cycle[p][occ], single.gen_cycle[occ]
+            )
+            np.testing.assert_array_equal(
+                batched.arrival_cycle[p][occ], single.arrival_cycle[occ]
+            )
+
+    def test_head_arrival_helper(self):
+        mem = make_mem()
+        mem.push(1, 3, 0, -1, False, 42)
+        assert mem.head_arrival(1, 3) == 42
+
+
+class TestInterleavedRam:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterleavedRam(0, 4)
+        with pytest.raises(ValueError):
+            InterleavedRam(4, 0)
+        with pytest.raises(ValueError):
+            InterleavedRam(4, 4, num_modules=0)
+
+    def test_address_in_range(self):
+        ram = InterleavedRam(num_vcs=8, depth=4, num_modules=4)
+        seen = set()
+        for vc in range(8):
+            for slot in range(4):
+                module, offset = ram.address(vc, slot)
+                assert 0 <= module < 4
+                assert 0 <= offset < ram.words_per_module()
+                seen.add((module, offset))
+        # The mapping must be injective (no two buffers share a word).
+        assert len(seen) == 8 * 4
+
+    def test_address_bounds_checked(self):
+        ram = InterleavedRam(4, 4)
+        with pytest.raises(ValueError):
+            ram.address(4, 0)
+        with pytest.raises(ValueError):
+            ram.address(0, 4)
+
+    def test_sequential_fifo_access_is_conflict_free(self):
+        # A push at the tail and a pop at the head of the same VC touch
+        # different modules whenever the FIFO holds more than one flit
+        # (adjacent slots interleave across modules).
+        ram = InterleavedRam(num_vcs=16, depth=4, num_modules=4)
+        for vc in range(16):
+            for head in range(4):
+                tail = (head + 2) % 4  # two flits buffered
+                assert ram.conflicts([(vc, head), (vc, tail)]) == 0
+
+    def test_conflicts_counts_collisions(self):
+        ram = InterleavedRam(num_vcs=8, depth=4, num_modules=4)
+        # Same (vc, slot) twice must collide.
+        assert ram.conflicts([(0, 0), (0, 0)]) == 1
+        # vc 0 slot 0 and vc 4 slot 0 share module (4+0) % 4 == 0.
+        assert ram.conflicts([(0, 0), (4, 0)]) == 1
