@@ -7,18 +7,31 @@ replicates the CBR throughput measurement over independent seeds
 claim to hold for *every* replication, not on average: the mechanism
 (head-of-line blocking vs multi-candidate priority matching) is
 structural, so no lucky workload should rescue the WFA.
+
+The fault benches extend S1-R to the failure regime: a dead link at the
+paper's 70% operating point must shed best-effort traffic first while
+the surviving CBR connections keep their delay bound, and CRC-detected
+corruption must cost only retransmissions — never delivered-flit loss —
+at any injection rate.
 """
 
 import pytest
 
 from repro.analysis import render_table
+from repro.faults import FaultConfig, FaultySingleRouterSim
 from repro.sim.engine import RunControl
 from repro.sim.experiments import default_config, get_scale
 from repro.sim.replication import replicate
-from repro.traffic.mixes import build_cbr_workload
+from repro.traffic.mixes import build_besteffort_workload, build_cbr_workload
 
 SEEDS = (101, 202, 303)
 LOADS = (0.7, 0.85)
+
+FAULT_SEEDS = (101, 202)
+FAULT_CYCLES = 12_000
+FAULT_WARMUP = 2_000
+DEAD_PORT = 1
+DEAD_PORT_CYCLE = 4_000
 
 
 def _builder(router, rng, load):
@@ -76,3 +89,153 @@ def test_s1_saturation_claim_across_seeds(benchmark):
     for r in wfa_85.results:
         assert r.normalized_throughput < 0.9, r.seed
     assert coa_85.throughput.low > wfa_85.throughput.high
+
+
+# ----------------------------------------------------------------------
+# Fault regime: graceful degradation under a dead link at 70% load
+# ----------------------------------------------------------------------
+
+
+def _fault_run(seed, faults, cbr_load=0.7, be_load=0.2):
+    sim = FaultySingleRouterSim(default_config(), seed=seed, faults=faults)
+    workload = build_cbr_workload(sim.router, cbr_load, sim.rng.workload)
+    if be_load > 0:
+        for item in build_besteffort_workload(
+            sim.router, be_load, sim.rng.workload
+        ).loads:
+            workload.add(item)
+    result = sim.run(workload, RunControl(FAULT_CYCLES, FAULT_WARMUP))
+    return result, sim.schedule.text()
+
+
+def _dead_link_pairs():
+    out = {}
+    for seed in FAULT_SEEDS:
+        healthy, _ = _fault_run(seed, None)
+        faulty, _ = _fault_run(
+            seed, FaultConfig(dead_port=DEAD_PORT, dead_port_cycle=DEAD_PORT_CYCLE)
+        )
+        out[seed] = (healthy, faulty)
+    return out
+
+
+@pytest.mark.benchmark(group="s1-robustness")
+def test_s1_dead_link_sheds_best_effort_first(benchmark):
+    """A dead link mid-run must cost best-effort traffic, not CBR QoS.
+
+    The harness kills one input port at 70% CBR + 20% best-effort load.
+    The victims are torn down and re-admitted on surviving ports, the
+    degradation policy sheds best-effort first, and the surviving CBR
+    connections must keep both their delivery and their delay bound.
+    """
+    pairs = benchmark.pedantic(_dead_link_pairs, rounds=1, iterations=1)
+    print()
+    rows = []
+    for seed, (healthy, faulty) in pairs.items():
+        cbr_keep = faulty.flits["high"] / healthy.flits["high"]
+        be_keep = faulty.flits["best-effort"] / healthy.flits["best-effort"]
+        rows.append([
+            seed,
+            f"{cbr_keep:.1%}",
+            f"{be_keep:.1%}",
+            f"{healthy.flit_delay_p99_us['high']:.2f}",
+            f"{faulty.flit_delay_p99_us['high']:.2f}",
+            faulty.fault["teardowns"],
+            faulty.fault["readmitted"],
+        ])
+    print(render_table(
+        ["seed", "CBR kept", "BE kept", "CBR p99 µs (healthy)",
+         "CBR p99 µs (dead link)", "teardowns", "readmitted"],
+        rows,
+        title="S1-R fault — dead link at 70% load: "
+              "best-effort sheds first, CBR holds",
+    ))
+
+    for seed, (healthy, faulty) in pairs.items():
+        assert faulty.fault["injected_dead_port"] == 1, seed
+        assert faulty.degradation_level >= 1, seed
+        # Every torn-down victim was recovered (re-admitted elsewhere) or
+        # explicitly dropped — none silently vanished.
+        assert faulty.fault["teardowns"] == (
+            faulty.fault["readmitted"] + faulty.fault["connections_dropped"]
+        ), seed
+
+        cbr_keep = faulty.flits["high"] / healthy.flits["high"]
+        be_keep = faulty.flits["best-effort"] / healthy.flits["best-effort"]
+        # CBR delivery survives essentially intact; best-effort is shed.
+        assert cbr_keep > 0.99, (seed, cbr_keep)
+        assert be_keep < 0.5, (seed, be_keep)
+        # Degradation order: best-effort loses strictly more than CBR.
+        assert (1 - be_keep) > (1 - cbr_keep), seed
+
+        # Surviving CBR keeps its delay bound: mean and p99 stay within
+        # 1.6x of the healthy baseline (measured overhead is ~1.25x from
+        # re-admission transients).
+        assert faulty.flit_delay_us["high"] < 1.6 * healthy.flit_delay_us["high"], seed
+        assert (
+            faulty.flit_delay_p99_us["high"]
+            < 1.6 * healthy.flit_delay_p99_us["high"]
+        ), seed
+
+
+def _corruption_sweep():
+    healthy, _ = _fault_run(101, None, be_load=0.0)
+    sweep = {}
+    for rate in (0.002, 0.01, 0.04):
+        sweep[rate] = _fault_run(
+            101, FaultConfig(corruption_rate=rate), be_load=0.0
+        )
+    return healthy, sweep
+
+
+@pytest.mark.benchmark(group="s1-robustness")
+def test_s1_corruption_costs_retransmissions_not_flits(benchmark):
+    """CRC + NACK turns corruption into latency, never into loss.
+
+    Retransmissions grow with the injection rate, but every corrupted
+    flit is detected, no delivered flit is lost, and the CBR delay stays
+    at its healthy level — the retransmit happens at the NIC head before
+    the flit enters the router, so QoS never sees it.
+    """
+    healthy, sweep = benchmark.pedantic(_corruption_sweep, rounds=1, iterations=1)
+    print()
+    rows = []
+    for rate, (result, _) in sweep.items():
+        rows.append([
+            f"{rate:.1%}",
+            result.fault["injected_corruption"],
+            result.fault["retransmissions"],
+            result.fault["flits_dropped"],
+            f"{result.flit_delay_us['high']:.3f}",
+            f"{result.throughput:.4f}",
+        ])
+    print(render_table(
+        ["corruption rate", "injected", "retransmitted", "flits lost",
+         "CBR delay µs", "throughput"],
+        rows,
+        title="S1-R fault — corruption rate sweep at 70% CBR load "
+              f"(healthy delay {healthy.flit_delay_us['high']:.3f} µs)",
+    ))
+
+    last = 0
+    for rate, (result, text) in sweep.items():
+        # Detection is exhaustive and retransmission is lossless.
+        assert result.fault["crc_detected"] == result.fault["injected_corruption"]
+        assert result.fault["retransmissions"] == result.fault["crc_detected"]
+        assert result.fault["flits_dropped"] == 0, rate
+        # More injection, more retransmissions — strictly monotone.
+        assert result.fault["retransmissions"] > last, rate
+        last = result.fault["retransmissions"]
+        # CBR QoS is insulated from the retransmit traffic.
+        assert result.flit_delay_us["high"] < 1.2 * healthy.flit_delay_us["high"]
+        assert result.throughput > 0.995 * healthy.throughput, rate
+
+    # Determinism: replaying one sweep point reproduces the schedule and
+    # the result byte for byte.
+    rate = 0.01
+    replay, replay_text = _fault_run(
+        101, FaultConfig(corruption_rate=rate), be_load=0.0
+    )
+    assert replay_text == sweep[rate][1]
+    assert replay.fault == sweep[rate][0].fault
+    assert replay.throughput == sweep[rate][0].throughput

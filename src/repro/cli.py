@@ -22,6 +22,11 @@ Regenerate a specific paper artifact::
     python -m repro reproduce table1
     python -m repro reproduce fig5
     python -m repro reproduce hwcost
+
+A robustness run with fault injection (see docs/reproduction.md)::
+
+    python -m repro faults --dead-port 2 --dead-port-cycle 2000
+    python -m repro faults --corruption-rate 0.01 --credit-loss-rate 0.005
 """
 
 from __future__ import annotations
@@ -124,6 +129,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.set_defaults(func=cmd_sweep)
 
+    p_faults = sub.add_parser(
+        "faults", help="robustness run with fault injection"
+    )
+    add_router_args(p_faults)
+    p_faults.add_argument("--arbiter", default="coa", choices=ARBITER_NAMES)
+    p_faults.add_argument("--load", type=float, default=0.7,
+                          help="target CBR offered load per input link (0-1)")
+    p_faults.add_argument("--be-load", type=float, default=0.15,
+                          help="best-effort background load per port")
+    p_faults.add_argument("--cycles", type=int, default=20000,
+                          help="flit cycles to simulate")
+    p_faults.add_argument("--warmup", type=int, default=2000)
+    p_faults.add_argument("--corruption-rate", type=float, default=0.0,
+                          help="per-forward flit corruption probability")
+    p_faults.add_argument("--credit-loss-rate", type=float, default=0.0,
+                          help="per-return credit loss probability")
+    p_faults.add_argument("--credit-dup-rate", type=float, default=0.0,
+                          help="per-return credit duplication probability")
+    p_faults.add_argument("--stuck-rate", type=float, default=0.0,
+                          help="per-cycle stuck-buffer-slot probability")
+    p_faults.add_argument("--dead-port", type=int, default=None,
+                          help="output port that dies mid-run")
+    p_faults.add_argument("--dead-port-cycle", type=int, default=0,
+                          help="cycle at which the dead port fails")
+    p_faults.add_argument("--events", type=int, default=15,
+                          help="fault-schedule tail lines to print")
+    p_faults.set_defaults(func=cmd_faults)
+
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(
         "artifact",
@@ -224,6 +257,53 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "load %", series,
         title=f"{args.traffic.upper()} sweep — {args.metric} ({unit})",
     ))
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import FaultConfig, FaultySingleRouterSim
+    from .traffic.mixes import build_besteffort_workload
+
+    config = _config_from_args(args)
+    faults = FaultConfig(
+        corruption_rate=args.corruption_rate,
+        credit_loss_rate=args.credit_loss_rate,
+        credit_dup_rate=args.credit_dup_rate,
+        stuck_slot_rate=args.stuck_rate,
+        dead_port=args.dead_port,
+        dead_port_cycle=args.dead_port_cycle,
+    )
+    sim = FaultySingleRouterSim(config, arbiter=args.arbiter,
+                                scheme=args.scheme, seed=args.seed,
+                                faults=faults)
+    workload = build_cbr_workload(sim.router, args.load, sim.rng.workload)
+    if args.be_load > 0:
+        for item in build_besteffort_workload(
+            sim.router, args.be_load, sim.rng.workload
+        ).loads:
+            workload.add(item)
+    warmup = min(args.warmup, args.cycles - 1)
+    result = sim.run(workload, RunControl(cycles=args.cycles,
+                                          warmup_cycles=warmup))
+    rows = [
+        ["arbiter / scheme", f"{result.arbiter} / {result.scheme}"],
+        ["connections", result.connections],
+        ["offered load", f"{result.offered_load:.1%}"],
+        ["throughput", f"{result.throughput:.1%}"],
+        ["backlog at end (flits)", result.backlog],
+        ["peak degradation level", result.degradation_level],
+    ]
+    for label, value in sorted(result.flit_delay_us.items()):
+        rows.append([f"flit delay [{label}] (us)", value])
+    for name, count in result.fault.items():
+        if count:
+            rows.append([name, count])
+    print(render_table(["metric", "value"], rows,
+                       title=f"fault-injection run, {result.cycles} cycles"))
+    if len(sim.schedule) and args.events > 0:
+        print(f"\nfault schedule ({len(sim.schedule)} events, "
+              f"last {min(args.events, len(sim.schedule))}):")
+        print(sim.schedule.tail(args.events))
     return 0
 
 

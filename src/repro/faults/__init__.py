@@ -1,0 +1,42 @@
+"""Fault injection, detection, recovery and graceful QoS degradation.
+
+The robustness subsystem for the MMR testbed: deterministic fault models
+(:class:`FaultConfig`, :class:`FaultInjector`), a replayable event log
+(:class:`FaultSchedule`), QoS-ordered load shedding
+(:class:`DegradationPolicy`), run-level invariants (:class:`SimWatchdog`)
+and the fault-aware simulation harness
+(:class:`FaultySingleRouterSim`).  See ``docs/architecture.md`` for the
+full fault model and recovery design.
+"""
+
+from .degradation import (
+    LEVEL_CLAMP_VBR_PEAK,
+    LEVEL_NORMAL,
+    LEVEL_SHED_BEST_EFFORT,
+    DegradationPolicy,
+)
+from .harness import FaultySingleRouterSim
+from .injector import FaultInjector
+from .integrity import corrupt_word, crc8, flit_words, verify
+from .models import FaultConfig, FaultKind
+from .schedule import FaultEvent, FaultSchedule
+from .watchdog import SimWatchdog, WatchdogError
+
+__all__ = [
+    "FaultKind",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "DegradationPolicy",
+    "LEVEL_NORMAL",
+    "LEVEL_SHED_BEST_EFFORT",
+    "LEVEL_CLAMP_VBR_PEAK",
+    "SimWatchdog",
+    "WatchdogError",
+    "FaultySingleRouterSim",
+    "crc8",
+    "flit_words",
+    "corrupt_word",
+    "verify",
+]

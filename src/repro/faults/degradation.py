@@ -1,0 +1,119 @@
+"""Graceful QoS degradation under sustained faults.
+
+The MMR's reason to exist is bounded delay/jitter for admitted
+connections; when faults eat into the usable bandwidth, the router sheds
+load in strict QoS order rather than degrading everyone equally:
+
+* **level 0** — normal operation;
+* **level 1** — best-effort traffic is shed (NIC stops injecting it);
+  best-effort only ever got leftover bandwidth, so this frees capacity
+  without touching any guarantee;
+* **level 2** — VBR connections are clamped to their *average* (i.e.
+  permanent) reservation, giving up the peak allowance the concurrency
+  factor granted them.  Averages are still honoured, so VBR degrades
+  softly (deeper NIC queueing at bursts) instead of failing;
+* **CBR reservations are never touched** — they are the hard guarantees
+  the admission test promised.
+
+Escalation is driven by the observed fault rate over a sliding window;
+structural faults (a dead link) impose a *floor* for as long as they
+persist.  De-escalation requires a quiet period and steps down one level
+at a time.  Every transition is recorded in the fault schedule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .models import FaultConfig, FaultKind
+from .schedule import FaultSchedule
+
+__all__ = [
+    "LEVEL_NORMAL",
+    "LEVEL_SHED_BEST_EFFORT",
+    "LEVEL_CLAMP_VBR_PEAK",
+    "DegradationPolicy",
+]
+
+LEVEL_NORMAL = 0
+LEVEL_SHED_BEST_EFFORT = 1
+LEVEL_CLAMP_VBR_PEAK = 2
+
+_LEVEL_NAMES = {
+    LEVEL_NORMAL: "normal",
+    LEVEL_SHED_BEST_EFFORT: "shed-best-effort",
+    LEVEL_CLAMP_VBR_PEAK: "clamp-vbr-peak",
+}
+
+
+class DegradationPolicy:
+    """Tracks the fault rate and decides the current degradation level."""
+
+    def __init__(self, config: FaultConfig, schedule: FaultSchedule) -> None:
+        self.config = config
+        self.schedule = schedule
+        self.level = LEVEL_NORMAL
+        self.max_level = LEVEL_NORMAL
+        self.escalations = 0
+        self._recent: deque[int] = deque()
+        self._floor = LEVEL_NORMAL
+        self._last_fault = -(10**9)
+        self._last_change = 0
+
+    # ------------------------------------------------------------------
+
+    def note_fault(self, now: int) -> None:
+        """Record one fault occurrence (drives the sliding-window rate)."""
+        self._recent.append(now)
+        self._last_fault = now
+
+    def set_floor(self, level: int, now: int) -> None:
+        """Impose a minimum level while a structural fault persists."""
+        self._floor = level
+        self._apply(max(self._target(now), level), now)
+
+    def clear_floor(self, now: int) -> None:
+        self._floor = LEVEL_NORMAL
+        self.update(now)
+
+    # ------------------------------------------------------------------
+
+    def _target(self, now: int) -> int:
+        cutoff = now - self.config.window
+        recent = self._recent
+        while recent and recent[0] < cutoff:
+            recent.popleft()
+        n = len(recent)
+        if n >= self.config.clamp_vbr_faults:
+            return LEVEL_CLAMP_VBR_PEAK
+        if n >= self.config.shed_be_faults:
+            return LEVEL_SHED_BEST_EFFORT
+        return LEVEL_NORMAL
+
+    def _apply(self, target: int, now: int) -> None:
+        if target == self.level:
+            return
+        kind = FaultKind.DEGRADE if target > self.level else FaultKind.RESTORE
+        if target > self.level:
+            self.escalations += 1
+        self.schedule.record(
+            now,
+            kind,
+            f"level={target}",
+            f"{_LEVEL_NAMES[self.level]} -> {_LEVEL_NAMES[target]}",
+        )
+        self.level = target
+        self.max_level = max(self.max_level, target)
+        self._last_change = now
+
+    def update(self, now: int) -> int:
+        """Advance the policy one cycle; returns the current level."""
+        target = max(self._target(now), self._floor)
+        if target > self.level:
+            self._apply(target, now)
+        elif target < self.level:
+            # De-escalate one level at a time, only after a quiet period.
+            quiet = now - max(self._last_fault, self._last_change)
+            if quiet >= self.config.restore_after:
+                self._apply(self.level - 1, now)
+        return self.level

@@ -1,0 +1,431 @@
+"""Fault-aware single-router simulation harness.
+
+:class:`FaultySingleRouterSim` extends the healthy
+:class:`~repro.sim.simulation.SingleRouterSim` cycle loop with the full
+robustness stack:
+
+* the :class:`~repro.faults.FaultInjector` perturbs credit returns, NIC
+  link transfers and VC buffer slots, and can kill an output port
+  mid-run;
+* detection/recovery runs inline — CRC NACK-and-retransmit on the NIC
+  link, :class:`~repro.router.credits.CreditWatchdog` resyncs (escalating
+  to connection teardown + re-admission when retries are exhausted), and
+  dead-port victims re-admitted on surviving output ports with their NIC
+  backlog migrated to the new virtual channel;
+* the :class:`~repro.faults.DegradationPolicy` sheds load in QoS order
+  (best-effort first, then the VBR peak allowance; CBR untouched) by
+  masking NIC eligibility, so already-buffered flits still drain and the
+  router cannot livelock on shed traffic;
+* the :class:`~repro.faults.SimWatchdog` asserts flit conservation and
+  aborts livelocked runs with a router-state dump instead of hanging.
+
+Determinism: all fault randomness comes from the dedicated ``"faults"``
+RNG stream, drawn at fixed decision points, so the same seed + config
+reproduces the exact :class:`~repro.faults.FaultSchedule` byte for byte
+and the exact :class:`~repro.sim.simulation.SimResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.matching import Arbiter
+from ..core.priorities import PriorityScheme
+from ..router.config import RouterConfig
+from ..router.connection import Connection, TrafficClass
+from ..router.credits import CreditWatchdog
+from ..sim.engine import RunControl
+from ..sim.metrics import FaultCounters, MetricsCollector
+from ..sim.simulation import SimResult, SingleRouterSim
+from ..traffic.mixes import Workload
+from .degradation import (
+    LEVEL_CLAMP_VBR_PEAK,
+    LEVEL_SHED_BEST_EFFORT,
+    DegradationPolicy,
+)
+from .injector import CREDIT_DUP, CREDIT_LOST, FaultInjector
+from .models import FaultConfig, FaultKind
+from .schedule import FaultSchedule
+from .watchdog import SimWatchdog
+
+__all__ = ["FaultySingleRouterSim"]
+
+
+class FaultySingleRouterSim(SingleRouterSim):
+    """Single-router testbed with fault injection, recovery and shedding."""
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        arbiter: Arbiter | str = "coa",
+        scheme: PriorityScheme | str = "siabp",
+        seed: int = 0,
+        faults: FaultConfig | None = None,
+    ) -> None:
+        super().__init__(config, arbiter, scheme, seed)
+        cfg = faults if faults is not None else FaultConfig()
+        if cfg.dead_port is not None and cfg.dead_port >= config.num_ports:
+            raise ValueError(
+                f"dead_port {cfg.dead_port} out of range for "
+                f"{config.num_ports} ports"
+            )
+        self.fault_config = cfg
+        self.schedule = FaultSchedule()
+        self.counters = FaultCounters()
+        self.degradation = DegradationPolicy(cfg, self.schedule)
+        self.injector = FaultInjector(
+            cfg, self.rng.faults, self.schedule, self.counters, self.degradation
+        )
+        self.credit_watchdog = CreditWatchdog(
+            self.router.credits,
+            timeout=cfg.resync_timeout,
+            max_retries=cfg.resync_max_retries,
+            backoff=cfg.resync_backoff,
+        )
+        self.sim_watchdog = SimWatchdog(
+            self.router, self.schedule, cfg.stall_limit, cfg.check_interval
+        )
+        self.router.credits.on_duplicate_discard = self._on_duplicate_discard
+        #: Output port taken down by the structural fault, once active.
+        self.dead_port: int | None = None
+        # (port, original_vc) -> current vc after re-admission, or None
+        # when the connection could not be re-admitted (flits dropped).
+        self._redirect: dict[tuple[int, int], int | None] = {}
+        # (port, current_vc) -> original workload vc (redirect bookkeeping
+        # across repeated teardown/re-admission of the same connection).
+        self._orig_of: dict[tuple[int, int], int] = {}
+        n, v = config.num_ports, config.vcs_per_link
+        # VBR peak clamp: per-round token buckets refilled to avg_slots.
+        self._tokens = np.zeros((n, v), dtype=np.int64)
+        self._be_bits = [0] * n
+        self._vbr_bits = [0] * n
+        self._vbr_vcs: list[list[int]] = [[] for _ in range(n)]
+        # Flits discarded after entering a NIC (conservation accounting).
+        self._conserved_drops = 0
+
+    # ------------------------------------------------------------------
+    # Cycle loop
+    # ------------------------------------------------------------------
+
+    def run(self, workload: Workload, control: RunControl) -> SimResult:
+        router = self.router
+        config = self.config
+        cfg = self.fault_config
+        feeds = workload.build_feeds(control.cycles, self.rng.sources)
+        labels = workload.labels_by_conn()
+        conn_of_vc = {
+            (item.conn.in_port, item.conn.vc): item.conn.conn_id
+            for item in workload.loads
+        }
+        metrics = MetricsCollector(
+            config, labels, conn_of_vc, measure_from=control.warmup_cycles
+        )
+        arb_rng = self.rng.arbiter
+        nics = router.nics
+        credits = router.credits
+        vc_memory = router.vc_memory
+        occupancy = vc_memory.occupancy
+        pointers = [0] * config.num_ports
+        counters_reset = control.warmup_cycles == 0
+        if counters_reset:
+            router.crossbar.reset_counters()
+        self._refresh_classes()
+        round_cycles = config.round_cycles
+        redirect = self._redirect
+        injected = 0
+        departed = 0
+
+        for now in range(control.cycles):
+            if not counters_reset and now == control.warmup_cycles:
+                router.crossbar.reset_counters()
+                counters_reset = True
+            if now % round_cycles == 0:
+                # New bandwidth round: refill the VBR token buckets.
+                np.copyto(self._tokens, router._slots)
+            if (
+                cfg.dead_port is not None
+                and self.dead_port is None
+                and now >= cfg.dead_port_cycle
+            ):
+                self._activate_dead_port(now, metrics, labels)
+            # 1. Source injection into the NICs (through the redirect map
+            #    once recovery has moved connections to new VCs).
+            for port, feed in enumerate(feeds):
+                ptr = pointers[port]
+                cycles = feed.cycles
+                end = len(cycles)
+                nic = nics[port]
+                while ptr < end and cycles[ptr] <= now:
+                    vc: int | None = int(feed.vcs[ptr])
+                    if redirect:
+                        vc = redirect.get((port, vc), vc)
+                    if vc is None:
+                        # Connection was dropped: its source traffic has
+                        # nowhere to go.
+                        self.counters.flits_dropped += 1
+                    else:
+                        nic.inject(
+                            vc,
+                            int(cycles[ptr]),
+                            int(feed.frame_ids[ptr]),
+                            bool(feed.frame_last[ptr]),
+                        )
+                        injected += 1
+                    ptr += 1
+                pointers[port] = ptr
+            # 2. Buffer faults, credit landing, counter watchdog.
+            self.injector.step_stuck(now, occupancy)
+            credits.deliver(now)
+            for action, port, vc, delta in self.credit_watchdog.scan(
+                now, occupancy
+            ):
+                self._on_watchdog_event(
+                    now, action, port, vc, delta, metrics, labels
+                )
+            # 3. Degradation level for this cycle's NIC eligibility.
+            level = self.degradation.update(now)
+            # 4. Link + switch scheduling and crossbar transfer.
+            candidates = self._filter_candidates(router._link_schedule(now))
+            grants = router.arbiter.match(candidates, arb_rng)
+            departures = router.crossbar.transfer(grants, vc_memory, now)
+            for dep in departures:
+                fate = self.injector.credit_fate(now, dep.in_port, dep.vc)
+                if fate == CREDIT_LOST:
+                    credits.fault_lose(dep.in_port, dep.vc)
+                else:
+                    credits.schedule_return(dep.in_port, dep.vc, now)
+                    if fate == CREDIT_DUP:
+                        credits.fault_duplicate(dep.in_port, dep.vc, now)
+                metrics.record(dep, now)
+            if departures:
+                departed += len(departures)
+                self.sim_watchdog.note_progress(now)
+            # 5. NIC link transfer under shedding + CRC check.
+            self._accept_with_faults(now, level)
+            # 6. Conservation / livelock sweep.
+            self.sim_watchdog.check(now, injected, departed, self._conserved_drops)
+
+        result = self._summarize(workload, control, metrics)
+        counters = self.counters
+        counters.duplicates_discarded = credits.duplicates_discarded
+        counters.credit_resyncs = credits.resyncs
+        counters.degradation_escalations = self.degradation.escalations
+        counters.max_degradation_level = self.degradation.max_level
+        result.fault = counters.as_dict()
+        result.degradation_level = self.degradation.max_level
+        return result
+
+    # ------------------------------------------------------------------
+    # Scheduling and link-transfer hooks
+    # ------------------------------------------------------------------
+
+    def _filter_candidates(self, candidates):
+        """Drop candidates through the dead port or a stuck buffer slot."""
+        injector = self.injector
+        if self.dead_port is None and not injector.has_stuck:
+            return candidates
+        dead = self.dead_port
+        filtered = []
+        for port_cands in candidates:
+            keep = [
+                c
+                for c in port_cands
+                if c.out_port != dead and not injector.is_stuck(c.in_port, c.vc)
+            ]
+            if len(keep) != len(port_cands):
+                # Re-level after filtering so the arbiter sees dense levels.
+                keep = [
+                    type(c)(c.in_port, c.vc, c.out_port, c.priority, lvl)
+                    for lvl, c in enumerate(keep)
+                ]
+            filtered.append(keep)
+        return filtered
+
+    def _accept_with_faults(self, now: int, level: int) -> None:
+        """NIC link transfer under degradation masking and CRC checking."""
+        router = self.router
+        credits = router.credits
+        tokens = self._tokens
+        for port, nic in enumerate(router.nics):
+            eligible = credits.mask_for(port)
+            if level >= LEVEL_SHED_BEST_EFFORT:
+                eligible &= ~self._be_bits[port]
+            if level >= LEVEL_CLAMP_VBR_PEAK and self._vbr_bits[port]:
+                blocked = 0
+                for vc in self._vbr_vcs[port]:
+                    if tokens[port, vc] <= 0:
+                        blocked |= 1 << vc
+                eligible &= ~blocked
+            vc = nic.select(eligible)
+            if vc < 0:
+                continue
+            flit = nic.peek(vc)
+            assert flit is not None
+            if self.injector.corrupts(now, port, vc, flit):
+                # CRC mismatch -> NACK: the flit stays at the head of its
+                # NIC queue and is retransmitted (this link cycle is
+                # wasted); no credit is consumed for the corrupt copy.
+                self.counters.retransmissions += 1
+                self.schedule.record(
+                    now, FaultKind.RETRANSMIT, f"port={port} vc={vc}"
+                )
+                continue
+            nic.pop(vc)
+            credits.consume(port, vc)
+            router.vc_memory.push(port, vc, flit[0], flit[1], flit[2], now)
+            if (self._vbr_bits[port] >> vc) & 1:
+                tokens[port, vc] -= 1
+
+    # ------------------------------------------------------------------
+    # Detection / recovery plumbing
+    # ------------------------------------------------------------------
+
+    def _on_duplicate_discard(self, port: int, vc: int, now: int) -> None:
+        self.schedule.record(now, FaultKind.DUP_DISCARD, f"port={port} vc={vc}")
+
+    def _on_watchdog_event(
+        self,
+        now: int,
+        action: str,
+        port: int,
+        vc: int,
+        delta: int,
+        metrics: MetricsCollector,
+        labels: dict[int, str],
+    ) -> None:
+        where = f"port={port} vc={vc}"
+        if action == "surplus_resync":
+            self.schedule.record(now, FaultKind.CREDIT_SURPLUS, where)
+            self.schedule.record(
+                now, FaultKind.CREDIT_RESYNC, where, f"delta={delta}"
+            )
+            return
+        if action == "deficit_resync":
+            self.schedule.record(now, FaultKind.CREDIT_DEFICIT, where)
+            self.schedule.record(
+                now, FaultKind.CREDIT_RESYNC, where, f"delta={delta}"
+            )
+            return
+        # Give-up: bounded retries exhausted; escalate to teardown and
+        # re-admission of whatever connection holds the sick VC.
+        self.schedule.record(now, FaultKind.RESYNC_GIVEUP, where)
+        self.counters.resync_giveups += 1
+        conn = self.router.table.at_vc(port, vc)
+        if conn is not None:
+            self._teardown_and_readmit(
+                now, conn, metrics, labels, reason="credit_giveup"
+            )
+            self._refresh_classes()
+
+    def _activate_dead_port(
+        self, now: int, metrics: MetricsCollector, labels: dict[int, str]
+    ) -> None:
+        """Structural fault: one output port dies for the rest of the run."""
+        port = self.fault_config.dead_port
+        assert port is not None
+        victims = self.router.table.on_output(port)
+        self.schedule.record(
+            now,
+            FaultKind.DEAD_PORT,
+            f"out_port={port}",
+            f"connections={len(victims)}",
+        )
+        self.counters.injected_dead_port += 1
+        self.degradation.note_fault(now)
+        self.dead_port = port
+        for conn in victims:
+            self._teardown_and_readmit(now, conn, metrics, labels, "dead_port")
+        self._refresh_classes()
+        # A dead link is a standing capacity loss: keep best-effort shed
+        # for as long as it persists (it never recovers in this model).
+        self.degradation.set_floor(LEVEL_SHED_BEST_EFFORT, now)
+
+    def _teardown_and_readmit(
+        self,
+        now: int,
+        conn: Connection,
+        metrics: MetricsCollector,
+        labels: dict[int, str],
+        reason: str,
+    ) -> Connection | None:
+        """Tear one connection down and try to re-admit it elsewhere.
+
+        The NIC backlog migrates to the new virtual channel; router-buffered
+        flits are unrecoverable (their slots may be corrupt or their path
+        dead) and are dropped.  Returns the re-admitted connection, or
+        ``None`` when no output port can accept the reservation.
+        """
+        router = self.router
+        port, vc = conn.in_port, conn.vc
+        orig = self._orig_of.pop((port, vc), vc)
+        backlog = router.nics[port].drain(vc)
+        _, dropped = router.force_teardown(conn.conn_id, restore_credits=False)
+        router.credits.reset_vc(port, vc)
+        self.credit_watchdog.reset(port, vc)
+        self._conserved_drops += dropped
+        self.counters.flits_dropped += dropped
+        self.counters.teardowns += 1
+        self.schedule.record(
+            now,
+            FaultKind.TEARDOWN,
+            f"port={port} vc={vc}",
+            f"conn={conn.conn_id} reason={reason} dropped={dropped}",
+        )
+        n = self.config.num_ports
+        for k in range(n):
+            out_port = (conn.out_port + k) % n
+            if out_port == self.dead_port:
+                continue
+            result = router.establish(
+                port,
+                out_port,
+                conn.traffic_class,
+                conn.avg_slots,
+                conn.peak_slots,
+            )
+            if not result.accepted:
+                continue
+            new = result.connection
+            assert new is not None
+            router.nics[port].requeue(new.vc, backlog)
+            self._redirect[(port, orig)] = new.vc
+            self._orig_of[(port, new.vc)] = orig
+            label = labels.get(conn.conn_id, "unlabelled")
+            metrics.register_connection(port, new.vc, new.conn_id, label)
+            if new.traffic_class is TrafficClass.VBR:
+                # Fresh token allotment for the remainder of this round.
+                self._tokens[port, new.vc] = new.avg_slots
+            self.counters.readmitted += 1
+            self.schedule.record(
+                now,
+                FaultKind.READMIT,
+                f"port={port} vc={new.vc}",
+                f"conn={new.conn_id} out_port={out_port}",
+            )
+            return new
+        # No surviving port can take the reservation: the connection is
+        # lost, along with its migrated NIC backlog.
+        self._redirect[(port, orig)] = None
+        self._conserved_drops += len(backlog)
+        self.counters.flits_dropped += len(backlog)
+        self.counters.connections_dropped += 1
+        self.schedule.record(
+            now,
+            FaultKind.CONN_DROPPED,
+            f"port={port} vc={vc}",
+            f"conn={conn.conn_id} backlog={len(backlog)}",
+        )
+        return None
+
+    def _refresh_classes(self) -> None:
+        """Rebuild the per-port traffic-class masks from the live table."""
+        n = self.config.num_ports
+        self._be_bits = [0] * n
+        self._vbr_bits = [0] * n
+        self._vbr_vcs = [[] for _ in range(n)]
+        for conn in self.router.table:
+            if conn.traffic_class is TrafficClass.BEST_EFFORT:
+                self._be_bits[conn.in_port] |= 1 << conn.vc
+            elif conn.traffic_class is TrafficClass.VBR:
+                self._vbr_bits[conn.in_port] |= 1 << conn.vc
+                self._vbr_vcs[conn.in_port].append(conn.vc)

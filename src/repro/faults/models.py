@@ -1,0 +1,161 @@
+"""Fault model definitions: what can break, and how runs are configured.
+
+The MMR paper evaluates a healthy router; the robustness subsystem asks
+what happens to its QoS guarantees when the substrate misbehaves.  The
+fault models cover the failure classes a physical interconnect sees:
+
+* **transient phit corruption** — a flit arrives with a bit flipped;
+  detected via a per-flit CRC (:mod:`repro.faults.integrity`) and
+  recovered by NACK-and-retransmit on the NIC link;
+* **lost / duplicated credit returns** — the single-phit credit path is
+  unprotected in the MMR; losses deadlock a VC, duplicates overflow it.
+  Recovered by counter resync with bounded retry + backoff
+  (:class:`repro.router.credits.CreditWatchdog`);
+* **stuck VC buffer slot** — a RAM fault pins a head flit for a while;
+  the scheduler must route around it;
+* **dead output link** (single router) — connections through it are torn
+  down and re-admitted elsewhere via the admission controller;
+* **dead link / dead router** (multi-router network) — connections are
+  rerouted around the failure (:mod:`repro.network.multirouter`).
+
+All randomness draws from the dedicated ``"faults"`` RNG role, so a run
+is exactly reproducible from its seed and fault configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["FaultKind", "FaultConfig"]
+
+
+class FaultKind(enum.Enum):
+    """Event kinds recorded in a :class:`~repro.faults.FaultSchedule`.
+
+    The ``inject.*`` kinds are faults put into the system; ``detect.*``
+    are the detection machinery noticing them; ``recover.*`` are repair
+    actions; ``qos.*`` are graceful-degradation transitions.
+    """
+
+    DEAD_PORT = "inject.dead_port"
+    DEAD_LINK = "inject.dead_link"
+    DEAD_ROUTER = "inject.dead_router"
+    CORRUPT_FLIT = "inject.corrupt_flit"
+    CREDIT_LOSS = "inject.credit_loss"
+    CREDIT_DUP = "inject.credit_dup"
+    STUCK_SLOT = "inject.stuck_slot"
+
+    CRC_MISMATCH = "detect.crc_mismatch"
+    CREDIT_DEFICIT = "detect.credit_deficit"
+    CREDIT_SURPLUS = "detect.credit_surplus"
+    STALL = "detect.stall"
+
+    RETRANSMIT = "recover.retransmit"
+    CREDIT_RESYNC = "recover.credit_resync"
+    RESYNC_GIVEUP = "recover.resync_giveup"
+    DUP_DISCARD = "recover.dup_discard"
+    TEARDOWN = "recover.teardown"
+    READMIT = "recover.readmit"
+    REROUTE = "recover.reroute"
+    CONN_DROPPED = "recover.conn_dropped"
+    SLOT_RELEASED = "recover.slot_released"
+
+    DEGRADE = "qos.degrade"
+    RESTORE = "qos.restore"
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Configuration of one fault-injection run.
+
+    Rates are per-opportunity probabilities: ``corruption_rate`` applies
+    to every flit the NIC forwards, the credit rates to every credit
+    return a departure schedules, ``stuck_slot_rate`` once per cycle.
+    The degradation thresholds count faults inside a sliding ``window``
+    of cycles; shedding follows the QoS order best-effort first, then
+    VBR peak allowance, never CBR reservations.
+    """
+
+    # --- transient fault rates -------------------------------------
+    corruption_rate: float = 0.0
+    credit_loss_rate: float = 0.0
+    credit_dup_rate: float = 0.0
+    stuck_slot_rate: float = 0.0
+    #: Cycles a stuck buffer slot stays pinned before it releases.
+    stuck_duration: int = 64
+
+    # --- structural faults -----------------------------------------
+    #: Output port that dies mid-run (single-router scenario), or None.
+    dead_port: int | None = None
+    #: Cycle at which the dead-port fault fires.
+    dead_port_cycle: int = 0
+
+    # --- graceful degradation --------------------------------------
+    #: Sliding observation window, in cycles, for the fault rate.
+    window: int = 256
+    #: Faults within the window that shed best-effort traffic (level 1).
+    shed_be_faults: int = 4
+    #: Faults within the window that clamp VBR to its average (level 2).
+    clamp_vbr_faults: int = 16
+    #: Quiet cycles (no faults) before de-escalating one level.
+    restore_after: int = 512
+
+    # --- credit watchdog -------------------------------------------
+    #: Cycles a credit deficit must persist before the first resync.
+    resync_timeout: int = 16
+    #: Resyncs per VC before the watchdog gives up and escalates.
+    resync_max_retries: int = 5
+    #: Exponential backoff base between successive resyncs of one VC.
+    resync_backoff: int = 2
+
+    # --- simulation watchdog ---------------------------------------
+    #: Cycles without any departure (while flits sit in the router)
+    #: before the run is declared livelocked and aborted with a dump.
+    stall_limit: int = 4096
+    #: Cycles between watchdog sweeps (conservation + stall check).
+    check_interval: int = 64
+
+    def __post_init__(self) -> None:
+        for name in (
+            "corruption_rate",
+            "credit_loss_rate",
+            "credit_dup_rate",
+            "stuck_slot_rate",
+        ):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.credit_loss_rate + self.credit_dup_rate > 1.0:
+            raise ValueError("credit loss + duplication rates must sum <= 1")
+        if self.stuck_duration <= 0:
+            raise ValueError("stuck_duration must be positive")
+        if self.dead_port is not None and self.dead_port < 0:
+            raise ValueError("dead_port must be a valid port index")
+        if self.dead_port_cycle < 0:
+            raise ValueError("dead_port_cycle must be >= 0")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if not (0 < self.shed_be_faults <= self.clamp_vbr_faults):
+            raise ValueError(
+                "need 0 < shed_be_faults <= clamp_vbr_faults "
+                f"(got {self.shed_be_faults}, {self.clamp_vbr_faults})"
+            )
+        if self.restore_after <= 0:
+            raise ValueError("restore_after must be positive")
+        if self.stall_limit <= 0 or self.check_interval <= 0:
+            raise ValueError("stall_limit and check_interval must be positive")
+
+    @property
+    def has_random_faults(self) -> bool:
+        """True if any per-opportunity fault rate is non-zero."""
+        return (
+            self.corruption_rate > 0
+            or self.credit_loss_rate > 0
+            or self.credit_dup_rate > 0
+            or self.stuck_slot_rate > 0
+        )
+
+    @property
+    def any_faults(self) -> bool:
+        return self.has_random_faults or self.dead_port is not None

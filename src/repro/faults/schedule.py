@@ -1,0 +1,83 @@
+"""The fault schedule: a deterministic, replayable log of every event.
+
+Reproducibility contract: two runs with the same seed and the same
+:class:`~repro.faults.FaultConfig` produce *byte-identical* schedules
+(:meth:`FaultSchedule.text`).  Every injected fault, every detection and
+every recovery action is recorded with a monotonically increasing
+sequence number, so a failing robustness run can be diagnosed (and
+re-run) from its seed alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .models import FaultKind
+
+__all__ = ["FaultEvent", "FaultSchedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One recorded fault/detection/recovery event."""
+
+    seq: int
+    cycle: int
+    kind: FaultKind
+    #: Location, e.g. ``"port=2 vc=7"`` or ``"link=1->3"``.
+    where: str
+    #: Free-form detail (bit index, correction delta, new route, ...).
+    detail: str = ""
+
+    def line(self) -> str:
+        base = f"{self.seq:06d} @{self.cycle:>8} {self.kind.value:<22} {self.where}"
+        return f"{base} | {self.detail}" if self.detail else base
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.line()
+
+
+class FaultSchedule:
+    """Append-only event log shared by injector, detectors and recovery."""
+
+    def __init__(self) -> None:
+        self._events: list[FaultEvent] = []
+        self._counts: dict[FaultKind, int] = {}
+
+    def record(
+        self, cycle: int, kind: FaultKind, where: str, detail: str = ""
+    ) -> FaultEvent:
+        event = FaultEvent(len(self._events), cycle, kind, where, detail)
+        self._events.append(event)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        return event
+
+    # ------------------------------------------------------------------
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def count(self, kind: FaultKind) -> int:
+        """Events recorded of one kind."""
+        return self._counts.get(kind, 0)
+
+    def by_kind(self, kind: FaultKind) -> list[FaultEvent]:
+        return [e for e in self._events if e.kind is kind]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Event counts keyed by kind value, insertion-ordered."""
+        return {kind.value: n for kind, n in self._counts.items()}
+
+    def lines(self) -> list[str]:
+        return [e.line() for e in self._events]
+
+    def text(self) -> str:
+        """The canonical textual form (byte-identical across replays)."""
+        return "\n".join(self.lines())
+
+    def tail(self, n: int = 20) -> str:
+        return "\n".join(self.lines()[-n:])

@@ -1,0 +1,91 @@
+"""Simulation-loop watchdog: flit conservation + stall/livelock detection.
+
+The MMR substrate is loss-free by construction, so any flit that goes
+missing — or any run that stops making progress — indicates either an
+injected fault the recovery machinery failed to contain or a genuine bug.
+Rather than hanging (livelock) or silently producing corrupt metrics
+(conservation violation), the watchdog aborts the run with a diagnostic
+snapshot rendered by :func:`repro.sim.tracing.dump_router_state`.
+"""
+
+from __future__ import annotations
+
+from ..router.router import MMRouter
+from ..sim.tracing import dump_router_state
+from .models import FaultKind
+from .schedule import FaultSchedule
+
+__all__ = ["WatchdogError", "SimWatchdog"]
+
+
+class WatchdogError(RuntimeError):
+    """Raised when the watchdog detects a stall or a conservation hole.
+
+    ``diagnostics`` carries the router-state dump taken at detection
+    time, so the failure is debuggable from the exception alone.
+    """
+
+    def __init__(self, message: str, diagnostics: str) -> None:
+        super().__init__(f"{message}\n{diagnostics}")
+        self.diagnostics = diagnostics
+
+
+class SimWatchdog:
+    """Periodic invariant checks over one router's cycle loop."""
+
+    def __init__(
+        self,
+        router: MMRouter,
+        schedule: FaultSchedule,
+        stall_limit: int = 4096,
+        check_interval: int = 64,
+    ) -> None:
+        if stall_limit <= 0 or check_interval <= 0:
+            raise ValueError("stall_limit and check_interval must be positive")
+        self.router = router
+        self.schedule = schedule
+        self.stall_limit = stall_limit
+        self.check_interval = check_interval
+        self._last_progress = 0
+
+    def note_progress(self, now: int) -> None:
+        """Record that at least one flit departed this cycle."""
+        self._last_progress = now
+
+    def check(self, now: int, injected: int, departed: int, dropped: int) -> None:
+        """Run the invariant sweep if a check interval has elapsed.
+
+        ``injected`` counts flits deposited into the NICs, ``departed``
+        flits that left through the crossbar, ``dropped`` flits discarded
+        by fault handling (teardown drains, dead connections).
+        """
+        if now % self.check_interval != 0:
+            return
+        router = self.router
+        conserved = router.buffered_flits() + router.nic_backlog()
+        if injected != departed + dropped + conserved:
+            dump = dump_router_state(router, now)
+            self.schedule.record(
+                now,
+                FaultKind.STALL,
+                "conservation",
+                f"injected={injected} departed={departed} "
+                f"dropped={dropped} held={conserved}",
+            )
+            raise WatchdogError(
+                f"flit conservation violated at cycle {now}: "
+                f"injected({injected}) != departed({departed}) + "
+                f"dropped({dropped}) + held({conserved})",
+                dump,
+            )
+        stalled_for = now - self._last_progress
+        if router.buffered_flits() > 0 and stalled_for >= self.stall_limit:
+            dump = dump_router_state(router, now)
+            self.schedule.record(
+                now, FaultKind.STALL, "livelock", f"stalled_for={stalled_for}"
+            )
+            raise WatchdogError(
+                f"no departure for {stalled_for} cycles with flits buffered "
+                f"(cycle {now}): livelock",
+                dump,
+            )

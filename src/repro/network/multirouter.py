@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults.models import FaultKind
+from ..faults.schedule import FaultSchedule
 from ..router.config import RouterConfig
 from ..router.connection import Connection, TrafficClass
 from ..router.router import MMRouter
@@ -63,6 +65,7 @@ class MultiRouterNetwork:
         config: RouterConfig,
         arbiter: str = "coa",
         scheme: str = "siabp",
+        schedule: FaultSchedule | None = None,
     ) -> None:
         if config.num_ports <= topology.max_degree():
             raise ValueError(
@@ -100,6 +103,21 @@ class MultiRouterNetwork:
         #: End-to-end delay since generation, in cycles.
         self.end_to_end_delay = StreamingStat()
         self.delivered = 0
+        #: Optional fault-event log (see :mod:`repro.faults`).
+        self.schedule = schedule
+        #: Failed routers / directed links (see :meth:`fail_router`,
+        #: :meth:`fail_link`).  Dead elements are skipped by the cycle
+        #: loop and excluded from path search.
+        self.dead_routers: set[int] = set()
+        self.dead_links: set[tuple[int, int]] = set()
+        #: Flits destroyed by failures (in dead routers/links, drained at
+        #: teardown, or injected into a dropped connection).
+        self.lost_flits = 0
+        #: Connections successfully rerouted around a failure.
+        self.rerouted = 0
+        #: Connections dropped because no alternative path admitted them.
+        self.dropped_connections = 0
+        self._dropped_ids: set[int] = set()
 
     # ------------------------------------------------------------------
     # Ports
@@ -132,7 +150,30 @@ class MultiRouterNetwork:
         ``None`` (with every partial reservation released) if any hop
         rejects — the PCS probe would backtrack the same way.
         """
-        path = self.topology.shortest_path(src_router, dst_router)
+        path = self.topology.shortest_path(
+            src_router, dst_router, self.dead_routers, self.dead_links
+        )
+        net_conn = self._establish_along(
+            path,
+            len(self._connections),
+            traffic_class,
+            avg_slots,
+            peak_slots,
+        )
+        if net_conn is not None:
+            self._connections.append(net_conn)
+        return net_conn
+
+    def _establish_along(
+        self,
+        path: list[int],
+        net_conn_id: int,
+        traffic_class: TrafficClass,
+        avg_slots: int,
+        peak_slots: int | None,
+    ) -> NetworkConnection | None:
+        """Reserve one hop per router along ``path``, or roll back."""
+        src_router, dst_router = path[0], path[-1]
         if len(path) < 2 and src_router != dst_router:
             raise ValueError("path must traverse at least one link")
         hops: list[Connection] = []
@@ -154,7 +195,7 @@ class MultiRouterNetwork:
                 next_router = path[idx + 1]
                 in_port = self.topology.port_toward(next_router, router_id)
         net_conn = NetworkConnection(
-            net_conn_id=len(self._connections),
+            net_conn_id=net_conn_id,
             src_router=src_router,
             dst_router=dst_router,
             router_path=tuple(path),
@@ -162,7 +203,6 @@ class MultiRouterNetwork:
             avg_slots=avg_slots,
             peak_slots=peak_slots if peak_slots is not None else avg_slots,
         )
-        self._connections.append(net_conn)
         for hop_idx, conn in enumerate(hops):
             self._hop_lookup[(path[hop_idx], conn.in_port, conn.vc)] = (
                 net_conn,
@@ -185,7 +225,16 @@ class MultiRouterNetwork:
         frame_id: int = -1,
         frame_last: bool = False,
     ) -> None:
-        """Deposit one flit at the source NIC of a network connection."""
+        """Deposit one flit at the source NIC of a network connection.
+
+        Looks the connection up by id so callers holding a reference from
+        before a reroute still inject into the *current* first-hop VC.
+        Flits offered to a dropped connection are counted lost.
+        """
+        if net_conn.net_conn_id in self._dropped_ids:
+            self.lost_flits += 1
+            return
+        net_conn = self._connections[net_conn.net_conn_id]
         first = net_conn.hops[0]
         self.routers[net_conn.src_router].nics[first.in_port].inject(
             first.vc, gen_cycle, frame_id, frame_last
@@ -200,6 +249,8 @@ class MultiRouterNetwork:
         self._deliver_in_flight(now)
         self._deliver_credit_returns(now)
         for router_id, router in enumerate(self.routers):
+            if router_id in self.dead_routers:
+                continue
             router.credits.deliver(now)
             candidates = self._eligible_candidates(router_id, router, now)
             grants = router.arbiter.match(candidates, rng)
@@ -250,8 +301,14 @@ class MultiRouterNetwork:
             self.delivered += 1
             self.end_to_end_delay.add(now - dep.gen_cycle + 1)
             return
-        net_conn, hop_idx = self._hop_lookup[(router_id, dep.in_port, dep.vc)]
+        hop = self._hop_lookup.get((router_id, dep.in_port, dep.vc))
         down_router, down_port = dest
+        if hop is None or down_router in self.dead_routers:
+            # The connection was torn down (or its next hop died) while
+            # this flit was in the crossbar: it has nowhere to go.
+            self.lost_flits += 1
+            return
+        net_conn, hop_idx = hop
         down_vc = net_conn.hops[hop_idx + 1].vc
         self._link_credits[key][down_vc] -= 1
         if self._link_credits[key][down_vc] < 0:
@@ -267,6 +324,9 @@ class MultiRouterNetwork:
         if not arrivals:
             return
         for router, in_port, vc, gen, frame_id, frame_last in arrivals:
+            if router in self.dead_routers:
+                self.lost_flits += 1
+                continue
             self.routers[router].vc_memory.push(
                 in_port, vc, gen, frame_id, frame_last, now
             )
@@ -285,6 +345,182 @@ class MultiRouterNetwork:
         self._credit_returns.setdefault(
             now + self.config.credit_return_delay, []
         ).append((u, port, vc))
+
+    # ------------------------------------------------------------------
+    # Fault injection and recovery (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def fail_link(self, u: int, v: int, now: int = 0) -> None:
+        """Kill the bidirectional link between ``u`` and ``v``.
+
+        Every connection routed over it (in either direction) is torn
+        down and rerouted along the shortest surviving path; connections
+        no surviving path can admit are dropped.
+        """
+        if (u, v) not in self.topology.port_map:
+            raise ValueError(f"no link {u} <-> {v} in the topology")
+        if (u, v) in self.dead_links:
+            return
+        self.dead_links.add((u, v))
+        self.dead_links.add((v, u))
+        if self.schedule is not None:
+            self.schedule.record(now, FaultKind.DEAD_LINK, f"link={u}<->{v}")
+        victims = [
+            conn
+            for conn in self._connections
+            if conn.net_conn_id not in self._dropped_ids
+            and self._uses_link(conn, u, v)
+        ]
+        for conn in victims:
+            self._reroute(conn, now)
+
+    def fail_router(self, router_id: int, now: int = 0) -> None:
+        """Kill a whole router: it stops stepping, its links go dark.
+
+        Connections traversing it are rerouted; connections sourced or
+        sunk at it are unrecoverable and dropped.
+        """
+        if not (0 <= router_id < self.topology.num_routers):
+            raise ValueError(f"router {router_id} out of range")
+        if router_id in self.dead_routers:
+            return
+        self.dead_routers.add(router_id)
+        for neighbor in self.topology.neighbors(router_id):
+            self.dead_links.add((router_id, neighbor))
+            self.dead_links.add((neighbor, router_id))
+        if self.schedule is not None:
+            self.schedule.record(now, FaultKind.DEAD_ROUTER, f"router={router_id}")
+        victims = [
+            conn
+            for conn in self._connections
+            if conn.net_conn_id not in self._dropped_ids
+            and router_id in conn.router_path
+        ]
+        for conn in victims:
+            if router_id in (conn.src_router, conn.dst_router):
+                self._drop(conn, now, reason="endpoint_dead")
+            else:
+                self._reroute(conn, now)
+
+    # ------------------------------------------------------------------
+
+    def _uses_link(self, conn: NetworkConnection, u: int, v: int) -> bool:
+        path = conn.router_path
+        for a, b in zip(path, path[1:]):
+            if (a, b) in ((u, v), (v, u)):
+                return True
+        return False
+
+    def _teardown_hops(self, conn: NetworkConnection) -> list:
+        """Release every hop of a connection; returns its NIC backlog.
+
+        Router-buffered and link-in-flight flits are unrecoverable (the
+        path is broken) and counted in ``lost_flits``; upstream link
+        credits are resynchronised to full for freed VCs on surviving
+        links, so those VCs are immediately reusable.
+        """
+        path = conn.router_path
+        depth = self.config.vc_buffer_depth
+        src = self.routers[path[0]]
+        first = conn.hops[0]
+        backlog = src.nics[first.in_port].drain(first.vc)
+        for hop_idx, hop in enumerate(conn.hops):
+            router_id = path[hop_idx]
+            router = self.routers[router_id]
+            self._hop_lookup.pop((router_id, hop.in_port, hop.vc), None)
+            _, dropped = router.force_teardown(hop.conn_id, restore_credits=False)
+            self.lost_flits += dropped
+            if hop_idx == 0:
+                # Host-side input: the NIC credit state owns this VC.
+                router.credits.reset_vc(hop.in_port, hop.vc)
+                continue
+            # Inter-router input: purge flits still flying on the
+            # upstream link, drop pending credit returns, and resync the
+            # upstream credit counter to full (the downstream buffer is
+            # now empty by construction).
+            up_router = path[hop_idx - 1]
+            up_key = (up_router, conn.hops[hop_idx - 1].out_port)
+            for cycle, arrivals in list(self._in_flight.items()):
+                kept = [
+                    a
+                    for a in arrivals
+                    if a[:3] != (router_id, hop.in_port, hop.vc)
+                ]
+                if len(kept) != len(arrivals):
+                    self.lost_flits += len(arrivals) - len(kept)
+                    if kept:
+                        self._in_flight[cycle] = kept
+                    else:
+                        del self._in_flight[cycle]
+            for cycle, returns in list(self._credit_returns.items()):
+                kept = [r for r in returns if r != (*up_key, hop.vc)]
+                if len(kept) != len(returns):
+                    if kept:
+                        self._credit_returns[cycle] = kept
+                    else:
+                        del self._credit_returns[cycle]
+            self._link_credits[up_key][hop.vc] = depth
+        return backlog
+
+    def _drop(self, conn: NetworkConnection, now: int, reason: str) -> None:
+        backlog = self._teardown_hops(conn)
+        self.lost_flits += len(backlog)
+        self._dropped_ids.add(conn.net_conn_id)
+        self.dropped_connections += 1
+        if self.schedule is not None:
+            self.schedule.record(
+                now,
+                FaultKind.CONN_DROPPED,
+                f"conn={conn.net_conn_id}",
+                f"reason={reason} backlog={len(backlog)}",
+            )
+
+    def _reroute(self, conn: NetworkConnection, now: int) -> bool:
+        """Move one connection onto the shortest surviving path.
+
+        Keeps the ``net_conn_id`` (the flow's identity survives the
+        failure) and migrates the source NIC backlog onto the new first
+        hop.  Returns ``False`` — and drops the connection — when no
+        surviving path can admit the reservation.
+        """
+        try:
+            path = self.topology.shortest_path(
+                conn.src_router, conn.dst_router, self.dead_routers, self.dead_links
+            )
+        except ValueError:
+            self._drop(conn, now, reason="no_path")
+            return False
+        backlog = self._teardown_hops(conn)
+        traffic_class = conn.hops[0].traffic_class
+        replacement = self._establish_along(
+            path, conn.net_conn_id, traffic_class, conn.avg_slots, conn.peak_slots
+        )
+        if replacement is None:
+            self.lost_flits += len(backlog)
+            self._dropped_ids.add(conn.net_conn_id)
+            self.dropped_connections += 1
+            if self.schedule is not None:
+                self.schedule.record(
+                    now,
+                    FaultKind.CONN_DROPPED,
+                    f"conn={conn.net_conn_id}",
+                    f"reason=admission backlog={len(backlog)}",
+                )
+            return False
+        self._connections[conn.net_conn_id] = replacement
+        first = replacement.hops[0]
+        self.routers[replacement.src_router].nics[first.in_port].requeue(
+            first.vc, backlog
+        )
+        self.rerouted += 1
+        if self.schedule is not None:
+            self.schedule.record(
+                now,
+                FaultKind.REROUTE,
+                f"conn={conn.net_conn_id}",
+                f"path={'->'.join(map(str, path))}",
+            )
+        return True
 
     # ------------------------------------------------------------------
 

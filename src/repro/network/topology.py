@@ -56,11 +56,32 @@ class Topology:
     def max_degree(self) -> int:
         return max((self.degree(r) for r in range(self.num_routers)), default=0)
 
-    def shortest_path(self, src: int, dst: int) -> list[int]:
-        """Deterministic shortest router path (lowest-id tie-break)."""
+    def shortest_path(
+        self,
+        src: int,
+        dst: int,
+        avoid_routers: set[int] | frozenset[int] | tuple[int, ...] = (),
+        avoid_links: set[tuple[int, int]] | tuple[tuple[int, int], ...] = (),
+    ) -> list[int]:
+        """Deterministic shortest router path (lowest-id tie-break).
+
+        ``avoid_routers`` / ``avoid_links`` exclude failed elements from
+        the search (fault recovery: reroute around a dead router or a
+        dead directed link).  Raises ``ValueError`` when no path survives
+        the exclusions.
+        """
+        avoid = set(avoid_routers)
+        if src in avoid or dst in avoid:
+            raise ValueError(
+                f"no path from router {src} to {dst}: endpoint is down"
+            )
         if src == dst:
             return [src]
         g = self.graph()
+        g.remove_nodes_from(avoid & set(g.nodes))
+        for u, v in avoid_links:
+            if g.has_edge(u, v):
+                g.remove_edge(u, v)
         try:
             # networkx BFS follows adjacency insertion order; re-sorting
             # neighbours makes the choice deterministic and id-ordered.

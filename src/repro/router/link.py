@@ -36,8 +36,12 @@ def pipelined_latency_phits(
     """Phit times for one flit to fully arrive after ``hops`` stages,
     with phit-level cut-through (each stage adds ``stage_delay`` phit
     times of latency before it starts re-transmitting)."""
-    if phits_per_flit <= 0 or hops <= 0 or stage_delay < 0:
-        raise ValueError("phits_per_flit and hops must be positive")
+    if phits_per_flit <= 0:
+        raise ValueError(f"phits_per_flit must be positive, got {phits_per_flit}")
+    if hops <= 0:
+        raise ValueError(f"hops must be positive, got {hops}")
+    if stage_delay < 0:
+        raise ValueError(f"stage_delay must be >= 0, got {stage_delay}")
     # The head phit reaches the destination after hops * (1 + stage_delay)
     # ... minus the source's own stage (the source serializes directly).
     head_arrival = hops + (hops - 1) * stage_delay

@@ -92,6 +92,41 @@ class NIC:
         self.forwarded += 1
         return flit
 
+    def peek(self, vc: int) -> tuple[int, int, bool] | None:
+        """Head flit of ``vc`` without dequeuing, or ``None`` if empty."""
+        q = self._queues[vc]
+        return q[0] if q else None
+
+    # ------------------------------------------------------------------
+    # Fault/recovery paths (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def drain(self, vc: int) -> list[tuple[int, int, bool]]:
+        """Remove and return every queued flit of one VC (teardown path).
+
+        Does not touch the ``accepted``/``forwarded`` counters: the flits
+        were accepted once and are being migrated or discarded, not
+        re-generated.
+        """
+        q = self._queues[vc]
+        flits = list(q)
+        q.clear()
+        self._qlen[vc] = 0
+        self._mask &= ~(1 << vc)
+        return flits
+
+    def requeue(self, vc: int, flits: list[tuple[int, int, bool]]) -> None:
+        """Append previously drained flits onto a VC, preserving order.
+
+        Used when a torn-down connection is re-admitted on a different
+        virtual channel: the NIC backlog follows the connection.
+        """
+        if not flits:
+            return
+        self._queues[vc].extend(flits)
+        self._qlen[vc] += len(flits)
+        self._mask |= 1 << vc
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------

@@ -111,11 +111,37 @@ class MMRouter:
                 "buffered in its virtual channel"
             )
         self.setup_unit.teardown(conn_id)
+        self._clear_vc_state(conn)
+        return conn
+
+    def force_teardown(
+        self, conn_id: int, *, restore_credits: bool = True
+    ) -> tuple[Connection, int]:
+        """Tear a connection down even with flits still buffered.
+
+        The fault-recovery path: a dead output link or an unrecoverable
+        virtual channel means the buffered flits can never depart, so
+        they are discarded and their buffer slots freed.  Returns the
+        connection and the number of flits dropped.  ``restore_credits``
+        returns the freed slots to the NIC-side credit pool (set it
+        ``False`` for inter-router input ports, whose credits live on the
+        upstream router).
+        """
+        conn = self.table.get(conn_id)
+        dropped = self.vc_memory.occupancy_of(conn.in_port, conn.vc)
+        for _ in range(dropped):
+            self.vc_memory.pop(conn.in_port, conn.vc)
+        if restore_credits and dropped:
+            self.credits.restore(conn.in_port, conn.vc, dropped)
+        self.setup_unit.teardown(conn_id)
+        self._clear_vc_state(conn)
+        return conn, dropped
+
+    def _clear_vc_state(self, conn: Connection) -> None:
         self._slots[conn.in_port, conn.vc] = 0
         self._dest[conn.in_port, conn.vc] = -1
         self._conn_of_vc[conn.in_port, conn.vc] = -1
         self._tier[conn.in_port, conn.vc] = 1.0
-        return conn
 
     def connection_at(self, in_port: int, vc: int) -> int:
         """conn_id occupying (port, vc), or -1."""

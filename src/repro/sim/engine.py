@@ -17,7 +17,7 @@ __all__ = ["RngStreams", "RunControl"]
 
 #: Stable role -> child index mapping.  Append-only: renumbering roles
 #: would silently change every seeded experiment.
-_ROLES = ("workload", "sources", "arbiter", "misc")
+_ROLES = ("workload", "sources", "arbiter", "misc", "faults")
 
 
 class RngStreams:
@@ -58,6 +58,11 @@ class RngStreams:
     @property
     def misc(self) -> np.random.Generator:
         return self._streams["misc"]
+
+    @property
+    def faults(self) -> np.random.Generator:
+        """Fault injection (corruption bits, loss/duplication draws)."""
+        return self._streams["faults"]
 
 
 @dataclass(frozen=True)

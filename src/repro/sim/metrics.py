@@ -21,14 +21,14 @@ reservoir for percentiles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from ..router.config import RouterConfig
 from ..router.crossbar import Departure
 
-__all__ = ["StreamingStat", "GroupStats", "MetricsCollector"]
+__all__ = ["StreamingStat", "GroupStats", "FaultCounters", "MetricsCollector"]
 
 
 class StreamingStat:
@@ -86,6 +86,45 @@ class GroupStats:
     frames: int = 0
 
 
+@dataclass
+class FaultCounters:
+    """Fault/recovery accounting for a robustness run (repro.faults).
+
+    ``injected_*`` count fault events put into the system; the remaining
+    fields count what the detection and recovery machinery did about
+    them.  All zeros on a healthy run.
+    """
+
+    injected_corruption: int = 0
+    injected_credit_loss: int = 0
+    injected_credit_dup: int = 0
+    injected_stuck_slot: int = 0
+    injected_dead_port: int = 0
+    crc_detected: int = 0
+    retransmissions: int = 0
+    duplicates_discarded: int = 0
+    credit_resyncs: int = 0
+    resync_giveups: int = 0
+    teardowns: int = 0
+    readmitted: int = 0
+    connections_dropped: int = 0
+    flits_dropped: int = 0
+    degradation_escalations: int = 0
+    max_degradation_level: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+    def total_injected(self) -> int:
+        return (
+            self.injected_corruption
+            + self.injected_credit_loss
+            + self.injected_credit_dup
+            + self.injected_stuck_slot
+            + self.injected_dead_port
+        )
+
+
 class MetricsCollector:
     """Consumes crossbar departures and accumulates the paper's metrics."""
 
@@ -106,6 +145,18 @@ class MetricsCollector:
         self._prev_frame_delay: dict[int, float] = {}
         self.total_departures = 0
         self.measured_departures = 0
+
+    def register_connection(
+        self, in_port: int, vc: int, conn_id: int, label: str
+    ) -> None:
+        """Register a connection established after the run started.
+
+        The fault-recovery path re-admits torn-down connections on a new
+        virtual channel (and possibly a new output port); their departures
+        must keep accruing to the original metrics group.
+        """
+        self._conn_of_vc[(in_port, vc)] = conn_id
+        self._labels[conn_id] = label
 
     def _group(self, label: str) -> GroupStats:
         group = self.groups.get(label)

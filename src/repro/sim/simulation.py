@@ -15,7 +15,7 @@ summaries the figures plot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.matching import Arbiter
 from ..core.priorities import PriorityScheme
@@ -59,6 +59,12 @@ class SimResult:
     backlog: int
     #: Number of established connections.
     connections: int
+    #: Fault/recovery counters (empty for healthy runs; see
+    #: :class:`repro.sim.metrics.FaultCounters`).
+    fault: dict[str, int] = field(default_factory=dict)
+    #: Peak QoS-degradation level reached (0 = none, 1 = best-effort
+    #: shed, 2 = VBR clamped to its average reservation).
+    degradation_level: int = 0
 
     def delay_of(self, label: str) -> float:
         return self.flit_delay_us[label]

@@ -21,7 +21,47 @@ import numpy as np
 
 from ..router.router import MMRouter
 
-__all__ = ["EventKind", "TraceEvent", "Tracer"]
+__all__ = ["EventKind", "TraceEvent", "Tracer", "dump_router_state"]
+
+
+def dump_router_state(router: MMRouter, now: int) -> str:
+    """Render a router's buffer/credit state as diagnostic text.
+
+    Used by the simulation watchdog (:mod:`repro.faults.watchdog`) when it
+    detects a stall or a conservation violation: instead of hanging or
+    failing opaquely, the run aborts with this snapshot attached.  Only
+    non-idle (port, vc) pairs are listed, so the dump stays readable on
+    large routers.
+    """
+    lines = [
+        f"router state at cycle {now}:",
+        f"  buffered flits: {router.buffered_flits()}  "
+        f"nic backlog: {router.nic_backlog()}  "
+        f"credits in flight: {router.credits.in_flight}",
+    ]
+    occupancy = router.vc_memory.occupancy
+    credits = router.credits.counters
+    depth = router.config.vc_buffer_depth
+    for port in range(router.config.num_ports):
+        backlog = router.nics[port].queue_lengths
+        busy = [
+            vc
+            for vc in range(router.config.vcs_per_link)
+            if occupancy[port, vc] or backlog[vc] or credits[port, vc] != depth
+        ]
+        if not busy:
+            continue
+        lines.append(f"  port {port}:")
+        for vc in busy:
+            conn = router.connection_at(port, vc)
+            lines.append(
+                f"    vc {vc:>3} conn {conn:>3}: "
+                f"buffered={int(occupancy[port, vc])} "
+                f"nic_backlog={int(backlog[vc])} "
+                f"credits={int(credits[port, vc])} "
+                f"in_flight={router.credits.in_flight_for(port, vc)}"
+            )
+    return "\n".join(lines)
 
 
 class EventKind(enum.Enum):
