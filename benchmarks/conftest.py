@@ -12,10 +12,18 @@ measures "time to produce this figure's data" — the full simulation cost
 lands on the first bench that needs a given sweep, cache hits on the rest.
 
 Run with:  pytest benchmarks/ --benchmark-only
+
+The benches can additionally opt into the campaign layer's on-disk
+result cache and worker pool (see docs/architecture.md, "Campaign
+orchestration"): set ``REPRO_BENCH_STORE=/path/to/store`` to persist and
+reuse sweep points across bench sessions, and ``REPRO_BENCH_JOBS=N`` to
+fan sweep points out over N worker processes.  Both default to off so a
+plain ``pytest benchmarks/`` measures real simulation cost.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable
 
 import pytest
@@ -40,11 +48,26 @@ def cached(key: str, compute: Callable[[], Any]) -> Any:
     return _cache[key]
 
 
+def _campaign_store():
+    """Cross-session result store, opt-in via REPRO_BENCH_STORE."""
+    root = os.environ.get("REPRO_BENCH_STORE")
+    if not root:
+        return None
+    from repro.campaign import ResultStore
+
+    return ResultStore(root)
+
+
+def _campaign_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
 def cbr_result():
     return cached(
         "cbr",
         lambda: cbr_delay_experiment(
-            loads=CBR_BENCH_LOADS, seed=BENCH_SEED, scale="ci"
+            loads=CBR_BENCH_LOADS, seed=BENCH_SEED, scale="ci",
+            jobs=_campaign_jobs(), store=_campaign_store(),
         ),
     )
 
@@ -53,7 +76,8 @@ def vbr_result(model: str):
     return cached(
         f"vbr-{model}",
         lambda: vbr_experiment(
-            model=model, loads=VBR_BENCH_LOADS, seed=BENCH_SEED, scale="ci"
+            model=model, loads=VBR_BENCH_LOADS, seed=BENCH_SEED, scale="ci",
+            jobs=_campaign_jobs(), store=_campaign_store(),
         ),
     )
 

@@ -1,0 +1,59 @@
+"""Campaign orchestration: parallel experiment grids with result caching.
+
+Every figure in the paper is a load sweep x arbiter x seed grid.  This
+package turns such a grid into a declarative :class:`CampaignPlan`,
+executes its points on a worker pool with per-point retry, and persists
+each result in a content-addressed store so re-invoked or interrupted
+campaigns resume from cache instead of recomputing.
+
+Quickstart::
+
+    from repro.campaign import (
+        CampaignPlan, ResultStore, WorkloadSpec, run_campaign,
+    )
+    from repro.sim import RunControl, default_config
+
+    plan = CampaignPlan.grid(
+        "fig5-smoke", default_config(), arbiters=("coa", "wfa"),
+        loads=(0.5, 0.7), seeds=(1, 2), workload=WorkloadSpec.cbr(),
+        control=RunControl(cycles=4_000, warmup_cycles=800),
+    )
+    res = run_campaign(plan, jobs=4, store=ResultStore(".repro-store"))
+    res.hits, res.misses, res.points_per_sec
+"""
+
+from .executor import (
+    CampaignError,
+    CampaignResult,
+    PointOutcome,
+    execute_point,
+    run_campaign,
+)
+from .plan import (
+    CODE_VERSION,
+    CampaignPlan,
+    PointSpec,
+    WorkloadSpec,
+    canonical_json,
+    register_workload_kind,
+)
+from .progress import ProgressReporter
+from .store import ResultStore, RunManifest, collect_provenance
+
+__all__ = [
+    "CODE_VERSION",
+    "CampaignError",
+    "CampaignPlan",
+    "CampaignResult",
+    "PointOutcome",
+    "PointSpec",
+    "ProgressReporter",
+    "ResultStore",
+    "RunManifest",
+    "WorkloadSpec",
+    "canonical_json",
+    "collect_provenance",
+    "execute_point",
+    "register_workload_kind",
+    "run_campaign",
+]

@@ -1,0 +1,340 @@
+"""Campaign execution: worker pool, per-point retry, result caching.
+
+One function defines how a point runs (:func:`execute_point`); the sweep
+and replication APIs in ``repro.sim`` route through it, and the worker
+processes rebuild the same call from a :class:`~repro.campaign.plan.PointSpec`.
+Because every point carries its own seed and RNG streams are per-simulation
+(:class:`repro.sim.engine.RngStreams`), execution order cannot influence
+results: a parallel campaign must produce artifacts byte-identical to a
+serial one, and tests assert exactly that.
+
+Failure policy (same ethos as ``repro.faults``): a point that raises is
+retried up to ``max_attempts`` times; a *crashed* worker (killed process,
+broken pool) is detected, logged to stderr, the pool rebuilt, and the
+affected points retried.  Only after a point exhausts its attempts does
+the campaign fail loudly with :class:`CampaignError` — partial results
+already computed are still in the store, so a re-run resumes from cache.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from ..router.config import RouterConfig
+from ..sim.engine import RunControl
+from ..sim.simulation import SimResult, SingleRouterSim
+from .plan import CampaignPlan, PointSpec
+from .progress import ProgressReporter
+from .store import ResultStore, RunManifest
+
+__all__ = [
+    "CampaignError",
+    "PointOutcome",
+    "CampaignResult",
+    "execute_point",
+    "run_campaign",
+]
+
+log = logging.getLogger(__name__)
+
+
+class CampaignError(RuntimeError):
+    """A point exhausted its retry budget; the campaign fails loudly."""
+
+
+def execute_point(
+    builder: Callable,
+    config: RouterConfig,
+    arbiter: str,
+    control: RunControl,
+    target_load: float,
+    seed: int,
+    scheme: str = "siabp",
+) -> SimResult:
+    """Run one simulation point.  THE definition of point semantics.
+
+    ``builder`` is any ``(router, rng, load) -> Workload`` callable —
+    including a :class:`~repro.campaign.plan.WorkloadSpec`, which is how
+    worker processes and the legacy sweep/replication APIs share this
+    single code path.
+    """
+    sim = SingleRouterSim(config, arbiter=arbiter, scheme=scheme, seed=seed)
+    workload = builder(sim.router, sim.rng.workload, target_load)
+    return sim.run(workload, control)
+
+
+def _worker(payload: dict[str, Any]) -> dict[str, Any]:
+    """Pool entry point: rebuild the spec, run it, return plain data."""
+    t0 = time.monotonic()
+    spec = PointSpec.from_dict(payload)
+    result = execute_point(
+        spec.workload,
+        spec.config,
+        spec.arbiter,
+        spec.control,
+        spec.target_load,
+        spec.seed,
+        spec.scheme,
+    )
+    return {"wall_s": time.monotonic() - t0, "result": result.to_dict()}
+
+
+# ----------------------------------------------------------------------
+# Outcomes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One executed (or cache-served) point of a campaign."""
+
+    spec: PointSpec
+    key: str
+    result: SimResult
+    cached: bool
+    attempts: int
+    wall_s: float
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign invocation, in plan order."""
+
+    plan: CampaignPlan
+    outcomes: list[PointOutcome]
+    wall_s: float
+    manifest_path: Path | None = None
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def misses(self) -> int:
+        return len(self.outcomes) - self.hits
+
+    @property
+    def points_per_sec(self) -> float:
+        return len(self.outcomes) / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def results(self) -> list[SimResult]:
+        return [o.result for o in self.outcomes]
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+
+def _pool_context():
+    """fork where available (fast, shares registered workload kinds);
+    spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_campaign(
+    plan: CampaignPlan,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    max_attempts: int = 3,
+    progress: ProgressReporter | None | bool = None,
+    write_manifest: bool = True,
+    worker: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
+) -> CampaignResult:
+    """Execute a plan, serving cached points from ``store``.
+
+    ``jobs=1`` runs serially in-process (the debugging path: tracebacks
+    point straight at the failing point).  ``jobs>1`` fans misses out on
+    a process pool.  ``progress=True`` reports to stderr; a
+    :class:`ProgressReporter` instance redirects the telemetry;
+    ``None``/``False`` stays quiet.  ``worker`` overrides the point
+    worker (tests use it to inject failures).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    worker_fn = worker if worker is not None else _worker
+
+    t_start = time.monotonic()
+    keys = [spec.key() for spec in plan.points]
+    reporter: ProgressReporter | None
+    if progress is True:
+        reporter = ProgressReporter(len(plan.points))
+    elif isinstance(progress, ProgressReporter):
+        reporter = progress
+    else:
+        reporter = None
+
+    # Phase 1: consult the cache (in the parent; cheap, deterministic).
+    outcomes: list[PointOutcome | None] = [None] * len(plan.points)
+    todo: list[int] = []
+    for i, (spec, key) in enumerate(zip(plan.points, keys)):
+        cached = store.get(key) if store is not None else None
+        if cached is not None:
+            outcomes[i] = PointOutcome(
+                spec=spec,
+                key=key,
+                result=SimResult.from_dict(cached),
+                cached=True,
+                attempts=0,
+                wall_s=0.0,
+            )
+            if reporter:
+                reporter.point_done(cached=True, attempts=0)
+        else:
+            todo.append(i)
+
+    # Phase 2: compute the misses.
+    attempts = {i: 0 for i in todo}
+
+    def finalize(i: int, wall_s: float, result_dict: dict[str, Any]) -> None:
+        spec, key = plan.points[i], keys[i]
+        if store is not None:
+            store.put(spec, key, result_dict)
+        outcomes[i] = PointOutcome(
+            spec=spec,
+            key=key,
+            result=SimResult.from_dict(result_dict),
+            cached=False,
+            attempts=attempts[i],
+            wall_s=wall_s,
+        )
+        if reporter:
+            reporter.point_done(cached=False, attempts=attempts[i])
+
+    def retry_or_fail(i: int, exc: BaseException) -> None:
+        spec = plan.points[i]
+        if attempts[i] >= max_attempts:
+            raise CampaignError(
+                f"point {spec.describe()} failed after "
+                f"{attempts[i]} attempts: {exc!r}"
+            ) from exc
+        log.warning(
+            "campaign point %s failed (attempt %d/%d): %r — retrying",
+            spec.describe(),
+            attempts[i],
+            max_attempts,
+            exc,
+        )
+
+    if jobs == 1 or len(todo) <= 1:
+        for i in todo:
+            while outcomes[i] is None:
+                attempts[i] += 1
+                t0 = time.monotonic()
+                try:
+                    out = worker_fn(plan.points[i].to_dict())
+                except CampaignError:
+                    raise
+                except Exception as exc:
+                    retry_or_fail(i, exc)
+                else:
+                    finalize(i, out.get("wall_s", time.monotonic() - t0), out["result"])
+    else:
+        _run_pool(
+            plan, todo, attempts, finalize, retry_or_fail, jobs, worker_fn
+        )
+
+    wall_s = time.monotonic() - t_start
+    if reporter:
+        reporter.finish()
+
+    done = [o for o in outcomes if o is not None]
+    assert len(done) == len(plan.points)
+
+    manifest_path = None
+    if store is not None and write_manifest:
+        manifest = RunManifest(campaign=plan.name, jobs=jobs)
+        manifest.started_unix = time.time() - wall_s
+        for o in done:
+            manifest.record_point(o.spec, o.key, o.cached, o.attempts, o.wall_s)
+        manifest.finish()
+        manifest_path = store.write_manifest(manifest)
+
+    return CampaignResult(
+        plan=plan, outcomes=done, wall_s=wall_s, manifest_path=manifest_path
+    )
+
+
+def _run_pool(
+    plan: CampaignPlan,
+    todo: list[int],
+    attempts: dict[int, int],
+    finalize: Callable[[int, float, dict[str, Any]], None],
+    retry_or_fail: Callable[[int, BaseException], None],
+    jobs: int,
+    worker_fn: Callable[[dict[str, Any]], dict[str, Any]],
+) -> None:
+    """Fan points out on a process pool, surviving worker crashes.
+
+    Normal exceptions retry on the same pool.  A broken pool (a worker
+    died hard) poisons every in-flight future, so all of them get an
+    attempt charged, the pool is rebuilt, and the survivors resubmitted.
+    """
+    ctx = _pool_context()
+    outstanding = list(todo)
+    while outstanding:
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+        retry_next_pool: list[int] = []
+        try:
+            futures = {}
+            for i in outstanding:
+                attempts[i] += 1
+                futures[pool.submit(worker_fn, plan.points[i].to_dict())] = i
+            pending = set(futures)
+            broken = False
+            while pending and not broken:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    i = futures.pop(fut)
+                    try:
+                        out = fut.result()
+                    except BrokenProcessPool as exc:
+                        print(
+                            f"campaign: worker pool broke on "
+                            f"{plan.points[i].describe()} — rebuilding pool",
+                            file=sys.stderr,
+                            flush=True,
+                        )
+                        retry_or_fail(i, exc)
+                        retry_next_pool.append(i)
+                        broken = True
+                    except Exception as exc:
+                        retry_or_fail(i, exc)
+                        attempts[i] += 1
+                        try:
+                            f = pool.submit(
+                                worker_fn, plan.points[i].to_dict()
+                            )
+                        except BrokenProcessPool:
+                            attempts[i] -= 1  # submission never happened
+                            retry_next_pool.append(i)
+                            broken = True
+                        else:
+                            futures[f] = i
+                            pending.add(f)
+                    else:
+                        finalize(i, out.get("wall_s", 0.0), out["result"])
+            if broken:
+                # In-flight futures on a broken pool are poisoned too:
+                # charge the attempt and retry them on a fresh pool.
+                for fut in pending:
+                    i = futures.pop(fut)
+                    retry_or_fail(
+                        i, BrokenProcessPool("sibling worker crashed")
+                    )
+                    retry_next_pool.append(i)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        outstanding = sorted(retry_next_pool)

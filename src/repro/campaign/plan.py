@@ -1,0 +1,276 @@
+"""Declarative campaign plans: point specs and stable content hashing.
+
+A *campaign* is a grid of independent simulation points — the
+(config, arbiter, scheme, load, seed, workload) tuples behind every
+figure in the paper.  This module turns that grid into plain data:
+
+* :class:`WorkloadSpec` — a named, parameterized workload recipe that a
+  worker process can rebuild from scratch (unlike the ad-hoc builder
+  closures the sweep API historically took, which cannot be hashed or
+  shipped to another process).
+* :class:`PointSpec` — one fully-resolved simulation point.  Its
+  :meth:`PointSpec.key` is a stable SHA-256 over the canonical JSON of
+  the spec plus the code-version key, and is what the result store
+  addresses artifacts by.
+* :class:`CampaignPlan` — an ordered tuple of points with grid helpers.
+
+Hashing contract: two points collide iff they would produce the same
+:class:`~repro.sim.simulation.SimResult`.  Anything that can change a
+result must be in the spec (it is: the config dataclass, arbiter,
+scheme, seed, load, run length, warmup, and every workload parameter)
+or in :data:`CODE_VERSION`, which must be bumped whenever simulation
+semantics change so stale cached artifacts become unreachable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from .. import __version__
+from ..router.config import RouterConfig
+from ..router.router import MMRouter
+from ..sim.engine import RunControl
+from ..traffic.mixes import Workload, build_cbr_workload, build_vbr_workload
+
+__all__ = [
+    "CODE_VERSION",
+    "WorkloadSpec",
+    "PointSpec",
+    "CampaignPlan",
+    "canonical_json",
+    "register_workload_kind",
+]
+
+#: Simulation-semantics version key baked into every point hash.  Bump
+#: whenever a change alters what any spec computes (new RNG consumption
+#: order, metric definition change, ...): old artifacts then miss
+#: instead of serving stale results.
+CODE_VERSION = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, NaN allowed."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=True)
+
+
+# ----------------------------------------------------------------------
+# Workload specs
+# ----------------------------------------------------------------------
+
+#: kind -> builder(router, load, rng, **params) registry.  Extensible so
+#: downstream code can register new declarative workload kinds.
+_WORKLOAD_KINDS: dict[str, Callable[..., Workload]] = {}
+
+
+def register_workload_kind(kind: str, builder: Callable[..., Workload]) -> None:
+    """Register a workload kind usable in :class:`WorkloadSpec`.
+
+    ``builder`` is called as ``builder(router, load, rng, **params)``.
+    Registering under an existing name replaces the previous builder.
+    """
+    _WORKLOAD_KINDS[kind] = builder
+
+
+register_workload_kind(
+    "cbr", lambda router, load, rng: build_cbr_workload(router, load, rng)
+)
+register_workload_kind(
+    "vbr",
+    lambda router, load, rng, **params: build_vbr_workload(
+        router, load, rng, **params
+    ),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative workload recipe: a registered kind plus parameters.
+
+    Unlike a builder closure, a spec is hashable, JSON-serializable, and
+    rebuildable inside a worker process.  It is itself a
+    ``WorkloadBuilder`` — calling it with ``(router, rng, load)`` builds
+    the workload — so every API that accepts a builder accepts a spec.
+    """
+
+    kind: str
+    #: Sorted (name, value) pairs; tuple so the dataclass stays hashable.
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; "
+                f"known: {', '.join(sorted(_WORKLOAD_KINDS))}"
+            )
+        ordered = tuple(sorted(self.params))
+        if ordered != self.params:
+            object.__setattr__(self, "params", ordered)
+
+    @staticmethod
+    def cbr() -> "WorkloadSpec":
+        """The paper's CBR mix (Fig. 5 traffic)."""
+        return WorkloadSpec("cbr")
+
+    @staticmethod
+    def vbr(
+        model: str = "SR",
+        frame_time_cycles: int = 1_500,
+        bandwidth_scale: float = 8.0,
+        num_gops: int = 2,
+    ) -> "WorkloadSpec":
+        """The paper's MPEG-2 VBR mix under the SR or BB model."""
+        return WorkloadSpec(
+            "vbr",
+            (
+                ("bandwidth_scale", bandwidth_scale),
+                ("frame_time_cycles", frame_time_cycles),
+                ("model", model),
+                ("num_gops", num_gops),
+            ),
+        )
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def __call__(
+        self, router: MMRouter, rng: np.random.Generator, load: float
+    ) -> Workload:
+        return _WORKLOAD_KINDS[self.kind](router, load, rng, **self.params_dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": self.params_dict}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        return cls(data["kind"], tuple(sorted(data.get("params", {}).items())))
+
+
+# ----------------------------------------------------------------------
+# Point specs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One fully-resolved simulation point of a campaign grid."""
+
+    config: RouterConfig
+    arbiter: str
+    scheme: str
+    target_load: float
+    seed: int
+    workload: WorkloadSpec
+    cycles: int
+    warmup_cycles: int
+
+    @property
+    def control(self) -> RunControl:
+        return RunControl(cycles=self.cycles, warmup_cycles=self.warmup_cycles)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": asdict(self.config),
+            "arbiter": self.arbiter,
+            "scheme": self.scheme,
+            "target_load": self.target_load,
+            "seed": self.seed,
+            "workload": self.workload.to_dict(),
+            "cycles": self.cycles,
+            "warmup_cycles": self.warmup_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PointSpec":
+        return cls(
+            config=RouterConfig(**data["config"]),
+            arbiter=data["arbiter"],
+            scheme=data["scheme"],
+            target_load=data["target_load"],
+            seed=data["seed"],
+            workload=WorkloadSpec.from_dict(data["workload"]),
+            cycles=data["cycles"],
+            warmup_cycles=data["warmup_cycles"],
+        )
+
+    def key(self) -> str:
+        """Stable content address: SHA-256 of spec + code version."""
+        payload = {
+            "spec": self.to_dict(),
+            "code_version": CODE_VERSION,
+            "repro_version": __version__,
+        }
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label for logs and manifests."""
+        return (
+            f"{self.workload.kind}/{self.arbiter}/{self.scheme} "
+            f"load={self.target_load:g} seed={self.seed}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """An ordered set of points.  Order is the serial execution order;
+    parallel execution must produce identical artifacts regardless."""
+
+    name: str
+    points: tuple[PointSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a campaign plan needs at least one point")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @staticmethod
+    def grid(
+        name: str,
+        config: RouterConfig,
+        arbiters: Sequence[str],
+        loads: Sequence[float],
+        seeds: Sequence[int],
+        workload: WorkloadSpec,
+        control: RunControl,
+        scheme: str = "siabp",
+    ) -> "CampaignPlan":
+        """Full arbiter x load x seed grid, in sweep order.
+
+        Matches the fairness rule of :func:`repro.sim.sweep.run_load_sweep`:
+        arbiters at the same (load, seed) share identical workloads
+        because workload construction draws from its own RNG stream.
+        """
+        points = tuple(
+            PointSpec(
+                config=config,
+                arbiter=arbiter,
+                scheme=scheme,
+                target_load=load,
+                seed=seed,
+                workload=workload,
+                cycles=control.cycles,
+                warmup_cycles=control.warmup_cycles,
+            )
+            for arbiter in arbiters
+            for load in loads
+            for seed in seeds
+        )
+        return CampaignPlan(name=name, points=points)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "points": [p.to_dict() for p in self.points]}

@@ -1,0 +1,95 @@
+"""Periodic campaign progress / ETA / points-per-second telemetry.
+
+Reports go to stderr (stdout stays clean for result tables) at a bounded
+rate: at most one line per ``interval_s``, plus a final summary line.
+Cache hits complete in microseconds, so rate and ETA are computed over
+*computed* (miss) points only — that is the number that predicts the
+remaining wall time.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, TextIO
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Throttled progress lines for a campaign run."""
+
+    def __init__(
+        self,
+        total: int,
+        stream: TextIO | None = None,
+        interval_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if total <= 0:
+            raise ValueError("total must be positive")
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval_s = interval_s
+        self._clock = clock
+        self._start = clock()
+        self._last_emit = float("-inf")
+        self.done = 0
+        self.hits = 0
+        self.retries = 0
+        self._final_emitted = False
+
+    # ------------------------------------------------------------------
+
+    def point_done(self, cached: bool, attempts: int = 1) -> None:
+        """Record one finished point and maybe emit a progress line."""
+        self.done += 1
+        if cached:
+            self.hits += 1
+        self.retries += max(0, attempts - 1)
+        self._maybe_emit()
+
+    def finish(self) -> None:
+        """Emit the final summary line (once)."""
+        if not self._final_emitted:
+            self._emit()
+
+    # ------------------------------------------------------------------
+
+    def _maybe_emit(self) -> None:
+        now = self._clock()
+        if self.done >= self.total or now - self._last_emit >= self.interval_s:
+            self._emit(now)
+
+    def rate(self, now: float | None = None) -> float:
+        """Computed (non-cached) points per second so far."""
+        elapsed = (now if now is not None else self._clock()) - self._start
+        computed = self.done - self.hits
+        return computed / elapsed if elapsed > 0 else float("inf")
+
+    def eta_s(self, now: float | None = None) -> float:
+        """Seconds left, assuming remaining points are all misses."""
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        r = self.rate(now)
+        return remaining / r if r > 0 else float("inf")
+
+    def _emit(self, now: float | None = None) -> None:
+        now = now if now is not None else self._clock()
+        self._last_emit = now
+        if self.done >= self.total:
+            self._final_emitted = True
+        elapsed = now - self._start
+        parts = [
+            f"campaign: {self.done}/{self.total} points",
+            f"{self.hits} cached",
+            f"{self.rate(now):.2f} pts/s",
+            f"elapsed {elapsed:.1f}s",
+        ]
+        if self.done < self.total:
+            eta = self.eta_s(now)
+            parts.append("ETA ?" if eta == float("inf") else f"ETA {eta:.0f}s")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        print(" · ".join(parts), file=self.stream, flush=True)

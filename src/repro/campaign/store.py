@@ -1,0 +1,220 @@
+"""Content-addressed on-disk result store and run manifests.
+
+Layout under the store root::
+
+    <root>/
+        objects/<kk>/<key>.json     # kk = first two hex chars of key
+        manifests/<name>-<stamp>.json
+
+Artifacts are *deterministic*: they contain only the point key, the
+fully-resolved spec, the code-version keys, and the result — no
+timestamps, hostnames, or anything else that varies between runs.  This
+is what makes serial and parallel executions of the same plan produce
+byte-identical files (asserted in tests).  Per-run provenance (git SHA,
+host, wall times, hit/miss accounting) lives in the manifest, one file
+per campaign invocation.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory) so
+a killed campaign never leaves a half-written artifact; a corrupted or
+truncated artifact is detected on read, dropped, and the point simply
+recomputes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .. import __version__
+from .plan import CODE_VERSION, PointSpec, canonical_json
+
+__all__ = ["ResultStore", "RunManifest", "collect_provenance"]
+
+
+class ResultStore:
+    """Content-addressed JSON artifact store keyed by point hashes."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.manifests_dir = self.root / "manifests"
+        #: Artifacts dropped because they failed to parse or validate.
+        self.corrupt_dropped = 0
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored result dict for ``key``, or None on miss.
+
+        Any read/parse/validation failure counts as a miss (and bumps
+        :attr:`corrupt_dropped`): the caller recomputes, never crashes.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupt_dropped += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("key") != key
+            or not isinstance(payload.get("result"), dict)
+        ):
+            self.corrupt_dropped += 1
+            return None
+        return payload["result"]
+
+    def put(self, spec: PointSpec, key: str, result: dict[str, Any]) -> Path:
+        """Persist one artifact atomically; returns its path.
+
+        The artifact body is canonical JSON of purely deterministic
+        content, so re-running the same point always writes the same
+        bytes.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = canonical_json(
+            {
+                "key": key,
+                "spec": spec.to_dict(),
+                "code_version": CODE_VERSION,
+                "repro_version": __version__,
+                "result": result,
+            }
+        )
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(body, encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+
+    def write_manifest(self, manifest: "RunManifest") -> Path:
+        """Write a per-run manifest; returns its path."""
+        self.manifests_dir.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        base = f"{manifest.campaign}-{stamp}"
+        path = self.manifests_dir / f"{base}.json"
+        n = 1
+        while path.exists():
+            path = self.manifests_dir / f"{base}-{n}.json"
+            n += 1
+        path.write_text(
+            json.dumps(manifest.to_dict(), indent=2, sort_keys=True, allow_nan=True),
+            encoding="utf-8",
+        )
+        return path
+
+
+# ----------------------------------------------------------------------
+# Provenance / manifests
+# ----------------------------------------------------------------------
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def collect_provenance() -> dict[str, Any]:
+    """Best-effort environment snapshot for a manifest."""
+    return {
+        "repro_version": __version__,
+        "code_version": CODE_VERSION,
+        "git_sha": _git_sha(),
+        "host": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """Provenance + per-point accounting for one campaign invocation."""
+
+    campaign: str
+    jobs: int
+    provenance: dict[str, Any] = field(default_factory=collect_provenance)
+    started_unix: float = field(default_factory=time.time)
+    finished_unix: float | None = None
+    #: One record per point: key, label, cached, attempts, wall_s.
+    points: list[dict[str, Any]] = field(default_factory=list)
+
+    def record_point(
+        self,
+        spec: PointSpec,
+        key: str,
+        cached: bool,
+        attempts: int,
+        wall_s: float,
+    ) -> None:
+        self.points.append(
+            {
+                "key": key,
+                "label": spec.describe(),
+                "cached": cached,
+                "attempts": attempts,
+                "wall_s": round(wall_s, 6),
+            }
+        )
+
+    def finish(self) -> None:
+        self.finished_unix = time.time()
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for p in self.points if p["cached"])
+
+    @property
+    def misses(self) -> int:
+        return len(self.points) - self.hits
+
+    def to_dict(self) -> dict[str, Any]:
+        wall = (
+            (self.finished_unix - self.started_unix)
+            if self.finished_unix is not None
+            else None
+        )
+        return {
+            "campaign": self.campaign,
+            "jobs": self.jobs,
+            "provenance": self.provenance,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "totals": {
+                "points": len(self.points),
+                "hits": self.hits,
+                "misses": self.misses,
+                "wall_s": wall,
+                "points_per_sec": (
+                    len(self.points) / wall if wall and wall > 0 else None
+                ),
+            },
+            "points": self.points,
+        }

@@ -27,11 +27,18 @@ A robustness run with fault injection (see docs/reproduction.md)::
 
     python -m repro faults --dead-port 2 --dead-port-cycle 2000
     python -m repro faults --corruption-rate 0.01 --credit-loss-rate 0.005
+
+A cached, parallel campaign over an arbiter x load x seed grid (see
+docs/architecture.md "Campaign orchestration")::
+
+    python -m repro campaign --traffic cbr --arbiters coa,wfa \
+        --loads 0.5,0.7,0.8 --n-seeds 3 --jobs 4 --store .repro-campaign
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -67,6 +74,13 @@ def _parse_floats(text: str) -> list[float]:
         return [float(x) for x in text.split(",") if x]
     except ValueError:
         raise argparse.ArgumentTypeError(f"not a float list: {text!r}") from None
+
+
+def _parse_ints(text: str) -> list[int]:
+    try:
+        return [int(x) for x in text.split(",") if x]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an int list: {text!r}") from None
 
 
 def _parse_names(text: str) -> list[str]:
@@ -113,9 +127,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="target offered load per input link (0-1)")
     p_run.set_defaults(func=cmd_run)
 
+    def add_campaign_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes (1 = serial in-process, "
+                            "0 = one per CPU core)")
+        p.add_argument("--store", default=None, metavar="DIR",
+                       help="result-store directory (caches points)")
+        p.add_argument("--retries", type=int, default=3,
+                       help="max attempts per point before failing (default 3)")
+
     p_sweep = sub.add_parser("sweep", help="load sweep over arbiters")
     add_router_args(p_sweep)
     add_traffic_args(p_sweep)
+    add_campaign_args(p_sweep)
     p_sweep.add_argument("--arbiters", type=_parse_names, default=["coa", "wfa"],
                          help="comma-separated arbiter names")
     p_sweep.add_argument("--loads", type=_parse_floats,
@@ -128,6 +152,41 @@ def build_parser() -> argparse.ArgumentParser:
         default="delay",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="parallel, cached arbiter x load x seed campaign",
+    )
+    add_router_args(p_campaign)
+    add_traffic_args(p_campaign)
+    add_campaign_args(p_campaign)
+    p_campaign.add_argument("--name", default="campaign",
+                            help="campaign name (manifest file prefix)")
+    p_campaign.add_argument("--arbiters", type=_parse_names,
+                            default=["coa", "wfa"],
+                            help="comma-separated arbiter names")
+    p_campaign.add_argument("--loads", type=_parse_floats,
+                            default=[0.3, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85],
+                            help="comma-separated target loads (0-1)")
+    p_campaign.add_argument(
+        "--seeds", type=_parse_ints, default=None,
+        help="explicit comma-separated seeds (default: derive --n-seeds "
+             "children from --seed via SeedSequence.spawn)",
+    )
+    p_campaign.add_argument("--n-seeds", type=int, default=1,
+                            help="seeds per point when --seeds is not given")
+    p_campaign.add_argument(
+        "--metric",
+        choices=("delay", "frame-delay", "utilization", "jitter",
+                 "throughput"),
+        default="delay",
+    )
+    p_campaign.add_argument("--summary-json", default=None, metavar="PATH",
+                            help="write run accounting (points, hits, wall "
+                                 "time) as JSON")
+    p_campaign.add_argument("--quiet", action="store_true",
+                            help="suppress progress telemetry on stderr")
+    p_campaign.set_defaults(func=cmd_campaign)
 
     p_faults = sub.add_parser(
         "faults", help="robustness run with fault injection"
@@ -164,6 +223,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_repro.add_argument("--seed", type=int, default=2002)
     p_repro.add_argument("--scale", default="ci", choices=("tiny", "ci", "paper"))
+    p_repro.add_argument("-j", "--jobs", type=int, default=1,
+                         help="worker processes for sweep artifacts")
+    p_repro.add_argument("--store", default=None, metavar="DIR",
+                         help="result-store directory (cached re-runs)")
     p_repro.set_defaults(func=cmd_reproduce)
 
     return parser
@@ -233,30 +296,147 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+_METRIC_PICKS = {
+    "delay": lambda r: r.flit_delay_us["overall"],
+    "frame-delay": lambda r: r.overall_frame_delay_us,
+    "utilization": lambda r: r.utilization * 100,
+    "jitter": lambda r: r.overall_jitter_us,
+    "throughput": lambda r: r.throughput * 100,
+}
+
+_METRIC_UNITS = {"delay": "us", "frame-delay": "us", "jitter": "us",
+                 "utilization": "%", "throughput": "%"}
+
+
+def _workload_spec_from_args(args: argparse.Namespace):
+    """(WorkloadSpec, RunControl) resolved exactly like ``cmd_run``."""
+    from .campaign import WorkloadSpec
+
+    scale = get_scale(args.scale)
+    if args.traffic == "cbr":
+        spec = WorkloadSpec.cbr()
+        cycles = args.cycles or scale.cbr_cycles
+        warmup = args.warmup if args.warmup >= 0 else min(
+            scale.cbr_warmup, cycles // 5
+        )
+    else:
+        spec = WorkloadSpec.vbr(
+            model=args.model,
+            frame_time_cycles=scale.vbr_frame_time_cycles,
+            bandwidth_scale=scale.vbr_bandwidth_scale,
+            num_gops=scale.vbr_num_gops,
+        )
+        cycles = args.cycles or scale.vbr_cycles
+        warmup = args.warmup if args.warmup >= 0 else min(
+            scale.vbr_warmup, cycles // 5
+        )
+    return spec, RunControl(cycles=cycles, warmup_cycles=warmup)
+
+
+def _open_store(args: argparse.Namespace):
+    from .campaign import ResultStore
+
+    return ResultStore(args.store) if args.store else None
+
+
+def _resolve_jobs(jobs: int) -> int:
+    import os
+
+    return jobs if jobs >= 1 else (os.cpu_count() or 1)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    pick = {
-        "delay": lambda r: r.flit_delay_us["overall"],
-        "frame-delay": lambda r: r.overall_frame_delay_us,
-        "utilization": lambda r: r.utilization * 100,
-        "jitter": lambda r: r.overall_jitter_us,
-        "throughput": lambda r: r.throughput * 100,
-    }[args.metric]
-    series = {}
+    from .sim.sweep import run_load_sweep
+
+    pick = _METRIC_PICKS[args.metric]
     for arbiter in args.arbiters:
         if arbiter not in ARBITER_NAMES:
             print(f"error: unknown arbiter {arbiter!r}", file=sys.stderr)
             return 2
-        points = []
-        for load in args.loads:
-            result = _build_and_run(args, arbiter, load)
-            points.append((result.offered_load * 100, pick(result)))
-        series[arbiter] = points
-    unit = {"delay": "us", "frame-delay": "us", "jitter": "us",
-            "utilization": "%", "throughput": "%"}[args.metric]
+    config = _config_from_args(args)
+    spec, control = _workload_spec_from_args(args)
+    store = _open_store(args)
+    series = {}
+    for arbiter in args.arbiters:
+        sweep = run_load_sweep(
+            args.loads, spec, config, arbiter, control,
+            scheme=args.scheme, seed=args.seed,
+            jobs=_resolve_jobs(args.jobs), store=store,
+        )
+        series[arbiter] = [
+            (p.offered_load * 100, pick(p.result)) for p in sweep.points
+        ]
+    unit = _METRIC_UNITS[args.metric]
     print(render_series(
         "load %", series,
         title=f"{args.traffic.upper()} sweep — {args.metric} ({unit})",
     ))
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import CampaignPlan, run_campaign
+    from .sim.replication import spawn_seeds
+
+    for arbiter in args.arbiters:
+        if arbiter not in ARBITER_NAMES:
+            print(f"error: unknown arbiter {arbiter!r}", file=sys.stderr)
+            return 2
+    seeds = args.seeds if args.seeds else spawn_seeds(args.seed, args.n_seeds)
+    config = _config_from_args(args)
+    spec, control = _workload_spec_from_args(args)
+    plan = CampaignPlan.grid(
+        args.name, config, args.arbiters, args.loads, seeds, spec, control,
+        scheme=args.scheme,
+    )
+    jobs = _resolve_jobs(args.jobs)
+    campaign = run_campaign(
+        plan,
+        jobs=jobs,
+        store=_open_store(args),
+        max_attempts=args.retries,
+        progress=not args.quiet,
+    )
+
+    # Per-arbiter series: metric averaged over seeds at each load.
+    pick = _METRIC_PICKS[args.metric]
+    groups: dict[tuple[str, float], list] = {}
+    for outcome in campaign.outcomes:
+        key = (outcome.spec.arbiter, outcome.spec.target_load)
+        groups.setdefault(key, []).append(outcome.result)
+    series = {}
+    for arbiter in args.arbiters:
+        points = []
+        for load in args.loads:
+            results = groups[(arbiter, load)]
+            offered = sum(r.offered_load for r in results) / len(results)
+            values = [pick(r) for r in results]
+            finite = [v for v in values if v == v]
+            mean = sum(finite) / len(finite) if finite else float("nan")
+            points.append((offered * 100, mean))
+        series[arbiter] = points
+    unit = _METRIC_UNITS[args.metric]
+    print(render_series(
+        "load %", series,
+        title=f"campaign {args.name!r} — {args.metric} ({unit}), "
+              f"mean over {len(seeds)} seed(s)",
+    ))
+
+    summary = {
+        "name": args.name,
+        "points": len(campaign.outcomes),
+        "hits": campaign.hits,
+        "misses": campaign.misses,
+        "wall_s": campaign.wall_s,
+        "points_per_sec": campaign.points_per_sec,
+        "jobs": jobs,
+        "manifest": str(campaign.manifest_path) if campaign.manifest_path else None,
+    }
+    rows = [[k, v] for k, v in summary.items()]
+    print(render_table(["field", "value"], rows, title="campaign summary"))
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2)
     return 0
 
 
@@ -343,7 +523,9 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         ))
         return 0
     if args.artifact == "fig5":
-        result = cbr_delay_experiment(seed=args.seed, scale=args.scale)
+        result = cbr_delay_experiment(seed=args.seed, scale=args.scale,
+                                      jobs=_resolve_jobs(args.jobs),
+                                      store=_open_store(args))
         for label in ("low", "medium", "high"):
             print(render_series(
                 "load %",
@@ -354,7 +536,9 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     if args.artifact in ("fig8", "fig9", "jitter"):
         for model in ("SR", "BB"):
             result = vbr_experiment(model=model, seed=args.seed,
-                                    scale=args.scale)
+                                    scale=args.scale,
+                                    jobs=_resolve_jobs(args.jobs),
+                                    store=_open_store(args))
             if args.artifact == "fig8":
                 series = {a: result.utilization_series(a)
                           for a in ("coa", "wfa")}

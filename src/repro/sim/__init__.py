@@ -12,7 +12,7 @@ from .experiments import (
     vbr_experiment,
 )
 from .metrics import GroupStats, MetricsCollector, StreamingStat
-from .replication import ReplicatedPoint, replicate, replicate_sweep
+from .replication import ReplicatedPoint, replicate, replicate_sweep, spawn_seeds
 from .tracing import EventKind, TraceEvent, Tracer
 from .simulation import SimResult, SingleRouterSim
 from .sweep import LoadSweep, SweepPoint, run_load_sweep
@@ -32,6 +32,7 @@ __all__ = [
     "ReplicatedPoint",
     "replicate",
     "replicate_sweep",
+    "spawn_seeds",
     "EventKind",
     "TraceEvent",
     "Tracer",

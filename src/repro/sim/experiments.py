@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..router.config import RouterConfig
-from ..traffic.mixes import build_cbr_workload, build_vbr_workload
 from .engine import RunControl
 from .sweep import LoadSweep, run_load_sweep
 
@@ -138,17 +137,27 @@ def cbr_delay_experiment(
     scheme: str = "siabp",
     seed: int = 0,
     scale: str | ExperimentScale = "ci",
+    *,
+    jobs: int = 1,
+    store=None,
 ) -> CBRDelayResult:
-    """Reproduce Fig. 5: average flit delay since generation, CBR mix."""
+    """Reproduce Fig. 5: average flit delay since generation, CBR mix.
+
+    The workload is declarative, so points fan out over ``jobs`` worker
+    processes and are served from the campaign result cache when a
+    ``store`` is given (see :mod:`repro.campaign`).
+    """
+    from ..campaign.plan import WorkloadSpec
+
     sc = get_scale(scale)
     cfg = config or default_config()
     control = RunControl(cycles=sc.cbr_cycles, warmup_cycles=sc.cbr_warmup)
-
-    def builder(router, rng, load):
-        return build_cbr_workload(router, load, rng)
-
+    workload = WorkloadSpec.cbr()
     sweeps = {
-        arbiter: run_load_sweep(loads, builder, cfg, arbiter, control, scheme, seed)
+        arbiter: run_load_sweep(
+            loads, workload, cfg, arbiter, control, scheme, seed,
+            jobs=jobs, store=store,
+        )
         for arbiter in arbiters
     }
     return CBRDelayResult(sweeps=sweeps, scale=sc)
@@ -196,25 +205,32 @@ def vbr_experiment(
     scheme: str = "siabp",
     seed: int = 0,
     scale: str | ExperimentScale = "ci",
+    *,
+    jobs: int = 1,
+    store=None,
 ) -> VBRResult:
-    """Reproduce Figs. 8-9: MPEG-2 VBR under the SR or BB model."""
+    """Reproduce Figs. 8-9: MPEG-2 VBR under the SR or BB model.
+
+    Routes through the campaign executor like
+    :func:`cbr_delay_experiment`; ``jobs``/``store`` enable parallel and
+    cached execution.
+    """
+    from ..campaign.plan import WorkloadSpec
+
     sc = get_scale(scale)
     cfg = config or default_config()
     control = RunControl(cycles=sc.vbr_cycles, warmup_cycles=sc.vbr_warmup)
-
-    def builder(router, rng, load):
-        return build_vbr_workload(
-            router,
-            load,
-            rng,
-            model=model,
-            frame_time_cycles=sc.vbr_frame_time_cycles,
-            bandwidth_scale=sc.vbr_bandwidth_scale,
-            num_gops=sc.vbr_num_gops,
-        )
-
+    workload = WorkloadSpec.vbr(
+        model=model,
+        frame_time_cycles=sc.vbr_frame_time_cycles,
+        bandwidth_scale=sc.vbr_bandwidth_scale,
+        num_gops=sc.vbr_num_gops,
+    )
     sweeps = {
-        arbiter: run_load_sweep(loads, builder, cfg, arbiter, control, scheme, seed)
+        arbiter: run_load_sweep(
+            loads, workload, cfg, arbiter, control, scheme, seed,
+            jobs=jobs, store=store,
+        )
         for arbiter in arbiters
     }
     return VBRResult(model=model, sweeps=sweeps, scale=sc)

@@ -20,9 +20,9 @@ from ..router.config import RouterConfig
 from ..router.router import MMRouter
 from ..traffic.mixes import Workload
 from .engine import RunControl
-from .simulation import SimResult, SingleRouterSim
+from .simulation import SimResult
 
-__all__ = ["ReplicatedPoint", "replicate", "replicate_sweep"]
+__all__ = ["ReplicatedPoint", "replicate", "replicate_sweep", "spawn_seeds"]
 
 #: Builds a workload onto a router: (router, workload_rng, target_load).
 WorkloadBuilder = Callable[[MMRouter, np.random.Generator, float], Workload]
@@ -69,23 +69,80 @@ class ReplicatedPoint:
         return self.metric(lambda r: r.overall_jitter_us)
 
 
+def spawn_seeds(root_seed: int, n: int) -> tuple[int, ...]:
+    """``n`` collision-free child seeds derived from one root seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, whose children are
+    independent streams by construction — unlike ad-hoc ``range(n)``
+    lists, which collide with every other experiment that also counts
+    from a small integer.  Each child is flattened to a 128-bit integer
+    so it can be carried in specs, manifests, and ``seed=`` arguments.
+    """
+    if n <= 0:
+        raise ValueError("need at least one seed")
+    children = np.random.SeedSequence(root_seed).spawn(n)
+    return tuple(
+        int.from_bytes(child.generate_state(4, dtype=np.uint32).tobytes(), "little")
+        for child in children
+    )
+
+
+def _resolve_seeds(
+    seeds: Sequence[int] | None, n_seeds: int | None, root_seed: int
+) -> Sequence[int]:
+    if seeds is not None:
+        if not seeds:
+            raise ValueError("need at least one seed")
+        return seeds
+    if n_seeds is None:
+        raise ValueError("pass seeds= or n_seeds=")
+    return spawn_seeds(root_seed, n_seeds)
+
+
 def replicate(
     builder: WorkloadBuilder,
     config: RouterConfig,
     arbiter: str,
     control: RunControl,
     target_load: float,
-    seeds: Sequence[int],
+    seeds: Sequence[int] | None = None,
     scheme: str = "siabp",
+    *,
+    n_seeds: int | None = None,
+    root_seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> ReplicatedPoint:
-    """Run one (arbiter, load) point over independent seeds."""
-    if not seeds:
-        raise ValueError("need at least one seed")
-    results = []
-    for seed in seeds:
-        sim = SingleRouterSim(config, arbiter=arbiter, scheme=scheme, seed=seed)
-        workload = builder(sim.router, sim.rng.workload, target_load)
-        results.append(sim.run(workload, control))
+    """Run one (arbiter, load) point over independent seeds.
+
+    Seeds come either from an explicit ``seeds=`` list (the historical
+    API, kept for backward compatibility) or — preferred — from
+    ``n_seeds=``/``root_seed=``, which derives collision-free child
+    seeds via :func:`spawn_seeds`.  Points route through the campaign
+    executor; with a declarative workload spec they can run in parallel
+    (``jobs``) and hit the result cache (``store``).
+    """
+    from ..campaign.executor import execute_point, run_campaign
+    from ..campaign.plan import CampaignPlan, WorkloadSpec
+
+    use_seeds = _resolve_seeds(seeds, n_seeds, root_seed)
+    if isinstance(builder, WorkloadSpec):
+        plan = CampaignPlan.grid(
+            f"replicate-{arbiter}",
+            config,
+            arbiters=(arbiter,),
+            loads=(target_load,),
+            seeds=use_seeds,
+            workload=builder,
+            control=control,
+            scheme=scheme,
+        )
+        campaign = run_campaign(plan, jobs=jobs, store=store, write_manifest=False)
+        return ReplicatedPoint(target_load, tuple(campaign.results()))
+    results = [
+        execute_point(builder, config, arbiter, control, target_load, seed, scheme)
+        for seed in use_seeds
+    ]
     return ReplicatedPoint(target_load, tuple(results))
 
 
@@ -95,11 +152,43 @@ def replicate_sweep(
     config: RouterConfig,
     arbiter: str,
     control: RunControl,
-    seeds: Sequence[int],
+    seeds: Sequence[int] | None = None,
     scheme: str = "siabp",
+    *,
+    n_seeds: int | None = None,
+    root_seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> list[ReplicatedPoint]:
-    """Replicated load sweep: one :class:`ReplicatedPoint` per load."""
+    """Replicated load sweep: one :class:`ReplicatedPoint` per load.
+
+    With a declarative workload spec the whole load x seed grid is one
+    campaign, so ``jobs=8`` fans all points out at once rather than
+    parallelizing per load.
+    """
+    from ..campaign.executor import run_campaign
+    from ..campaign.plan import CampaignPlan, WorkloadSpec
+
+    use_seeds = _resolve_seeds(seeds, n_seeds, root_seed)
+    if isinstance(builder, WorkloadSpec):
+        plan = CampaignPlan.grid(
+            f"replicate-sweep-{arbiter}",
+            config,
+            arbiters=(arbiter,),
+            loads=loads,
+            seeds=use_seeds,
+            workload=builder,
+            control=control,
+            scheme=scheme,
+        )
+        campaign = run_campaign(plan, jobs=jobs, store=store, write_manifest=False)
+        by_load: dict[float, list[SimResult]] = {load: [] for load in loads}
+        for outcome in campaign.outcomes:
+            by_load[outcome.spec.target_load].append(outcome.result)
+        return [
+            ReplicatedPoint(load, tuple(by_load[load])) for load in loads
+        ]
     return [
-        replicate(builder, config, arbiter, control, load, seeds, scheme)
+        replicate(builder, config, arbiter, control, load, use_seeds, scheme)
         for load in loads
     ]

@@ -15,7 +15,8 @@ summaries the figures plot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any
 
 from ..core.matching import Arbiter
 from ..core.priorities import PriorityScheme
@@ -68,6 +69,31 @@ class SimResult:
 
     def delay_of(self, label: str) -> float:
         return self.flit_delay_us[label]
+
+    # ------------------------------------------------------------------
+    # Serialization (campaign store artifacts, JSON exports)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form: JSON-serializable, ``from_dict`` inverts it.
+
+        The router config flattens to its dataclass fields; everything
+        else is already scalars and ``str -> number`` maps.  NaN values
+        (e.g. delay of a class that saw no traffic) survive the round
+        trip via the ``json`` module's default NaN handling.
+        """
+        out = asdict(self)
+        out["config"] = asdict(self.config)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimResult":
+        """Rebuild a :class:`SimResult` from :meth:`to_dict` output."""
+        fields = dict(data)
+        fields["config"] = RouterConfig(**fields["config"])
+        for key in ("flits", "frames", "fault"):
+            fields[key] = {k: int(v) for k, v in fields.get(key, {}).items()}
+        return cls(**fields)
 
     @property
     def overall_flit_delay_us(self) -> float:

@@ -19,7 +19,7 @@ from ..router.config import RouterConfig
 from ..router.router import MMRouter
 from ..traffic.mixes import Workload
 from .engine import RunControl
-from .simulation import SimResult, SingleRouterSim
+from .simulation import SimResult
 
 __all__ = ["SweepPoint", "LoadSweep", "run_load_sweep"]
 
@@ -62,12 +62,45 @@ def run_load_sweep(
     control: RunControl,
     scheme: str = "siabp",
     seed: int = 0,
+    *,
+    jobs: int = 1,
+    store=None,
 ) -> LoadSweep:
-    """Simulate one arbiter across the given target loads."""
-    points: list[SweepPoint] = []
-    for load in loads:
-        sim = SingleRouterSim(config, arbiter=arbiter, scheme=scheme, seed=seed)
-        workload = builder(sim.router, sim.rng.workload, load)
-        result = sim.run(workload, control)
-        points.append(SweepPoint(load, result))
+    """Simulate one arbiter across the given target loads.
+
+    All points route through the campaign executor
+    (:mod:`repro.campaign.executor`).  When ``builder`` is a declarative
+    :class:`~repro.campaign.plan.WorkloadSpec`, points can fan out over
+    ``jobs`` worker processes and be served from a
+    :class:`~repro.campaign.store.ResultStore` cache; an ad-hoc builder
+    callable cannot be hashed or shipped to a worker, so it always runs
+    serially and uncached (``jobs``/``store`` are ignored).
+    """
+    from ..campaign.executor import execute_point, run_campaign
+    from ..campaign.plan import CampaignPlan, WorkloadSpec
+
+    if isinstance(builder, WorkloadSpec):
+        plan = CampaignPlan.grid(
+            f"sweep-{arbiter}",
+            config,
+            arbiters=(arbiter,),
+            loads=loads,
+            seeds=(seed,),
+            workload=builder,
+            control=control,
+            scheme=scheme,
+        )
+        campaign = run_campaign(plan, jobs=jobs, store=store, write_manifest=False)
+        points = [
+            SweepPoint(o.spec.target_load, o.result) for o in campaign.outcomes
+        ]
+        return LoadSweep(arbiter, points)
+
+    points = [
+        SweepPoint(
+            load,
+            execute_point(builder, config, arbiter, control, load, seed, scheme),
+        )
+        for load in loads
+    ]
     return LoadSweep(arbiter, points)

@@ -1,0 +1,348 @@
+"""Campaign execution: pool, retries, caching (repro.campaign.executor)."""
+
+import functools
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignPlan,
+    ProgressReporter,
+    ResultStore,
+    WorkloadSpec,
+    canonical_json,
+    run_campaign,
+)
+from repro.campaign import plan as plan_mod
+from repro.campaign.executor import _worker
+from repro.router import RouterConfig
+from repro.sim import RunControl
+from repro.sim.replication import replicate, replicate_sweep, spawn_seeds
+from repro.sim.sweep import run_load_sweep
+from repro.traffic.mixes import build_cbr_workload
+
+CFG = RouterConfig(num_ports=4, vcs_per_link=32, candidate_levels=4)
+CONTROL = RunControl(cycles=600, warmup_cycles=100)
+
+
+def tiny_plan(loads=(0.3, 0.5), seeds=(1,), arbiters=("coa", "wfa"),
+              name="tiny"):
+    return CampaignPlan.grid(
+        name, CFG, arbiters=arbiters, loads=loads, seeds=seeds,
+        workload=WorkloadSpec.cbr(), control=CONTROL,
+    )
+
+
+def artifact_bytes(root):
+    return {
+        p.name: p.read_bytes()
+        for p in root.glob("objects/*/*.json")
+    }
+
+
+# Top-level (picklable) failure-injecting workers for the pool tests. ---
+
+def flaky_worker(marker_dir: str, payload: dict) -> dict:
+    """Raises on the first attempt per point, then behaves normally."""
+    marker = os.path.join(
+        marker_dir, f"seen-{payload['arbiter']}-{payload['target_load']}"
+    )
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("injected transient failure")
+    return _worker(payload)
+
+
+def crashing_worker(marker_dir: str, payload: dict) -> dict:
+    """Hard-kills the worker process once per point (no exception)."""
+    marker = os.path.join(
+        marker_dir, f"crashed-{payload['arbiter']}-{payload['target_load']}"
+    )
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(3)
+    return _worker(payload)
+
+
+def always_failing_worker(payload: dict) -> dict:
+    raise RuntimeError("injected permanent failure")
+
+
+# ----------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_parallel_and_serial_runs_are_byte_identical(self, tmp_path):
+        plan = tiny_plan(loads=(0.3, 0.4, 0.5, 0.6))
+        serial_store = ResultStore(tmp_path / "serial")
+        parallel_store = ResultStore(tmp_path / "parallel")
+        serial = run_campaign(plan, jobs=1, store=serial_store,
+                              write_manifest=False)
+        parallel = run_campaign(plan, jobs=4, store=parallel_store,
+                                write_manifest=False)
+        assert serial.misses == parallel.misses == len(plan)
+        a, b = artifact_bytes(tmp_path / "serial"), artifact_bytes(
+            tmp_path / "parallel")
+        assert a == b
+        assert len(a) == len(plan)
+        # Outcomes come back in plan order with identical payloads.
+        for so, po in zip(serial.outcomes, parallel.outcomes):
+            assert so.key == po.key
+            assert canonical_json(so.result.to_dict()) == canonical_json(
+                po.result.to_dict()
+            )
+
+    def test_uncached_run_works_without_store(self):
+        result = run_campaign(tiny_plan(), jobs=1)
+        assert result.misses == len(result.outcomes)
+        assert result.manifest_path is None
+
+
+class TestCaching:
+    def test_second_invocation_is_all_hits_with_identical_results(
+            self, tmp_path):
+        plan = tiny_plan()
+        store = ResultStore(tmp_path)
+        first = run_campaign(plan, jobs=1, store=store)
+        before = artifact_bytes(tmp_path)
+        second = run_campaign(plan, jobs=2, store=store)
+        assert first.misses == len(plan) and first.hits == 0
+        assert second.hits == len(plan) and second.misses == 0
+        assert artifact_bytes(tmp_path) == before
+        for fo, so in zip(first.outcomes, second.outcomes):
+            assert canonical_json(fo.result.to_dict()) == canonical_json(
+                so.result.to_dict()
+            )
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            lambda: tiny_plan(seeds=(2,)),
+            lambda: tiny_plan(loads=(0.35, 0.55)),
+            lambda: tiny_plan(arbiters=("islip", "pim")),
+        ],
+    )
+    def test_any_spec_change_misses(self, tmp_path, variant):
+        store = ResultStore(tmp_path)
+        run_campaign(tiny_plan(), jobs=1, store=store)
+        changed = run_campaign(variant(), jobs=1, store=store)
+        assert changed.hits == 0
+
+    def test_code_version_bump_misses(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        plan = tiny_plan()
+        run_campaign(plan, jobs=1, store=store)
+        monkeypatch.setattr(plan_mod, "CODE_VERSION",
+                            plan_mod.CODE_VERSION + 1)
+        rerun = run_campaign(tiny_plan(), jobs=1, store=store)
+        assert rerun.hits == 0
+
+    def test_corrupted_artifact_recomputes_without_crashing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = tiny_plan()
+        first = run_campaign(plan, jobs=1, store=store)
+        victim = first.outcomes[0]
+        store.path_for(victim.key).write_text("garbage", encoding="utf-8")
+        rerun = run_campaign(plan, jobs=1, store=store)
+        assert rerun.hits == len(plan) - 1
+        assert rerun.misses == 1
+        assert store.corrupt_dropped == 1
+        # The recomputed artifact is valid again and identical.
+        healed = run_campaign(plan, jobs=1, store=store)
+        assert healed.hits == len(plan)
+
+    def test_manifest_written_with_per_point_accounting(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = run_campaign(tiny_plan(), jobs=1, store=store)
+        data = json.loads(result.manifest_path.read_text())
+        assert data["totals"]["points"] == len(result.outcomes)
+        assert data["totals"]["misses"] == len(result.outcomes)
+        assert len(data["points"]) == len(result.outcomes)
+        assert all(p["attempts"] == 1 for p in data["points"])
+
+
+class TestRetries:
+    def test_serial_retry_then_success(self, tmp_path):
+        plan = tiny_plan(loads=(0.3,), arbiters=("coa",))
+        worker = functools.partial(flaky_worker, str(tmp_path))
+        result = run_campaign(plan, jobs=1, worker=worker)
+        assert result.outcomes[0].attempts == 2
+
+    def test_fails_loudly_after_exhausting_attempts(self):
+        plan = tiny_plan(loads=(0.3,), arbiters=("coa",))
+        with pytest.raises(CampaignError, match="after 2 attempts"):
+            run_campaign(plan, jobs=1, worker=always_failing_worker,
+                         max_attempts=2)
+
+    def test_parallel_retry_on_worker_exception(self, tmp_path):
+        plan = tiny_plan(loads=(0.3, 0.5), arbiters=("coa",))
+        worker = functools.partial(flaky_worker, str(tmp_path))
+        result = run_campaign(plan, jobs=2, worker=worker)
+        assert len(result.outcomes) == 2
+        assert all(o.attempts == 2 for o in result.outcomes)
+
+    def test_parallel_recovers_from_hard_worker_crash(self, tmp_path):
+        plan = tiny_plan(loads=(0.3, 0.5), arbiters=("coa",))
+        worker = functools.partial(crashing_worker, str(tmp_path))
+        result = run_campaign(plan, jobs=2, worker=worker)
+        assert len(result.outcomes) == 2
+        assert all(o.attempts >= 2 for o in result.outcomes)
+        # Crash-then-recover still produces the same artifacts as a
+        # healthy serial run.
+        healthy = run_campaign(plan, jobs=1)
+        for a, b in zip(result.outcomes, healthy.outcomes):
+            assert canonical_json(a.result.to_dict()) == canonical_json(
+                b.result.to_dict()
+            )
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            run_campaign(tiny_plan(), jobs=0)
+        with pytest.raises(ValueError):
+            run_campaign(tiny_plan(), max_attempts=0)
+
+
+class TestSweepAndReplicationRouting:
+    def test_run_load_sweep_spec_matches_legacy_builder(self):
+        def legacy_builder(router, rng, load):
+            return build_cbr_workload(router, load, rng)
+
+        legacy = run_load_sweep((0.3, 0.5), legacy_builder, CFG, "coa",
+                                CONTROL, seed=4)
+        spec = run_load_sweep((0.3, 0.5), WorkloadSpec.cbr(), CFG, "coa",
+                              CONTROL, seed=4)
+        for lp, sp in zip(legacy.points, spec.points):
+            assert canonical_json(lp.result.to_dict()) == canonical_json(
+                sp.result.to_dict()
+            )
+
+    def test_run_load_sweep_uses_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_load_sweep((0.3,), WorkloadSpec.cbr(), CFG, "coa", CONTROL,
+                       seed=4, store=store)
+        assert len(artifact_bytes(tmp_path)) == 1
+
+    def test_replicate_n_seeds_path(self):
+        point = replicate(WorkloadSpec.cbr(), CFG, "coa", CONTROL, 0.4,
+                          n_seeds=3, root_seed=11)
+        assert point.n == 3
+        seeds = {r.seed for r in point.results}
+        assert len(seeds) == 3  # collision-free spawn-derived seeds
+        assert seeds == set(spawn_seeds(11, 3))
+
+    def test_replicate_explicit_seeds_backward_compatible(self):
+        point = replicate(WorkloadSpec.cbr(), CFG, "coa", CONTROL, 0.4,
+                          seeds=(1, 2))
+        assert point.n == 2
+        assert [r.seed for r in point.results] == [1, 2]
+
+    def test_replicate_requires_some_seed_source(self):
+        with pytest.raises(ValueError):
+            replicate(WorkloadSpec.cbr(), CFG, "coa", CONTROL, 0.4)
+
+    def test_replicate_sweep_spec_grid(self, tmp_path):
+        store = ResultStore(tmp_path)
+        points = replicate_sweep((0.3, 0.5), WorkloadSpec.cbr(), CFG, "coa",
+                                 CONTROL, n_seeds=2, root_seed=5, store=store)
+        assert [p.target_load for p in points] == [0.3, 0.5]
+        assert all(p.n == 2 for p in points)
+        assert len(artifact_bytes(tmp_path)) == 4
+
+
+class TestSpawnSeeds:
+    def test_deterministic_and_distinct(self):
+        a = spawn_seeds(0, 8)
+        assert a == spawn_seeds(0, 8)
+        assert len(set(a)) == 8
+        assert spawn_seeds(1, 8) != a
+
+    def test_prefix_stability(self):
+        # Growing the ensemble keeps the already-run seeds valid.
+        assert spawn_seeds(0, 8)[:3] == spawn_seeds(0, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, 0)
+
+
+class TestProgressReporter:
+    def test_throttled_telemetry_and_final_line(self):
+        import io
+
+        clock = iter([0.0, 1.0, 1.1, 10.0, 10.5]).__next__
+        out = io.StringIO()
+        rep = ProgressReporter(total=3, stream=out, interval_s=2.0,
+                               clock=clock)
+        rep.point_done(cached=True)       # t=1.0 -> emits (first interval)
+        rep.point_done(cached=False)      # t=1.1 -> throttled
+        rep.point_done(cached=False, attempts=2)  # t=10.0 -> final, emits
+        rep.finish()                      # already emitted -> no dup
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert "1/3 points" in lines[0]
+        assert "3/3 points" in lines[1]
+        assert "1 cached" in lines[1]
+        assert "1 retries" in lines[1]
+
+    def test_rate_counts_only_computed_points(self):
+        clock = iter([0.0, 2.0, 2.0, 2.0]).__next__
+        import io
+
+        rep = ProgressReporter(total=4, stream=io.StringIO(), clock=clock)
+        rep.point_done(cached=True)
+        rep.point_done(cached=False)
+        assert rep.rate(2.0) == pytest.approx(0.5)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(total=0)
+
+
+class TestCampaignCLI:
+    def run_cli(self, argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    def test_campaign_command_runs_and_resumes(self, tmp_path, capsys):
+        base = [
+            "campaign", "--traffic", "cbr", "--arbiters", "coa",
+            "--loads", "0.3,0.5", "--n-seeds", "2", "--cycles", "600",
+            "--warmup", "100", "--vcs", "32", "--quiet",
+            "--store", str(tmp_path / "store"),
+        ]
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert self.run_cli(base + ["--jobs", "2",
+                                    "--summary-json", str(first)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign summary" in out
+        assert self.run_cli(base + ["--summary-json", str(second)]) == 0
+        a = json.loads(first.read_text())
+        b = json.loads(second.read_text())
+        assert a["points"] == b["points"] == 4
+        assert a["misses"] == 4 and a["hits"] == 0
+        assert b["hits"] == 4 and b["misses"] == 0
+        assert b["manifest"] and os.path.exists(b["manifest"])
+
+    def test_campaign_rejects_unknown_arbiter(self, capsys):
+        code = self.run_cli([
+            "campaign", "--arbiters", "coa,nope", "--loads", "0.3",
+            "--cycles", "500", "--vcs", "16", "--quiet",
+        ])
+        assert code == 2
+        assert "unknown arbiter" in capsys.readouterr().err
+
+    def test_sweep_accepts_jobs_and_store(self, tmp_path, capsys):
+        code = self.run_cli([
+            "sweep", "--traffic", "cbr", "--arbiters", "coa",
+            "--loads", "0.3", "--cycles", "600", "--vcs", "32",
+            "--jobs", "1", "--store", str(tmp_path),
+        ])
+        assert code == 0
+        assert "sweep" in capsys.readouterr().out
+        assert len(artifact_bytes(tmp_path)) == 1

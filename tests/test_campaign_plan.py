@@ -1,0 +1,134 @@
+"""Point specs, workload specs, and stable hashing (repro.campaign.plan)."""
+
+import pytest
+
+from repro.campaign import CampaignPlan, PointSpec, WorkloadSpec
+from repro.campaign import plan as plan_mod
+from repro.router import RouterConfig
+from repro.sim import RunControl
+
+
+CFG = RouterConfig(num_ports=4, vcs_per_link=32, candidate_levels=4)
+CONTROL = RunControl(cycles=1_000, warmup_cycles=200)
+
+
+def make_spec(**overrides) -> PointSpec:
+    fields = dict(
+        config=CFG,
+        arbiter="coa",
+        scheme="siabp",
+        target_load=0.5,
+        seed=7,
+        workload=WorkloadSpec.cbr(),
+        cycles=1_000,
+        warmup_cycles=200,
+    )
+    fields.update(overrides)
+    return PointSpec(**fields)
+
+
+class TestWorkloadSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            WorkloadSpec("bogus")
+
+    def test_params_are_canonically_sorted(self):
+        a = WorkloadSpec("vbr", (("model", "SR"), ("bandwidth_scale", 8.0),
+                                 ("frame_time_cycles", 400), ("num_gops", 1)))
+        b = WorkloadSpec("vbr", (("num_gops", 1), ("frame_time_cycles", 400),
+                                 ("bandwidth_scale", 8.0), ("model", "SR")))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_dict_round_trip(self):
+        spec = WorkloadSpec.vbr(model="BB", frame_time_cycles=400, num_gops=1)
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_is_a_builder(self):
+        import numpy as np
+
+        from repro.router import MMRouter
+
+        router = MMRouter(CFG)
+        wl = WorkloadSpec.cbr()(router, np.random.default_rng(0), 0.4)
+        assert len(wl) > 0
+
+    def test_registry_extension(self):
+        from repro.traffic.mixes import build_besteffort_workload
+
+        plan_mod.register_workload_kind(
+            "besteffort-test",
+            lambda router, load, rng: build_besteffort_workload(
+                router, load, rng
+            ),
+        )
+        try:
+            spec = WorkloadSpec("besteffort-test")
+            assert spec.to_dict()["kind"] == "besteffort-test"
+        finally:
+            del plan_mod._WORKLOAD_KINDS["besteffort-test"]
+
+
+class TestPointKey:
+    def test_stable_across_equal_specs(self):
+        assert make_spec().key() == make_spec().key()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"arbiter": "wfa"},
+            {"scheme": "iabp"},
+            {"target_load": 0.6},
+            {"seed": 8},
+            {"cycles": 2_000},
+            {"warmup_cycles": 100},
+            {"workload": WorkloadSpec.vbr(num_gops=1, frame_time_cycles=400)},
+            {"config": CFG.with_overrides(vcs_per_link=16)},
+        ],
+    )
+    def test_any_field_change_changes_key(self, change):
+        assert make_spec().key() != make_spec(**change).key()
+
+    def test_code_version_bump_changes_key(self, monkeypatch):
+        before = make_spec().key()
+        monkeypatch.setattr(plan_mod, "CODE_VERSION", plan_mod.CODE_VERSION + 1)
+        assert make_spec().key() != before
+
+    def test_key_is_hex_sha256(self):
+        key = make_spec().key()
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_spec_dict_round_trip(self):
+        spec = make_spec(workload=WorkloadSpec.vbr(num_gops=1,
+                                                   frame_time_cycles=400))
+        clone = PointSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.key() == spec.key()
+
+
+class TestCampaignPlan:
+    def test_grid_order_matches_sweep_semantics(self):
+        plan = CampaignPlan.grid(
+            "g", CFG, arbiters=("coa", "wfa"), loads=(0.3, 0.5),
+            seeds=(1, 2), workload=WorkloadSpec.cbr(), control=CONTROL,
+        )
+        assert len(plan) == 8
+        tuples = [(p.arbiter, p.target_load, p.seed) for p in plan]
+        assert tuples[0] == ("coa", 0.3, 1)
+        assert tuples[1] == ("coa", 0.3, 2)
+        assert tuples[4] == ("wfa", 0.3, 1)
+        # Same (load, seed) across arbiters -> same workload inputs.
+        assert tuples[0][1:] == tuples[4][1:]
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignPlan("empty", ())
+
+    def test_plan_points_keys_unique(self):
+        plan = CampaignPlan.grid(
+            "g", CFG, arbiters=("coa",), loads=(0.3, 0.5), seeds=(1, 2),
+            workload=WorkloadSpec.cbr(), control=CONTROL,
+        )
+        keys = [p.key() for p in plan]
+        assert len(set(keys)) == len(keys)

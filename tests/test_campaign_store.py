@@ -1,0 +1,121 @@
+"""Content-addressed result store and manifests (repro.campaign.store)."""
+
+import json
+
+from repro.campaign import ResultStore, RunManifest, WorkloadSpec
+from repro.campaign.plan import PointSpec
+from repro.router import RouterConfig
+
+
+def make_spec(seed: int = 1) -> PointSpec:
+    return PointSpec(
+        config=RouterConfig(num_ports=4, vcs_per_link=32, candidate_levels=4),
+        arbiter="coa",
+        scheme="siabp",
+        target_load=0.5,
+        seed=seed,
+        workload=WorkloadSpec.cbr(),
+        cycles=1_000,
+        warmup_cycles=200,
+    )
+
+
+RESULT = {"throughput": 0.5, "flit_delay_us": {"overall": 2.5}}
+
+
+class TestResultStore:
+    def test_miss_on_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(make_spec().key()) is None
+        assert store.corrupt_dropped == 0
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        key = spec.key()
+        path = store.put(spec, key, RESULT)
+        assert path.exists()
+        assert key in store
+        assert store.get(key) == RESULT
+
+    def test_artifact_is_deterministic_bytes(self, tmp_path):
+        spec = make_spec()
+        key = spec.key()
+        p1 = ResultStore(tmp_path / "a").put(spec, key, RESULT)
+        p2 = ResultStore(tmp_path / "b").put(spec, key, RESULT)
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_sharded_layout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        key = spec.key()
+        path = store.put(spec, key, RESULT)
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"
+
+    def test_corrupted_artifact_is_dropped_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        key = spec.key()
+        store.put(spec, key, RESULT)
+        store.path_for(key).write_text("{ not json", encoding="utf-8")
+        assert store.get(key) is None
+        assert store.corrupt_dropped == 1
+
+    def test_truncated_artifact_is_dropped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        key = spec.key()
+        path = store.put(spec, key, RESULT)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert store.get(key) is None
+        assert store.corrupt_dropped == 1
+
+    def test_key_mismatch_is_dropped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a, b = make_spec(seed=1), make_spec(seed=2)
+        store.put(a, a.key(), RESULT)
+        # Simulate a mis-filed artifact: b's path holding a's payload.
+        b_path = store.path_for(b.key())
+        b_path.parent.mkdir(parents=True, exist_ok=True)
+        b_path.write_bytes(store.path_for(a.key()).read_bytes())
+        assert store.get(b.key()) is None
+        assert store.corrupt_dropped == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = make_spec()
+        store.put(spec, spec.key(), RESULT)
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+
+class TestRunManifest:
+    def test_accounting_and_schema(self, tmp_path):
+        store = ResultStore(tmp_path)
+        manifest = RunManifest(campaign="unit", jobs=2)
+        spec = make_spec()
+        manifest.record_point(spec, spec.key(), cached=False, attempts=1,
+                              wall_s=0.25)
+        manifest.record_point(spec, spec.key(), cached=True, attempts=0,
+                              wall_s=0.0)
+        manifest.finish()
+        path = store.write_manifest(manifest)
+        data = json.loads(path.read_text())
+        assert data["campaign"] == "unit"
+        assert data["totals"]["points"] == 2
+        assert data["totals"]["hits"] == 1
+        assert data["totals"]["misses"] == 1
+        assert data["totals"]["wall_s"] >= 0
+        prov = data["provenance"]
+        for field in ("repro_version", "code_version", "host", "python"):
+            assert field in prov
+
+    def test_manifest_names_do_not_collide(self, tmp_path):
+        store = ResultStore(tmp_path)
+        paths = set()
+        for _ in range(3):
+            manifest = RunManifest(campaign="same-name", jobs=1)
+            manifest.finish()
+            paths.add(store.write_manifest(manifest))
+        assert len(paths) == 3

@@ -1,0 +1,59 @@
+"""JSON round-trip serialization of SimResult (repro.sim.simulation)."""
+
+import json
+import math
+
+from repro.campaign import canonical_json
+from repro.router import RouterConfig
+from repro.sim import RunControl, SingleRouterSim
+from repro.traffic.mixes import build_cbr_workload
+
+
+def run_once(seed: int = 3):
+    cfg = RouterConfig(num_ports=4, vcs_per_link=32, candidate_levels=4)
+    sim = SingleRouterSim(cfg, arbiter="coa", seed=seed)
+    wl = build_cbr_workload(sim.router, 0.5, sim.rng.workload)
+    return sim.run(wl, RunControl(cycles=1_500, warmup_cycles=300))
+
+
+class TestSimResultRoundTrip:
+    def test_to_dict_is_json_serializable(self):
+        result = run_once()
+        text = json.dumps(result.to_dict())
+        assert "coa" in text
+
+    def test_round_trip_preserves_every_field(self):
+        result = run_once()
+        clone = type(result).from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        # NaN != NaN breaks dataclass ==; canonical JSON is the equality
+        # the campaign store relies on.
+        assert canonical_json(clone.to_dict()) == canonical_json(result.to_dict())
+        assert clone.config == result.config
+        assert isinstance(clone.config, RouterConfig)
+        assert clone.arbiter == result.arbiter
+        assert clone.seed == result.seed
+        assert clone.flits == result.flits
+        assert clone.backlog == result.backlog
+
+    def test_nan_metrics_survive(self):
+        result = run_once()
+        # Force a NaN like a class that saw no frames would produce.
+        result.jitter_us["overall"] = float("nan")
+        clone = type(result).from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert math.isnan(clone.jitter_us["overall"])
+
+    def test_counts_come_back_as_ints(self):
+        result = run_once()
+        clone = type(result).from_dict(result.to_dict())
+        assert all(isinstance(v, int) for v in clone.flits.values())
+        assert all(isinstance(v, int) for v in clone.frames.values())
+
+    def test_derived_properties_work_after_round_trip(self):
+        result = run_once()
+        clone = type(result).from_dict(result.to_dict())
+        assert clone.overall_flit_delay_us == result.overall_flit_delay_us
+        assert clone.normalized_throughput == result.normalized_throughput
