@@ -216,6 +216,32 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fault-schedule tail lines to print")
     p_faults.set_defaults(func=cmd_faults)
 
+    p_perf = sub.add_parser(
+        "perf",
+        help="benchmark the scheduling hot path (cycles/sec, per-stage)",
+    )
+    add_router_args(p_perf)
+    p_perf.add_argument("--arbiter", default="coa", choices=ARBITER_NAMES)
+    p_perf.add_argument("--load", type=float, default=0.7,
+                        help="target CBR offered load per input link (0-1)")
+    p_perf.add_argument("--cycles", type=int, default=0,
+                        help="measured flit cycles (0 = profile default)")
+    p_perf.add_argument("--quick", action="store_true",
+                        help="short CI-sized measurement")
+    p_perf.add_argument("--repeats", type=int, default=0,
+                        help="interleaved timing repetitions per path, "
+                             "best-of-N reported (0 = profile default)")
+    p_perf.add_argument("--json", default=None, metavar="PATH",
+                        help="write the report (BENCH_perf.json format)")
+    p_perf.add_argument("--baseline", default=None, metavar="PATH",
+                        help="committed baseline to regress against")
+    p_perf.add_argument("--max-regression", type=float, default=0.3,
+                        help="tolerated cycles/sec drop vs baseline "
+                             "(fraction, default 0.3)")
+    p_perf.add_argument("--profile", action="store_true",
+                        help="also print a cProfile of the fast path")
+    p_perf.set_defaults(func=cmd_perf)
+
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(
         "artifact",
@@ -484,6 +510,54 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(f"\nfault schedule ({len(sim.schedule)} events, "
               f"last {min(args.events, len(sim.schedule))}):")
         print(sim.schedule.tail(args.events))
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    from .perf import check_regression, profile_fast_path, run_perf, write_report
+
+    report = run_perf(
+        ports=args.ports, vcs=args.vcs, levels=args.levels,
+        arbiter=args.arbiter, scheme=args.scheme, load=args.load,
+        seed=args.seed, cycles=args.cycles or None, quick=args.quick,
+        repeats=args.repeats or None,
+    )
+    rows = [
+        ["config", f"{report.ports}x{report.ports} ports, {report.vcs} VCs, "
+                   f"{report.levels} levels"],
+        ["arbiter / scheme", f"{report.arbiter} / {report.scheme}"],
+        ["measured cycles", f"{report.cycles} x {report.repeats} reps"],
+        ["fast path (cycles/sec)", f"{report.fast.cycles_per_sec:,.0f}"],
+        ["reference path (cycles/sec)",
+         f"{report.reference.cycles_per_sec:,.0f}"],
+        ["speedup", f"{report.speedup:.2f}x"],
+        ["grants identical", report.grants_identical],
+    ]
+    fast_total = sum(report.fast.stages_ns.values()) or 1
+    for stage, ns in report.fast.stages_ns.items():
+        rows.append([f"fast stage [{stage}]", f"{ns / fast_total:.1%}"])
+    print(render_table(["metric", "value"], rows,
+                       title="scheduling hot-path benchmark"))
+    if not report.grants_identical:
+        print("error: fast and reference paths departed different flits",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        path = write_report(report, args.json)
+        print(f"report written to {path}")
+    if args.profile:
+        print(profile_fast_path(
+            ports=args.ports, vcs=args.vcs, levels=args.levels,
+            arbiter=args.arbiter, scheme=args.scheme, load=args.load,
+            seed=args.seed,
+        ))
+    if args.baseline:
+        ok, message = check_regression(
+            report, args.baseline, args.max_regression
+        )
+        print(message)
+        if not ok:
+            return 1
     return 0
 
 

@@ -7,6 +7,7 @@
   related-work baselines :class:`ISLIP` and :class:`PIM`.
 """
 
+from .candidates import CandidateBuffer
 from .coa import CandidateOrderArbiter
 from .islip import ISLIP
 from .link_scheduler import LinkScheduler
@@ -15,6 +16,8 @@ from .matching import (
     Candidate,
     Grant,
     best_candidate_for,
+    buffer_best_vc,
+    buffer_request_matrix,
     is_conflict_free,
     is_maximal,
     matching_size,
@@ -28,6 +31,7 @@ from .selection import SelectionMatrix
 from .wfa import WaveFrontArbiter
 
 __all__ = [
+    "CandidateBuffer",
     "CandidateOrderArbiter",
     "ISLIP",
     "LinkScheduler",
@@ -35,6 +39,8 @@ __all__ = [
     "Candidate",
     "Grant",
     "best_candidate_for",
+    "buffer_best_vc",
+    "buffer_request_matrix",
     "is_conflict_free",
     "is_maximal",
     "matching_size",

@@ -31,8 +31,13 @@ from typing import Sequence
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from .matching import Arbiter, Candidate, Grant
 from .selection import SelectionMatrix
+
+if TYPE_CHECKING:
+    from .candidates import CandidateBuffer
 
 __all__ = ["CandidateOrderArbiter"]
 
@@ -64,6 +69,12 @@ class CandidateOrderArbiter(Arbiter):
         self.arbitration = arbitration
         if ordering != "level_conflict" or arbitration != "priority":
             self.name = f"coa[{ordering}/{arbitration}]"
+        # Persistent row scratch for the per-cycle matching calls: the
+        # list objects live for the arbiter's lifetime, only their
+        # contents turn over (clearing is cheaper than reallocating).
+        self._rows_scratch: list[list[tuple[int | float, int, int]]] = [
+            [] for _ in range(levels * num_ports)
+        ]
 
     # ------------------------------------------------------------------
 
@@ -81,42 +92,108 @@ class CandidateOrderArbiter(Arbiter):
         """
         n = self.num_ports
         # rows[level * n + out] -> list of (priority, in_port, vc)
-        rows: list[list[tuple[float, int, int]]] = [
-            [] for _ in range(self.levels * n)
-        ]
+        rows = self._rows_scratch
+        for row in rows:
+            row.clear()
         for port_cands in candidates:
             for cand in port_cands:
                 rows[cand.level * n + cand.out_port].append(
                     (cand.priority, cand.in_port, cand.vc)
                 )
+        return self._match_rows(rows, rng)
+
+    def match_buffer(
+        self,
+        buf: CandidateBuffer,
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        """Buffer-native matching; draw-for-draw identical to :meth:`match`.
+
+        Rows are filled in the same (port, level) visiting order as the
+        object path, and the folded int64 keys order/compare exactly like
+        the object-path priorities (the tier bit at 2**62 dominates any
+        key < 2**62, just as the ``<< 200`` tier fold dominates on the
+        object path), so every rng draw lands on the same request set.
+        """
+        n = self.num_ports
+        rows = self._rows_scratch
+        for row in rows:
+            row.clear()
+        max_level = self.levels
+        if buf.sparse_valid:
+            # Python-native rows straight from the sparse fill — no numpy
+            # round-trip.  Same (port, level) visiting order and the same
+            # folded keys as the array path below.
+            for p, cands in enumerate(buf.sparse):
+                for level in range(min(len(cands), max_level)):
+                    key, vc, out = cands[level]
+                    rows[level * n + out].append((key, p, vc))
+            return self._match_rows(rows, rng)
+        counts = buf.count.tolist()
+        vcs = buf.vc.tolist()
+        outs = buf.out_port.tolist()
+        keys = (buf.prio_int if buf.integer_keys else buf.prio_float).tolist()
+        for p in range(n):
+            vp, op, kp = vcs[p], outs[p], keys[p]
+            for level in range(min(counts[p], max_level)):
+                rows[level * n + op[level]].append((kp[level], p, vp[level]))
+        return self._match_rows(rows, rng)
+
+    def _match_rows(
+        self,
+        rows: list[list[tuple[int | float, int, int]]],
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        """Core matching loop over ``rows[level * n + out]`` request lists.
+
+        Conflict counts (live requests per row) are maintained
+        incrementally: granting an input decrements every row that input
+        requested, instead of rescanning all requests each round.  The
+        counts — and therefore every rng draw — are identical to the
+        rescanning formulation.
+        """
+        n = self.num_ports
         in_free = [True] * n
         out_free = [True] * n
         grants: list[Grant] = []
         ordering = self.ordering
         by_priority = self.arbitration == "priority"
+        # counts[idx] = requests on row idx whose input is still free.
+        counts = [len(row) for row in rows]
+        rows_of_input: list[list[int]] = [[] for _ in range(n)]
+        active: list[int] = []
+        for idx, row in enumerate(rows):
+            if row:
+                active.append(idx)
+                for _prio, in_port, _vc in row:
+                    rows_of_input[in_port].append(idx)
 
         while True:
             # Live rows: requests whose input and output are both free.
-            live: list[tuple[int, int]] = []  # (row_index, conflict_count)
-            for idx, row in enumerate(rows):
-                if not row or not out_free[idx % n]:
-                    continue
-                count = 0
-                for _prio, in_port, _vc in row:
-                    if in_free[in_port]:
-                        count += 1
-                if count:
-                    live.append((idx, count))
+            # ``active`` (ascending) bounds the scan to rows that ever
+            # held a request — counts only decrease.
+            live = [
+                (idx, counts[idx])
+                for idx in active
+                if counts[idx] and out_free[idx % n]
+            ]
             if not live:
                 break
 
             row_idx = self._pick_row(live, rng, ordering, n)
-            requests = [
-                (prio, in_port, vc)
-                for prio, in_port, vc in rows[row_idx]
-                if in_free[in_port]
-            ]
-            if by_priority:
+            if by_priority and counts[row_idx] == 1:
+                # Single live request on the row: it wins outright; the
+                # general path below would find one winner and draw no rng
+                # either.
+                for _prio, in_port, vc in rows[row_idx]:
+                    if in_free[in_port]:
+                        break
+            elif by_priority:
+                requests = [
+                    (prio, in_port, vc)
+                    for prio, in_port, vc in rows[row_idx]
+                    if in_free[in_port]
+                ]
                 best = max(prio for prio, _i, _v in requests)
                 winners = [(i, v) for prio, i, v in requests if prio == best]
                 if len(winners) == 1:
@@ -124,11 +201,18 @@ class CandidateOrderArbiter(Arbiter):
                 else:
                     in_port, vc = winners[int(rng.integers(len(winners)))]
             else:
+                requests = [
+                    (prio, in_port, vc)
+                    for prio, in_port, vc in rows[row_idx]
+                    if in_free[in_port]
+                ]
                 _prio, in_port, vc = requests[int(rng.integers(len(requests)))]
             out_port = row_idx % n
             grants.append((in_port, vc, out_port))
             in_free[in_port] = False
             out_free[out_port] = False
+            for idx in rows_of_input[in_port]:
+                counts[idx] -= 1
         return grants
 
     @staticmethod
@@ -138,19 +222,42 @@ class CandidateOrderArbiter(Arbiter):
         ordering: str,
         n: int,
     ) -> int:
-        """Port ordering over the live rows; mirrors `_next_output`."""
+        """Port ordering over the live rows; mirrors `_next_output`.
+
+        ``live`` is ordered by ascending row index (it is built by
+        enumerating the rows), so the lowest level present is
+        ``live[0][0] // n`` and its rows form a prefix of ``live`` —
+        which lets every ordering run as a single early-exiting pass.
+        """
         if ordering == "random":
             return live[int(rng.integers(len(live)))][0]
-        min_level = min(idx // n for idx, _c in live)
-        if ordering == "level_only":
-            pool = [idx for idx, _c in live if idx // n == min_level]
-            return pool[int(rng.integers(len(pool)))]
+        if len(live) == 1 and ordering != "level_only":
+            # One live row: both conflict orderings resolve to it with no
+            # draw (level_only still draws even from a 1-element pool).
+            return live[0][0]
         if ordering == "conflict_only":
-            pool = live
-        else:  # "level_conflict" — the paper's rule
-            pool = [(idx, c) for idx, c in live if idx // n == min_level]
-        min_conf = min(c for _idx, c in pool)
-        least = [idx for idx, c in pool if c == min_conf]
+            bound = None
+        else:
+            bound = (live[0][0] // n + 1) * n
+        if ordering == "level_only":
+            pool = []
+            for idx, _c in live:
+                if idx >= bound:
+                    break
+                pool.append(idx)
+            return pool[int(rng.integers(len(pool)))]
+        # "level_conflict" (the paper's rule) / "conflict_only": fewest
+        # conflicts within the pool, ties broken randomly.
+        min_conf = -1
+        least: list[int] = []
+        for idx, c in live:
+            if bound is not None and idx >= bound:
+                break
+            if min_conf < 0 or c < min_conf:
+                min_conf = c
+                least = [idx]
+            elif c == min_conf:
+                least.append(idx)
         if len(least) == 1:
             return least[0]
         return least[int(rng.integers(len(least)))]

@@ -18,7 +18,7 @@ size and fairness but knows nothing of connection QoS.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -27,9 +27,14 @@ from .matching import (
     Candidate,
     Grant,
     best_candidate_for,
+    buffer_best_vc,
+    buffer_request_matrix,
     request_matrix,
     restrict_levels,
 )
+
+if TYPE_CHECKING:
+    from .candidates import CandidateBuffer
 
 __all__ = ["ISLIP"]
 
@@ -74,7 +79,39 @@ class ISLIP(Arbiter):
     ) -> list[Grant]:
         n = self.num_ports
         candidates = restrict_levels(candidates, self.max_levels)
-        requests = request_matrix(candidates, n)
+        in_matched = self._match_requests(request_matrix(candidates, n))
+        out: list[Grant] = []
+        for i in range(n):
+            j = int(in_matched[i])
+            if j >= 0:
+                cand = best_candidate_for(candidates, i, j)
+                out.append((i, cand.vc, j))
+        return out
+
+    def match_buffer(
+        self,
+        buf: CandidateBuffer,
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        """Buffer-native iSLIP: identical pointer trajectory to `match`.
+
+        iSLIP is deterministic given the request matrix and the pointer
+        state, and :func:`buffer_request_matrix` reproduces the object
+        path's matrix exactly, so the two entry points stay in lockstep.
+        """
+        n = self.num_ports
+        requests = buffer_request_matrix(buf, n, self.max_levels)
+        in_matched = self._match_requests(requests)
+        out: list[Grant] = []
+        for i in range(n):
+            j = int(in_matched[i])
+            if j >= 0:
+                out.append((i, buffer_best_vc(buf, i, j, self.max_levels), j))
+        return out
+
+    def _match_requests(self, requests: np.ndarray) -> np.ndarray:
+        """Run the request/grant/accept iterations; input -> output map."""
+        n = self.num_ports
         in_matched = np.full(n, -1, dtype=np.int64)  # input -> output
         out_matched = np.zeros(n, dtype=bool)
 
@@ -105,11 +142,4 @@ class ISLIP(Arbiter):
                 if iteration == 0:
                     self._grant_ptr[j] = (i + 1) % n
                     self._accept_ptr[i] = (j + 1) % n
-
-        out: list[Grant] = []
-        for i in range(n):
-            j = int(in_matched[i])
-            if j >= 0:
-                cand = best_candidate_for(candidates, i, j)
-                out.append((i, cand.vc, j))
-        return out
+        return in_matched

@@ -10,23 +10,40 @@ these levels are the row blocks of the selection matrix.
 Best-effort subordination: the MMR "allocates the remaining bandwidth to
 best-effort traffic" (paper §1), so a reserved (CBR/VBR) head flit must
 outrank *any* best-effort head flit regardless of how the biasing
-function scores them.  The scheduler implements this as a class bonus
-added to reserved VCs' priorities before ranking — a strict two-tier
-hierarchy, while preserving biased ordering within each tier.
+function scores them.  The ranking rule, per link, is therefore the
+lexicographic order (reserved tier desc, biased priority desc, VC index
+asc); the tie-break on VC index mirrors a fixed-priority encoder in
+hardware.
 
-The selection is vectorized: one priority evaluation over the whole link's
-VC vector plus an ``argpartition`` for the top-C extraction, so cost per
-cycle is O(V) with small constants rather than a Python loop over VCs.
+**Exact integer keys.**  Integer-valued schemes (SIABP, static, fifo)
+are ranked on their int64 keys directly, with the tier as a separate
+lexsort key folded into bit 62 of the sort key — never through float64,
+whose 53-bit mantissa silently merges distinct priorities above 2**53
+and breaks the biased order SIABP exists to preserve.  Only the
+float-valued IABP path keeps the classic exact power-of-two tier
+multiply (:data:`RESERVED_SCALE`).
+
+Three selection entry points share that ranking rule:
+
+* :meth:`LinkScheduler.select_port` — one port, object path (reference);
+* :meth:`LinkScheduler.select_batch` — all ports vectorized, object path;
+* :meth:`LinkScheduler.select_into` — all ports vectorized into a
+  preallocated :class:`~repro.core.candidates.CandidateBuffer` with no
+  per-cycle Python object allocation (the hot path).
+
+The differential tests pin all three to identical candidates.
 """
 
 from __future__ import annotations
 
+import operator
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from .candidates import TIER_SHIFT, CandidateBuffer
 from .matching import Candidate
-from .priorities import PriorityScheme
+from .priorities import MAX_INTEGER_KEY, PriorityScheme
 
 if TYPE_CHECKING:  # imported lazily to avoid a core <-> router cycle
     from ..router.config import RouterConfig
@@ -35,11 +52,18 @@ if TYPE_CHECKING:  # imported lazily to avoid a core <-> router cycle
 __all__ = ["LinkScheduler", "RESERVED_SCALE"]
 
 #: Multiplier that lifts every reserved (CBR/VBR) candidate above every
-#: best-effort candidate.  A power of two, so the float multiply is
-#: *exact* and preserves the biased ordering within the reserved tier
-#: bit for bit; any reserved priority (>= 1) scaled by 2**200 exceeds
-#: any unscaled best-effort priority (< 2**63).
+#: best-effort candidate on the float-valued (IABP) path.  A power of
+#: two, so the float multiply is *exact* and preserves the biased
+#: ordering within the reserved tier bit for bit.  Integer-valued
+#: schemes use the exact ``1 << 200`` integer twin instead.
 RESERVED_SCALE = 2.0**200
+
+#: Integer twin of :data:`RESERVED_SCALE` for exact object-path
+#: priorities of reserved candidates under integer-valued schemes.
+_RESERVED_FACTOR = 1 << 200
+
+#: Sort key for the sparse fill's (key, vc, out) tuples.
+_KEY0 = operator.itemgetter(0)
 
 
 class LinkScheduler:
@@ -48,6 +72,64 @@ class LinkScheduler:
     def __init__(self, config: RouterConfig, scheme: PriorityScheme) -> None:
         self.config = config
         self.scheme = scheme
+        n, v = config.num_ports, config.vcs_per_link
+        self._num_vcs = v
+        # Preallocated scratch for the vectorized paths (select_batch /
+        # select_into).  All (n, v)-shaped; refilled in place each cycle.
+        self._delay = np.zeros((n, v), dtype=np.int64)
+        self._key_f = np.zeros((n, v), dtype=np.float64)
+        self._rows = np.arange(n)[:, None]
+        # Per-port accumulation lists for the sparse integer fill; the
+        # list objects persist, only their contents turn over per cycle.
+        self._per_port: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+        # Python-list mirrors of the (slow-changing) connection arrays,
+        # reused across cycles while the caller-supplied state_version is
+        # unchanged — connection state only moves on setup/teardown.
+        self._mirror_version: int | None = None
+        self._mirror: tuple[list[int], list[int], list[bool] | None] | None = None
+
+    # ------------------------------------------------------------------
+    # Ranking helpers (shared by all three selection entry points)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _folded_int_keys(
+        prio: np.ndarray, reserved: np.ndarray | None, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Fold the tier bit into exact int64 sort keys.
+
+        ``folded = (tier << 62) | key`` where ``tier`` is set only for
+        reserved candidates with a non-zero key — matching the multiply
+        semantics of the reference path, where ``0 * scale == 0`` keeps a
+        zero-key reserved flit tied with a zero-key best-effort one.
+        """
+        if prio.size and int(prio.max()) >= MAX_INTEGER_KEY:
+            raise OverflowError(
+                "integer priority key >= 2**62: no headroom left for the "
+                "reserved-tier bit in the int64 sort key"
+            )
+        if prio.size and int(prio.min()) < 0:
+            raise ValueError("integer priority keys must be non-negative")
+        if reserved is None:
+            if out is None:
+                return prio.copy()
+            np.copyto(out, prio)
+            return out
+        tier = (reserved & (prio != 0)).astype(np.int64)
+        if out is None:
+            return prio + (tier << TIER_SHIFT)
+        np.left_shift(tier, TIER_SHIFT, out=out)
+        np.add(out, prio, out=out)
+        return out
+
+    @staticmethod
+    def _object_priority(key: int, is_reserved: bool) -> int:
+        """Exact object-path priority: reserved tier folds in as << 200."""
+        return key * _RESERVED_FACTOR if is_reserved else key
+
+    # ------------------------------------------------------------------
+    # Object paths (reference implementations)
+    # ------------------------------------------------------------------
 
     def select_port(
         self,
@@ -74,20 +156,47 @@ class LinkScheduler:
         now:
             Current flit cycle; queuing delay = ``now - arrival``.
         tier_scale:
-            Optional (vcs,) per-VC priority multiplier implementing the
+            Optional (vcs,) per-VC tier vector implementing the
             reserved/best-effort hierarchy (:data:`RESERVED_SCALE` for
             reserved VCs, 1.0 for best-effort).  ``None`` treats every
-            VC as one tier.
+            VC as one tier.  Float schemes multiply by it; integer
+            schemes use it only as the reserved mask (entries > 1).
         """
         occ = heads.occupancy
         eligible = np.flatnonzero(occ > 0)
         if eligible.size == 0:
             return []
         delay = now - heads.arrival_cycle[eligible]
-        prio = self.scheme.compute(slots[eligible], delay).astype(np.float64)
+        prio = self.scheme.compute(slots[eligible], delay)
+        c = min(self.config.candidate_levels, eligible.size)
+        reserved = None if tier_scale is None else tier_scale[eligible] > 1.0
+
+        if self.scheme.integer_valued:
+            prio = np.asarray(prio, dtype=np.int64)
+            folded = self._folded_int_keys(prio, reserved)
+            # Descending key, ties by ascending VC index (stable argsort
+            # over indices already in VC order).
+            ranked = np.argsort(-folded, kind="stable")[:c]
+            out: list[Candidate] = []
+            for level, k in enumerate(ranked):
+                vc = int(eligible[k])
+                out.append(
+                    Candidate(
+                        in_port=port,
+                        vc=vc,
+                        out_port=int(dests[vc]),
+                        priority=self._object_priority(
+                            int(prio[k]),
+                            bool(reserved[k]) if reserved is not None else False,
+                        ),
+                        level=level,
+                    )
+                )
+            return out
+
+        prio = prio.astype(np.float64)
         if tier_scale is not None:
             prio = prio * tier_scale[eligible]
-        c = min(self.config.candidate_levels, eligible.size)
         if eligible.size > c:
             # Top-C by priority; stable ordering resolved by the sort below.
             top = np.argpartition(-prio, c - 1)[:c]
@@ -97,7 +206,7 @@ class LinkScheduler:
         # (deterministic, mirrors a fixed-priority encoder in hardware).
         order = np.lexsort((eligible[top], -prio[top]))
         ranked = top[order]
-        out: list[Candidate] = []
+        out = []
         for level, k in enumerate(ranked):
             vc = int(eligible[k])
             out.append(
@@ -156,7 +265,39 @@ class LinkScheduler:
         c = self.config.candidate_levels
         occupied = occ > 0
         delay = np.where(occupied, now - heads.arrival_cycle, 0)
-        prio = self.scheme.compute(slots, delay).astype(np.float64)
+        prio = self.scheme.compute(slots, delay)
+        counts = np.minimum(occupied.sum(axis=1), c)
+        reserved = None if tier_scale is None else tier_scale > 1.0
+
+        if self.scheme.integer_valued:
+            prio = np.asarray(prio, dtype=np.int64)
+            folded = self._folded_int_keys(prio, reserved)
+            # Empty VCs sort last: -1 is below every real key (keys >= 0).
+            masked = np.where(occupied, folded, -1)
+            order = np.argsort(-masked, axis=1, kind="stable")[:, :c]
+            out: list[list[Candidate]] = []
+            for p in range(n):
+                port_cands: list[Candidate] = []
+                for level in range(int(counts[p])):
+                    vc = int(order[p, level])
+                    port_cands.append(
+                        Candidate(
+                            in_port=p,
+                            vc=vc,
+                            out_port=int(dests[p, vc]),
+                            priority=self._object_priority(
+                                int(prio[p, vc]),
+                                bool(reserved[p, vc])
+                                if reserved is not None
+                                else False,
+                            ),
+                            level=level,
+                        )
+                    )
+                out.append(port_cands)
+            return out
+
+        prio = prio.astype(np.float64)
         if tier_scale is not None:
             prio = prio * tier_scale
         # Mask out empty VCs with -inf so argsort never selects them.
@@ -164,14 +305,11 @@ class LinkScheduler:
         # Order each row by (-priority, vc); vc tie-break falls out of
         # stable argsort on the negated priorities.
         order = np.argsort(-masked, axis=1, kind="stable")[:, :c]
-        out: list[list[Candidate]] = []
+        out = []
         for p in range(n):
-            port_cands: list[Candidate] = []
-            row = masked[p]
-            for level in range(min(c, order.shape[1])):
+            port_cands = []
+            for level in range(int(counts[p])):
                 vc = int(order[p, level])
-                if row[vc] == -np.inf:
-                    break
                 port_cands.append(
                     Candidate(
                         in_port=p,
@@ -183,3 +321,159 @@ class LinkScheduler:
                 )
             out.append(port_cands)
         return out
+
+    # ------------------------------------------------------------------
+    # Buffer path (the hot path)
+    # ------------------------------------------------------------------
+
+    def select_into(
+        self,
+        buf: CandidateBuffer,
+        heads: HeadView,
+        slots: np.ndarray,
+        dests: np.ndarray,
+        now: int,
+        reserved: np.ndarray | None = None,
+        state_version: int | None = None,
+    ) -> CandidateBuffer:
+        """Fill ``buf`` with this cycle's candidates; no object churn.
+
+        Produces the same candidate set, order and priority keys as
+        :meth:`select_batch` (``buf.to_candidates()`` equality is pinned
+        by the tests), writing into the preallocated buffer arrays.
+        ``reserved`` is the boolean (ports, vcs) reserved-VC mask — the
+        buffer twin of ``tier_scale``.  ``state_version``, when given,
+        identifies the content of ``slots``/``dests``/``reserved``: the
+        sparse path caches Python-list mirrors of those arrays and reuses
+        them while the version is unchanged (the caller must bump it on
+        every connection setup or teardown).
+
+        Integer-valued schemes take a *sparse* path: only the occupied
+        VCs are evaluated, with Python ints and ``int.bit_length`` — the
+        exact arithmetic is native there, and at realistic occupancies a
+        short scalar loop beats ~30 numpy dispatches on (ports, vcs)
+        arrays by a wide margin.  The float (IABP) path stays vectorized.
+        """
+        if self.scheme.integer_valued:
+            flat = np.flatnonzero(heads.occupancy)
+            arrivals = heads.arrival_cycle.ravel()
+            mask = 0
+            heads_q: list[list[int]] = [[] for _ in range(arrivals.size)]
+            for f in flat.tolist():
+                mask |= 1 << f
+                heads_q[f].append(int(arrivals[f]))
+            return self.select_into_sparse(
+                buf,
+                mask,
+                heads_q,
+                slots,
+                dests,
+                now,
+                reserved,
+                state_version=state_version,
+            )
+
+        occ = heads.occupancy
+        c = buf.levels
+        occupied = occ > 0
+        buf.mark_array_filled(integer_keys=False)
+        np.subtract(now, heads.arrival_cycle, out=self._delay)
+        self._delay[~occupied] = 0
+        prio = self.scheme.compute(slots, self._delay)
+        np.minimum(occupied.sum(axis=1), c, out=buf.count)
+        rows = self._rows
+        w = min(c, occ.shape[1])
+        np.copyto(self._key_f, prio)
+        if reserved is not None:
+            np.multiply(
+                self._key_f, RESERVED_SCALE, out=self._key_f, where=reserved
+            )
+        self._key_f[~occupied] = -np.inf
+        order = np.argsort(-self._key_f, axis=1, kind="stable")[:, :w]
+        buf.vc[:, :w] = order
+        buf.out_port[:, :w] = dests[rows, order]
+        buf.prio_float[:, :w] = self._key_f[rows, order]
+        return buf
+
+    def select_into_sparse(
+        self,
+        buf: CandidateBuffer,
+        occ_mask: int,
+        heads_q: Sequence[Sequence[int]],
+        slots: np.ndarray,
+        dests: np.ndarray,
+        now: int,
+        reserved: np.ndarray | None = None,
+        state_version: int | None = None,
+    ) -> CandidateBuffer:
+        """Sparse exact-integer fill from an occupancy snapshot.
+
+        ``occ_mask``/``heads_q`` are the zero-copy occupancy view from
+        :meth:`repro.router.VCMemory.occupancy_state`: bit
+        ``f = port * vcs_per_link + vc`` of the mask marks an occupied
+        VC, and ``heads_q[f][0]`` is its head flit's arrival cycle.
+        Integer-valued schemes only; the produced buffer is identical to
+        :meth:`select_into` over the dense head view.  Only the
+        Python-native ``buf.sparse`` rows are written eagerly; the
+        candidate arrays materialize lazily from them on first access
+        (see :class:`CandidateBuffer`).
+        """
+        sparse = buf.sparse
+        if not occ_mask:
+            for lst in sparse:
+                lst.clear()
+            buf.mark_sparse_filled()
+            return buf
+        v = self._num_vcs
+        c = buf.levels
+        if state_version is not None and state_version == self._mirror_version:
+            assert self._mirror is not None
+            slot_l, dest_l, rsv_l = self._mirror
+        else:
+            # Full-length mirrors, indexed by the flat (port * vcs + vc)
+            # position directly — amortized to setup/teardown frequency
+            # when the caller versions its connection state.
+            slot_l = slots.ravel().tolist()
+            dest_l = dests.ravel().tolist()
+            rsv_l = reserved.ravel().tolist() if reserved is not None else None
+            if state_version is not None:
+                self._mirror = (slot_l, dest_l, rsv_l)
+                self._mirror_version = state_version
+        key_fn = self.scheme.key_scalar
+        per_port = self._per_port
+        for lst in per_port:
+            lst.clear()
+        tier_bit = 1 << TIER_SHIFT
+        max_key = MAX_INTEGER_KEY
+        m = occ_mask
+        while m:
+            low = m & -m
+            f = low.bit_length() - 1
+            m ^= low
+            key = key_fn(slot_l[f], now - heads_q[f][0])
+            if key >= max_key:
+                raise OverflowError(
+                    "integer priority key >= 2**62: no headroom left for "
+                    "the reserved-tier bit in the int64 sort key"
+                )
+            if key < 0:
+                raise ValueError("integer priority keys must be non-negative")
+            # Fold the tier bit exactly like _folded_int_keys: reserved
+            # candidates with a non-zero key jump above every best-effort
+            # key; a zero key stays zero (multiply semantics).
+            if rsv_l is not None and key and rsv_l[f]:
+                key += tier_bit
+            per_port[f // v].append((key, f % v, dest_l[f]))
+
+        for p, cands in enumerate(per_port):
+            if len(cands) > 1:
+                # Stable descending sort keeps ascending-VC tie order
+                # (entries were appended in VC order).
+                cands.sort(key=_KEY0, reverse=True)
+                del cands[c:]
+            # Buffer-owned copy: per_port is scheduler scratch and turns
+            # over next cycle, but buf.sparse must stay valid (and feed
+            # the lazy array sync) until the next fill of this buffer.
+            sparse[p][:] = cands
+        buf.mark_sparse_filled()
+        return buf

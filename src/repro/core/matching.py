@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # import cycle: candidates.py needs Candidate
+    from .candidates import CandidateBuffer
 
 __all__ = [
     "Candidate",
@@ -28,6 +31,8 @@ __all__ = [
     "request_matrix",
     "best_candidate_for",
     "restrict_levels",
+    "buffer_request_matrix",
+    "buffer_best_vc",
 ]
 
 
@@ -37,12 +42,18 @@ class Candidate:
 
     ``level`` is the candidate's rank within its input port (0 = highest
     priority), i.e. the row block it occupies in the selection matrix.
+
+    ``priority`` is an exact Python ``int`` for integer-valued schemes
+    (SIABP, static, fifo; the reserved tier folds in as ``key << 200``)
+    and a ``float`` for float-valued ones (IABP).  Exact integers matter:
+    a float here silently merges distinct priorities above 2**53, which
+    breaks the biased ordering SIABP exists to preserve.
     """
 
     in_port: int
     vc: int
     out_port: int
-    priority: float
+    priority: int | float
     level: int
 
 
@@ -75,6 +86,22 @@ class Arbiter(abc.ABC):
         level (``candidates[p][k].level == k``).  Ports with no eligible
         flits contribute an empty list.
         """
+
+    def match_buffer(
+        self,
+        buf: CandidateBuffer,
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        """Compute a matching from a :class:`CandidateBuffer` (hot path).
+
+        Semantics are pinned to :meth:`match`: for the same candidate set
+        and an identically-seeded RNG the two must return identical
+        grants (the differential tests assert it arbiter by arbiter).
+        The default materializes the object view and delegates, so any
+        external arbiter keeps working; the built-in arbiters override
+        it with allocation-free implementations.
+        """
+        return self.match(buf.to_candidates(), rng)
 
     def reset(self) -> None:
         """Clear any internal fairness state (pointers); default no-op."""
@@ -158,6 +185,48 @@ def restrict_levels(
     if max_levels <= 0:
         raise ValueError("max_levels must be positive or None")
     return [[c for c in port if c.level < max_levels] for port in candidates]
+
+
+def buffer_request_matrix(
+    buf: CandidateBuffer, num_ports: int, max_levels: int | None = None
+) -> np.ndarray:
+    """Boolean request matrix from a candidate buffer.
+
+    Mirrors :func:`request_matrix` + :func:`restrict_levels` on the
+    object path: levels at or above ``max_levels`` do not request.
+    """
+    r = np.zeros((num_ports, num_ports), dtype=bool)
+    cap = buf.levels if max_levels is None else min(max_levels, buf.levels)
+    counts = buf.count
+    outs = buf.out_port
+    for p in range(num_ports):
+        k = min(int(counts[p]), cap)
+        if k:
+            r[p, outs[p, :k]] = True
+    return r
+
+
+def buffer_best_vc(
+    buf: CandidateBuffer,
+    in_port: int,
+    out_port: int,
+    max_levels: int | None = None,
+) -> int:
+    """Lowest-level (highest-priority) VC of ``in_port`` for ``out_port``.
+
+    Buffer twin of :func:`best_candidate_for`: buffer rows are ordered by
+    level, so the first hit is the best candidate.
+    """
+    cap = buf.levels if max_levels is None else min(max_levels, buf.levels)
+    k = min(int(buf.count[in_port]), cap)
+    outs = buf.out_port[in_port]
+    for level in range(k):
+        if int(outs[level]) == out_port:
+            return int(buf.vc[in_port, level])
+    raise ValueError(
+        f"no candidate from input {in_port} to output {out_port}; "
+        "arbiter granted a non-existent request"
+    )
 
 
 def best_candidate_for(

@@ -15,7 +15,7 @@ WFA and iSLIP.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -24,9 +24,14 @@ from .matching import (
     Candidate,
     Grant,
     best_candidate_for,
+    buffer_best_vc,
+    buffer_request_matrix,
     request_matrix,
     restrict_levels,
 )
+
+if TYPE_CHECKING:
+    from .candidates import CandidateBuffer
 
 __all__ = ["PIM"]
 
@@ -59,7 +64,41 @@ class PIM(Arbiter):
     ) -> list[Grant]:
         n = self.num_ports
         candidates = restrict_levels(candidates, self.max_levels)
-        requests = request_matrix(candidates, n)
+        in_matched = self._match_requests(request_matrix(candidates, n), rng)
+        out: list[Grant] = []
+        for i in range(n):
+            j = int(in_matched[i])
+            if j >= 0:
+                cand = best_candidate_for(candidates, i, j)
+                out.append((i, cand.vc, j))
+        return out
+
+    def match_buffer(
+        self,
+        buf: CandidateBuffer,
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        """Buffer-native PIM; rng draws depend only on the request matrix.
+
+        :func:`buffer_request_matrix` reproduces the object path's matrix
+        exactly, so the grant/accept randomization consumes the stream
+        identically and the matchings agree draw for draw.
+        """
+        n = self.num_ports
+        requests = buffer_request_matrix(buf, n, self.max_levels)
+        in_matched = self._match_requests(requests, rng)
+        out: list[Grant] = []
+        for i in range(n):
+            j = int(in_matched[i])
+            if j >= 0:
+                out.append((i, buffer_best_vc(buf, i, j, self.max_levels), j))
+        return out
+
+    def _match_requests(
+        self, requests: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Run the randomized grant/accept iterations; input -> output."""
+        n = self.num_ports
         in_matched = np.full(n, -1, dtype=np.int64)
         out_matched = np.zeros(n, dtype=bool)
 
@@ -79,11 +118,4 @@ class PIM(Arbiter):
                 j = outs[int(rng.integers(len(outs)))]
                 in_matched[i] = j
                 out_matched[j] = True
-
-        out: list[Grant] = []
-        for i in range(n):
-            j = int(in_matched[i])
-            if j >= 0:
-                cand = best_candidate_for(candidates, i, j)
-                out.append((i, cand.vc, j))
-        return out
+        return in_matched

@@ -47,9 +47,16 @@ __all__ = [
 #: preserving the ordering for any delay the simulator can produce.
 _MAX_SHIFT = 40
 
+#: Integer priority keys must stay below this bound so the link
+#: scheduler can fold the reserved/best-effort tier bit into an int64
+#: sort key (tier << 62 | key) without overflow.  SIABP's capped shift
+#: keeps any sane reservation far below it; the schemes enforce it
+#: loudly instead of wrapping silently.
+MAX_INTEGER_KEY = 1 << 62
+
 
 def bit_length(values: np.ndarray) -> np.ndarray:
-    """Vectorized ``int.bit_length`` for non-negative int64 arrays.
+    """Vectorized ``int.bit_length``, exact for every non-negative int64.
 
     ``bit_length(0) == 0``, ``bit_length(1) == 1``, ``bit_length(2) == 2``,
     ``bit_length(3) == 2`` ... exactly matching Python's semantics.
@@ -62,7 +69,20 @@ def bit_length(values: np.ndarray) -> np.ndarray:
     # like 2**49 - 1 up and overshoot by one).  frexp(0) yields e == 0,
     # matching bit_length(0) == 0.
     _m, exp = np.frexp(values.astype(np.float64))
-    return exp.astype(np.int64)
+    exp = exp.astype(np.int64)
+    # Above 2**53 the float64 conversion itself rounds: values just
+    # below a power of two (e.g. 2**54 - 1) round *up* to it, so frexp
+    # overshoots the bit length by one.  Exact integer fallback: where
+    # overshoot is possible, compare against 2**(exp - 1) and correct.
+    suspect = exp > 53
+    if suspect.any():
+        unsigned = values.astype(np.uint64)
+        # exp <= 64 for any int64 input, so 2**(exp-1) fits uint64
+        # exactly; shift 0 where not suspect to keep the shift defined.
+        shift = np.where(suspect, exp - 1, 0).astype(np.uint64)
+        threshold = np.uint64(1) << shift
+        exp = exp - (suspect & (unsigned < threshold))
+    return exp
 
 
 class PriorityScheme(abc.ABC):
@@ -86,13 +106,29 @@ class PriorityScheme(abc.ABC):
             since the flit entered the router's VC memory.
         """
 
-    def scalar(self, slots: int, delay: int) -> float:
-        """Convenience scalar form (tests, examples)."""
-        return float(
-            self.compute(
-                np.asarray([slots], dtype=np.int64),
-                np.asarray([delay], dtype=np.int64),
-            )[0]
+    def scalar(self, slots: int, delay: int) -> int | float:
+        """Convenience scalar form (tests, examples).
+
+        Returns a Python ``int`` for integer-valued schemes (exact at any
+        magnitude) and a ``float`` for float-valued ones — a float cast
+        here would collapse distinct integer priorities above 2**53.
+        """
+        return self.compute(
+            np.asarray([slots], dtype=np.int64),
+            np.asarray([delay], dtype=np.int64),
+        )[0].item()
+
+    def key_scalar(self, slots: int, delay: int) -> int:
+        """Exact scalar priority key (integer-valued schemes only).
+
+        Pure-Python twin of :meth:`compute` for the sparse scheduling hot
+        path, which evaluates only the occupied VCs: ``int.bit_length``
+        and Python's arbitrary-precision ints make this exact at any
+        magnitude with no vectorization overhead.  Must agree with
+        :meth:`compute` element for element (the property tests pin it).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not integer-valued"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -136,7 +172,31 @@ class SIABP(PriorityScheme):
 
     def compute(self, slots: np.ndarray, delay: np.ndarray) -> np.ndarray:
         shift = np.minimum(bit_length(delay), _MAX_SHIFT)
-        return slots.astype(np.int64) << shift
+        slots = np.asarray(slots, dtype=np.int64)
+        # slots << shift must stay below 2**62 (int64 sort-key headroom);
+        # silent wrap-around would invert the priority order.  Fast
+        # screen first: with the shift capped at 40, any slots below
+        # 2**22 are safe, and real reservations are orders of magnitude
+        # smaller — the exact per-element check runs only when the cheap
+        # bound fails.
+        if slots.size and int(slots.max()) >= (1 << (62 - _MAX_SHIFT)):
+            if bool(np.any(bit_length(slots) + shift > 62)):
+                raise OverflowError(
+                    "SIABP priority overflows its int64 key: "
+                    "bit_length(slots) + shift must stay <= 62"
+                )
+        return slots << shift
+
+    def key_scalar(self, slots: int, delay: int) -> int:
+        shift = delay.bit_length()
+        if shift > _MAX_SHIFT:
+            shift = _MAX_SHIFT
+        if slots.bit_length() + shift > 62:
+            raise OverflowError(
+                "SIABP priority overflows its int64 key: "
+                "bit_length(slots) + shift must stay <= 62"
+            )
+        return slots << shift
 
 
 class StaticPriority(PriorityScheme):
@@ -148,6 +208,9 @@ class StaticPriority(PriorityScheme):
     def compute(self, slots: np.ndarray, delay: np.ndarray) -> np.ndarray:
         return slots.astype(np.int64).copy()
 
+    def key_scalar(self, slots: int, delay: int) -> int:
+        return slots
+
 
 class FIFOPriority(PriorityScheme):
     """Rank by queuing delay only — oldest-first (baseline)."""
@@ -157,3 +220,6 @@ class FIFOPriority(PriorityScheme):
 
     def compute(self, slots: np.ndarray, delay: np.ndarray) -> np.ndarray:
         return delay.astype(np.int64).copy()
+
+    def key_scalar(self, slots: int, delay: int) -> int:
+        return delay

@@ -13,13 +13,38 @@ for the ablation benches:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from .matching import Arbiter, Candidate, Grant
 
+if TYPE_CHECKING:
+    from .candidates import CandidateBuffer
+
 __all__ = ["GreedyPriorityMatcher", "RandomMatcher"]
+
+
+def _flat_buffer_entries(
+    buf: CandidateBuffer,
+) -> list[tuple[int | float, int, int, int, int]]:
+    """Buffer entries as ``(key, level, in_port, vc, out_port)`` tuples.
+
+    Port-major, level-minor — the same visiting order as flattening the
+    object path's ``list[list[Candidate]]``, with the folded sort key in
+    place of the object priority (same order, same ties; see
+    :mod:`repro.core.candidates`).
+    """
+    counts = buf.count.tolist()
+    vcs = buf.vc.tolist()
+    outs = buf.out_port.tolist()
+    keys = (buf.prio_int if buf.integer_keys else buf.prio_float).tolist()
+    flat: list[tuple[int | float, int, int, int, int]] = []
+    for p in range(buf.num_ports):
+        kp, vp, op = keys[p], vcs[p], outs[p]
+        for level in range(counts[p]):
+            flat.append((kp[level], level, p, vp[level], op[level]))
+    return flat
 
 
 class GreedyPriorityMatcher(Arbiter):
@@ -43,6 +68,25 @@ class GreedyPriorityMatcher(Arbiter):
             ins.add(cand.in_port)
             outs.add(cand.out_port)
             grants.append((cand.in_port, cand.vc, cand.out_port))
+        return grants
+
+    def match_buffer(
+        self,
+        buf: CandidateBuffer,
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        """Buffer-native greedy matching; same grant order as `match`."""
+        flat = _flat_buffer_entries(buf)
+        flat.sort(key=lambda t: (-t[0], t[1], t[2]))
+        ins: set[int] = set()
+        outs: set[int] = set()
+        grants: list[Grant] = []
+        for _key, _level, in_port, vc, out_port in flat:
+            if in_port in ins or out_port in outs:
+                continue
+            ins.add(in_port)
+            outs.add(out_port)
+            grants.append((in_port, vc, out_port))
         return grants
 
 
@@ -72,5 +116,34 @@ class RandomMatcher(Arbiter):
                 c
                 for c in remaining
                 if c.in_port not in ins and c.out_port not in outs
+            ]
+        return grants
+
+    def match_buffer(
+        self,
+        buf: CandidateBuffer,
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        """Buffer-native random matching; identical rng trajectory.
+
+        The flat candidate order matches the object path's flattening
+        (port-major, level-minor) and the filtering touches only ports,
+        so every ``rng.integers`` call sees the same bound and every draw
+        lands on the same candidate.
+        """
+        remaining = [(t[2], t[3], t[4]) for t in _flat_buffer_entries(buf)]
+        ins: set[int] = set()
+        outs: set[int] = set()
+        grants: list[Grant] = []
+        while remaining:
+            idx = int(rng.integers(len(remaining)))
+            in_port, vc, out_port = remaining.pop(idx)
+            if in_port in ins or out_port in outs:
+                continue
+            ins.add(in_port)
+            outs.add(out_port)
+            grants.append((in_port, vc, out_port))
+            remaining = [
+                t for t in remaining if t[0] not in ins and t[2] not in outs
             ]
         return grants

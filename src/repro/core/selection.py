@@ -35,7 +35,10 @@ class SelectionMatrix:
         self.levels = levels
         rows = levels * num_ports
         # Priority of the request occupying each cell; NaN = null entry.
-        self._prio = np.full((rows, num_ports), np.nan)
+        # Object dtype keeps integer priorities exact (a float64 cell
+        # would collapse distinct keys above 2**53 and desync this
+        # reference path from the exact fast paths).
+        self._prio = np.full((rows, num_ports), np.nan, dtype=object)
         # VC carried by each request (for grant construction); -1 = null.
         self._vc = np.full((rows, num_ports), -1, dtype=np.int64)
 
@@ -81,17 +84,23 @@ class SelectionMatrix:
         """(levels * N,) count of non-null entries per row (Fig. 3)."""
         return (self._vc != -1).sum(axis=1)
 
-    def row_requests(self, level: int, out_port: int) -> list[tuple[int, int, float]]:
-        """Requests on one row as ``(in_port, vc, priority)`` triples."""
+    def row_requests(
+        self, level: int, out_port: int
+    ) -> list[tuple[int, int, int | float]]:
+        """Requests on one row as ``(in_port, vc, priority)`` triples.
+
+        Priorities pass through exactly: ``int`` for integer-valued
+        schemes, ``float`` for float-valued ones.
+        """
         row = level * self.num_ports + out_port
         ins = np.flatnonzero(self._vc[row] != -1)
-        return [
-            (int(i), int(self._vc[row, i]), float(self._prio[row, i])) for i in ins
-        ]
+        return [(int(i), int(self._vc[row, i]), self._prio[row, i]) for i in ins]
 
-    def requests_for_output(self, out_port: int) -> list[tuple[int, int, int, float]]:
+    def requests_for_output(
+        self, out_port: int
+    ) -> list[tuple[int, int, int, int | float]]:
         """All requests for an output, as ``(level, in_port, vc, prio)``."""
-        out: list[tuple[int, int, int, float]] = []
+        out: list[tuple[int, int, int, int | float]] = []
         for level in range(self.levels):
             for in_port, vc, prio in self.row_requests(level, out_port):
                 out.append((level, in_port, vc, prio))

@@ -39,7 +39,7 @@ benches to separate multi-candidate selection from priority awareness).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -48,9 +48,14 @@ from .matching import (
     Candidate,
     Grant,
     best_candidate_for,
+    buffer_best_vc,
+    buffer_request_matrix,
     request_matrix,
     restrict_levels,
 )
+
+if TYPE_CHECKING:
+    from .candidates import CandidateBuffer
 
 __all__ = ["WaveFrontArbiter"]
 
@@ -93,9 +98,35 @@ class WaveFrontArbiter(Arbiter):
         n = self.num_ports
         candidates = restrict_levels(candidates, self.max_levels)
         requests = request_matrix(candidates, n)
+        return [
+            (i, best_candidate_for(candidates, i, j).vc, j)
+            for i, j in self._sweep(requests)
+        ]
+
+    def match_buffer(
+        self,
+        buf: CandidateBuffer,
+        rng: np.random.Generator,
+    ) -> list[Grant]:
+        """Buffer-native WFA sweep; no rng, state advances identically.
+
+        The wave is a pure function of the request matrix and the rotating
+        start diagonal, and :func:`buffer_request_matrix` reproduces the
+        object path's matrix exactly, so both entry points grant the same
+        crosspoints and rotate the start diagonal in lockstep.
+        """
+        requests = buffer_request_matrix(buf, self.num_ports, self.max_levels)
+        return [
+            (i, buffer_best_vc(buf, i, j, self.max_levels), j)
+            for i, j in self._sweep(requests)
+        ]
+
+    def _sweep(self, requests: np.ndarray) -> list[tuple[int, int]]:
+        """Run one arbitration wave; granted (input, output) crosspoints."""
+        n = self.num_ports
         row_free = np.ones(n, dtype=bool)
         col_free = np.ones(n, dtype=bool)
-        grants: list[Grant] = []
+        grants: list[tuple[int, int]] = []
 
         if self.wrapped:
             diag_order = [(self._start_diag + d) % n for d in range(n)]
@@ -113,6 +144,5 @@ class WaveFrontArbiter(Arbiter):
                 if requests[i, j] and row_free[i] and col_free[j]:
                     row_free[i] = False
                     col_free[j] = False
-                    cand = best_candidate_for(candidates, i, j)
-                    grants.append((i, cand.vc, j))
+                    grants.append((i, j))
         return grants

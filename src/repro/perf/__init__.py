@@ -1,0 +1,26 @@
+"""Performance harness: cycles/sec baselines for the scheduling hot path.
+
+``python -m repro perf`` measures the simulator's end-to-end cycle rate on
+both pipelines — the zero-allocation candidate-buffer hot path and the
+object-based reference path — verifies they depart the same flits, breaks
+the cycle down per stage, and emits ``BENCH_perf.json`` so CI can fail on
+cycles/sec regressions against the committed baseline.
+"""
+
+from .harness import (
+    PathStats,
+    PerfReport,
+    check_regression,
+    profile_fast_path,
+    run_perf,
+    write_report,
+)
+
+__all__ = [
+    "PathStats",
+    "PerfReport",
+    "check_regression",
+    "profile_fast_path",
+    "run_perf",
+    "write_report",
+]

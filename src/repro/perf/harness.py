@@ -1,0 +1,380 @@
+"""Measurement core of ``python -m repro perf``.
+
+Three measurements per report:
+
+* **cycles/sec** — the headline rate: a clean, uninstrumented
+  :meth:`~repro.sim.SingleRouterSim.run` over a CBR workload, once for the
+  buffer hot path (``fast_path=True``) and once for the object-based
+  reference path.  The ratio is the speedup CI tracks.  Each path is
+  measured ``repeats`` times with fast/reference runs interleaved, and the
+  best (minimum-wall-time) repetition is reported — the standard defence
+  against noisy neighbours on shared machines, where a single background
+  burst would otherwise skew whichever path it happened to land on.
+* **per-stage breakdown** — a second, instrumented loop wraps each pipeline
+  stage (injection, credits, link scheduling, matching, crossbar transfer,
+  NIC acceptance) in :func:`time.perf_counter_ns`.  The timer overhead makes
+  the instrumented total slower than the headline run; the breakdown is for
+  *relative* attribution only.
+* **grant equivalence** — both paths are stepped side by side for a stretch
+  of cycles and their departures compared flit for flit; a report with
+  ``grants_identical: false`` means the zero-allocation path diverged from
+  the reference and the speedup number is meaningless.
+
+cProfile is opt-in (:func:`profile_fast_path`) because profiling distorts
+the numbers it reports.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from time import perf_counter_ns
+from typing import Any
+
+from ..sim.engine import RunControl
+from ..sim.experiments import default_config
+from ..sim.simulation import SingleRouterSim
+from ..traffic.mixes import build_cbr_workload
+
+__all__ = [
+    "PathStats",
+    "PerfReport",
+    "run_perf",
+    "write_report",
+    "check_regression",
+    "profile_fast_path",
+]
+
+#: Pipeline stages the instrumented loop attributes time to, in order.
+STAGES = (
+    "injection",
+    "credits",
+    "link_schedule",
+    "match",
+    "transfer",
+    "nic_accept",
+)
+
+#: Measured cycles for the full and ``--quick`` profiles.
+_FULL_CYCLES = 20_000
+_QUICK_CYCLES = 4_000
+#: Interleaved timing repetitions per path (best-of-N reported).
+_FULL_REPEATS = 5
+_QUICK_REPEATS = 3
+#: Cycles of side-by-side stepping for the grant-equivalence check.
+_EQUIV_CYCLES = 2_000
+
+
+@dataclass
+class PathStats:
+    """One pipeline's measurements (best repetition)."""
+
+    cycles_per_sec: float
+    wall_s: float
+    cycles: int
+    departures: int
+    #: Wall seconds of every timing repetition (best is ``wall_s``).
+    wall_s_all: list[float] = field(default_factory=list)
+    #: ns per stage from the instrumented loop (relative attribution).
+    stages_ns: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class PerfReport:
+    """Everything ``BENCH_perf.json`` records."""
+
+    ports: int
+    vcs: int
+    levels: int
+    arbiter: str
+    scheme: str
+    load: float
+    seed: int
+    cycles: int
+    quick: bool
+    repeats: int
+    fast: PathStats
+    reference: PathStats
+    #: fast cycles/sec over reference cycles/sec.
+    speedup: float
+    #: Both paths departed identical flits over the checked stretch.
+    grants_identical: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+def _make_sim(
+    ports: int,
+    vcs: int,
+    levels: int,
+    arbiter: str,
+    scheme: str,
+    load: float,
+    seed: int,
+    fast_path: bool,
+):
+    config = default_config(
+        num_ports=ports, vcs_per_link=vcs, candidate_levels=levels
+    )
+    sim = SingleRouterSim(
+        config, arbiter=arbiter, scheme=scheme, seed=seed, fast_path=fast_path
+    )
+    workload = build_cbr_workload(sim.router, load, sim.rng.workload)
+    return sim, workload
+
+
+def _timed_run(sim: SingleRouterSim, workload, cycles: int) -> tuple[float, int]:
+    """Uninstrumented run; (wall seconds, measured departures)."""
+    control = RunControl(cycles=cycles, warmup_cycles=0)
+    t0 = perf_counter_ns()
+    result = sim.run(workload, control)
+    wall_s = (perf_counter_ns() - t0) / 1e9
+    return wall_s, int(result.flits["overall"])
+
+
+def _staged_run(sim: SingleRouterSim, workload, cycles: int) -> dict[str, int]:
+    """Instrumented cycle loop; total ns attributed to each stage."""
+    router = sim.router
+    feeds = workload.build_feeds(cycles, sim.rng.sources)
+    arb_rng = sim.rng.arbiter
+    nics = router.nics
+    pointers = [0] * sim.config.num_ports
+    fast = router.fast_path
+    stages = dict.fromkeys(STAGES, 0)
+    ns = perf_counter_ns
+
+    for now in range(cycles):
+        t0 = ns()
+        for port, feed in enumerate(feeds):
+            ptr = pointers[port]
+            cyc = feed.cycles
+            end = len(cyc)
+            nic = nics[port]
+            while ptr < end and cyc[ptr] <= now:
+                nic.inject(
+                    int(feed.vcs[ptr]),
+                    int(cyc[ptr]),
+                    int(feed.frame_ids[ptr]),
+                    bool(feed.frame_last[ptr]),
+                )
+                ptr += 1
+            pointers[port] = ptr
+        t1 = ns()
+        router.credits.deliver(now)
+        t2 = ns()
+        if fast:
+            buf = router._link_schedule_into(now)
+            t3 = ns()
+            grants = router.arbiter.match_buffer(buf, arb_rng)
+        else:
+            candidates = router._link_schedule(now)
+            t3 = ns()
+            grants = router.arbiter.match(candidates, arb_rng)
+        t4 = ns()
+        departures = router.crossbar.transfer(grants, router.vc_memory, now)
+        for dep in departures:
+            router.credits.schedule_return(dep.in_port, dep.vc, now)
+        t5 = ns()
+        router._accept_from_nics(now)
+        t6 = ns()
+        stages["injection"] += t1 - t0
+        stages["credits"] += t2 - t1
+        stages["link_schedule"] += t3 - t2
+        stages["match"] += t4 - t3
+        stages["transfer"] += t5 - t4
+        stages["nic_accept"] += t6 - t5
+    return stages
+
+
+def _departures(sim: SingleRouterSim, workload, cycles: int) -> list[tuple]:
+    """Step the router cycle by cycle, collecting departures as tuples."""
+    router = sim.router
+    feeds = workload.build_feeds(cycles, sim.rng.sources)
+    arb_rng = sim.rng.arbiter
+    nics = router.nics
+    pointers = [0] * sim.config.num_ports
+    out: list[tuple] = []
+    for now in range(cycles):
+        for port, feed in enumerate(feeds):
+            ptr = pointers[port]
+            cyc = feed.cycles
+            end = len(cyc)
+            nic = nics[port]
+            while ptr < end and cyc[ptr] <= now:
+                nic.inject(
+                    int(feed.vcs[ptr]),
+                    int(cyc[ptr]),
+                    int(feed.frame_ids[ptr]),
+                    bool(feed.frame_last[ptr]),
+                )
+                ptr += 1
+            pointers[port] = ptr
+        for dep in router.step(now, arb_rng):
+            out.append(
+                (now, dep.in_port, dep.vc, dep.out_port, dep.gen_cycle,
+                 dep.frame_id)
+            )
+    return out
+
+
+def _measure_path(
+    ports: int,
+    vcs: int,
+    levels: int,
+    arbiter: str,
+    scheme: str,
+    load: float,
+    seed: int,
+    cycles: int,
+    fast_path: bool,
+    walls: list[float],
+    departures: int,
+) -> PathStats:
+    """Assemble one path's stats from its timing repetitions."""
+    sim, workload = _make_sim(
+        ports, vcs, levels, arbiter, scheme, load, seed, fast_path
+    )
+    stages = _staged_run(sim, workload, cycles)
+    best = min(walls)
+    return PathStats(
+        cycles_per_sec=cycles / best if best > 0 else float("inf"),
+        wall_s=best,
+        cycles=cycles,
+        departures=departures,
+        wall_s_all=walls,
+        stages_ns=stages,
+    )
+
+
+def run_perf(
+    *,
+    ports: int = 4,
+    vcs: int = 64,
+    levels: int = 4,
+    arbiter: str = "coa",
+    scheme: str = "siabp",
+    load: float = 0.7,
+    seed: int = 0,
+    cycles: int | None = None,
+    quick: bool = False,
+    repeats: int | None = None,
+) -> PerfReport:
+    """Measure both pipelines and assemble the report."""
+    n_cycles = cycles or (_QUICK_CYCLES if quick else _FULL_CYCLES)
+    n_repeats = repeats or (_QUICK_REPEATS if quick else _FULL_REPEATS)
+
+    # Interleave the timed repetitions (fast, reference, fast, ...) so a
+    # burst of background load hits both paths, not just one; best-of-N
+    # per path filters it out entirely.
+    fast_walls: list[float] = []
+    ref_walls: list[float] = []
+    fast_deps = ref_deps = 0
+    for _ in range(n_repeats):
+        sim, wl = _make_sim(ports, vcs, levels, arbiter, scheme, load, seed, True)
+        wall, fast_deps = _timed_run(sim, wl, n_cycles)
+        fast_walls.append(wall)
+        sim, wl = _make_sim(ports, vcs, levels, arbiter, scheme, load, seed, False)
+        wall, ref_deps = _timed_run(sim, wl, n_cycles)
+        ref_walls.append(wall)
+
+    fast = _measure_path(
+        ports, vcs, levels, arbiter, scheme, load, seed, n_cycles, True,
+        fast_walls, fast_deps,
+    )
+    reference = _measure_path(
+        ports, vcs, levels, arbiter, scheme, load, seed, n_cycles, False,
+        ref_walls, ref_deps,
+    )
+
+    equiv_cycles = min(n_cycles, _EQUIV_CYCLES)
+    sim_f, wl_f = _make_sim(
+        ports, vcs, levels, arbiter, scheme, load, seed, True
+    )
+    sim_r, wl_r = _make_sim(
+        ports, vcs, levels, arbiter, scheme, load, seed, False
+    )
+    identical = _departures(sim_f, wl_f, equiv_cycles) == _departures(
+        sim_r, wl_r, equiv_cycles
+    )
+
+    return PerfReport(
+        ports=ports,
+        vcs=vcs,
+        levels=levels,
+        arbiter=arbiter,
+        scheme=scheme,
+        load=load,
+        seed=seed,
+        cycles=n_cycles,
+        quick=quick,
+        repeats=n_repeats,
+        fast=fast,
+        reference=reference,
+        speedup=fast.cycles_per_sec / reference.cycles_per_sec,
+        grants_identical=identical,
+    )
+
+
+def profile_fast_path(
+    *,
+    ports: int = 4,
+    vcs: int = 64,
+    levels: int = 4,
+    arbiter: str = "coa",
+    scheme: str = "siabp",
+    load: float = 0.7,
+    seed: int = 0,
+    cycles: int = _QUICK_CYCLES,
+    top: int = 25,
+) -> str:
+    """cProfile the fast-path run; cumulative-time top-``top`` as text."""
+    sim, workload = _make_sim(
+        ports, vcs, levels, arbiter, scheme, load, seed, True
+    )
+    control = RunControl(cycles=cycles, warmup_cycles=0)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run(workload, control)
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
+
+
+def write_report(report: PerfReport, path: str | Path) -> Path:
+    """Serialize the report to JSON (the ``BENCH_perf.json`` format)."""
+    path = Path(path)
+    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def check_regression(
+    report: PerfReport,
+    baseline_path: str | Path,
+    max_regression: float = 0.3,
+) -> tuple[bool, str]:
+    """Compare fast-path cycles/sec against a committed baseline.
+
+    Returns ``(ok, message)``; ``ok`` is False when the current rate fell
+    more than ``max_regression`` (fraction) below the baseline's.
+    """
+    baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    base_cps = float(baseline["fast"]["cycles_per_sec"])
+    cur_cps = report.fast.cycles_per_sec
+    floor = base_cps * (1.0 - max_regression)
+    if cur_cps < floor:
+        return False, (
+            f"cycles/sec regression: {cur_cps:,.0f} < {floor:,.0f} "
+            f"(baseline {base_cps:,.0f}, tolerance {max_regression:.0%})"
+        )
+    return True, (
+        f"cycles/sec OK: {cur_cps:,.0f} vs baseline {base_cps:,.0f} "
+        f"(floor {floor:,.0f})"
+    )

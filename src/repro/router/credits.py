@@ -46,19 +46,25 @@ class CreditState:
 
     def __init__(self, config: RouterConfig) -> None:
         n, v = config.num_ports, config.vcs_per_link
-        self._credits = np.full((n, v), config.vc_buffer_depth, dtype=np.int64)
+        depth = config.vc_buffer_depth
+        # All per-(port, vc) ledgers are plain nested lists: every hot
+        # operation (consume / schedule_return / deliver) touches single
+        # cells, where Python list indexing beats numpy scalar indexing
+        # severalfold.  Vectorized consumers (expected,
+        # check_conservation, counters) materialize arrays on demand.
+        self._credits = [[depth] * v for _ in range(n)]
         self._delay = config.credit_return_delay
-        self._depth = config.vc_buffer_depth
+        self._depth = depth
         # cycle -> list of (port, vc) credits that land on that cycle
         self._pending: dict[int, list[tuple[int, int]]] = {}
         self._in_flight = 0
         # Per-(port, vc) in-flight returns (watchdog + conservation ledger).
-        self._in_flight_pv = np.zeros((n, v), dtype=np.int64)
+        self._in_flight_pv = [[0] * v for _ in range(n)]
         # Fault ledger, per VC: credits destroyed in flight; duplicates
         # still on the wire; duplicates landed into the counter.
-        self._lost_pv = np.zeros((n, v), dtype=np.int64)
-        self._extra_flight_pv = np.zeros((n, v), dtype=np.int64)
-        self._extra_landed_pv = np.zeros((n, v), dtype=np.int64)
+        self._lost_pv = [[0] * v for _ in range(n)]
+        self._extra_flight_pv = [[0] * v for _ in range(n)]
+        self._extra_landed_pv = [[0] * v for _ in range(n)]
         #: Credits destroyed by fault injection (lifetime total).
         self.lost_total = 0
         #: Duplicate credits injected (lifetime total).
@@ -76,17 +82,19 @@ class CreditState:
 
     @property
     def counters(self) -> np.ndarray:
-        """(ports, vcs) credit counters (read-only view)."""
-        view = self._credits.view()
-        view.flags.writeable = False
-        return view
+        """(ports, vcs) credit counters (read-only, built on demand)."""
+        arr = np.array(self._credits, dtype=np.int64)
+        arr.flags.writeable = False
+        return arr
 
     def counters_for(self, port: int) -> np.ndarray:
-        """Writable-free view of one port's credit row (hot path)."""
-        return self._credits[port]
+        """Read-only snapshot of one port's credit row."""
+        arr = np.array(self._credits[port], dtype=np.int64)
+        arr.flags.writeable = False
+        return arr
 
     def available(self, port: int, vc: int) -> int:
-        return int(self._credits[port, vc])
+        return self._credits[port][vc]
 
     @property
     def in_flight(self) -> int:
@@ -95,7 +103,7 @@ class CreditState:
 
     def in_flight_for(self, port: int, vc: int) -> int:
         """Credits of one (port, vc) currently travelling back."""
-        return int(self._in_flight_pv[port, vc])
+        return self._in_flight_pv[port][vc]
 
     def mask_for(self, port: int) -> int:
         """Bitmask of this port's VCs holding at least one credit."""
@@ -103,13 +111,13 @@ class CreditState:
 
     def consume(self, port: int, vc: int) -> None:
         """NIC forwards a flit: spend one credit."""
-        remaining = self._credits[port, vc] - 1
+        remaining = self._credits[port][vc] - 1
         if remaining < 0:
             raise RuntimeError(
                 f"credit underflow at port {port} vc {vc}: the NIC link "
                 "controller must not forward without a credit"
             )
-        self._credits[port, vc] = remaining
+        self._credits[port][vc] = remaining
         if remaining == 0:
             self._mask[port] &= ~(1 << vc)
 
@@ -118,7 +126,7 @@ class CreditState:
         land = now + self._delay
         self._pending.setdefault(land, []).append((port, vc))
         self._in_flight += 1
-        self._in_flight_pv[port, vc] += 1
+        self._in_flight_pv[port][vc] += 1
 
     def deliver(self, now: int) -> None:
         """Land all credits whose return delay has elapsed.
@@ -138,17 +146,17 @@ class CreditState:
         for cycle in due:
             landed = self._pending.pop(cycle)
             for port, vc in landed:
-                self._in_flight_pv[port, vc] -= 1
-                new = self._credits[port, vc] + 1
+                self._in_flight_pv[port][vc] -= 1
+                new = self._credits[port][vc] + 1
                 if new > self._depth:
                     # A credit beyond the buffer depth can only be an
                     # injected duplicate (still flying, or one that
                     # landed earlier and inflated the counter); anything
                     # else is a real flow-control bug and must stay fatal.
-                    if self._extra_flight_pv[port, vc] > 0:
-                        self._extra_flight_pv[port, vc] -= 1
-                    elif self._extra_landed_pv[port, vc] > 0:
-                        self._extra_landed_pv[port, vc] -= 1
+                    if self._extra_flight_pv[port][vc] > 0:
+                        self._extra_flight_pv[port][vc] -= 1
+                    elif self._extra_landed_pv[port][vc] > 0:
+                        self._extra_landed_pv[port][vc] -= 1
                     else:
                         raise RuntimeError(
                             f"credit overflow at port {port} vc {vc}: more "
@@ -158,14 +166,14 @@ class CreditState:
                     if self.on_duplicate_discard is not None:
                         self.on_duplicate_discard(port, vc, now)
                     continue
-                if self._extra_flight_pv[port, vc] > 0:
+                if self._extra_flight_pv[port][vc] > 0:
                     # One of this VC's pending credits is a duplicate;
                     # whichever physical credit this one is, the counter
                     # is now inflated by it (repaired by the watchdog's
                     # surplus resync before the NIC can overfill).
-                    self._extra_flight_pv[port, vc] -= 1
-                    self._extra_landed_pv[port, vc] += 1
-                self._credits[port, vc] = new
+                    self._extra_flight_pv[port][vc] -= 1
+                    self._extra_landed_pv[port][vc] += 1
+                self._credits[port][vc] = new
                 if new == 1:
                     self._mask[port] |= 1 << vc
             self._in_flight -= len(landed)
@@ -182,7 +190,7 @@ class CreditState:
         never reaches the NIC.  The ledger records the loss so
         conservation stays checkable and the watchdog can resync.
         """
-        self._lost_pv[port, vc] += 1
+        self._lost_pv[port][vc] += 1
         self.lost_total += 1
 
     def fault_duplicate(self, port: int, vc: int, now: int) -> None:
@@ -197,8 +205,8 @@ class CreditState:
         land = now + self._delay
         self._pending.setdefault(land, []).append((port, vc))
         self._in_flight += 1
-        self._in_flight_pv[port, vc] += 1
-        self._extra_flight_pv[port, vc] += 1
+        self._in_flight_pv[port][vc] += 1
+        self._extra_flight_pv[port][vc] += 1
         self.duplicated_total += 1
 
     def restore(self, port: int, vc: int, count: int) -> None:
@@ -211,13 +219,13 @@ class CreditState:
         """
         if count <= 0:
             return
-        new = self._credits[port, vc] + count
+        new = self._credits[port][vc] + count
         if new > self._depth:
             raise RuntimeError(
                 f"credit restore overflow at port {port} vc {vc}: "
                 f"{new} > depth {self._depth}"
             )
-        self._credits[port, vc] = new
+        self._credits[port][vc] = new
         self._mask[port] |= 1 << vc
 
     def reset_vc(self, port: int, vc: int) -> None:
@@ -239,11 +247,11 @@ class CreditState:
                 else:
                     del self._pending[cycle]
         self._in_flight -= removed
-        self._in_flight_pv[port, vc] = 0
-        self._lost_pv[port, vc] = 0
-        self._extra_flight_pv[port, vc] = 0
-        self._extra_landed_pv[port, vc] = 0
-        self._credits[port, vc] = self._depth
+        self._in_flight_pv[port][vc] = 0
+        self._lost_pv[port][vc] = 0
+        self._extra_flight_pv[port][vc] = 0
+        self._extra_landed_pv[port][vc] = 0
+        self._credits[port][vc] = self._depth
         self._mask[port] |= 1 << vc
 
     def expected(self, occupancy: np.ndarray) -> np.ndarray:
@@ -257,7 +265,10 @@ class CreditState:
         actually lands.
         """
         return (
-            self._depth - occupancy - self._in_flight_pv + self._extra_flight_pv
+            self._depth
+            - occupancy
+            - np.array(self._in_flight_pv, dtype=np.int64)
+            + np.array(self._extra_flight_pv, dtype=np.int64)
         )
 
     def resync(self, port: int, vc: int, occupancy: int) -> int:
@@ -270,15 +281,15 @@ class CreditState:
         target = (
             self._depth
             - occupancy
-            - int(self._in_flight_pv[port, vc])
-            + int(self._extra_flight_pv[port, vc])
+            - self._in_flight_pv[port][vc]
+            + self._extra_flight_pv[port][vc]
         )
         if not (0 <= target <= self._depth):
             raise RuntimeError(
                 f"resync target {target} out of range at port {port} vc {vc}"
             )
-        delta = target - int(self._credits[port, vc])
-        self._credits[port, vc] = target
+        delta = target - self._credits[port][vc]
+        self._credits[port][vc] = target
         if target > 0:
             self._mask[port] |= 1 << vc
         else:
@@ -286,32 +297,32 @@ class CreditState:
         # The resync repairs exactly the landed drift (lost credits and
         # landed duplicates); duplicates still flying are left in the
         # ledger so their eventual landing is still accounted for.
-        self._lost_pv[port, vc] = 0
-        self._extra_landed_pv[port, vc] = 0
+        self._lost_pv[port][vc] = 0
+        self._extra_landed_pv[port][vc] = 0
         self.resyncs += 1
         return delta
 
     def check_conservation(self, occupancy: np.ndarray) -> None:
         """Assert the per-VC ledger invariant (see class docstring)."""
         total = (
-            self._credits
-            + self._in_flight_pv
-            - self._extra_flight_pv
-            - self._extra_landed_pv
+            np.array(self._credits, dtype=np.int64)
+            + np.array(self._in_flight_pv, dtype=np.int64)
+            - np.array(self._extra_flight_pv, dtype=np.int64)
+            - np.array(self._extra_landed_pv, dtype=np.int64)
             + occupancy
-            + self._lost_pv
+            + np.array(self._lost_pv, dtype=np.int64)
         )
         if not (total == self._depth).all():
             bad = np.argwhere(total != self._depth)
             port, vc = (int(x) for x in bad[0])
             raise AssertionError(
                 f"credit conservation violated at port {port} vc {vc}: "
-                f"credits({int(self._credits[port, vc])}) + "
-                f"in_flight({int(self._in_flight_pv[port, vc])}) - "
-                f"extra_flight({int(self._extra_flight_pv[port, vc])}) - "
-                f"extra_landed({int(self._extra_landed_pv[port, vc])}) + "
+                f"credits({self._credits[port][vc]}) + "
+                f"in_flight({self._in_flight_pv[port][vc]}) - "
+                f"extra_flight({self._extra_flight_pv[port][vc]}) - "
+                f"extra_landed({self._extra_landed_pv[port][vc]}) + "
                 f"occupancy({int(occupancy[port, vc])}) + "
-                f"lost({int(self._lost_pv[port, vc])}) != depth({self._depth})"
+                f"lost({self._lost_pv[port][vc]}) != depth({self._depth})"
             )
 
 

@@ -47,10 +47,14 @@ class Crossbar:
         self.cycles = 0
         #: Total matched input/output pairs over all cycles.
         self.total_grants = 0
-        #: Per-output grant counters.
-        self.output_grants = np.zeros(n, dtype=np.int64)
-        #: Per-input grant counters.
-        self.input_grants = np.zeros(n, dtype=np.int64)
+        # Per-port grant counters; plain lists because the hot path bumps
+        # one scalar per grant (numpy scalar read-modify-write is ~an
+        # order of magnitude slower).  Exposed as arrays via properties.
+        self._output_grants = [0] * n
+        self._input_grants = [0] * n
+        # Preallocated conflict-check scratch (transfer runs every cycle).
+        self._in_used = [False] * n
+        self._out_used = [False] * n
 
     def transfer(
         self,
@@ -64,9 +68,11 @@ class Crossbar:
         must be conflict-free: each input port and each output port may
         appear at most once.  Returns the departures, in matching order.
         """
-        n = self.config.num_ports
-        in_used = [False] * n
-        out_used = [False] * n
+        in_used = self._in_used
+        out_used = self._out_used
+        for i in range(self.config.num_ports):
+            in_used[i] = False
+            out_used[i] = False
         departures: list[Departure] = []
         for in_port, vc, out_port in matching:
             if in_used[in_port]:
@@ -83,11 +89,25 @@ class Crossbar:
             departures.append(
                 Departure(in_port, vc, out_port, gen, arrival, frame_id, frame_last)
             )
-            self.output_grants[out_port] += 1
-            self.input_grants[in_port] += 1
+            self._output_grants[out_port] += 1
+            self._input_grants[in_port] += 1
         self.total_grants += len(departures)
         self.cycles += 1
         return departures
+
+    @property
+    def output_grants(self) -> np.ndarray:
+        """Per-output grant counters (read-only snapshot)."""
+        arr = np.array(self._output_grants, dtype=np.int64)
+        arr.flags.writeable = False
+        return arr
+
+    @property
+    def input_grants(self) -> np.ndarray:
+        """Per-input grant counters (read-only snapshot)."""
+        arr = np.array(self._input_grants, dtype=np.int64)
+        arr.flags.writeable = False
+        return arr
 
     @property
     def utilization(self) -> float:
@@ -100,5 +120,6 @@ class Crossbar:
         """Zero the utilization counters (e.g. after warmup)."""
         self.cycles = 0
         self.total_grants = 0
-        self.output_grants[:] = 0
-        self.input_grants[:] = 0
+        n = self.config.num_ports
+        self._output_grants = [0] * n
+        self._input_grants = [0] * n

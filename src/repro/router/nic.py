@@ -25,8 +25,10 @@ class NIC:
     """NIC attached to one router input port.
 
     Flits are stored as ``(gen_cycle, frame_id, frame_last)`` tuples in
-    per-VC deques; a parallel numpy occupancy vector drives the link
-    controller's eligibility test without scanning the deques.
+    per-VC deques; a bitmask of non-empty queues drives the link
+    controller's eligibility test without scanning the deques.  All
+    hot-path state is plain Python — at one push/pop per cycle, numpy
+    scalar indexing costs more than it saves.
     """
 
     def __init__(self, config: RouterConfig, port: int) -> None:
@@ -34,7 +36,6 @@ class NIC:
         self.port = port
         v = config.vcs_per_link
         self._queues: list[deque[tuple[int, int, bool]]] = [deque() for _ in range(v)]
-        self._qlen = np.zeros(v, dtype=np.int64)
         # Bitmask of non-empty queues (hot-path eligibility test).
         self._mask = 0
         self._rr_ptr = 0
@@ -52,7 +53,6 @@ class NIC:
     ) -> None:
         """Deposit one flit into the NIC buffer of a connection's VC."""
         self._queues[vc].append((gen_cycle, frame_id, frame_last))
-        self._qlen[vc] += 1
         self._mask |= 1 << vc
         self.accepted += 1
 
@@ -81,12 +81,11 @@ class NIC:
 
     def pop(self, vc: int) -> tuple[int, int, bool]:
         """Dequeue the head flit of ``vc`` and advance the RR pointer."""
-        remaining = self._qlen[vc] - 1
-        if remaining < 0:
+        q = self._queues[vc]
+        if not q:
             raise IndexError(f"pop from empty NIC queue, port {self.port} vc {vc}")
-        flit = self._queues[vc].popleft()
-        self._qlen[vc] = remaining
-        if remaining == 0:
+        flit = q.popleft()
+        if not q:
             self._mask &= ~(1 << vc)
         self._rr_ptr = (vc + 1) % self.config.vcs_per_link
         self.forwarded += 1
@@ -111,7 +110,6 @@ class NIC:
         q = self._queues[vc]
         flits = list(q)
         q.clear()
-        self._qlen[vc] = 0
         self._mask &= ~(1 << vc)
         return flits
 
@@ -124,7 +122,6 @@ class NIC:
         if not flits:
             return
         self._queues[vc].extend(flits)
-        self._qlen[vc] += len(flits)
         self._mask |= 1 << vc
 
     # ------------------------------------------------------------------
@@ -133,14 +130,14 @@ class NIC:
 
     @property
     def queue_lengths(self) -> np.ndarray:
-        """(vcs,) flit counts waiting in the NIC (read-only view)."""
-        view = self._qlen.view()
-        view.flags.writeable = False
-        return view
+        """(vcs,) flit counts waiting in the NIC (built on demand)."""
+        arr = np.array([len(q) for q in self._queues], dtype=np.int64)
+        arr.flags.writeable = False
+        return arr
 
     def backlog(self) -> int:
         """Total flits waiting in this NIC."""
-        return int(self._qlen.sum())
+        return sum(len(q) for q in self._queues)
 
     def oldest_gen_cycle(self, vc: int) -> int | None:
         """Generation cycle of the head flit of a VC, if any."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.candidates import CandidateBuffer
 from ..core.link_scheduler import RESERVED_SCALE, LinkScheduler
 from ..core.matching import Arbiter, Candidate
 from ..core.priorities import PriorityScheme
@@ -49,6 +50,7 @@ class MMRouter:
         config: RouterConfig,
         arbiter: Arbiter | str = "coa",
         scheme: PriorityScheme | str = "siabp",
+        fast_path: bool = True,
     ) -> None:
         self.config = config
         self.table = ConnectionTable(config)
@@ -72,8 +74,19 @@ class MMRouter:
         # Priority tier: RESERVED_SCALE for CBR/VBR VCs, 1.0 for
         # best-effort — reserved traffic strictly outranks best-effort
         # at link scheduling (the MMR gives best-effort only leftover
-        # bandwidth).
+        # bandwidth).  ``_reserved`` is its boolean twin for the buffer
+        # path (the integer-exact ranking wants a mask, not a multiplier).
         self._tier = np.ones((n, v), dtype=np.float64)
+        self._reserved = np.zeros((n, v), dtype=bool)
+        # Bumped on every connection setup/teardown; lets the link
+        # scheduler cache mirrors of the arrays above across cycles.
+        self._conn_version = 0
+        #: True routes scheduling through the preallocated candidate
+        #: buffer (zero-allocation hot path); False keeps the object-based
+        #: reference pipeline.  Both produce identical grants draw for
+        #: draw — the differential tests pin it.
+        self.fast_path = fast_path
+        self._cand_buf = CandidateBuffer(n, config.candidate_levels)
 
     # ------------------------------------------------------------------
     # Connection management
@@ -100,6 +113,8 @@ class MMRouter:
             self._tier[conn.in_port, conn.vc] = (
                 RESERVED_SCALE if conn.is_reserved else 1.0
             )
+            self._reserved[conn.in_port, conn.vc] = conn.is_reserved
+            self._conn_version += 1
         return result
 
     def teardown(self, conn_id: int) -> Connection:
@@ -142,6 +157,8 @@ class MMRouter:
         self._dest[conn.in_port, conn.vc] = -1
         self._conn_of_vc[conn.in_port, conn.vc] = -1
         self._tier[conn.in_port, conn.vc] = 1.0
+        self._reserved[conn.in_port, conn.vc] = False
+        self._conn_version += 1
 
     def connection_at(self, in_port: int, vc: int) -> int:
         """conn_id occupying (port, vc), or -1."""
@@ -155,8 +172,12 @@ class MMRouter:
         """Advance the router by one flit cycle; return the departures."""
         self.credits.deliver(now)
 
-        candidates = self._link_schedule(now)
-        grants = self.arbiter.match(candidates, rng)
+        if self.fast_path:
+            buf = self._link_schedule_into(now)
+            grants = self.arbiter.match_buffer(buf, rng)
+        else:
+            candidates = self._link_schedule(now)
+            grants = self.arbiter.match(candidates, rng)
         departures = self.crossbar.transfer(grants, self.vc_memory, now)
         for dep in departures:
             self.credits.schedule_return(dep.in_port, dep.vc, now)
@@ -165,9 +186,35 @@ class MMRouter:
         return departures
 
     def _link_schedule(self, now: int) -> list[list[Candidate]]:
+        """Object-path link scheduling (reference; fault harness uses it)."""
         heads = self.vc_memory.heads_all()
         return self.link_scheduler.select_batch(
             heads, self._slots, self._dest, now, self._tier
+        )
+
+    def _link_schedule_into(self, now: int) -> CandidateBuffer:
+        """Buffer-path link scheduling into the preallocated buffer."""
+        if self.scheme.integer_valued:
+            occ_mask, heads_q = self.vc_memory.occupancy_state()
+            return self.link_scheduler.select_into_sparse(
+                self._cand_buf,
+                occ_mask,
+                heads_q,
+                self._slots,
+                self._dest,
+                now,
+                self._reserved,
+                state_version=self._conn_version,
+            )
+        heads = self.vc_memory.sched_view()
+        return self.link_scheduler.select_into(
+            self._cand_buf,
+            heads,
+            self._slots,
+            self._dest,
+            now,
+            self._reserved,
+            state_version=self._conn_version,
         )
 
     def _accept_from_nics(self, now: int) -> None:

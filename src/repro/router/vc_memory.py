@@ -21,6 +21,8 @@ Two layers live here:
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from .config import RouterConfig
@@ -83,7 +85,9 @@ class HeadView:
     Exposed by :meth:`VCMemory.heads`; consumed by the link scheduler,
     which needs, per VC: occupancy, head generation cycle and head arrival
     cycle (for priority biasing).  Arrays are length ``vcs_per_link`` and
-    only valid where ``occupancy > 0``.
+    only valid where ``occupancy > 0``.  ``gen_cycle`` is ``None`` on the
+    lean scheduling view (:meth:`VCMemory.sched_view`), which skips the
+    gather the link scheduler never reads.
     """
 
     __slots__ = ("occupancy", "gen_cycle", "arrival_cycle")
@@ -91,7 +95,7 @@ class HeadView:
     def __init__(
         self,
         occupancy: np.ndarray,
-        gen_cycle: np.ndarray,
+        gen_cycle: np.ndarray | None,
         arrival_cycle: np.ndarray,
     ) -> None:
         self.occupancy = occupancy
@@ -118,6 +122,23 @@ class VCMemory:
         self._last = np.zeros(shape, dtype=bool)
         self._head = np.zeros((n, v), dtype=np.int64)
         self._len = np.zeros((n, v), dtype=np.int64)
+        # Preallocated index grids for the head-view gathers (hot path:
+        # heads_all runs every flit cycle; rebuilding aranges there shows
+        # up in the profile).
+        self._vc_idx = np.arange(v)
+        self._ports_grid = np.arange(n)[:, None]
+        self._vcs_grid = self._vc_idx[None, :]
+        self._num_vcs = v
+        # Python-native mirror of each VC's queued arrival cycles (one
+        # deque per flat port * vcs + vc index), maintained by push/pop.
+        # occupied_heads reads head arrivals from here: a deque [0] costs
+        # nanoseconds where the equivalent numpy scalar gather costs a
+        # microsecond, and reads outnumber push/pop several-fold.
+        self._arr_q: list[deque[int]] = [deque() for _ in range(n * v)]
+        # Bitmask of occupied VCs over the flat (port * vcs + vc) index;
+        # maintained by push/pop so occupied_heads never scans the
+        # occupancy array.
+        self._occ_mask = 0
         self.config = config
         self.ram = InterleavedRam(v, b)
 
@@ -152,6 +173,9 @@ class VCMemory:
         self._frame[port, vc, slot] = frame_id
         self._last[port, vc, slot] = frame_last
         self._len[port, vc] = length + 1
+        f = port * self._num_vcs + vc
+        self._occ_mask |= 1 << f
+        self._arr_q[f].append(now)
 
     def pop(self, port: int, vc: int) -> tuple[int, int, int, bool]:
         """Remove and return the head flit of (port, vc).
@@ -162,20 +186,23 @@ class VCMemory:
         if length == 0:
             raise IndexError(f"pop from empty VC buffer port {port} vc {vc}")
         slot = self._head[port, vc]
+        f = port * self._num_vcs + vc
         out = (
             int(self._gen[port, vc, slot]),
-            int(self._arr[port, vc, slot]),
+            self._arr_q[f].popleft(),
             int(self._frame[port, vc, slot]),
             bool(self._last[port, vc, slot]),
         )
         self._head[port, vc] = (slot + 1) % self._depth
         self._len[port, vc] = length - 1
+        if length == 1:
+            self._occ_mask &= ~(1 << f)
         return out
 
     def heads(self, port: int) -> HeadView:
         """Vectorized head-flit view for one input port (see HeadView)."""
         head = self._head[port]
-        idx = np.arange(head.shape[0])
+        idx = self._vc_idx
         return HeadView(
             occupancy=self._len[port],
             gen_cycle=self._gen[port, idx, head],
@@ -189,14 +216,61 @@ class VCMemory:
         :meth:`heads` over every port; the batched form lets the link
         scheduler evaluate the whole router in a handful of vector ops.
         """
-        n, v = self._len.shape
-        ports = np.arange(n)[:, None]
-        vcs = np.arange(v)[None, :]
+        ports, vcs = self._ports_grid, self._vcs_grid
         return HeadView(
             occupancy=self._len,
             gen_cycle=self._gen[ports, vcs, self._head],
             arrival_cycle=self._arr[ports, vcs, self._head],
         )
+
+    def sched_view(self) -> HeadView:
+        """Like :meth:`heads_all` but without the generation-cycle gather.
+
+        The link scheduler reads only occupancy and head arrival cycles;
+        skipping the unused ``gen_cycle`` gather saves an allocation per
+        flit cycle on the hot path.  ``gen_cycle`` is ``None`` here.
+        """
+        return HeadView(
+            occupancy=self._len,
+            gen_cycle=None,
+            arrival_cycle=self._arr[self._ports_grid, self._vcs_grid, self._head],
+        )
+
+    def occupied_heads(self) -> tuple[list[int], list[int]]:
+        """Sparse head view: occupied VCs and their head arrival cycles.
+
+        Returns ``(flat, arrivals)`` as plain Python lists, where
+        ``flat[j] = port * vcs_per_link + vc`` indexes the j-th occupied
+        VC and ``arrivals[j]`` is its head flit's arrival cycle.  The
+        sparse form is the integer hot path's input: at realistic
+        occupancies gathering a handful of heads beats materializing the
+        full (ports, vcs) view of :meth:`sched_view`.
+        """
+        m = self._occ_mask
+        if not m:
+            return [], []
+        flat: list[int] = []
+        arrivals: list[int] = []
+        arr_q = self._arr_q
+        while m:
+            low = m & -m
+            f = low.bit_length() - 1
+            flat.append(f)
+            arrivals.append(arr_q[f][0])
+            m ^= low
+        return flat, arrivals
+
+    def occupancy_state(self) -> tuple[int, list[deque[int]]]:
+        """Zero-copy occupancy snapshot for the sparse scheduling fill.
+
+        Returns ``(mask, heads_q)``: bit ``f = port * vcs_per_link + vc``
+        of ``mask`` is set iff that VC is occupied, and ``heads_q[f][0]``
+        is its head flit's arrival cycle.  ``heads_q`` aliases live
+        internal state — callers must consume it before the next
+        push/pop, not store it.  This is :meth:`occupied_heads` without
+        the intermediate lists; the link scheduler walks the mask itself.
+        """
+        return self._occ_mask, self._arr_q
 
     # ------------------------------------------------------------------
     # Inspection

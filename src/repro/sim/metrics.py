@@ -34,7 +34,18 @@ __all__ = ["StreamingStat", "GroupStats", "FaultCounters", "MetricsCollector"]
 class StreamingStat:
     """Count / mean / max / min plus a reservoir for percentiles."""
 
-    __slots__ = ("n", "total", "max", "min", "_reservoir", "_cap", "_seen", "_rng")
+    __slots__ = (
+        "n",
+        "total",
+        "max",
+        "min",
+        "_reservoir",
+        "_cap",
+        "_seen",
+        "_rng",
+        "_uniform",
+        "_uniform_i",
+    )
 
     def __init__(self, reservoir: int = 2048, seed: int = 0xC0A) -> None:
         self.n = 0
@@ -45,6 +56,11 @@ class StreamingStat:
         self._reservoir: list[float] = []
         self._seen = 0
         self._rng = np.random.default_rng(seed)
+        # Prefetched uniforms for the reservoir (one generator call per
+        # batch instead of one per sample — the per-call overhead of
+        # Generator.integers dominates on the recording hot path).
+        self._uniform: list[float] = []
+        self._uniform_i = 0
 
     def add(self, value: float) -> None:
         self.n += 1
@@ -53,12 +69,19 @@ class StreamingStat:
             self.max = value
         if value < self.min:
             self.min = value
-        # Vitter's algorithm R keeps a uniform sample of the stream.
+        # Vitter's algorithm R keeps a uniform sample of the stream; the
+        # slot draw uses a scaled prefetched uniform, which is the same
+        # distribution up to float rounding.
         self._seen += 1
         if len(self._reservoir) < self._cap:
             self._reservoir.append(value)
         else:
-            j = int(self._rng.integers(self._seen))
+            i = self._uniform_i
+            if i == len(self._uniform):
+                self._uniform = self._rng.random(512).tolist()
+                i = 0
+            self._uniform_i = i + 1
+            j = int(self._uniform[i] * self._seen)
             if j < self._cap:
                 self._reservoir[j] = value
 

@@ -124,9 +124,10 @@ class SingleRouterSim:
         arbiter: Arbiter | str = "coa",
         scheme: PriorityScheme | str = "siabp",
         seed: int = 0,
+        fast_path: bool = True,
     ) -> None:
         self.config = config
-        self.router = MMRouter(config, arbiter, scheme)
+        self.router = MMRouter(config, arbiter, scheme, fast_path=fast_path)
         self.rng = RngStreams(seed)
         self.seed = seed
 

@@ -1,0 +1,69 @@
+"""Smoke tests for the perf harness (repro.perf.harness)."""
+
+import json
+
+import pytest
+
+from repro.perf.harness import (
+    STAGES,
+    check_regression,
+    profile_fast_path,
+    run_perf,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    # Small enough to run in CI; big enough to exercise every stage.
+    return run_perf(ports=4, vcs=8, levels=4, cycles=300, repeats=1, seed=3)
+
+
+class TestRunPerf:
+    def test_report_shape(self, tiny_report):
+        r = tiny_report
+        assert r.cycles == 300 and r.repeats == 1
+        assert r.fast.cycles_per_sec > 0
+        assert r.reference.cycles_per_sec > 0
+        assert r.speedup == pytest.approx(
+            r.fast.cycles_per_sec / r.reference.cycles_per_sec
+        )
+        assert r.fast.wall_s == min(r.fast.wall_s_all)
+        assert len(r.fast.wall_s_all) == 1
+
+    def test_paths_depart_identically(self, tiny_report):
+        assert tiny_report.grants_identical
+        assert tiny_report.fast.departures == tiny_report.reference.departures
+
+    def test_stage_breakdown_covers_all_stages(self, tiny_report):
+        for path in (tiny_report.fast, tiny_report.reference):
+            assert set(path.stages_ns) == set(STAGES)
+            assert all(ns >= 0 for ns in path.stages_ns.values())
+            assert sum(path.stages_ns.values()) > 0
+
+
+class TestReportIO:
+    def test_write_and_regression_roundtrip(self, tiny_report, tmp_path):
+        path = write_report(tiny_report, tmp_path / "BENCH_perf.json")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["speedup"] == pytest.approx(tiny_report.speedup)
+        ok, msg = check_regression(tiny_report, path, max_regression=0.3)
+        assert ok, msg
+
+    def test_regression_detected_against_inflated_baseline(
+        self, tiny_report, tmp_path
+    ):
+        path = write_report(tiny_report, tmp_path / "base.json")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["fast"]["cycles_per_sec"] *= 100.0
+        path.write_text(json.dumps(data), encoding="utf-8")
+        ok, msg = check_regression(tiny_report, path, max_regression=0.3)
+        assert not ok
+        assert "regression" in msg
+
+
+class TestProfile:
+    def test_profile_fast_path_returns_stats_text(self):
+        text = profile_fast_path(ports=4, vcs=8, cycles=100)
+        assert "cumulative" in text
+        assert "function calls" in text

@@ -31,6 +31,29 @@ class TestBitLength:
             bit_length(arr), [v.bit_length() for v in values]
         )
 
+    def test_exact_at_boundary_powers_above_2_53(self):
+        """Exact at every power of two +/- 1 up to the int64 limit.
+
+        float64 rounds values like 2**54 - 1 up to 2**54, so a naive
+        float-based bit_length overshoots by one exactly at these
+        boundary points; int.bit_length is the ground truth.
+        """
+        values = []
+        for k in range(1, 63):
+            values.extend([2**k - 1, 2**k, 2**k + 1])
+        values.append(2**63 - 1)
+        arr = np.array(values, dtype=np.int64)
+        np.testing.assert_array_equal(
+            bit_length(arr), [v.bit_length() for v in values]
+        )
+
+    @given(st.integers(min_value=53, max_value=62),
+           st.integers(min_value=-1, max_value=1))
+    def test_property_boundary_powers(self, k, offset):
+        v = 2**k + offset
+        assert int(bit_length(np.array([v], dtype=np.int64))[0]) == \
+            v.bit_length()
+
 
 class TestSIABP:
     def test_seed_is_reserved_slots(self):
@@ -142,3 +165,41 @@ class TestOrderingAgreement:
         siabp, iabp = SIABP(), IABP(round_cycles=6400)
         assert siabp.scalar(slots_b, delay_b) >= siabp.scalar(slots_a, delay_a)
         assert iabp.scalar(slots_b, delay_b) >= iabp.scalar(slots_a, delay_a)
+
+
+class TestKeyScalarAgreement:
+    """key_scalar (the sparse hot path's pure-Python twin) vs compute."""
+
+    SCHEMES = [SIABP(), StaticPriority(), FIFOPriority()]
+
+    @pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+    @given(st.integers(min_value=0, max_value=2**21),
+           st.integers(min_value=0, max_value=2**62 - 1))
+    def test_property_agrees_with_compute(self, scheme, slots, delay):
+        expected = scheme.compute(
+            np.array([slots], dtype=np.int64),
+            np.array([delay], dtype=np.int64),
+        )[0]
+        assert scheme.key_scalar(slots, delay) == int(expected)
+
+    def test_agrees_at_collapse_scale(self):
+        """Exact agreement where float64 arithmetic would round."""
+        scheme = SIABP()
+        for slots, delay in [(2**14, 2**30), (2**14 + 1, 2**30),
+                             (2**21, 2**40 - 1), (2**21, 2**40)]:
+            vec = scheme.compute(np.array([slots], dtype=np.int64),
+                                 np.array([delay], dtype=np.int64))[0]
+            assert scheme.key_scalar(slots, delay) == int(vec)
+
+    def test_overflow_raises_in_both_forms(self):
+        scheme = SIABP()
+        slots, delay = 1 << 23, 1 << 40  # bit_length(slots) + 40 > 62
+        with pytest.raises(OverflowError):
+            scheme.key_scalar(slots, delay)
+        with pytest.raises(OverflowError):
+            scheme.compute(np.array([slots], dtype=np.int64),
+                           np.array([delay], dtype=np.int64))
+
+    def test_float_scheme_has_no_key_scalar(self):
+        with pytest.raises(NotImplementedError):
+            IABP(100).key_scalar(1, 1)

@@ -164,3 +164,61 @@ class TestInterleavedRam:
         assert ram.conflicts([(0, 0), (0, 0)]) == 1
         # vc 0 slot 0 and vc 4 slot 0 share module (4+0) % 4 == 0.
         assert ram.conflicts([(0, 0), (4, 0)]) == 1
+
+
+class TestSparseOccupancyView:
+    """occupied_heads / occupancy_state vs the dense head view."""
+
+    def _dense_truth(self, mem, ports, vcs):
+        heads = mem.heads_all()
+        flat, arrivals = [], []
+        for p in range(ports):
+            for vc in range(vcs):
+                if heads.occupancy[p, vc]:
+                    flat.append(p * vcs + vc)
+                    arrivals.append(int(heads.arrival_cycle[p, vc]))
+        return flat, arrivals
+
+    def test_empty_memory(self):
+        mem = make_mem()
+        assert mem.occupied_heads() == ([], [])
+        mask, _q = mem.occupancy_state()
+        assert mask == 0
+
+    def test_matches_dense_view_under_random_traffic(self):
+        ports, vcs, depth = 3, 5, 4
+        mem = make_mem(ports=ports, vcs=vcs, depth=depth)
+        rng = np.random.default_rng(17)
+        now = 0
+        for _ in range(400):
+            now += 1
+            p, vc = int(rng.integers(ports)), int(rng.integers(vcs))
+            if rng.random() < 0.55 and mem.free_space(p, vc):
+                mem.push(p, vc, now - 1, -1, False, now)
+            elif mem.occupancy_of(p, vc):
+                mem.pop(p, vc)
+            assert mem.occupied_heads() == self._dense_truth(mem, ports, vcs)
+
+    def test_occupancy_state_mirrors_occupied_heads(self):
+        ports, vcs = 2, 4
+        mem = make_mem(ports=ports, vcs=vcs)
+        mem.push(0, 1, 0, -1, False, 5)
+        mem.push(0, 1, 0, -1, False, 6)  # second flit: head arrival stays 5
+        mem.push(1, 3, 0, -1, False, 9)
+        mask, heads_q = mem.occupancy_state()
+        flat, arrivals = mem.occupied_heads()
+        assert flat == [0 * vcs + 1, 1 * vcs + 3]
+        assert arrivals == [5, 9]
+        assert mask == sum(1 << f for f in flat)
+        assert [heads_q[f][0] for f in flat] == arrivals
+        # Popping the head exposes the second flit's arrival.
+        mem.pop(0, 1)
+        _flat, arrivals = mem.occupied_heads()
+        assert arrivals == [6, 9]
+
+    def test_pop_returns_mirrored_arrival(self):
+        """pop's arrival must come from the same clock the sparse view uses."""
+        mem = make_mem(depth=4)
+        for now in (3, 8, 13):
+            mem.push(0, 0, now - 3, -1, False, now)
+        assert [mem.pop(0, 0)[1] for _ in range(3)] == [3, 8, 13]
