@@ -58,6 +58,7 @@ def execute_point(
     target_load: float,
     seed: int,
     scheme: str = "siabp",
+    telemetry=None,
 ) -> SimResult:
     """Run one simulation point.  THE definition of point semantics.
 
@@ -65,16 +66,47 @@ def execute_point(
     including a :class:`~repro.campaign.plan.WorkloadSpec`, which is how
     worker processes and the legacy sweep/replication APIs share this
     single code path.
+
+    ``telemetry`` optionally takes a
+    :class:`~repro.obs.export.TelemetryConfig`; the point then runs
+    instrumented and the return value becomes the tuple
+    ``(result, session)`` so callers can export or persist the
+    session's payload.
     """
     sim = SingleRouterSim(config, arbiter=arbiter, scheme=scheme, seed=seed)
     workload = builder(sim.router, sim.rng.workload, target_load)
-    return sim.run(workload, control)
+    if telemetry is None:
+        return sim.run(workload, control)
+    from ..obs.export import TelemetrySession
+
+    session = TelemetrySession(telemetry)
+    result = sim.run(workload, control, telemetry=session)
+    return result, session  # type: ignore[return-value]
 
 
 def _worker(payload: dict[str, Any]) -> dict[str, Any]:
     """Pool entry point: rebuild the spec, run it, return plain data."""
     t0 = time.monotonic()
     spec = PointSpec.from_dict(payload)
+    telemetry_cfg = payload.get("telemetry")
+    if telemetry_cfg is not None:
+        from ..obs.export import TelemetryConfig
+
+        result, session = execute_point(
+            spec.workload,
+            spec.config,
+            spec.arbiter,
+            spec.control,
+            spec.target_load,
+            spec.seed,
+            spec.scheme,
+            telemetry=TelemetryConfig.from_dict(telemetry_cfg),
+        )
+        return {
+            "wall_s": time.monotonic() - t0,
+            "result": result.to_dict(),
+            "telemetry": session.to_payload(),
+        }
     result = execute_point(
         spec.workload,
         spec.config,
@@ -102,6 +134,9 @@ class PointOutcome:
     cached: bool
     attempts: int
     wall_s: float
+    #: Telemetry payload (``repro.obs`` schema) when the campaign ran
+    #: with telemetry; ``None`` otherwise.
+    telemetry: dict[str, Any] | None = None
 
 
 @dataclass
@@ -150,6 +185,7 @@ def run_campaign(
     progress: ProgressReporter | None | bool = None,
     write_manifest: bool = True,
     worker: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
+    telemetry=None,
 ) -> CampaignResult:
     """Execute a plan, serving cached points from ``store``.
 
@@ -159,12 +195,27 @@ def run_campaign(
     :class:`ProgressReporter` instance redirects the telemetry;
     ``None``/``False`` stays quiet.  ``worker`` overrides the point
     worker (tests use it to inject failures).
+
+    ``telemetry`` optionally takes a
+    :class:`~repro.obs.export.TelemetryConfig`: every point then runs
+    instrumented, each outcome carries its telemetry payload, and — with
+    a ``store`` — payloads persist under ``telemetry/<kk>/<key>.json``
+    next to the result objects.  A cached result without a cached
+    telemetry payload counts as a miss (telemetry needs a live run).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     if max_attempts < 1:
         raise ValueError("max_attempts must be >= 1")
     worker_fn = worker if worker is not None else _worker
+    telemetry_dict = telemetry.to_dict() if telemetry is not None else None
+
+    def payload_for(i: int) -> dict[str, Any]:
+        payload = plan.points[i].to_dict()
+        if telemetry_dict is not None:
+            # Extra key; PointSpec.from_dict ignores it, _worker reads it.
+            payload["telemetry"] = telemetry_dict
+        return payload
 
     t_start = time.monotonic()
     keys = [spec.key() for spec in plan.points]
@@ -181,6 +232,11 @@ def run_campaign(
     todo: list[int] = []
     for i, (spec, key) in enumerate(zip(plan.points, keys)):
         cached = store.get(key) if store is not None else None
+        cached_telemetry = None
+        if cached is not None and telemetry is not None:
+            cached_telemetry = store.get_telemetry(key)
+            if cached_telemetry is None:
+                cached = None  # result alone cannot serve a telemetry run
         if cached is not None:
             outcomes[i] = PointOutcome(
                 spec=spec,
@@ -189,6 +245,7 @@ def run_campaign(
                 cached=True,
                 attempts=0,
                 wall_s=0.0,
+                telemetry=cached_telemetry,
             )
             if reporter:
                 reporter.point_done(cached=True, attempts=0)
@@ -198,10 +255,17 @@ def run_campaign(
     # Phase 2: compute the misses.
     attempts = {i: 0 for i in todo}
 
-    def finalize(i: int, wall_s: float, result_dict: dict[str, Any]) -> None:
+    def finalize(
+        i: int,
+        wall_s: float,
+        result_dict: dict[str, Any],
+        telemetry_payload: dict[str, Any] | None = None,
+    ) -> None:
         spec, key = plan.points[i], keys[i]
         if store is not None:
             store.put(spec, key, result_dict)
+            if telemetry_payload is not None:
+                store.put_telemetry(key, telemetry_payload)
         outcomes[i] = PointOutcome(
             spec=spec,
             key=key,
@@ -209,6 +273,7 @@ def run_campaign(
             cached=False,
             attempts=attempts[i],
             wall_s=wall_s,
+            telemetry=telemetry_payload,
         )
         if reporter:
             reporter.point_done(cached=False, attempts=attempts[i])
@@ -234,16 +299,22 @@ def run_campaign(
                 attempts[i] += 1
                 t0 = time.monotonic()
                 try:
-                    out = worker_fn(plan.points[i].to_dict())
+                    out = worker_fn(payload_for(i))
                 except CampaignError:
                     raise
                 except Exception as exc:
                     retry_or_fail(i, exc)
                 else:
-                    finalize(i, out.get("wall_s", time.monotonic() - t0), out["result"])
+                    finalize(
+                        i,
+                        out.get("wall_s", time.monotonic() - t0),
+                        out["result"],
+                        out.get("telemetry"),
+                    )
     else:
         _run_pool(
-            plan, todo, attempts, finalize, retry_or_fail, jobs, worker_fn
+            plan, todo, attempts, finalize, retry_or_fail, jobs, worker_fn,
+            payload_for,
         )
 
     wall_s = time.monotonic() - t_start
@@ -271,10 +342,11 @@ def _run_pool(
     plan: CampaignPlan,
     todo: list[int],
     attempts: dict[int, int],
-    finalize: Callable[[int, float, dict[str, Any]], None],
+    finalize: Callable[..., None],
     retry_or_fail: Callable[[int, BaseException], None],
     jobs: int,
     worker_fn: Callable[[dict[str, Any]], dict[str, Any]],
+    payload_for: Callable[[int], dict[str, Any]],
 ) -> None:
     """Fan points out on a process pool, surviving worker crashes.
 
@@ -291,7 +363,7 @@ def _run_pool(
             futures = {}
             for i in outstanding:
                 attempts[i] += 1
-                futures[pool.submit(worker_fn, plan.points[i].to_dict())] = i
+                futures[pool.submit(worker_fn, payload_for(i))] = i
             pending = set(futures)
             broken = False
             while pending and not broken:
@@ -314,9 +386,7 @@ def _run_pool(
                         retry_or_fail(i, exc)
                         attempts[i] += 1
                         try:
-                            f = pool.submit(
-                                worker_fn, plan.points[i].to_dict()
-                            )
+                            f = pool.submit(worker_fn, payload_for(i))
                         except BrokenProcessPool:
                             attempts[i] -= 1  # submission never happened
                             retry_next_pool.append(i)
@@ -325,7 +395,12 @@ def _run_pool(
                             futures[f] = i
                             pending.add(f)
                     else:
-                        finalize(i, out.get("wall_s", 0.0), out["result"])
+                        finalize(
+                            i,
+                            out.get("wall_s", 0.0),
+                            out["result"],
+                            out.get("telemetry"),
+                        )
             if broken:
                 # In-flight futures on a broken pool are poisoned too:
                 # charge the attempt and retry them on a fresh pool.

@@ -50,12 +50,22 @@ __all__ = [
 #: whenever a change alters what any spec computes (new RNG consumption
 #: order, metric definition change, ...): old artifacts then miss
 #: instead of serving stale results.
-CODE_VERSION = 1
+#:
+#: History: 2 — p99 percentiles moved from the seed-dependent reservoir
+#: to the deterministic log-bucket histogram, and non-finite aggregate
+#: values now serialize as ``null`` (PR 4).
+CODE_VERSION = 2
 
 
 def canonical_json(obj: Any) -> str:
-    """Deterministic JSON: sorted keys, no whitespace, NaN allowed."""
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=True)
+    """Deterministic *strict* JSON: sorted keys, no whitespace.
+
+    ``allow_nan=False`` so an artifact can never contain ``NaN`` or
+    ``Infinity`` (not JSON; breaks strict parsers downstream) — callers
+    must normalize non-finite values to ``None`` first, which
+    :meth:`repro.sim.simulation.SimResult.to_dict` does.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
 
 
 # ----------------------------------------------------------------------

@@ -4,6 +4,7 @@ Layout under the store root::
 
     <root>/
         objects/<kk>/<key>.json     # kk = first two hex chars of key
+        telemetry/<kk>/<key>.json   # optional telemetry payload per point
         manifests/<name>-<stamp>.json
 
 Artifacts are *deterministic*: they contain only the point key, the
@@ -45,6 +46,7 @@ class ResultStore:
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.manifests_dir = self.root / "manifests"
+        self.telemetry_dir = self.root / "telemetry"
         #: Artifacts dropped because they failed to parse or validate.
         self.corrupt_dropped = 0
 
@@ -98,6 +100,52 @@ class ResultStore:
                 "result": result,
             }
         )
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(body, encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Telemetry side-artifacts (repro.obs payloads, same key space)
+    # ------------------------------------------------------------------
+
+    def telemetry_path_for(self, key: str) -> Path:
+        return self.telemetry_dir / key[:2] / f"{key}.json"
+
+    def get_telemetry(self, key: str) -> dict[str, Any] | None:
+        """The stored telemetry payload for ``key``, or None on miss.
+
+        Same corruption policy as :meth:`get`: any failure is a miss, the
+        caller recomputes the point (telemetry requires a live run).
+        """
+        path = self.telemetry_path_for(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupt_dropped += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("key") != key
+            or not isinstance(payload.get("telemetry"), dict)
+        ):
+            self.corrupt_dropped += 1
+            return None
+        return payload["telemetry"]
+
+    def put_telemetry(self, key: str, telemetry: dict[str, Any]) -> Path:
+        """Persist one point's telemetry payload atomically.
+
+        The body is canonical JSON of deterministic content (the payload
+        carries no timestamps), preserving the serial-vs-parallel
+        byte-identity guarantee for telemetry artifacts too.
+        """
+        path = self.telemetry_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = canonical_json({"key": key, "telemetry": telemetry})
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(body, encoding="utf-8")
         os.replace(tmp, path)

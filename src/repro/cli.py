@@ -33,6 +33,13 @@ docs/architecture.md "Campaign orchestration")::
 
     python -m repro campaign --traffic cbr --arbiters coa,wfa \
         --loads 0.5,0.7,0.8 --n-seeds 3 --jobs 4 --store .repro-campaign
+
+Observability (see docs/architecture.md "Observability")::
+
+    python -m repro run --traffic cbr --load 0.8 --telemetry out/telemetry
+    python -m repro obs --out out/obs-demo
+    python -m repro obs --validate out/obs-demo/timeseries.jsonl
+    python -m repro obs --bench --json BENCH_obs.json
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -116,12 +124,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", default="ci", choices=("tiny", "ci", "paper"),
                        help="run-length profile")
 
+    def add_telemetry_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="enable telemetry and write its artifacts "
+                            "under DIR (see docs/architecture.md)")
+        p.add_argument("--telemetry-stride", type=int, default=64,
+                       help="cycles between time-series samples "
+                            "(default 64)")
+
     p_list = sub.add_parser("list", help="list algorithms and sequences")
     p_list.set_defaults(func=cmd_list)
 
     p_run = sub.add_parser("run", help="one simulation run")
     add_router_args(p_run)
     add_traffic_args(p_run)
+    add_telemetry_args(p_run)
     p_run.add_argument("--arbiter", default="coa", choices=ARBITER_NAMES)
     p_run.add_argument("--load", type=float, default=0.7,
                        help="target offered load per input link (0-1)")
@@ -140,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_router_args(p_sweep)
     add_traffic_args(p_sweep)
     add_campaign_args(p_sweep)
+    add_telemetry_args(p_sweep)
     p_sweep.add_argument("--arbiters", type=_parse_names, default=["coa", "wfa"],
                          help="comma-separated arbiter names")
     p_sweep.add_argument("--loads", type=_parse_floats,
@@ -160,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_router_args(p_campaign)
     add_traffic_args(p_campaign)
     add_campaign_args(p_campaign)
+    add_telemetry_args(p_campaign)
     p_campaign.add_argument("--name", default="campaign",
                             help="campaign name (manifest file prefix)")
     p_campaign.add_argument("--arbiters", type=_parse_names,
@@ -242,6 +261,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also print a cProfile of the fast path")
     p_perf.set_defaults(func=cmd_perf)
 
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability: telemetry demo run, artifact validation, "
+             "overhead bench",
+    )
+    add_router_args(p_obs)
+    p_obs.add_argument("--arbiter", default="coa", choices=ARBITER_NAMES)
+    p_obs.add_argument("--load", type=float, default=0.7,
+                       help="target CBR offered load per input link (0-1)")
+    p_obs.add_argument("--cycles", type=int, default=0,
+                       help="flit cycles (0 = 4000 for the demo run, "
+                            "20000 for --bench)")
+    p_obs.add_argument("--stride", type=int, default=64,
+                       help="cycles between time-series samples (default 64)")
+    p_obs.add_argument("--out", default=None, metavar="DIR",
+                       help="export the demo run's telemetry artifacts")
+    p_obs.add_argument("--validate", default=None, metavar="PATH",
+                       help="validate a timeseries.jsonl file and exit")
+    p_obs.add_argument("--bench", action="store_true",
+                       help="measure telemetry overhead (BENCH_obs.json)")
+    p_obs.add_argument("--repeats", type=int, default=0,
+                       help="interleaved bench repetitions per variant, "
+                            "best-of-N reported (0 = default 5)")
+    p_obs.add_argument("--json", default=None, metavar="PATH",
+                       help="write the bench report (BENCH_obs.json format)")
+    p_obs.add_argument("--max-overhead", type=float, default=0.05,
+                       help="tolerated telemetry-enabled overhead "
+                            "(fraction, default 0.05)")
+    p_obs.add_argument("--max-disabled-overhead", type=float, default=0.01,
+                       help="tolerated telemetry-disabled overhead "
+                            "(fraction, default 0.01)")
+    p_obs.set_defaults(func=cmd_obs)
+
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(
         "artifact",
@@ -275,7 +327,8 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_and_run(args: argparse.Namespace, arbiter: str, load: float):
+def _build_and_run(args: argparse.Namespace, arbiter: str, load: float,
+                   telemetry=None):
     config = _config_from_args(args)
     scale = get_scale(args.scale)
     sim = SingleRouterSim(config, arbiter=arbiter, scheme=args.scheme,
@@ -298,11 +351,83 @@ def _build_and_run(args: argparse.Namespace, arbiter: str, load: float):
         warmup = args.warmup if args.warmup >= 0 else min(
             scale.vbr_warmup, cycles // 5
         )
-    return sim.run(workload, RunControl(cycles=cycles, warmup_cycles=warmup))
+    return sim.run(workload, RunControl(cycles=cycles, warmup_cycles=warmup),
+                   telemetry=telemetry)
+
+
+def _telemetry_config_from_args(args: argparse.Namespace):
+    """A TelemetryConfig when ``--telemetry DIR`` was given, else None."""
+    if not getattr(args, "telemetry", None):
+        return None
+    from .obs import TelemetryConfig
+
+    return TelemetryConfig(stride=args.telemetry_stride)
+
+
+def _telemetry_summary(payloads: list[dict]) -> dict:
+    """Merge per-point telemetry payloads into one cross-point summary.
+
+    Histograms are exact and mergeable, so the overall flit-delay
+    distribution across all points is reconstructed losslessly from the
+    per-point artifacts.
+    """
+    from .obs import TELEMETRY_SCHEMA, LogHistogram
+
+    merged = None
+    violations = jitter_violations = bursts = 0
+    for payload in payloads:
+        qos = payload.get("qos", {})
+        bursts += qos.get("bursts", 0)
+        for agg in qos.get("classes", {}).values():
+            violations += agg.get("violations", 0)
+            jitter_violations += agg.get("jitter_violations", 0)
+        hist_dict = payload.get("histograms", {}).get(
+            "flit_delay", {}
+        ).get("overall")
+        if hist_dict:
+            hist = LogHistogram.from_dict(hist_dict)
+            if merged is None:
+                merged = hist
+            else:
+                merged.merge(hist)
+    summary: dict = {
+        "schema": TELEMETRY_SCHEMA,
+        "points": len(payloads),
+        "deadline_violations": violations,
+        "jitter_violations": jitter_violations,
+        "bursts": bursts,
+    }
+    if merged is not None and len(merged):
+        summary["flit_delay_overall"] = {
+            "n": len(merged),
+            "p50_cycles": merged.percentile(50),
+            "p99_cycles": merged.percentile(99),
+            "max_cycles": merged.max,
+            "histogram": merged.to_dict(),
+        }
+    return summary
+
+
+def _write_telemetry_summary(args: argparse.Namespace,
+                             payloads: list[dict], name: str) -> None:
+    outdir = Path(args.telemetry)
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / name
+    path.write_text(
+        json.dumps(_telemetry_summary(payloads), indent=2, sort_keys=True,
+                   allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    print(f"telemetry summary written to {path}")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result = _build_and_run(args, args.arbiter, args.load)
+    session = None
+    if args.telemetry:
+        from .obs import TelemetrySession
+
+        session = TelemetrySession(_telemetry_config_from_args(args))
+    result = _build_and_run(args, args.arbiter, args.load, telemetry=session)
     rows = [
         ["arbiter / scheme", f"{result.arbiter} / {result.scheme}"],
         ["connections", result.connections],
@@ -319,6 +444,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(render_table(["metric", "value"], rows,
                        title=f"{args.traffic.upper()} run, "
                              f"{result.cycles} cycles"))
+    if session is not None:
+        paths = session.export(args.telemetry)
+        qos = session.qos
+        print(f"\ntelemetry: {qos.total_violations()} deadline violations, "
+              f"{qos.bursts} bursts; artifacts:")
+        for name in sorted(paths):
+            print(f"  {paths[name]}")
     return 0
 
 
@@ -382,21 +514,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     spec, control = _workload_spec_from_args(args)
     store = _open_store(args)
+    telemetry_cfg = _telemetry_config_from_args(args)
     series = {}
+    payloads: list[dict] = []
     for arbiter in args.arbiters:
         sweep = run_load_sweep(
             args.loads, spec, config, arbiter, control,
             scheme=args.scheme, seed=args.seed,
             jobs=_resolve_jobs(args.jobs), store=store,
+            telemetry=telemetry_cfg,
         )
         series[arbiter] = [
             (p.offered_load * 100, pick(p.result)) for p in sweep.points
         ]
+        payloads.extend(p.telemetry for p in sweep.points if p.telemetry)
     unit = _METRIC_UNITS[args.metric]
     print(render_series(
         "load %", series,
         title=f"{args.traffic.upper()} sweep — {args.metric} ({unit})",
     ))
+    if args.telemetry:
+        _write_telemetry_summary(args, payloads, "sweep-telemetry.json")
     return 0
 
 
@@ -422,6 +560,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         store=_open_store(args),
         max_attempts=args.retries,
         progress=not args.quiet,
+        telemetry=_telemetry_config_from_args(args),
     )
 
     # Per-arbiter series: metric averaged over seeds at each load.
@@ -463,6 +602,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.summary_json:
         with open(args.summary_json, "w", encoding="utf-8") as fh:
             json.dump(summary, fh, indent=2)
+    if args.telemetry:
+        payloads = [o.telemetry for o in campaign.outcomes if o.telemetry]
+        _write_telemetry_summary(args, payloads, "campaign-telemetry.json")
     return 0
 
 
@@ -558,6 +700,103 @@ def cmd_perf(args: argparse.Namespace) -> int:
         print(message)
         if not ok:
             return 1
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import (
+        TelemetryConfig,
+        TelemetrySession,
+        check_obs_overhead,
+        run_obs_bench,
+        validate_timeseries_jsonl,
+        write_obs_report,
+    )
+
+    if args.validate:
+        try:
+            text = Path(args.validate).read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot read {args.validate}: {exc}",
+                  file=sys.stderr)
+            return 1
+        errors = validate_timeseries_jsonl(text)
+        if errors:
+            for problem in errors:
+                print(f"error: {problem}", file=sys.stderr)
+            print(f"{args.validate}: INVALID ({len(errors)} problem(s))",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.validate}: OK "
+              f"({len(text.splitlines())} samples)")
+        return 0
+
+    if args.bench:
+        report = run_obs_bench(
+            ports=args.ports, vcs=args.vcs, levels=args.levels,
+            arbiter=args.arbiter, scheme=args.scheme, load=args.load,
+            seed=args.seed, cycles=args.cycles or 20_000,
+            repeats=args.repeats or 5, stride=args.stride,
+        )
+        rows = [
+            ["config", f"{report.ports}x{report.ports} ports, "
+                       f"{report.vcs} VCs, {report.levels} levels"],
+            ["measured cycles", f"{report.cycles} x {report.repeats} reps"],
+            ["plain (cycles/sec)", f"{report.plain.cycles_per_sec:,.0f}"],
+            ["disabled (cycles/sec)",
+             f"{report.disabled.cycles_per_sec:,.0f}"],
+            ["enabled (cycles/sec)", f"{report.enabled.cycles_per_sec:,.0f}"],
+            ["overhead disabled", f"{report.overhead_disabled:+.2%}"],
+            ["overhead enabled", f"{report.overhead_enabled:+.2%}"],
+            ["results identical", report.results_identical],
+            ["time-series samples", report.telemetry_samples],
+            ["qos violations", report.qos_violations],
+        ]
+        print(render_table(["metric", "value"], rows,
+                           title="telemetry overhead benchmark"))
+        if args.json:
+            path = write_obs_report(report, args.json)
+            print(f"report written to {path}")
+        ok, message = check_obs_overhead(
+            report, args.max_disabled_overhead, args.max_overhead
+        )
+        print(message)
+        return 0 if ok else 1
+
+    # Default: a short telemetry-enabled CBR run with a QoS breakdown.
+    config = _config_from_args(args)
+    sim = SingleRouterSim(config, arbiter=args.arbiter, scheme=args.scheme,
+                          seed=args.seed)
+    workload = build_cbr_workload(sim.router, args.load, sim.rng.workload)
+    cycles = args.cycles or 4_000
+    session = TelemetrySession(TelemetryConfig(stride=args.stride))
+    result = sim.run(
+        workload,
+        RunControl(cycles=cycles, warmup_cycles=min(cycles // 5, 500)),
+        telemetry=session,
+    )
+    qos = session.qos.summary()
+    rows = [
+        ["arbiter / scheme", f"{result.arbiter} / {result.scheme}"],
+        ["offered load", f"{result.offered_load:.1%}"],
+        ["throughput", f"{result.throughput:.1%}"],
+        ["time-series samples", session.timeseries.samples_taken],
+        ["qos bursts", qos["bursts"]],
+        ["flight dumps", len(session.flight.dumps)],
+    ]
+    for class_key, agg in sorted(qos["classes"].items()):
+        rows.append([
+            f"{class_key}: violations / jitter",
+            f"{agg['violations']} / {agg['jitter_violations']} "
+            f"(worst delay {agg['worst_delay_cycles']} cyc)",
+        ])
+    print(render_table(["metric", "value"], rows,
+                       title=f"telemetry run, {result.cycles} cycles"))
+    if args.out:
+        paths = session.export(args.out)
+        print("artifacts:")
+        for name in sorted(paths):
+            print(f"  {paths[name]}")
     return 0
 
 

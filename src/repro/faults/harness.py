@@ -102,12 +102,17 @@ class FaultySingleRouterSim(SingleRouterSim):
         self._vbr_vcs: list[list[int]] = [[] for _ in range(n)]
         # Flits discarded after entering a NIC (conservation accounting).
         self._conserved_drops = 0
+        # Active telemetry session while run() is in flight (recovery
+        # paths must tell it about re-admitted connections).
+        self._telemetry = None
 
     # ------------------------------------------------------------------
     # Cycle loop
     # ------------------------------------------------------------------
 
-    def run(self, workload: Workload, control: RunControl) -> SimResult:
+    def run(
+        self, workload: Workload, control: RunControl, telemetry=None
+    ) -> SimResult:
         router = self.router
         config = self.config
         cfg = self.fault_config
@@ -120,6 +125,10 @@ class FaultySingleRouterSim(SingleRouterSim):
         metrics = MetricsCollector(
             config, labels, conn_of_vc, measure_from=control.warmup_cycles
         )
+        self._telemetry = telemetry
+        if telemetry is not None:
+            telemetry.begin(router, workload, metrics, control)
+            self.sim_watchdog.on_trip = telemetry.on_watchdog_trip
         arb_rng = self.rng.arbiter
         nics = router.nics
         credits = router.credits
@@ -200,6 +209,8 @@ class FaultySingleRouterSim(SingleRouterSim):
             if departures:
                 departed += len(departures)
                 self.sim_watchdog.note_progress(now)
+            if telemetry is not None:
+                telemetry.on_cycle(now, departures)
             # 5. NIC link transfer under shedding + CRC check.
             self._accept_with_faults(now, level)
             # 6. Conservation / livelock sweep.
@@ -213,6 +224,9 @@ class FaultySingleRouterSim(SingleRouterSim):
         counters.max_degradation_level = self.degradation.max_level
         result.fault = counters.as_dict()
         result.degradation_level = self.degradation.max_level
+        if telemetry is not None:
+            telemetry.finish(result)
+            self._telemetry = None
         return result
 
     # ------------------------------------------------------------------
@@ -392,6 +406,8 @@ class FaultySingleRouterSim(SingleRouterSim):
             self._orig_of[(port, new.vc)] = orig
             label = labels.get(conn.conn_id, "unlabelled")
             metrics.register_connection(port, new.vc, new.conn_id, label)
+            if self._telemetry is not None:
+                self._telemetry.register_connection(new, label)
             if new.traffic_class is TrafficClass.VBR:
                 # Fresh token allotment for the remainder of this round.
                 self._tokens[port, new.vc] = new.avg_slots

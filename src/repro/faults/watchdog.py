@@ -10,6 +10,8 @@ snapshot rendered by :func:`repro.sim.tracing.dump_router_state`.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ..router.router import MMRouter
 from ..sim.tracing import dump_router_state
 from .models import FaultKind
@@ -47,6 +49,10 @@ class SimWatchdog:
         self.stall_limit = stall_limit
         self.check_interval = check_interval
         self._last_progress = 0
+        #: Called as ``on_trip(now, kind, dump)`` with ``kind`` one of
+        #: ``"conservation"`` / ``"livelock"`` just before the watchdog
+        #: raises — the telemetry flight recorder's dump hook.
+        self.on_trip: Callable[[int, str, str], None] | None = None
 
     def note_progress(self, now: int) -> None:
         """Record that at least one flit departed this cycle."""
@@ -72,6 +78,8 @@ class SimWatchdog:
                 f"injected={injected} departed={departed} "
                 f"dropped={dropped} held={conserved}",
             )
+            if self.on_trip is not None:
+                self.on_trip(now, "conservation", dump)
             raise WatchdogError(
                 f"flit conservation violated at cycle {now}: "
                 f"injected({injected}) != departed({departed}) + "
@@ -84,6 +92,8 @@ class SimWatchdog:
             self.schedule.record(
                 now, FaultKind.STALL, "livelock", f"stalled_for={stalled_for}"
             )
+            if self.on_trip is not None:
+                self.on_trip(now, "livelock", dump)
             raise WatchdogError(
                 f"no departure for {stalled_for} cycles with flits buffered "
                 f"(cycle {now}): livelock",

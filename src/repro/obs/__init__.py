@@ -1,0 +1,58 @@
+"""Observability subsystem: always-on QoS telemetry for the MMR testbed.
+
+The paper's claims are *per-connection* (bounded delay and jitter for
+reserved CBR/VBR traffic), but end-of-run aggregates can only say how a
+class did on average.  This package provides the instrumentation layer
+that makes the guarantees observable:
+
+* :mod:`~repro.obs.hist` — log-bucketed streaming histograms with a
+  provable relative-error bound, exact counts, and cross-worker merging;
+* :mod:`~repro.obs.qos` — per-connection deadline/jitter tracking with
+  bounds derived from each connection's reservation (paper §2);
+* :mod:`~repro.obs.timeseries` — strided sampling of utilization,
+  backlogs, and credits into fixed-size ring buffers (JSONL/CSV export);
+* :mod:`~repro.obs.flight` — a flight recorder dumped on watchdog trips
+  and QoS violation bursts;
+* :mod:`~repro.obs.export` — the :class:`TelemetrySession` that wires it
+  all into a run, the artifact schema, and the overhead benchmark behind
+  ``BENCH_obs.json``.
+
+Import discipline: nothing in this package imports ``repro.sim`` or
+``repro.perf`` at module level — ``repro.sim.metrics`` imports
+:mod:`repro.obs.hist`, so that direction must stay acyclic.
+"""
+
+from .export import (
+    TELEMETRY_SCHEMA,
+    ObsBenchReport,
+    TelemetryConfig,
+    TelemetrySession,
+    check_obs_overhead,
+    run_obs_bench,
+    validate_timeseries_jsonl,
+    write_obs_report,
+)
+from .flight import FlightDump, FlightRecorder
+from .hist import LogHistogram
+from .qos import ConnectionQos, QosBounds, QosTracker, bounds_for
+from .timeseries import TIMESERIES_FIELDS, TimeSeriesRecorder
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "TIMESERIES_FIELDS",
+    "ConnectionQos",
+    "FlightDump",
+    "FlightRecorder",
+    "LogHistogram",
+    "ObsBenchReport",
+    "QosBounds",
+    "QosTracker",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "TimeSeriesRecorder",
+    "bounds_for",
+    "check_obs_overhead",
+    "run_obs_bench",
+    "validate_timeseries_jsonl",
+    "write_obs_report",
+]

@@ -1,0 +1,500 @@
+"""Telemetry session wiring, artifact schema, and the obs benchmark.
+
+:class:`TelemetrySession` is the one object the simulation loops talk to.
+It owns the QoS tracker, the time-series recorder, and the flight
+recorder, and pulls the per-group delay histograms out of the metrics
+collector at the end of the run (the collector records them anyway — the
+telemetry layer never duplicates per-departure histogram work).
+
+The hot-path contract is deliberately tiny — two calls:
+
+* ``session.on_cycle(now, departures)`` once per cycle, and
+* ``session.register_connection(conn, label)`` when fault recovery
+  re-admits a connection mid-run.
+
+Everything else (``begin``/``finish``/``export``) runs outside the loop.
+A session is an *observer*: it draws no RNG and mutates no router state,
+so an instrumented run produces bit-identical results to a plain one
+(asserted by the differential tests and re-checked by the benchmark).
+
+Artifacts (``export``) and their schema:
+
+* ``telemetry.json`` — the full payload (schema ``repro-telemetry-v1``):
+  config echo, QoS summary, per-group delay/jitter histograms,
+  time-series summary + rows, flight-recorder dumps.
+* ``timeseries.jsonl`` / ``timeseries.csv`` — one sample per line; see
+  :data:`repro.obs.timeseries.TIMESERIES_FIELDS` and
+  :func:`validate_timeseries_jsonl`.
+* ``qos.json`` — the QoS summary alone.
+* ``flight.txt`` — rendered flight dumps (empty runs say so).
+
+The module-level imports stay within ``repro.obs`` + stdlib on purpose:
+``repro.sim.metrics`` imports this package, so importing ``repro.sim`` or
+``repro.perf`` here would be circular (they are imported lazily inside
+the benchmark functions instead).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from time import perf_counter_ns
+from typing import TYPE_CHECKING, Any, Mapping
+
+from .flight import FlightRecorder
+from .qos import QosTracker
+from .timeseries import TIMESERIES_FIELDS, TimeSeriesRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..router.connection import Connection
+    from ..router.crossbar import Departure
+    from ..router.router import MMRouter
+    from ..sim.metrics import MetricsCollector
+    from ..sim.simulation import SimResult
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "validate_timeseries_jsonl",
+    "ObsBenchReport",
+    "run_obs_bench",
+    "check_obs_overhead",
+    "write_obs_report",
+]
+
+#: Telemetry artifact schema identifier (bump on breaking payload change).
+TELEMETRY_SCHEMA = "repro-telemetry-v1"
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Knobs for one telemetry session (all JSON-serializable)."""
+
+    #: Cycles between time-series samples.
+    stride: int = 64
+    #: Ring capacity of the time-series recorder (samples retained).
+    timeseries_capacity: int = 4096
+    #: Active cycles retained by the flight recorder.
+    flight_cycles: int = 256
+    #: Deadline = ``deadline_scale * service_interval + pipeline_slack``.
+    deadline_scale: float = 2.0
+    #: Burst trigger: this many deadline violations within the window.
+    burst_window: int = 512
+    burst_threshold: int = 32
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetryConfig":
+        return cls(**dict(data))
+
+
+class TelemetrySession:
+    """One run's telemetry: QoS + time series + flight recorder."""
+
+    def __init__(self, config: TelemetryConfig | None = None) -> None:
+        self.config = config if config is not None else TelemetryConfig()
+        self.router: "MMRouter | None" = None
+        self.metrics: "MetricsCollector | None" = None
+        self.qos: QosTracker | None = None
+        self.timeseries: TimeSeriesRecorder | None = None
+        self.flight: FlightRecorder | None = None
+        self.result: "SimResult | None" = None
+        self._histograms: dict[str, dict[str, Any]] = {}
+        self._run_info: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, router: "MMRouter", workload, metrics, control) -> None:
+        """Bind to one run; registers the workload's connections."""
+        cfg = self.config
+        self.router = router
+        self.metrics = metrics
+        self.qos = QosTracker(
+            router.config,
+            deadline_scale=cfg.deadline_scale,
+            burst_window=cfg.burst_window,
+            burst_threshold=cfg.burst_threshold,
+            on_burst=self._on_qos_burst,
+        )
+        self.timeseries = TimeSeriesRecorder(
+            stride=cfg.stride, capacity=cfg.timeseries_capacity
+        )
+        self.flight = FlightRecorder(capacity=cfg.flight_cycles)
+        for item in workload.loads:
+            self.qos.register(item.conn, item.label)
+        self._run_info = {
+            "cycles": control.cycles,
+            "warmup_cycles": control.warmup_cycles,
+        }
+
+    def register_connection(self, conn: "Connection", label: str) -> None:
+        """Track a connection established mid-run (fault re-admission)."""
+        if self.qos is not None:
+            self.qos.register(conn, label)
+
+    def on_cycle(self, now: int, departures: list["Departure"]) -> None:
+        """Per-cycle hook (hot path): QoS, flight ring, strided sampling."""
+        if departures:
+            self.flight.on_cycle(now, departures)
+            on_dep = self.qos.on_departure
+            for dep in departures:
+                on_dep(dep, now)
+        if now % self.config.stride == 0:
+            self.timeseries.sample(now, self.router)
+
+    def finish(self, result: "SimResult") -> None:
+        """Seal the session: keep the result, pull the delay histograms."""
+        self.result = result
+        metrics = self.metrics
+        if metrics is None:
+            return
+        for name in ("flit_delay", "frame_delay", "jitter"):
+            per_group: dict[str, Any] = {}
+            for label, group in sorted(metrics.groups.items()):
+                hist = getattr(group, name).histogram
+                if hist is not None and hist.n:
+                    per_group[label] = hist.to_dict()
+            overall = getattr(metrics.overall, name).histogram
+            if overall is not None and overall.n:
+                per_group["overall"] = overall.to_dict()
+            self._histograms[name] = per_group
+
+    # ------------------------------------------------------------------
+    # Flight triggers
+    # ------------------------------------------------------------------
+
+    def on_watchdog_trip(self, now: int, kind: str, dump: str) -> None:
+        """Wired to :attr:`repro.faults.watchdog.SimWatchdog.on_trip`."""
+        if self.flight is not None and self.router is not None:
+            self.flight.trigger(self.router, now, f"watchdog:{kind}")
+
+    def _on_qos_burst(self, now: int, violations: int) -> None:
+        self.flight.trigger(
+            self.router,
+            now,
+            "qos_burst",
+            f"{violations} deadline violations within the last "
+            f"{self.config.burst_window} cycles",
+        )
+
+    # ------------------------------------------------------------------
+    # Artifacts
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """The full JSON-safe telemetry artifact (deterministic)."""
+        if self.qos is None:
+            raise RuntimeError("telemetry session was never started (begin)")
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "config": self.config.to_dict(),
+            "run": dict(self._run_info),
+            "qos": self.qos.summary(),
+            "histograms": self._histograms,
+            "timeseries": self.timeseries.to_payload(),
+            "flight": self.flight.to_payload(),
+        }
+
+    def export(self, outdir: str | Path) -> dict[str, Path]:
+        """Write all artifact files under ``outdir``; returns their paths."""
+        outdir = Path(outdir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        payload = self.to_payload()
+        paths: dict[str, Path] = {}
+
+        def write(name: str, text: str) -> None:
+            path = outdir / name
+            path.write_text(text, encoding="utf-8")
+            paths[name] = path
+
+        write(
+            "telemetry.json",
+            json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+            + "\n",
+        )
+        write(
+            "qos.json",
+            json.dumps(payload["qos"], indent=2, sort_keys=True,
+                       allow_nan=False) + "\n",
+        )
+        write("timeseries.jsonl", self.timeseries.to_jsonl())
+        write("timeseries.csv", self.timeseries.to_csv())
+        dumps = self.flight.dumps
+        flight_text = (
+            "\n\n".join(d.render() for d in dumps)
+            if dumps
+            else "(no flight dumps: no watchdog trip or QoS burst)"
+        )
+        write("flight.txt", flight_text + "\n")
+        return paths
+
+
+# ----------------------------------------------------------------------
+# Schema validation (CI obs-smoke)
+# ----------------------------------------------------------------------
+
+_ROW_TYPES = {
+    "cycle": int,
+    "buffered_flits": int,
+    "credits_in_flight": int,
+}
+
+
+def validate_timeseries_jsonl(text: str) -> list[str]:
+    """Validate exported time-series JSONL; returns a list of problems.
+
+    Empty list = valid.  Checks: every line parses as a JSON object with
+    exactly the schema's fields, integer counters are non-negative ints,
+    utilizations are floats in [0, 1], ``nic_backlog`` is a list of
+    non-negative ints, and cycles are strictly increasing.
+    """
+    errors: list[str] = []
+    expected = set(TIMESERIES_FIELDS)
+    prev_cycle: int | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            errors.append(f"line {lineno}: blank line")
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not JSON ({exc})")
+            continue
+        if not isinstance(row, dict):
+            errors.append(f"line {lineno}: not a JSON object")
+            continue
+        got = set(row)
+        if got != expected:
+            missing = expected - got
+            extra = got - expected
+            errors.append(
+                f"line {lineno}: fields mismatch"
+                + (f" missing={sorted(missing)}" if missing else "")
+                + (f" extra={sorted(extra)}" if extra else "")
+            )
+            continue
+        for name, kind in _ROW_TYPES.items():
+            value = row[name]
+            if not isinstance(value, kind) or isinstance(value, bool):
+                errors.append(f"line {lineno}: {name} not an int: {value!r}")
+            elif value < 0:
+                errors.append(f"line {lineno}: {name} negative: {value}")
+        for name in ("utilization", "utilization_cum"):
+            value = row[name]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"line {lineno}: {name} not a number: {value!r}")
+            elif not (0.0 <= float(value) <= 1.0):
+                errors.append(f"line {lineno}: {name} out of [0,1]: {value}")
+        backlog = row["nic_backlog"]
+        if not isinstance(backlog, list) or not all(
+            isinstance(b, int) and not isinstance(b, bool) and b >= 0
+            for b in backlog
+        ):
+            errors.append(
+                f"line {lineno}: nic_backlog not a list of non-negative "
+                f"ints: {backlog!r}"
+            )
+        cycle = row["cycle"]
+        if isinstance(cycle, int) and not isinstance(cycle, bool):
+            if prev_cycle is not None and cycle <= prev_cycle:
+                errors.append(
+                    f"line {lineno}: cycle {cycle} not increasing "
+                    f"(previous {prev_cycle})"
+                )
+            prev_cycle = cycle
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Overhead benchmark (BENCH_obs.json)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ObsBenchStats:
+    """One variant's timing (best of the interleaved repetitions)."""
+
+    cycles_per_sec: float
+    wall_s: float
+    wall_s_all: list[float] = field(default_factory=list)
+
+
+@dataclass
+class ObsBenchReport:
+    """Everything ``BENCH_obs.json`` records."""
+
+    ports: int
+    vcs: int
+    levels: int
+    arbiter: str
+    scheme: str
+    load: float
+    seed: int
+    cycles: int
+    repeats: int
+    stride: int
+    plain: ObsBenchStats
+    disabled: ObsBenchStats
+    enabled: ObsBenchStats
+    #: (disabled - plain) / plain: cost of the dispatch branch alone.
+    overhead_disabled: float
+    #: (enabled - disabled) / disabled: cost of full telemetry.
+    overhead_enabled: float
+    #: Enabled and disabled runs produced identical results AND left the
+    #: RNG streams in bit-identical states (telemetry is a pure observer).
+    results_identical: bool
+    #: Telemetry volume context for the enabled run.
+    telemetry_samples: int
+    qos_violations: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+def run_obs_bench(
+    *,
+    ports: int = 4,
+    vcs: int = 64,
+    levels: int = 4,
+    arbiter: str = "coa",
+    scheme: str = "siabp",
+    load: float = 0.7,
+    seed: int = 0,
+    cycles: int = 20_000,
+    repeats: int = 5,
+    stride: int = 64,
+) -> ObsBenchReport:
+    """Measure telemetry overhead on the paper config, best-of-N.
+
+    Three variants are timed with interleaved repetitions (plain,
+    disabled, enabled, plain, ...) so background-load bursts hit all of
+    them: *plain* calls ``run`` without the telemetry argument, *disabled*
+    passes ``telemetry=None`` explicitly (same code path — the delta is
+    pure measurement noise and is the disabled-overhead bound), *enabled*
+    runs a full :class:`TelemetrySession`.
+    """
+    from ..perf.harness import make_cbr_sim
+    from ..sim.engine import RunControl
+
+    control = RunControl(cycles=cycles, warmup_cycles=0)
+
+    def timed(telemetry_mode: str) -> tuple[float, "SimResult", Any]:
+        sim, workload = make_cbr_sim(
+            ports, vcs, levels, arbiter, scheme, load, seed, True
+        )
+        session = None
+        t0 = perf_counter_ns()
+        if telemetry_mode == "plain":
+            result = sim.run(workload, control)
+        elif telemetry_mode == "disabled":
+            result = sim.run(workload, control, telemetry=None)
+        else:
+            session = TelemetrySession(TelemetryConfig(stride=stride))
+            result = sim.run(workload, control, telemetry=session)
+        wall = (perf_counter_ns() - t0) / 1e9
+        return wall, result, (sim.rng.state_fingerprint(), session)
+
+    plain_walls: list[float] = []
+    disabled_walls: list[float] = []
+    enabled_walls: list[float] = []
+    disabled_result = enabled_result = None
+    disabled_fp = enabled_fp = None
+    last_session: TelemetrySession | None = None
+    for _ in range(repeats):
+        wall, _, _ = timed("plain")
+        plain_walls.append(wall)
+        wall, disabled_result, (disabled_fp, _) = timed("disabled")
+        disabled_walls.append(wall)
+        wall, enabled_result, (enabled_fp, last_session) = timed("enabled")
+        enabled_walls.append(wall)
+
+    def stats(walls: list[float]) -> ObsBenchStats:
+        best = min(walls)
+        return ObsBenchStats(
+            cycles_per_sec=cycles / best if best > 0 else float("inf"),
+            wall_s=best,
+            wall_s_all=walls,
+        )
+
+    plain = stats(plain_walls)
+    disabled = stats(disabled_walls)
+    enabled = stats(enabled_walls)
+    identical = (
+        disabled_result is not None
+        and enabled_result is not None
+        and disabled_result.to_dict() == enabled_result.to_dict()
+        and disabled_fp == enabled_fp
+    )
+    assert last_session is not None and last_session.timeseries is not None
+    return ObsBenchReport(
+        ports=ports,
+        vcs=vcs,
+        levels=levels,
+        arbiter=arbiter,
+        scheme=scheme,
+        load=load,
+        seed=seed,
+        cycles=cycles,
+        repeats=repeats,
+        stride=stride,
+        plain=plain,
+        disabled=disabled,
+        enabled=enabled,
+        overhead_disabled=(disabled.wall_s - plain.wall_s) / plain.wall_s,
+        overhead_enabled=(enabled.wall_s - disabled.wall_s) / disabled.wall_s,
+        results_identical=identical,
+        telemetry_samples=last_session.timeseries.samples_taken,
+        qos_violations=(
+            last_session.qos.total_violations() if last_session.qos else 0
+        ),
+    )
+
+
+def check_obs_overhead(
+    report: ObsBenchReport,
+    max_disabled: float = 0.01,
+    max_enabled: float = 0.05,
+) -> tuple[bool, str]:
+    """Gate the measured overheads (CI); returns ``(ok, message)``.
+
+    Negative measured overheads (timing noise) count as zero.
+    """
+    problems = []
+    disabled = max(0.0, report.overhead_disabled)
+    enabled = max(0.0, report.overhead_enabled)
+    if disabled > max_disabled:
+        problems.append(
+            f"disabled-path overhead {disabled:.2%} > {max_disabled:.2%}"
+        )
+    if enabled > max_enabled:
+        problems.append(
+            f"enabled-path overhead {enabled:.2%} > {max_enabled:.2%}"
+        )
+    if not report.results_identical:
+        problems.append(
+            "telemetry-enabled run diverged from the disabled run "
+            "(results or RNG state differ)"
+        )
+    if problems:
+        return False, "; ".join(problems)
+    return True, (
+        f"telemetry overhead OK: disabled {disabled:.2%} "
+        f"(max {max_disabled:.2%}), enabled {enabled:.2%} "
+        f"(max {max_enabled:.2%}), results identical"
+    )
+
+
+def write_obs_report(report: ObsBenchReport, path: str | Path) -> Path:
+    """Serialize the report to JSON (the ``BENCH_obs.json`` format)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(report.to_dict(), indent=2, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return path

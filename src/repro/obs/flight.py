@@ -1,0 +1,132 @@
+"""Flight recorder: the last moments before something went wrong.
+
+Post-mortem debugging of a watchdog trip or a QoS violation burst needs
+the *history leading up to it*, which end-of-run aggregates discard and
+an unbounded trace cannot afford.  :class:`FlightRecorder` keeps a
+bounded ring of the most recent departure activity — cheap enough to stay
+always-on — and, when triggered, renders it together with the full
+``dump_router_state`` buffer/credit snapshot into a diagnostic dump.
+
+Triggers are wired by :class:`~repro.obs.export.TelemetrySession`:
+
+* the faults watchdog's ``on_trip`` hook (conservation / livelock), and
+* the QoS tracker's ``on_burst`` hook (deadline-violation burst).
+
+Each trigger produces one :class:`FlightDump`; the session keeps them all
+(trips are rare by construction — the burst detector has a cooldown).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..router.crossbar import Departure
+    from ..router.router import MMRouter
+
+__all__ = ["FlightDump", "FlightRecorder"]
+
+
+@dataclass(frozen=True)
+class FlightDump:
+    """One rendered trigger: reason, cycle, event tail, state snapshot."""
+
+    cycle: int
+    reason: str
+    detail: str
+    events: str
+    router_state: str
+
+    def render(self) -> str:
+        parts = [
+            f"=== flight dump: {self.reason} at cycle {self.cycle} ===",
+        ]
+        if self.detail:
+            parts.append(self.detail)
+        parts.append("--- recent departures (oldest first) ---")
+        parts.append(self.events if self.events else "(none recorded)")
+        parts.append("--- router state ---")
+        parts.append(self.router_state)
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cycle": self.cycle,
+            "reason": self.reason,
+            "detail": self.detail,
+            "events": self.events,
+            "router_state": self.router_state,
+        }
+
+
+class FlightRecorder:
+    """Bounded ring of recent departure activity, dumped on trigger.
+
+    ``capacity`` bounds the number of *active* cycles retained (cycles
+    with at least one departure); idle cycles carry no information and
+    are not stored, so the ring reaches further back in real time.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        # (cycle, departures) — Departure objects are frozen and rebuilt
+        # each cycle, so holding references is safe.
+        self._ring: deque[tuple[int, tuple["Departure", ...]]] = deque(
+            maxlen=capacity
+        )
+        self.dumps: list[FlightDump] = []
+
+    # ------------------------------------------------------------------
+
+    def on_cycle(self, now: int, departures: list["Departure"]) -> None:
+        """Append this cycle's departures (hot path; skip empty cycles)."""
+        if departures:
+            self._ring.append((now, tuple(departures)))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def render_events(self) -> str:
+        """Human-readable tail of the ring, oldest first."""
+        lines = []
+        for cycle, deps in self._ring:
+            for d in deps:
+                frame = f" frame={d.frame_id}" if d.frame_id >= 0 else ""
+                last = " last" if d.frame_last else ""
+                lines.append(
+                    f"[{cycle:>8}] depart in={d.in_port} vc={d.vc} "
+                    f"out={d.out_port} gen={d.gen_cycle} "
+                    f"arrived={d.arrival_cycle}{frame}{last}"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+
+    def trigger(
+        self, router: "MMRouter", now: int, reason: str, detail: str = ""
+    ) -> FlightDump:
+        """Snapshot the ring + router state into a :class:`FlightDump`."""
+        # Imported here, not at module level: repro.sim.metrics imports
+        # repro.obs, so a module-level repro.sim import would be circular.
+        from ..sim.tracing import dump_router_state
+
+        dump = FlightDump(
+            cycle=now,
+            reason=reason,
+            detail=detail,
+            events=self.render_events(),
+            router_state=dump_router_state(router, now),
+        )
+        self.dumps.append(dump)
+        return dump
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "active_cycles_retained": len(self._ring),
+            "dumps": [d.to_dict() for d in self.dumps],
+        }

@@ -1,0 +1,243 @@
+"""Log-bucketed streaming histograms with bounded relative error.
+
+The telemetry layer needs percentiles that are (a) cheap enough to keep
+always-on in the recording hot path, (b) deterministic (no sampling), and
+(c) mergeable across campaign worker processes.  A reservoir gives none
+of these: it is seed-dependent, its error is unbounded, and two
+reservoirs cannot be merged without re-biasing.
+
+:class:`LogHistogram` is an HDR/DDSketch-style histogram over
+geometrically growing buckets: bucket ``b >= 1`` covers
+``[min_value * gamma^(b-1), min_value * gamma^b)`` with
+``gamma = (1 + alpha) / (1 - alpha)``.  Estimating any value in a bucket
+by the bucket's harmonic midpoint bounds the *relative* error by
+``alpha`` — uniformly, from one-cycle delays to million-cycle outliers —
+while ``record`` stays O(1) with zero allocation (one ``math.log``, one
+list increment).  Counts, the running sum, and min/max are exact; only
+the positions inside a bucket are approximated.  Two histograms with the
+same parameters merge by adding their bucket counts, which is how
+campaign-level percentiles are computed from per-worker telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+__all__ = ["LogHistogram"]
+
+
+class LogHistogram:
+    """Streaming log-bucketed histogram (relative error <= ``alpha``).
+
+    Values must be non-negative; :meth:`record` returns ``False`` (and
+    records nothing) for negative input so callers can fall back to an
+    exact sample.  Values in ``[0, min_value)`` land in an exact "zero"
+    bucket estimated as ``0.0`` (absolute error below ``min_value``,
+    which is one flit cycle at the default resolution).  Values at or
+    above ``max_value`` land in an overflow bucket estimated as the exact
+    running maximum.
+    """
+
+    __slots__ = (
+        "alpha",
+        "min_value",
+        "max_value",
+        "n",
+        "total",
+        "min",
+        "max",
+        "overflow",
+        "_gamma",
+        "_inv_log_gamma",
+        "_inv_min",
+        "_counts",
+    )
+
+    def __init__(
+        self,
+        alpha: float = 0.01,
+        min_value: float = 1.0,
+        max_value: float = float(2**40),
+    ) -> None:
+        if not (0.0 < alpha < 1.0):
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if min_value <= 0:
+            raise ValueError(f"min_value must be positive, got {min_value}")
+        if max_value <= min_value:
+            raise ValueError("max_value must exceed min_value")
+        self.alpha = alpha
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._inv_log_gamma = 1.0 / math.log(self._gamma)
+        self._inv_min = 1.0 / self.min_value
+        # Bucket 0 is [0, min_value); buckets 1..B-2 are the log grid;
+        # bucket B-1 is overflow ([max_value, inf) after clamping).
+        grid = int(math.log(max_value / min_value) * self._inv_log_gamma) + 2
+        self._counts = [0] * (grid + 1)
+        self.n = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.overflow = 0
+
+    # ------------------------------------------------------------------
+    # Recording (hot path)
+    # ------------------------------------------------------------------
+
+    def record(self, value: float) -> bool:
+        """Record one value; O(1), no allocation.
+
+        Returns ``False`` without recording for negative values (the
+        caller's cue to use its fallback sample).
+        """
+        if value < 0:
+            return False
+        self.n += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+        if value < self.min_value:
+            self._counts[0] += 1
+            return True
+        idx = 1 + int(math.log(value * self._inv_min) * self._inv_log_gamma)
+        last = len(self._counts) - 1
+        if idx >= last:
+            idx = last
+            self.overflow += 1
+        self._counts[idx] += 1
+        return True
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.record(v)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else float("nan")
+
+    def _bucket_estimate(self, idx: int) -> float:
+        if idx == 0:
+            est = 0.0
+        elif idx == len(self._counts) - 1 and self.overflow:
+            est = self.max
+        else:
+            lower = self.min_value * self._gamma ** (idx - 1)
+            est = lower * (2.0 * self._gamma) / (self._gamma + 1.0)
+        # Clamping into the exact observed range never increases the
+        # error (the true quantile lies inside it) and makes degenerate
+        # single-value streams exact.
+        if est < self.min:
+            est = self.min
+        if est > self.max:
+            est = self.max
+        return est
+
+    def percentile(self, q: float) -> float:
+        """Inverted-CDF quantile estimate, relative error <= ``alpha``.
+
+        ``q`` is in percent.  The returned value estimates the element of
+        rank ``ceil(q/100 * n)`` of the sorted stream (the
+        ``numpy.percentile`` ``method="inverted_cdf"`` definition), with
+        relative error bounded by ``alpha`` for values in
+        ``[min_value, max_value)`` and exact endpoints for ``q`` hitting
+        the recorded min/max.
+        """
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.n == 0:
+            return float("nan")
+        rank = max(1, math.ceil(q / 100.0 * self.n))
+        cum = 0
+        for idx, count in enumerate(self._counts):
+            cum += count
+            if cum >= rank:
+                return self._bucket_estimate(idx)
+        return self.max  # pragma: no cover - rank <= n by construction
+
+    def quantiles(self, qs: Iterable[float]) -> dict[float, float]:
+        return {q: self.percentile(q) for q in qs}
+
+    # ------------------------------------------------------------------
+    # Merging and serialization
+    # ------------------------------------------------------------------
+
+    def compatible_with(self, other: "LogHistogram") -> bool:
+        return (
+            self.alpha == other.alpha
+            and self.min_value == other.min_value
+            and self.max_value == other.max_value
+            and len(self._counts) == len(other._counts)
+        )
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Add another histogram's counts into this one (in place)."""
+        if not self.compatible_with(other):
+            raise ValueError(
+                "cannot merge histograms with different parameters "
+                f"(alpha {self.alpha} vs {other.alpha}, min_value "
+                f"{self.min_value} vs {other.min_value}, max_value "
+                f"{self.max_value} vs {other.max_value})"
+            )
+        counts = self._counts
+        for idx, count in enumerate(other._counts):
+            counts[idx] += count
+        self.n += other.n
+        self.total += other.total
+        self.overflow += other.overflow
+        if other.n:
+            if other.max > self.max:
+                self.max = other.max
+            if other.min < self.min:
+                self.min = other.min
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form (sparse counts; ``null`` min/max when empty)."""
+        return {
+            "alpha": self.alpha,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "n": self.n,
+            "total": self.total,
+            "min": self.min if self.n else None,
+            "max": self.max if self.n else None,
+            "overflow": self.overflow,
+            "counts": {
+                str(idx): count
+                for idx, count in enumerate(self._counts)
+                if count
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LogHistogram":
+        hist = cls(
+            alpha=data["alpha"],
+            min_value=data["min_value"],
+            max_value=data["max_value"],
+        )
+        for key, count in data.get("counts", {}).items():
+            hist._counts[int(key)] = int(count)
+        hist.n = int(data["n"])
+        hist.total = float(data["total"])
+        hist.overflow = int(data.get("overflow", 0))
+        hist.min = float(data["min"]) if data.get("min") is not None else math.inf
+        hist.max = float(data["max"]) if data.get("max") is not None else -math.inf
+        return hist
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<LogHistogram n={self.n} alpha={self.alpha} "
+            f"mean={self.mean:.3g}>"
+        )

@@ -1,0 +1,264 @@
+"""Per-connection QoS guarantee tracking.
+
+The paper's contract (§2) is per-connection: a CBR/VBR connection
+reserves ``avg_slots`` flit-cycle slots per round at setup time, which
+nominally serves it once every ``round_cycles / avg_slots`` cycles — its
+inter-arrival time, since the reservation matches the source rate.  The
+end-of-run class means the repo reported so far cannot say *which*
+connections missed that contract or *when*; this tracker can.
+
+Bounds derived per connection (see :func:`bounds_for`):
+
+* **service interval** ``ceil(round_cycles / avg_slots)`` — the nominal
+  cycles between reserved slots, equal to the flit IAT of a conforming
+  CBR source.
+* **deadline** ``deadline_scale * interval + pipeline_slack`` — a
+  conforming flit waits at most about one interval for its slot plus one
+  interval of phase misalignment, plus the fixed ingress pipeline (NIC
+  link transfer, crossbar traversal, credit return).  ``deadline_scale``
+  defaults to 2 accordingly; it is a *nominal* bound for flagging, not a
+  hard-real-time proof.
+* **jitter bound** — one service interval: adjacent delivery units of a
+  conforming connection should not spread by more than the slot spacing.
+
+Best-effort connections have no reservation and therefore no bounds;
+their departures are counted but can never violate.
+
+Violations are counted and timestamped per connection and aggregated per
+traffic class (CBR / VBR / best-effort).  A sliding-window burst detector
+fires ``on_burst`` when ``burst_threshold`` deadline violations land
+within ``burst_window`` cycles — the flight recorder's dump trigger.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..router.config import RouterConfig
+from ..router.connection import Connection, TrafficClass
+from ..router.crossbar import Departure
+
+__all__ = ["QosBounds", "bounds_for", "ConnectionQos", "QosTracker"]
+
+#: Traffic-class keys used in summaries (stable artifact schema).
+CLASS_KEYS = {
+    TrafficClass.CBR: "cbr",
+    TrafficClass.VBR: "vbr",
+    TrafficClass.BEST_EFFORT: "best-effort",
+}
+
+
+@dataclass(frozen=True)
+class QosBounds:
+    """Derived per-connection guarantee thresholds, in flit cycles."""
+
+    service_interval_cycles: int | None
+    deadline_cycles: int | None
+    jitter_bound_cycles: int | None
+
+
+def bounds_for(
+    conn: Connection,
+    config: RouterConfig,
+    deadline_scale: float = 2.0,
+) -> QosBounds:
+    """Derive a connection's QoS bounds from its reservation.
+
+    Best-effort connections get ``None`` everywhere (no reservation, no
+    guarantee).  ``pipeline_slack`` is the fixed part of the path: one
+    cycle of NIC link transfer, one crossbar traversal, and the credit
+    return delay.
+    """
+    if not conn.is_reserved:
+        return QosBounds(None, None, None)
+    interval = math.ceil(config.round_cycles / conn.avg_slots)
+    slack = config.credit_return_delay + 2
+    deadline = int(math.ceil(deadline_scale * interval)) + slack
+    return QosBounds(interval, deadline, interval)
+
+
+class ConnectionQos:
+    """Mutable guarantee ledger for one connection."""
+
+    __slots__ = (
+        "conn_id",
+        "label",
+        "class_key",
+        "bounds",
+        "flits",
+        "units",
+        "worst_delay",
+        "violations",
+        "jitter_violations",
+        "first_violation_cycle",
+        "last_violation_cycle",
+        "_prev_unit_delay",
+    )
+
+    def __init__(self, conn: Connection, label: str, bounds: QosBounds) -> None:
+        self.conn_id = conn.conn_id
+        self.label = label
+        self.class_key = CLASS_KEYS[conn.traffic_class]
+        self.bounds = bounds
+        self.flits = 0
+        #: Delivery units seen (frames for framed traffic, flits else).
+        self.units = 0
+        self.worst_delay = 0
+        self.violations = 0
+        self.jitter_violations = 0
+        self.first_violation_cycle: int | None = None
+        self.last_violation_cycle: int | None = None
+        self._prev_unit_delay: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        b = self.bounds
+        return {
+            "conn_id": self.conn_id,
+            "label": self.label,
+            "class": self.class_key,
+            "service_interval_cycles": b.service_interval_cycles,
+            "deadline_cycles": b.deadline_cycles,
+            "jitter_bound_cycles": b.jitter_bound_cycles,
+            "flits": self.flits,
+            "units": self.units,
+            "worst_delay_cycles": self.worst_delay,
+            "violations": self.violations,
+            "jitter_violations": self.jitter_violations,
+            "first_violation_cycle": self.first_violation_cycle,
+            "last_violation_cycle": self.last_violation_cycle,
+        }
+
+
+class QosTracker:
+    """Counts and timestamps per-connection guarantee violations."""
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        deadline_scale: float = 2.0,
+        burst_window: int = 512,
+        burst_threshold: int = 32,
+        on_burst: Callable[[int, int], None] | None = None,
+    ) -> None:
+        if burst_window <= 0 or burst_threshold <= 0:
+            raise ValueError("burst_window and burst_threshold must be positive")
+        self.config = config
+        self.deadline_scale = deadline_scale
+        self.burst_window = burst_window
+        self.burst_threshold = burst_threshold
+        #: Called as ``on_burst(now, violations_in_window)`` at most once
+        #: per window (cooldown prevents a dump storm).
+        self.on_burst = on_burst
+        self.bursts = 0
+        self._by_vc: dict[tuple[int, int], ConnectionQos] = {}
+        self._states: list[ConnectionQos] = []
+        self._recent: deque[int] = deque()
+        self._cooldown_until = -1
+
+    # ------------------------------------------------------------------
+
+    def register(self, conn: Connection, label: str) -> ConnectionQos:
+        """Track a connection (call again after fault re-admission)."""
+        state = ConnectionQos(
+            conn, label, bounds_for(conn, self.config, self.deadline_scale)
+        )
+        self._by_vc[(conn.in_port, conn.vc)] = state
+        self._states.append(state)
+        return state
+
+    # ------------------------------------------------------------------
+
+    def on_departure(self, dep: Departure, now: int) -> None:
+        """Account one measured departure (hot path)."""
+        state = self._by_vc.get((dep.in_port, dep.vc))
+        if state is None:
+            return
+        delay = now - dep.gen_cycle + 1
+        state.flits += 1
+        if delay > state.worst_delay:
+            state.worst_delay = delay
+        bounds = state.bounds
+        deadline = bounds.deadline_cycles
+        if deadline is not None and delay > deadline:
+            state.violations += 1
+            if state.first_violation_cycle is None:
+                state.first_violation_cycle = now
+            state.last_violation_cycle = now
+            self._note_violation(now)
+        # Jitter is measured between adjacent *delivery units*: frames
+        # for framed (VBR) traffic, individual flits otherwise.
+        if dep.frame_id >= 0 and not dep.frame_last:
+            return
+        state.units += 1
+        prev = state._prev_unit_delay
+        state._prev_unit_delay = delay
+        bound = bounds.jitter_bound_cycles
+        if prev is not None and bound is not None and abs(delay - prev) > bound:
+            state.jitter_violations += 1
+
+    def _note_violation(self, now: int) -> None:
+        recent = self._recent
+        recent.append(now)
+        floor = now - self.burst_window
+        while recent and recent[0] <= floor:
+            recent.popleft()
+        if len(recent) >= self.burst_threshold and now >= self._cooldown_until:
+            self.bursts += 1
+            self._cooldown_until = now + self.burst_window
+            if self.on_burst is not None:
+                self.on_burst(now, len(recent))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def connections(self) -> list[ConnectionQos]:
+        return list(self._states)
+
+    def total_violations(self) -> int:
+        return sum(s.violations for s in self._states)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe per-class aggregate plus per-connection records."""
+        classes: dict[str, dict[str, Any]] = {}
+        for state in self._states:
+            agg = classes.setdefault(
+                state.class_key,
+                {
+                    "connections": 0,
+                    "flits": 0,
+                    "violations": 0,
+                    "jitter_violations": 0,
+                    "worst_delay_cycles": 0,
+                    "first_violation_cycle": None,
+                    "last_violation_cycle": None,
+                },
+            )
+            agg["connections"] += 1
+            agg["flits"] += state.flits
+            agg["violations"] += state.violations
+            agg["jitter_violations"] += state.jitter_violations
+            if state.worst_delay > agg["worst_delay_cycles"]:
+                agg["worst_delay_cycles"] = state.worst_delay
+            if state.first_violation_cycle is not None and (
+                agg["first_violation_cycle"] is None
+                or state.first_violation_cycle < agg["first_violation_cycle"]
+            ):
+                agg["first_violation_cycle"] = state.first_violation_cycle
+            if state.last_violation_cycle is not None and (
+                agg["last_violation_cycle"] is None
+                or state.last_violation_cycle > agg["last_violation_cycle"]
+            ):
+                agg["last_violation_cycle"] = state.last_violation_cycle
+        return {
+            "deadline_scale": self.deadline_scale,
+            "burst_window": self.burst_window,
+            "burst_threshold": self.burst_threshold,
+            "bursts": self.bursts,
+            "classes": classes,
+            "connections": [s.to_dict() for s in self._states],
+        }

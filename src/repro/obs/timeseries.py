@@ -1,0 +1,177 @@
+"""Periodic time-series sampling of router state.
+
+End-of-run aggregates cannot show *when* a router saturates, how deep the
+NIC backlogs grow before the crossbar catches up, or whether credits are
+cycling or pooling — the queue-trajectory view scheduler analyses are
+built on.  :class:`TimeSeriesRecorder` samples the router every ``stride``
+cycles into preallocated ring buffers (fixed memory on arbitrarily long
+runs; the ring keeps the most recent ``capacity`` samples) and exports
+JSONL or CSV rows.
+
+Sampled per row: cycle, windowed and cumulative crossbar utilization,
+flits buffered in VC memory, per-port NIC backlog, and credits in flight.
+Windowed utilization is computed from grant-counter deltas between
+samples, so the recorder never touches the hot path — it only *reads*
+counters the crossbar maintains anyway.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..router.router import MMRouter
+
+__all__ = ["TimeSeriesRecorder", "TIMESERIES_FIELDS"]
+
+#: Row schema, in column order.  ``nic_backlog`` is a per-port list in
+#: JSONL and is flattened to ``nic_backlog_<p>`` columns in CSV.
+TIMESERIES_FIELDS = (
+    "cycle",
+    "utilization",
+    "utilization_cum",
+    "buffered_flits",
+    "nic_backlog",
+    "credits_in_flight",
+)
+
+
+class TimeSeriesRecorder:
+    """Strided sampler writing into preallocated ring buffers."""
+
+    def __init__(self, stride: int = 64, capacity: int = 4096) -> None:
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.stride = stride
+        self.capacity = capacity
+        # Parallel preallocated rings; _pos is the next write slot and
+        # _count saturates at capacity (ring full -> oldest overwritten).
+        self._cycles = [0] * capacity
+        self._util = [0.0] * capacity
+        self._util_cum = [0.0] * capacity
+        self._buffered = [0] * capacity
+        self._backlogs: list[tuple[int, ...]] = [()] * capacity
+        self._credits = [0] * capacity
+        self._pos = 0
+        self._count = 0
+        self.dropped = 0
+        self.samples_taken = 0
+        self._last_sample_cycle: int | None = None
+        self._last_grants = 0
+        self._last_xbar_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def due(self, now: int) -> bool:
+        """True when ``now`` lands on the sampling stride."""
+        return now % self.stride == 0
+
+    def sample(self, now: int, router: "MMRouter") -> None:
+        """Record one row of router state (call when :meth:`due`)."""
+        xbar = router.crossbar
+        grants = xbar.total_grants
+        xbar_cycles = xbar.cycles
+        dc = xbar_cycles - self._last_xbar_cycles
+        if dc > 0:
+            util = (grants - self._last_grants) / (dc * router.config.num_ports)
+        else:
+            util = 0.0
+        self._last_grants = grants
+        self._last_xbar_cycles = xbar_cycles
+        self._last_sample_cycle = now
+
+        pos = self._pos
+        self._cycles[pos] = now
+        self._util[pos] = util
+        self._util_cum[pos] = xbar.utilization
+        self._buffered[pos] = router.buffered_flits()
+        self._backlogs[pos] = tuple(router.nic_backlogs())
+        self._credits[pos] = router.credits.in_flight
+        self._pos = (pos + 1) % self.capacity
+        if self._count == self.capacity:
+            self.dropped += 1
+        else:
+            self._count += 1
+        self.samples_taken += 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _iter_indices(self) -> Iterator[int]:
+        if self._count < self.capacity:
+            yield from range(self._count)
+        else:
+            pos = self._pos
+            for i in range(self.capacity):
+                yield (pos + i) % self.capacity
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Samples oldest-first as JSON-safe dicts."""
+        return [
+            {
+                "cycle": self._cycles[i],
+                "utilization": self._util[i],
+                "utilization_cum": self._util_cum[i],
+                "buffered_flits": self._buffered[i],
+                "nic_backlog": list(self._backlogs[i]),
+                "credits_in_flight": self._credits[i],
+            }
+            for i in self._iter_indices()
+        ]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, oldest sample first."""
+        return "".join(
+            json.dumps(row, sort_keys=True, allow_nan=False) + "\n"
+            for row in self.rows()
+        )
+
+    def to_csv(self) -> str:
+        """CSV with per-port backlog flattened to ``nic_backlog_<p>``."""
+        rows = self.rows()
+        num_ports = len(rows[0]["nic_backlog"]) if rows else 0
+        header = [
+            "cycle",
+            "utilization",
+            "utilization_cum",
+            "buffered_flits",
+            *(f"nic_backlog_{p}" for p in range(num_ports)),
+            "credits_in_flight",
+        ]
+        out = io.StringIO()
+        writer = csv.writer(out, lineterminator="\n")
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(
+                [
+                    row["cycle"],
+                    row["utilization"],
+                    row["utilization_cum"],
+                    row["buffered_flits"],
+                    *row["nic_backlog"],
+                    row["credits_in_flight"],
+                ]
+            )
+        return out.getvalue()
+
+    def to_payload(self) -> dict[str, Any]:
+        """Summary + full rows for the telemetry artifact."""
+        return {
+            "stride": self.stride,
+            "capacity": self.capacity,
+            "samples_taken": self.samples_taken,
+            "samples_kept": self._count,
+            "dropped": self.dropped,
+            "rows": self.rows(),
+        }

@@ -43,6 +43,7 @@ from ..traffic.mixes import build_cbr_workload
 __all__ = [
     "PathStats",
     "PerfReport",
+    "make_cbr_sim",
     "run_perf",
     "write_report",
     "check_regression",
@@ -108,7 +109,7 @@ class PerfReport:
         return asdict(self)
 
 
-def _make_sim(
+def make_cbr_sim(
     ports: int,
     vcs: int,
     levels: int,
@@ -116,8 +117,13 @@ def _make_sim(
     scheme: str,
     load: float,
     seed: int,
-    fast_path: bool,
+    fast_path: bool = True,
 ):
+    """Build the benchmark's ``(sim, workload)`` pair from scratch.
+
+    Public because the observability bench (``repro.obs.export``) times
+    the exact same configuration with telemetry off/on.
+    """
     config = default_config(
         num_ports=ports, vcs_per_link=vcs, candidate_levels=levels
     )
@@ -126,6 +132,9 @@ def _make_sim(
     )
     workload = build_cbr_workload(sim.router, load, sim.rng.workload)
     return sim, workload
+
+
+_make_sim = make_cbr_sim
 
 
 def _timed_run(sim: SingleRouterSim, workload, cycles: int) -> tuple[float, int]:

@@ -238,6 +238,10 @@ class MMRouter:
         """Flits waiting in all NICs."""
         return sum(nic.backlog() for nic in self.nics)
 
+    def nic_backlogs(self) -> list[int]:
+        """Per-port NIC backlog, in port order (telemetry sampling)."""
+        return [nic.backlog() for nic in self.nics]
+
     def check_flow_control_invariant(self) -> None:
         """credits + in-flight credits + occupancy == depth, per VC."""
         depth = self.config.vc_buffer_depth

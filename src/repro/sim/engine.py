@@ -9,6 +9,7 @@ separate from the traffic streams.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -63,6 +64,20 @@ class RngStreams:
     def faults(self) -> np.random.Generator:
         """Fault injection (corruption bits, loss/duplication draws)."""
         return self._streams["faults"]
+
+    def state_fingerprint(self) -> str:
+        """SHA-256 over every stream's bit-generator state.
+
+        Two simulations consumed randomness identically iff their
+        fingerprints match — the check behind the telemetry differential
+        tests (an observer must not perturb any stream, not even by a
+        single draw).
+        """
+        h = hashlib.sha256()
+        for role in _ROLES:
+            h.update(role.encode())
+            h.update(repr(self._streams[role].bit_generator.state).encode())
+        return h.hexdigest()
 
 
 @dataclass(frozen=True)

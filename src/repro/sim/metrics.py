@@ -25,6 +25,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from ..obs.hist import LogHistogram
 from ..router.config import RouterConfig
 from ..router.crossbar import Departure
 
@@ -32,13 +33,22 @@ __all__ = ["StreamingStat", "GroupStats", "FaultCounters", "MetricsCollector"]
 
 
 class StreamingStat:
-    """Count / mean / max / min plus a reservoir for percentiles."""
+    """Count / mean / max / min plus percentile estimation.
+
+    Percentiles come from a log-bucketed histogram
+    (:class:`repro.obs.hist.LogHistogram`): deterministic, mergeable, and
+    with relative error bounded by its ``alpha`` — unlike the sampling
+    reservoir, whose estimate is seed-dependent with unbounded error.
+    The reservoir is kept as a fallback for streams the histogram cannot
+    hold (negative values) and for exact-sample consumers.
+    """
 
     __slots__ = (
         "n",
         "total",
         "max",
         "min",
+        "_hist",
         "_reservoir",
         "_cap",
         "_seen",
@@ -52,6 +62,7 @@ class StreamingStat:
         self.total = 0.0
         self.max = float("-inf")
         self.min = float("inf")
+        self._hist = LogHistogram()
         self._cap = reservoir
         self._reservoir: list[float] = []
         self._seen = 0
@@ -69,6 +80,8 @@ class StreamingStat:
             self.max = value
         if value < self.min:
             self.min = value
+        # O(1), allocation-free; refuses negatives (reservoir covers them).
+        self._hist.record(value)
         # Vitter's algorithm R keeps a uniform sample of the stream; the
         # slot draw uses a scaled prefetched uniform, which is the same
         # distribution up to float rounding.
@@ -89,7 +102,16 @@ class StreamingStat:
     def mean(self) -> float:
         return self.total / self.n if self.n else float("nan")
 
+    @property
+    def histogram(self) -> LogHistogram | None:
+        """The backing histogram when it covers the full stream."""
+        return self._hist if self._hist.n == self.n else None
+
     def percentile(self, q: float) -> float:
+        """Quantile estimate: histogram when it saw every value, else
+        the reservoir (seed-dependent; only for negative-value streams)."""
+        if self.n and self._hist.n == self.n:
+            return self._hist.percentile(q)
         if not self._reservoir:
             return float("nan")
         return float(np.percentile(np.asarray(self._reservoir), q))

@@ -15,6 +15,7 @@ summaries the figures plot.
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, field
 from typing import Any
 
@@ -74,16 +75,38 @@ class SimResult:
     # Serialization (campaign store artifacts, JSON exports)
     # ------------------------------------------------------------------
 
+    #: Float fields that may legitimately be NaN (e.g. a class that saw
+    #: no traffic) and are normalized to ``null`` in serialized form so
+    #: artifacts stay strict JSON (``json.dumps(..., allow_nan=False)``).
+    _NULLABLE_SCALARS = ("offered_load", "utilization", "throughput")
+    _NULLABLE_MAPS = (
+        "flit_delay_us",
+        "flit_delay_p99_us",
+        "frame_delay_us",
+        "jitter_us",
+    )
+
     def to_dict(self) -> dict[str, Any]:
-        """Plain-data form: JSON-serializable, ``from_dict`` inverts it.
+        """Plain-data form: strict JSON, ``from_dict`` inverts it.
 
         The router config flattens to its dataclass fields; everything
-        else is already scalars and ``str -> number`` maps.  NaN values
-        (e.g. delay of a class that saw no traffic) survive the round
-        trip via the ``json`` module's default NaN handling.
+        else is scalars and ``str -> number`` maps.  Non-finite floats
+        (NaN means, ±inf from empty streaming stats) become ``null`` —
+        ``Infinity``/``NaN`` are not JSON and choke strict parsers —
+        and ``from_dict`` maps ``null`` back to NaN.
         """
+
+        def safe(value: Any) -> Any:
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            return value
+
         out = asdict(self)
         out["config"] = asdict(self.config)
+        for key in self._NULLABLE_SCALARS:
+            out[key] = safe(out[key])
+        for key in self._NULLABLE_MAPS:
+            out[key] = {k: safe(v) for k, v in out[key].items()}
         return out
 
     @classmethod
@@ -93,6 +116,14 @@ class SimResult:
         fields["config"] = RouterConfig(**fields["config"])
         for key in ("flits", "frames", "fault"):
             fields[key] = {k: int(v) for k, v in fields.get(key, {}).items()}
+        nan = float("nan")
+        for key in cls._NULLABLE_SCALARS:
+            if fields.get(key) is None:
+                fields[key] = nan
+        for key in cls._NULLABLE_MAPS:
+            fields[key] = {
+                k: (nan if v is None else v) for k, v in fields[key].items()
+            }
         return cls(**fields)
 
     @property
@@ -133,12 +164,26 @@ class SingleRouterSim:
 
     # ------------------------------------------------------------------
 
-    def run(self, workload: Workload, control: RunControl) -> SimResult:
+    def run(
+        self,
+        workload: Workload,
+        control: RunControl,
+        telemetry=None,
+    ) -> SimResult:
         """Run the cycle loop and summarize.
 
         The workload's connections must already be established on this
         sim's router (the ``build_*_workload`` helpers do that).
+
+        ``telemetry`` optionally takes a
+        :class:`~repro.obs.export.TelemetrySession` (duck-typed: anything
+        with ``begin``/``on_cycle``/``finish``).  With ``None`` the loop
+        below runs untouched — the dispatch happens once, outside the
+        loop, so the disabled path stays grant- and RNG-state-identical
+        to an uninstrumented build (asserted by the differential tests).
         """
+        if telemetry is not None:
+            return self._run_instrumented(workload, control, telemetry)
         router = self.router
         config = self.config
         feeds = workload.build_feeds(control.cycles, self.rng.sources)
@@ -181,6 +226,65 @@ class SingleRouterSim:
                 metrics.record(dep, now)
 
         return self._summarize(workload, control, metrics)
+
+    def _run_instrumented(
+        self, workload: Workload, control: RunControl, telemetry
+    ) -> SimResult:
+        """The telemetry twin of :meth:`run`.
+
+        Deliberately a duplicate of the plain loop plus one
+        ``telemetry.on_cycle`` call per cycle: folding a per-cycle
+        ``if telemetry`` branch into the shared loop would tax every
+        uninstrumented run, and the telemetry budget (<5% enabled, ~0%
+        disabled) is enforced by ``python -m repro obs --bench``.
+        """
+        router = self.router
+        config = self.config
+        feeds = workload.build_feeds(control.cycles, self.rng.sources)
+        labels = workload.labels_by_conn()
+        conn_of_vc = {
+            (item.conn.in_port, item.conn.vc): item.conn.conn_id
+            for item in workload.loads
+        }
+        metrics = MetricsCollector(
+            config, labels, conn_of_vc, measure_from=control.warmup_cycles
+        )
+        telemetry.begin(router, workload, metrics, control)
+        arb_rng = self.rng.arbiter
+        nics = router.nics
+        pointers = [0] * config.num_ports
+        counters_reset = control.warmup_cycles == 0
+        if counters_reset:
+            router.crossbar.reset_counters()
+
+        for now in range(control.cycles):
+            if not counters_reset and now == control.warmup_cycles:
+                router.crossbar.reset_counters()
+                counters_reset = True
+            # 1. Source injection into the NICs.
+            for port, feed in enumerate(feeds):
+                ptr = pointers[port]
+                cycles = feed.cycles
+                end = len(cycles)
+                nic = nics[port]
+                while ptr < end and cycles[ptr] <= now:
+                    nic.inject(
+                        int(feed.vcs[ptr]),
+                        int(cycles[ptr]),
+                        int(feed.frame_ids[ptr]),
+                        bool(feed.frame_last[ptr]),
+                    )
+                    ptr += 1
+                pointers[port] = ptr
+            # 2. Router pipeline.  3. Metrics.  4. Telemetry.
+            departures = router.step(now, arb_rng)
+            for dep in departures:
+                metrics.record(dep, now)
+            telemetry.on_cycle(now, departures)
+
+        result = self._summarize(workload, control, metrics)
+        telemetry.finish(result)
+        return result
 
     # ------------------------------------------------------------------
 

@@ -33,6 +33,9 @@ class SweepPoint:
 
     target_load: float
     result: SimResult
+    #: Telemetry payload (``repro.obs`` schema) when the sweep ran with
+    #: telemetry enabled; ``None`` otherwise.
+    telemetry: dict | None = None
 
     @property
     def offered_load(self) -> float:
@@ -65,6 +68,7 @@ def run_load_sweep(
     *,
     jobs: int = 1,
     store=None,
+    telemetry=None,
 ) -> LoadSweep:
     """Simulate one arbiter across the given target loads.
 
@@ -75,6 +79,11 @@ def run_load_sweep(
     :class:`~repro.campaign.store.ResultStore` cache; an ad-hoc builder
     callable cannot be hashed or shipped to a worker, so it always runs
     serially and uncached (``jobs``/``store`` are ignored).
+
+    ``telemetry`` optionally takes a
+    :class:`~repro.obs.export.TelemetryConfig`; each point then runs
+    instrumented and its :attr:`SweepPoint.telemetry` carries the
+    exported payload.
     """
     from ..campaign.executor import execute_point, run_campaign
     from ..campaign.plan import CampaignPlan, WorkloadSpec
@@ -90,17 +99,28 @@ def run_load_sweep(
             control=control,
             scheme=scheme,
         )
-        campaign = run_campaign(plan, jobs=jobs, store=store, write_manifest=False)
+        campaign = run_campaign(
+            plan,
+            jobs=jobs,
+            store=store,
+            write_manifest=False,
+            telemetry=telemetry,
+        )
         points = [
-            SweepPoint(o.spec.target_load, o.result) for o in campaign.outcomes
+            SweepPoint(o.spec.target_load, o.result, o.telemetry)
+            for o in campaign.outcomes
         ]
         return LoadSweep(arbiter, points)
 
-    points = [
-        SweepPoint(
-            load,
-            execute_point(builder, config, arbiter, control, load, seed, scheme),
+    points = []
+    for load in loads:
+        out = execute_point(
+            builder, config, arbiter, control, load, seed, scheme,
+            telemetry=telemetry,
         )
-        for load in loads
-    ]
+        if telemetry is not None:
+            result, session = out
+            points.append(SweepPoint(load, result, session.to_payload()))
+        else:
+            points.append(SweepPoint(load, out))
     return LoadSweep(arbiter, points)

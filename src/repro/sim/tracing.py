@@ -6,8 +6,13 @@ departures — as plain tuples that tests and notebooks can filter.  Tracing
 is opt-in and bounded (a ring of the last ``capacity`` events) so it can
 stay enabled on long runs without exhausting memory.
 
-The tracer hooks the router by wrapping its ``step``; it does not change
-behaviour (verified by the equivalence test in the suite).
+The tracer hooks the router at the pipeline seams every cycle loop goes
+through — ``crossbar.transfer`` for matchings/departures and ``NIC.pop``
+for link forwards — rather than ``router.step``, because the fault
+harness (:class:`repro.faults.FaultySingleRouterSim`) inlines the
+pipeline and never calls ``step``; hooking the seams makes tracing work
+identically under fault injection.  It does not change behaviour
+(verified by the equivalence tests, healthy and faulty).
 """
 
 from __future__ import annotations
@@ -16,8 +21,6 @@ import enum
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable
-
-import numpy as np
 
 from ..router.router import MMRouter
 
@@ -101,21 +104,29 @@ class Tracer:
         self.capacity = capacity
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self._installed = False
-        self._orig_step: Callable | None = None
+        self._orig_transfer: Callable | None = None
+        self._orig_pops: list[Callable] = []
+        self._now = 0
         self.dropped = 0
 
     # ------------------------------------------------------------------
 
     def install(self) -> "Tracer":
-        """Wrap the router's ``step`` to record events; idempotent."""
+        """Wrap ``crossbar.transfer`` and each NIC's ``pop``; idempotent.
+
+        ``transfer`` runs every cycle in both the healthy and the fault
+        harness loops and receives the cycle number, so it doubles as the
+        tracer's clock; NIC forwards happen later the same cycle and are
+        stamped with it.
+        """
         if self._installed:
             return self
-        original = self.router.step
-        nics = self.router.nics
-        forwarded_before = [nic.forwarded for nic in nics]
+        crossbar = self.router.crossbar
+        original_transfer = crossbar.transfer
 
-        def traced_step(now: int, rng: np.random.Generator):
-            departures = original(now, rng)
+        def traced_transfer(matching, vc_memory, now: int):
+            self._now = now
+            departures = original_transfer(matching, vc_memory, now)
             if departures:
                 grants = tuple(
                     (d.in_port, d.vc, d.out_port) for d in departures
@@ -126,25 +137,39 @@ class Tracer:
                         now, EventKind.DEPARTURE,
                         (d.in_port, d.vc, d.out_port, d.gen_cycle, d.frame_id),
                     ))
-            for port, nic in enumerate(nics):
-                if nic.forwarded != forwarded_before[port]:
-                    forwarded_before[port] = nic.forwarded
-                    self._record(TraceEvent(
-                        now, EventKind.NIC_FORWARD,
-                        (port, (nic._rr_ptr - 1) % self.router.config.vcs_per_link),
-                    ))
             return departures
 
-        self._orig_step = original
-        self.router.step = traced_step  # type: ignore[method-assign]
+        self._orig_transfer = original_transfer
+        crossbar.transfer = traced_transfer  # type: ignore[method-assign]
+
+        self._orig_pops = []
+        for port, nic in enumerate(self.router.nics):
+            original_pop = nic.pop
+
+            def traced_pop(vc: int, *, _port=port, _pop=original_pop):
+                flit = _pop(vc)
+                self._record(
+                    TraceEvent(self._now, EventKind.NIC_FORWARD, (_port, vc))
+                )
+                return flit
+
+            self._orig_pops.append(original_pop)
+            nic.pop = traced_pop  # type: ignore[method-assign]
         self._installed = True
         return self
 
     def uninstall(self) -> None:
-        """Restore the router's original ``step``."""
-        if self._installed and self._orig_step is not None:
-            self.router.step = self._orig_step  # type: ignore[method-assign]
-            self._installed = False
+        """Restore the original ``transfer`` and ``pop`` methods."""
+        if not self._installed:
+            return
+        if self._orig_transfer is not None:
+            self.router.crossbar.transfer = (  # type: ignore[method-assign]
+                self._orig_transfer
+            )
+        for nic, original_pop in zip(self.router.nics, self._orig_pops):
+            nic.pop = original_pop  # type: ignore[method-assign]
+        self._orig_pops = []
+        self._installed = False
 
     def __enter__(self) -> "Tracer":
         return self.install()

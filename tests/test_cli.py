@@ -94,3 +94,76 @@ class TestCommands:
         ])
         assert code == 2
         assert "unknown arbiter" in capsys.readouterr().err
+
+
+class TestObsCommands:
+    ARTIFACTS = {"telemetry.json", "qos.json", "timeseries.jsonl",
+                 "timeseries.csv", "flight.txt"}
+
+    def test_obs_demo_exports_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "obs"
+        code = main([
+            "obs", "--cycles", "1500", "--vcs", "16", "--load", "0.5",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert {p.name for p in out.iterdir()} == self.ARTIFACTS
+        text = capsys.readouterr().out
+        assert "telemetry run" in text and "qos bursts" in text
+        assert "cbr: violations / jitter" in text
+
+    def test_obs_validate_good_and_bad(self, tmp_path, capsys):
+        out = tmp_path / "obs"
+        assert main(["obs", "--cycles", "1000", "--vcs", "16",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        good = out / "timeseries.jsonl"
+        assert main(["obs", "--validate", str(good)]) == 0
+        assert "OK" in capsys.readouterr().out
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{broken\n", encoding="utf-8")
+        assert main(["obs", "--validate", str(bad)]) == 1
+        assert capsys.readouterr().err
+
+    def test_run_with_telemetry_flag(self, tmp_path, capsys):
+        out = tmp_path / "tele"
+        code = main([
+            "run", "--traffic", "cbr", "--load", "0.4",
+            "--cycles", "2000", "--vcs", "16", "--seed", "5",
+            "--telemetry", str(out),
+        ])
+        assert code == 0
+        assert {p.name for p in out.iterdir()} == self.ARTIFACTS
+        text = capsys.readouterr().out
+        assert "telemetry:" in text
+
+    def test_sweep_with_telemetry_writes_summary(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "tele"
+        code = main([
+            "sweep", "--traffic", "cbr", "--arbiters", "coa",
+            "--loads", "0.3,0.5", "--cycles", "1500", "--vcs", "16",
+            "--telemetry", str(out),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        summary = json.loads((out / "sweep-telemetry.json").read_text())
+        assert summary["points"] == 2
+        assert "deadline_violations" in summary
+
+    def test_obs_bench_quick(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "BENCH_obs.json"
+        code = main([
+            "obs", "--bench", "--cycles", "800", "--repeats", "1",
+            "--vcs", "16", "--json", str(report_path),
+            "--max-overhead", "10", "--max-disabled-overhead", "10",
+        ])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["results_identical"] is True
+        assert "overhead_disabled" in report
+        text = capsys.readouterr().out
+        assert "overhead" in text

@@ -66,6 +66,32 @@ class TestStreamingStat:
             np.percentile(values, 50), rel=0.15
         )
 
+    def test_percentile_is_histogram_backed_within_error_bound(self):
+        # Non-negative streams use the log-bucket histogram: the error is
+        # bounded by its alpha (1%), far tighter than any reservoir, and
+        # deterministic (no seed dependence).
+        stat = StreamingStat(reservoir=64)  # tiny reservoir: can't do this
+        rng = np.random.default_rng(42)
+        values = rng.exponential(25.0, size=30_000)
+        for v in values:
+            stat.add(float(v))
+        assert stat.histogram is not None
+        for q in (50, 90, 99, 99.9):
+            exact = np.percentile(values, q, method="inverted_cdf")
+            assert stat.percentile(q) == pytest.approx(
+                exact, rel=stat.histogram.alpha * 1.001
+            )
+
+    def test_percentile_falls_back_to_reservoir_on_negatives(self):
+        stat = StreamingStat()
+        for v in (-5.0, 1.0, 2.0, 3.0):
+            stat.add(v)
+        # The histogram refused the negative value, so it no longer
+        # covers the stream and the reservoir answers instead.
+        assert stat.histogram is None
+        assert stat.percentile(0) == pytest.approx(-5.0)
+        assert stat.min == -5.0 and stat.n == 4
+
 
 def make_collector(measure_from=0):
     cfg = RouterConfig(num_ports=2, vcs_per_link=4, candidate_levels=1)

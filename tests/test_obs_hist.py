@@ -1,0 +1,167 @@
+"""Tests for repro.obs.hist — log-bucketed streaming histograms."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.hist import LogHistogram
+
+
+def exact_percentile(values, q):
+    """The definition the histogram approximates."""
+    return float(np.percentile(values, q, method="inverted_cdf"))
+
+
+QS = (0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0)
+
+
+def streams(rng):
+    yield "uniform", rng.uniform(1.0, 1_000.0, size=5_000)
+    yield "lognormal", np.exp(rng.normal(3.0, 1.5, size=5_000))
+    yield "integers", rng.integers(1, 500, size=5_000).astype(float)
+    yield "heavy-tail", rng.pareto(1.5, size=5_000) * 10.0 + 1.0
+    yield "constant", np.full(100, 42.0)
+    yield "tiny", np.array([3.0, 7.0, 11.0])
+
+
+class TestErrorBound:
+    def test_percentiles_within_alpha_of_exact(self):
+        """The regression test backing StreamingStat.percentile: every
+        quantile of every stream within the advertised relative error."""
+        rng = np.random.default_rng(7)
+        for name, values in streams(rng):
+            hist = LogHistogram(alpha=0.01)
+            hist.record_many(values)
+            for q in QS:
+                got = hist.percentile(q)
+                want = exact_percentile(values, q)
+                # The worst case sits exactly at alpha (values on bucket
+                # edges), so allow a whisker of float slack on top.
+                assert got == pytest.approx(want, rel=hist.alpha * 1.001), (
+                    f"{name} p{q}: {got} vs exact {want}"
+                )
+
+    def test_coarser_alpha_still_bounded(self):
+        rng = np.random.default_rng(3)
+        values = np.exp(rng.normal(2.0, 2.0, size=3_000))
+        hist = LogHistogram(alpha=0.05)
+        hist.record_many(values)
+        for q in (50.0, 99.0):
+            assert hist.percentile(q) == pytest.approx(
+                exact_percentile(values, q), rel=0.05
+            )
+
+    def test_endpoints_within_bound_and_clamped(self):
+        hist = LogHistogram()
+        hist.record_many([5.0, 17.0, 240.0])
+        assert hist.percentile(0) == pytest.approx(5.0, rel=hist.alpha)
+        assert hist.percentile(100) == pytest.approx(240.0, rel=hist.alpha)
+        # Clamping keeps every estimate inside the observed range, which
+        # makes a constant stream exact at every quantile.
+        assert 5.0 <= hist.percentile(0)
+        assert hist.percentile(100) <= 240.0
+        const = LogHistogram()
+        const.record_many([42.0] * 10)
+        for q in QS:
+            assert const.percentile(q) == 42.0
+
+    def test_sub_min_values_land_in_zero_bucket(self):
+        hist = LogHistogram(min_value=1.0)
+        hist.record_many([0.0, 0.25, 0.5])
+        # Bucket 0 estimates 0.0 but clamps into the observed range.
+        assert hist.percentile(50) == 0.0
+        assert hist.n == 3
+
+    def test_overflow_estimates_exact_max(self):
+        hist = LogHistogram(max_value=100.0)
+        hist.record_many([5.0, 1e6, 2e6])
+        assert hist.overflow == 2
+        assert hist.percentile(100) == 2e6
+
+
+class TestRecording:
+    def test_negative_values_refused(self):
+        hist = LogHistogram()
+        assert hist.record(-1.0) is False
+        assert hist.n == 0
+
+    def test_counts_sum_and_moments_exact(self):
+        values = [1.0, 2.0, 3.0, 400.0]
+        hist = LogHistogram()
+        hist.record_many(values)
+        assert hist.n == len(hist) == 4
+        assert hist.total == pytest.approx(sum(values))
+        assert hist.mean == pytest.approx(sum(values) / 4)
+        assert hist.min == 1.0 and hist.max == 400.0
+
+    def test_empty_histogram(self):
+        hist = LogHistogram()
+        assert math.isnan(hist.percentile(50))
+        assert math.isnan(hist.mean)
+        assert len(hist) == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogHistogram(alpha=0.0)
+        with pytest.raises(ValueError):
+            LogHistogram(alpha=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram(min_value=0.0)
+        with pytest.raises(ValueError):
+            LogHistogram(min_value=10.0, max_value=10.0)
+        with pytest.raises(ValueError):
+            LogHistogram().percentile(101)
+
+
+class TestMerge:
+    def test_merge_equals_combined_recording(self):
+        rng = np.random.default_rng(11)
+        a_vals = rng.uniform(1, 1e4, size=2_000)
+        b_vals = np.exp(rng.normal(5, 2, size=2_000))
+        a, b, combined = LogHistogram(), LogHistogram(), LogHistogram()
+        a.record_many(a_vals)
+        b.record_many(b_vals)
+        combined.record_many(a_vals)
+        combined.record_many(b_vals)
+        a.merge(b)
+        assert a.n == combined.n
+        assert a.total == pytest.approx(combined.total)
+        assert a.min == combined.min and a.max == combined.max
+        for q in QS:
+            assert a.percentile(q) == combined.percentile(q)
+
+    def test_merge_rejects_incompatible(self):
+        with pytest.raises(ValueError):
+            LogHistogram(alpha=0.01).merge(LogHistogram(alpha=0.02))
+        with pytest.raises(ValueError):
+            LogHistogram(min_value=1.0).merge(LogHistogram(min_value=2.0))
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        rng = np.random.default_rng(5)
+        hist = LogHistogram()
+        hist.record_many(rng.uniform(0.0, 1e5, size=1_000))
+        back = LogHistogram.from_dict(hist.to_dict())
+        assert back.n == hist.n
+        assert back.total == hist.total
+        assert back.min == hist.min and back.max == hist.max
+        for q in QS:
+            assert back.percentile(q) == hist.percentile(q)
+        back.merge(hist)  # round trip preserves compatibility
+        assert back.n == 2 * hist.n
+
+    def test_dict_is_strict_json(self):
+        hist = LogHistogram()
+        hist.record_many([1.0, 50.0])
+        text = json.dumps(hist.to_dict(), allow_nan=False)
+        assert LogHistogram.from_dict(json.loads(text)).n == 2
+
+    def test_empty_serializes_null_extrema(self):
+        data = LogHistogram().to_dict()
+        assert data["min"] is None and data["max"] is None
+        back = LogHistogram.from_dict(data)
+        assert back.n == 0
+        assert back.min == math.inf and back.max == -math.inf

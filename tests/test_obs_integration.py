@@ -1,0 +1,278 @@
+"""Integration tests for the observability subsystem (repro.obs).
+
+The load-bearing guarantee: telemetry is a pure observer.  An
+instrumented run must produce bit-identical results — and leave the RNG
+streams in bit-identical states — compared to an uninstrumented one.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignPlan, ResultStore, WorkloadSpec, run_campaign
+from repro.faults import FaultConfig, FaultySingleRouterSim
+from repro.faults.schedule import FaultSchedule
+from repro.faults.watchdog import SimWatchdog
+from repro.obs import (
+    TELEMETRY_SCHEMA,
+    LogHistogram,
+    TelemetryConfig,
+    TelemetrySession,
+    validate_timeseries_jsonl,
+)
+from repro.router import RouterConfig
+from repro.sim.engine import RunControl
+from repro.sim.simulation import SingleRouterSim
+from repro.sim.sweep import run_load_sweep
+from repro.traffic.mixes import build_cbr_workload
+
+
+def small_config():
+    return RouterConfig(num_ports=4, vcs_per_link=48, candidate_levels=4)
+
+
+CONTROL = RunControl(cycles=2_000, warmup_cycles=400)
+
+
+def run_healthy(seed=3, telemetry=None, load=0.6):
+    sim = SingleRouterSim(small_config(), arbiter="coa", seed=seed)
+    wl = build_cbr_workload(sim.router, load, sim.rng.workload)
+    result = sim.run(wl, CONTROL, telemetry=telemetry)
+    return sim, result
+
+
+class TestDifferential:
+    def test_enabled_run_is_bit_identical_to_disabled(self):
+        """The PR's acceptance gate: same results, same RNG state."""
+        sim_plain, plain = run_healthy()
+        session = TelemetrySession(TelemetryConfig(stride=64))
+        sim_inst, instrumented = run_healthy(telemetry=session)
+        assert instrumented.to_dict() == plain.to_dict()
+        assert (
+            sim_inst.rng.state_fingerprint()
+            == sim_plain.rng.state_fingerprint()
+        )
+
+    def test_explicit_none_is_the_plain_path(self):
+        sim_a, a = run_healthy()
+        sim_b, b = run_healthy(telemetry=None)
+        assert a.to_dict() == b.to_dict()
+        assert sim_a.rng.state_fingerprint() == sim_b.rng.state_fingerprint()
+
+    def test_faulty_enabled_run_matches_disabled(self):
+        faults = FaultConfig(corruption_rate=0.01, credit_loss_rate=0.002)
+
+        def run(telemetry):
+            sim = FaultySingleRouterSim(
+                small_config(), arbiter="coa", seed=7, faults=faults
+            )
+            wl = build_cbr_workload(sim.router, 0.5, sim.rng.workload)
+            result = sim.run(wl, CONTROL, telemetry=telemetry)
+            return sim, result
+
+        sim_plain, plain = run(None)
+        session = TelemetrySession()
+        sim_inst, instrumented = run(session)
+        assert instrumented.to_dict() == plain.to_dict()
+        assert (
+            sim_inst.rng.state_fingerprint()
+            == sim_plain.rng.state_fingerprint()
+        )
+        # And the session actually observed the run.
+        assert session.qos.connections
+        assert session.timeseries.samples_taken > 0
+
+
+class TestSessionLifecycle:
+    def test_payload_schema_and_determinism(self):
+        session = TelemetrySession(TelemetryConfig(stride=100))
+        run_healthy(telemetry=session)
+        payload = session.to_payload()
+        assert payload["schema"] == TELEMETRY_SCHEMA
+        assert payload["config"]["stride"] == 100
+        assert payload["run"] == {"cycles": 2_000, "warmup_cycles": 400}
+        assert payload["qos"]["classes"]
+        assert payload["histograms"]["flit_delay"]["overall"]["n"] > 0
+        assert payload["timeseries"]["rows"]
+        assert payload["flight"]["dumps"] == []
+        # Deterministic: a second identical run yields identical bytes.
+        session2 = TelemetrySession(TelemetryConfig(stride=100))
+        run_healthy(telemetry=session2)
+        dump = json.dumps(payload, sort_keys=True, allow_nan=False)
+        dump2 = json.dumps(session2.to_payload(), sort_keys=True,
+                           allow_nan=False)
+        assert dump == dump2
+
+    def test_histograms_match_metrics_collector(self):
+        session = TelemetrySession()
+        _, result = run_healthy(telemetry=session)
+        hist = LogHistogram.from_dict(
+            session.to_payload()["histograms"]["flit_delay"]["overall"]
+        )
+        assert hist.n == result.flits["overall"]
+
+    def test_export_writes_all_artifacts(self, tmp_path):
+        session = TelemetrySession()
+        run_healthy(telemetry=session)
+        paths = session.export(tmp_path / "obs")
+        assert set(paths) == {
+            "telemetry.json", "qos.json", "timeseries.jsonl",
+            "timeseries.csv", "flight.txt",
+        }
+        for path in paths.values():
+            assert path.exists()
+        text = (tmp_path / "obs" / "timeseries.jsonl").read_text()
+        assert validate_timeseries_jsonl(text) == []
+        full = json.loads((tmp_path / "obs" / "telemetry.json").read_text())
+        assert full["schema"] == TELEMETRY_SCHEMA
+        assert "no flight dumps" in (tmp_path / "obs" / "flight.txt").read_text()
+
+    def test_payload_before_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            TelemetrySession().to_payload()
+
+    def test_watchdog_trip_triggers_flight_dump(self):
+        session = TelemetrySession()
+        sim, _ = run_healthy(telemetry=session)
+        dog = SimWatchdog(sim.router, FaultSchedule(), stall_limit=10,
+                          check_interval=1)
+        dog.on_trip = session.on_watchdog_trip
+        with pytest.raises(Exception):
+            # Impossible conservation ledger: the watchdog must trip and,
+            # through on_trip, leave a flight dump before raising.
+            dog.check(now=2_000, injected=10**6, departed=0, dropped=0)
+        assert len(session.flight.dumps) == 1
+        dump = session.flight.dumps[0]
+        assert dump.reason == "watchdog:conservation"
+        assert "router state at cycle 2000" in dump.router_state
+
+
+class TestQosBurstIntegration:
+    def test_burst_during_real_run_dumps_flight(self):
+        # Saturating load + tiny deadline scale: violations are certain.
+        session = TelemetrySession(TelemetryConfig(
+            deadline_scale=0.01, burst_window=2_000, burst_threshold=5,
+        ))
+        run_healthy(telemetry=session, load=0.85)
+        assert session.qos.total_violations() > 0
+        assert session.qos.bursts >= 1
+        assert any(d.reason == "qos_burst" for d in session.flight.dumps)
+
+
+class TestCampaignTelemetry:
+    def make_plan(self, name="obs-test"):
+        return CampaignPlan.grid(
+            name, small_config(), ("coa",), (0.5, 0.7), (0,),
+            WorkloadSpec.cbr(), CONTROL,
+        )
+
+    def test_outcomes_carry_payloads_and_store_persists(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        result = run_campaign(
+            self.make_plan(), store=store, write_manifest=False,
+            telemetry=TelemetryConfig(),
+        )
+        assert all(o.telemetry for o in result.outcomes)
+        for o in result.outcomes:
+            assert o.telemetry["schema"] == TELEMETRY_SCHEMA
+            assert store.telemetry_path_for(o.key).exists()
+            assert store.get_telemetry(o.key) == o.telemetry
+
+    def test_cached_result_without_telemetry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        plan = self.make_plan()
+        first = run_campaign(plan, store=store, write_manifest=False)
+        assert first.misses == 2
+        # Results are cached, but a telemetry run cannot be served from
+        # them alone: every point recomputes.
+        second = run_campaign(
+            plan, store=store, write_manifest=False,
+            telemetry=TelemetryConfig(),
+        )
+        assert second.misses == 2
+        assert all(o.telemetry for o in second.outcomes)
+        # Third run hits: both result and telemetry artifacts exist now.
+        third = run_campaign(
+            plan, store=store, write_manifest=False,
+            telemetry=TelemetryConfig(),
+        )
+        assert third.hits == 2
+        assert all(o.telemetry for o in third.outcomes)
+        # A plain run still hits too and carries no telemetry.
+        fourth = run_campaign(plan, store=store, write_manifest=False)
+        assert fourth.hits == 2
+        assert all(o.telemetry is None for o in fourth.outcomes)
+
+    def test_telemetry_results_unchanged_vs_plain_campaign(self, tmp_path):
+        plain = run_campaign(self.make_plan(), write_manifest=False)
+        instrumented = run_campaign(
+            self.make_plan(), write_manifest=False,
+            telemetry=TelemetryConfig(),
+        )
+        for a, b in zip(plain.outcomes, instrumented.outcomes):
+            assert a.result.to_dict() == b.result.to_dict()
+
+    def test_serial_and_parallel_telemetry_byte_identical(self, tmp_path):
+        serial_store = ResultStore(tmp_path / "serial")
+        parallel_store = ResultStore(tmp_path / "parallel")
+        run_campaign(
+            self.make_plan(), store=serial_store, write_manifest=False,
+            telemetry=TelemetryConfig(), jobs=1,
+        )
+        run_campaign(
+            self.make_plan(), store=parallel_store, write_manifest=False,
+            telemetry=TelemetryConfig(), jobs=2,
+        )
+        serial_files = sorted(
+            p.relative_to(serial_store.telemetry_dir)
+            for p in serial_store.telemetry_dir.rglob("*.json")
+        )
+        parallel_files = sorted(
+            p.relative_to(parallel_store.telemetry_dir)
+            for p in parallel_store.telemetry_dir.rglob("*.json")
+        )
+        assert serial_files == parallel_files and serial_files
+        for rel in serial_files:
+            assert (
+                (serial_store.telemetry_dir / rel).read_bytes()
+                == (parallel_store.telemetry_dir / rel).read_bytes()
+            )
+
+    def test_corrupt_telemetry_artifact_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        plan = self.make_plan()
+        run_campaign(plan, store=store, write_manifest=False,
+                     telemetry=TelemetryConfig())
+        key = plan.points[0].key()
+        store.telemetry_path_for(key).write_text("{truncated", encoding="utf-8")
+        assert store.get_telemetry(key) is None
+        assert store.corrupt_dropped == 1
+        again = run_campaign(plan, store=store, write_manifest=False,
+                             telemetry=TelemetryConfig())
+        assert again.misses == 1 and again.hits == 1
+        assert store.get_telemetry(key) is not None
+
+
+class TestSweepTelemetry:
+    def test_spec_sweep_carries_payloads(self):
+        sweep = run_load_sweep(
+            (0.5,), WorkloadSpec.cbr(), small_config(), "coa", CONTROL,
+            telemetry=TelemetryConfig(),
+        )
+        assert sweep.points[0].telemetry["schema"] == TELEMETRY_SCHEMA
+
+    def test_adhoc_builder_sweep_carries_payloads(self):
+        def builder(router, rng, load):
+            return build_cbr_workload(router, load, rng)
+
+        sweep = run_load_sweep(
+            (0.5,), builder, small_config(), "coa", CONTROL,
+            telemetry=TelemetryConfig(),
+        )
+        assert sweep.points[0].telemetry["schema"] == TELEMETRY_SCHEMA
+
+    def test_sweep_without_telemetry_unchanged(self):
+        sweep = run_load_sweep(
+            (0.5,), WorkloadSpec.cbr(), small_config(), "coa", CONTROL,
+        )
+        assert sweep.points[0].telemetry is None

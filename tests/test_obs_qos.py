@@ -1,0 +1,223 @@
+"""Tests for repro.obs.qos — per-connection QoS guarantee tracking."""
+
+import math
+
+import pytest
+
+from repro.obs.qos import ConnectionQos, QosTracker, bounds_for
+from repro.router.config import RouterConfig
+from repro.router.connection import Connection, TrafficClass
+from repro.router.crossbar import Departure
+
+
+CONFIG = RouterConfig(num_ports=4, vcs_per_link=16, candidate_levels=4,
+                      flit_cycles_per_round=400)
+
+
+def make_conn(conn_id=0, vc=0, traffic_class=TrafficClass.CBR, avg_slots=10):
+    return Connection(
+        conn_id=conn_id, in_port=0, vc=vc, out_port=1,
+        traffic_class=traffic_class, avg_slots=avg_slots,
+        peak_slots=avg_slots,
+    )
+
+
+def dep(vc=0, gen_cycle=0, frame_id=-1, frame_last=False, in_port=0):
+    return Departure(in_port=in_port, vc=vc, out_port=1,
+                     gen_cycle=gen_cycle, arrival_cycle=gen_cycle,
+                     frame_id=frame_id, frame_last=frame_last)
+
+
+class TestBounds:
+    def test_cbr_bounds_follow_reservation(self):
+        conn = make_conn(avg_slots=10)
+        b = bounds_for(conn, CONFIG)
+        interval = math.ceil(CONFIG.round_cycles / 10)
+        assert b.service_interval_cycles == interval
+        assert b.jitter_bound_cycles == interval
+        slack = CONFIG.credit_return_delay + 2
+        assert b.deadline_cycles == math.ceil(2.0 * interval) + slack
+
+    def test_deadline_scale(self):
+        conn = make_conn(avg_slots=4)
+        loose = bounds_for(conn, CONFIG, deadline_scale=3.0)
+        tight = bounds_for(conn, CONFIG, deadline_scale=1.0)
+        assert loose.deadline_cycles > tight.deadline_cycles
+        assert loose.service_interval_cycles == tight.service_interval_cycles
+
+    def test_vbr_gets_bounds(self):
+        b = bounds_for(make_conn(traffic_class=TrafficClass.VBR), CONFIG)
+        assert b.deadline_cycles is not None
+
+    def test_best_effort_has_no_bounds(self):
+        b = bounds_for(
+            make_conn(traffic_class=TrafficClass.BEST_EFFORT, avg_slots=1),
+            CONFIG,
+        )
+        assert b.service_interval_cycles is None
+        assert b.deadline_cycles is None
+        assert b.jitter_bound_cycles is None
+
+    def test_larger_reservation_means_shorter_interval(self):
+        small = bounds_for(make_conn(avg_slots=2), CONFIG)
+        big = bounds_for(make_conn(avg_slots=40), CONFIG)
+        assert big.service_interval_cycles < small.service_interval_cycles
+
+
+class TestViolations:
+    def make_tracker(self, **kwargs):
+        return QosTracker(CONFIG, **kwargs)
+
+    def test_on_time_departure_no_violation(self):
+        tracker = self.make_tracker()
+        state = tracker.register(make_conn(), "cbr-0")
+        tracker.on_departure(dep(gen_cycle=100), now=101)
+        assert state.flits == 1
+        assert state.violations == 0
+        assert state.worst_delay == 2  # now - gen + 1
+
+    def test_late_departure_counted_and_timestamped(self):
+        tracker = self.make_tracker()
+        state = tracker.register(make_conn(), "cbr-0")
+        deadline = state.bounds.deadline_cycles
+        late_now = deadline + 50
+        tracker.on_departure(dep(gen_cycle=0), now=late_now)
+        assert state.violations == 1
+        assert state.first_violation_cycle == late_now
+        assert state.last_violation_cycle == late_now
+        assert state.worst_delay == late_now + 1
+        tracker.on_departure(dep(gen_cycle=0), now=late_now + 10)
+        assert state.violations == 2
+        assert state.first_violation_cycle == late_now
+        assert state.last_violation_cycle == late_now + 10
+        assert tracker.total_violations() == 2
+
+    def test_best_effort_never_violates(self):
+        tracker = self.make_tracker()
+        state = tracker.register(
+            make_conn(traffic_class=TrafficClass.BEST_EFFORT, avg_slots=1),
+            "be-0",
+        )
+        tracker.on_departure(dep(gen_cycle=0), now=10_000)
+        assert state.flits == 1
+        assert state.violations == 0
+        assert state.jitter_violations == 0
+
+    def test_unregistered_vc_ignored(self):
+        tracker = self.make_tracker()
+        tracker.on_departure(dep(vc=9), now=5)  # no crash, no counting
+        assert tracker.total_violations() == 0
+
+    def test_jitter_between_flits(self):
+        tracker = self.make_tracker()
+        state = tracker.register(make_conn(), "cbr-0")
+        bound = state.bounds.jitter_bound_cycles
+        # Two flits with identical delay: no jitter.
+        tracker.on_departure(dep(gen_cycle=0), now=4)
+        tracker.on_departure(dep(gen_cycle=10), now=14)
+        assert state.jitter_violations == 0
+        # Third flit with delay spread beyond the bound.
+        tracker.on_departure(dep(gen_cycle=20), now=20 + 4 + bound + 5)
+        assert state.jitter_violations == 1
+
+    def test_jitter_units_are_frames_for_framed_traffic(self):
+        tracker = self.make_tracker()
+        state = tracker.register(
+            make_conn(traffic_class=TrafficClass.VBR), "vbr-0"
+        )
+        bound = state.bounds.jitter_bound_cycles
+        # Mid-frame flits never close a delivery unit.
+        tracker.on_departure(dep(gen_cycle=0, frame_id=1), now=3)
+        tracker.on_departure(dep(gen_cycle=0, frame_id=1), now=5)
+        assert state.units == 0
+        tracker.on_departure(
+            dep(gen_cycle=0, frame_id=1, frame_last=True), now=8
+        )
+        assert state.units == 1
+        # Next frame lands far outside the bound relative to the last.
+        tracker.on_departure(
+            dep(gen_cycle=100, frame_id=2, frame_last=True),
+            now=100 + 9 + bound + 10,
+        )
+        assert state.units == 2
+        assert state.jitter_violations == 1
+
+    def test_summary_aggregates_by_class(self):
+        tracker = self.make_tracker()
+        cbr = tracker.register(make_conn(conn_id=0, vc=0), "cbr-0")
+        tracker.register(
+            make_conn(conn_id=1, vc=1,
+                      traffic_class=TrafficClass.BEST_EFFORT, avg_slots=1),
+            "be-0",
+        )
+        late = cbr.bounds.deadline_cycles + 100
+        tracker.on_departure(dep(vc=0, gen_cycle=0), now=late)
+        tracker.on_departure(dep(vc=1, gen_cycle=0), now=late)
+        summary = tracker.summary()
+        assert summary["classes"]["cbr"]["violations"] == 1
+        assert summary["classes"]["cbr"]["first_violation_cycle"] == late
+        assert summary["classes"]["best-effort"]["violations"] == 0
+        assert summary["classes"]["best-effort"]["flits"] == 1
+        assert len(summary["connections"]) == 2
+        record = summary["connections"][0]
+        assert record["label"] == "cbr-0"
+        assert record["violations"] == 1
+
+
+class TestBursts:
+    def test_burst_fires_once_per_window(self):
+        fired = []
+        tracker = QosTracker(
+            CONFIG, burst_window=100, burst_threshold=3,
+            on_burst=lambda now, count: fired.append((now, count)),
+        )
+        state = tracker.register(make_conn(), "cbr-0")
+        deadline = state.bounds.deadline_cycles
+        base = deadline + 1_000
+        for i in range(6):
+            tracker.on_departure(dep(gen_cycle=0), now=base + i)
+        # Threshold crossed at the 3rd violation; cooldown swallows the rest.
+        assert tracker.bursts == 1
+        assert len(fired) == 1
+        now, count = fired[0]
+        assert now == base + 2
+        assert count == 3
+
+    def test_burst_after_cooldown(self):
+        fired = []
+        tracker = QosTracker(
+            CONFIG, burst_window=50, burst_threshold=2,
+            on_burst=lambda now, count: fired.append(now),
+        )
+        state = tracker.register(make_conn(), "cbr-0")
+        base = state.bounds.deadline_cycles + 1_000
+        for now in (base, base + 1, base + 200, base + 201):
+            tracker.on_departure(dep(gen_cycle=0), now=now)
+        assert tracker.bursts == 2
+        assert fired == [base + 1, base + 201]
+
+    def test_no_burst_when_spread_out(self):
+        tracker = QosTracker(CONFIG, burst_window=10, burst_threshold=2)
+        state = tracker.register(make_conn(), "cbr-0")
+        base = state.bounds.deadline_cycles + 1_000
+        for k in range(5):
+            tracker.on_departure(dep(gen_cycle=0), now=base + 100 * k)
+        assert tracker.bursts == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QosTracker(CONFIG, burst_window=0)
+        with pytest.raises(ValueError):
+            QosTracker(CONFIG, burst_threshold=0)
+
+
+class TestConnectionQosDict:
+    def test_to_dict_shape(self):
+        state = ConnectionQos(
+            make_conn(), "cbr-0", bounds_for(make_conn(), CONFIG)
+        )
+        data = state.to_dict()
+        assert data["label"] == "cbr-0"
+        assert data["class"] == "cbr"
+        assert data["violations"] == 0
+        assert data["first_violation_cycle"] is None

@@ -1,0 +1,223 @@
+"""Tests for repro.obs.timeseries, repro.obs.flight, and JSONL validation."""
+
+import csv
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.timeseries import TIMESERIES_FIELDS, TimeSeriesRecorder
+from repro.obs.export import validate_timeseries_jsonl
+from repro.router import MMRouter, RouterConfig, TrafficClass
+from repro.router.crossbar import Departure
+
+
+def make_router():
+    cfg = RouterConfig(num_ports=2, vcs_per_link=4, candidate_levels=2,
+                       flit_cycles_per_round=400)
+    return MMRouter(cfg)
+
+
+def run_sampled(recorder, cycles=400, inject_every=2):
+    """Drive a tiny router, sampling on the recorder's stride."""
+    router = make_router()
+    conn = router.establish(0, 1, TrafficClass.CBR, 10).connection
+    rng = np.random.default_rng(0)
+    for now in range(cycles):
+        if now % inject_every == 0:
+            router.nics[0].inject(conn.vc, gen_cycle=now)
+        router.step(now, rng)
+        if recorder.due(now):
+            recorder.sample(now, router)
+    return router
+
+
+class TestTimeSeriesRecorder:
+    def test_rows_follow_stride(self):
+        rec = TimeSeriesRecorder(stride=50, capacity=64)
+        run_sampled(rec, cycles=400)
+        rows = rec.rows()
+        assert [r["cycle"] for r in rows] == list(range(0, 400, 50))
+        assert rec.samples_taken == len(rows) == len(rec)
+        assert rec.dropped == 0
+
+    def test_row_contents(self):
+        rec = TimeSeriesRecorder(stride=64, capacity=64)
+        router = run_sampled(rec, cycles=256)
+        last = rec.rows()[-1]
+        assert set(last) == set(TIMESERIES_FIELDS)
+        assert 0.0 <= last["utilization"] <= 1.0
+        assert 0.0 <= last["utilization_cum"] <= 1.0
+        assert last["nic_backlog"] == [
+            nic.backlog() for p, nic in enumerate(router.nics)
+        ] or len(last["nic_backlog"]) == router.config.num_ports
+        # A steadily-fed router shows nonzero utilization after warmup.
+        assert any(r["utilization"] > 0 for r in rec.rows())
+
+    def test_ring_wraps_keeping_most_recent(self):
+        rec = TimeSeriesRecorder(stride=10, capacity=8)
+        run_sampled(rec, cycles=400)
+        rows = rec.rows()
+        assert len(rows) == 8
+        assert rec.samples_taken == 40
+        assert rec.dropped == 40 - 8
+        # Oldest-first ordering of the most recent 8 samples.
+        assert [r["cycle"] for r in rows] == list(range(320, 400, 10))
+
+    def test_jsonl_round_trips_and_validates(self):
+        rec = TimeSeriesRecorder(stride=32, capacity=64)
+        run_sampled(rec, cycles=256)
+        text = rec.to_jsonl()
+        assert validate_timeseries_jsonl(text) == []
+        parsed = [json.loads(line) for line in text.splitlines()]
+        assert parsed == rec.rows()
+
+    def test_csv_flattens_backlog(self):
+        rec = TimeSeriesRecorder(stride=64, capacity=16)
+        run_sampled(rec, cycles=256)
+        reader = csv.reader(io.StringIO(rec.to_csv()))
+        header = next(reader)
+        assert header == [
+            "cycle", "utilization", "utilization_cum", "buffered_flits",
+            "nic_backlog_0", "nic_backlog_1", "credits_in_flight",
+        ]
+        body = list(reader)
+        assert len(body) == len(rec)
+        assert all(len(row) == len(header) for row in body)
+
+    def test_payload_summary(self):
+        rec = TimeSeriesRecorder(stride=16, capacity=4)
+        run_sampled(rec, cycles=128)
+        payload = rec.to_payload()
+        assert payload["stride"] == 16
+        assert payload["samples_taken"] == 8
+        assert payload["samples_kept"] == 4
+        assert payload["dropped"] == 4
+        assert len(payload["rows"]) == 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(stride=0)
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(capacity=0)
+
+    def test_empty_exports(self):
+        rec = TimeSeriesRecorder()
+        assert rec.to_jsonl() == ""
+        assert rec.rows() == []
+        assert rec.to_csv().splitlines()[0].startswith("cycle,")
+
+
+class TestValidator:
+    def good_line(self, cycle=0):
+        return json.dumps({
+            "cycle": cycle, "utilization": 0.5, "utilization_cum": 0.4,
+            "buffered_flits": 3, "nic_backlog": [0, 1],
+            "credits_in_flight": 2,
+        })
+
+    def test_accepts_good_stream(self):
+        text = "\n".join(self.good_line(c) for c in (0, 64, 128)) + "\n"
+        assert validate_timeseries_jsonl(text) == []
+
+    def test_rejects_bad_json(self):
+        assert validate_timeseries_jsonl("{not json\n")
+
+    def test_rejects_non_object(self):
+        assert validate_timeseries_jsonl("[1,2]\n")
+
+    def test_rejects_field_mismatch(self):
+        row = json.loads(self.good_line())
+        del row["utilization"]
+        row["extra"] = 1
+        errors = validate_timeseries_jsonl(json.dumps(row) + "\n")
+        assert any("fields mismatch" in e for e in errors)
+
+    def test_rejects_negative_and_bool_counters(self):
+        row = json.loads(self.good_line())
+        row["buffered_flits"] = -1
+        assert validate_timeseries_jsonl(json.dumps(row) + "\n")
+        row = json.loads(self.good_line())
+        row["cycle"] = True
+        assert validate_timeseries_jsonl(json.dumps(row) + "\n")
+
+    def test_rejects_utilization_out_of_range(self):
+        row = json.loads(self.good_line())
+        row["utilization"] = 1.5
+        errors = validate_timeseries_jsonl(json.dumps(row) + "\n")
+        assert any("out of [0,1]" in e for e in errors)
+
+    def test_rejects_bad_backlog(self):
+        row = json.loads(self.good_line())
+        row["nic_backlog"] = [0, -2]
+        assert validate_timeseries_jsonl(json.dumps(row) + "\n")
+
+    def test_rejects_non_increasing_cycles(self):
+        text = self.good_line(64) + "\n" + self.good_line(64) + "\n"
+        errors = validate_timeseries_jsonl(text)
+        assert any("not increasing" in e for e in errors)
+
+    def test_rejects_blank_lines(self):
+        text = self.good_line(0) + "\n\n" + self.good_line(64) + "\n"
+        assert any("blank" in e for e in validate_timeseries_jsonl(text))
+
+
+def make_departure(now, in_port=0, vc=0, frame_id=-1, frame_last=False):
+    return Departure(in_port=in_port, vc=vc, out_port=1, gen_cycle=now - 1,
+                     arrival_cycle=now - 1, frame_id=frame_id,
+                     frame_last=frame_last)
+
+
+class TestFlightRecorder:
+    def test_ring_keeps_active_cycles_only(self):
+        rec = FlightRecorder(capacity=4)
+        for now in range(20):
+            deps = [make_departure(now)] if now % 2 == 0 else []
+            rec.on_cycle(now, deps)
+        assert len(rec) == 4
+        events = rec.render_events()
+        # Only the most recent active cycles survive.
+        assert "[      18]" in events and "[      10]" not in events
+
+    def test_trigger_snapshots_events_and_state(self):
+        router = make_router()
+        conn = router.establish(0, 1, TrafficClass.CBR, 10).connection
+        rng = np.random.default_rng(0)
+        rec = FlightRecorder(capacity=16)
+        for now in range(6):
+            if now < 2:
+                router.nics[0].inject(conn.vc, gen_cycle=now)
+            rec.on_cycle(now, router.step(now, rng))
+        dump = rec.trigger(router, 6, "qos_burst", "detail text")
+        assert dump.reason == "qos_burst"
+        assert dump.cycle == 6
+        assert "depart in=0" in dump.events
+        assert "router state at cycle 6" in dump.router_state
+        rendered = dump.render()
+        assert "flight dump: qos_burst at cycle 6" in rendered
+        assert "detail text" in rendered
+        assert rec.dumps == [dump]
+
+    def test_trigger_with_empty_ring(self):
+        router = make_router()
+        dump = FlightRecorder().trigger(router, 0, "watchdog:livelock")
+        assert "(none recorded)" in dump.render()
+
+    def test_payload_shape(self):
+        router = make_router()
+        rec = FlightRecorder(capacity=8)
+        rec.on_cycle(3, [make_departure(3, frame_id=2, frame_last=True)])
+        rec.trigger(router, 4, "watchdog:conservation")
+        payload = rec.to_payload()
+        assert payload["capacity"] == 8
+        assert payload["active_cycles_retained"] == 1
+        assert len(payload["dumps"]) == 1
+        assert payload["dumps"][0]["reason"] == "watchdog:conservation"
+        assert "frame=2 last" in payload["dumps"][0]["events"]
+        json.dumps(payload, allow_nan=False)  # strictly serializable
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)

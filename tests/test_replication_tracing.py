@@ -7,7 +7,7 @@ from repro.router import MMRouter, RouterConfig, TrafficClass
 from repro.sim.engine import RunControl
 from repro.sim.replication import replicate, replicate_sweep
 from repro.sim.simulation import SingleRouterSim
-from repro.sim.tracing import EventKind, Tracer
+from repro.sim.tracing import EventKind, Tracer, dump_router_state
 from repro.traffic.mixes import build_cbr_workload
 
 
@@ -135,3 +135,101 @@ class TestTracer:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             Tracer(self.make_router(), capacity=0)
+
+
+class TestDumpRouterState:
+    def make_router(self):
+        cfg = RouterConfig(num_ports=2, vcs_per_link=4, candidate_levels=2,
+                           flit_cycles_per_round=400)
+        return MMRouter(cfg)
+
+    def test_idle_router_dumps_only_totals(self):
+        router = self.make_router()
+        dump = dump_router_state(router, 7)
+        assert "router state at cycle 7" in dump
+        assert "buffered flits: 0" in dump
+        assert "nic backlog: 0" in dump
+        assert "credits in flight: 0" in dump
+        # No busy (port, vc) pair: no per-port sections.
+        assert "port 0:" not in dump
+
+    def test_lists_only_non_idle_vcs_with_figures(self):
+        router = self.make_router()
+        conn = router.establish(0, 1, TrafficClass.CBR, 10).connection
+        # One flit buffered in VC memory, one stuck in the NIC.
+        router.vc_memory.push(conn.in_port, conn.vc, 0, -1, False, 0)
+        router.nics[0].inject(conn.vc, gen_cycle=1)
+        dump = dump_router_state(router, 3)
+        assert "buffered flits: 1" in dump
+        assert "nic backlog: 1" in dump
+        assert "port 0:" in dump
+        assert "port 1:" not in dump  # idle port stays unlisted
+        line = next(l for l in dump.splitlines() if f"vc {conn.vc:>3}" in l)
+        assert "buffered=1" in line
+        assert "nic_backlog=1" in line
+        depth = router.config.vc_buffer_depth
+        assert f"credits={depth}" in line
+        assert "in_flight=0" in line
+
+    def test_credit_deficit_is_visible(self):
+        router = self.make_router()
+        conn = router.establish(0, 1, TrafficClass.CBR, 10).connection
+        rng = np.random.default_rng(0)
+        router.nics[0].inject(conn.vc, gen_cycle=0)
+        router.step(0, rng)  # NIC -> VC memory consumes one credit
+        dump = dump_router_state(router, 1)
+        depth = router.config.vc_buffer_depth
+        assert f"credits={depth - 1}" in dump
+
+
+class TestTracerUnderFaults:
+    """The tracer hooks pipeline seams shared by the fault harness,
+    which inlines the loop and never calls router.step."""
+
+    def faulty_run(self, traced: bool, faults=None):
+        from repro.faults import FaultConfig, FaultySingleRouterSim
+
+        sim = FaultySingleRouterSim(
+            small_config(), arbiter="coa", seed=4,
+            faults=faults or FaultConfig(),
+        )
+        wl = build_cbr_workload(sim.router, 0.5, sim.rng.workload)
+        control = RunControl(cycles=1_000, warmup_cycles=200)
+        if traced:
+            tracer = Tracer(sim.router)
+            with tracer:
+                result = sim.run(wl, control)
+            return result, tracer
+        return sim.run(wl, control), None
+
+    def test_no_behaviour_change_while_faults_active(self):
+        from repro.faults import FaultConfig
+
+        faults = FaultConfig(corruption_rate=0.01, credit_loss_rate=0.002)
+        plain, _ = self.faulty_run(False, faults)
+        traced, tracer = self.faulty_run(True, faults)
+        assert traced.flit_delay_us == plain.flit_delay_us
+        assert traced.utilization == plain.utilization
+        assert traced.fault == plain.fault
+        assert len(tracer.filter(kind=EventKind.DEPARTURE)) > 0
+
+    def test_departures_recorded_during_faulty_run(self):
+        result, tracer = self.faulty_run(True)
+        departures = tracer.filter(kind=EventKind.DEPARTURE)
+        matches = tracer.filter(kind=EventKind.MATCH)
+        forwards = tracer.filter(kind=EventKind.NIC_FORWARD)
+        assert departures and matches and forwards
+        # Departure events carry (in_port, vc, out_port, gen, frame_id).
+        in_port, vc, out_port, gen, frame_id = departures[0].data
+        assert 0 <= in_port < 4 and 0 <= out_port < 4
+        assert gen <= departures[0].cycle
+
+    def test_corrupted_flits_produce_no_nic_forward(self):
+        from repro.faults import FaultConfig
+
+        # Corrupt every forward: the NIC pop seam is never reached, so
+        # the tracer sees matches/departures but zero NIC forwards.
+        _, tracer = self.faulty_run(
+            True, FaultConfig(corruption_rate=1.0)
+        )
+        assert tracer.filter(kind=EventKind.NIC_FORWARD) == []

@@ -46,6 +46,37 @@ class TestSimResultRoundTrip:
         )
         assert math.isnan(clone.jitter_us["overall"])
 
+    def test_non_finite_aggregates_serialize_as_strict_json(self):
+        """Empty groups produce NaN/inf aggregates; the dict form must
+        normalize them to null so strict parsers never choke."""
+        result = run_once()
+        result.jitter_us["overall"] = float("nan")
+        result.flit_delay_us["ghost"] = float("inf")
+        result.flit_delay_p99_us["ghost"] = float("-inf")
+        result.utilization = float("nan")
+        data = result.to_dict()
+        # Strict JSON round trip: allow_nan=False must not raise.
+        text = json.dumps(data, allow_nan=False)
+        back = json.loads(text)
+        assert back["jitter_us"]["overall"] is None
+        assert back["flit_delay_us"]["ghost"] is None
+        assert back["flit_delay_p99_us"]["ghost"] is None
+        assert back["utilization"] is None
+        # And from_dict maps the nulls back to non-finite floats.
+        clone = type(result).from_dict(back)
+        assert math.isnan(clone.jitter_us["overall"])
+        assert math.isnan(clone.flit_delay_us["ghost"])
+        assert math.isnan(clone.utilization)
+
+    def test_finite_values_unaffected_by_normalization(self):
+        result = run_once()
+        data = result.to_dict()
+        assert data["throughput"] == result.throughput
+        assert data["flit_delay_us"]["overall"] == (
+            result.flit_delay_us["overall"]
+        )
+        json.dumps(data, allow_nan=False)
+
     def test_counts_come_back_as_ints(self):
         result = run_once()
         clone = type(result).from_dict(result.to_dict())
