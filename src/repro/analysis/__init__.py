@@ -1,8 +1,9 @@
 """Post-processing: statistics, saturation detection, table rendering."""
 
+from .blocking import BlockingPoint, erlang_b, render_blocking_table
 from .plots import render_xy_plot
 from .saturation import knee_by_deficit, knee_by_delay, saturation_gap
-from .stats import MeanCI, geometric_mean, mean_ci, relative_gap
+from .stats import MeanCI, geometric_mean, mean_ci, relative_gap, wilson_interval
 from .tables import render_series, render_table, sparkline
 from .theory import (
     KAROL_HLUCHYJ_TABLE,
@@ -12,6 +13,10 @@ from .theory import (
 )
 
 __all__ = [
+    "BlockingPoint",
+    "erlang_b",
+    "render_blocking_table",
+    "wilson_interval",
     "render_xy_plot",
     "knee_by_deficit",
     "knee_by_delay",

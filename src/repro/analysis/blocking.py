@@ -1,0 +1,102 @@
+"""Blocking-probability analysis for session-churn experiments.
+
+The dynamic-session experiments (``repro.sessions``) measure the classic
+teletraffic quantity the static figures cannot: the probability that the
+admission controller *blocks* an arriving connection as a function of
+offered load.  This module provides the Erlang-B reference curve and the
+table renderer for the blocking-vs-load figure class.
+
+Erlang-B applies exactly when sessions arrive Poisson, hold for a
+generally-distributed time (the formula is insensitive to the holding
+distribution), and the link behaves as ``servers`` identical circuits —
+a good model for a single-class CBR mix where every session reserves the
+same slot count, and a sanity reference otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .stats import wilson_interval
+from .tables import render_table
+
+__all__ = ["erlang_b", "BlockingPoint", "render_blocking_table"]
+
+
+def erlang_b(offered_erlangs: float, servers: int) -> float:
+    """Erlang-B blocking probability for ``offered_erlangs`` on ``servers``.
+
+    Uses the standard iterative recursion ``B(0) = 1``,
+    ``B(k) = a*B(k-1) / (k + a*B(k-1))`` — numerically stable for any
+    load (no factorials).
+    """
+    if offered_erlangs < 0:
+        raise ValueError("offered load must be >= 0")
+    if servers < 0:
+        raise ValueError("servers must be >= 0")
+    if offered_erlangs == 0:
+        return 0.0
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered_erlangs * b / (k + offered_erlangs * b)
+    return b
+
+
+@dataclass(frozen=True)
+class BlockingPoint:
+    """One measured (policy, load) point of a blocking-probability sweep."""
+
+    policy: str
+    #: Offered session load in erlangs (mean concurrently-wanted sessions).
+    offered_erlangs: float
+    offered_sessions: int
+    blocked_sessions: int
+    #: Erlang-B reference for the same offered load, if a circuit count
+    #: is well-defined for the mix (single-class); NaN otherwise.
+    erlang_b_reference: float = float("nan")
+
+    @property
+    def blocking_probability(self) -> float:
+        if self.offered_sessions == 0:
+            return float("nan")
+        return self.blocked_sessions / self.offered_sessions
+
+    @property
+    def wilson_95(self) -> tuple[float, float]:
+        return wilson_interval(self.blocked_sessions, self.offered_sessions)
+
+
+def render_blocking_table(
+    points: list[BlockingPoint], title: str | None = None
+) -> str:
+    """The Erlang-style figure as a text table.
+
+    Rows are sorted by (policy, offered load); the Wilson 95% interval
+    column makes short-run noise visible next to the point estimate.
+    """
+    if not points:
+        raise ValueError("no blocking points to render")
+    headers = [
+        "policy",
+        "offered (erl)",
+        "sessions",
+        "blocked",
+        "P(block)",
+        "wilson 95%",
+        "erlang-B ref",
+    ]
+    rows = []
+    for p in sorted(points, key=lambda p: (p.policy, p.offered_erlangs)):
+        low, high = p.wilson_95
+        rows.append(
+            [
+                p.policy,
+                p.offered_erlangs,
+                p.offered_sessions,
+                p.blocked_sessions,
+                p.blocking_probability,
+                f"[{low:.3f}, {high:.3f}]",
+                p.erlang_b_reference,
+            ]
+        )
+    return render_table(headers, rows, title=title)

@@ -13,7 +13,13 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["MeanCI", "mean_ci", "geometric_mean", "relative_gap"]
+__all__ = [
+    "MeanCI",
+    "mean_ci",
+    "geometric_mean",
+    "relative_gap",
+    "wilson_interval",
+]
 
 #: Two-sided t critical values at 95% for small samples (df 1..30);
 #: falls back to the normal 1.96 beyond.  Hard-coded to avoid a scipy
@@ -67,6 +73,31 @@ def geometric_mean(values: Sequence[float]) -> float:
     if (arr <= 0).any():
         raise ValueError("geometric mean requires positive values")
     return float(np.exp(np.log(arr).mean()))
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The right interval for blocking probabilities: unlike the normal
+    approximation it stays inside [0, 1] and behaves at p near 0 (the
+    common case for a well-provisioned admission controller) and for the
+    small trial counts short simulations produce.  Returns ``(low, high)``
+    at ~95% for the default ``z``; ``(0.0, 1.0)`` with no trials.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("need 0 <= successes <= trials")
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(
+        p * (1.0 - p) / trials + z2 / (4.0 * trials * trials)
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
 
 
 def relative_gap(a: float, b: float) -> float:

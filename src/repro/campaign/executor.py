@@ -59,6 +59,7 @@ def execute_point(
     seed: int,
     scheme: str = "siabp",
     telemetry=None,
+    sessions=None,
 ) -> SimResult:
     """Run one simulation point.  THE definition of point semantics.
 
@@ -72,9 +73,29 @@ def execute_point(
     instrumented and the return value becomes the tuple
     ``(result, session)`` so callers can export or persist the
     session's payload.
+
+    ``sessions`` optionally takes a
+    :class:`~repro.sessions.signaling.SessionsSpec`; the point then runs
+    with dynamic session churn and the return value grows a trailing
+    :class:`~repro.sessions.signaling.SessionEngine` —
+    ``(result, engine)`` or ``(result, session, engine)``.
     """
     sim = SingleRouterSim(config, arbiter=arbiter, scheme=scheme, seed=seed)
     workload = builder(sim.router, sim.rng.workload, target_load)
+    if sessions is not None:
+        from ..sessions.signaling import SessionEngine
+
+        engine = SessionEngine.from_spec(
+            config, sessions, control.cycles, sim.rng.sessions
+        )
+        if telemetry is None:
+            result = sim.run(workload, control, sessions=engine)
+            return result, engine  # type: ignore[return-value]
+        from ..obs.export import TelemetrySession
+
+        session = TelemetrySession(telemetry)
+        result = sim.run(workload, control, telemetry=session, sessions=engine)
+        return result, session, engine  # type: ignore[return-value]
     if telemetry is None:
         return sim.run(workload, control)
     from ..obs.export import TelemetrySession
@@ -89,25 +110,12 @@ def _worker(payload: dict[str, Any]) -> dict[str, Any]:
     t0 = time.monotonic()
     spec = PointSpec.from_dict(payload)
     telemetry_cfg = payload.get("telemetry")
+    telemetry = None
     if telemetry_cfg is not None:
         from ..obs.export import TelemetryConfig
 
-        result, session = execute_point(
-            spec.workload,
-            spec.config,
-            spec.arbiter,
-            spec.control,
-            spec.target_load,
-            spec.seed,
-            spec.scheme,
-            telemetry=TelemetryConfig.from_dict(telemetry_cfg),
-        )
-        return {
-            "wall_s": time.monotonic() - t0,
-            "result": result.to_dict(),
-            "telemetry": session.to_payload(),
-        }
-    result = execute_point(
+        telemetry = TelemetryConfig.from_dict(telemetry_cfg)
+    out = execute_point(
         spec.workload,
         spec.config,
         spec.arbiter,
@@ -115,8 +123,21 @@ def _worker(payload: dict[str, Any]) -> dict[str, Any]:
         spec.target_load,
         spec.seed,
         spec.scheme,
+        telemetry=telemetry,
+        sessions=spec.sessions,
     )
-    return {"wall_s": time.monotonic() - t0, "result": result.to_dict()}
+    payload_out: dict[str, Any] = {"wall_s": time.monotonic() - t0}
+    if spec.sessions is not None:
+        engine = out[-1]
+        out = out[:-1]
+        payload_out["sessions"] = engine.to_payload()
+    if telemetry is not None:
+        result, session = out if isinstance(out, tuple) else (out, None)
+        payload_out["telemetry"] = session.to_payload()
+    else:
+        result = out[0] if isinstance(out, tuple) else out
+    payload_out["result"] = result.to_dict()
+    return payload_out
 
 
 # ----------------------------------------------------------------------
@@ -137,6 +158,9 @@ class PointOutcome:
     #: Telemetry payload (``repro.obs`` schema) when the campaign ran
     #: with telemetry; ``None`` otherwise.
     telemetry: dict[str, Any] | None = None
+    #: Session-stats payload (``repro.sessions`` schema) when the point
+    #: spec carried a :class:`~repro.sessions.signaling.SessionsSpec`.
+    sessions: dict[str, Any] | None = None
 
 
 @dataclass
@@ -233,10 +257,15 @@ def run_campaign(
     for i, (spec, key) in enumerate(zip(plan.points, keys)):
         cached = store.get(key) if store is not None else None
         cached_telemetry = None
+        cached_sessions = None
         if cached is not None and telemetry is not None:
             cached_telemetry = store.get_telemetry(key)
             if cached_telemetry is None:
                 cached = None  # result alone cannot serve a telemetry run
+        if cached is not None and spec.sessions is not None:
+            cached_sessions = store.get_sessions(key)
+            if cached_sessions is None:
+                cached = None  # session stats also require a live run
         if cached is not None:
             outcomes[i] = PointOutcome(
                 spec=spec,
@@ -246,6 +275,7 @@ def run_campaign(
                 attempts=0,
                 wall_s=0.0,
                 telemetry=cached_telemetry,
+                sessions=cached_sessions,
             )
             if reporter:
                 reporter.point_done(cached=True, attempts=0)
@@ -260,12 +290,15 @@ def run_campaign(
         wall_s: float,
         result_dict: dict[str, Any],
         telemetry_payload: dict[str, Any] | None = None,
+        sessions_payload: dict[str, Any] | None = None,
     ) -> None:
         spec, key = plan.points[i], keys[i]
         if store is not None:
             store.put(spec, key, result_dict)
             if telemetry_payload is not None:
                 store.put_telemetry(key, telemetry_payload)
+            if sessions_payload is not None:
+                store.put_sessions(key, sessions_payload)
         outcomes[i] = PointOutcome(
             spec=spec,
             key=key,
@@ -274,6 +307,7 @@ def run_campaign(
             attempts=attempts[i],
             wall_s=wall_s,
             telemetry=telemetry_payload,
+            sessions=sessions_payload,
         )
         if reporter:
             reporter.point_done(cached=False, attempts=attempts[i])
@@ -310,6 +344,7 @@ def run_campaign(
                         out.get("wall_s", time.monotonic() - t0),
                         out["result"],
                         out.get("telemetry"),
+                        out.get("sessions"),
                     )
     else:
         _run_pool(
@@ -400,6 +435,7 @@ def _run_pool(
                             out.get("wall_s", 0.0),
                             out["result"],
                             out.get("telemetry"),
+                            out.get("sessions"),
                         )
             if broken:
                 # In-flight futures on a broken pool are poisoned too:

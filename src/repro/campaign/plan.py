@@ -34,6 +34,7 @@ import numpy as np
 from .. import __version__
 from ..router.config import RouterConfig
 from ..router.router import MMRouter
+from ..sessions.signaling import SessionsSpec
 from ..sim.engine import RunControl
 from ..traffic.mixes import Workload, build_cbr_workload, build_vbr_workload
 
@@ -178,13 +179,17 @@ class PointSpec:
     workload: WorkloadSpec
     cycles: int
     warmup_cycles: int
+    #: Optional dynamic-session dimension (churn + CAC policy +
+    #: signaling).  ``None`` keeps the point static — and keeps its hash
+    #: identical to pre-sessions artifacts, so existing caches stay warm.
+    sessions: SessionsSpec | None = None
 
     @property
     def control(self) -> RunControl:
         return RunControl(cycles=self.cycles, warmup_cycles=self.warmup_cycles)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "config": asdict(self.config),
             "arbiter": self.arbiter,
             "scheme": self.scheme,
@@ -194,9 +199,13 @@ class PointSpec:
             "cycles": self.cycles,
             "warmup_cycles": self.warmup_cycles,
         }
+        if self.sessions is not None:
+            out["sessions"] = self.sessions.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PointSpec":
+        sessions = data.get("sessions")
         return cls(
             config=RouterConfig(**data["config"]),
             arbiter=data["arbiter"],
@@ -206,6 +215,9 @@ class PointSpec:
             workload=WorkloadSpec.from_dict(data["workload"]),
             cycles=data["cycles"],
             warmup_cycles=data["warmup_cycles"],
+            sessions=(
+                SessionsSpec.from_dict(sessions) if sessions is not None else None
+            ),
         )
 
     def key(self) -> str:
@@ -219,10 +231,16 @@ class PointSpec:
 
     def describe(self) -> str:
         """Short human-readable label for logs and manifests."""
-        return (
+        base = (
             f"{self.workload.kind}/{self.arbiter}/{self.scheme} "
             f"load={self.target_load:g} seed={self.seed}"
         )
+        if self.sessions is not None:
+            base += (
+                f" churn={self.sessions.churn.offered_erlangs_per_port:g}erl"
+                f"/{self.sessions.policy}"
+            )
+        return base
 
 
 # ----------------------------------------------------------------------

@@ -5,6 +5,7 @@ Layout under the store root::
     <root>/
         objects/<kk>/<key>.json     # kk = first two hex chars of key
         telemetry/<kk>/<key>.json   # optional telemetry payload per point
+        sessions/<kk>/<key>.json    # optional session-stats payload per point
         manifests/<name>-<stamp>.json
 
 Artifacts are *deterministic*: they contain only the point key, the
@@ -47,6 +48,7 @@ class ResultStore:
         self.objects_dir = self.root / "objects"
         self.manifests_dir = self.root / "manifests"
         self.telemetry_dir = self.root / "telemetry"
+        self.sessions_dir = self.root / "sessions"
         #: Artifacts dropped because they failed to parse or validate.
         self.corrupt_dropped = 0
 
@@ -146,6 +148,51 @@ class ResultStore:
         path = self.telemetry_path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         body = canonical_json({"key": key, "telemetry": telemetry})
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(body, encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Session-stats side-artifacts (repro.sessions payloads)
+    # ------------------------------------------------------------------
+
+    def sessions_path_for(self, key: str) -> Path:
+        return self.sessions_dir / key[:2] / f"{key}.json"
+
+    def get_sessions(self, key: str) -> dict[str, Any] | None:
+        """The stored session-stats payload for ``key``, or None on miss.
+
+        Same corruption policy as :meth:`get`: any failure is a miss and
+        the point recomputes (session stats require a live run).
+        """
+        path = self.sessions_path_for(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupt_dropped += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("key") != key
+            or not isinstance(payload.get("sessions"), dict)
+        ):
+            self.corrupt_dropped += 1
+            return None
+        return payload["sessions"]
+
+    def put_sessions(self, key: str, sessions: dict[str, Any]) -> Path:
+        """Persist one point's session-stats payload atomically.
+
+        Canonical JSON of deterministic content (event log included), so
+        serial and parallel campaigns write byte-identical artifacts.
+        """
+        path = self.sessions_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = canonical_json({"key": key, "sessions": sessions})
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(body, encoding="utf-8")
         os.replace(tmp, path)

@@ -294,6 +294,62 @@ def build_parser() -> argparse.ArgumentParser:
                             "(fraction, default 0.01)")
     p_obs.set_defaults(func=cmd_obs)
 
+    p_sessions = sub.add_parser(
+        "sessions",
+        help="dynamic session churn: blocking demo, determinism check, "
+             "overhead bench",
+    )
+    add_router_args(p_sessions)
+    p_sessions.add_argument("--arbiter", default="coa", choices=ARBITER_NAMES)
+    p_sessions.add_argument("--load", type=float, default=0.1,
+                            help="static background CBR load per input link "
+                                 "(0-1, default 0.1)")
+    p_sessions.add_argument("--cycles", type=int, default=0,
+                            help="flit cycles (0 = 15000, or 20000 for "
+                                 "--bench)")
+    p_sessions.add_argument("--rate", type=float, default=2.0,
+                            help="session arrivals per 1000 cycles per port")
+    p_sessions.add_argument("--hold", type=float, default=3000.0,
+                            help="mean session holding time (cycles)")
+    p_sessions.add_argument("--hold-dist", choices=("exponential", "pareto"),
+                            default="exponential",
+                            help="holding-time distribution")
+    p_sessions.add_argument("--policy", default="paper",
+                            help="CAC policy name (see repro.sessions."
+                                 "policies; default 'paper')")
+    p_sessions.add_argument("--events", type=int, default=12,
+                            help="session event-log tail lines to print")
+    p_sessions.add_argument("--demo", action="store_true",
+                            help="blocking-vs-offered-load table over CAC "
+                                 "policies (campaign-executed)")
+    p_sessions.add_argument("--rates", type=_parse_floats,
+                            default=[4.0, 8.0, 12.0],
+                            help="--demo arrival rates per kcycle per port")
+    p_sessions.add_argument("--policies", type=_parse_names,
+                            default=["paper", "util-cap"],
+                            help="--demo comma-separated CAC policies")
+    p_sessions.add_argument("-j", "--jobs", type=int, default=1,
+                            help="--demo worker processes (0 = per core)")
+    p_sessions.add_argument("--store", default=None, metavar="DIR",
+                            help="--demo result-store directory")
+    p_sessions.add_argument("--check-determinism", action="store_true",
+                            help="run the same seed twice; exit 1 unless "
+                                 "event logs and results are identical")
+    p_sessions.add_argument("--bench", action="store_true",
+                            help="measure session-layer overhead "
+                                 "(BENCH_sessions.json)")
+    p_sessions.add_argument("--repeats", type=int, default=0,
+                            help="interleaved bench repetitions per variant "
+                                 "(0 = default 5)")
+    p_sessions.add_argument("--json", default=None, metavar="PATH",
+                            help="write the bench report "
+                                 "(BENCH_sessions.json format)")
+    p_sessions.add_argument("--max-disabled-overhead", type=float,
+                            default=0.01,
+                            help="tolerated sessions-disabled overhead "
+                                 "(fraction, default 0.01)")
+    p_sessions.set_defaults(func=cmd_sessions)
+
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(
         "artifact",
@@ -797,6 +853,158 @@ def cmd_obs(args: argparse.Namespace) -> int:
         print("artifacts:")
         for name in sorted(paths):
             print(f"  {paths[name]}")
+    return 0
+
+
+def _sessions_run(args: argparse.Namespace, cycles: int):
+    """One churn-enabled run; returns ``(result, engine, fingerprint)``."""
+    import dataclasses
+
+    from .sessions import ChurnConfig, SessionEngine, SessionsSpec
+
+    config = _config_from_args(args)
+    churn = dataclasses.replace(
+        ChurnConfig(),
+        arrivals_per_kcycle=args.rate,
+        mean_hold_cycles=args.hold,
+        hold_dist=args.hold_dist,
+    )
+    spec = SessionsSpec(churn=churn, policy=args.policy)
+    sim = SingleRouterSim(config, arbiter=args.arbiter, scheme=args.scheme,
+                          seed=args.seed)
+    workload = build_cbr_workload(sim.router, args.load, sim.rng.workload)
+    engine = SessionEngine.from_spec(config, spec, cycles, sim.rng.sessions)
+    result = sim.run(workload, RunControl(cycles=cycles, warmup_cycles=0),
+                     sessions=engine)
+    return result, engine, sim.rng.state_fingerprint()
+
+
+def cmd_sessions(args: argparse.Namespace) -> int:
+    if args.bench:
+        from .sessions.bench import (
+            check_sessions_overhead,
+            run_sessions_bench,
+            write_sessions_report,
+        )
+
+        report = run_sessions_bench(
+            ports=args.ports, vcs=args.vcs, levels=args.levels,
+            arbiter=args.arbiter, scheme=args.scheme, load=args.load,
+            seed=args.seed, cycles=args.cycles or 20_000,
+            repeats=args.repeats or 5,
+        )
+        rows = [
+            ["config", f"{report.ports}x{report.ports} ports, "
+                       f"{report.vcs} VCs, {report.levels} levels"],
+            ["measured cycles", f"{report.cycles} x {report.repeats} reps"],
+            ["plain (cycles/sec)", f"{report.plain.cycles_per_sec:,.0f}"],
+            ["disabled (cycles/sec)",
+             f"{report.disabled.cycles_per_sec:,.0f}"],
+            ["enabled (cycles/sec)", f"{report.enabled.cycles_per_sec:,.0f}"],
+            ["overhead disabled", f"{report.overhead_disabled:+.2%}"],
+            ["overhead enabled", f"{report.overhead_enabled:+.2%}"],
+            ["disabled identical", report.disabled_identical],
+            ["replay identical", report.replay_identical],
+            ["sessions offered / blocked",
+             f"{report.sessions_offered} / {report.sessions_blocked}"],
+        ]
+        print(render_table(["metric", "value"], rows,
+                           title="session-layer overhead benchmark"))
+        if args.json:
+            path = write_sessions_report(report, args.json)
+            print(f"report written to {path}")
+        ok, message = check_sessions_overhead(
+            report, args.max_disabled_overhead
+        )
+        print(message)
+        return 0 if ok else 1
+
+    if args.demo:
+        from .analysis.blocking import render_blocking_table
+        from .sessions.experiments import (
+            blocking_sweep_plan,
+            run_blocking_sweep,
+        )
+
+        if len(args.rates) < 3 or len(args.policies) < 2:
+            print("error: --demo needs >= 3 rates and >= 2 policies",
+                  file=sys.stderr)
+            return 2
+        plan = blocking_sweep_plan(
+            "sessions-demo",
+            _config_from_args(args),
+            args.rates,
+            args.policies,
+            control=RunControl(cycles=args.cycles or 15_000,
+                               warmup_cycles=0),
+            background_load=args.load,
+            seed=args.seed,
+            arbiter=args.arbiter,
+            scheme=args.scheme,
+        )
+        campaign, points = run_blocking_sweep(
+            plan, jobs=_resolve_jobs(args.jobs), store=_open_store(args)
+        )
+        print(render_blocking_table(
+            points,
+            title="session blocking vs offered load "
+                  f"({campaign.hits} cached / {len(campaign.outcomes)} "
+                  "points)",
+        ))
+        return 0
+
+    cycles = args.cycles or 15_000
+    if args.check_determinism:
+        first_result, first_engine, first_fp = _sessions_run(args, cycles)
+        second_result, second_engine, second_fp = _sessions_run(args, cycles)
+        identical = (
+            first_engine.to_payload() == second_engine.to_payload()
+            and first_result.to_dict() == second_result.to_dict()
+            and first_fp == second_fp
+        )
+        n_events = len(first_engine.event_log)
+        if not identical:
+            print(f"DIVERGED: two seed={args.seed} runs differ",
+                  file=sys.stderr)
+            return 1
+        print(f"deterministic: seed={args.seed} replayed identically "
+              f"({n_events} session events, {cycles} cycles)")
+        return 0
+
+    result, engine, _ = _sessions_run(args, cycles)
+    payload = engine.to_payload()
+    low, high = payload["blocking_wilson_95"]
+    p_block = payload["blocking_probability"]
+    rows = [
+        ["arbiter / scheme / policy",
+         f"{result.arbiter} / {result.scheme} / {payload['policy']}"],
+        ["offered sessions", payload["offered"]],
+        ["admitted / blocked",
+         f"{payload['admitted']} / {payload['blocked']}"],
+        ["P(block) [wilson 95%]",
+         f"{0.0 if p_block is None else p_block:.4f} "
+         f"[{low:.3f}, {high:.3f}]"],
+        ["offered / carried erlangs",
+         f"{payload['offered_erlangs']:.2f} / "
+         f"{payload['carried_erlangs']:.2f}"],
+        ["renegotiations ok / rejected",
+         f"{payload['reneg_ok']} / {payload['reneg_rejected']}"],
+        ["still active at end", payload["expired_active"]],
+        ["throughput", f"{result.throughput:.1%}"],
+    ]
+    for name, counters in sorted(payload["by_class"].items()):
+        rows.append([
+            f"class {name}: offered/blocked",
+            f"{counters['offered']} / {counters['blocked']}",
+        ])
+    print(render_table(["metric", "value"], rows,
+                       title=f"session churn run, {cycles} cycles"))
+    if args.events > 0 and payload["event_log"]:
+        tail = payload["event_log"][-args.events:]
+        print(f"\nsession events ({len(payload['event_log'])} total, "
+              f"last {len(tail)}):")
+        for line in tail:
+            print(f"  {line}")
     return 0
 
 

@@ -34,6 +34,7 @@ from ..core.priorities import PriorityScheme
 from ..router.config import RouterConfig
 from ..router.connection import Connection, TrafficClass
 from ..router.credits import CreditWatchdog
+from ..sessions.signaling import readmit_elsewhere
 from ..sim.engine import RunControl
 from ..sim.metrics import FaultCounters, MetricsCollector
 from ..sim.simulation import SimResult, SingleRouterSim
@@ -385,20 +386,12 @@ class FaultySingleRouterSim(SingleRouterSim):
             f"port={port} vc={vc}",
             f"conn={conn.conn_id} reason={reason} dropped={dropped}",
         )
-        n = self.config.num_ports
-        for k in range(n):
-            out_port = (conn.out_port + k) % n
-            if out_port == self.dead_port:
-                continue
-            result = router.establish(
-                port,
-                out_port,
-                conn.traffic_class,
-                conn.avg_slots,
-                conn.peak_slots,
-            )
-            if not result.accepted:
-                continue
+        # Re-admission goes through the shared signaling primitive — i.e.
+        # through AdmissionController.check/commit inside establish —
+        # never around it; the audit below proves the ledgers and the
+        # connection table still agree after the whole recovery.
+        result = readmit_elsewhere(router, conn, avoid_out_port=self.dead_port)
+        if result.accepted:
             new = result.connection
             assert new is not None
             router.nics[port].requeue(new.vc, backlog)
@@ -416,8 +409,9 @@ class FaultySingleRouterSim(SingleRouterSim):
                 now,
                 FaultKind.READMIT,
                 f"port={port} vc={new.vc}",
-                f"conn={new.conn_id} out_port={out_port}",
+                f"conn={new.conn_id} out_port={new.out_port}",
             )
+            router.admission.audit(router.table)
             return new
         # No surviving port can take the reservation: the connection is
         # lost, along with its migrated NIC backlog.
@@ -431,6 +425,7 @@ class FaultySingleRouterSim(SingleRouterSim):
             f"port={port} vc={vc}",
             f"conn={conn.conn_id} backlog={len(backlog)}",
         )
+        router.admission.audit(router.table)
         return None
 
     def _refresh_classes(self) -> None:

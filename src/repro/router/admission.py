@@ -133,6 +133,55 @@ class AdmissionController:
             self.commit(conn)
         return decision
 
+    def renegotiate_peak(
+        self, conn: Connection, new_peak_slots: int
+    ) -> AdmissionDecision:
+        """Test a VBR peak-rate renegotiation without committing it.
+
+        Renegotiation re-runs the §2 peak test with the connection's own
+        current peak excluded: shrinking always fits, growing fits iff
+        the link-wide peak sum stays within round × concurrency factor
+        on both links.  Average (permanent) bandwidth is untouched — the
+        paper renegotiates only the statistically-multiplexed share.
+        """
+        if conn.traffic_class is not TrafficClass.VBR:
+            return AdmissionDecision(
+                False, "only VBR connections renegotiate peak bandwidth"
+            )
+        if new_peak_slots < conn.avg_slots:
+            return AdmissionDecision(
+                False,
+                f"peak {new_peak_slots} below reserved average "
+                f"{conn.avg_slots}",
+            )
+        delta = new_peak_slots - conn.peak_slots
+        if delta <= 0:
+            return AdmissionDecision(True, "peak shrink always fits")
+        peak_budget = self.config.round_cycles * self.config.concurrency_factor
+        new_peak_in = self._peak_in[conn.in_port] + delta
+        new_peak_out = self._peak_out[conn.out_port] + delta
+        if new_peak_in > peak_budget:
+            return AdmissionDecision(
+                False,
+                f"input link {conn.in_port}: renegotiated peak "
+                f"{new_peak_in} > round * concurrency {peak_budget:.0f}",
+            )
+        if new_peak_out > peak_budget:
+            return AdmissionDecision(
+                False,
+                f"output link {conn.out_port}: renegotiated peak "
+                f"{new_peak_out} > round * concurrency {peak_budget:.0f}",
+            )
+        return AdmissionDecision(True, "renegotiated peak fits")
+
+    def commit_peak(self, conn: Connection, new_peak_slots: int) -> None:
+        """Apply an accepted peak renegotiation to the ledgers."""
+        delta = new_peak_slots - conn.peak_slots
+        self._peak_in[conn.in_port] += delta
+        self._peak_out[conn.out_port] += delta
+        if self._peak_in.min() < 0 or self._peak_out.min() < 0:
+            raise RuntimeError("peak accounting went negative on renegotiation")
+
     # ------------------------------------------------------------------
 
     def reserved_avg_load(self, in_port: int) -> float:
@@ -142,6 +191,55 @@ class AdmissionController:
     def reserved_avg_load_out(self, out_port: int) -> float:
         """Fraction of an output link's bandwidth reserved on average."""
         return float(self._avg_out[out_port]) / self.config.round_cycles
+
+    def reservation_vectors(self) -> dict[str, tuple[int, ...]]:
+        """Snapshot of all four per-link reservation ledgers.
+
+        Plain tuples, so callers can compare before/after states exactly
+        (the release-restores-reservations property test) without aliasing
+        the live arrays.
+        """
+        return {
+            "avg_in": tuple(int(x) for x in self._avg_in),
+            "avg_out": tuple(int(x) for x in self._avg_out),
+            "peak_in": tuple(int(x) for x in self._peak_in),
+            "peak_out": tuple(int(x) for x in self._peak_out),
+        }
+
+    def audit(self, table: ConnectionTable) -> None:
+        """Assert the ledgers equal what the connection table implies.
+
+        Recomputes the four reservation vectors from scratch off the live
+        table and raises if any entry disagrees — the invariant the fault
+        recovery path and the session signaling layer both rely on:
+        every reserve goes through :meth:`commit` and every free through
+        :meth:`release`, so the two views can never drift.
+        """
+        n = self.config.num_ports
+        avg_in = np.zeros(n, dtype=np.int64)
+        avg_out = np.zeros(n, dtype=np.int64)
+        peak_in = np.zeros(n, dtype=np.int64)
+        peak_out = np.zeros(n, dtype=np.int64)
+        for conn in table:
+            if conn.traffic_class is TrafficClass.BEST_EFFORT:
+                continue
+            avg_in[conn.in_port] += conn.avg_slots
+            avg_out[conn.out_port] += conn.avg_slots
+            if conn.traffic_class is TrafficClass.VBR:
+                peak_in[conn.in_port] += conn.peak_slots
+                peak_out[conn.out_port] += conn.peak_slots
+        for name, ledger, derived in (
+            ("avg_in", self._avg_in, avg_in),
+            ("avg_out", self._avg_out, avg_out),
+            ("peak_in", self._peak_in, peak_in),
+            ("peak_out", self._peak_out, peak_out),
+        ):
+            if not np.array_equal(ledger, derived):
+                raise RuntimeError(
+                    f"admission ledger {name} disagrees with connection "
+                    f"table: ledger={ledger.tolist()} "
+                    f"derived={derived.tolist()}"
+                )
 
     def headroom(self, in_port: int, out_port: int) -> int:
         """Average slots still available across both links."""

@@ -10,6 +10,7 @@ cut-through) but still occupies a virtual channel.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -97,6 +98,15 @@ class ConnectionTable:
         self._by_id: dict[int, Connection] = {}
         # (in_port, vc) -> Connection
         self._by_vc: dict[tuple[int, int], Connection] = {}
+        # Per-port min-heap of candidate free VCs.  Entries are *lazy*:
+        # a VC may appear while occupied (it was free when pushed, or
+        # ``add`` took it explicitly) or appear twice; ``free_vc`` skips
+        # stale tops.  This keeps setup O(log V) amortized under churn
+        # while preserving the lowest-numbered-free-VC semantics the
+        # setup path (and its tests) pin.
+        self._free_heaps: list[list[int]] = [
+            list(range(config.vcs_per_link)) for _ in range(config.num_ports)
+        ]
 
     def add(self, conn: Connection) -> None:
         """Register a connection; raises on any structural conflict."""
@@ -124,7 +134,29 @@ class ConnectionTable:
         if conn is None:
             raise KeyError(f"unknown connection {conn_id}")
         del self._by_vc[(conn.in_port, conn.vc)]
+        heapq.heappush(self._free_heaps[conn.in_port], conn.vc)
         return conn
+
+    def replace(self, conn_id: int, new_conn: Connection) -> Connection:
+        """Swap a connection in place (renegotiation): same id, port, VC.
+
+        Returns the previous descriptor.  Only the reservation fields may
+        change; identity and placement are pinned so no VC bookkeeping
+        (heaps, router per-VC arrays) needs to move.
+        """
+        old = self._by_id.get(conn_id)
+        if old is None:
+            raise KeyError(f"unknown connection {conn_id}")
+        if (
+            new_conn.conn_id != conn_id
+            or new_conn.in_port != old.in_port
+            or new_conn.vc != old.vc
+            or new_conn.out_port != old.out_port
+        ):
+            raise ValueError("replace may not change identity or placement")
+        self._by_id[conn_id] = new_conn
+        self._by_vc[(new_conn.in_port, new_conn.vc)] = new_conn
+        return old
 
     def get(self, conn_id: int) -> Connection:
         return self._by_id[conn_id]
@@ -134,10 +166,19 @@ class ConnectionTable:
         return self._by_vc.get((in_port, vc))
 
     def free_vc(self, in_port: int) -> int | None:
-        """Lowest-numbered free VC on an input port, or ``None`` if full."""
-        for vc in range(self._config.vcs_per_link):
+        """Lowest-numbered free VC on an input port, or ``None`` if full.
+
+        Amortized O(log V) via the lazy per-port heap (the historical
+        linear scan made setup O(V) — hot under connection churn).  This
+        is a query, not an allocation: the returned VC stays at the heap
+        top until :meth:`add` occupies it.
+        """
+        heap = self._free_heaps[in_port]
+        while heap:
+            vc = heap[0]
             if (in_port, vc) not in self._by_vc:
                 return vc
+            heapq.heappop(heap)  # stale entry: occupied since pushed
         return None
 
     def on_input(self, in_port: int) -> list[Connection]:

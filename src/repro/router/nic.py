@@ -139,6 +139,10 @@ class NIC:
         """Total flits waiting in this NIC."""
         return sum(len(q) for q in self._queues)
 
+    def queue_length(self, vc: int) -> int:
+        """Flits waiting on one VC (drain checks on the teardown path)."""
+        return len(self._queues[vc])
+
     def oldest_gen_cycle(self, vc: int) -> int | None:
         """Generation cycle of the head flit of a VC, if any."""
         q = self._queues[vc]

@@ -23,6 +23,8 @@ is made concurrently with flit transmission".
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from ..core.candidates import CandidateBuffer
@@ -151,6 +153,28 @@ class MMRouter:
         self.setup_unit.teardown(conn_id)
         self._clear_vc_state(conn)
         return conn, dropped
+
+    def renegotiate_peak(self, conn_id: int, new_peak_slots: int):
+        """Renegotiate a VBR connection's peak reservation in place.
+
+        Runs the admission test for the peak delta and, on acceptance,
+        updates the ledgers and the connection table atomically.  The
+        connection keeps its id, VC and average reservation; only the
+        statistically-multiplexed peak share changes.  Returns the
+        :class:`~repro.router.admission.AdmissionDecision`.
+        """
+        conn = self.table.get(conn_id)
+        decision = self.admission.renegotiate_peak(conn, new_peak_slots)
+        if decision:
+            self.admission.commit_peak(conn, new_peak_slots)
+            self.table.replace(
+                conn_id, dataclasses.replace(conn, peak_slots=new_peak_slots)
+            )
+            # Peak does not feed the per-VC scheduling arrays, but bump
+            # the version anyway: any cached mirror of connection state
+            # must observe the change.
+            self._conn_version += 1
+        return decision
 
     def _clear_vc_state(self, conn: Connection) -> None:
         self._slots[conn.in_port, conn.vc] = 0

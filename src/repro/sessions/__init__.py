@@ -1,0 +1,55 @@
+"""Dynamic session lifecycle: churn, runtime CAC, blocking experiments.
+
+The paper's experiments pin every connection at cycle 0; this package
+adds the missing dimension — sessions that arrive, hold, renegotiate
+and depart mid-run, with online admission decisions:
+
+* :mod:`~repro.sessions.churn` — deterministic Poisson/exponential/Pareto
+  session generators over the repo's traffic classes;
+* :mod:`~repro.sessions.signaling` — the setup/teardown/renegotiation
+  protocol with configurable control-plane latencies, plus the
+  :class:`~repro.sessions.signaling.SessionEngine` the simulation loop
+  hooks (twin-loop, like telemetry: the disabled path is untouched);
+* :mod:`~repro.sessions.policies` — pluggable CAC policies (paper,
+  utilization-cap, measurement-based);
+* :mod:`~repro.sessions.metrics` — blocking probabilities with Wilson
+  intervals, offered vs carried erlangs, reservation-utilization series;
+* :mod:`~repro.sessions.experiments` — campaign-executed blocking-
+  probability sweeps (imported lazily; it pulls in ``repro.campaign``).
+"""
+
+from .churn import SESSION_CLASSES, ChurnConfig, SessionSpec, generate_timeline
+from .metrics import SessionEventLog, SessionStats
+from .policies import (
+    CacPolicy,
+    CacRequest,
+    QosFeedback,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+from .signaling import (
+    SessionEngine,
+    SessionsSpec,
+    SignalingConfig,
+    readmit_elsewhere,
+)
+
+__all__ = [
+    "SESSION_CLASSES",
+    "ChurnConfig",
+    "SessionSpec",
+    "generate_timeline",
+    "SessionEventLog",
+    "SessionStats",
+    "CacPolicy",
+    "CacRequest",
+    "QosFeedback",
+    "make_policy",
+    "policy_names",
+    "register_policy",
+    "SessionEngine",
+    "SessionsSpec",
+    "SignalingConfig",
+    "readmit_elsewhere",
+]

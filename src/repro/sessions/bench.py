@@ -1,0 +1,234 @@
+"""Session-layer overhead benchmark and determinism checks.
+
+Produces the ``BENCH_sessions.json`` artifact: the cost of the
+``sessions=None`` dispatch branch in :meth:`SingleRouterSim.run` must be
+indistinguishable from the plain loop (CI gates it below 1%), a
+churn-enabled run is timed for context, and two same-seed churn runs
+must be byte-identical (event log, stats payload, result, RNG
+fingerprints).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from time import perf_counter_ns
+from typing import Any
+
+from ..sim.engine import RunControl
+from .churn import ChurnConfig
+from .signaling import SessionEngine, SessionsSpec
+
+__all__ = [
+    "SessionsBenchStats",
+    "SessionsBenchReport",
+    "run_sessions_bench",
+    "check_sessions_overhead",
+    "write_sessions_report",
+]
+
+#: Churn profile the enabled variant and the determinism check run:
+#: moderate load, mixed classes, renegotiating VBR in the mix.
+BENCH_CHURN = ChurnConfig(
+    arrivals_per_kcycle=2.0,
+    mean_hold_cycles=3_000.0,
+    mix=(("cbr-low", 0.4), ("cbr-medium", 0.3), ("vbr", 0.2),
+         ("best-effort", 0.1)),
+)
+
+
+@dataclass
+class SessionsBenchStats:
+    """One variant's timing (best of the interleaved repetitions)."""
+
+    cycles_per_sec: float
+    wall_s: float
+    wall_s_all: list[float] = field(default_factory=list)
+
+
+@dataclass
+class SessionsBenchReport:
+    """Everything ``BENCH_sessions.json`` records."""
+
+    ports: int
+    vcs: int
+    levels: int
+    arbiter: str
+    scheme: str
+    load: float
+    seed: int
+    cycles: int
+    repeats: int
+    plain: SessionsBenchStats
+    disabled: SessionsBenchStats
+    enabled: SessionsBenchStats
+    #: (disabled - plain) / plain: cost of the dispatch branch alone.
+    overhead_disabled: float
+    #: (enabled - disabled) / disabled: cost of full churn handling.
+    overhead_enabled: float
+    #: Disabled run is bit-identical to plain (results + RNG states).
+    disabled_identical: bool
+    #: Two same-seed enabled runs replayed byte-identically (event log,
+    #: stats payload, SimResult, RNG fingerprints).
+    replay_identical: bool
+    #: Session volume context for the enabled run.
+    sessions_offered: int
+    sessions_blocked: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+def run_sessions_bench(
+    *,
+    ports: int = 4,
+    vcs: int = 64,
+    levels: int = 4,
+    arbiter: str = "coa",
+    scheme: str = "siabp",
+    load: float = 0.7,
+    seed: int = 0,
+    cycles: int = 20_000,
+    repeats: int = 5,
+) -> SessionsBenchReport:
+    """Measure session-layer overhead on the paper config, best-of-N.
+
+    Three variants are timed with interleaved repetitions so background
+    load hits all of them: *plain* calls ``run`` without the sessions
+    argument, *disabled* passes ``sessions=None`` explicitly (same code
+    path — the delta is pure measurement noise and is the
+    disabled-overhead bound), *enabled* runs a full
+    :class:`SessionEngine` under :data:`BENCH_CHURN`.
+    """
+    from ..perf.harness import make_cbr_sim
+
+    control = RunControl(cycles=cycles, warmup_cycles=0)
+    spec = SessionsSpec(churn=BENCH_CHURN)
+
+    def timed(mode: str):
+        sim, workload = make_cbr_sim(
+            ports, vcs, levels, arbiter, scheme, load, seed, True
+        )
+        engine = None
+        t0 = perf_counter_ns()
+        if mode == "plain":
+            result = sim.run(workload, control)
+        elif mode == "disabled":
+            result = sim.run(workload, control, sessions=None)
+        else:
+            engine = SessionEngine.from_spec(
+                sim.router.config, spec, cycles, sim.rng.sessions
+            )
+            result = sim.run(workload, control, sessions=engine)
+        wall = (perf_counter_ns() - t0) / 1e9
+        return wall, result, sim.rng.state_fingerprint(), engine
+
+    plain_walls: list[float] = []
+    disabled_walls: list[float] = []
+    enabled_walls: list[float] = []
+    plain_result = disabled_result = None
+    plain_fp = disabled_fp = None
+    enabled_runs: list[tuple[Any, Any, Any]] = []
+    for _ in range(repeats):
+        wall, plain_result, plain_fp, _ = timed("plain")
+        plain_walls.append(wall)
+        wall, disabled_result, disabled_fp, _ = timed("disabled")
+        disabled_walls.append(wall)
+        wall, result, fp, engine = timed("enabled")
+        enabled_walls.append(wall)
+        enabled_runs.append((result, fp, engine))
+
+    def stats(walls: list[float]) -> SessionsBenchStats:
+        best = min(walls)
+        return SessionsBenchStats(
+            cycles_per_sec=cycles / best if best > 0 else float("inf"),
+            wall_s=best,
+            wall_s_all=walls,
+        )
+
+    plain = stats(plain_walls)
+    disabled = stats(disabled_walls)
+    enabled = stats(enabled_walls)
+    disabled_identical = (
+        plain_result is not None
+        and disabled_result is not None
+        and plain_result.to_dict() == disabled_result.to_dict()
+        and plain_fp == disabled_fp
+    )
+    # Every enabled repetition ran the same seed: all must replay
+    # byte-identically (the determinism acceptance gate).
+    first_result, first_fp, first_engine = enabled_runs[0]
+    first_payload = first_engine.to_payload()
+    replay_identical = all(
+        r.to_dict() == first_result.to_dict()
+        and fp == first_fp
+        and e.to_payload() == first_payload
+        for r, fp, e in enabled_runs[1:]
+    )
+    return SessionsBenchReport(
+        ports=ports,
+        vcs=vcs,
+        levels=levels,
+        arbiter=arbiter,
+        scheme=scheme,
+        load=load,
+        seed=seed,
+        cycles=cycles,
+        repeats=repeats,
+        plain=plain,
+        disabled=disabled,
+        enabled=enabled,
+        overhead_disabled=(disabled.wall_s - plain.wall_s) / plain.wall_s,
+        overhead_enabled=(enabled.wall_s - disabled.wall_s) / disabled.wall_s,
+        disabled_identical=disabled_identical,
+        replay_identical=replay_identical,
+        sessions_offered=first_payload["offered"],
+        sessions_blocked=first_payload["blocked"],
+    )
+
+
+def check_sessions_overhead(
+    report: SessionsBenchReport, max_disabled: float = 0.01
+) -> tuple[bool, str]:
+    """Gate the disabled-path overhead and determinism (CI).
+
+    Negative measured overhead (timing noise) counts as zero.  The
+    enabled-path cost is reported, not gated: churn handling does real
+    work proportional to the arrival rate.
+    """
+    problems = []
+    disabled = max(0.0, report.overhead_disabled)
+    if disabled > max_disabled:
+        problems.append(
+            f"sessions-disabled overhead {disabled:.2%} > {max_disabled:.2%}"
+        )
+    if not report.disabled_identical:
+        problems.append(
+            "sessions-disabled run diverged from the plain run "
+            "(results or RNG state differ)"
+        )
+    if not report.replay_identical:
+        problems.append(
+            "same-seed churn runs did not replay identically"
+        )
+    if problems:
+        return False, "; ".join(problems)
+    return True, (
+        f"sessions overhead OK: disabled {disabled:.2%} "
+        f"(max {max_disabled:.2%}), enabled "
+        f"{max(0.0, report.overhead_enabled):.2%} (informational), "
+        f"replay identical over {report.repeats} runs"
+    )
+
+
+def write_sessions_report(
+    report: SessionsBenchReport, path: str | Path
+) -> Path:
+    """Serialize the report to JSON (the ``BENCH_sessions.json`` format)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(report.to_dict(), indent=2, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return path

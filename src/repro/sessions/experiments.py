@@ -1,0 +1,133 @@
+"""Blocking-probability experiments: churn sweeps over the campaign executor.
+
+The Erlang-style figure class: sweep the offered session load (arrival
+rate × holding time) across a set of CAC policies, run every point
+through :func:`repro.campaign.run_campaign` (content-addressed caching,
+optional worker pool), and reduce each point's session payload to a
+:class:`~repro.analysis.blocking.BlockingPoint`.
+
+Imported lazily by ``repro.sessions`` users (this module pulls in
+``repro.campaign``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..analysis.blocking import BlockingPoint, erlang_b
+from ..campaign.executor import CampaignResult, run_campaign
+from ..campaign.plan import CampaignPlan, PointSpec, WorkloadSpec
+from ..campaign.store import ResultStore
+from ..router.config import RouterConfig
+from ..sim.engine import RunControl
+from .churn import CBR_CLASSES, ChurnConfig
+from .signaling import SessionsSpec, SignalingConfig
+
+__all__ = ["blocking_sweep_plan", "run_blocking_sweep", "reduce_blocking"]
+
+#: Demo churn base: a single-class CBR mix (55 Mb/s streams), so the
+#: measured curve has a clean Erlang-B reference — each session is one
+#: "circuit" of ``round_cycles // avg_slots`` per link.
+DEMO_CHURN = ChurnConfig(
+    arrivals_per_kcycle=3.0,
+    mean_hold_cycles=3_000.0,
+    mix=(("cbr-high", 1.0),),
+)
+
+
+def blocking_sweep_plan(
+    name: str,
+    config: RouterConfig,
+    arrival_rates: Sequence[float],
+    policies: Sequence[str],
+    *,
+    base_churn: ChurnConfig = DEMO_CHURN,
+    signaling: SignalingConfig = SignalingConfig(),
+    control: RunControl = RunControl(cycles=15_000, warmup_cycles=0),
+    background_load: float = 0.1,
+    seed: int = 0,
+    arbiter: str = "coa",
+    scheme: str = "siabp",
+) -> CampaignPlan:
+    """Policy × arrival-rate grid over a fixed static background load."""
+    if not arrival_rates or not policies:
+        raise ValueError("need at least one arrival rate and one policy")
+    points = tuple(
+        PointSpec(
+            config=config,
+            arbiter=arbiter,
+            scheme=scheme,
+            target_load=background_load,
+            seed=seed,
+            workload=WorkloadSpec.cbr(),
+            cycles=control.cycles,
+            warmup_cycles=control.warmup_cycles,
+            sessions=SessionsSpec(
+                churn=dataclasses.replace(
+                    base_churn, arrivals_per_kcycle=float(rate)
+                ),
+                policy=policy,
+                signaling=signaling,
+            ),
+        )
+        for policy in policies
+        for rate in arrival_rates
+    )
+    return CampaignPlan(name=name, points=points)
+
+
+def _erlang_reference(
+    config: RouterConfig, churn: ChurnConfig, offered_erlangs: float
+) -> float:
+    """Erlang-B for a single-CBR-class mix; NaN when ill-defined.
+
+    Approximates each input link as ``round_cycles // avg_slots``
+    circuits (capped by the VC count) fed ``offered / num_ports``
+    erlangs — output-link contention and the static background are
+    ignored, so it is a reference curve, not a prediction.
+    """
+    active = [name for name, w in churn.mix if w > 0]
+    if len(active) != 1 or not active[0].startswith("cbr-"):
+        return float("nan")
+    rate_bps = CBR_CLASSES[active[0].removeprefix("cbr-")].rate_bps
+    slots = config.rate_to_slots(rate_bps)
+    servers = min(config.vcs_per_link, config.round_cycles // slots)
+    return erlang_b(offered_erlangs / config.num_ports, int(servers))
+
+
+def reduce_blocking(result: CampaignResult) -> list[BlockingPoint]:
+    """One :class:`BlockingPoint` per campaign outcome."""
+    points = []
+    for outcome in result.outcomes:
+        payload = outcome.sessions
+        spec = outcome.spec.sessions
+        if payload is None or spec is None:
+            raise ValueError(
+                f"outcome {outcome.spec.describe()} has no session payload"
+            )
+        offered_erl = float(payload["offered_erlangs"])
+        points.append(
+            BlockingPoint(
+                policy=spec.policy,
+                offered_erlangs=offered_erl,
+                offered_sessions=int(payload["offered"]),
+                blocked_sessions=int(payload["blocked"]),
+                erlang_b_reference=_erlang_reference(
+                    outcome.spec.config, spec.churn, offered_erl
+                ),
+            )
+        )
+    return points
+
+
+def run_blocking_sweep(
+    plan: CampaignPlan,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress=None,
+) -> tuple[CampaignResult, list[BlockingPoint]]:
+    """Execute a blocking sweep and reduce it to plot-ready points."""
+    result = run_campaign(plan, jobs=jobs, store=store, progress=progress)
+    return result, reduce_blocking(result)

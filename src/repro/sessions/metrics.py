@@ -1,0 +1,207 @@
+"""Session-level accounting: events, blocking, carried load, utilization.
+
+Two artifacts come out of a churn run:
+
+* the **event log** — one record per lifecycle transition (arrival,
+  admission, block, renegotiation, release), in deterministic order.
+  ``lines()`` renders it byte-stably; two runs of the same seed must
+  produce identical lines (the determinism acceptance test and the CI
+  ``sessions-smoke`` job compare exactly this).
+* the **session statistics** — per-class offered/admitted/blocked
+  counts with Wilson-interval blocking probabilities, offered vs carried
+  session load in erlangs, and a reservation-utilization time series
+  sampled off the admission ledgers.
+
+Both serialize to strict JSON (``to_payload``) so the campaign store can
+persist them next to result artifacts, mirroring the telemetry channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..analysis.stats import wilson_interval
+from .churn import ChurnConfig, SessionSpec
+
+__all__ = ["SessionEvent", "SessionEventLog", "SessionStats"]
+
+#: Stable payload schema tag.
+SESSIONS_SCHEMA = "repro-sessions-v1"
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One lifecycle transition of one session."""
+
+    cycle: int
+    kind: str
+    sid: int
+    detail: str = ""
+
+    def line(self) -> str:
+        base = f"{self.cycle} {self.kind} sid={self.sid}"
+        return f"{base} {self.detail}" if self.detail else base
+
+
+class SessionEventLog:
+    """Append-only, deterministic lifecycle log."""
+
+    def __init__(self) -> None:
+        self.events: list[SessionEvent] = []
+
+    def record(self, cycle: int, kind: str, sid: int, detail: str = "") -> None:
+        self.events.append(SessionEvent(cycle, kind, sid, detail))
+
+    def lines(self) -> list[str]:
+        return [event.line() for event in self.events]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class _ClassCounters:
+    offered: int = 0
+    admitted: int = 0
+    blocked: int = 0
+    released: int = 0
+    #: Sum of admitted sessions' holding times (carried erlang-cycles).
+    carried_hold_cycles: int = 0
+    #: Sum of all arrivals' holding times (offered erlang-cycles).
+    offered_hold_cycles: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "blocked": self.blocked,
+            "released": self.released,
+            "carried_hold_cycles": self.carried_hold_cycles,
+            "offered_hold_cycles": self.offered_hold_cycles,
+        }
+
+
+@dataclass
+class SessionStats:
+    """Aggregated churn-run outcome (strict-JSON serializable)."""
+
+    policy: str
+    churn: ChurnConfig
+    cycles: int
+    by_class: dict[str, _ClassCounters] = field(default_factory=dict)
+    reneg_ok: int = 0
+    reneg_rejected: int = 0
+    #: Sessions still active (or draining) when the run ended.
+    expired_active: int = 0
+    #: (cycle, mean reserved input-link fraction, mean reserved
+    #: output-link fraction) samples.
+    utilization_series: list[tuple[int, float, float]] = field(
+        default_factory=list
+    )
+
+    # ------------------------------------------------------------------
+
+    def _cls(self, name: str) -> _ClassCounters:
+        if name not in self.by_class:
+            self.by_class[name] = _ClassCounters()
+        return self.by_class[name]
+
+    def note_offered(self, spec: SessionSpec) -> None:
+        c = self._cls(spec.cls_name)
+        c.offered += 1
+        c.offered_hold_cycles += spec.hold_cycles
+
+    def note_admitted(self, spec: SessionSpec) -> None:
+        c = self._cls(spec.cls_name)
+        c.admitted += 1
+        c.carried_hold_cycles += spec.hold_cycles
+
+    def note_blocked(self, spec: SessionSpec) -> None:
+        self._cls(spec.cls_name).blocked += 1
+
+    def note_released(self, spec: SessionSpec) -> None:
+        self._cls(spec.cls_name).released += 1
+
+    def sample_utilization(self, cycle: int, in_frac: float, out_frac: float) -> None:
+        self.utilization_series.append((cycle, in_frac, out_frac))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def offered(self) -> int:
+        return sum(c.offered for c in self.by_class.values())
+
+    @property
+    def admitted(self) -> int:
+        return sum(c.admitted for c in self.by_class.values())
+
+    @property
+    def blocked(self) -> int:
+        return sum(c.blocked for c in self.by_class.values())
+
+    def blocking_probability(self, cls_name: str | None = None) -> float:
+        offered, blocked = self._ob(cls_name)
+        return blocked / offered if offered else float("nan")
+
+    def blocking_wilson(
+        self, cls_name: str | None = None
+    ) -> tuple[float, float]:
+        offered, blocked = self._ob(cls_name)
+        return wilson_interval(blocked, offered)
+
+    def _ob(self, cls_name: str | None) -> tuple[int, int]:
+        if cls_name is None:
+            return self.offered, self.blocked
+        c = self.by_class.get(cls_name)
+        return (c.offered, c.blocked) if c else (0, 0)
+
+    @property
+    def offered_erlangs(self) -> float:
+        """Measured offered session load (erlang), all ports combined."""
+        total = sum(c.offered_hold_cycles for c in self.by_class.values())
+        return total / self.cycles if self.cycles else float("nan")
+
+    @property
+    def carried_erlangs(self) -> float:
+        """Measured carried session load (erlang), all ports combined."""
+        total = sum(c.carried_hold_cycles for c in self.by_class.values())
+        return total / self.cycles if self.cycles else float("nan")
+
+    # ------------------------------------------------------------------
+
+    def to_payload(self, event_log: SessionEventLog) -> dict[str, Any]:
+        """Strict-JSON payload for the campaign sessions channel."""
+        low, high = self.blocking_wilson()
+        p = self.blocking_probability()
+        return {
+            "schema": SESSIONS_SCHEMA,
+            "policy": self.policy,
+            "churn": self.churn.to_dict(),
+            "cycles": self.cycles,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "blocked": self.blocked,
+            "blocking_probability": None if p != p else p,
+            "blocking_wilson_95": [low, high],
+            "offered_erlangs": self.offered_erlangs,
+            "carried_erlangs": self.carried_erlangs,
+            "reneg_ok": self.reneg_ok,
+            "reneg_rejected": self.reneg_rejected,
+            "expired_active": self.expired_active,
+            "by_class": {
+                name: c.to_dict() for name, c in sorted(self.by_class.items())
+            },
+            "utilization_series": [
+                [cycle, in_frac, out_frac]
+                for cycle, in_frac, out_frac in self.utilization_series
+            ],
+            "event_counts": event_log.counts(),
+            "event_log": event_log.lines(),
+        }

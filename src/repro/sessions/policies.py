@@ -1,0 +1,195 @@
+"""Pluggable connection-admission-control (CAC) policies.
+
+The paper's CAC (§2, re-implemented in
+:class:`~repro.router.admission.AdmissionController`) is a *feasibility*
+test: admit iff every link still fits the reservation.  Real switches
+layer operator policy on top — keep utilization headroom, or back off
+when the measured QoS is already degrading.  This registry models those
+as *pre-admission filters*: a policy may only ever be **stricter** than
+the paper CAC, because the base feasibility test (and the free-VC check)
+still runs inside ``MMRouter.establish`` on every admission.  That
+ordering is what guarantees the reservation invariants can never be
+violated regardless of policy (pinned by the property tests).
+
+Policies see a :class:`CacRequest` (the would-be reservation), the live
+admission ledgers, and the engine's QoS violation feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..router.admission import AdmissionController, AdmissionDecision
+from ..router.connection import TrafficClass
+
+__all__ = [
+    "CacRequest",
+    "CacPolicy",
+    "QosFeedback",
+    "register_policy",
+    "make_policy",
+    "policy_names",
+]
+
+
+@dataclass(frozen=True)
+class CacRequest:
+    """The reservation an arriving session asks for (no VC yet)."""
+
+    in_port: int
+    out_port: int
+    traffic_class: TrafficClass
+    avg_slots: int
+    peak_slots: int
+
+
+class QosFeedback:
+    """Sliding window of measured deadline violations.
+
+    The engine notes one entry per departed flit that missed its
+    :func:`repro.obs.qos.bounds_for` deadline; measurement-based CAC
+    reads the recent count.  Pruning keeps the window bounded.
+    """
+
+    def __init__(self) -> None:
+        self._violations: list[int] = []
+        self.total = 0
+
+    def note(self, cycle: int) -> None:
+        self._violations.append(cycle)
+        self.total += 1
+
+    def count_since(self, floor_cycle: int) -> int:
+        violations = self._violations
+        # Prune everything older than the floor; cycles are appended in
+        # nondecreasing order, so the prefix is exactly the stale part.
+        drop = 0
+        while drop < len(violations) and violations[drop] < floor_cycle:
+            drop += 1
+        if drop:
+            del violations[:drop]
+        return len(violations)
+
+
+class CacPolicy:
+    """Base policy: the paper CAC alone (always defer to feasibility)."""
+
+    name = "paper"
+
+    def decide(
+        self,
+        request: CacRequest,
+        admission: AdmissionController,
+        feedback: QosFeedback,
+        now: int,
+    ) -> AdmissionDecision:
+        return AdmissionDecision(True, "defer to paper CAC")
+
+
+class UtilizationCapPolicy(CacPolicy):
+    """Keep reserved average load under a cap on both links.
+
+    Blocks a reserved-class session whose admission would push either
+    link's reserved *average* fraction above ``cap`` — operator headroom
+    for best-effort traffic and renegotiation slack.  Best-effort
+    sessions reserve nothing and always pass.
+    """
+
+    name = "util-cap"
+
+    def __init__(self, cap: float = 0.85) -> None:
+        if not (0 < cap <= 1.0):
+            raise ValueError("cap must be in (0, 1]")
+        self.cap = cap
+
+    def decide(
+        self,
+        request: CacRequest,
+        admission: AdmissionController,
+        feedback: QosFeedback,
+        now: int,
+    ) -> AdmissionDecision:
+        if request.traffic_class is TrafficClass.BEST_EFFORT:
+            return AdmissionDecision(True, "best-effort reserves nothing")
+        round_cycles = admission.config.round_cycles
+        add = request.avg_slots / round_cycles
+        in_frac = admission.reserved_avg_load(request.in_port) + add
+        out_frac = admission.reserved_avg_load_out(request.out_port) + add
+        if in_frac > self.cap or out_frac > self.cap:
+            return AdmissionDecision(
+                False,
+                f"utilization cap {self.cap:g}: admission would reserve "
+                f"in={in_frac:.3f} out={out_frac:.3f}",
+            )
+        return AdmissionDecision(True, "under utilization cap")
+
+
+class MeasurementPolicy(CacPolicy):
+    """Back off while measured QoS violations are bursting.
+
+    Blocks reserved-class admissions whenever at least
+    ``max_violations`` deadline violations (per ``repro.obs.qos`` bounds)
+    landed within the last ``window_cycles`` — the admission ledger says
+    there is room, but the measured switch disagrees.
+    """
+
+    name = "measurement"
+
+    def __init__(self, window_cycles: int = 2_000, max_violations: int = 8) -> None:
+        if window_cycles <= 0:
+            raise ValueError("window_cycles must be positive")
+        if max_violations <= 0:
+            raise ValueError("max_violations must be positive")
+        self.window_cycles = window_cycles
+        self.max_violations = max_violations
+
+    def decide(
+        self,
+        request: CacRequest,
+        admission: AdmissionController,
+        feedback: QosFeedback,
+        now: int,
+    ) -> AdmissionDecision:
+        if request.traffic_class is TrafficClass.BEST_EFFORT:
+            return AdmissionDecision(True, "best-effort reserves nothing")
+        recent = feedback.count_since(now - self.window_cycles)
+        if recent >= self.max_violations:
+            return AdmissionDecision(
+                False,
+                f"{recent} deadline violations in the last "
+                f"{self.window_cycles} cycles (max {self.max_violations})",
+            )
+        return AdmissionDecision(True, "QoS measurements healthy")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_POLICIES: dict[str, Callable[..., CacPolicy]] = {}
+
+
+def register_policy(name: str, factory: Callable[..., CacPolicy]) -> None:
+    """Register a CAC policy factory; re-registering replaces."""
+    _POLICIES[name] = factory
+
+
+def make_policy(name: str, **kwargs) -> CacPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown CAC policy {name!r}; known: {', '.join(sorted(_POLICIES))}"
+        ) from None
+    return factory(**kwargs)
+
+
+def policy_names() -> list[str]:
+    return sorted(_POLICIES)
+
+
+register_policy("paper", CacPolicy)
+register_policy("util-cap", UtilizationCapPolicy)
+register_policy("measurement", MeasurementPolicy)

@@ -1,0 +1,473 @@
+"""Session signaling: setup/teardown protocol and the lifecycle engine.
+
+The MMR establishes connections with pipelined circuit switching — a
+probe reserves, an ACK confirms — which takes time.  This module models
+that control plane for *dynamic* sessions:
+
+* an arriving session's setup completes ``setup_latency_cycles`` after
+  arrival; only then is the CAC decision taken and (on admission) a VC
+  allocated and the reservation committed, all against the live router
+  state at the decision instant;
+* a departing session first *drains* (injection has ended; its NIC queue
+  and VC buffer must empty — the router refuses to tear down a VC with
+  flits in flight), then its teardown completes
+  ``teardown_latency_cycles`` later, releasing VC and reservation;
+* a VBR session renegotiates its peak reservation at GOP boundaries via
+  :meth:`~repro.router.router.MMRouter.renegotiate_peak`, again after a
+  signaling delay; a rejected renegotiation keeps the old reservation
+  (commit/rollback is atomic inside the admission controller).
+
+:class:`SessionEngine` drives all of this from inside the simulation
+loop via the same twin-loop pattern as telemetry: ``sim.run`` without
+``sessions`` never touches any of it.  The engine consumes **no
+randomness at run time** — the churn timeline is fully precomputed — so
+the event log and every RNG fingerprint are byte-replayable.
+
+:func:`readmit_elsewhere` is the shared re-admission primitive: the
+fault-recovery path (``repro.faults``) routes its dead-port teardown +
+re-admission through it (and through ``AdmissionController`` proper), so
+the reservation ledgers and the connection table can never disagree —
+``AdmissionController.audit`` asserts exactly that after every recovery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..obs.qos import bounds_for
+from ..router.config import RouterConfig
+from ..router.connection import Connection
+from ..router.router import MMRouter
+from ..router.routing import SetupResult
+from .churn import ChurnConfig, SessionSpec, generate_timeline
+from .metrics import SessionEventLog, SessionStats
+from .policies import CacPolicy, CacRequest, QosFeedback, make_policy
+
+__all__ = [
+    "SignalingConfig",
+    "SessionsSpec",
+    "SessionEngine",
+    "readmit_elsewhere",
+]
+
+
+@dataclass(frozen=True)
+class SignalingConfig:
+    """Control-plane latencies, in flit cycles."""
+
+    setup_latency_cycles: int = 4
+    teardown_latency_cycles: int = 2
+    reneg_latency_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.setup_latency_cycles < 1:
+            raise ValueError("setup_latency_cycles must be >= 1")
+        if self.teardown_latency_cycles < 1:
+            raise ValueError("teardown_latency_cycles must be >= 1")
+        if self.reneg_latency_cycles < 1:
+            raise ValueError("reneg_latency_cycles must be >= 1")
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "setup_latency_cycles": self.setup_latency_cycles,
+            "teardown_latency_cycles": self.teardown_latency_cycles,
+            "reneg_latency_cycles": self.reneg_latency_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "SignalingConfig":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class SessionsSpec:
+    """Everything that defines a churn run besides the static point.
+
+    Plain data (hashable, JSON round-trip) so campaign points can carry
+    it and content-address the results.
+    """
+
+    churn: ChurnConfig = ChurnConfig()
+    policy: str = "paper"
+    signaling: SignalingConfig = SignalingConfig()
+    #: Reservation-utilization sampling stride, cycles.
+    sample_stride: int = 500
+
+    def __post_init__(self) -> None:
+        if self.sample_stride < 1:
+            raise ValueError("sample_stride must be >= 1")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "churn": self.churn.to_dict(),
+            "policy": self.policy,
+            "signaling": self.signaling.to_dict(),
+            "sample_stride": self.sample_stride,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SessionsSpec":
+        return cls(
+            churn=ChurnConfig.from_dict(data["churn"]),
+            policy=data.get("policy", "paper"),
+            signaling=SignalingConfig.from_dict(data.get("signaling", {})),
+            sample_stride=data.get("sample_stride", 500),
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared re-admission primitive (fault recovery + sessions)
+# ----------------------------------------------------------------------
+
+
+def readmit_elsewhere(
+    router: MMRouter,
+    conn: Connection,
+    avoid_out_port: int | None = None,
+) -> SetupResult:
+    """Try to re-establish a torn-down connection, output by output.
+
+    Probes output ports starting at the connection's original one and
+    wrapping around (the deterministic search order the recovery tests
+    pin), skipping ``avoid_out_port`` (a dead link).  Every attempt goes
+    through ``MMRouter.establish`` — i.e. through the admission
+    controller's check/commit — never around it.  Returns the first
+    accepting :class:`SetupResult`, or the last rejection.
+    """
+    n = router.config.num_ports
+    last: SetupResult | None = None
+    for k in range(n):
+        out_port = (conn.out_port + k) % n
+        if out_port == avoid_out_port:
+            continue
+        result = router.establish(
+            conn.in_port,
+            out_port,
+            conn.traffic_class,
+            conn.avg_slots,
+            conn.peak_slots,
+        )
+        if result.accepted:
+            return result
+        last = result
+    if last is None:  # every port was the avoided one (n == 1)
+        return SetupResult(False, None, "no eligible output port", 0)
+    return last
+
+
+# ----------------------------------------------------------------------
+# The lifecycle engine
+# ----------------------------------------------------------------------
+
+_SETUP = 0
+_STOP = 1
+_TEARDOWN = 2
+_RENEG = 3
+
+
+class _LiveSession:
+    """Runtime state of one timeline session."""
+
+    __slots__ = ("spec", "state", "conn", "offset", "ptr")
+
+    def __init__(self, spec: SessionSpec) -> None:
+        self.spec = spec
+        self.state = "setup"
+        self.conn: Connection | None = None
+        #: Admission instant; injection schedule offset.
+        self.offset = 0
+        self.ptr = 0
+
+
+@dataclass
+class SessionEngine:
+    """Drives session lifecycles inside the simulation loop.
+
+    One instance per run.  All decisions replay a precomputed timeline
+    through a deterministic completion queue; the only inputs are the
+    router's own state (admission ledgers, buffer occupancy) and the
+    measured departures — no run-time randomness.
+    """
+
+    config: RouterConfig
+    spec: SessionsSpec
+    timeline: list[SessionSpec]
+    policy: CacPolicy = field(init=False)
+    stats: SessionStats = field(init=False)
+    event_log: SessionEventLog = field(init=False)
+    feedback: QosFeedback = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.policy = make_policy(self.spec.policy)
+        self.event_log = SessionEventLog()
+        self.feedback = QosFeedback()
+        self.stats = SessionStats(
+            policy=self.spec.policy, churn=self.spec.churn, cycles=0
+        )
+        self._router: MMRouter | None = None
+        self._metrics = None
+        self._telemetry = None
+        self._next_arrival = 0
+        self._seq = 0
+        #: (cycle, seq, kind, live, extra) completion heap.
+        self._pending: list[tuple[int, int, int, _LiveSession, int]] = []
+        self._injecting: list[_LiveSession] = []
+        self._draining: list[_LiveSession] = []
+        self._deadline_of: dict[tuple[int, int], int] = {}
+        self._live: list[_LiveSession] = [
+            _LiveSession(s) for s in self.timeline
+        ]
+
+    @classmethod
+    def from_spec(
+        cls,
+        config: RouterConfig,
+        spec: SessionsSpec,
+        horizon_cycles: int,
+        rng,
+    ) -> "SessionEngine":
+        """Generate the churn timeline and wrap it in an engine."""
+        timeline = generate_timeline(config, spec.churn, horizon_cycles, rng)
+        return cls(config=config, spec=spec, timeline=timeline)
+
+    # ------------------------------------------------------------------
+    # Loop hooks (called by SingleRouterSim._run_sessions)
+    # ------------------------------------------------------------------
+
+    def begin(self, router: MMRouter, workload, metrics, control, telemetry=None):
+        self._router = router
+        self._metrics = metrics
+        self._telemetry = telemetry
+        self.stats.cycles = control.cycles
+        # Deadlines for the *static* reserved connections too: the
+        # measurement-based CAC should see violations of any admitted
+        # guarantee, not only the dynamic ones.
+        for item in workload.loads:
+            self._track_deadline(item.conn)
+
+    def _push(self, cycle: int, kind: int, live: _LiveSession, extra: int = 0):
+        heapq.heappush(self._pending, (cycle, self._seq, kind, live, extra))
+        self._seq += 1
+
+    def _track_deadline(self, conn: Connection) -> None:
+        deadline = bounds_for(conn, self.config).deadline_cycles
+        if deadline is not None:
+            self._deadline_of[(conn.in_port, conn.vc)] = deadline
+
+    def on_cycle(self, now: int) -> None:
+        """Process due signaling completions, arrivals and drains."""
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            _cycle, _seq, kind, live, extra = heapq.heappop(pending)
+            if kind == _SETUP:
+                self._complete_setup(now, live)
+            elif kind == _STOP:
+                self._stop_injection(now, live)
+            elif kind == _TEARDOWN:
+                self._complete_teardown(now, live)
+            else:
+                self._complete_reneg(now, live, extra)
+        timeline = self._live
+        i = self._next_arrival
+        sig = self.spec.signaling
+        while i < len(timeline) and timeline[i].spec.arrival_cycle <= now:
+            live = timeline[i]
+            i += 1
+            self.stats.note_offered(live.spec)
+            self.event_log.record(
+                now,
+                "arrive",
+                live.spec.sid,
+                f"class={live.spec.cls_name} port={live.spec.in_port}"
+                f"->{live.spec.out_port} hold={live.spec.hold_cycles}",
+            )
+            self._push(now + sig.setup_latency_cycles, _SETUP, live)
+        self._next_arrival = i
+        if self._draining:
+            self._poll_drains(now)
+        if now % self.spec.sample_stride == 0:
+            self._sample_utilization(now)
+
+    def inject(self, now: int) -> None:
+        """Deposit every due flit of every active session into its NIC."""
+        nics = self._router.nics
+        lst = self._injecting
+        keep = 0
+        for live in lst:
+            spec = live.spec
+            cycles = spec.cycles
+            end = len(cycles)
+            ptr = live.ptr
+            off = live.offset
+            nic = nics[spec.in_port]
+            vc = live.conn.vc
+            while ptr < end and cycles[ptr] + off <= now:
+                nic.inject(
+                    vc,
+                    int(cycles[ptr] + off),
+                    int(spec.frame_ids[ptr]),
+                    bool(spec.frame_last[ptr]),
+                )
+                ptr += 1
+            live.ptr = ptr
+            if ptr < end:
+                lst[keep] = live
+                keep += 1
+        del lst[keep:]
+
+    def on_departures(self, now: int, departures) -> None:
+        """Feed measured deadline violations to the CAC feedback window."""
+        deadlines = self._deadline_of
+        if not deadlines:
+            return
+        for dep in departures:
+            deadline = deadlines.get((dep.in_port, dep.vc))
+            if deadline is not None and now - dep.gen_cycle > deadline:
+                self.feedback.note(now)
+
+    def finish(self) -> None:
+        """Close out the run: count survivors, audit the ledgers."""
+        self.stats.expired_active = sum(
+            1
+            for live in self._live
+            if live.state in ("active", "draining", "closing", "setup")
+            and live.spec.arrival_cycle < self.stats.cycles
+        )
+        router = self._router
+        if router is not None:
+            router.admission.audit(router.table)
+
+    def to_payload(self) -> dict[str, Any]:
+        return self.stats.to_payload(self.event_log)
+
+    # ------------------------------------------------------------------
+    # Completion handlers
+    # ------------------------------------------------------------------
+
+    def _complete_setup(self, now: int, live: _LiveSession) -> None:
+        spec = live.spec
+        router = self._router
+        request = CacRequest(
+            in_port=spec.in_port,
+            out_port=spec.out_port,
+            traffic_class=spec.traffic_class,
+            avg_slots=spec.avg_slots,
+            peak_slots=spec.peak_slots,
+        )
+        decision = self.policy.decide(
+            request, router.admission, self.feedback, now
+        )
+        if decision:
+            result = router.establish(
+                spec.in_port,
+                spec.out_port,
+                spec.traffic_class,
+                spec.avg_slots,
+                spec.peak_slots,
+            )
+        else:
+            result = None
+        if result is None or not result.accepted:
+            reason = decision.reason if result is None else result.reason
+            live.state = "blocked"
+            self.stats.note_blocked(spec)
+            self.event_log.record(
+                now, "block", spec.sid, f"class={spec.cls_name} reason={reason}"
+            )
+            return
+        conn = result.connection
+        live.state = "active"
+        live.conn = conn
+        live.offset = now
+        self.stats.note_admitted(spec)
+        self.event_log.record(
+            now,
+            "admit",
+            spec.sid,
+            f"class={spec.cls_name} conn={conn.conn_id} vc={conn.vc} "
+            f"avg={conn.avg_slots} peak={conn.peak_slots}",
+        )
+        self._metrics.register_connection(
+            conn.in_port, conn.vc, conn.conn_id, spec.cls_name
+        )
+        if self._telemetry is not None:
+            self._telemetry.register_connection(conn, spec.cls_name)
+        self._track_deadline(conn)
+        if len(spec.cycles):
+            self._injecting.append(live)
+        sig = self.spec.signaling
+        self._push(now + spec.hold_cycles, _STOP, live)
+        for rel_cycle, new_peak in spec.reneg_plan:
+            self._push(
+                now + rel_cycle + sig.reneg_latency_cycles, _RENEG, live, new_peak
+            )
+
+    def _stop_injection(self, now: int, live: _LiveSession) -> None:
+        # The schedule spans [0, hold), so every flit has been deposited;
+        # the session now drains whatever is still queued or buffered.
+        live.state = "draining"
+        self.event_log.record(
+            now, "depart", live.spec.sid, f"conn={live.conn.conn_id}"
+        )
+        self._draining.append(live)
+
+    def _poll_drains(self, now: int) -> None:
+        router = self._router
+        sig = self.spec.signaling
+        keep = []
+        for live in self._draining:
+            conn = live.conn
+            if (
+                router.nics[conn.in_port].queue_length(conn.vc) == 0
+                and router.vc_memory.occupancy_of(conn.in_port, conn.vc) == 0
+            ):
+                live.state = "closing"
+                self._push(now + sig.teardown_latency_cycles, _TEARDOWN, live)
+            else:
+                keep.append(live)
+        self._draining = keep
+
+    def _complete_teardown(self, now: int, live: _LiveSession) -> None:
+        conn = live.conn
+        self._router.teardown(conn.conn_id)
+        self._deadline_of.pop((conn.in_port, conn.vc), None)
+        live.state = "closed"
+        self.stats.note_released(live.spec)
+        self.event_log.record(
+            now, "release", live.spec.sid, f"conn={conn.conn_id} vc={conn.vc}"
+        )
+
+    def _complete_reneg(self, now: int, live: _LiveSession, new_peak: int) -> None:
+        if live.state != "active":
+            return  # departed (or never admitted) before the ACK came back
+        conn = live.conn
+        old_peak = conn.peak_slots
+        decision = self._router.renegotiate_peak(conn.conn_id, new_peak)
+        if decision:
+            live.conn = self._router.table.get(conn.conn_id)
+            self.stats.reneg_ok += 1
+            self.event_log.record(
+                now,
+                "renegotiate",
+                live.spec.sid,
+                f"conn={conn.conn_id} peak={old_peak}->{new_peak}",
+            )
+        else:
+            self.stats.reneg_rejected += 1
+            self.event_log.record(
+                now,
+                "reneg-reject",
+                live.spec.sid,
+                f"conn={conn.conn_id} peak={old_peak}->{new_peak}",
+            )
+
+    # ------------------------------------------------------------------
+
+    def _sample_utilization(self, now: int) -> None:
+        admission = self._router.admission
+        n = self.config.num_ports
+        in_frac = sum(admission.reserved_avg_load(p) for p in range(n)) / n
+        out_frac = sum(admission.reserved_avg_load_out(p) for p in range(n)) / n
+        self.stats.sample_utilization(now, in_frac, out_frac)

@@ -18,7 +18,7 @@ __all__ = ["RngStreams", "RunControl"]
 
 #: Stable role -> child index mapping.  Append-only: renumbering roles
 #: would silently change every seeded experiment.
-_ROLES = ("workload", "sources", "arbiter", "misc", "faults")
+_ROLES = ("workload", "sources", "arbiter", "misc", "faults", "sessions")
 
 
 class RngStreams:
@@ -64,6 +64,11 @@ class RngStreams:
     def faults(self) -> np.random.Generator:
         """Fault injection (corruption bits, loss/duplication draws)."""
         return self._streams["faults"]
+
+    @property
+    def sessions(self) -> np.random.Generator:
+        """Session churn (arrivals, holding times, class/destination draws)."""
+        return self._streams["sessions"]
 
     def state_fingerprint(self) -> str:
         """SHA-256 over every stream's bit-generator state.

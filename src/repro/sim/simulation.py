@@ -169,6 +169,7 @@ class SingleRouterSim:
         workload: Workload,
         control: RunControl,
         telemetry=None,
+        sessions=None,
     ) -> SimResult:
         """Run the cycle loop and summarize.
 
@@ -181,7 +182,18 @@ class SingleRouterSim:
         below runs untouched — the dispatch happens once, outside the
         loop, so the disabled path stays grant- and RNG-state-identical
         to an uninstrumented build (asserted by the differential tests).
+
+        ``sessions`` optionally takes a
+        :class:`~repro.sessions.signaling.SessionEngine`; the run then
+        processes dynamic session lifecycles (arrivals, admission,
+        injection, drain, teardown, renegotiation) around the same
+        pipeline, in the same twin-loop style — ``sessions=None`` costs
+        nothing.  Session statistics live on the engine, not in the
+        :class:`SimResult`, so a zero-churn engine leaves the result
+        bit-identical to a plain run.
         """
+        if sessions is not None:
+            return self._run_sessions(workload, control, sessions, telemetry)
         if telemetry is not None:
             return self._run_instrumented(workload, control, telemetry)
         router = self.router
@@ -284,6 +296,75 @@ class SingleRouterSim:
 
         result = self._summarize(workload, control, metrics)
         telemetry.finish(result)
+        return result
+
+    def _run_sessions(
+        self, workload: Workload, control: RunControl, engine, telemetry
+    ) -> SimResult:
+        """The session twin of :meth:`run` (plus optional telemetry).
+
+        Same loop body with three engine hooks around it: signaling and
+        arrivals before injection, dynamic-session injection after the
+        static feeds, and departure feedback after metrics.  Kept as a
+        separate twin for the same reason as the telemetry loop — the
+        plain path must not pay a single branch for a feature it does
+        not use (``python -m repro sessions --bench`` gates it).
+        """
+        router = self.router
+        config = self.config
+        feeds = workload.build_feeds(control.cycles, self.rng.sources)
+        labels = workload.labels_by_conn()
+        conn_of_vc = {
+            (item.conn.in_port, item.conn.vc): item.conn.conn_id
+            for item in workload.loads
+        }
+        metrics = MetricsCollector(
+            config, labels, conn_of_vc, measure_from=control.warmup_cycles
+        )
+        if telemetry is not None:
+            telemetry.begin(router, workload, metrics, control)
+        engine.begin(router, workload, metrics, control, telemetry)
+        arb_rng = self.rng.arbiter
+        nics = router.nics
+        pointers = [0] * config.num_ports
+        counters_reset = control.warmup_cycles == 0
+        if counters_reset:
+            router.crossbar.reset_counters()
+
+        for now in range(control.cycles):
+            if not counters_reset and now == control.warmup_cycles:
+                router.crossbar.reset_counters()
+                counters_reset = True
+            # 0. Session signaling: setups, teardowns, renegotiations.
+            engine.on_cycle(now)
+            # 1. Source injection into the NICs (static, then dynamic).
+            for port, feed in enumerate(feeds):
+                ptr = pointers[port]
+                cycles = feed.cycles
+                end = len(cycles)
+                nic = nics[port]
+                while ptr < end and cycles[ptr] <= now:
+                    nic.inject(
+                        int(feed.vcs[ptr]),
+                        int(cycles[ptr]),
+                        int(feed.frame_ids[ptr]),
+                        bool(feed.frame_last[ptr]),
+                    )
+                    ptr += 1
+                pointers[port] = ptr
+            engine.inject(now)
+            # 2. Router pipeline.  3. Metrics.  4. Feedback / telemetry.
+            departures = router.step(now, arb_rng)
+            for dep in departures:
+                metrics.record(dep, now)
+            engine.on_departures(now, departures)
+            if telemetry is not None:
+                telemetry.on_cycle(now, departures)
+
+        result = self._summarize(workload, control, metrics)
+        engine.finish()
+        if telemetry is not None:
+            telemetry.finish(result)
         return result
 
     # ------------------------------------------------------------------

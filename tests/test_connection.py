@@ -111,3 +111,58 @@ class TestConnectionTable:
         table.add(conn(conn_id=0, vc=0))
         table.add(conn(conn_id=1, vc=1))
         assert {c.conn_id for c in table} == {0, 1}
+
+    def test_free_vc_reuses_lowest_after_churn(self):
+        table = self.make()
+        for cid in range(3):
+            table.add(conn(conn_id=cid, vc=cid))
+        table.remove(2)
+        table.remove(0)
+        assert table.free_vc(0) == 0
+        table.add(conn(conn_id=3, vc=0))
+        assert table.free_vc(0) == 2
+
+    def test_free_vc_matches_linear_scan_under_random_churn(self):
+        import random
+
+        cfg = RouterConfig(num_ports=2, vcs_per_link=16, candidate_levels=1)
+        table = ConnectionTable(cfg)
+        rng = random.Random(42)
+        live: dict[int, Connection] = {}
+        next_id = 0
+        for _ in range(600):
+            port = rng.randrange(cfg.num_ports)
+            reference = next(
+                (vc for vc in range(cfg.vcs_per_link)
+                 if table.at_vc(port, vc) is None),
+                None,
+            )
+            assert table.free_vc(port) == reference
+            if rng.random() < 0.55 and reference is not None:
+                c = conn(conn_id=next_id, in_port=port, vc=reference,
+                         out_port=rng.randrange(cfg.num_ports))
+                table.add(c)
+                live[next_id] = c
+                next_id += 1
+            elif live:
+                victim = rng.choice(sorted(live))
+                table.remove(victim)
+                del live[victim]
+
+    def test_replace_swaps_peak_in_place(self):
+        table = self.make()
+        table.add(conn(conn_id=0, tclass=TrafficClass.VBR, avg=10, peak=20))
+        table.replace(0, conn(conn_id=0, tclass=TrafficClass.VBR,
+                              avg=10, peak=40))
+        assert table.get(0).peak_slots == 40
+        assert table.at_vc(0, 0).peak_slots == 40
+
+    def test_replace_rejects_identity_changes(self):
+        table = self.make()
+        table.add(conn(conn_id=0, vc=0))
+        with pytest.raises(ValueError):
+            table.replace(0, conn(conn_id=0, vc=1))
+        with pytest.raises(ValueError):
+            table.replace(0, conn(conn_id=0, out_port=0))
+        with pytest.raises(KeyError):
+            table.replace(7, conn(conn_id=7))

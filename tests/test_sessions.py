@@ -1,0 +1,451 @@
+"""Dynamic session lifecycle (repro.sessions): churn, signaling, CAC.
+
+Covers the PR's acceptance gates directly:
+
+* byte-replay — two same-seed churn runs produce identical event logs,
+  stats payloads, SimResults, and RNG fingerprints;
+* zero-churn bit-identity — a sessions run with arrival rate 0 is
+  indistinguishable from a plain run (results AND RNG states);
+* reservation safety — random admit/renegotiate/release sequences never
+  overcommit a link, and releases restore the ledgers exactly.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.router import RouterConfig
+from repro.router.connection import TrafficClass
+from repro.router.router import MMRouter
+from repro.sessions import (
+    ChurnConfig,
+    QosFeedback,
+    SessionEngine,
+    SessionsSpec,
+    SignalingConfig,
+    generate_timeline,
+    make_policy,
+    policy_names,
+)
+from repro.sessions.churn import SESSION_CLASSES
+from repro.sessions.policies import CacRequest
+from repro.sim import RunControl
+from repro.sim.simulation import SingleRouterSim
+from repro.traffic.mixes import build_cbr_workload
+
+CFG = RouterConfig(num_ports=4, vcs_per_link=32, candidate_levels=4)
+
+CHURN = ChurnConfig(
+    arrivals_per_kcycle=3.0,
+    mean_hold_cycles=1_200.0,
+    mix=(("cbr-low", 0.4), ("cbr-medium", 0.25), ("vbr", 0.2),
+         ("best-effort", 0.15)),
+)
+
+
+def churn_run(cycles=4_000, seed=7, spec=None, load=0.1):
+    sim = SingleRouterSim(CFG, arbiter="coa", scheme="siabp", seed=seed)
+    workload = build_cbr_workload(sim.router, load, sim.rng.workload)
+    engine = SessionEngine.from_spec(
+        CFG, spec or SessionsSpec(churn=CHURN), cycles, sim.rng.sessions
+    )
+    result = sim.run(
+        workload, RunControl(cycles=cycles, warmup_cycles=0), sessions=engine
+    )
+    return result, engine, sim.rng.state_fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Churn timeline generation
+# ----------------------------------------------------------------------
+
+
+class TestChurnTimeline:
+    def test_same_seed_same_timeline(self):
+        a = generate_timeline(CFG, CHURN, 10_000,
+                              np.random.default_rng(3))
+        b = generate_timeline(CFG, CHURN, 10_000,
+                              np.random.default_rng(3))
+        assert len(a) == len(b) > 0
+        for sa, sb in zip(a, b):
+            assert sa.sid == sb.sid
+            assert (sa.in_port, sa.out_port) == (sb.in_port, sb.out_port)
+            assert sa.arrival_cycle == sb.arrival_cycle
+            assert sa.hold_cycles == sb.hold_cycles
+            assert np.array_equal(sa.cycles, sb.cycles)
+            assert sa.reneg_plan == sb.reneg_plan
+
+    def test_zero_rate_draws_nothing(self):
+        rng = np.random.default_rng(11)
+        before = rng.bit_generator.state
+        churn = dataclasses.replace(CHURN, arrivals_per_kcycle=0.0)
+        assert generate_timeline(CFG, churn, 10_000, rng) == []
+        assert rng.bit_generator.state == before
+
+    def test_arrivals_sorted_and_within_horizon(self):
+        sessions = generate_timeline(CFG, CHURN, 8_000,
+                                     np.random.default_rng(5))
+        arrivals = [s.arrival_cycle for s in sessions]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a < 8_000 for a in arrivals)
+        assert [s.sid for s in sessions] == list(range(len(sessions)))
+
+    def test_mix_classes_all_appear(self):
+        sessions = generate_timeline(CFG, CHURN, 60_000,
+                                     np.random.default_rng(1))
+        seen = {s.cls_name for s in sessions}
+        assert seen == {name for name, w in CHURN.mix if w > 0}
+        assert seen <= set(SESSION_CLASSES)
+
+    def test_pareto_holds_respect_minimum(self):
+        churn = dataclasses.replace(
+            CHURN, hold_dist="pareto", min_hold_cycles=300
+        )
+        sessions = generate_timeline(CFG, churn, 30_000,
+                                     np.random.default_rng(2))
+        assert sessions
+        assert all(s.hold_cycles >= 300 for s in sessions)
+
+    def test_injection_schedules_are_admission_relative(self):
+        sessions = generate_timeline(CFG, CHURN, 30_000,
+                                     np.random.default_rng(4))
+        injecting = [s for s in sessions if len(s.cycles)]
+        assert injecting
+        for s in injecting:
+            assert s.cycles[0] >= 0
+            assert s.cycles[-1] < s.hold_cycles
+
+    def test_config_roundtrips_through_dict(self):
+        assert ChurnConfig.from_dict(CHURN.to_dict()) == CHURN
+        pareto = dataclasses.replace(CHURN, hold_dist="pareto")
+        assert ChurnConfig.from_dict(pareto.to_dict()) == pareto
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(arrivals_per_kcycle=-1.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(mix=(("no-such-class", 1.0),))
+        with pytest.raises(ValueError):
+            ChurnConfig(hold_dist="uniform")
+        with pytest.raises(ValueError):
+            ChurnConfig(hold_dist="pareto", pareto_shape=1.0)
+
+
+# ----------------------------------------------------------------------
+# Acceptance gates: replay and zero-churn identity
+# ----------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_same_seed_replays_byte_identically(self):
+        r1, e1, fp1 = churn_run()
+        r2, e2, fp2 = churn_run()
+        assert e1.event_log.lines() == e2.event_log.lines()
+        assert e1.to_payload() == e2.to_payload()
+        assert r1.to_dict() == r2.to_dict()
+        assert fp1 == fp2
+
+    def test_different_seed_differs(self):
+        _, e1, _ = churn_run(seed=7)
+        _, e2, _ = churn_run(seed=8)
+        assert e1.event_log.lines() != e2.event_log.lines()
+
+    def test_zero_churn_is_bit_identical_to_plain_run(self):
+        cycles, seed = 3_000, 5
+        sim = SingleRouterSim(CFG, arbiter="coa", scheme="siabp", seed=seed)
+        workload = build_cbr_workload(sim.router, 0.3, sim.rng.workload)
+        plain = sim.run(workload, RunControl(cycles=cycles, warmup_cycles=0))
+        plain_fp = sim.rng.state_fingerprint()
+
+        spec = SessionsSpec(
+            churn=dataclasses.replace(CHURN, arrivals_per_kcycle=0.0)
+        )
+        result, engine, fp = churn_run(
+            cycles=cycles, seed=seed, spec=spec, load=0.3
+        )
+        assert len(engine.event_log) == 0
+        assert result.to_dict() == plain.to_dict()
+        assert fp == plain_fp
+
+
+# ----------------------------------------------------------------------
+# Session lifecycle through the simulator
+# ----------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_full_lifecycle_admits_and_releases(self):
+        result, engine, _ = churn_run(cycles=6_000)
+        payload = engine.to_payload()
+        counts = payload["event_counts"]
+        assert counts["arrive"] == payload["offered"] > 0
+        assert counts["admit"] == payload["admitted"] > 0
+        assert counts.get("release", 0) > 0
+        # Every admitted session either released or was still live at
+        # the horizon.
+        assert (payload["admitted"]
+                == counts.get("release", 0) + payload["expired_active"])
+
+    def test_ledgers_clean_after_run(self):
+        # finish() audits; a corrupt ledger would have raised inside
+        # churn_run.  Assert the audit really ran against live state.
+        _, engine, _ = churn_run(cycles=5_000)
+        router = engine._router
+        router.admission.audit(router.table)
+
+    def test_setup_latency_delays_admission(self):
+        spec = SessionsSpec(
+            churn=CHURN,
+            signaling=SignalingConfig(setup_latency_cycles=40),
+        )
+        _, engine, _ = churn_run(cycles=4_000, spec=spec)
+        arrivals, admits = {}, {}
+        for ev in engine.event_log.events:
+            if ev.kind == "arrive":
+                arrivals[ev.sid] = ev.cycle
+            elif ev.kind == "admit":
+                admits[ev.sid] = ev.cycle
+        assert admits
+        assert all(admits[sid] - arrivals[sid] == 40 for sid in admits)
+
+    def test_vbr_sessions_renegotiate(self):
+        spec = SessionsSpec(
+            churn=ChurnConfig(
+                arrivals_per_kcycle=1.0,
+                mean_hold_cycles=8_000.0,
+                vbr_frame_time_cycles=200,
+                mix=(("vbr", 1.0),),
+            )
+        )
+        _, engine, _ = churn_run(cycles=14_000, spec=spec)
+        payload = engine.to_payload()
+        assert payload["reneg_ok"] + payload["reneg_rejected"] > 0
+
+    def test_blocking_under_heavy_load(self):
+        spec = SessionsSpec(
+            churn=ChurnConfig(
+                arrivals_per_kcycle=8.0,
+                mean_hold_cycles=4_000.0,
+                mix=(("cbr-high", 1.0),),
+            )
+        )
+        _, engine, _ = churn_run(cycles=8_000, spec=spec)
+        payload = engine.to_payload()
+        assert payload["blocked"] > 0
+        low, high = payload["blocking_wilson_95"]
+        assert 0.0 <= low <= payload["blocking_probability"] <= high <= 1.0
+
+    def test_utilization_series_sampled(self):
+        _, engine, _ = churn_run(cycles=4_000)
+        series = engine.to_payload()["utilization_series"]
+        assert len(series) == 4_000 // 500
+        for cycle, in_frac, out_frac in series:
+            assert 0.0 <= in_frac <= 1.0
+            assert 0.0 <= out_frac <= 1.0
+
+    def test_spec_roundtrips_through_dict(self):
+        spec = SessionsSpec(
+            churn=CHURN, policy="util-cap",
+            signaling=SignalingConfig(setup_latency_cycles=9),
+            sample_stride=250,
+        )
+        assert SessionsSpec.from_dict(spec.to_dict()) == spec
+
+
+# ----------------------------------------------------------------------
+# CAC policies
+# ----------------------------------------------------------------------
+
+
+class TestPolicies:
+    def test_registry_lists_builtins(self):
+        assert {"paper", "util-cap", "measurement"} <= set(policy_names())
+        with pytest.raises(ValueError):
+            make_policy("no-such-policy")
+
+    def test_util_cap_blocks_earlier_than_paper(self):
+        def blocked(policy):
+            spec = SessionsSpec(
+                churn=ChurnConfig(
+                    arrivals_per_kcycle=6.0,
+                    mean_hold_cycles=4_000.0,
+                    mix=(("cbr-high", 1.0),),
+                ),
+                policy=policy,
+            )
+            _, engine, _ = churn_run(cycles=6_000, spec=spec)
+            return engine.to_payload()["blocked"]
+
+        assert blocked("util-cap") > blocked("paper") > 0
+
+    def test_util_cap_passes_best_effort(self):
+        router = MMRouter(CFG)
+        policy = make_policy("util-cap", cap=0.001)
+        be = CacRequest(0, 1, TrafficClass.BEST_EFFORT, 1, 1)
+        cbr = CacRequest(0, 1, TrafficClass.CBR, 1000, 1000)
+        feedback = QosFeedback()
+        assert policy.decide(be, router.admission, feedback, now=0)
+        assert not policy.decide(cbr, router.admission, feedback, now=0)
+
+    def test_measurement_policy_reacts_to_violations(self):
+        router = MMRouter(CFG)
+        policy = make_policy("measurement", window_cycles=100,
+                             max_violations=3)
+        req = CacRequest(0, 1, TrafficClass.CBR, 10, 10)
+        feedback = QosFeedback()
+        assert policy.decide(req, router.admission, feedback, now=50)
+        for cycle in (10, 20, 30):
+            feedback.note(cycle)
+        assert not policy.decide(req, router.admission, feedback, now=50)
+        # Violations age out of the window.
+        assert policy.decide(req, router.admission, feedback, now=500)
+
+    def test_feedback_window_prunes(self):
+        feedback = QosFeedback()
+        for cycle in range(10):
+            feedback.note(cycle)
+        assert feedback.count_since(5) == 5
+        assert feedback.total == 10
+
+
+# ----------------------------------------------------------------------
+# Reservation safety under churn (satellite: property test)
+# ----------------------------------------------------------------------
+
+
+class TestReservationProperties:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_admit_reneg_release_never_overcommits(self, seed):
+        rng = np.random.default_rng(seed)
+        router = MMRouter(CFG)
+        round_cycles = CFG.round_cycles
+        peak_budget = round_cycles * CFG.concurrency_factor
+        baseline = router.admission.reservation_vectors()
+        live = []
+
+        for _ in range(400):
+            op = rng.integers(0, 3)
+            if op == 0:  # admit
+                tc = (TrafficClass.VBR if rng.integers(0, 2)
+                      else TrafficClass.CBR)
+                avg = int(rng.integers(1, round_cycles // 6))
+                peak = (int(avg * (1 + rng.integers(0, 4)))
+                        if tc is TrafficClass.VBR else avg)
+                result = router.establish(
+                    int(rng.integers(0, CFG.num_ports)),
+                    int(rng.integers(0, CFG.num_ports)),
+                    tc, avg, peak,
+                )
+                if result.accepted:
+                    live.append(result.connection)
+            elif op == 1 and live:  # renegotiate a random VBR peak
+                conn = live[int(rng.integers(0, len(live)))]
+                if conn.traffic_class is TrafficClass.VBR:
+                    new_peak = int(conn.avg_slots *
+                                   (1 + rng.integers(0, 6)))
+                    decision = router.renegotiate_peak(conn.conn_id, new_peak)
+                    if decision:
+                        live = [router.table.get(c.conn_id) for c in live]
+            elif op == 2 and live:  # release
+                conn = live.pop(int(rng.integers(0, len(live))))
+                router.teardown(conn.conn_id)
+
+            vectors = router.admission.reservation_vectors()
+            assert all(v <= round_cycles for v in vectors["avg_in"])
+            assert all(v <= round_cycles for v in vectors["avg_out"])
+            assert all(v <= peak_budget for v in vectors["peak_in"])
+            assert all(v <= peak_budget for v in vectors["peak_out"])
+            router.admission.audit(router.table)
+
+        for conn in live:
+            router.teardown(conn.conn_id)
+        assert router.admission.reservation_vectors() == baseline
+
+    def test_release_restores_vectors_exactly(self):
+        router = MMRouter(CFG)
+        before = router.admission.reservation_vectors()
+        result = router.establish(0, 2, TrafficClass.VBR, 100, 400)
+        assert result.accepted
+        mid = router.admission.reservation_vectors()
+        assert mid != before
+        router.renegotiate_peak(result.connection.conn_id, 700)
+        router.teardown(result.connection.conn_id)
+        assert router.admission.reservation_vectors() == before
+
+    def test_renegotiate_rejects_peak_below_avg(self):
+        router = MMRouter(CFG)
+        result = router.establish(0, 1, TrafficClass.VBR, 100, 200)
+        decision = router.renegotiate_peak(result.connection.conn_id, 50)
+        assert not decision
+        assert "peak" in decision.reason
+
+    def test_renegotiate_rejects_cbr(self):
+        router = MMRouter(CFG)
+        result = router.establish(0, 1, TrafficClass.CBR, 100)
+        decision = router.renegotiate_peak(result.connection.conn_id, 300)
+        assert not decision
+
+    def test_renegotiate_respects_peak_budget(self):
+        router = MMRouter(CFG)
+        budget = int(CFG.round_cycles * CFG.concurrency_factor)
+        result = router.establish(0, 1, TrafficClass.VBR, 10, budget)
+        assert result.accepted
+        conn = result.connection
+        assert not router.renegotiate_peak(conn.conn_id, budget + 1)
+        # Rejection leaves the table and ledgers untouched.
+        assert router.table.get(conn.conn_id).peak_slots == budget
+        router.admission.audit(router.table)
+
+    def test_renegotiated_peak_visible_in_table(self):
+        router = MMRouter(CFG)
+        result = router.establish(0, 1, TrafficClass.VBR, 100, 200)
+        assert router.renegotiate_peak(result.connection.conn_id, 500)
+        assert router.table.get(result.connection.conn_id).peak_slots == 500
+
+
+# ----------------------------------------------------------------------
+# Blocking analysis helpers
+# ----------------------------------------------------------------------
+
+
+class TestBlockingAnalysis:
+    def test_erlang_b_known_values(self):
+        from repro.analysis.blocking import erlang_b
+
+        # Classic tabulated point: 10 erlangs on 10 servers ~ 0.215.
+        assert math.isclose(erlang_b(10.0, 10), 0.2146, abs_tol=1e-3)
+        assert erlang_b(0.0, 5) == 0.0
+        assert erlang_b(5.0, 0) == 1.0
+
+    def test_erlang_b_monotonic_in_load(self):
+        from repro.analysis.blocking import erlang_b
+
+        values = [erlang_b(a, 8) for a in (1.0, 4.0, 8.0, 16.0)]
+        assert values == sorted(values)
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_wilson_interval_brackets_estimate(self):
+        from repro.analysis.stats import wilson_interval
+
+        low, high = wilson_interval(20, 100)
+        assert low < 0.2 < high
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        lo0, hi0 = wilson_interval(0, 50)
+        assert lo0 == 0.0 and hi0 > 0.0
+
+    def test_render_blocking_table(self):
+        from repro.analysis.blocking import (
+            BlockingPoint,
+            render_blocking_table,
+        )
+
+        points = [
+            BlockingPoint("paper", 10.0, 100, 5),
+            BlockingPoint("util-cap", 10.0, 100, 9,
+                          erlang_b_reference=0.1),
+        ]
+        text = render_blocking_table(points, title="demo")
+        assert "paper" in text and "util-cap" in text
+        assert "P(block)" in text

@@ -1,0 +1,244 @@
+"""Sessions x campaign integration: hashing, caching, sweeps, CLI, bench."""
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.campaign import CampaignPlan, ResultStore, WorkloadSpec, run_campaign
+from repro.campaign.plan import PointSpec
+from repro.cli import main
+from repro.router import RouterConfig
+from repro.sessions import ChurnConfig, SessionsSpec
+from repro.sessions.experiments import (
+    blocking_sweep_plan,
+    reduce_blocking,
+    run_blocking_sweep,
+)
+from repro.sim import RunControl
+
+CFG = RouterConfig(num_ports=4, vcs_per_link=32, candidate_levels=4)
+
+CHURN = ChurnConfig(
+    arrivals_per_kcycle=4.0,
+    mean_hold_cycles=1_000.0,
+    mix=(("cbr-low", 0.6), ("cbr-medium", 0.4)),
+)
+
+
+def sessions_point(policy="paper", rate=4.0, seed=1, cycles=1_500):
+    return PointSpec(
+        config=CFG, arbiter="coa", scheme="siabp", target_load=0.2,
+        seed=seed, workload=WorkloadSpec.cbr(), cycles=cycles,
+        warmup_cycles=0,
+        sessions=SessionsSpec(
+            churn=dataclasses.replace(CHURN, arrivals_per_kcycle=rate),
+            policy=policy,
+        ),
+    )
+
+
+def artifact_bytes(root):
+    return {
+        f"{sub}/{p.name}": p.read_bytes()
+        for sub in ("objects", "sessions")
+        for p in root.glob(f"{sub}/*/*.json")
+    }
+
+
+class TestPointSpecHashing:
+    def test_sessions_dimension_changes_key(self):
+        static = dataclasses.replace(sessions_point(), sessions=None)
+        assert static.key() != sessions_point().key()
+        assert sessions_point().key() != sessions_point(policy="util-cap").key()
+        assert sessions_point().key() != sessions_point(rate=5.0).key()
+        assert sessions_point().key() == sessions_point().key()
+
+    def test_static_point_dict_has_no_sessions_key(self):
+        # Pre-sessions artifact hashes must stay reachable.
+        static = dataclasses.replace(sessions_point(), sessions=None)
+        assert "sessions" not in static.to_dict()
+
+    def test_roundtrip_preserves_sessions(self):
+        spec = sessions_point(policy="util-cap")
+        again = PointSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        assert again.key() == spec.key()
+
+    def test_describe_mentions_churn(self):
+        assert "erl" in sessions_point().describe()
+        static = dataclasses.replace(sessions_point(), sessions=None)
+        assert "erl" not in static.describe()
+
+
+class TestCampaignSessionsChannel:
+    def test_outcomes_carry_sessions_payload(self, tmp_path):
+        plan = CampaignPlan("s", (sessions_point(),))
+        result = run_campaign(plan, store=ResultStore(tmp_path),
+                              progress=False)
+        payload = result.outcomes[0].sessions
+        assert payload is not None
+        assert payload["offered"] > 0
+        assert payload["event_log"]
+
+    def test_static_point_has_no_sessions_payload(self):
+        plan = CampaignPlan(
+            "s", (dataclasses.replace(sessions_point(), sessions=None),)
+        )
+        result = run_campaign(plan, progress=False)
+        assert result.outcomes[0].sessions is None
+
+    def test_cache_hit_restores_sessions_payload(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = CampaignPlan("s", (sessions_point(),))
+        first = run_campaign(plan, store=store, progress=False)
+        second = run_campaign(plan, store=store, progress=False)
+        assert second.hits == 1
+        assert second.outcomes[0].sessions == first.outcomes[0].sessions
+        assert (second.outcomes[0].result.to_dict()
+                == first.outcomes[0].result.to_dict())
+
+    def test_missing_sessions_artifact_forces_recompute(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = CampaignPlan("s", (sessions_point(),))
+        first = run_campaign(plan, store=store, progress=False)
+        key = plan.points[0].key()
+        store.sessions_path_for(key).unlink()
+        second = run_campaign(plan, store=store, progress=False)
+        assert second.hits == 0
+        assert second.outcomes[0].sessions == first.outcomes[0].sessions
+
+    def test_parallel_and_serial_artifacts_byte_identical(self, tmp_path):
+        plan = CampaignPlan(
+            "s",
+            (sessions_point(seed=1), sessions_point(seed=2),
+             sessions_point(policy="util-cap", rate=8.0)),
+        )
+        serial_store, pool_store = tmp_path / "a", tmp_path / "b"
+        serial = run_campaign(plan, jobs=1, store=ResultStore(serial_store),
+                              progress=False)
+        pooled = run_campaign(plan, jobs=2, store=ResultStore(pool_store),
+                              progress=False)
+        assert artifact_bytes(serial_store) == artifact_bytes(pool_store)
+        for a, b in zip(serial.outcomes, pooled.outcomes):
+            assert a.sessions == b.sessions
+
+
+class TestBlockingSweep:
+    def test_sweep_produces_reference_checked_points(self, tmp_path):
+        plan = blocking_sweep_plan(
+            "sweep", CFG, [6.0, 12.0], ["paper", "util-cap"],
+            control=RunControl(cycles=2_000, warmup_cycles=0),
+        )
+        result, points = run_blocking_sweep(
+            plan, store=ResultStore(tmp_path)
+        )
+        assert len(points) == 4
+        for point in points:
+            assert point.policy in ("paper", "util-cap")
+            assert point.offered_sessions > 0
+            assert 0.0 <= point.blocking_probability <= 1.0
+            # Single-CBR-class demo mix: the Erlang-B reference exists.
+            assert math.isfinite(point.erlang_b_reference)
+
+    def test_multi_class_mix_has_no_erlang_reference(self):
+        plan = blocking_sweep_plan(
+            "sweep", CFG, [4.0], ["paper"], base_churn=CHURN,
+            control=RunControl(cycles=1_500, warmup_cycles=0),
+        )
+        _, points = run_blocking_sweep(plan)
+        assert math.isnan(points[0].erlang_b_reference)
+
+    def test_reduce_rejects_static_outcomes(self):
+        plan = CampaignPlan(
+            "s", (dataclasses.replace(sessions_point(), sessions=None),)
+        )
+        result = run_campaign(plan, progress=False)
+        with pytest.raises(ValueError):
+            reduce_blocking(result)
+
+    def test_plan_validates_inputs(self):
+        with pytest.raises(ValueError):
+            blocking_sweep_plan("x", CFG, [], ["paper"])
+        with pytest.raises(ValueError):
+            blocking_sweep_plan("x", CFG, [4.0], [])
+
+
+class TestSessionsBench:
+    def test_bench_report_gates_and_serializes(self, tmp_path):
+        from repro.sessions.bench import (
+            check_sessions_overhead,
+            run_sessions_bench,
+            write_sessions_report,
+        )
+
+        report = run_sessions_bench(
+            ports=4, vcs=32, levels=4, cycles=1_200, repeats=2
+        )
+        assert report.disabled_identical
+        assert report.replay_identical
+        assert report.sessions_offered > 0
+        path = write_sessions_report(report, tmp_path / "bench.json")
+        data = json.loads(path.read_text())
+        assert data["replay_identical"] is True
+        ok, message = check_sessions_overhead(report, max_disabled=1.0)
+        assert ok, message
+
+    def test_gate_fails_on_replay_divergence(self):
+        from repro.sessions.bench import (
+            check_sessions_overhead,
+            run_sessions_bench,
+        )
+
+        report = run_sessions_bench(
+            ports=4, vcs=32, levels=4, cycles=600, repeats=1
+        )
+        report.replay_identical = False
+        ok, message = check_sessions_overhead(report, max_disabled=1.0)
+        assert not ok and "replay" in message
+
+
+class TestSessionsCli:
+    ARGS = ["--ports", "4", "--vcs", "32", "--cycles", "1500",
+            "--rate", "4.0", "--hold", "800"]
+
+    def test_default_run_prints_summary(self, capsys):
+        assert main(["sessions", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "session churn run" in out
+        assert "offered sessions" in out
+        assert "session events" in out
+
+    def test_check_determinism_passes(self, capsys):
+        assert main(["sessions", *self.ARGS, "--check-determinism"]) == 0
+        assert "deterministic" in capsys.readouterr().out
+
+    def test_demo_renders_blocking_table(self, tmp_path, capsys):
+        args = ["sessions", "--ports", "4", "--vcs", "32",
+                "--cycles", "1500", "--demo",
+                "--rates", "4,8,12", "--policies", "paper,util-cap",
+                "--store", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "session blocking vs offered load" in out
+        assert "erlang-B ref" in out
+        # Second invocation is served from the store.
+        assert main(args) == 0
+        assert "(6 cached / 6 points)" in capsys.readouterr().out
+
+    def test_demo_rejects_thin_grids(self, capsys):
+        assert main(["sessions", "--demo", "--rates", "4,8",
+                     "--policies", "paper,util-cap"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_writes_report(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_sessions.json"
+        # Tiny run: loosen the noise-dominated timing gate; the
+        # identity/replay gates are what this test pins.
+        assert main(["sessions", "--ports", "4", "--vcs", "32",
+                     "--bench", "--cycles", "800", "--repeats", "1",
+                     "--max-disabled-overhead", "0.5",
+                     "--json", str(path)]) == 0
+        assert json.loads(path.read_text())["disabled_identical"] is True
+        assert "sessions overhead OK" in capsys.readouterr().out
