@@ -60,6 +60,7 @@ def execute_point(
     scheme: str = "siabp",
     telemetry=None,
     sessions=None,
+    faults=None,
 ) -> SimResult:
     """Run one simulation point.  THE definition of point semantics.
 
@@ -79,8 +80,19 @@ def execute_point(
     with dynamic session churn and the return value grows a trailing
     :class:`~repro.sessions.signaling.SessionEngine` —
     ``(result, engine)`` or ``(result, session, engine)``.
+
+    ``faults`` optionally takes a
+    :class:`~repro.faults.models.FaultConfig`; the point then runs on
+    the fault-injecting harness instead of the healthy simulator.
     """
-    sim = SingleRouterSim(config, arbiter=arbiter, scheme=scheme, seed=seed)
+    if faults is not None:
+        from ..faults.harness import FaultySingleRouterSim
+
+        sim = FaultySingleRouterSim(
+            config, arbiter=arbiter, scheme=scheme, seed=seed, faults=faults
+        )
+    else:
+        sim = SingleRouterSim(config, arbiter=arbiter, scheme=scheme, seed=seed)
     workload = builder(sim.router, sim.rng.workload, target_load)
     if sessions is not None:
         from ..sessions.signaling import SessionEngine
@@ -125,12 +137,15 @@ def _worker(payload: dict[str, Any]) -> dict[str, Any]:
         spec.scheme,
         telemetry=telemetry,
         sessions=spec.sessions,
+        faults=spec.faults,
     )
     payload_out: dict[str, Any] = {"wall_s": time.monotonic() - t0}
     if spec.sessions is not None:
         engine = out[-1]
         out = out[:-1]
         payload_out["sessions"] = engine.to_payload()
+        if engine.control_plane is not None:
+            payload_out["control"] = engine.control_payload()
     if telemetry is not None:
         result, session = out if isinstance(out, tuple) else (out, None)
         payload_out["telemetry"] = session.to_payload()
@@ -161,6 +176,9 @@ class PointOutcome:
     #: Session-stats payload (``repro.sessions`` schema) when the point
     #: spec carried a :class:`~repro.sessions.signaling.SessionsSpec`.
     sessions: dict[str, Any] | None = None
+    #: Control-plane payload (``repro.control`` schema) when the point's
+    #: sessions spec carried a :class:`~repro.control.config.ControlConfig`.
+    control: dict[str, Any] | None = None
 
 
 @dataclass
@@ -258,6 +276,7 @@ def run_campaign(
         cached = store.get(key) if store is not None else None
         cached_telemetry = None
         cached_sessions = None
+        cached_control = None
         if cached is not None and telemetry is not None:
             cached_telemetry = store.get_telemetry(key)
             if cached_telemetry is None:
@@ -266,6 +285,10 @@ def run_campaign(
             cached_sessions = store.get_sessions(key)
             if cached_sessions is None:
                 cached = None  # session stats also require a live run
+            elif spec.sessions.control is not None:
+                cached_control = store.get_payload("control", key)
+                if cached_control is None:
+                    cached = None  # control payloads need a live run too
         if cached is not None:
             outcomes[i] = PointOutcome(
                 spec=spec,
@@ -276,6 +299,7 @@ def run_campaign(
                 wall_s=0.0,
                 telemetry=cached_telemetry,
                 sessions=cached_sessions,
+                control=cached_control,
             )
             if reporter:
                 reporter.point_done(cached=True, attempts=0)
@@ -291,6 +315,7 @@ def run_campaign(
         result_dict: dict[str, Any],
         telemetry_payload: dict[str, Any] | None = None,
         sessions_payload: dict[str, Any] | None = None,
+        control_payload: dict[str, Any] | None = None,
     ) -> None:
         spec, key = plan.points[i], keys[i]
         if store is not None:
@@ -299,6 +324,8 @@ def run_campaign(
                 store.put_telemetry(key, telemetry_payload)
             if sessions_payload is not None:
                 store.put_sessions(key, sessions_payload)
+            if control_payload is not None:
+                store.put_payload("control", key, control_payload)
         outcomes[i] = PointOutcome(
             spec=spec,
             key=key,
@@ -308,6 +335,7 @@ def run_campaign(
             wall_s=wall_s,
             telemetry=telemetry_payload,
             sessions=sessions_payload,
+            control=control_payload,
         )
         if reporter:
             reporter.point_done(cached=False, attempts=attempts[i])
@@ -345,6 +373,7 @@ def run_campaign(
                         out["result"],
                         out.get("telemetry"),
                         out.get("sessions"),
+                        out.get("control"),
                     )
     else:
         _run_pool(
@@ -436,6 +465,7 @@ def _run_pool(
                             out["result"],
                             out.get("telemetry"),
                             out.get("sessions"),
+                            out.get("control"),
                         )
             if broken:
                 # In-flight futures on a broken pool are poisoned too:

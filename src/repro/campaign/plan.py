@@ -32,6 +32,7 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from .. import __version__
+from ..faults.models import FaultConfig
 from ..router.config import RouterConfig
 from ..router.router import MMRouter
 from ..sessions.signaling import SessionsSpec
@@ -183,6 +184,9 @@ class PointSpec:
     #: signaling).  ``None`` keeps the point static — and keeps its hash
     #: identical to pre-sessions artifacts, so existing caches stay warm.
     sessions: SessionsSpec | None = None
+    #: Optional fault-injection dimension.  ``None`` runs the healthy
+    #: simulator — and, like ``sessions``, stays out of the hash.
+    faults: FaultConfig | None = None
 
     @property
     def control(self) -> RunControl:
@@ -201,11 +205,14 @@ class PointSpec:
         }
         if self.sessions is not None:
             out["sessions"] = self.sessions.to_dict()
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PointSpec":
         sessions = data.get("sessions")
+        faults = data.get("faults")
         return cls(
             config=RouterConfig(**data["config"]),
             arbiter=data["arbiter"],
@@ -217,6 +224,9 @@ class PointSpec:
             warmup_cycles=data["warmup_cycles"],
             sessions=(
                 SessionsSpec.from_dict(sessions) if sessions is not None else None
+            ),
+            faults=(
+                FaultConfig.from_dict(faults) if faults is not None else None
             ),
         )
 
@@ -240,6 +250,8 @@ class PointSpec:
                 f" churn={self.sessions.churn.offered_erlangs_per_port:g}erl"
                 f"/{self.sessions.policy}"
             )
+        if self.faults is not None:
+            base += " faults"
         return base
 
 
@@ -276,6 +288,8 @@ class CampaignPlan:
         workload: WorkloadSpec,
         control: RunControl,
         scheme: str = "siabp",
+        sessions: SessionsSpec | None = None,
+        faults: FaultConfig | None = None,
     ) -> "CampaignPlan":
         """Full arbiter x load x seed grid, in sweep order.
 
@@ -293,6 +307,8 @@ class CampaignPlan:
                 workload=workload,
                 cycles=control.cycles,
                 warmup_cycles=control.warmup_cycles,
+                sessions=sessions,
+                faults=faults,
             )
             for arbiter in arbiters
             for load in loads

@@ -6,7 +6,17 @@ Layout under the store root::
         objects/<kk>/<key>.json     # kk = first two hex chars of key
         telemetry/<kk>/<key>.json   # optional telemetry payload per point
         sessions/<kk>/<key>.json    # optional session-stats payload per point
+        control/<kk>/<key>.json     # optional control-plane payload per point
         manifests/<name>-<stamp>.json
+
+The optional per-point payloads are *named side-channels*: every channel
+in :data:`PAYLOAD_CHANNELS` shares one layout (``<channel>/<kk>/<key>``),
+one artifact shape (``{"key": ..., "<channel>": {...}}``) and one
+corruption policy, via :meth:`ResultStore.get_payload` /
+:meth:`ResultStore.put_payload`.  The channel name doubles as the JSON
+field name, which keeps the bytes of the pre-existing telemetry and
+sessions artifacts exactly as they were before the channels were
+generalized.
 
 Artifacts are *deterministic*: they contain only the point key, the
 fully-resolved spec, the code-version keys, and the result — no
@@ -37,7 +47,15 @@ from typing import Any
 from .. import __version__
 from .plan import CODE_VERSION, PointSpec, canonical_json
 
-__all__ = ["ResultStore", "RunManifest", "collect_provenance"]
+__all__ = [
+    "PAYLOAD_CHANNELS",
+    "ResultStore",
+    "RunManifest",
+    "collect_provenance",
+]
+
+#: Named per-point side-channels the store can persist next to results.
+PAYLOAD_CHANNELS = ("telemetry", "sessions", "control")
 
 
 class ResultStore:
@@ -49,6 +67,7 @@ class ResultStore:
         self.manifests_dir = self.root / "manifests"
         self.telemetry_dir = self.root / "telemetry"
         self.sessions_dir = self.root / "sessions"
+        self.control_dir = self.root / "control"
         #: Artifacts dropped because they failed to parse or validate.
         self.corrupt_dropped = 0
 
@@ -108,95 +127,76 @@ class ResultStore:
         return path
 
     # ------------------------------------------------------------------
-    # Telemetry side-artifacts (repro.obs payloads, same key space)
+    # Named per-point side-channels (telemetry / sessions / control)
     # ------------------------------------------------------------------
+
+    def channel_path_for(self, channel: str, key: str) -> Path:
+        if channel not in PAYLOAD_CHANNELS:
+            raise ValueError(f"unknown payload channel {channel!r}")
+        return self.root / channel / key[:2] / f"{key}.json"
+
+    def get_payload(self, channel: str, key: str) -> dict[str, Any] | None:
+        """The stored ``channel`` payload for ``key``, or None on miss.
+
+        Same corruption policy as :meth:`get`: any failure is a miss (and
+        bumps :attr:`corrupt_dropped`) and the point recomputes — every
+        side-channel payload requires a live run.
+        """
+        path = self.channel_path_for(channel, key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupt_dropped += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("key") != key
+            or not isinstance(payload.get(channel), dict)
+        ):
+            self.corrupt_dropped += 1
+            return None
+        return payload[channel]
+
+    def put_payload(
+        self, channel: str, key: str, payload: dict[str, Any]
+    ) -> Path:
+        """Persist one point's ``channel`` payload atomically.
+
+        The body is canonical JSON of deterministic content keyed by the
+        channel name — byte-identical to the pre-generalization artifact
+        format, preserving the serial-vs-parallel identity guarantee and
+        every warm cache.
+        """
+        path = self.channel_path_for(channel, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = canonical_json({"key": key, channel: payload})
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(body, encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    # Channel-specific conveniences (thin wrappers over the generic API).
 
     def telemetry_path_for(self, key: str) -> Path:
-        return self.telemetry_dir / key[:2] / f"{key}.json"
+        return self.channel_path_for("telemetry", key)
 
     def get_telemetry(self, key: str) -> dict[str, Any] | None:
-        """The stored telemetry payload for ``key``, or None on miss.
-
-        Same corruption policy as :meth:`get`: any failure is a miss, the
-        caller recomputes the point (telemetry requires a live run).
-        """
-        path = self.telemetry_path_for(key)
-        try:
-            with open(path, encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except FileNotFoundError:
-            return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.corrupt_dropped += 1
-            return None
-        if (
-            not isinstance(payload, dict)
-            or payload.get("key") != key
-            or not isinstance(payload.get("telemetry"), dict)
-        ):
-            self.corrupt_dropped += 1
-            return None
-        return payload["telemetry"]
+        return self.get_payload("telemetry", key)
 
     def put_telemetry(self, key: str, telemetry: dict[str, Any]) -> Path:
-        """Persist one point's telemetry payload atomically.
-
-        The body is canonical JSON of deterministic content (the payload
-        carries no timestamps), preserving the serial-vs-parallel
-        byte-identity guarantee for telemetry artifacts too.
-        """
-        path = self.telemetry_path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        body = canonical_json({"key": key, "telemetry": telemetry})
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(body, encoding="utf-8")
-        os.replace(tmp, path)
-        return path
-
-    # ------------------------------------------------------------------
-    # Session-stats side-artifacts (repro.sessions payloads)
-    # ------------------------------------------------------------------
+        return self.put_payload("telemetry", key, telemetry)
 
     def sessions_path_for(self, key: str) -> Path:
-        return self.sessions_dir / key[:2] / f"{key}.json"
+        return self.channel_path_for("sessions", key)
 
     def get_sessions(self, key: str) -> dict[str, Any] | None:
-        """The stored session-stats payload for ``key``, or None on miss.
-
-        Same corruption policy as :meth:`get`: any failure is a miss and
-        the point recomputes (session stats require a live run).
-        """
-        path = self.sessions_path_for(key)
-        try:
-            with open(path, encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except FileNotFoundError:
-            return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.corrupt_dropped += 1
-            return None
-        if (
-            not isinstance(payload, dict)
-            or payload.get("key") != key
-            or not isinstance(payload.get("sessions"), dict)
-        ):
-            self.corrupt_dropped += 1
-            return None
-        return payload["sessions"]
+        return self.get_payload("sessions", key)
 
     def put_sessions(self, key: str, sessions: dict[str, Any]) -> Path:
-        """Persist one point's session-stats payload atomically.
-
-        Canonical JSON of deterministic content (event log included), so
-        serial and parallel campaigns write byte-identical artifacts.
-        """
-        path = self.sessions_path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        body = canonical_json({"key": key, "sessions": sessions})
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(body, encoding="utf-8")
-        os.replace(tmp, path)
-        return path
+        return self.put_payload("sessions", key, sessions)
 
     # ------------------------------------------------------------------
 

@@ -350,6 +350,58 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(fraction, default 0.01)")
     p_sessions.set_defaults(func=cmd_sessions)
 
+    p_control = sub.add_parser(
+        "control",
+        help="closed-loop control plane: frontier demo, determinism check, "
+             "overhead bench",
+    )
+    add_router_args(p_control)
+    p_control.add_argument("--arbiter", default="coa", choices=ARBITER_NAMES)
+    p_control.add_argument("--load", type=float, default=0.1,
+                           help="static background CBR load per input link "
+                                "(0-1, default 0.1)")
+    p_control.add_argument("--cycles", type=int, default=0,
+                           help="flit cycles (0 = 12000, or 20000 for "
+                                "--bench)")
+    p_control.add_argument("--demo", action="store_true",
+                           help="blocking-vs-delivered-QoS frontier table "
+                                "across CAC policies under churn + faults")
+    p_control.add_argument("--rates", type=_parse_floats,
+                           default=[1.0, 2.0, 4.0],
+                           help="--demo arrival rates per kcycle per port "
+                                "(>= 3 required)")
+    p_control.add_argument("--policies", type=_parse_names,
+                           default=["paper", "measurement", "adaptive"],
+                           help="--demo comma-separated CAC policies")
+    p_control.add_argument("--seeds", type=_parse_ints, default=[0, 1],
+                           help="--demo comma-separated seeds (default 0,1)")
+    p_control.add_argument("-j", "--jobs", type=int, default=1,
+                           help="--demo worker processes (0 = per core)")
+    p_control.add_argument("--store", default=None, metavar="DIR",
+                           help="--demo result-store directory")
+    p_control.add_argument("--check-determinism", action="store_true",
+                           help="replay control-enabled runs and verify the "
+                                "disabled path is bit-identical; exit 1 on "
+                                "any divergence")
+    p_control.add_argument("--bench", action="store_true",
+                           help="measure control-plane overhead "
+                                "(BENCH_control.json)")
+    p_control.add_argument("--repeats", type=int, default=0,
+                           help="interleaved bench repetitions per variant "
+                                "(0 = default 5)")
+    p_control.add_argument("--json", default=None, metavar="PATH",
+                           help="write the bench report "
+                                "(BENCH_control.json format)")
+    p_control.add_argument("--max-disabled-overhead", type=float,
+                           default=0.01,
+                           help="tolerated control-disabled overhead "
+                                "(fraction, default 0.01)")
+    p_control.add_argument("--max-enabled-overhead", type=float,
+                           default=0.05,
+                           help="tolerated control-enabled overhead "
+                                "(fraction, default 0.05)")
+    p_control.set_defaults(func=cmd_control)
+
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(
         "artifact",
@@ -1005,6 +1057,178 @@ def cmd_sessions(args: argparse.Namespace) -> int:
               f"last {len(tail)}):")
         for line in tail:
             print(f"  {line}")
+    return 0
+
+
+def _control_run(args: argparse.Namespace, cycles: int):
+    """One control-enabled churn run on the faulty harness.
+
+    Returns ``(result, engine, fingerprint)``.
+    """
+    from .control.experiments import (
+        FRONTIER_CHURN,
+        FRONTIER_CONTROL,
+        FRONTIER_FAULTS,
+    )
+    from .faults.harness import FaultySingleRouterSim
+    from .sessions import SessionEngine, SessionsSpec
+
+    config = _config_from_args(args)
+    spec = SessionsSpec(churn=FRONTIER_CHURN, policy="adaptive",
+                        control=FRONTIER_CONTROL)
+    sim = FaultySingleRouterSim(config, arbiter=args.arbiter,
+                                scheme=args.scheme, seed=args.seed,
+                                faults=FRONTIER_FAULTS)
+    workload = build_cbr_workload(sim.router, args.load, sim.rng.workload)
+    engine = SessionEngine.from_spec(config, spec, cycles, sim.rng.sessions)
+    result = sim.run(workload, RunControl(cycles=cycles, warmup_cycles=0),
+                     sessions=engine)
+    return result, engine, sim.rng.state_fingerprint()
+
+
+def cmd_control(args: argparse.Namespace) -> int:
+    if args.bench:
+        from .control.bench import (
+            check_control_overhead,
+            run_control_bench,
+            write_control_report,
+        )
+
+        report = run_control_bench(
+            ports=args.ports, vcs=args.vcs, levels=args.levels,
+            arbiter=args.arbiter, scheme=args.scheme, load=args.load,
+            seed=args.seed, cycles=args.cycles or 20_000,
+            repeats=args.repeats or 5,
+        )
+        rows = [
+            ["config", f"{report.ports}x{report.ports} ports, "
+                       f"{report.vcs} VCs, {report.levels} levels"],
+            ["measured cycles", f"{report.cycles} x {report.repeats} reps"],
+            ["plain (cycles/sec)", f"{report.plain.cycles_per_sec:,.0f}"],
+            ["disabled (cycles/sec)",
+             f"{report.disabled.cycles_per_sec:,.0f}"],
+            ["enabled (cycles/sec)", f"{report.enabled.cycles_per_sec:,.0f}"],
+            ["overhead disabled", f"{report.overhead_disabled:+.2%}"],
+            ["overhead enabled", f"{report.overhead_enabled:+.2%}"],
+            ["disabled identical", report.disabled_identical],
+            ["faulty disabled identical", report.faulty_disabled_identical],
+            ["replay identical", report.replay_identical],
+            ["setup timeouts / retries",
+             f"{report.setup_timeouts} / {report.setup_retries}"],
+            ["pressure samples", report.pressure_samples],
+        ]
+        print(render_table(["metric", "value"], rows,
+                           title="control-plane overhead benchmark"))
+        if args.json:
+            path = write_control_report(report, args.json)
+            print(f"report written to {path}")
+        ok, message = check_control_overhead(
+            report, args.max_disabled_overhead, args.max_enabled_overhead
+        )
+        print(message)
+        return 0 if ok else 1
+
+    if args.demo:
+        from .control.experiments import frontier_plan, run_frontier
+
+        if len(args.rates) < 3 or len(args.policies) < 2:
+            print("error: --demo needs >= 3 rates and >= 2 policies",
+                  file=sys.stderr)
+            return 2
+        plan = frontier_plan(
+            "control-demo",
+            _config_from_args(args),
+            args.rates,
+            args.policies,
+            args.seeds,
+            control=RunControl(cycles=args.cycles or 12_000,
+                               warmup_cycles=0),
+            background_load=args.load,
+            arbiter=args.arbiter,
+            scheme=args.scheme,
+        )
+        campaign, points = run_frontier(
+            plan, jobs=_resolve_jobs(args.jobs), store=_open_store(args)
+        )
+        rows = []
+        for p in points:
+            p_block = p.blocking_probability
+            rows.append([
+                p.policy,
+                f"{p.arrivals_per_kcycle:g}",
+                p.offered,
+                f"{p.blocked_cac} / {p.blocked_timeout}",
+                "n/a" if p_block != p_block else f"{p_block:.4f}",
+                f"{p.violation_rate_per_kcycle:.3f}",
+                p.setup_retries,
+                p.readmitted_alt,
+                p.degradation_level,
+            ])
+        print(render_table(
+            ["policy", "rate/kcyc", "offered", "blocked cac/timeout",
+             "P(block)", "viol/kcyc", "retries", "readmit-alt", "deg"],
+            rows,
+            title="blocking vs delivered QoS under churn + faults "
+                  f"({campaign.hits} cached / {len(campaign.outcomes)} "
+                  "points)",
+        ))
+        return 0
+
+    cycles = args.cycles or 12_000
+    if args.check_determinism:
+        from .control.bench import _check_faulty_identity
+
+        first_result, first_engine, first_fp = _control_run(args, cycles)
+        second_result, second_engine, second_fp = _control_run(args, cycles)
+        replay_ok = (
+            first_result.to_dict() == second_result.to_dict()
+            and first_engine.to_payload() == second_engine.to_payload()
+            and first_engine.control_payload()
+            == second_engine.control_payload()
+            and first_fp == second_fp
+        )
+        disabled_ok = _check_faulty_identity(
+            args.ports, args.vcs, args.arbiter, args.scheme, args.load,
+            args.seed, cycles,
+        )
+        if not replay_ok:
+            print(f"DIVERGED: two seed={args.seed} control runs differ",
+                  file=sys.stderr)
+            return 1
+        if not disabled_ok:
+            print("DIVERGED: control-disabled engine perturbed the "
+                  "faulty run", file=sys.stderr)
+            return 1
+        print(f"deterministic: seed={args.seed} control runs replayed "
+              f"identically and the disabled path is bit-identical "
+              f"({cycles} cycles)")
+        return 0
+
+    result, engine, _ = _control_run(args, cycles)
+    sessions = engine.to_payload()
+    control = engine.control_payload()
+    band = control["band"]
+    sig = control["signaling"]
+    rows = [
+        ["arbiter / scheme / policy",
+         f"{result.arbiter} / {result.scheme} / {sessions['policy']}"],
+        ["offered sessions", sessions["offered"]],
+        ["admitted / blocked cac / blocked timeout",
+         f"{sessions['admitted']} / {sessions['blocked_cac']} / "
+         f"{sessions['blocked_timeout']}"],
+        ["setup timeouts / retries",
+         f"{sig['setup_timeouts']} / {sig['setup_retries']}"],
+        ["readmitted on alternate port", sig["readmitted_alt"]],
+        ["violation rate (per kcycle)",
+         f"{control['violation_rate_per_kcycle']:.3f}"],
+        ["occupancy EWMA (flits)", f"{control['occupancy_ewma']:.2f}"],
+        ["pressure band", f"{band['state']} "
+                          f"({len(band['transitions'])} transitions)"],
+        ["degradation level (peak)", result.degradation_level],
+        ["throughput", f"{result.throughput:.1%}"],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"closed-loop control run, {cycles} cycles"))
     return 0
 
 

@@ -1,0 +1,54 @@
+"""Closed-loop control plane: resilient signaling, estimators, recovery.
+
+The sessions subsystem admits and tears down connections; the faults
+subsystem breaks the substrate under them.  This package closes the loop
+between the two:
+
+* :mod:`~repro.control.config` — :class:`RetryPolicy` (signaling
+  timeout / bounded retry / exponential backoff + jitter) and
+  :class:`ControlConfig` (estimator gains, hysteresis water marks,
+  recovery hold time, overload brake);
+* :mod:`~repro.control.estimators` — EWMA smoothers for the deadline-
+  violation rate and NIC queue occupancy, plus the anti-flap
+  :class:`~repro.control.estimators.HysteresisBand`;
+* :mod:`~repro.control.plane` — the :class:`ControlPlane` the
+  :class:`~repro.sessions.signaling.SessionEngine` steps each estimator
+  stride, the pressure-driven ``adaptive`` CAC policy, and the
+  :class:`~repro.control.plane.RecoveryController` that lets graceful
+  degradation un-shed traffic once measured pressure clears;
+* :mod:`~repro.control.experiments` — the blocking-vs-delivered-QoS
+  frontier campaign across static / measurement / adaptive policies
+  under churn and injected faults (imported lazily; pulls in
+  ``repro.campaign``);
+* :mod:`~repro.control.bench` — overhead gates: a control-disabled run
+  must stay bit-identical and within noise of the plain simulator.
+
+Everything is deterministic: retry loss and jitter draws are precomputed
+from the ``sessions`` RNG stream at spec-build time, so identical seeds
+replay identical retry / backoff / give-up event logs, and a run with
+``control=None`` consumes exactly the RNG draws it consumed before this
+package existed.
+"""
+
+from .config import ControlConfig, RetryPolicy
+from .estimators import Ewma, HysteresisBand, ViolationRateEstimator
+from .plane import (
+    CONTROL_SCHEMA,
+    AdaptiveCacPolicy,
+    ControlFeedback,
+    ControlPlane,
+    RecoveryController,
+)
+
+__all__ = [
+    "ControlConfig",
+    "RetryPolicy",
+    "Ewma",
+    "HysteresisBand",
+    "ViolationRateEstimator",
+    "CONTROL_SCHEMA",
+    "AdaptiveCacPolicy",
+    "ControlFeedback",
+    "ControlPlane",
+    "RecoveryController",
+]

@@ -1,0 +1,299 @@
+"""Control-plane overhead benchmark and determinism checks.
+
+Produces the ``BENCH_control.json`` artifact and the CI gates behind it:
+
+* the ``control=None`` engine path must be within measurement noise of
+  itself (two interleaved timings of the identical code path — the
+  disabled bound, gated below 1%);
+* a control-enabled engine (estimators stepping, lossy signaling with
+  retries) must stay within 5% of the control-disabled engine;
+* a control-disabled run must be *bit-identical* to a plain run —
+  same :meth:`SimResult.to_dict` and same RNG fingerprint — on both the
+  healthy simulator and the fault-injecting harness;
+* same-seed control-enabled runs must replay byte-identically, control
+  payload included (retry/backoff/give-up logs are deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from time import perf_counter_ns
+from typing import Any
+
+from ..sessions.churn import ChurnConfig
+from ..sessions.signaling import SessionEngine, SessionsSpec
+from ..sim.engine import RunControl
+from .config import ControlConfig, RetryPolicy
+
+__all__ = [
+    "BENCH_CONTROL",
+    "ControlBenchStats",
+    "ControlBenchReport",
+    "run_control_bench",
+    "check_control_overhead",
+    "write_control_report",
+]
+
+#: Churn profile shared by every variant (same as the sessions bench).
+BENCH_CHURN = ChurnConfig(
+    arrivals_per_kcycle=2.0,
+    mean_hold_cycles=3_000.0,
+    mix=(("cbr-low", 0.4), ("cbr-medium", 0.3), ("vbr", 0.2),
+         ("best-effort", 0.1)),
+)
+
+#: Control config the enabled variant runs: lossy signaling so the retry
+#: machinery does real work, default estimator gains and water marks.
+BENCH_CONTROL = ControlConfig(retry=RetryPolicy(loss_rate=0.02))
+
+
+@dataclass
+class ControlBenchStats:
+    """One variant's timing (best of the interleaved repetitions)."""
+
+    cycles_per_sec: float
+    wall_s: float
+    wall_s_all: list[float] = field(default_factory=list)
+
+
+@dataclass
+class ControlBenchReport:
+    """Everything ``BENCH_control.json`` records."""
+
+    ports: int
+    vcs: int
+    levels: int
+    arbiter: str
+    scheme: str
+    load: float
+    seed: int
+    cycles: int
+    repeats: int
+    plain: ControlBenchStats
+    disabled: ControlBenchStats
+    enabled: ControlBenchStats
+    #: (disabled - plain) / plain: both time the identical control=None
+    #: engine path, so this bounds the measurement noise the gate allows.
+    overhead_disabled: float
+    #: (enabled - disabled) / disabled: cost of estimators + retries.
+    overhead_enabled: float
+    #: Control-disabled churn run is bit-identical to a plain churn run
+    #: (SimResult dicts, session payloads and RNG fingerprints match).
+    disabled_identical: bool
+    #: Same on the fault-injecting harness: a faulty run with a
+    #: zero-churn control-disabled engine matches a plain faulty run.
+    faulty_disabled_identical: bool
+    #: Same-seed control-enabled runs replayed byte-identically
+    #: (SimResult, sessions payload, control payload, RNG fingerprints).
+    replay_identical: bool
+    #: Signaling volume context for the enabled run.
+    setup_timeouts: int
+    setup_retries: int
+    pressure_samples: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+def run_control_bench(
+    *,
+    ports: int = 4,
+    vcs: int = 64,
+    levels: int = 4,
+    arbiter: str = "coa",
+    scheme: str = "siabp",
+    load: float = 0.7,
+    seed: int = 0,
+    cycles: int = 20_000,
+    repeats: int = 5,
+) -> ControlBenchReport:
+    """Measure control-plane overhead on the paper config, best-of-N.
+
+    Three variants are timed with interleaved repetitions so background
+    load hits all of them: *plain* and *disabled* both run a churn
+    engine with ``control=None`` (identical code path — their delta is
+    pure noise and is the disabled-overhead bound), *enabled* runs the
+    same churn under :data:`BENCH_CONTROL`.  The faulty-harness identity
+    check runs once, untimed, after the timing loop.
+    """
+    from ..perf.harness import make_cbr_sim
+
+    control = RunControl(cycles=cycles, warmup_cycles=0)
+    spec_off = SessionsSpec(churn=BENCH_CHURN)
+    spec_on = SessionsSpec(churn=BENCH_CHURN, control=BENCH_CONTROL)
+
+    def timed(spec: SessionsSpec):
+        sim, workload = make_cbr_sim(
+            ports, vcs, levels, arbiter, scheme, load, seed, True
+        )
+        engine = SessionEngine.from_spec(
+            sim.router.config, spec, cycles, sim.rng.sessions
+        )
+        t0 = perf_counter_ns()
+        result = sim.run(workload, control, sessions=engine)
+        wall = (perf_counter_ns() - t0) / 1e9
+        return wall, result, sim.rng.state_fingerprint(), engine
+
+    plain_walls: list[float] = []
+    disabled_walls: list[float] = []
+    enabled_walls: list[float] = []
+    plain_run = disabled_run = None
+    enabled_runs: list[tuple[Any, Any, Any]] = []
+    for _ in range(repeats):
+        wall, result, fp, engine = timed(spec_off)
+        plain_walls.append(wall)
+        plain_run = (result, fp, engine)
+        wall, result, fp, engine = timed(spec_off)
+        disabled_walls.append(wall)
+        disabled_run = (result, fp, engine)
+        wall, result, fp, engine = timed(spec_on)
+        enabled_walls.append(wall)
+        enabled_runs.append((result, fp, engine))
+
+    def stats(walls: list[float]) -> ControlBenchStats:
+        best = min(walls)
+        return ControlBenchStats(
+            cycles_per_sec=cycles / best if best > 0 else float("inf"),
+            wall_s=best,
+            wall_s_all=walls,
+        )
+
+    plain = stats(plain_walls)
+    disabled = stats(disabled_walls)
+    enabled = stats(enabled_walls)
+    disabled_identical = (
+        plain_run[0].to_dict() == disabled_run[0].to_dict()
+        and plain_run[1] == disabled_run[1]
+        and plain_run[2].to_payload() == disabled_run[2].to_payload()
+    )
+    first_result, first_fp, first_engine = enabled_runs[0]
+    first_sessions = first_engine.to_payload()
+    first_control = first_engine.control_payload()
+    replay_identical = all(
+        r.to_dict() == first_result.to_dict()
+        and fp == first_fp
+        and e.to_payload() == first_sessions
+        and e.control_payload() == first_control
+        for r, fp, e in enabled_runs[1:]
+    )
+    faulty_disabled_identical = _check_faulty_identity(
+        ports, vcs, arbiter, scheme, load, seed, cycles
+    )
+    return ControlBenchReport(
+        ports=ports,
+        vcs=vcs,
+        levels=levels,
+        arbiter=arbiter,
+        scheme=scheme,
+        load=load,
+        seed=seed,
+        cycles=cycles,
+        repeats=repeats,
+        plain=plain,
+        disabled=disabled,
+        enabled=enabled,
+        overhead_disabled=(disabled.wall_s - plain.wall_s) / plain.wall_s,
+        overhead_enabled=(enabled.wall_s - disabled.wall_s) / disabled.wall_s,
+        disabled_identical=disabled_identical,
+        faulty_disabled_identical=faulty_disabled_identical,
+        replay_identical=replay_identical,
+        setup_timeouts=first_control["signaling"]["setup_timeouts"],
+        setup_retries=first_control["signaling"]["setup_retries"],
+        pressure_samples=len(first_control["pressure_series"]),
+    )
+
+
+def _check_faulty_identity(
+    ports: int,
+    vcs: int,
+    arbiter: str,
+    scheme: str,
+    load: float,
+    seed: int,
+    cycles: int,
+) -> bool:
+    """Faulty-harness twin identity: plain vs zero-churn disabled engine.
+
+    A zero-arrival, control-disabled engine must not perturb a faulty
+    run at all — same result dict, same RNG fingerprint.
+    """
+    from ..faults.harness import FaultySingleRouterSim
+    from ..faults.models import FaultConfig
+    from ..sim.experiments import default_config
+    from ..traffic.mixes import build_cbr_workload
+
+    config = default_config(num_ports=ports, vcs_per_link=vcs)
+    faults = FaultConfig(corruption_rate=0.01, credit_loss_rate=0.002)
+    control = RunControl(cycles=cycles, warmup_cycles=0)
+    zero_churn = ChurnConfig(arrivals_per_kcycle=0.0)
+
+    def run(with_engine: bool):
+        sim = FaultySingleRouterSim(
+            config, arbiter=arbiter, scheme=scheme, seed=seed, faults=faults
+        )
+        workload = build_cbr_workload(sim.router, load, sim.rng.workload)
+        engine = None
+        if with_engine:
+            engine = SessionEngine.from_spec(
+                config, SessionsSpec(churn=zero_churn), cycles,
+                sim.rng.sessions,
+            )
+        result = sim.run(workload, control, sessions=engine)
+        return result.to_dict(), sim.rng.state_fingerprint()
+
+    return run(False) == run(True)
+
+
+def check_control_overhead(
+    report: ControlBenchReport,
+    max_disabled: float = 0.01,
+    max_enabled: float = 0.05,
+) -> tuple[bool, str]:
+    """Gate control-plane overhead and determinism (CI).
+
+    Negative measured overheads (timing noise) count as zero.
+    """
+    problems = []
+    disabled = max(0.0, report.overhead_disabled)
+    enabled = max(0.0, report.overhead_enabled)
+    if disabled > max_disabled:
+        problems.append(
+            f"control-disabled overhead {disabled:.2%} > {max_disabled:.2%}"
+        )
+    if enabled > max_enabled:
+        problems.append(
+            f"control-enabled overhead {enabled:.2%} > {max_enabled:.2%}"
+        )
+    if not report.disabled_identical:
+        problems.append(
+            "control-disabled run diverged from the plain churn run "
+            "(results, payloads or RNG state differ)"
+        )
+    if not report.faulty_disabled_identical:
+        problems.append(
+            "zero-churn disabled engine perturbed the faulty harness run"
+        )
+    if not report.replay_identical:
+        problems.append(
+            "same-seed control-enabled runs did not replay identically"
+        )
+    if problems:
+        return False, "; ".join(problems)
+    return True, (
+        f"control overhead OK: disabled {disabled:.2%} "
+        f"(max {max_disabled:.2%}), enabled {enabled:.2%} "
+        f"(max {max_enabled:.2%}), replay identical over "
+        f"{report.repeats} runs"
+    )
+
+
+def write_control_report(report: ControlBenchReport, path: str | Path) -> Path:
+    """Serialize the report to JSON (the ``BENCH_control.json`` format)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(report.to_dict(), indent=2, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return path

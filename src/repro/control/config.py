@@ -1,0 +1,147 @@
+"""Control-plane configuration: retry policy and closed-loop knobs.
+
+Plain data only (hashable, strict-JSON round-trip, no simulation
+imports) so :class:`~repro.sessions.signaling.SessionsSpec` can carry a
+:class:`ControlConfig` into campaign point specs and content-address the
+results.  Attaching a control config to a spec changes its hash (the
+spec dict grows a ``control`` key); leaving it ``None`` keeps the hash —
+and the run — bit-identical to pre-control behavior.
+
+Units and semantics:
+
+* :class:`RetryPolicy` governs *signaling* messages (session setup and
+  VBR peak renegotiation): how long the engine waits for an ACK before
+  declaring a timeout, how many retries it attempts, and the
+  deterministic exponential backoff (base × factor^k plus a bounded
+  jitter term precomputed from the ``sessions`` RNG stream — the cycle
+  loop itself never draws).  ``loss_rate`` is the modelled probability
+  that any one signaling message is lost in transit.
+* The estimator knobs smooth measured pressure: ``violation_alpha`` /
+  ``occupancy_alpha`` are EWMA weights, ``estimator_stride`` the cycles
+  between estimator updates.  The violation-rate estimate is expressed
+  in deadline violations per kilocycle.
+* ``low_water`` / ``high_water`` / ``hold_cycles`` define the anti-flap
+  hysteresis band on the violation-rate estimate: crossing
+  ``high_water`` trips the overload state (CAC brake on, best-effort
+  shed floor); recovery requires the estimate to stay *below*
+  ``low_water`` for ``hold_cycles`` before any un-shed step, and
+  consecutive level changes are spaced at least ``hold_cycles`` apart.
+* ``brake_cap`` is the tightened reserved-average-load cap the adaptive
+  CAC applies while the overload state is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["RetryPolicy", "ControlConfig"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry/backoff parameters for signaling messages."""
+
+    #: Cycles the engine waits for a signaling ACK before timing out.
+    timeout_cycles: int = 16
+    #: Retries after the first attempt (0 = give up on first timeout).
+    max_retries: int = 3
+    #: Backoff before retry k (1-based): ``base * factor**(k-1) + jitter``.
+    backoff_base_cycles: int = 8
+    backoff_factor: int = 2
+    #: Upper bound (inclusive) of the per-retry jitter draw, in cycles.
+    jitter_cycles: int = 4
+    #: Probability any one signaling message is lost in transit.
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_cycles < 1:
+            raise ValueError("timeout_cycles must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_cycles < 0:
+            raise ValueError("backoff_base_cycles must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.jitter_cycles < 0:
+            raise ValueError("jitter_cycles must be >= 0")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ValueError("loss_rate must be in [0, 1)")
+
+    def backoff_cycles(self, attempt: int) -> int:
+        """Deterministic backoff before retry ``attempt`` (1-based),
+        excluding the jitter term."""
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        return self.backoff_base_cycles * self.backoff_factor ** (attempt - 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "timeout_cycles": self.timeout_cycles,
+            "max_retries": self.max_retries,
+            "backoff_base_cycles": self.backoff_base_cycles,
+            "backoff_factor": self.backoff_factor,
+            "jitter_cycles": self.jitter_cycles,
+            "loss_rate": self.loss_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetryPolicy":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Everything the closed-loop control plane needs, as plain data."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: EWMA weight of the deadline-violation-rate estimator.
+    violation_alpha: float = 0.05
+    #: EWMA weight of the NIC queue-occupancy estimator.
+    occupancy_alpha: float = 0.05
+    #: Cycles between estimator updates (and hysteresis evaluations).
+    estimator_stride: int = 64
+    #: Violations per kilocycle above which the overload state trips.
+    high_water: float = 4.0
+    #: Violations per kilocycle the estimate must stay below to recover.
+    low_water: float = 1.0
+    #: Minimum cycles below ``low_water`` before any un-shed step, and
+    #: the minimum spacing between consecutive degradation transitions.
+    hold_cycles: int = 1_000
+    #: Reserved-average-load cap the adaptive CAC enforces under overload.
+    brake_cap: float = 0.7
+
+    def __post_init__(self) -> None:
+        for name in ("violation_alpha", "occupancy_alpha"):
+            alpha = getattr(self, name)
+            if not (0.0 < alpha <= 1.0):
+                raise ValueError(f"{name} must be in (0, 1], got {alpha}")
+        if self.estimator_stride < 1:
+            raise ValueError("estimator_stride must be >= 1")
+        if not (0.0 <= self.low_water < self.high_water):
+            raise ValueError(
+                "need 0 <= low_water < high_water "
+                f"(got {self.low_water}, {self.high_water})"
+            )
+        if self.hold_cycles < 1:
+            raise ValueError("hold_cycles must be >= 1")
+        if not (0.0 < self.brake_cap <= 1.0):
+            raise ValueError("brake_cap must be in (0, 1]")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "retry": self.retry.to_dict(),
+            "violation_alpha": self.violation_alpha,
+            "occupancy_alpha": self.occupancy_alpha,
+            "estimator_stride": self.estimator_stride,
+            "high_water": self.high_water,
+            "low_water": self.low_water,
+            "hold_cycles": self.hold_cycles,
+            "brake_cap": self.brake_cap,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ControlConfig":
+        fields = dict(data)
+        fields["retry"] = RetryPolicy.from_dict(fields.get("retry", {}))
+        return cls(**fields)

@@ -1,0 +1,141 @@
+"""Online pressure estimators: EWMAs and the anti-flap hysteresis band.
+
+Measurement-based CAC so far counted raw violations in a sliding window
+(:class:`~repro.sessions.policies.MeasurementPolicy`), which flaps: one
+burst blocks admissions, one quiet window un-blocks them, repeat.  The
+control plane replaces the raw counts with exponentially-weighted moving
+averages updated on a fixed stride, and routes every open/close decision
+through a two-threshold hysteresis band with a hold time — the classic
+anti-flap pair (trip fast, recover slowly and only once the pressure has
+*stayed* low).
+
+Everything here is pure arithmetic on values the caller feeds in; no
+randomness, no simulation imports — updates at the same cycles with the
+same inputs reproduce the same estimates bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Ewma", "ViolationRateEstimator", "HysteresisBand"]
+
+
+class Ewma:
+    """Exponentially-weighted moving average: ``v += alpha * (x - v)``."""
+
+    __slots__ = ("alpha", "value", "samples")
+
+    def __init__(self, alpha: float, initial: float = 0.0) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.value = initial
+        self.samples = 0
+
+    def update(self, x: float) -> float:
+        self.value += self.alpha * (x - self.value)
+        self.samples += 1
+        return self.value
+
+
+class ViolationRateEstimator:
+    """EWMA-smoothed deadline-violation rate, in violations per kilocycle.
+
+    ``note()`` accumulates violations as the engine observes departures;
+    ``step()`` folds the accumulated count into the EWMA once per
+    ``stride`` cycles and resets the accumulator.  The instantaneous
+    sample is ``pending / stride * 1000`` so the estimate is independent
+    of the stride choice.
+    """
+
+    __slots__ = ("stride", "_ewma", "_pending")
+
+    def __init__(self, alpha: float, stride: int) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.stride = stride
+        self._ewma = Ewma(alpha)
+        self._pending = 0
+
+    def note(self) -> None:
+        """Record one deadline violation (between steps)."""
+        self._pending += 1
+
+    def step(self) -> float:
+        """Fold the pending count into the EWMA; returns the estimate."""
+        sample = self._pending / self.stride * 1000.0
+        self._pending = 0
+        return self._ewma.update(sample)
+
+    @property
+    def value(self) -> float:
+        """Current estimate, violations per kilocycle."""
+        return self._ewma.value
+
+    @property
+    def samples(self) -> int:
+        return self._ewma.samples
+
+
+class HysteresisBand:
+    """Two-threshold overload detector with a recovery hold time.
+
+    States: ``"normal"`` and ``"high"``.  The band trips to ``high`` the
+    moment the observed value reaches ``high``; it returns to ``normal``
+    only once the value has stayed strictly below ``low`` continuously
+    for ``hold_cycles``.  Values inside ``[low, high)`` hold the current
+    state and reset the below-low clock — the anti-flap dead zone.
+    """
+
+    __slots__ = ("low", "high", "hold_cycles", "state", "_below_since",
+                 "transitions")
+
+    def __init__(self, low: float, high: float, hold_cycles: int) -> None:
+        if not (low < high):
+            raise ValueError("need low < high")
+        if hold_cycles < 1:
+            raise ValueError("hold_cycles must be >= 1")
+        self.low = low
+        self.high = high
+        self.hold_cycles = hold_cycles
+        self.state = "normal"
+        self._below_since: int | None = None
+        #: (cycle, new state) pairs, in order.
+        self.transitions: list[tuple[int, str]] = []
+
+    def observe(self, now: int, value: float) -> str:
+        """Feed one estimate; returns the (possibly new) state."""
+        if value >= self.high:
+            self._below_since = None
+            if self.state != "high":
+                self.state = "high"
+                self.transitions.append((now, "high"))
+        elif value < self.low:
+            if self._below_since is None:
+                self._below_since = now
+            if (
+                self.state == "high"
+                and now - self._below_since >= self.hold_cycles
+            ):
+                self.state = "normal"
+                self.transitions.append((now, "normal"))
+        else:
+            # Dead zone: hold the state, restart the recovery clock.
+            self._below_since = None
+        return self.state
+
+    def cleared_for(self, now: int) -> int:
+        """Cycles the value has stayed below ``low`` (0 unless clearing)."""
+        if self._below_since is None:
+            return 0
+        return now - self._below_since
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "low": self.low,
+            "high": self.high,
+            "hold_cycles": self.hold_cycles,
+            "state": self.state,
+            "transitions": [[cycle, state] for cycle, state in self.transitions],
+        }

@@ -1,0 +1,216 @@
+"""Blocking-vs-delivered-QoS frontier under churn and injected faults.
+
+The robustness figure class: sweep the offered session load across CAC
+policies — the paper's static reservation check, the measurement-based
+policy, and the closed-loop ``adaptive`` policy — while transient faults
+corrupt flits and drop credits underneath.  Every point runs through
+:func:`repro.campaign.run_campaign` (content-addressed caching, optional
+worker pool) on the fault-injecting harness, with the control plane
+enabled so the same estimators, retries and recovery machinery are live
+for every policy; only ``adaptive`` feeds the hysteresis band back into
+admission.
+
+The reduction collapses seeds per (policy, arrival-rate) cell into one
+:class:`FrontierPoint`: blocking split by cause (CAC vs signaling
+timeout), the smoothed deadline-violation rate actually delivered, and
+the signaling/recovery effort it took.
+
+Imported lazily by ``repro.control`` users (pulls in ``repro.campaign``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..campaign.executor import CampaignResult, run_campaign
+from ..campaign.plan import CampaignPlan, PointSpec, WorkloadSpec
+from ..campaign.store import ResultStore
+from ..faults.models import FaultConfig
+from ..router.config import RouterConfig
+from ..sessions.churn import ChurnConfig
+from ..sessions.signaling import SessionsSpec, SignalingConfig
+from ..sim.engine import RunControl
+from .config import ControlConfig, RetryPolicy
+
+__all__ = [
+    "FRONTIER_POLICIES",
+    "FRONTIER_CHURN",
+    "FRONTIER_FAULTS",
+    "FRONTIER_CONTROL",
+    "FrontierPoint",
+    "frontier_plan",
+    "reduce_frontier",
+    "run_frontier",
+]
+
+#: The policy axis: the paper's static check, measurement-based CAC, and
+#: the closed-loop pressure-driven policy from :mod:`repro.control.plane`.
+FRONTIER_POLICIES = ("paper", "measurement", "adaptive")
+
+#: Churn base for frontier demos: a CBR-heavy mix with VBR and
+#: best-effort riders, so degradation shedding has something to shed.
+FRONTIER_CHURN = ChurnConfig(
+    arrivals_per_kcycle=2.0,
+    mean_hold_cycles=3_000.0,
+    mix=(
+        ("cbr-low", 0.4),
+        ("cbr-medium", 0.3),
+        ("vbr", 0.2),
+        ("best-effort", 0.1),
+    ),
+)
+
+#: Transient-only fault environment: flit corruption and credit loss at
+#: rates that keep recovery busy without killing a port outright.
+FRONTIER_FAULTS = FaultConfig(corruption_rate=0.01, credit_loss_rate=0.002)
+
+#: Control plane shared by every frontier point: lossy signaling so the
+#: retry machinery is exercised, default estimator gains and water marks.
+FRONTIER_CONTROL = ControlConfig(retry=RetryPolicy(loss_rate=0.02))
+
+
+def frontier_plan(
+    name: str,
+    config: RouterConfig,
+    arrival_rates: Sequence[float],
+    policies: Sequence[str] = FRONTIER_POLICIES,
+    seeds: Sequence[int] = (0, 1),
+    *,
+    base_churn: ChurnConfig = FRONTIER_CHURN,
+    signaling: SignalingConfig = SignalingConfig(),
+    control_cfg: ControlConfig = FRONTIER_CONTROL,
+    faults: FaultConfig | None = FRONTIER_FAULTS,
+    control: RunControl = RunControl(cycles=12_000, warmup_cycles=0),
+    background_load: float = 0.1,
+    arbiter: str = "coa",
+    scheme: str = "siabp",
+) -> CampaignPlan:
+    """Policy × arrival-rate × seed grid on the faulty harness."""
+    if not arrival_rates or not policies or not seeds:
+        raise ValueError("need at least one arrival rate, policy and seed")
+    points = tuple(
+        PointSpec(
+            config=config,
+            arbiter=arbiter,
+            scheme=scheme,
+            target_load=background_load,
+            seed=seed,
+            workload=WorkloadSpec.cbr(),
+            cycles=control.cycles,
+            warmup_cycles=control.warmup_cycles,
+            sessions=SessionsSpec(
+                churn=dataclasses.replace(
+                    base_churn, arrivals_per_kcycle=float(rate)
+                ),
+                policy=policy,
+                signaling=signaling,
+                control=control_cfg,
+            ),
+            faults=faults,
+        )
+        for policy in policies
+        for rate in arrival_rates
+        for seed in seeds
+    )
+    return CampaignPlan(name=name, points=points)
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One (policy, arrival-rate) cell of the frontier, seeds pooled."""
+
+    policy: str
+    arrivals_per_kcycle: float
+    seeds: int
+    #: Mean offered erlangs per run across seeds.
+    offered_erlangs: float
+    offered: int
+    admitted: int
+    blocked_cac: int
+    blocked_timeout: int
+    dropped: int
+    #: Pooled blocking probability (all causes), NaN when nothing offered.
+    blocking_probability: float
+    #: Mean EWMA deadline-violation rate (violations per kilocycle).
+    violation_rate_per_kcycle: float
+    setup_retries: int
+    readmitted_alt: int
+    #: Worst QoS-degradation level any seed reached.
+    degradation_level: int
+
+    def to_dict(self) -> dict[str, Any]:
+        out = dataclasses.asdict(self)
+        p = self.blocking_probability
+        out["blocking_probability"] = None if p != p else p
+        return out
+
+
+def reduce_frontier(result: CampaignResult) -> list[FrontierPoint]:
+    """One :class:`FrontierPoint` per (policy, arrival-rate) cell."""
+    cells: dict[tuple[str, float], list] = {}
+    order: list[tuple[str, float]] = []
+    for outcome in result.outcomes:
+        spec = outcome.spec.sessions
+        if outcome.sessions is None or outcome.control is None or spec is None:
+            raise ValueError(
+                f"outcome {outcome.spec.describe()} is missing the session "
+                "or control payload a frontier reduction needs"
+            )
+        cell = (spec.policy, spec.churn.arrivals_per_kcycle)
+        if cell not in cells:
+            cells[cell] = []
+            order.append(cell)
+        cells[cell].append(outcome)
+    points = []
+    for policy, rate in order:
+        outcomes = cells[(policy, rate)]
+        sess = [o.sessions for o in outcomes]
+        ctrl = [o.control for o in outcomes]
+        offered = sum(int(s["offered"]) for s in sess)
+        blocked = sum(int(s["blocked"]) for s in sess)
+        points.append(
+            FrontierPoint(
+                policy=policy,
+                arrivals_per_kcycle=rate,
+                seeds=len(outcomes),
+                offered_erlangs=(
+                    sum(float(s["offered_erlangs"]) for s in sess) / len(sess)
+                ),
+                offered=offered,
+                admitted=sum(int(s["admitted"]) for s in sess),
+                blocked_cac=sum(int(s["blocked_cac"]) for s in sess),
+                blocked_timeout=sum(int(s["blocked_timeout"]) for s in sess),
+                dropped=sum(int(s["dropped"]) for s in sess),
+                blocking_probability=(
+                    blocked / offered if offered else float("nan")
+                ),
+                violation_rate_per_kcycle=(
+                    sum(float(c["violation_rate_per_kcycle"]) for c in ctrl)
+                    / len(ctrl)
+                ),
+                setup_retries=sum(
+                    int(c["signaling"]["setup_retries"]) for c in ctrl
+                ),
+                readmitted_alt=sum(
+                    int(c["signaling"]["readmitted_alt"]) for c in ctrl
+                ),
+                degradation_level=max(
+                    o.result.degradation_level for o in outcomes
+                ),
+            )
+        )
+    return points
+
+
+def run_frontier(
+    plan: CampaignPlan,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress=None,
+) -> tuple[CampaignResult, list[FrontierPoint]]:
+    """Execute a frontier campaign and reduce it to plot-ready points."""
+    result = run_campaign(plan, jobs=jobs, store=store, progress=progress)
+    return result, reduce_frontier(result)

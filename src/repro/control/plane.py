@@ -1,0 +1,193 @@
+"""The closed control loop: estimators → adaptive CAC → degradation.
+
+One :class:`ControlPlane` instance lives on a control-enabled
+:class:`~repro.sessions.signaling.SessionEngine` and closes the loop the
+ROADMAP asked for::
+
+    obs estimators ──► HysteresisBand ──► AdaptiveCacPolicy (brake)
+      (violations,           │
+       occupancy)            └──────────► RecoveryController
+                                            (shed floor / un-shed)
+
+* The engine feeds every measured deadline violation into the
+  :class:`~repro.control.estimators.ViolationRateEstimator` (via
+  :class:`ControlFeedback`, a drop-in
+  :class:`~repro.sessions.policies.QosFeedback`); every
+  ``estimator_stride`` cycles the plane folds the count, samples NIC
+  queue occupancy, and updates the hysteresis band.
+* :class:`AdaptiveCacPolicy` (registered as ``"adaptive"``) tightens
+  admission to ``brake_cap`` reserved average load while the band is in
+  the overload state, and defers to the paper CAC otherwise.  Like every
+  policy it is a pre-admission *filter* — the paper feasibility test
+  still runs inside ``MMRouter.establish``, so the reservation
+  invariants hold no matter what the estimators say.
+* :class:`RecoveryController` plugs into
+  :class:`~repro.faults.degradation.DegradationPolicy`: the overload
+  state imposes a best-effort shed floor, and un-shedding (restore VBR
+  peaks, then re-admit best-effort — the reverse of the shed order) is
+  allowed only after the violation estimate has stayed below the
+  low-water mark for the hold time, with consecutive transitions spaced
+  at least one hold apart.  That spacing is the no-oscillation guarantee
+  the recovery tests pin.
+
+Importing this module registers the ``"adaptive"`` policy; the engine
+imports it lazily whenever a spec enables control (or names the
+policy), so plain session runs never pay for it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..obs.qos import deadline_slack
+from ..router.admission import AdmissionController, AdmissionDecision
+from ..router.config import RouterConfig
+from ..router.connection import TrafficClass
+from ..sessions.policies import CacPolicy, CacRequest, QosFeedback, register_policy
+from .config import ControlConfig
+from .estimators import Ewma, HysteresisBand, ViolationRateEstimator
+
+__all__ = [
+    "CONTROL_SCHEMA",
+    "ControlFeedback",
+    "AdaptiveCacPolicy",
+    "RecoveryController",
+    "ControlPlane",
+]
+
+#: Stable payload schema tag (campaign ``control`` side-channel).
+CONTROL_SCHEMA = "repro-control-v1"
+
+
+class ControlFeedback(QosFeedback):
+    """QosFeedback that also feeds the plane's violation estimator.
+
+    Policies keep seeing the familiar sliding-window interface (so
+    ``measurement`` works unchanged under control), and the adaptive
+    policy additionally reads :attr:`band`.
+    """
+
+    def __init__(self, plane: "ControlPlane") -> None:
+        super().__init__()
+        self.band = plane.band
+        self._plane = plane
+
+    def note(self, cycle: int) -> None:
+        super().note(cycle)
+        self._plane.violation_rate.note()
+
+
+class AdaptiveCacPolicy(CacPolicy):
+    """Paper CAC normally; a tightened utilization brake under overload.
+
+    Without a control plane (no ``band`` on the feedback object) the
+    policy is exactly the paper CAC, so ``"adaptive"`` degrades safely
+    in plain session runs.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, brake_cap: float = 0.7) -> None:
+        if not (0.0 < brake_cap <= 1.0):
+            raise ValueError("brake_cap must be in (0, 1]")
+        self.brake_cap = brake_cap
+
+    def decide(
+        self,
+        request: CacRequest,
+        admission: AdmissionController,
+        feedback: QosFeedback,
+        now: int,
+    ) -> AdmissionDecision:
+        if request.traffic_class is TrafficClass.BEST_EFFORT:
+            return AdmissionDecision(True, "best-effort reserves nothing")
+        band = getattr(feedback, "band", None)
+        if band is None or band.state != "high":
+            return AdmissionDecision(True, "pressure below high-water mark")
+        round_cycles = admission.config.round_cycles
+        add = request.avg_slots / round_cycles
+        in_frac = admission.reserved_avg_load(request.in_port) + add
+        out_frac = admission.reserved_avg_load_out(request.out_port) + add
+        if in_frac > self.brake_cap or out_frac > self.brake_cap:
+            return AdmissionDecision(
+                False,
+                f"overload brake {self.brake_cap:g}: admission would "
+                f"reserve in={in_frac:.3f} out={out_frac:.3f}",
+            )
+        return AdmissionDecision(True, "under overload brake cap")
+
+
+class RecoveryController:
+    """Pressure-driven escalation floor and un-shed clearance.
+
+    :class:`~repro.faults.degradation.DegradationPolicy` consults this
+    (when attached) instead of its fixed quiet-period rule: the overload
+    state keeps best-effort shed, and each downward step additionally
+    requires the band to have stayed below low-water for the hold time
+    and the previous transition to be at least one hold in the past.
+    """
+
+    def __init__(self, band: HysteresisBand, hold_cycles: int) -> None:
+        self.band = band
+        self.hold_cycles = hold_cycles
+
+    def escalation_floor(self, now: int) -> int:
+        """Minimum degradation level while overload pressure persists."""
+        from ..faults.degradation import LEVEL_NORMAL, LEVEL_SHED_BEST_EFFORT
+
+        if self.band.state == "high":
+            return LEVEL_SHED_BEST_EFFORT
+        return LEVEL_NORMAL
+
+    def may_recover(self, now: int, last_change: int) -> bool:
+        """True when one un-shed step is allowed at ``now``."""
+        return (
+            self.band.state != "high"
+            and self.band.cleared_for(now) >= self.hold_cycles
+            and now - last_change >= self.hold_cycles
+        )
+
+
+class ControlPlane:
+    """Per-run control-loop state: estimators, band, recovery, series."""
+
+    def __init__(self, config: RouterConfig, cfg: ControlConfig) -> None:
+        self.config = config
+        self.cfg = cfg
+        self.violation_rate = ViolationRateEstimator(
+            cfg.violation_alpha, cfg.estimator_stride
+        )
+        self.occupancy = Ewma(cfg.occupancy_alpha)
+        self.band = HysteresisBand(cfg.low_water, cfg.high_water, cfg.hold_cycles)
+        self.recovery = RecoveryController(self.band, cfg.hold_cycles)
+        #: (cycle, violation rate, occupancy EWMA, band state) samples,
+        #: one per estimator step.
+        self.pressure_series: list[tuple[int, float, float, str]] = []
+
+    def step(self, now: int, router) -> None:
+        """One estimator update (called every ``estimator_stride`` cycles)."""
+        rate = self.violation_rate.step()
+        nics = router.nics
+        occ = self.occupancy.update(
+            sum(nic.backlog() for nic in nics) / len(nics)
+        )
+        state = self.band.observe(now, rate)
+        self.pressure_series.append((now, rate, occ, state))
+
+    def to_payload(self) -> dict[str, Any]:
+        """Strict-JSON payload for the campaign ``control`` channel."""
+        return {
+            "schema": CONTROL_SCHEMA,
+            "config": self.cfg.to_dict(),
+            "deadline_slack_cycles": deadline_slack(self.config),
+            "violation_rate_per_kcycle": self.violation_rate.value,
+            "occupancy_ewma": self.occupancy.value,
+            "band": self.band.to_payload(),
+            "pressure_series": [
+                [cycle, rate, occ, state]
+                for cycle, rate, occ, state in self.pressure_series
+            ],
+        }
+
+
+register_policy("adaptive", AdaptiveCacPolicy)

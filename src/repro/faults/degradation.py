@@ -59,6 +59,11 @@ class DegradationPolicy:
         self._floor = LEVEL_NORMAL
         self._last_fault = -(10**9)
         self._last_change = 0
+        #: Optional closed-loop recovery controller (``repro.control``):
+        #: provides a pressure-driven escalation floor and replaces the
+        #: fixed quiet-period de-escalation rule.  ``None`` keeps the
+        #: legacy behavior bit-identical.
+        self.controller = None
 
     # ------------------------------------------------------------------
 
@@ -108,12 +113,21 @@ class DegradationPolicy:
 
     def update(self, now: int) -> int:
         """Advance the policy one cycle; returns the current level."""
+        ctrl = self.controller
         target = max(self._target(now), self._floor)
+        if ctrl is not None:
+            target = max(target, ctrl.escalation_floor(now))
         if target > self.level:
             self._apply(target, now)
         elif target < self.level:
-            # De-escalate one level at a time, only after a quiet period.
-            quiet = now - max(self._last_fault, self._last_change)
-            if quiet >= self.config.restore_after:
-                self._apply(self.level - 1, now)
+            # De-escalate one level at a time.  The closed-loop
+            # controller, when attached, decides when pressure has
+            # cleared; otherwise a fixed quiet period does.
+            if ctrl is not None:
+                if ctrl.may_recover(now, self._last_change):
+                    self._apply(self.level - 1, now)
+            else:
+                quiet = now - max(self._last_fault, self._last_change)
+                if quiet >= self.config.restore_after:
+                    self._apply(self.level - 1, now)
         return self.level

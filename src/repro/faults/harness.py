@@ -106,14 +106,22 @@ class FaultySingleRouterSim(SingleRouterSim):
         # Active telemetry session while run() is in flight (recovery
         # paths must tell it about re-admitted connections).
         self._telemetry = None
+        # Active session engine while run(sessions=...) is in flight
+        # (recovery paths notify it about torn-down connections).
+        self._engine = None
 
     # ------------------------------------------------------------------
     # Cycle loop
     # ------------------------------------------------------------------
 
     def run(
-        self, workload: Workload, control: RunControl, telemetry=None
+        self, workload: Workload, control: RunControl, telemetry=None,
+        sessions=None,
     ) -> SimResult:
+        if sessions is not None:
+            return self._run_sessions_faulty(
+                workload, control, sessions, telemetry
+            )
         router = self.router
         config = self.config
         cfg = self.fault_config
@@ -225,6 +233,142 @@ class FaultySingleRouterSim(SingleRouterSim):
         counters.max_degradation_level = self.degradation.max_level
         result.fault = counters.as_dict()
         result.degradation_level = self.degradation.max_level
+        if telemetry is not None:
+            telemetry.finish(result)
+            self._telemetry = None
+        return result
+
+    def _run_sessions_faulty(
+        self, workload: Workload, control: RunControl, engine, telemetry
+    ) -> SimResult:
+        """Faulty twin of the sessions loop (same pattern as telemetry).
+
+        Identical to :meth:`run` plus the session-engine hooks at the
+        same points the healthy ``_run_sessions`` loop places them; when
+        the engine carries a control plane, its recovery controller is
+        attached to the degradation policy for the duration of the run.
+        """
+        router = self.router
+        config = self.config
+        cfg = self.fault_config
+        feeds = workload.build_feeds(control.cycles, self.rng.sources)
+        labels = workload.labels_by_conn()
+        conn_of_vc = {
+            (item.conn.in_port, item.conn.vc): item.conn.conn_id
+            for item in workload.loads
+        }
+        metrics = MetricsCollector(
+            config, labels, conn_of_vc, measure_from=control.warmup_cycles
+        )
+        self._telemetry = telemetry
+        if telemetry is not None:
+            telemetry.begin(router, workload, metrics, control)
+            self.sim_watchdog.on_trip = telemetry.on_watchdog_trip
+        engine.begin(router, workload, metrics, control, telemetry=telemetry)
+        self._engine = engine
+        if engine.control_plane is not None:
+            self.degradation.controller = engine.control_plane.recovery
+        arb_rng = self.rng.arbiter
+        nics = router.nics
+        credits = router.credits
+        vc_memory = router.vc_memory
+        occupancy = vc_memory.occupancy
+        pointers = [0] * config.num_ports
+        counters_reset = control.warmup_cycles == 0
+        if counters_reset:
+            router.crossbar.reset_counters()
+        self._refresh_classes()
+        round_cycles = config.round_cycles
+        redirect = self._redirect
+        injected = 0
+        departed = 0
+
+        for now in range(control.cycles):
+            if not counters_reset and now == control.warmup_cycles:
+                router.crossbar.reset_counters()
+                counters_reset = True
+            if now % round_cycles == 0:
+                np.copyto(self._tokens, router._slots)
+                # Churn admits/releases connections between rounds: keep
+                # the shed masks in sync with the live table.
+                self._refresh_classes()
+            if (
+                cfg.dead_port is not None
+                and self.dead_port is None
+                and now >= cfg.dead_port_cycle
+            ):
+                self._activate_dead_port(now, metrics, labels)
+            # 0. Session lifecycle (signaling, arrivals, drains).
+            engine.on_cycle(now)
+            # 1. Source injection into the NICs.
+            for port, feed in enumerate(feeds):
+                ptr = pointers[port]
+                cycles = feed.cycles
+                end = len(cycles)
+                nic = nics[port]
+                while ptr < end and cycles[ptr] <= now:
+                    vc: int | None = int(feed.vcs[ptr])
+                    if redirect:
+                        vc = redirect.get((port, vc), vc)
+                    if vc is None:
+                        self.counters.flits_dropped += 1
+                    else:
+                        nic.inject(
+                            vc,
+                            int(cycles[ptr]),
+                            int(feed.frame_ids[ptr]),
+                            bool(feed.frame_last[ptr]),
+                        )
+                        injected += 1
+                    ptr += 1
+                pointers[port] = ptr
+            injected += engine.inject(now)
+            # 2. Buffer faults, credit landing, counter watchdog.
+            self.injector.step_stuck(now, occupancy)
+            credits.deliver(now)
+            for action, port, vc, delta in self.credit_watchdog.scan(
+                now, occupancy
+            ):
+                self._on_watchdog_event(
+                    now, action, port, vc, delta, metrics, labels
+                )
+            # 3. Degradation level for this cycle's NIC eligibility.
+            level = self.degradation.update(now)
+            # 4. Link + switch scheduling and crossbar transfer.
+            candidates = self._filter_candidates(router._link_schedule(now))
+            grants = router.arbiter.match(candidates, arb_rng)
+            departures = router.crossbar.transfer(grants, vc_memory, now)
+            for dep in departures:
+                fate = self.injector.credit_fate(now, dep.in_port, dep.vc)
+                if fate == CREDIT_LOST:
+                    credits.fault_lose(dep.in_port, dep.vc)
+                else:
+                    credits.schedule_return(dep.in_port, dep.vc, now)
+                    if fate == CREDIT_DUP:
+                        credits.fault_duplicate(dep.in_port, dep.vc, now)
+                metrics.record(dep, now)
+            engine.on_departures(now, departures)
+            if departures:
+                departed += len(departures)
+                self.sim_watchdog.note_progress(now)
+            if telemetry is not None:
+                telemetry.on_cycle(now, departures)
+            # 5. NIC link transfer under shedding + CRC check.
+            self._accept_with_faults(now, level)
+            # 6. Conservation / livelock sweep.
+            self.sim_watchdog.check(now, injected, departed, self._conserved_drops)
+
+        engine.finish()
+        result = self._summarize(workload, control, metrics)
+        counters = self.counters
+        counters.duplicates_discarded = credits.duplicates_discarded
+        counters.credit_resyncs = credits.resyncs
+        counters.degradation_escalations = self.degradation.escalations
+        counters.max_degradation_level = self.degradation.max_level
+        result.fault = counters.as_dict()
+        result.degradation_level = self.degradation.max_level
+        self._engine = None
+        self.degradation.controller = None
         if telemetry is not None:
             telemetry.finish(result)
             self._telemetry = None
@@ -348,6 +492,8 @@ class FaultySingleRouterSim(SingleRouterSim):
         self.counters.injected_dead_port += 1
         self.degradation.note_fault(now)
         self.dead_port = port
+        if self._engine is not None:
+            self._engine.on_dead_port(now, port)
         for conn in victims:
             self._teardown_and_readmit(now, conn, metrics, labels, "dead_port")
         self._refresh_classes()
@@ -371,6 +517,10 @@ class FaultySingleRouterSim(SingleRouterSim):
         ``None`` when no output port can accept the reservation.
         """
         router = self.router
+        engine = self._engine
+        # Session-engine connections track their own (port, vc) through
+        # on_conn_recovered; the redirect map is for static feeds only.
+        owned = engine is not None and engine.owns(conn.conn_id)
         port, vc = conn.in_port, conn.vc
         orig = self._orig_of.pop((port, vc), vc)
         backlog = router.nics[port].drain(vc)
@@ -395,9 +545,12 @@ class FaultySingleRouterSim(SingleRouterSim):
             new = result.connection
             assert new is not None
             router.nics[port].requeue(new.vc, backlog)
-            self._redirect[(port, orig)] = new.vc
-            self._orig_of[(port, new.vc)] = orig
-            label = labels.get(conn.conn_id, "unlabelled")
+            if owned:
+                label = engine.label_of(conn.conn_id)
+            else:
+                self._redirect[(port, orig)] = new.vc
+                self._orig_of[(port, new.vc)] = orig
+                label = labels.get(conn.conn_id, "unlabelled")
             metrics.register_connection(port, new.vc, new.conn_id, label)
             if self._telemetry is not None:
                 self._telemetry.register_connection(new, label)
@@ -412,10 +565,13 @@ class FaultySingleRouterSim(SingleRouterSim):
                 f"conn={new.conn_id} out_port={new.out_port}",
             )
             router.admission.audit(router.table)
+            if engine is not None:
+                engine.on_conn_recovered(now, conn, new)
             return new
         # No surviving port can take the reservation: the connection is
         # lost, along with its migrated NIC backlog.
-        self._redirect[(port, orig)] = None
+        if not owned:
+            self._redirect[(port, orig)] = None
         self._conserved_drops += len(backlog)
         self.counters.flits_dropped += len(backlog)
         self.counters.connections_dropped += 1
@@ -426,6 +582,8 @@ class FaultySingleRouterSim(SingleRouterSim):
             f"conn={conn.conn_id} backlog={len(backlog)}",
         )
         router.admission.audit(router.table)
+        if engine is not None:
+            engine.on_conn_recovered(now, conn, None)
         return None
 
     def _refresh_classes(self) -> None:

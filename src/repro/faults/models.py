@@ -25,7 +25,7 @@ is exactly reproducible from its seed and fault configuration.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 __all__ = ["FaultKind", "FaultConfig"]
 
@@ -145,6 +145,14 @@ class FaultConfig:
             raise ValueError("restore_after must be positive")
         if self.stall_limit <= 0 or self.check_interval <= 0:
             raise ValueError("stall_limit and check_interval must be positive")
+
+    def to_dict(self) -> dict[str, object]:
+        """Strict-JSON form (campaign point specs content-address it)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data) -> "FaultConfig":
+        return cls(**dict(data))
 
     @property
     def has_random_faults(self) -> bool:

@@ -41,7 +41,13 @@ from ..router.config import RouterConfig
 from ..router.connection import Connection, TrafficClass
 from ..router.crossbar import Departure
 
-__all__ = ["QosBounds", "bounds_for", "ConnectionQos", "QosTracker"]
+__all__ = [
+    "QosBounds",
+    "deadline_slack",
+    "bounds_for",
+    "ConnectionQos",
+    "QosTracker",
+]
 
 #: Traffic-class keys used in summaries (stable artifact schema).
 CLASS_KEYS = {
@@ -60,6 +66,17 @@ class QosBounds:
     jitter_bound_cycles: int | None
 
 
+def deadline_slack(config: RouterConfig) -> int:
+    """Fixed pipeline slack added to every deadline, in cycles.
+
+    One cycle of NIC link transfer, one crossbar traversal, and the
+    credit return delay — the reservation-independent part of the path.
+    The session engine and the control plane use the same figure so
+    "violation" means the same thing in both layers.
+    """
+    return config.credit_return_delay + 2
+
+
 def bounds_for(
     conn: Connection,
     config: RouterConfig,
@@ -68,15 +85,12 @@ def bounds_for(
     """Derive a connection's QoS bounds from its reservation.
 
     Best-effort connections get ``None`` everywhere (no reservation, no
-    guarantee).  ``pipeline_slack`` is the fixed part of the path: one
-    cycle of NIC link transfer, one crossbar traversal, and the credit
-    return delay.
+    guarantee).
     """
     if not conn.is_reserved:
         return QosBounds(None, None, None)
     interval = math.ceil(config.round_cycles / conn.avg_slots)
-    slack = config.credit_return_delay + 2
-    deadline = int(math.ceil(deadline_scale * interval)) + slack
+    deadline = int(math.ceil(deadline_scale * interval)) + deadline_slack(config)
     return QosBounds(interval, deadline, interval)
 
 

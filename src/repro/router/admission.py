@@ -192,6 +192,16 @@ class AdmissionController:
         """Fraction of an output link's bandwidth reserved on average."""
         return float(self._avg_out[out_port]) / self.config.round_cycles
 
+    def reserved_peak_load(self, in_port: int) -> float:
+        """Fraction of an input link's peak budget reserved (VBR)."""
+        budget = self.config.round_cycles * self.config.concurrency_factor
+        return float(self._peak_in[in_port]) / budget
+
+    def reserved_peak_load_out(self, out_port: int) -> float:
+        """Fraction of an output link's peak budget reserved (VBR)."""
+        budget = self.config.round_cycles * self.config.concurrency_factor
+        return float(self._peak_out[out_port]) / budget
+
     def reservation_vectors(self) -> dict[str, tuple[int, ...]]:
         """Snapshot of all four per-link reservation ledgers.
 

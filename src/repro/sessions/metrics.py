@@ -70,21 +70,33 @@ class SessionEventLog:
 class _ClassCounters:
     offered: int = 0
     admitted: int = 0
+    #: Rejected by the CAC policy or the admission test.
     blocked: int = 0
+    #: Gave up after exhausting signaling retries (control plane only).
+    blocked_timeout: int = 0
     released: int = 0
+    #: Admitted sessions whose connection a fault destroyed mid-hold.
+    dropped: int = 0
     #: Sum of admitted sessions' holding times (carried erlang-cycles).
     carried_hold_cycles: int = 0
     #: Sum of all arrivals' holding times (offered erlang-cycles).
     offered_hold_cycles: int = 0
 
-    def to_dict(self) -> dict[str, int]:
+    def to_dict(self) -> dict[str, Any]:
+        low, high = wilson_interval(
+            self.blocked + self.blocked_timeout, self.offered
+        )
         return {
             "offered": self.offered,
             "admitted": self.admitted,
             "blocked": self.blocked,
+            "blocked_timeout": self.blocked_timeout,
             "released": self.released,
+            "dropped": self.dropped,
             "carried_hold_cycles": self.carried_hold_cycles,
             "offered_hold_cycles": self.offered_hold_cycles,
+            # Wilson is defined even for zero-attempt classes: (0, 1).
+            "blocking_wilson_95": [low, high],
         }
 
 
@@ -100,6 +112,14 @@ class SessionStats:
     reneg_rejected: int = 0
     #: Sessions still active (or draining) when the run ended.
     expired_active: int = 0
+    # Signaling robustness counters (all zero without a control plane).
+    setup_timeouts: int = 0
+    setup_retries: int = 0
+    reneg_timeouts: int = 0
+    reneg_retries: int = 0
+    reneg_giveups: int = 0
+    #: Sessions admitted on an alternate output port after give-up.
+    readmitted_alt: int = 0
     #: (cycle, mean reserved input-link fraction, mean reserved
     #: output-link fraction) samples.
     utilization_series: list[tuple[int, float, float]] = field(
@@ -126,6 +146,12 @@ class SessionStats:
     def note_blocked(self, spec: SessionSpec) -> None:
         self._cls(spec.cls_name).blocked += 1
 
+    def note_blocked_timeout(self, spec: SessionSpec) -> None:
+        self._cls(spec.cls_name).blocked_timeout += 1
+
+    def note_dropped(self, spec: SessionSpec) -> None:
+        self._cls(spec.cls_name).dropped += 1
+
     def note_released(self, spec: SessionSpec) -> None:
         self._cls(spec.cls_name).released += 1
 
@@ -144,7 +170,22 @@ class SessionStats:
 
     @property
     def blocked(self) -> int:
+        """Total blocked sessions, both CAC-rejected and timed out."""
+        return sum(
+            c.blocked + c.blocked_timeout for c in self.by_class.values()
+        )
+
+    @property
+    def blocked_cac(self) -> int:
         return sum(c.blocked for c in self.by_class.values())
+
+    @property
+    def blocked_timeout(self) -> int:
+        return sum(c.blocked_timeout for c in self.by_class.values())
+
+    @property
+    def dropped(self) -> int:
+        return sum(c.dropped for c in self.by_class.values())
 
     def blocking_probability(self, cls_name: str | None = None) -> float:
         offered, blocked = self._ob(cls_name)
@@ -160,7 +201,7 @@ class SessionStats:
         if cls_name is None:
             return self.offered, self.blocked
         c = self.by_class.get(cls_name)
-        return (c.offered, c.blocked) if c else (0, 0)
+        return (c.offered, c.blocked + c.blocked_timeout) if c else (0, 0)
 
     @property
     def offered_erlangs(self) -> float:
@@ -188,6 +229,9 @@ class SessionStats:
             "offered": self.offered,
             "admitted": self.admitted,
             "blocked": self.blocked,
+            "blocked_cac": self.blocked_cac,
+            "blocked_timeout": self.blocked_timeout,
+            "dropped": self.dropped,
             "blocking_probability": None if p != p else p,
             "blocking_wilson_95": [low, high],
             "offered_erlangs": self.offered_erlangs,
@@ -195,6 +239,14 @@ class SessionStats:
             "reneg_ok": self.reneg_ok,
             "reneg_rejected": self.reneg_rejected,
             "expired_active": self.expired_active,
+            "signaling": {
+                "setup_timeouts": self.setup_timeouts,
+                "setup_retries": self.setup_retries,
+                "reneg_timeouts": self.reneg_timeouts,
+                "reneg_retries": self.reneg_retries,
+                "reneg_giveups": self.reneg_giveups,
+                "readmitted_alt": self.readmitted_alt,
+            },
             "by_class": {
                 name: c.to_dict() for name, c in sorted(self.by_class.items())
             },

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..obs.qos import bounds_for
 from ..router.config import RouterConfig
@@ -44,6 +44,10 @@ from ..router.routing import SetupResult
 from .churn import ChurnConfig, SessionSpec, generate_timeline
 from .metrics import SessionEventLog, SessionStats
 from .policies import CacPolicy, CacRequest, QosFeedback, make_policy
+
+if TYPE_CHECKING:
+    from ..control.config import ControlConfig, RetryPolicy
+    from ..control.plane import ControlPlane
 
 __all__ = [
     "SignalingConfig",
@@ -94,26 +98,39 @@ class SessionsSpec:
     signaling: SignalingConfig = SignalingConfig()
     #: Reservation-utilization sampling stride, cycles.
     sample_stride: int = 500
+    #: Closed-loop control plane; ``None`` keeps pre-control behavior
+    #: (and the spec hash) bit-identical.
+    control: ControlConfig | None = None
 
     def __post_init__(self) -> None:
         if self.sample_stride < 1:
             raise ValueError("sample_stride must be >= 1")
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "churn": self.churn.to_dict(),
             "policy": self.policy,
             "signaling": self.signaling.to_dict(),
             "sample_stride": self.sample_stride,
         }
+        # Omitted when None so pre-control spec hashes stay warm.
+        if self.control is not None:
+            out["control"] = self.control.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SessionsSpec":
+        control = data.get("control")
+        if control is not None:
+            from ..control.config import ControlConfig
+
+            control = ControlConfig.from_dict(control)
         return cls(
             churn=ChurnConfig.from_dict(data["churn"]),
             policy=data.get("policy", "paper"),
             signaling=SignalingConfig.from_dict(data.get("signaling", {})),
             sample_stride=data.get("sample_stride", 500),
+            control=control,
         )
 
 
@@ -170,7 +187,7 @@ _RENEG = 3
 class _LiveSession:
     """Runtime state of one timeline session."""
 
-    __slots__ = ("spec", "state", "conn", "offset", "ptr")
+    __slots__ = ("spec", "state", "conn", "offset", "ptr", "attempts")
 
     def __init__(self, spec: SessionSpec) -> None:
         self.spec = spec
@@ -179,6 +196,8 @@ class _LiveSession:
         #: Admission instant; injection schedule offset.
         self.offset = 0
         self.ptr = 0
+        #: Setup attempts that have timed out so far (control plane).
+        self.attempts = 0
 
 
 @dataclass
@@ -200,11 +219,24 @@ class SessionEngine:
     feedback: QosFeedback = field(init=False)
 
     def __post_init__(self) -> None:
-        self.policy = make_policy(self.spec.policy)
+        spec = self.spec
+        self.control_plane: ControlPlane | None = None
+        self._retry: RetryPolicy | None = None
+        if spec.control is not None or spec.policy == "adaptive":
+            # Importing the plane registers the "adaptive" policy.
+            from ..control.plane import ControlFeedback, ControlPlane
+        if spec.control is not None:
+            self.control_plane = ControlPlane(self.config, spec.control)
+            self._retry = spec.control.retry
+            self.feedback = ControlFeedback(self.control_plane)
+        else:
+            self.feedback = QosFeedback()
+        self.policy = make_policy(spec.policy)
+        if spec.control is not None and hasattr(self.policy, "brake_cap"):
+            self.policy.brake_cap = spec.control.brake_cap
         self.event_log = SessionEventLog()
-        self.feedback = QosFeedback()
         self.stats = SessionStats(
-            policy=self.spec.policy, churn=self.spec.churn, cycles=0
+            policy=spec.policy, churn=spec.churn, cycles=0
         )
         self._router: MMRouter | None = None
         self._metrics = None
@@ -219,6 +251,25 @@ class SessionEngine:
         self._live: list[_LiveSession] = [
             _LiveSession(s) for s in self.timeline
         ]
+        #: Output port the fault harness reported dead (signaling fails).
+        self.dead_out_port: int | None = None
+        self._live_by_conn: dict[int, _LiveSession] = {}
+        # Precomputed signaling draws (seed_signaling_draws).
+        self._setup_loss = None
+        self._setup_jitter = None
+        self._reneg_loss = None
+        self._reneg_jitter = None
+        #: sid -> index of its first renegotiation message in the draws.
+        self._reneg_base: dict[int, int] = {}
+        #: message index -> timed-out attempts so far.
+        self._reneg_tries: dict[int, int] = {}
+        self._reneg_total = 0
+        if self._retry is not None:
+            total = 0
+            for s in self.timeline:
+                self._reneg_base[s.sid] = total
+                total += len(s.reneg_plan)
+            self._reneg_total = total
 
     @classmethod
     def from_spec(
@@ -230,7 +281,32 @@ class SessionEngine:
     ) -> "SessionEngine":
         """Generate the churn timeline and wrap it in an engine."""
         timeline = generate_timeline(config, spec.churn, horizon_cycles, rng)
-        return cls(config=config, spec=spec, timeline=timeline)
+        engine = cls(config=config, spec=spec, timeline=timeline)
+        if spec.control is not None:
+            engine.seed_signaling_draws(rng)
+        return engine
+
+    def seed_signaling_draws(self, rng) -> None:
+        """Precompute every signaling loss/jitter draw from ``rng``.
+
+        One row per timeline session (indexed by ``sid``) for setups and
+        one row per planned renegotiation message, each ``max_retries +
+        1`` attempts wide — the cycle loop itself never draws, so retry
+        schedules replay bit-identically.  Control-disabled runs skip
+        this entirely and leave the stream untouched.
+        """
+        retry = self._retry
+        cols = retry.max_retries + 1
+        n = len(self.timeline)
+        self._setup_loss = rng.random((n, cols)) < retry.loss_rate
+        self._setup_jitter = rng.integers(
+            0, retry.jitter_cycles + 1, size=(n, retry.max_retries)
+        )
+        total = self._reneg_total
+        self._reneg_loss = rng.random((total, cols)) < retry.loss_rate
+        self._reneg_jitter = rng.integers(
+            0, retry.jitter_cycles + 1, size=(total, retry.max_retries)
+        )
 
     # ------------------------------------------------------------------
     # Loop hooks (called by SingleRouterSim._run_sessions)
@@ -258,6 +334,9 @@ class SessionEngine:
 
     def on_cycle(self, now: int) -> None:
         """Process due signaling completions, arrivals and drains."""
+        cp = self.control_plane
+        if cp is not None and now % cp.cfg.estimator_stride == 0:
+            cp.step(now, self._router)
         pending = self._pending
         while pending and pending[0][0] <= now:
             _cycle, _seq, kind, live, extra = heapq.heappop(pending)
@@ -290,11 +369,16 @@ class SessionEngine:
         if now % self.spec.sample_stride == 0:
             self._sample_utilization(now)
 
-    def inject(self, now: int) -> None:
-        """Deposit every due flit of every active session into its NIC."""
+    def inject(self, now: int) -> int:
+        """Deposit every due flit of every active session into its NIC.
+
+        Returns the number of flits deposited, so the fault harness can
+        keep its exact conservation check (the healthy loop ignores it).
+        """
         nics = self._router.nics
         lst = self._injecting
         keep = 0
+        deposited = 0
         for live in lst:
             spec = live.spec
             cycles = spec.cycles
@@ -311,11 +395,13 @@ class SessionEngine:
                     bool(spec.frame_last[ptr]),
                 )
                 ptr += 1
+            deposited += ptr - live.ptr
             live.ptr = ptr
             if ptr < end:
                 lst[keep] = live
                 keep += 1
         del lst[keep:]
+        return deposited
 
     def on_departures(self, now: int, departures) -> None:
         """Feed measured deadline violations to the CAC feedback window."""
@@ -342,6 +428,22 @@ class SessionEngine:
     def to_payload(self) -> dict[str, Any]:
         return self.stats.to_payload(self.event_log)
 
+    def control_payload(self) -> dict[str, Any]:
+        """Strict-JSON payload for the campaign ``control`` channel."""
+        payload = self.control_plane.to_payload()
+        s = self.stats
+        payload["signaling"] = {
+            "setup_timeouts": s.setup_timeouts,
+            "setup_retries": s.setup_retries,
+            "reneg_timeouts": s.reneg_timeouts,
+            "reneg_retries": s.reneg_retries,
+            "reneg_giveups": s.reneg_giveups,
+            "readmitted_alt": s.readmitted_alt,
+            "blocked_timeout": s.blocked_timeout,
+            "dropped": s.dropped,
+        }
+        return payload
+
     # ------------------------------------------------------------------
     # Completion handlers
     # ------------------------------------------------------------------
@@ -349,6 +451,11 @@ class SessionEngine:
     def _complete_setup(self, now: int, live: _LiveSession) -> None:
         spec = live.spec
         router = self._router
+        if self._retry is not None:
+            cause = self._setup_obstruction(live)
+            if cause is not None:
+                self._signaling_timeout(now, live, cause)
+                return
         request = CacRequest(
             in_port=spec.in_port,
             out_port=spec.out_port,
@@ -377,18 +484,24 @@ class SessionEngine:
                 now, "block", spec.sid, f"class={spec.cls_name} reason={reason}"
             )
             return
-        conn = result.connection
+        self._admit(now, live, result.connection)
+
+    def _admit(
+        self, now: int, live: _LiveSession, conn: Connection, alt: bool = False
+    ) -> None:
+        spec = live.spec
         live.state = "active"
         live.conn = conn
         live.offset = now
+        self._live_by_conn[conn.conn_id] = live
         self.stats.note_admitted(spec)
-        self.event_log.record(
-            now,
-            "admit",
-            spec.sid,
+        detail = (
             f"class={spec.cls_name} conn={conn.conn_id} vc={conn.vc} "
-            f"avg={conn.avg_slots} peak={conn.peak_slots}",
+            f"avg={conn.avg_slots} peak={conn.peak_slots}"
         )
+        if alt:
+            detail += f" alt_out={conn.out_port}"
+        self.event_log.record(now, "admit", spec.sid, detail)
         self._metrics.register_connection(
             conn.in_port, conn.vc, conn.conn_id, spec.cls_name
         )
@@ -399,12 +512,144 @@ class SessionEngine:
             self._injecting.append(live)
         sig = self.spec.signaling
         self._push(now + spec.hold_cycles, _STOP, live)
-        for rel_cycle, new_peak in spec.reneg_plan:
-            self._push(
-                now + rel_cycle + sig.reneg_latency_cycles, _RENEG, live, new_peak
+        if self._retry is None:
+            for rel_cycle, new_peak in spec.reneg_plan:
+                self._push(
+                    now + rel_cycle + sig.reneg_latency_cycles,
+                    _RENEG,
+                    live,
+                    new_peak,
+                )
+        else:
+            # With retries in play, a renegotiation completion carries
+            # its *message index* (into the precomputed draws); the new
+            # peak is recovered from the plan at delivery time.
+            base = self._reneg_base[spec.sid]
+            for j, (rel_cycle, _new_peak) in enumerate(spec.reneg_plan):
+                self._push(
+                    now + rel_cycle + sig.reneg_latency_cycles,
+                    _RENEG,
+                    live,
+                    base + j,
+                )
+
+    # ------------------------------------------------------------------
+    # Signaling robustness (control plane only)
+    # ------------------------------------------------------------------
+
+    def _setup_obstruction(self, live: _LiveSession) -> str | None:
+        """Why this setup attempt will time out, or ``None`` if it lands."""
+        spec = live.spec
+        if self.dead_out_port is not None and spec.out_port == self.dead_out_port:
+            return "dead-port"
+        # Draws are absent when the engine was built without from_spec;
+        # such engines model a lossless signaling network.
+        if self._setup_loss is not None and self._setup_loss[spec.sid, live.attempts]:
+            return "loss"
+        return None
+
+    def _signaling_timeout(self, now: int, live: _LiveSession, cause: str) -> None:
+        retry = self._retry
+        spec = live.spec
+        failed = live.attempts  # 0-based index of the attempt that failed
+        live.attempts += 1
+        self.stats.setup_timeouts += 1
+        self.event_log.record(
+            now,
+            "setup-timeout",
+            spec.sid,
+            f"attempt={failed + 1} timeout={retry.timeout_cycles} cause={cause}",
+        )
+        if live.attempts > retry.max_retries:
+            self._give_up_setup(now, live, cause)
+            return
+        backoff = retry.backoff_cycles(live.attempts)
+        if self._setup_jitter is not None:
+            backoff += int(self._setup_jitter[spec.sid, live.attempts - 1])
+        self.stats.setup_retries += 1
+        self.event_log.record(
+            now,
+            "retry",
+            spec.sid,
+            f"attempt={live.attempts + 1} backoff={backoff}",
+        )
+        self._push(now + retry.timeout_cycles + backoff, _SETUP, live)
+
+    def _give_up_setup(self, now: int, live: _LiveSession, cause: str) -> None:
+        spec = live.spec
+        if cause == "dead-port" and self._admit_elsewhere(now, live):
+            return
+        live.state = "blocked"
+        self.stats.note_blocked_timeout(spec)
+        self.event_log.record(
+            now,
+            "block-timeout",
+            spec.sid,
+            f"class={spec.cls_name} cause={cause} attempts={live.attempts}",
+        )
+
+    def _admit_elsewhere(self, now: int, live: _LiveSession) -> bool:
+        """Crank a dead-port setup back through :func:`readmit_elsewhere`."""
+        result = readmit_elsewhere(
+            self._router, live.spec, avoid_out_port=self.dead_out_port
+        )
+        if not result.accepted:
+            return False
+        self.stats.readmitted_alt += 1
+        self._admit(now, live, result.connection, alt=True)
+        return True
+
+    # ------------------------------------------------------------------
+    # Fault-harness notifications
+    # ------------------------------------------------------------------
+
+    def owns(self, conn_id: int) -> bool:
+        """True when ``conn_id`` belongs to a live dynamic session."""
+        return conn_id in self._live_by_conn
+
+    def label_of(self, conn_id: int) -> str:
+        live = self._live_by_conn.get(conn_id)
+        return live.spec.cls_name if live is not None else "unlabelled"
+
+    def on_dead_port(self, now: int, port: int) -> None:
+        """The fault harness just killed output ``port``."""
+        self.dead_out_port = port
+
+    def on_conn_recovered(
+        self, now: int, old_conn: Connection, new_conn: Connection | None
+    ) -> None:
+        """A fault tore ``old_conn`` down (and maybe re-admitted it)."""
+        self._deadline_of.pop((old_conn.in_port, old_conn.vc), None)
+        if new_conn is not None:
+            self._track_deadline(new_conn)
+        live = self._live_by_conn.pop(old_conn.conn_id, None)
+        if live is None:
+            return  # a static (workload) connection, not one of ours
+        if new_conn is None:
+            live.state = "dropped"
+            live.conn = None
+            self.stats.note_dropped(live.spec)
+            self.event_log.record(
+                now, "conn-dropped", live.spec.sid, f"conn={old_conn.conn_id}"
             )
+            if live in self._injecting:
+                self._injecting.remove(live)
+            if live in self._draining:
+                self._draining.remove(live)
+            return
+        live.conn = new_conn
+        self._live_by_conn[new_conn.conn_id] = live
+        self.event_log.record(
+            now,
+            "conn-migrated",
+            live.spec.sid,
+            f"conn={old_conn.conn_id}->{new_conn.conn_id} vc={new_conn.vc} "
+            f"out={new_conn.out_port}",
+        )
 
     def _stop_injection(self, now: int, live: _LiveSession) -> None:
+        if live.state != "active":
+            return  # dropped by a fault before its natural departure
         # The schedule spans [0, hold), so every flit has been deposited;
         # the session now drains whatever is still queued or buffered.
         live.state = "draining"
@@ -430,18 +675,56 @@ class SessionEngine:
         self._draining = keep
 
     def _complete_teardown(self, now: int, live: _LiveSession) -> None:
+        if live.state != "closing":
+            return  # a fault tore the connection down while we waited
         conn = live.conn
         self._router.teardown(conn.conn_id)
         self._deadline_of.pop((conn.in_port, conn.vc), None)
+        self._live_by_conn.pop(conn.conn_id, None)
         live.state = "closed"
         self.stats.note_released(live.spec)
         self.event_log.record(
             now, "release", live.spec.sid, f"conn={conn.conn_id} vc={conn.vc}"
         )
 
-    def _complete_reneg(self, now: int, live: _LiveSession, new_peak: int) -> None:
+    def _complete_reneg(self, now: int, live: _LiveSession, extra: int) -> None:
         if live.state != "active":
             return  # departed (or never admitted) before the ACK came back
+        if self._retry is None:
+            self._do_reneg(now, live, extra)
+            return
+        retry = self._retry
+        midx = extra  # message index into the precomputed draws
+        tries = self._reneg_tries.get(midx, 0)
+        if self._reneg_loss is not None and self._reneg_loss[midx, tries]:
+            tries += 1
+            self._reneg_tries[midx] = tries
+            self.stats.reneg_timeouts += 1
+            self.event_log.record(
+                now,
+                "reneg-timeout",
+                live.spec.sid,
+                f"conn={live.conn.conn_id} attempt={tries}",
+            )
+            if tries > retry.max_retries:
+                self.stats.reneg_giveups += 1
+                self.event_log.record(
+                    now,
+                    "reneg-giveup",
+                    live.spec.sid,
+                    f"conn={live.conn.conn_id} attempts={tries}",
+                )
+                return  # keep the old peak reservation
+            backoff = retry.backoff_cycles(tries) + int(
+                self._reneg_jitter[midx, tries - 1]
+            )
+            self.stats.reneg_retries += 1
+            self._push(now + retry.timeout_cycles + backoff, _RENEG, live, midx)
+            return
+        new_peak = live.spec.reneg_plan[midx - self._reneg_base[live.spec.sid]][1]
+        self._do_reneg(now, live, new_peak)
+
+    def _do_reneg(self, now: int, live: _LiveSession, new_peak: int) -> None:
         conn = live.conn
         old_peak = conn.peak_slots
         decision = self._router.renegotiate_peak(conn.conn_id, new_peak)

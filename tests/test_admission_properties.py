@@ -4,14 +4,26 @@ Invariant: under any sequence of admissions and releases, (a) committed
 average reservations never exceed the round on any link, (b) committed
 VBR peaks never exceed round x concurrency, and (c) releasing everything
 returns the controller to a pristine state.
+
+The second half drives the same invariants through the *full* stack —
+``MMRouter.establish`` behind the adaptive CAC filter, fault-path
+``force_teardown`` + :func:`readmit_elsewhere` migrations, and ordinary
+teardowns — under random interleavings: the paper bound must hold on the
+integer ledgers after every step, and undoing everything must restore
+the reservation vectors exactly.
 """
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.control.config import ControlConfig
+from repro.control.plane import ControlFeedback, ControlPlane
 from repro.router.admission import AdmissionController
 from repro.router.config import RouterConfig
 from repro.router.connection import Connection, TrafficClass
+from repro.router.router import MMRouter
+from repro.sessions.policies import CacRequest, make_policy
+from repro.sessions.signaling import readmit_elsewhere
 
 CONFIG = RouterConfig(
     num_ports=3,
@@ -98,3 +110,146 @@ def test_check_never_mutates(seed):
         ac.check(conn)
     after = [ac.reserved_avg_load(p) for p in range(CONFIG.num_ports)]
     assert before == after
+
+
+# ----------------------------------------------------------------------
+# Full-stack churn + faults + adaptive CAC
+# ----------------------------------------------------------------------
+
+PEAK_BUDGET = ROUND * CONFIG.concurrency_factor
+
+
+@st.composite
+def churn_fault_ops(draw):
+    """A random interleaving of arrivals, departures, faults and pressure."""
+    kinds = st.sampled_from(
+        ["arrive", "arrive", "depart", "fault-kill", "fault-migrate",
+         "pressure"]
+    )
+    ops = []
+    for _ in range(draw(st.integers(5, 40))):
+        kind = draw(kinds)
+        if kind == "arrive":
+            ops.append(("arrive", draw(requests())))
+        elif kind == "pressure":
+            ops.append(("pressure", draw(st.floats(0.0, 8.0))))
+        else:
+            ops.append((kind, draw(st.integers(0, 2**20))))
+    return ops
+
+
+def assert_paper_bound(router):
+    """The paper admission bound, read off the integer ledgers."""
+    vectors = router.admission.reservation_vectors()
+    assert max(vectors["avg_in"]) <= ROUND
+    assert max(vectors["avg_out"]) <= ROUND
+    assert max(vectors["peak_in"]) <= PEAK_BUDGET
+    assert max(vectors["peak_out"]) <= PEAK_BUDGET
+    router.admission.audit(router.table)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=churn_fault_ops())
+def test_churn_faults_adaptive_cac_never_exceed_paper_bound(ops):
+    """No interleaving of churn, faults and brake states overcommits.
+
+    The adaptive policy is a pre-admission *filter*: whatever the
+    hysteresis band says, every admission still runs the paper
+    feasibility test inside ``MMRouter.establish``, and every fault-path
+    migration goes through :func:`readmit_elsewhere` (check + commit,
+    never around it).
+    """
+    router = MMRouter(CONFIG)
+    plane = ControlPlane(CONFIG, ControlConfig(hold_cycles=8))
+    feedback = ControlFeedback(plane)
+    policy = make_policy("adaptive")
+    pristine = router.admission.reservation_vectors()
+    live = []
+    now = 0
+    for op in ops:
+        now += 4
+        kind = op[0]
+        if kind == "arrive":
+            tclass, avg, peak, in_port, out_port = op[1]
+            request = CacRequest(
+                in_port=in_port, out_port=out_port, traffic_class=tclass,
+                avg_slots=avg, peak_slots=peak,
+            )
+            if policy.decide(request, router.admission, feedback, now):
+                result = router.establish(
+                    in_port, out_port, tclass, avg, peak
+                )
+                if result.accepted:
+                    live.append(result.connection)
+        elif kind == "pressure":
+            plane.band.observe(now, op[1])
+        elif kind == "depart" and live:
+            conn = live.pop(op[1] % len(live))
+            router.teardown(conn.conn_id)
+        elif kind == "fault-kill" and live:
+            conn = live.pop(op[1] % len(live))
+            router.force_teardown(conn.conn_id)
+        elif kind == "fault-migrate" and live:
+            conn = live.pop(op[1] % len(live))
+            router.force_teardown(conn.conn_id)
+            result = readmit_elsewhere(
+                router, conn, avoid_out_port=op[1] % CONFIG.num_ports
+            )
+            if result.accepted:
+                live.append(result.connection)
+        assert_paper_bound(router)
+    # Undo everything that survived: the vectors must return to the
+    # pristine state exactly (integer equality, no drift).
+    for conn in live:
+        router.teardown(conn.conn_id)
+    assert router.admission.reservation_vectors() == pristine
+    router.admission.audit(router.table)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_reservation_vectors_restored_exactly_around_baseline(seed):
+    """A give-up/migration burst leaves a standing baseline untouched."""
+    rng = np.random.default_rng(seed)
+    router = MMRouter(CONFIG)
+    baseline = []
+    for port in range(CONFIG.num_ports):
+        result = router.establish(
+            port, (port + 1) % CONFIG.num_ports, TrafficClass.CBR,
+            ROUND // 4, ROUND // 4,
+        )
+        assert result.accepted
+        baseline.append(result.connection)
+    snapshot = router.admission.reservation_vectors()
+
+    burst = []
+    for _ in range(int(rng.integers(1, 12))):
+        tclass = TrafficClass.VBR if rng.random() < 0.5 else TrafficClass.CBR
+        avg = int(rng.integers(1, ROUND // 4))
+        peak = int(rng.integers(avg, ROUND)) if tclass is TrafficClass.VBR else avg
+        result = router.establish(
+            int(rng.integers(CONFIG.num_ports)),
+            int(rng.integers(CONFIG.num_ports)),
+            tclass, avg, peak,
+        )
+        if result.accepted:
+            burst.append(result.connection)
+    # Migrate a random subset the way the fault path does.
+    migrated = []
+    for conn in burst:
+        if rng.random() < 0.5:
+            router.force_teardown(conn.conn_id)
+            result = readmit_elsewhere(router, conn)
+            if result.accepted:
+                migrated.append(result.connection)
+        else:
+            migrated.append(conn)
+        assert_paper_bound(router)
+    for conn in migrated:
+        router.teardown(conn.conn_id)
+
+    assert router.admission.reservation_vectors() == snapshot
+    router.admission.audit(router.table)
+    # The baseline is still live and intact in the table.
+    for conn in baseline:
+        assert router.table.get(conn.conn_id) == conn

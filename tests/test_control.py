@@ -1,0 +1,428 @@
+"""Closed-loop control plane (repro.control): estimators, retries, recovery.
+
+Covers the PR's acceptance gates directly:
+
+* estimator semantics — EWMA stride-independence and the anti-flap
+  hysteresis band (trip fast, recover only after a continuous hold);
+* deterministic signaling — same-seed control-enabled runs replay
+  identical retry/backoff/give-up event logs; give-ups land in the
+  timeout-blocked class, not the CAC-blocked class;
+* self-recovering degradation — a transient fault burst escalates, the
+  recovery controller un-sheds after pressure clears, and consecutive
+  transitions never come closer than the hysteresis hold;
+* fault cranking — signaling through a dead port retries, gives up, and
+  re-admits on an alternate port;
+* bit-identity — a zero-churn control-disabled engine does not perturb
+  the fault harness (same SimResult dict AND RNG fingerprint).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.control import (
+    AdaptiveCacPolicy,
+    ControlConfig,
+    ControlPlane,
+    Ewma,
+    HysteresisBand,
+    RecoveryController,
+    RetryPolicy,
+    ViolationRateEstimator,
+)
+from repro.faults.degradation import (
+    LEVEL_NORMAL,
+    LEVEL_SHED_BEST_EFFORT,
+    DegradationPolicy,
+)
+from repro.faults.harness import FaultySingleRouterSim
+from repro.faults.models import FaultConfig
+from repro.faults.schedule import FaultSchedule
+from repro.router import RouterConfig
+from repro.router.admission import AdmissionController
+from repro.router.connection import TrafficClass
+from repro.sessions import ChurnConfig, SessionEngine, SessionsSpec, make_policy
+from repro.sessions.policies import CacRequest, QosFeedback
+from repro.sim import RunControl
+from repro.sim.simulation import SingleRouterSim
+from repro.traffic.mixes import build_cbr_workload
+
+CFG = RouterConfig(num_ports=4, vcs_per_link=64, candidate_levels=4)
+
+CHURN = ChurnConfig(
+    arrivals_per_kcycle=3.0,
+    mean_hold_cycles=1_200.0,
+    mix=(("cbr-low", 0.4), ("cbr-medium", 0.25), ("vbr", 0.2),
+         ("best-effort", 0.15)),
+)
+
+
+def control_run(cycles=4_000, seed=7, control=None, load=0.1, churn=CHURN,
+                policy="paper", faults=None):
+    """One churn run, healthy or faulty; returns (result, engine, fp)."""
+    if faults is not None:
+        sim = FaultySingleRouterSim(CFG, arbiter="coa", scheme="siabp",
+                                    seed=seed, faults=faults)
+    else:
+        sim = SingleRouterSim(CFG, arbiter="coa", scheme="siabp", seed=seed)
+    workload = build_cbr_workload(sim.router, load, sim.rng.workload)
+    spec = SessionsSpec(churn=churn, policy=policy, control=control)
+    engine = SessionEngine.from_spec(CFG, spec, cycles, sim.rng.sessions)
+    result = sim.run(
+        workload, RunControl(cycles=cycles, warmup_cycles=0), sessions=engine
+    )
+    return result, engine, sim.rng.state_fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Estimators
+# ----------------------------------------------------------------------
+
+
+class TestEwma:
+    def test_converges_toward_constant_input(self):
+        e = Ewma(0.5)
+        for _ in range(20):
+            e.update(10.0)
+        assert e.value == pytest.approx(10.0, abs=1e-4)
+        assert e.samples == 20
+
+    def test_alpha_one_tracks_input_exactly(self):
+        e = Ewma(1.0)
+        assert e.update(3.0) == 3.0
+        assert e.update(-1.5) == -1.5
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            Ewma(0.0)
+        with pytest.raises(ValueError):
+            Ewma(1.5)
+
+
+class TestViolationRateEstimator:
+    def test_sample_is_stride_independent(self):
+        # 4 violations per 64 cycles and 8 per 128 are the same rate.
+        a = ViolationRateEstimator(1.0, 64)
+        for _ in range(4):
+            a.note()
+        b = ViolationRateEstimator(1.0, 128)
+        for _ in range(8):
+            b.note()
+        assert a.step() == b.step() == pytest.approx(62.5)
+
+    def test_step_resets_pending(self):
+        est = ViolationRateEstimator(1.0, 100)
+        est.note()
+        est.step()
+        assert est.step() == 0.0
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            ViolationRateEstimator(0.5, 0)
+
+
+class TestHysteresisBand:
+    def test_trips_instantly_at_high_water(self):
+        band = HysteresisBand(1.0, 4.0, hold_cycles=100)
+        assert band.observe(0, 3.9) == "normal"
+        assert band.observe(10, 4.0) == "high"
+        assert band.transitions == [(10, "high")]
+
+    def test_recovers_only_after_continuous_hold(self):
+        band = HysteresisBand(1.0, 4.0, hold_cycles=100)
+        band.observe(0, 5.0)
+        assert band.observe(10, 0.5) == "high"    # clock starts
+        assert band.observe(60, 0.5) == "high"    # 50 < hold
+        assert band.observe(110, 0.5) == "normal"  # 100 >= hold
+        assert band.transitions == [(0, "high"), (110, "normal")]
+
+    def test_dead_zone_resets_recovery_clock(self):
+        band = HysteresisBand(1.0, 4.0, hold_cycles=100)
+        band.observe(0, 5.0)
+        band.observe(10, 0.5)
+        band.observe(60, 2.0)   # dead zone: clock resets, state holds
+        assert band.cleared_for(60) == 0
+        assert band.observe(120, 0.5) == "high"   # fresh clock from 120
+        assert band.observe(219, 0.5) == "high"
+        assert band.observe(220, 0.5) == "normal"
+
+    def test_cleared_for_tracks_below_low_time(self):
+        band = HysteresisBand(1.0, 4.0, hold_cycles=100)
+        band.observe(0, 0.1)
+        assert band.cleared_for(70) == 70
+        band.observe(80, 9.0)
+        assert band.cleared_for(81) == 0
+
+
+# ----------------------------------------------------------------------
+# Adaptive CAC policy
+# ----------------------------------------------------------------------
+
+
+def _request(avg_slots, tclass=TrafficClass.CBR):
+    return CacRequest(in_port=0, out_port=1, traffic_class=tclass,
+                      avg_slots=avg_slots, peak_slots=avg_slots)
+
+
+class TestAdaptiveCacPolicy:
+    def test_registered_by_name(self):
+        policy = make_policy("adaptive")
+        assert isinstance(policy, AdaptiveCacPolicy)
+
+    def test_passes_without_a_band(self):
+        policy = AdaptiveCacPolicy()
+        ac = AdmissionController(CFG)
+        decision = policy.decide(_request(CFG.round_cycles), ac,
+                                 QosFeedback(), now=0)
+        assert decision.admitted
+
+    def test_best_effort_always_passes(self):
+        policy = AdaptiveCacPolicy(brake_cap=0.01)
+        ac = AdmissionController(CFG)
+        feedback = QosFeedback()
+        feedback.band = HysteresisBand(1.0, 4.0, 100)
+        feedback.band.observe(0, 99.0)
+        decision = policy.decide(
+            _request(0, TrafficClass.BEST_EFFORT), ac, feedback, now=0
+        )
+        assert decision.admitted
+
+    def test_brakes_above_cap_while_band_is_high(self):
+        policy = AdaptiveCacPolicy(brake_cap=0.5)
+        ac = AdmissionController(CFG)
+        feedback = QosFeedback()
+        feedback.band = HysteresisBand(1.0, 4.0, 100)
+        feedback.band.observe(0, 99.0)
+        small = policy.decide(_request(CFG.round_cycles // 4), ac,
+                              feedback, now=0)
+        assert small.admitted
+        big = policy.decide(_request(CFG.round_cycles), ac, feedback, now=0)
+        assert not big.admitted
+        assert "brake" in big.reason
+
+    def test_releases_brake_once_band_recovers(self):
+        policy = AdaptiveCacPolicy(brake_cap=0.5)
+        ac = AdmissionController(CFG)
+        feedback = QosFeedback()
+        feedback.band = HysteresisBand(1.0, 4.0, 100)
+        feedback.band.observe(0, 99.0)
+        assert not policy.decide(_request(CFG.round_cycles), ac,
+                                 feedback, now=0).admitted
+        feedback.band.observe(10, 0.0)
+        feedback.band.observe(110, 0.0)
+        assert feedback.band.state == "normal"
+        assert policy.decide(_request(CFG.round_cycles), ac,
+                             feedback, now=120).admitted
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            AdaptiveCacPolicy(brake_cap=0.0)
+
+
+# ----------------------------------------------------------------------
+# Closed-loop degradation recovery
+# ----------------------------------------------------------------------
+
+
+class TestRecoveryController:
+    def make_policy(self, hold=100, window=256):
+        cfg = FaultConfig(window=window, shed_be_faults=4,
+                          clamp_vbr_faults=16, restore_after=10**9)
+        policy = DegradationPolicy(cfg, FaultSchedule())
+        band = HysteresisBand(1.0, 4.0, hold_cycles=hold)
+        policy.controller = RecoveryController(band, hold)
+        return policy, band
+
+    def test_burst_escalates_then_recovers_after_pressure_clears(self):
+        policy, band = self.make_policy()
+        for now in range(4):
+            policy.note_fault(now)
+        band.observe(0, 9.0)
+        assert policy.update(4) == LEVEL_SHED_BEST_EFFORT
+        # Faults age out of the window but the band is still high:
+        # legacy restore_after would never fire anyway; the controller
+        # refuses while pressure persists.
+        assert policy.update(500) == LEVEL_SHED_BEST_EFFORT
+        # Pressure clears: below low-water continuously for one hold.
+        band.observe(510, 0.0)
+        assert policy.update(550) == LEVEL_SHED_BEST_EFFORT  # hold not met
+        band.observe(620, 0.0)
+        assert policy.update(620) == LEVEL_NORMAL
+        assert policy.max_level == LEVEL_SHED_BEST_EFFORT
+
+    def test_band_high_imposes_shed_floor_without_faults(self):
+        policy, band = self.make_policy()
+        band.observe(0, 9.0)
+        assert policy.update(1) == LEVEL_SHED_BEST_EFFORT
+        assert policy.escalations == 1
+
+    def test_transitions_spaced_at_least_one_hold(self):
+        policy, band = self.make_policy(hold=100)
+        for now in range(16):
+            policy.note_fault(now)
+        policy.update(16)
+        assert policy.level == 2
+        band.observe(300, 0.0)  # clear immediately; faults age out
+        levels = []
+        for now in range(300, 1200, 10):
+            levels.append((now, policy.update(now)))
+        downs = [now for (now, lvl), (_, prev) in
+                 zip(levels[1:], levels[:-1]) if lvl < prev]
+        assert len(downs) == 2  # 2 -> 1 -> 0, one step at a time
+        assert downs[1] - downs[0] >= 100
+
+    def test_legacy_quiet_period_rule_when_no_controller(self):
+        cfg = FaultConfig(window=64, shed_be_faults=2, clamp_vbr_faults=16,
+                          restore_after=50)
+        policy = DegradationPolicy(cfg, FaultSchedule())
+        policy.note_fault(0)
+        policy.note_fault(1)
+        assert policy.update(2) == LEVEL_SHED_BEST_EFFORT
+        assert policy.update(40) == LEVEL_SHED_BEST_EFFORT  # quiet 38 < 50
+        assert policy.update(100) == LEVEL_NORMAL  # quiet 98 >= 50
+
+
+# ----------------------------------------------------------------------
+# Deterministic signaling retries
+# ----------------------------------------------------------------------
+
+LOSSY = ControlConfig(retry=RetryPolicy(timeout_cycles=16, max_retries=3,
+                                        loss_rate=0.25))
+
+
+class TestSignalingRetries:
+    def test_same_seed_replays_identical_retry_logs(self):
+        a_result, a_engine, a_fp = control_run(control=LOSSY)
+        b_result, b_engine, b_fp = control_run(control=LOSSY)
+        assert a_engine.event_log.lines() == b_engine.event_log.lines()
+        assert a_engine.to_payload() == b_engine.to_payload()
+        assert a_engine.control_payload() == b_engine.control_payload()
+        assert a_result.to_dict() == b_result.to_dict()
+        assert a_fp == b_fp
+
+    def test_lossy_signaling_retries_and_recovers(self):
+        _, engine, _ = control_run(control=LOSSY)
+        counts = engine.event_log.counts()
+        assert counts.get("setup-timeout", 0) > 0
+        assert counts.get("retry", 0) > 0
+        s = engine.stats
+        assert s.setup_retries == counts["retry"]
+        # At 25% loss and 3 retries nearly everything still gets through.
+        assert s.admitted > 0
+
+    def test_near_certain_loss_exhausts_retries_into_timeout_class(self):
+        lossy = ControlConfig(retry=RetryPolicy(max_retries=2,
+                                                loss_rate=0.99))
+        _, engine, _ = control_run(control=lossy)
+        s = engine.stats
+        assert s.offered > 0
+        assert s.blocked_timeout > 0
+        # Give-ups land in their own outcome class, and the aggregate
+        # conserves: every offered session is accounted exactly once.
+        assert s.blocked == s.blocked_cac + s.blocked_timeout
+        assert s.offered == s.admitted + s.blocked_cac + s.blocked_timeout
+        counts = engine.event_log.counts()
+        assert counts["block-timeout"] == s.blocked_timeout
+        # Every timeout either retried or gave the session up.
+        assert counts["setup-timeout"] == (counts["retry"]
+                                           + counts["block-timeout"])
+        # Exhaustion means exactly 1 + max_retries timeouts per give-up.
+        assert counts["setup-timeout"] >= 3 * s.blocked_timeout
+
+    def test_backoff_schedule_is_exponential(self):
+        retry = RetryPolicy(backoff_base_cycles=8, backoff_factor=2)
+        assert [retry.backoff_cycles(k) for k in (1, 2, 3)] == [8, 16, 32]
+        with pytest.raises(ValueError):
+            retry.backoff_cycles(0)
+
+    def test_control_config_roundtrips(self):
+        cfg = ControlConfig(retry=RetryPolicy(loss_rate=0.1, jitter_cycles=2),
+                            high_water=8.0, hold_cycles=500)
+        assert ControlConfig.from_dict(cfg.to_dict()) == cfg
+        spec = SessionsSpec(churn=CHURN, control=cfg)
+        assert SessionsSpec.from_dict(spec.to_dict()) == spec
+        plain = SessionsSpec(churn=CHURN)
+        assert "control" not in plain.to_dict()
+
+    def test_pressure_series_sampled_on_stride(self):
+        cycles = 4_000
+        _, engine, _ = control_run(cycles=cycles, control=ControlConfig())
+        plane = engine.control_plane
+        stride = plane.cfg.estimator_stride
+        # One sample per stride multiple inside the run, cycle 0 included.
+        assert len(plane.pressure_series) == 1 + (cycles - 1) // stride
+        payload = engine.control_payload()
+        assert payload["schema"] == "repro-control-v1"
+        assert payload["deadline_slack_cycles"] > 0
+
+
+# ----------------------------------------------------------------------
+# Fault cranking and bit-identity on the faulty harness
+# ----------------------------------------------------------------------
+
+TRANSIENT = FaultConfig(corruption_rate=0.01, credit_loss_rate=0.002)
+
+
+class TestControlUnderFaults:
+    def test_zero_churn_disabled_engine_is_bit_identical(self):
+        cycles, seed, load = 4_000, 3, 0.3
+
+        def run(with_engine):
+            sim = FaultySingleRouterSim(CFG, arbiter="coa", scheme="siabp",
+                                        seed=seed, faults=TRANSIENT)
+            workload = build_cbr_workload(sim.router, load, sim.rng.workload)
+            engine = None
+            if with_engine:
+                spec = SessionsSpec(
+                    churn=ChurnConfig(arrivals_per_kcycle=0.0)
+                )
+                engine = SessionEngine.from_spec(CFG, spec, cycles,
+                                                 sim.rng.sessions)
+            result = sim.run(
+                workload, RunControl(cycles=cycles, warmup_cycles=0),
+                sessions=engine,
+            )
+            return result.to_dict(), sim.rng.state_fingerprint()
+
+        assert run(False) == run(True)
+
+    def test_faulty_control_run_replays_identically(self):
+        a = control_run(control=LOSSY, policy="adaptive", faults=TRANSIENT)
+        b = control_run(control=LOSSY, policy="adaptive", faults=TRANSIENT)
+        assert a[0].to_dict() == b[0].to_dict()
+        assert a[1].event_log.lines() == b[1].event_log.lines()
+        assert a[1].control_payload() == b[1].control_payload()
+        assert a[2] == b[2]
+
+    def test_dead_port_signaling_cranks_to_alternate_port(self):
+        dead = dataclasses.replace(TRANSIENT, corruption_rate=0.0,
+                                   credit_loss_rate=0.0,
+                                   dead_port=2, dead_port_cycle=500)
+        cfg = ControlConfig(retry=RetryPolicy(max_retries=3))
+        _, engine, _ = control_run(cycles=6_000, load=0.15, control=cfg,
+                                   faults=dead)
+        s = engine.stats
+        counts = engine.event_log.counts()
+        # Sessions aimed at the dead port timed out, gave up, and were
+        # re-admitted through readmit_elsewhere on a live port.
+        assert s.setup_timeouts > 0
+        assert s.readmitted_alt > 0
+        assert counts.get("admit", 0) > 0
+        for line in engine.event_log.lines():
+            if "alt_out=" in line:
+                assert "alt_out=2" not in line
+
+    def test_dead_port_giveups_do_not_leak_reservations(self):
+        dead = FaultConfig(dead_port=1, dead_port_cycle=400)
+        cfg = ControlConfig(retry=RetryPolicy(max_retries=2))
+        result, engine, _ = control_run(cycles=5_000, load=0.15, control=cfg,
+                                        faults=dead)
+        # The harness audits the admission ledgers against the live
+        # connection table after every teardown/readmit; reaching the end
+        # with sane aggregate accounting means nothing leaked.
+        s = engine.stats
+        unresolved = s.offered - (s.admitted + s.blocked_cac
+                                  + s.blocked_timeout)
+        # Every offered session resolves into exactly one outcome class,
+        # except setups still in flight (retrying) when the run ended.
+        assert 0 <= unresolved <= 3

@@ -1,0 +1,286 @@
+"""Control x campaign integration: side-channels, hashing, frontier, CLI."""
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.campaign import CampaignPlan, ResultStore, WorkloadSpec, run_campaign
+from repro.campaign.plan import PointSpec
+from repro.campaign.store import PAYLOAD_CHANNELS
+from repro.cli import main
+from repro.control import ControlConfig, RetryPolicy
+from repro.control.experiments import (
+    frontier_plan,
+    reduce_frontier,
+    run_frontier,
+)
+from repro.faults.models import FaultConfig
+from repro.router import RouterConfig
+from repro.sessions import ChurnConfig, SessionsSpec
+from repro.sim import RunControl
+
+CFG = RouterConfig(num_ports=4, vcs_per_link=64, candidate_levels=4)
+
+CHURN = ChurnConfig(
+    arrivals_per_kcycle=4.0,
+    mean_hold_cycles=1_000.0,
+    mix=(("cbr-low", 0.6), ("cbr-medium", 0.4)),
+)
+
+CONTROL = ControlConfig(retry=RetryPolicy(loss_rate=0.1))
+
+FAULTS = FaultConfig(corruption_rate=0.01, credit_loss_rate=0.002)
+
+
+def control_point(policy="adaptive", rate=4.0, seed=1, cycles=1_500,
+                  control=CONTROL, faults=FAULTS):
+    return PointSpec(
+        config=CFG, arbiter="coa", scheme="siabp", target_load=0.15,
+        seed=seed, workload=WorkloadSpec.cbr(), cycles=cycles,
+        warmup_cycles=0,
+        sessions=SessionsSpec(
+            churn=dataclasses.replace(CHURN, arrivals_per_kcycle=rate),
+            policy=policy,
+            control=control,
+        ),
+        faults=faults,
+    )
+
+
+def artifact_bytes(root):
+    return {
+        f"{sub}/{p.name}": p.read_bytes()
+        for sub in ("objects", "sessions", "control")
+        for p in root.glob(f"{sub}/*/*.json")
+    }
+
+
+class TestPointSpecHashing:
+    def test_control_and_faults_dimensions_change_key(self):
+        base = control_point()
+        assert base.key() == control_point().key()
+        assert base.key() != control_point(control=None).key()
+        assert base.key() != control_point(faults=None).key()
+        assert base.key() != control_point(
+            control=ControlConfig(retry=RetryPolicy(loss_rate=0.2))
+        ).key()
+        assert base.key() != control_point(
+            faults=FaultConfig(dead_port=1)
+        ).key()
+
+    def test_plain_point_dict_has_no_new_keys(self):
+        # Pre-control artifact hashes must stay reachable: a point
+        # without control/faults serializes exactly as it used to.
+        plain = control_point(control=None, faults=None)
+        assert "faults" not in plain.to_dict()
+        assert "control" not in plain.to_dict()["sessions"]
+
+    def test_roundtrip_preserves_control_and_faults(self):
+        spec = control_point()
+        again = PointSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        assert again.key() == spec.key()
+
+    def test_describe_mentions_faults(self):
+        assert "faults" in control_point().describe()
+        assert "faults" not in control_point(faults=None).describe()
+
+
+class TestStoreChannels:
+    def test_channels_share_layout_and_shape(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" + "0" * 62
+        for channel in PAYLOAD_CHANNELS:
+            path = store.put_payload(channel, key, {"x": channel})
+            assert path == tmp_path / channel / "ab" / f"{key}.json"
+            assert store.get_payload(channel, key) == {"x": channel}
+            body = json.loads(path.read_text())
+            assert body == {"key": key, channel: {"x": channel}}
+
+    def test_unknown_channel_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.put_payload("bogus", "ab" + "0" * 62, {})
+
+    def test_corrupt_channel_artifact_is_dropped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" + "0" * 62
+        path = store.put_payload("control", key, {"x": 1})
+        path.write_text("{not json")
+        assert store.get_payload("control", key) is None
+        assert store.corrupt_dropped == 1
+
+    def test_legacy_wrappers_route_through_channels(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ef" + "0" * 62
+        store.put_telemetry(key, {"t": 1})
+        store.put_sessions(key, {"s": 2})
+        assert store.get_payload("telemetry", key) == {"t": 1}
+        assert store.get_payload("sessions", key) == {"s": 2}
+        assert store.telemetry_path_for(key) == store.channel_path_for(
+            "telemetry", key
+        )
+
+
+class TestCampaignControlChannel:
+    def test_outcomes_carry_control_payload(self, tmp_path):
+        plan = CampaignPlan("c", (control_point(),))
+        result = run_campaign(plan, store=ResultStore(tmp_path),
+                              progress=False)
+        payload = result.outcomes[0].control
+        assert payload is not None
+        assert payload["schema"] == "repro-control-v1"
+        assert payload["pressure_series"]
+        assert "setup_retries" in payload["signaling"]
+
+    def test_disabled_point_has_no_control_payload(self):
+        plan = CampaignPlan("c", (control_point(control=None),))
+        result = run_campaign(plan, progress=False)
+        assert result.outcomes[0].control is None
+        assert result.outcomes[0].sessions is not None
+
+    def test_cache_hit_restores_control_payload(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = CampaignPlan("c", (control_point(),))
+        first = run_campaign(plan, store=store, progress=False)
+        second = run_campaign(plan, store=store, progress=False)
+        assert second.hits == 1
+        assert second.outcomes[0].control == first.outcomes[0].control
+
+    def test_missing_control_artifact_forces_recompute(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = CampaignPlan("c", (control_point(),))
+        first = run_campaign(plan, store=store, progress=False)
+        key = plan.points[0].key()
+        store.channel_path_for("control", key).unlink()
+        second = run_campaign(plan, store=store, progress=False)
+        assert second.hits == 0
+        assert second.outcomes[0].control == first.outcomes[0].control
+
+    def test_parallel_and_serial_artifacts_byte_identical(self, tmp_path):
+        plan = CampaignPlan(
+            "c",
+            (control_point(seed=1), control_point(seed=2),
+             control_point(policy="paper", rate=8.0)),
+        )
+        serial_store, pool_store = tmp_path / "a", tmp_path / "b"
+        serial = run_campaign(plan, jobs=1, store=ResultStore(serial_store),
+                              progress=False)
+        pooled = run_campaign(plan, jobs=2, store=ResultStore(pool_store),
+                              progress=False)
+        assert artifact_bytes(serial_store) == artifact_bytes(pool_store)
+        for a, b in zip(serial.outcomes, pooled.outcomes):
+            assert a.control == b.control
+
+
+class TestFrontier:
+    def test_frontier_reduces_policy_rate_cells(self, tmp_path):
+        plan = frontier_plan(
+            "f", CFG, [2.0, 6.0], ("paper", "adaptive"), seeds=(0, 1),
+            control=RunControl(cycles=1_500, warmup_cycles=0),
+        )
+        assert len(plan) == 8
+        result, points = run_frontier(plan, store=ResultStore(tmp_path))
+        assert len(points) == 4
+        for p in points:
+            assert p.seeds == 2
+            assert p.offered > 0
+            assert p.policy in ("paper", "adaptive")
+            assert p.blocked_cac >= 0 and p.blocked_timeout >= 0
+            assert math.isfinite(p.violation_rate_per_kcycle)
+            d = p.to_dict()
+            assert d["offered"] == p.offered
+
+    def test_reduce_rejects_disabled_outcomes(self):
+        plan = CampaignPlan("c", (control_point(control=None),))
+        result = run_campaign(plan, progress=False)
+        with pytest.raises(ValueError):
+            reduce_frontier(result)
+
+    def test_plan_validates_inputs(self):
+        with pytest.raises(ValueError):
+            frontier_plan("x", CFG, [], ("paper",))
+        with pytest.raises(ValueError):
+            frontier_plan("x", CFG, [2.0], ())
+
+
+class TestControlBench:
+    def test_bench_report_gates_and_serializes(self, tmp_path):
+        from repro.control.bench import (
+            check_control_overhead,
+            run_control_bench,
+            write_control_report,
+        )
+
+        report = run_control_bench(
+            ports=4, vcs=32, levels=4, cycles=1_200, repeats=2
+        )
+        assert report.disabled_identical
+        assert report.faulty_disabled_identical
+        assert report.replay_identical
+        path = write_control_report(report, tmp_path / "bench.json")
+        data = json.loads(path.read_text())
+        assert data["faulty_disabled_identical"] is True
+        ok, message = check_control_overhead(report, max_disabled=1.0,
+                                             max_enabled=1.0)
+        assert ok, message
+
+    def test_gate_fails_on_identity_divergence(self):
+        from repro.control.bench import (
+            check_control_overhead,
+            run_control_bench,
+        )
+
+        report = run_control_bench(
+            ports=4, vcs=32, levels=4, cycles=600, repeats=1
+        )
+        report.faulty_disabled_identical = False
+        ok, message = check_control_overhead(report, max_disabled=1.0,
+                                             max_enabled=1.0)
+        assert not ok and "faulty" in message
+
+
+class TestControlCli:
+    ARGS = ["--ports", "4", "--vcs", "64", "--cycles", "1500"]
+
+    def test_default_run_prints_summary(self, capsys):
+        assert main(["control", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop control run" in out
+        assert "violation rate" in out
+        assert "pressure band" in out
+
+    def test_check_determinism_passes(self, capsys):
+        assert main(["control", *self.ARGS, "--check-determinism"]) == 0
+        assert "deterministic" in capsys.readouterr().out
+
+    def test_demo_renders_frontier_table(self, tmp_path, capsys):
+        args = ["control", *self.ARGS, "--demo",
+                "--rates", "2,4,6", "--policies", "paper,adaptive",
+                "--seeds", "0,1", "--store", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "blocking vs delivered QoS" in out
+        assert "viol/kcyc" in out
+        # Second invocation is served from the store.
+        assert main(args) == 0
+        assert "(12 cached / 12 points)" in capsys.readouterr().out
+
+    def test_demo_rejects_thin_grids(self, capsys):
+        assert main(["control", "--demo", "--rates", "2,4",
+                     "--policies", "paper,adaptive"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_writes_report(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_control.json"
+        # Tiny run: loosen the noise-dominated timing gates; the
+        # identity/replay gates are what this test pins.
+        assert main(["control", "--ports", "4", "--vcs", "32",
+                     "--bench", "--cycles", "800", "--repeats", "1",
+                     "--max-disabled-overhead", "0.5",
+                     "--max-enabled-overhead", "0.5",
+                     "--json", str(path)]) == 0
+        assert json.loads(path.read_text())["replay_identical"] is True
+        assert "control overhead OK" in capsys.readouterr().out
