@@ -1,6 +1,13 @@
 """Post-processing: statistics, saturation detection, table rendering."""
 
-from .blocking import BlockingPoint, erlang_b, render_blocking_table
+from .blocking import (
+    BlockingPoint,
+    erlang_b,
+    kaufman_roberts,
+    kaufman_roberts_aggregate,
+    render_blocking_table,
+)
+from .fairness import jain_index, normalized_service, worst_case_gps_lag
 from .plots import render_xy_plot
 from .saturation import knee_by_deficit, knee_by_delay, saturation_gap
 from .stats import MeanCI, geometric_mean, mean_ci, relative_gap, wilson_interval
@@ -15,7 +22,12 @@ from .theory import (
 __all__ = [
     "BlockingPoint",
     "erlang_b",
+    "kaufman_roberts",
+    "kaufman_roberts_aggregate",
     "render_blocking_table",
+    "jain_index",
+    "normalized_service",
+    "worst_case_gps_lag",
     "wilson_interval",
     "render_xy_plot",
     "knee_by_deficit",

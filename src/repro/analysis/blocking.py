@@ -15,12 +15,20 @@ same slot count, and a sanity reference otherwise.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from .stats import wilson_interval
 from .tables import render_table
 
-__all__ = ["erlang_b", "BlockingPoint", "render_blocking_table"]
+__all__ = [
+    "erlang_b",
+    "kaufman_roberts",
+    "kaufman_roberts_aggregate",
+    "BlockingPoint",
+    "render_blocking_table",
+]
 
 
 def erlang_b(offered_erlangs: float, servers: int) -> float:
@@ -42,6 +50,74 @@ def erlang_b(offered_erlangs: float, servers: int) -> float:
     return b
 
 
+def kaufman_roberts(
+    capacity: int, classes: Sequence[tuple[float, int]]
+) -> list[float]:
+    """Per-class blocking of a multi-rate loss link (Kaufman–Roberts).
+
+    The multi-rate analogue of Erlang-B: ``capacity`` slots are shared
+    by classes ``(offered_erlangs_k, slots_k)``, each arrival of class k
+    needing ``slots_k`` slots for its whole holding time.  Poisson
+    arrivals, insensitive to the holding distribution — same regime
+    Erlang-B assumes.  Returns ``B_k`` per class, in input order.
+
+    Uses the classic occupancy recursion
+    ``n * q(n) = sum_k a_k * b_k * q(n - b_k)`` (exact for the
+    product-form stationary distribution), then
+    ``B_k = sum(q(n) for n > capacity - b_k)`` after normalization.
+    With a single class of slot size ``b`` this reduces *exactly* to
+    ``erlang_b(a, capacity // b)`` — the tests pin that identity.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be >= 0")
+    if not classes:
+        raise ValueError("need at least one traffic class")
+    for a, b in classes:
+        if a < 0:
+            raise ValueError("offered load must be >= 0")
+        if b <= 0:
+            raise ValueError("slots per session must be positive")
+    # Occupancy can only land on multiples reachable by slot sizes, but
+    # the recursion over every integer level is O(capacity * classes)
+    # and exact either way.
+    q = [0.0] * (capacity + 1)
+    q[0] = 1.0
+    for n in range(1, capacity + 1):
+        acc = 0.0
+        for a, b in classes:
+            if b <= n:
+                acc += a * b * q[n - b]
+        q[n] = acc / n
+    total = sum(q)
+    if total == 0 or not math.isfinite(total):
+        # Loads large enough to overflow the unnormalized recursion:
+        # everything is effectively blocked.
+        return [1.0 for _ in classes]
+    q = [x / total for x in q]
+    out = []
+    for _a, b in classes:
+        out.append(sum(q[n] for n in range(max(0, capacity - b + 1), capacity + 1)))
+    return out
+
+
+def kaufman_roberts_aggregate(
+    capacity: int, classes: Sequence[tuple[float, int]]
+) -> float:
+    """Arrival-weighted aggregate blocking over all classes.
+
+    The probability a *random arrival* is blocked: class blocking
+    weighted by each class's share of the arrival stream (its offered
+    erlangs are rate × hold, so with a common mean hold the erlang
+    shares are the arrival shares; with per-class holds this is still
+    the standard summary statistic).
+    """
+    b = kaufman_roberts(capacity, classes)
+    total = sum(a for a, _ in classes)
+    if total == 0:
+        return 0.0
+    return sum(a / total * bk for (a, _), bk in zip(classes, b))
+
+
 @dataclass(frozen=True)
 class BlockingPoint:
     """One measured (policy, load) point of a blocking-probability sweep."""
@@ -54,6 +130,10 @@ class BlockingPoint:
     #: Erlang-B reference for the same offered load, if a circuit count
     #: is well-defined for the mix (single-class); NaN otherwise.
     erlang_b_reference: float = float("nan")
+    #: Kaufman–Roberts multi-rate reference (aggregate over classes) for
+    #: pure-CBR mixes — defined even when classes reserve different slot
+    #: counts; NaN when the mix has non-deterministic (VBR/BE) classes.
+    kaufman_roberts_reference: float = float("nan")
 
     @property
     def blocking_probability(self) -> float:
@@ -85,18 +165,24 @@ def render_blocking_table(
         "wilson 95%",
         "erlang-B ref",
     ]
+    with_kr = any(
+        not math.isnan(p.kaufman_roberts_reference) for p in points
+    )
+    if with_kr:
+        headers.append("KR ref")
     rows = []
     for p in sorted(points, key=lambda p: (p.policy, p.offered_erlangs)):
         low, high = p.wilson_95
-        rows.append(
-            [
-                p.policy,
-                p.offered_erlangs,
-                p.offered_sessions,
-                p.blocked_sessions,
-                p.blocking_probability,
-                f"[{low:.3f}, {high:.3f}]",
-                p.erlang_b_reference,
-            ]
-        )
+        row = [
+            p.policy,
+            p.offered_erlangs,
+            p.offered_sessions,
+            p.blocked_sessions,
+            p.blocking_probability,
+            f"[{low:.3f}, {high:.3f}]",
+            p.erlang_b_reference,
+        ]
+        if with_kr:
+            row.append(p.kaufman_roberts_reference)
+        rows.append(row)
     return render_table(headers, rows, title=title)

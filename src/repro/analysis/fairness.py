@@ -1,0 +1,95 @@
+"""Fairness metrics for the cross-paradigm scheduler comparison.
+
+Two complementary views of "fair":
+
+* **Jain's index** over per-flow *normalized* service
+  ``x_i = service_i / weight_i``: 1.0 when every flow gets service
+  exactly proportional to its reservation, ``1/n`` when one flow
+  monopolizes the link.  Scheduler-agnostic — it reads measured flit
+  counts (the obs QoS per-connection records) against reserved slots.
+* **Worst-case GPS lag**: how far (in cycles) any packetized flit
+  finished *behind* its exact fluid-GPS finish time
+  (:class:`repro.fq.gps.GpsFluid`).  PGPS theory bounds this by one
+  maximum packet time for true WFQ on a dedicated link; deficit schemes
+  trade a larger lag for cheaper hardware, which is exactly the
+  frontier the comparison suite plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["jain_index", "normalized_service", "worst_case_gps_lag"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 = perfectly equal shares; ``1/n`` = one flow takes everything.
+    All-zero allocations are perfectly equal, hence 1.0; negative
+    allocations are rejected (service counts cannot be negative).
+    """
+    xs = [float(x) for x in values]
+    if not xs:
+        return float("nan")
+    if any(x < 0 for x in xs):
+        raise ValueError("service allocations must be non-negative")
+    total = sum(xs)
+    if total == 0:
+        return 1.0
+    square_sum = sum(x * x for x in xs)
+    return (total * total) / (len(xs) * square_sum)
+
+
+def normalized_service(
+    service: Sequence[float], weights: Sequence[float]
+) -> list[float]:
+    """Per-flow service divided by weight (reserved slots).
+
+    The input to :func:`jain_index` for *weighted* fairness: a weighted
+    scheduler is fair when normalized service is equal across flows.
+    """
+    if len(service) != len(weights):
+        raise ValueError("service and weights must have equal length")
+    out = []
+    for s, w in zip(service, weights):
+        if w <= 0:
+            raise ValueError("weights must be positive")
+        out.append(float(s) / float(w))
+    return out
+
+
+def worst_case_gps_lag(
+    gps_finish: Mapping[int, Sequence[float]],
+    actual_finish: Mapping[int, Sequence[float]],
+) -> float:
+    """Max over all flits of ``actual_finish - gps_finish``, in cycles.
+
+    ``gps_finish`` maps flow id to the fluid reference's per-flit finish
+    times (:attr:`repro.fq.gps.GpsResult.finish_times`; Fractions are
+    fine); ``actual_finish`` maps the same flow ids to measured
+    departure cycles.  A truncated run may have measured fewer flits
+    than the reference — extra reference flits are ignored — but a flow
+    with *more* measured flits than the reference is a harness bug and
+    raises.  Negative lag means the packetized scheduler ran ahead of
+    the fluid (possible: GPS serves everyone at once, packets go one at
+    a time).
+    """
+    worst = -math.inf
+    seen_any = False
+    for fid, actual in actual_finish.items():
+        if fid not in gps_finish:
+            raise ValueError(f"flow {fid} missing from the GPS reference")
+        ref = gps_finish[fid]
+        if len(actual) > len(ref):
+            raise ValueError(
+                f"flow {fid}: {len(actual)} measured flits exceed the "
+                f"{len(ref)} the GPS reference accounts for"
+            )
+        for a, g in zip(actual, ref):
+            seen_any = True
+            lag = float(a) - float(g)
+            if lag > worst:
+                worst = lag
+    return worst if seen_any else float("nan")

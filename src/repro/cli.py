@@ -402,6 +402,51 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(fraction, default 0.05)")
     p_control.set_defaults(func=cmd_control)
 
+    p_fq = sub.add_parser(
+        "fq",
+        help="fair-queueing family: cross-paradigm QoS comparison "
+             "(SIABP vs WFQ/DRR/MCDRR) with fairness and hardware cost",
+    )
+    add_router_args(p_fq)
+    add_campaign_args(p_fq)
+    p_fq.add_argument("--demo", action="store_true",
+                      help="run the comparison at the paper 4x4/64-VC "
+                           "config and print the QoS + frontier tables")
+    p_fq.add_argument("--schemes", type=_parse_names,
+                      default=["siabp", "wfq", "drr", "mcdrr"],
+                      help="comma-separated priority schemes to compare")
+    p_fq.add_argument("--loads", type=_parse_floats,
+                      default=[0.5, 0.7, 0.85],
+                      help="comma-separated target loads (0-1)")
+    p_fq.add_argument("--seeds", type=_parse_ints, default=[0],
+                      help="comma-separated seeds (default 0)")
+    p_fq.add_argument("--arbiter", default="coa", choices=ARBITER_NAMES,
+                      help="common crossbar arbiter (default coa)")
+    p_fq.add_argument("--cycles", type=int, default=0,
+                      help="flit cycles per point (0 = 6000)")
+    p_fq.add_argument("--warmup", type=int, default=-1,
+                      help="warmup cycles per point (-1 = cycles/12)")
+    p_fq.add_argument("--json", default=None, metavar="PATH",
+                      help="write the comparison report "
+                           "(repro/fq-comparison/v1 schema)")
+    p_fq.set_defaults(func=cmd_fq)
+
+    p_sched = sub.add_parser(
+        "sched",
+        help="enumerate registered arbiters and priority schemes with "
+             "their hardware-cost models",
+    )
+    p_sched.add_argument("--list", action="store_true",
+                         help="list every registry name with modeled "
+                              "area/delay (the default action)")
+    p_sched.add_argument("--ports", type=int, default=4,
+                         help="crossbar size for arbiter costs (default 4)")
+    p_sched.add_argument("--vcs", type=int, default=64,
+                         help="VCs per link for scheduler costs (default 64)")
+    p_sched.add_argument("--levels", type=int, default=4,
+                         help="candidate levels for COA cost (default 4)")
+    p_sched.set_defaults(func=cmd_sched)
+
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(
         "artifact",
@@ -1229,6 +1274,83 @@ def cmd_control(args: argparse.Namespace) -> int:
     ]
     print(render_table(["metric", "value"], rows,
                        title=f"closed-loop control run, {cycles} cycles"))
+    return 0
+
+
+def cmd_fq(args: argparse.Namespace) -> int:
+    from .fq.experiments import (
+        comparison_plan,
+        comparison_report,
+        render_comparison_table,
+        render_frontier_table,
+        run_comparison,
+        summarize_schemes,
+    )
+
+    for scheme in args.schemes:
+        if scheme not in SCHEME_NAMES:
+            print(f"error: unknown scheme {scheme!r}", file=sys.stderr)
+            return 2
+    cycles = args.cycles or 6_000
+    warmup = args.warmup if args.warmup >= 0 else cycles // 12
+    config = _config_from_args(args)
+    plan = comparison_plan(
+        "fq-demo" if args.demo else "fq-comparison",
+        config,
+        args.schemes,
+        args.loads,
+        args.seeds,
+        control=RunControl(cycles=cycles, warmup_cycles=warmup),
+        arbiter=args.arbiter,
+    )
+    campaign, points = run_comparison(
+        plan, jobs=_resolve_jobs(args.jobs), store=_open_store(args)
+    )
+    summaries = summarize_schemes(points, config)
+    print(render_comparison_table(
+        summaries,
+        title=f"cross-paradigm QoS comparison on {args.arbiter} — "
+              f"{config.num_ports}x{config.num_ports}, "
+              f"{config.vcs_per_link} VCs, {cycles} cycles "
+              f"({campaign.hits} cached / {len(campaign.outcomes)} points)",
+    ))
+    print()
+    print(render_frontier_table(
+        summaries, title="delivered QoS vs link-scheduler hardware cost"
+    ))
+    if args.json:
+        report = comparison_report(campaign, points, config)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True, allow_nan=False)
+            fh.write("\n")
+        print(f"report written to {args.json}")
+    return 0
+
+
+def cmd_sched(args: argparse.Namespace) -> int:
+    rows = []
+    for name in ARBITER_NAMES:
+        cost = hwcost.arbiter_cost(name, args.ports, args.levels)
+        if cost is None:
+            rows.append(["arbiter", name, "n/a", "n/a", "n/a"])
+        else:
+            rows.append([
+                "arbiter", name, f"{cost.area_ge:,.0f}",
+                f"{cost.delay_levels:.1f}", "n/a",
+            ])
+    for name in SCHEME_NAMES:
+        update = hwcost.scheme_cost(name)
+        link = hwcost.link_scheduler_cost(name, args.vcs)
+        rows.append([
+            "scheme", name, f"{update.area_ge:,.0f}",
+            f"{update.delay_levels:.1f}", f"{link.area_ge:,.0f}",
+        ])
+    print(render_table(
+        ["kind", "name", "area GE", "delay lvl", f"link GE ({args.vcs} VCs)"],
+        rows,
+        title=f"registered algorithms and hardware models "
+              f"({args.ports}x{args.ports} crossbar)",
+    ))
     return 0
 
 

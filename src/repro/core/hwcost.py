@@ -22,9 +22,19 @@ __all__ = [
     "priority_update_cost",
     "iabp_cost",
     "siabp_cost",
+    "static_cost",
+    "fifo_cost",
+    "wfq_cost",
+    "drr_cost",
+    "mcdrr_cost",
+    "scheme_cost",
+    "link_scheduler_cost",
     "comparator_tree_cost",
     "coa_cost",
     "wfa_cost",
+    "islip_cost",
+    "pim_cost",
+    "arbiter_cost",
 ]
 
 
@@ -104,6 +114,11 @@ def _register(bits: int) -> BlockCost:
     return BlockCost(f"reg{bits}", 6.0 * bits, 1.0)
 
 
+def _adder(bits: int) -> BlockCost:
+    """Ripple-carry adder: ~6 GE (one full adder) per bit."""
+    return BlockCost(f"add{bits}", 6.0 * bits, 2.0 + bits / 4.0)
+
+
 # ----------------------------------------------------------------------
 # Per-scheme costs
 # ----------------------------------------------------------------------
@@ -133,13 +148,118 @@ def siabp_cost(delay_bits: int = 20, priority_bits: int = 24) -> BlockCost:
     return BlockCost("siabp", cost.area_ge, cost.delay_levels)
 
 
+def static_cost(priority_bits: int = 24) -> BlockCost:
+    """Per-VC static priority: the reservation register, nothing else."""
+    cost = _register(priority_bits)
+    return BlockCost("static", cost.area_ge, cost.delay_levels)
+
+
+def fifo_cost(delay_bits: int = 20) -> BlockCost:
+    """Per-VC FIFO priority: just the queuing-delay counter."""
+    cost = _counter(delay_bits)
+    return BlockCost("fifo", cost.area_ge, cost.delay_levels)
+
+
+# ----------------------------------------------------------------------
+# Fair-queueing family (repro.fq) — per-VC update logic
+# ----------------------------------------------------------------------
+
+
+def wfq_cost(tag_bits: int = 32, priority_bits: int = 24) -> BlockCost:
+    """Per-VC WFQ virtual-time update.
+
+    A served flit advances the port's virtual clock and rewrites the
+    VC's finish tag: ``tag = max(v_time, last_finish) + increment``.
+    Per VC that is a ``tag_bits`` magnitude comparator (the max), a
+    ``tag_bits`` adder, and two tag registers (last finish + the
+    setup-time per-flit increment ``scale // weight``, computed once at
+    connection setup, so no divider sits in the cycle path — the whole
+    point of tagging over IABP's per-cycle division).
+    """
+    cost = (
+        _comparator(tag_bits)
+        + _adder(tag_bits)
+        + _register(tag_bits).scaled(2, f"reg{tag_bits}x2")
+    )
+    return BlockCost("wfq", cost.area_ge, cost.delay_levels)
+
+
+def drr_cost(deficit_bits: int = 16) -> BlockCost:
+    """Per-VC DRR update: quantum adder + deficit register + sign test.
+
+    On service, the deficit register either decrements or adds
+    ``quantum - 1`` — one ``deficit_bits`` adder — and a zero/sign test
+    (modeled as a comparator) decides whether the ring front rotates.
+    The quantum itself is a setup-time register.
+    """
+    cost = (
+        _adder(deficit_bits)
+        + _comparator(deficit_bits)
+        + _register(deficit_bits).scaled(2, f"reg{deficit_bits}x2")
+    )
+    return BlockCost("drr", cost.area_ge, cost.delay_levels)
+
+
+def mcdrr_cost(deficit_bits: int = 16, num_ports: int = 4) -> BlockCost:
+    """Per-VC MCDRR update: DRR plus the amortized channel rings.
+
+    The outer output-channel ring pointer (``log2(num_ports)`` bits) and
+    the per-channel inner pointers exist once per input *link*; their
+    area is amortized over the link's VCs, which at MMR geometries
+    (64 VCs) is small next to the per-VC deficit logic, so we charge one
+    extra pointer register and a ring mux per VC as a conservative
+    envelope.
+    """
+    import math
+
+    ptr_bits = max(1, math.ceil(math.log2(max(num_ports, 2))))
+    base = drr_cost(deficit_bits)
+    ring = _register(ptr_bits) + BlockCost(f"mux{ptr_bits}", 3.0 * ptr_bits, 1.0)
+    cost = BlockCost(
+        "mcdrr", base.area_ge + ring.area_ge, base.delay_levels + 1.0
+    )
+    return cost
+
+
 def priority_update_cost(scheme: str, **kwargs: int) -> BlockCost:
-    """Dispatch by scheme name ('iabp' or 'siabp')."""
-    if scheme == "iabp":
-        return iabp_cost(**kwargs)
-    if scheme == "siabp":
-        return siabp_cost(**kwargs)
-    raise ValueError(f"no hardware model for scheme {scheme!r}")
+    """Per-VC priority/state update logic, dispatched by registry name."""
+    factories = {
+        "iabp": iabp_cost,
+        "siabp": siabp_cost,
+        "static": static_cost,
+        "fifo": fifo_cost,
+        "wfq": wfq_cost,
+        "drr": drr_cost,
+        "mcdrr": mcdrr_cost,
+    }
+    try:
+        factory = factories[scheme]
+    except KeyError:
+        raise ValueError(f"no hardware model for scheme {scheme!r}") from None
+    return factory(**kwargs)
+
+
+#: Alias matching the arbiter-side dispatcher's naming.
+scheme_cost = priority_update_cost
+
+
+def link_scheduler_cost(
+    scheme: str, vcs_per_link: int, tag_bits: int = 32, **kwargs: int
+) -> BlockCost:
+    """One input link's whole scheduler: per-VC update × VCs + rank tree.
+
+    Every scheme, biased or fair, ends in the same max-finding
+    comparator tree over the link's VCs (finish tags for WFQ, priority
+    keys otherwise), so the cross-paradigm frontier compares
+    ``update.scaled(vcs) + comparator_tree`` like for like.
+    """
+    update = priority_update_cost(scheme, **kwargs)
+    tree = comparator_tree_cost(vcs_per_link, tag_bits)
+    return BlockCost(
+        f"link-sched-{scheme}",
+        update.area_ge * vcs_per_link + tree.area_ge,
+        update.delay_levels + tree.delay_levels,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -190,3 +310,57 @@ def coa_cost(num_ports: int, levels: int, priority_bits: int = 24) -> BlockCost:
 def wfa_cost(num_ports: int) -> BlockCost:
     """WFA array: one ~6-GE cell per crosspoint, wave crosses 2N-1 cells."""
     return BlockCost("wfa", 6.0 * num_ports * num_ports, 2.0 * num_ports - 1.0)
+
+
+def islip_cost(num_ports: int, iterations: int | None = None) -> BlockCost:
+    """iSLIP: grant + accept round-robin arbiters, ``iterations`` passes.
+
+    2N programmable priority encoders of N request bits plus their
+    pointer registers; delay is the grant-accept pair serialized per
+    iteration (default ``ceil(log2 N)`` iterations, McKeown's
+    convergence bound).
+    """
+    import math
+
+    if iterations is None:
+        iterations = max(1, math.ceil(math.log2(max(num_ports, 2))))
+    ppe = _priority_encoder(num_ports) + _register(
+        max(1, math.ceil(math.log2(max(num_ports, 2))))
+    )
+    area = 2.0 * num_ports * ppe.area_ge
+    delay = 2.0 * ppe.delay_levels * iterations
+    return BlockCost("islip", area, delay)
+
+
+def pim_cost(num_ports: int, iterations: int | None = None) -> BlockCost:
+    """PIM: like iSLIP but random selection — add an LFSR per arbiter."""
+    import math
+
+    if iterations is None:
+        iterations = max(1, math.ceil(math.log2(max(num_ports, 2))))
+    lfsr = _register(max(2, math.ceil(math.log2(max(num_ports, 2))) + 1))
+    base = islip_cost(num_ports, iterations)
+    return BlockCost(
+        "pim", base.area_ge + 2.0 * num_ports * lfsr.area_ge, base.delay_levels
+    )
+
+
+def arbiter_cost(
+    name: str, num_ports: int, levels: int, priority_bits: int = 24
+) -> BlockCost | None:
+    """Gate-count model for a registry arbiter name; None if unmodeled.
+
+    Registry variants map onto their base model (``coa-level-only`` →
+    ``coa``, ``islip-1`` → one iteration, ``*-multi`` → the base): the
+    variants change selection policy, not datapath structure.
+    """
+    if name.startswith("coa"):
+        return coa_cost(num_ports, levels, priority_bits)
+    if name.startswith("wfa"):
+        return wfa_cost(num_ports)
+    if name.startswith("islip"):
+        return islip_cost(num_ports, 1 if name == "islip-1" else None)
+    if name.startswith("pim"):
+        return pim_cost(num_ports, 1 if name == "pim-1" else None)
+    # greedy / random: software baselines with no hardware claim.
+    return None

@@ -32,6 +32,11 @@ Three selection entry points share that ranking rule:
   per-cycle Python object allocation (the hot path).
 
 The differential tests pin all three to identical candidates.
+
+Stateful schemes (the fair-queueing family in :mod:`repro.fq`) are
+ranked through ``scheme.keys()`` / ``scheme.keys_port()`` instead of
+``compute``; they produce int64 keys in ``[1, 2**62)`` so the same tier
+folding, tie-breaks and CandidateBuffer fast path apply unchanged.
 """
 
 from __future__ import annotations
@@ -82,6 +87,10 @@ class LinkScheduler:
         # Per-port accumulation lists for the sparse integer fill; the
         # list objects persist, only their contents turn over per cycle.
         self._per_port: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+        # Occupancy scratch for stateful schemes on the sparse path
+        # (their keys() wants the boolean head-occupancy matrix).
+        self._occ_scratch = np.zeros((n, v), dtype=bool)
+        self._stateful = bool(getattr(scheme, "stateful", False))
         # Python-list mirrors of the (slow-changing) connection arrays,
         # reused across cycles while the caller-supplied state_version is
         # unchanged — connection state only moves on setup/teardown.
@@ -166,8 +175,13 @@ class LinkScheduler:
         eligible = np.flatnonzero(occ > 0)
         if eligible.size == 0:
             return []
-        delay = now - heads.arrival_cycle[eligible]
-        prio = self.scheme.compute(slots[eligible], delay)
+        if self._stateful:
+            prio = np.asarray(
+                self.scheme.keys_port(port, occ > 0), dtype=np.int64
+            )[eligible]
+        else:
+            delay = now - heads.arrival_cycle[eligible]
+            prio = self.scheme.compute(slots[eligible], delay)
         c = min(self.config.candidate_levels, eligible.size)
         reserved = None if tier_scale is None else tier_scale[eligible] > 1.0
 
@@ -264,8 +278,11 @@ class LinkScheduler:
         n, _v = occ.shape
         c = self.config.candidate_levels
         occupied = occ > 0
-        delay = np.where(occupied, now - heads.arrival_cycle, 0)
-        prio = self.scheme.compute(slots, delay)
+        if self._stateful:
+            prio = self.scheme.keys(occupied)
+        else:
+            delay = np.where(occupied, now - heads.arrival_cycle, 0)
+            prio = self.scheme.compute(slots, delay)
         counts = np.minimum(occupied.sum(axis=1), c)
         reserved = None if tier_scale is None else tier_scale > 1.0
 
@@ -439,31 +456,64 @@ class LinkScheduler:
             if state_version is not None:
                 self._mirror = (slot_l, dest_l, rsv_l)
                 self._mirror_version = state_version
-        key_fn = self.scheme.key_scalar
         per_port = self._per_port
         for lst in per_port:
             lst.clear()
         tier_bit = 1 << TIER_SHIFT
         max_key = MAX_INTEGER_KEY
-        m = occ_mask
-        while m:
-            low = m & -m
-            f = low.bit_length() - 1
-            m ^= low
-            key = key_fn(slot_l[f], now - heads_q[f][0])
-            if key >= max_key:
-                raise OverflowError(
-                    "integer priority key >= 2**62: no headroom left for "
-                    "the reserved-tier bit in the int64 sort key"
-                )
-            if key < 0:
-                raise ValueError("integer priority keys must be non-negative")
-            # Fold the tier bit exactly like _folded_int_keys: reserved
-            # candidates with a non-zero key jump above every best-effort
-            # key; a zero key stays zero (multiply semantics).
-            if rsv_l is not None and key and rsv_l[f]:
-                key += tier_bit
-            per_port[f // v].append((key, f % v, dest_l[f]))
+        if self._stateful:
+            # Stateful schemes rank on scheduler state, not (slots,
+            # delay): reconstruct the occupancy matrix from the mask and
+            # ask the scheme for the whole cycle's keys in one call.
+            occ_arr = self._occ_scratch
+            occ_arr[:] = False
+            flats: list[int] = []
+            m = occ_mask
+            while m:
+                low = m & -m
+                f = low.bit_length() - 1
+                m ^= low
+                flats.append(f)
+                occ_arr[f // v, f % v] = True
+            key_l = self.scheme.keys(occ_arr).ravel().tolist()
+            for f in flats:
+                key = key_l[f]
+                if key >= max_key:
+                    raise OverflowError(
+                        "integer priority key >= 2**62: no headroom left "
+                        "for the reserved-tier bit in the int64 sort key"
+                    )
+                if key < 0:
+                    raise ValueError(
+                        "integer priority keys must be non-negative"
+                    )
+                if rsv_l is not None and key and rsv_l[f]:
+                    key += tier_bit
+                per_port[f // v].append((key, f % v, dest_l[f]))
+        else:
+            key_fn = self.scheme.key_scalar
+            m = occ_mask
+            while m:
+                low = m & -m
+                f = low.bit_length() - 1
+                m ^= low
+                key = key_fn(slot_l[f], now - heads_q[f][0])
+                if key >= max_key:
+                    raise OverflowError(
+                        "integer priority key >= 2**62: no headroom left "
+                        "for the reserved-tier bit in the int64 sort key"
+                    )
+                if key < 0:
+                    raise ValueError(
+                        "integer priority keys must be non-negative"
+                    )
+                # Fold the tier bit exactly like _folded_int_keys:
+                # reserved candidates with a non-zero key jump above
+                # every best-effort key; a zero key stays zero (multiply
+                # semantics).
+                if rsv_l is not None and key and rsv_l[f]:
+                    key += tier_bit
+                per_port[f // v].append((key, f % v, dest_l[f]))
 
         for p, cands in enumerate(per_port):
             if len(cands) > 1:

@@ -86,12 +86,34 @@ def bit_length(values: np.ndarray) -> np.ndarray:
 
 
 class PriorityScheme(abc.ABC):
-    """Maps (reserved slots, queuing delay) to a biased priority."""
+    """Maps (reserved slots, queuing delay) to a biased priority.
+
+    Two families share this interface:
+
+    * **Stateless** schemes (the paper's IABP/SIABP and the static/fifo
+      baselines) are pure maps ``(slots, delay) -> priority`` evaluated
+      through :meth:`compute` / :meth:`key_scalar`.
+    * **Stateful** schemes (the fair-queueing family in
+      :mod:`repro.fq`) rank on mutable per-VC scheduler state — virtual
+      clocks, deficit counters — instead.  They set
+      :attr:`stateful` ``= True``, produce this cycle's ranking keys via
+      :meth:`keys` / :meth:`keys_port`, and receive the connection /
+      service lifecycle through the ``on_setup`` / ``on_teardown`` /
+      ``on_service`` hooks, which :class:`~repro.router.router.MMRouter`
+      (and every inlined cycle loop) dispatches.  Stateful schemes must
+      be ``integer_valued`` and emit keys in ``[1, 2**62)`` for occupied
+      VCs so the reserved-tier folding of the link scheduler applies
+      unchanged.
+    """
 
     #: Registry/display name; subclasses override.
     name: str = "scheme"
     #: True when priorities are exact integers (hardware-realizable).
     integer_valued: bool = False
+    #: True when the ranking depends on mutable scheduler state; the
+    #: router then drives the lifecycle hooks below and ranks through
+    #: :meth:`keys` / :meth:`keys_port` instead of :meth:`compute`.
+    stateful: bool = False
 
     @abc.abstractmethod
     def compute(self, slots: np.ndarray, delay: np.ndarray) -> np.ndarray:
@@ -129,6 +151,44 @@ class PriorityScheme(abc.ABC):
         """
         raise NotImplementedError(
             f"{type(self).__name__} is not integer-valued"
+        )
+
+    # ------------------------------------------------------------------
+    # Stateful-scheme protocol (no-ops for the stateless family)
+    # ------------------------------------------------------------------
+
+    def on_setup(
+        self, port: int, vc: int, out_port: int, slots: int, reserved: bool
+    ) -> None:
+        """A connection was established on ``(port, vc)``."""
+
+    def on_teardown(self, port: int, vc: int) -> None:
+        """The connection on ``(port, vc)`` was released (or torn down
+        forcibly by fault recovery); per-VC scheduler state must reset."""
+
+    def on_service(self, port: int, vc: int, out_port: int, now: int) -> None:
+        """One head flit of ``(port, vc)`` crossed the crossbar at ``now``."""
+
+    def keys_port(self, port: int, occupied: np.ndarray) -> np.ndarray:
+        """This cycle's int64 ranking keys for one input port.
+
+        ``occupied`` is the (vcs,) boolean head-occupancy row.  Keys of
+        occupied VCs must lie in ``[1, 2**62)``; unoccupied entries are
+        ignored by the caller.  May mutate lazy per-head state (finish
+        tags) but must be idempotent between services — the differential
+        tests rank the same cycle through several entry points.
+        """
+        raise NotImplementedError(f"{type(self).__name__} is not stateful")
+
+    def keys(self, occupied: np.ndarray) -> np.ndarray:
+        """All ports' ranking keys: (ports, vcs) int64.
+
+        Default: stack :meth:`keys_port` row by row.  Per-port state is
+        independent in every scheme shipped here, so ranking one port
+        never disturbs another's keys.
+        """
+        return np.stack(
+            [self.keys_port(p, occupied[p]) for p in range(occupied.shape[0])]
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

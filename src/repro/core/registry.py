@@ -16,6 +16,7 @@ from .pim import PIM
 from .priorities import FIFOPriority, IABP, PriorityScheme, SIABP, StaticPriority
 from .rr import GreedyPriorityMatcher, RandomMatcher
 from .wfa import WaveFrontArbiter
+from ..fq.schemes import DRR, MCDRR, WFQ
 
 if TYPE_CHECKING:  # type-only: avoids a core <-> router import cycle
     from ..router.config import RouterConfig
@@ -61,6 +62,10 @@ _SCHEMES: dict[str, Callable[[RouterConfig], PriorityScheme]] = {
     "iabp": lambda cfg: IABP(cfg.round_cycles),
     "static": lambda cfg: StaticPriority(),
     "fifo": lambda cfg: FIFOPriority(),
+    # Fair-queueing family (stateful; see repro.fq.schemes).
+    "wfq": lambda cfg: WFQ(cfg.num_ports, cfg.vcs_per_link),
+    "drr": lambda cfg: DRR(cfg.num_ports, cfg.vcs_per_link),
+    "mcdrr": lambda cfg: MCDRR(cfg.num_ports, cfg.vcs_per_link),
 }
 
 #: Registered arbiter names, in registration order.

@@ -143,6 +143,7 @@ class FaultySingleRouterSim(SingleRouterSim):
         credits = router.credits
         vc_memory = router.vc_memory
         occupancy = vc_memory.occupancy
+        scheme_stateful = router.scheme_stateful
         pointers = [0] * config.num_ports
         counters_reset = control.warmup_cycles == 0
         if counters_reset:
@@ -206,6 +207,8 @@ class FaultySingleRouterSim(SingleRouterSim):
             candidates = self._filter_candidates(router._link_schedule(now))
             grants = router.arbiter.match(candidates, arb_rng)
             departures = router.crossbar.transfer(grants, vc_memory, now)
+            if scheme_stateful and departures:
+                router.notify_service(departures, now)
             for dep in departures:
                 fate = self.injector.credit_fate(now, dep.in_port, dep.vc)
                 if fate == CREDIT_LOST:
@@ -273,6 +276,7 @@ class FaultySingleRouterSim(SingleRouterSim):
         credits = router.credits
         vc_memory = router.vc_memory
         occupancy = vc_memory.occupancy
+        scheme_stateful = router.scheme_stateful
         pointers = [0] * config.num_ports
         counters_reset = control.warmup_cycles == 0
         if counters_reset:
@@ -338,6 +342,8 @@ class FaultySingleRouterSim(SingleRouterSim):
             candidates = self._filter_candidates(router._link_schedule(now))
             grants = router.arbiter.match(candidates, arb_rng)
             departures = router.crossbar.transfer(grants, vc_memory, now)
+            if scheme_stateful and departures:
+                router.notify_service(departures, now)
             for dep in departures:
                 fate = self.injector.credit_fate(now, dep.in_port, dep.vc)
                 if fate == CREDIT_LOST:

@@ -1,0 +1,37 @@
+"""Fair-queueing scheduler family: the cross-paradigm baselines.
+
+The paper evaluates its biased-priority schemes (IABP/SIABP + COA) only
+against priority-blind matchers (WFA/iSLIP/PIM).  This package adds the
+dominant QoS-scheduling lineage — fair queueing — to the MMR:
+
+* :class:`~repro.fq.gps.GpsFluid` — the exact fluid GPS reference
+  (per-flow service curves computed analytically, the fairness ground
+  truth; never run per-cycle).
+* :class:`~repro.fq.schemes.WFQ` — packetized GPS: VCs ranked by
+  virtual finish tag under a start-time virtual clock.
+* :class:`~repro.fq.schemes.DRR` — deficit round-robin with per-VC
+  quantum/deficit counters (Shreedhar–Varghese).
+* :class:`~repro.fq.schemes.MCDRR` — multi-channel DRR: deficit service
+  round-robined across the crossbar's output channels (PAPERS.md:
+  arXiv:1308.5092 / arXiv:1611.08647).
+
+All three packetized schemes register in :mod:`repro.core.registry`
+(names ``wfq`` / ``drr`` / ``mcdrr``), so every existing experiment,
+campaign, fault, session, and control harness can name them.  The
+comparison suite lives in :mod:`repro.fq.experiments` (imported lazily —
+it pulls in the campaign machinery) and behind ``python -m repro fq``.
+"""
+
+from .gps import FluidFlow, GpsFluid, GpsResult
+from .schemes import DRR, MCDRR, WFQ, WFQ_HORIZON, WFQ_SCALE
+
+__all__ = [
+    "FluidFlow",
+    "GpsFluid",
+    "GpsResult",
+    "WFQ",
+    "DRR",
+    "MCDRR",
+    "WFQ_SCALE",
+    "WFQ_HORIZON",
+]

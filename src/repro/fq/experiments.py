@@ -1,0 +1,430 @@
+"""Cross-paradigm QoS comparison: biased-priority vs fair-queueing.
+
+The paper's figures compare arbiters under one priority paradigm
+(SIABP biasing).  This module reruns the fig-5/8/9-style sweeps with
+the *scheduling paradigm* as the independent variable — SIABP-COA
+against the fair-queueing family (WFQ, DRR, MCDRR) on the same COA
+crossbar arbiter — and reduces each run to delivered QoS (delay,
+jitter/deadline violations, utilization, Jain fairness over reserved
+connections) plus the first-principles hardware cost of the link
+scheduler (:func:`repro.core.hwcost.link_scheduler_cost`).  The last
+table is the delivered-QoS-vs-hardware-cost frontier: what one buys,
+in gates, for each point of fairness.
+
+Everything executes through :func:`repro.campaign.run_campaign` with
+telemetry enabled, so points are content-hash cached and a parallel
+run is byte-identical to a serial one.
+
+Imported lazily by ``repro.fq`` users (this module pulls in
+``repro.campaign``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..analysis.fairness import jain_index, normalized_service
+from ..analysis.tables import render_table
+from ..campaign.executor import CampaignResult, run_campaign
+from ..campaign.plan import CampaignPlan, PointSpec, WorkloadSpec
+from ..campaign.store import ResultStore
+from ..core.hwcost import link_scheduler_cost
+from ..obs.export import TelemetryConfig
+from ..router.config import RouterConfig
+from ..sim.engine import RunControl
+
+__all__ = [
+    "FQ_REPORT_SCHEMA",
+    "COMPARISON_SCHEMES",
+    "FqPoint",
+    "SchemeSummary",
+    "comparison_plan",
+    "run_comparison",
+    "reduce_comparison",
+    "summarize_schemes",
+    "render_comparison_table",
+    "render_frontier_table",
+    "comparison_report",
+    "validate_fq_report",
+]
+
+#: Versioned schema key stamped into every JSON report (CI validates it).
+FQ_REPORT_SCHEMA = "repro/fq-comparison/v1"
+
+#: The cross-paradigm line-up: the paper's biased-priority scheme and
+#: the three fair-queueing schemes, all on the same COA arbiter.
+COMPARISON_SCHEMES = ("siabp", "wfq", "drr", "mcdrr")
+
+
+def comparison_plan(
+    name: str,
+    config: RouterConfig,
+    schemes: Sequence[str] = COMPARISON_SCHEMES,
+    loads: Sequence[float] = (0.5, 0.7, 0.85),
+    seeds: Sequence[int] = (0,),
+    *,
+    control: RunControl = RunControl(cycles=6_000, warmup_cycles=500),
+    workload: WorkloadSpec | None = None,
+    arbiter: str = "coa",
+) -> CampaignPlan:
+    """Scheme × load × seed grid, all points on one arbiter.
+
+    Schemes at the same (load, seed) share identical workloads — the
+    fairness rule every sweep in this repo follows — so any delivered-
+    QoS difference is attributable to the scheduling paradigm alone.
+    """
+    if not schemes or not loads or not seeds:
+        raise ValueError("need at least one scheme, load, and seed")
+    spec = workload if workload is not None else WorkloadSpec.cbr()
+    points = tuple(
+        PointSpec(
+            config=config,
+            arbiter=arbiter,
+            scheme=scheme,
+            target_load=load,
+            seed=seed,
+            workload=spec,
+            cycles=control.cycles,
+            warmup_cycles=control.warmup_cycles,
+        )
+        for scheme in schemes
+        for load in loads
+        for seed in seeds
+    )
+    return CampaignPlan(name=name, points=points)
+
+
+@dataclass(frozen=True)
+class FqPoint:
+    """Delivered QoS of one (scheme, load, seed) point."""
+
+    scheme: str
+    target_load: float
+    offered_load: float
+    seed: int
+    delay_us: float
+    delay_p99_us: float
+    utilization: float
+    throughput: float
+    #: Jain's index over ``flits / avg_slots`` of *reserved* (CBR/VBR)
+    #: connections — 1.0 means service exactly proportional to every
+    #: reservation.  NaN when the point had no reserved connections.
+    jain: float
+    deadline_violations: int
+    jitter_violations: int
+
+
+def _jain_from_telemetry(payload: Mapping[str, Any]) -> float:
+    """Weighted-fairness index from a telemetry payload's QoS records."""
+    records = payload.get("qos", {}).get("connections", [])
+    service = []
+    weights = []
+    for rec in records:
+        if not rec.get("reserved"):
+            continue
+        service.append(float(rec["flits"]))
+        weights.append(float(rec["avg_slots"]))
+    if not service:
+        return float("nan")
+    return jain_index(normalized_service(service, weights))
+
+
+def _violations_from_telemetry(payload: Mapping[str, Any]) -> tuple[int, int]:
+    deadline = jitter = 0
+    for agg in payload.get("qos", {}).get("classes", {}).values():
+        deadline += int(agg.get("violations", 0))
+        jitter += int(agg.get("jitter_violations", 0))
+    return deadline, jitter
+
+
+def run_comparison(
+    plan: CampaignPlan,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress=None,
+    telemetry: TelemetryConfig | None = None,
+) -> tuple[CampaignResult, list[FqPoint]]:
+    """Execute a comparison plan (telemetry on) and reduce it."""
+    result = run_campaign(
+        plan,
+        jobs=jobs,
+        store=store,
+        progress=progress,
+        telemetry=telemetry if telemetry is not None else TelemetryConfig(),
+    )
+    return result, reduce_comparison(result)
+
+
+def reduce_comparison(result: CampaignResult) -> list[FqPoint]:
+    """One :class:`FqPoint` per campaign outcome (telemetry required)."""
+    points = []
+    for outcome in result.outcomes:
+        if outcome.telemetry is None:
+            raise ValueError(
+                f"outcome {outcome.spec.describe()} has no telemetry payload; "
+                "run the campaign with telemetry enabled"
+            )
+        r = outcome.result
+        deadline, jitter = _violations_from_telemetry(outcome.telemetry)
+        points.append(
+            FqPoint(
+                scheme=outcome.spec.scheme,
+                target_load=outcome.spec.target_load,
+                offered_load=r.offered_load,
+                seed=outcome.spec.seed,
+                delay_us=r.flit_delay_us.get("overall", float("nan")),
+                delay_p99_us=r.flit_delay_p99_us.get("overall", float("nan")),
+                utilization=r.utilization,
+                throughput=r.throughput,
+                jain=_jain_from_telemetry(outcome.telemetry),
+                deadline_violations=deadline,
+                jitter_violations=jitter,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class SchemeSummary:
+    """One scheme's QoS aggregate over all its loads/seeds, plus cost."""
+
+    scheme: str
+    points: int
+    delay_us: float
+    delay_p99_us: float
+    utilization: float
+    jain: float
+    deadline_violations: int
+    jitter_violations: int
+    hw_area_ge: float
+    hw_delay_levels: float
+
+
+def _finite_mean(values: Sequence[float]) -> float:
+    finite = [v for v in values if math.isfinite(v)]
+    return sum(finite) / len(finite) if finite else float("nan")
+
+
+def summarize_schemes(
+    points: Sequence[FqPoint], config: RouterConfig
+) -> list[SchemeSummary]:
+    """Aggregate points per scheme and attach the link-scheduler cost.
+
+    Order follows first appearance in ``points`` (i.e. plan order).  The
+    hardware figure is one input link's scheduler — per-VC update logic
+    × VC count plus the rank comparator tree — which is the part that
+    differs across paradigms; the crossbar arbiter is common to all.
+    """
+    order: list[str] = []
+    grouped: dict[str, list[FqPoint]] = {}
+    for p in points:
+        if p.scheme not in grouped:
+            order.append(p.scheme)
+        grouped.setdefault(p.scheme, []).append(p)
+    out = []
+    for scheme in order:
+        group = grouped[scheme]
+        hw = link_scheduler_cost(scheme, config.vcs_per_link)
+        out.append(
+            SchemeSummary(
+                scheme=scheme,
+                points=len(group),
+                delay_us=_finite_mean([p.delay_us for p in group]),
+                delay_p99_us=_finite_mean([p.delay_p99_us for p in group]),
+                utilization=_finite_mean([p.utilization for p in group]),
+                jain=_finite_mean([p.jain for p in group]),
+                deadline_violations=sum(p.deadline_violations for p in group),
+                jitter_violations=sum(p.jitter_violations for p in group),
+                hw_area_ge=hw.area_ge,
+                hw_delay_levels=hw.delay_levels,
+            )
+        )
+    return out
+
+
+def render_comparison_table(
+    summaries: Sequence[SchemeSummary], title: str | None = None
+) -> str:
+    """The delay/jitter/fairness/hwcost table, one row per scheme."""
+    if not summaries:
+        raise ValueError("no scheme summaries to render")
+    rows = [
+        [
+            s.scheme,
+            f"{s.delay_us:.2f}",
+            f"{s.delay_p99_us:.2f}",
+            f"{s.utilization:.1%}",
+            "n/a" if math.isnan(s.jain) else f"{s.jain:.4f}",
+            s.deadline_violations,
+            s.jitter_violations,
+            f"{s.hw_area_ge:,.0f}",
+            f"{s.hw_delay_levels:.1f}",
+        ]
+        for s in summaries
+    ]
+    return render_table(
+        ["scheme", "delay us", "p99 us", "util", "jain",
+         "deadline viol", "jitter viol", "area GE", "delay lvl"],
+        rows,
+        title=title,
+    )
+
+
+def render_frontier_table(
+    summaries: Sequence[SchemeSummary], title: str | None = None
+) -> str:
+    """Delivered-QoS-vs-hardware-cost frontier, cheapest scheme first.
+
+    A scheme is *dominated* when some other scheme is at least as fair
+    and no more expensive — those rows are marked, the rest form the
+    Pareto frontier a designer actually chooses from.
+    """
+    if not summaries:
+        raise ValueError("no scheme summaries to render")
+    ordered = sorted(summaries, key=lambda s: (s.hw_area_ge, s.scheme))
+
+    def fairness(s: SchemeSummary) -> float:
+        return -1.0 if math.isnan(s.jain) else s.jain
+
+    rows = []
+    for s in ordered:
+        dominated = any(
+            o is not s
+            and o.hw_area_ge <= s.hw_area_ge
+            and fairness(o) >= fairness(s)
+            and (o.hw_area_ge < s.hw_area_ge or fairness(o) > fairness(s))
+            for o in ordered
+        )
+        rows.append([
+            s.scheme,
+            f"{s.hw_area_ge:,.0f}",
+            "n/a" if math.isnan(s.jain) else f"{s.jain:.4f}",
+            f"{s.delay_us:.2f}",
+            s.deadline_violations,
+            "dominated" if dominated else "frontier",
+        ])
+    return render_table(
+        ["scheme", "area GE", "jain", "delay us", "deadline viol", "pareto"],
+        rows,
+        title=title,
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON report (the fq-smoke CI artifact)
+# ----------------------------------------------------------------------
+
+
+def comparison_report(
+    campaign: CampaignResult,
+    points: Sequence[FqPoint],
+    config: RouterConfig,
+) -> dict[str, Any]:
+    """Strict-JSON report of a comparison run (schema-stamped)."""
+
+    def safe(value: float) -> float | None:
+        return value if math.isfinite(value) else None
+
+    return {
+        "schema": FQ_REPORT_SCHEMA,
+        "config": {
+            "num_ports": config.num_ports,
+            "vcs_per_link": config.vcs_per_link,
+            "candidate_levels": config.candidate_levels,
+        },
+        "campaign": {
+            "name": campaign.plan.name,
+            "points": len(campaign.outcomes),
+            "hits": campaign.hits,
+            "misses": campaign.misses,
+        },
+        "points": [
+            {
+                "scheme": p.scheme,
+                "target_load": p.target_load,
+                "offered_load": safe(p.offered_load),
+                "seed": p.seed,
+                "delay_us": safe(p.delay_us),
+                "delay_p99_us": safe(p.delay_p99_us),
+                "utilization": safe(p.utilization),
+                "throughput": safe(p.throughput),
+                "jain_index": safe(p.jain),
+                "deadline_violations": p.deadline_violations,
+                "jitter_violations": p.jitter_violations,
+            }
+            for p in points
+        ],
+        "schemes": [
+            {
+                "scheme": s.scheme,
+                "points": s.points,
+                "delay_us": safe(s.delay_us),
+                "delay_p99_us": safe(s.delay_p99_us),
+                "utilization": safe(s.utilization),
+                "jain_index": safe(s.jain),
+                "deadline_violations": s.deadline_violations,
+                "jitter_violations": s.jitter_violations,
+                "hw_area_ge": s.hw_area_ge,
+                "hw_delay_levels": s.hw_delay_levels,
+            }
+            for s in summarize_schemes(points, config)
+        ],
+    }
+
+
+_POINT_KEYS = {
+    "scheme", "target_load", "offered_load", "seed", "delay_us",
+    "delay_p99_us", "utilization", "throughput", "jain_index",
+    "deadline_violations", "jitter_violations",
+}
+_SCHEME_KEYS = {
+    "scheme", "points", "delay_us", "delay_p99_us", "utilization",
+    "jain_index", "deadline_violations", "jitter_violations",
+    "hw_area_ge", "hw_delay_levels",
+}
+
+
+def validate_fq_report(data: Any) -> list[str]:
+    """Schema problems in a comparison report; empty list means valid."""
+    problems = []
+    if not isinstance(data, dict):
+        return ["report is not a JSON object"]
+    if data.get("schema") != FQ_REPORT_SCHEMA:
+        problems.append(
+            f"schema is {data.get('schema')!r}, want {FQ_REPORT_SCHEMA!r}"
+        )
+    for section, keys in (("points", _POINT_KEYS), ("schemes", _SCHEME_KEYS)):
+        entries = data.get(section)
+        if not isinstance(entries, list) or not entries:
+            problems.append(f"{section!r} must be a non-empty list")
+            continue
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                problems.append(f"{section}[{i}] is not an object")
+                continue
+            missing = keys - entry.keys()
+            if missing:
+                problems.append(
+                    f"{section}[{i}] missing keys: {', '.join(sorted(missing))}"
+                )
+            jain = entry.get("jain_index")
+            if jain is not None and not (
+                isinstance(jain, (int, float)) and 0.0 <= jain <= 1.0 + 1e-9
+            ):
+                problems.append(f"{section}[{i}] jain_index {jain!r} not in [0, 1]")
+    for entry in data.get("schemes") or []:
+        if isinstance(entry, dict):
+            area = entry.get("hw_area_ge")
+            if not (isinstance(area, (int, float)) and area > 0):
+                problems.append(
+                    f"scheme {entry.get('scheme')!r} hw_area_ge must be positive"
+                )
+    campaign = data.get("campaign")
+    if not isinstance(campaign, dict) or not {
+        "points", "hits", "misses"
+    } <= campaign.keys():
+        problems.append("'campaign' must carry points/hits/misses counts")
+    return problems

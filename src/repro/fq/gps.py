@@ -1,0 +1,196 @@
+"""Exact fluid GPS (Generalized Processor Sharing) reference engine.
+
+GPS is the idealized fair scheduler: a link of capacity ``C`` serves
+every backlogged flow *simultaneously*, each at rate
+``C * w_i / sum(w_j over backlogged j)``.  It is not implementable (it
+serves fractional flits) but it is the ground truth every packetized
+fair queueer approximates: WFQ/PGPS serves packets in the order GPS
+would *finish* them, and DRR's deficit counters bound each flow's lag
+behind its GPS service curve.
+
+This engine computes the fluid schedule **analytically** — an
+event-driven sweep over arrival and drain instants with
+:class:`fractions.Fraction` arithmetic throughout, so per-flit finish
+times and per-flow service curves are *exact*, never iterated per
+cycle.  It is the differential-test oracle for the packetized schemes
+(``repro.fq.schemes``) and the basis of the worst-case GPS-lag fairness
+metric (:mod:`repro.analysis.fairness`).
+
+Units: time in flit cycles (arbitrary rationals), service in flits,
+capacity in flits per cycle (the MMR input link serves one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+__all__ = ["FluidFlow", "GpsResult", "GpsFluid"]
+
+
+@dataclass(frozen=True)
+class FluidFlow:
+    """One flow offered to the fluid link."""
+
+    flow_id: int
+    #: GPS weight (for the MMR: the connection's reserved slots/round).
+    weight: int
+    #: ``(arrival_cycle, flits)`` batches, strictly increasing times.
+    arrivals: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        last = None
+        for t, k in self.arrivals:
+            if k <= 0:
+                raise ValueError("arrival batches must contain >= 1 flit")
+            if t < 0:
+                raise ValueError("arrival times must be >= 0")
+            if last is not None and t <= last:
+                raise ValueError("arrival times must be strictly increasing")
+            last = t
+
+
+@dataclass
+class GpsResult:
+    """The exact fluid schedule of one :class:`GpsFluid` run."""
+
+    flows: tuple[FluidFlow, ...]
+    #: Per-flow exact finish times, one per flit, in arrival order.
+    finish_times: dict[int, list[Fraction]]
+    #: Per-flow service-curve breakpoints ``(t, cumulative_flits)`` —
+    #: piecewise linear between them.
+    service_curves: dict[int, list[tuple[Fraction, Fraction]]] = field(
+        default_factory=dict
+    )
+
+    def finish_order(self) -> list[tuple[int, int]]:
+        """``(flow_id, flit_index)`` in fluid finish order.
+
+        Simultaneous finishes tie-break on the order flows were given
+        (for the MMR: ascending VC index), then flit index — exactly the
+        tie-break of the packetized link scheduler.
+        """
+        rank = {f.flow_id: i for i, f in enumerate(self.flows)}
+        events = [
+            (t, rank[fid], fid, k)
+            for fid, times in self.finish_times.items()
+            for k, t in enumerate(times)
+        ]
+        events.sort(key=lambda e: (e[0], e[1], e[3]))
+        return [(fid, k) for _t, _r, fid, k in events]
+
+    def service_at(self, flow_id: int, t: Fraction | int) -> Fraction:
+        """Exact cumulative fluid service of ``flow_id`` at time ``t``."""
+        t = Fraction(t)
+        curve = self.service_curves[flow_id]
+        if not curve or t <= curve[0][0]:
+            return Fraction(0)
+        prev_t, prev_s = curve[0]
+        for bt, bs in curve[1:]:
+            if t <= bt:
+                if bt == prev_t:
+                    return bs
+                return prev_s + (bs - prev_s) * (t - prev_t) / (bt - prev_t)
+            prev_t, prev_s = bt, bs
+        return prev_s
+
+
+class GpsFluid:
+    """Event-driven exact fluid GPS simulation of one link."""
+
+    def __init__(
+        self, flows: Sequence[FluidFlow], capacity: int | Fraction = 1
+    ) -> None:
+        if not flows:
+            raise ValueError("need at least one flow")
+        ids = [f.flow_id for f in flows]
+        if len(set(ids)) != len(ids):
+            raise ValueError("flow ids must be unique")
+        capacity = Fraction(capacity)
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.flows = tuple(flows)
+        self.capacity = capacity
+
+    def run(self) -> GpsResult:
+        flows = self.flows
+        nf = len(flows)
+        backlog = [Fraction(0)] * nf
+        served = [Fraction(0)] * nf
+        next_arr = [0] * nf  # index into each flow's arrival list
+        finish: dict[int, list[Fraction]] = {f.flow_id: [] for f in flows}
+        curves: dict[int, list[tuple[Fraction, Fraction]]] = {
+            f.flow_id: [(Fraction(0), Fraction(0))] for f in flows
+        }
+        t = Fraction(0)
+
+        def admit_arrivals_at(now: Fraction) -> None:
+            for i, f in enumerate(flows):
+                admitted = False
+                while (
+                    next_arr[i] < len(f.arrivals)
+                    and Fraction(f.arrivals[next_arr[i]][0]) == now
+                ):
+                    if backlog[i] == 0 and not admitted:
+                        # Idle -> active transition: anchor the service
+                        # curve so the idle gap stays flat instead of
+                        # being interpolated across.
+                        curves[f.flow_id].append((now, served[i]))
+                    backlog[i] += f.arrivals[next_arr[i]][1]
+                    next_arr[i] += 1
+                    admitted = True
+
+        def pending_arrival_time() -> Fraction | None:
+            times = [
+                Fraction(f.arrivals[next_arr[i]][0])
+                for i, f in enumerate(flows)
+                if next_arr[i] < len(f.arrivals)
+            ]
+            return min(times) if times else None
+
+        admit_arrivals_at(t)
+        while True:
+            active = [i for i in range(nf) if backlog[i] > 0]
+            if not active:
+                nxt = pending_arrival_time()
+                if nxt is None:
+                    break
+                t = nxt
+                admit_arrivals_at(t)
+                continue
+            total_w = sum(flows[i].weight for i in active)
+            rates = {
+                i: self.capacity * flows[i].weight / total_w for i in active
+            }
+            # Next event: an arrival changes the active set, or some
+            # active flow drains completely.
+            t_next = pending_arrival_time()
+            for i in active:
+                drain = t + backlog[i] / rates[i]
+                if t_next is None or drain < t_next:
+                    t_next = drain
+            assert t_next is not None and t_next > t
+            dt = t_next - t
+            for i in active:
+                s = rates[i] * dt
+                # Integer service crossings inside (t, t_next] are the
+                # flit finish instants.
+                k = int(served[i]) + 1  # next whole flit to complete
+                hi = served[i] + s
+                while k <= hi:
+                    finish[flows[i].flow_id].append(
+                        t + (Fraction(k) - served[i]) / rates[i]
+                    )
+                    k += 1
+                served[i] = hi
+                backlog[i] -= s
+                if backlog[i] < 0:  # exact arithmetic: only rounding-free 0
+                    backlog[i] = Fraction(0)
+                curves[flows[i].flow_id].append((t_next, served[i]))
+            t = t_next
+            admit_arrivals_at(t)
+
+        return GpsResult(flows=flows, finish_times=finish, service_curves=curves)

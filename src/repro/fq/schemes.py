@@ -1,0 +1,337 @@
+"""Packetized fair-queueing link schedulers (WFQ, DRR, MCDRR).
+
+These are *stateful* :class:`~repro.core.priorities.PriorityScheme`
+implementations: instead of the paper's pure ``(slots, delay)`` priority
+map they rank on per-VC scheduler state — virtual finish tags for WFQ,
+deficit counters for DRR/MCDRR — updated through the lifecycle hooks the
+router dispatches (``on_setup`` / ``on_teardown`` / ``on_service``).
+
+All three emit exact int64 keys in ``[1, 2**62)``, so the link
+scheduler's reserved-tier folding, VC tie-breaks and CandidateBuffer
+fast path apply unchanged: a reserved (CBR/VBR) head flit still
+outranks every best-effort one, and fair queueing orders flits *within*
+each tier.
+
+**WFQ** is packetized GPS under a start-time virtual clock (the
+SFQ-flavored approximation: exact virtual-time tracking needs the fluid
+simulation itself, see :mod:`repro.fq.gps`).  Weights are the reserved
+slots per round, so the virtual clock advances from reserved rates.  A
+head flit's finish tag is assigned lazily at ranking time as
+``max(v_port, last_finish) + scale // weight`` and the port clock
+advances to the served flit's *start* tag — for flows continuously
+backlogged since setup this chains tags exactly (``k * scale/w`` for
+the k-th flit), which is why WFQ's service order provably matches the
+GPS fluid finish order on all-backlogged workloads (the differential
+test pins it).
+
+**DRR** keeps a per-port round-robin ring over VCs with a quantum equal
+to the reserved slots: a VC at the ring front is served until its
+deficit exhausts, then rotates to the back.  Because the quantum is
+added only when the deficit is exhausted at service time, the deficit
+is bounded by ``quantum - 1 + max_flit_size`` flits for *any* arrival
+and grant sequence (hypothesis-tested), even when the crossbar grants a
+non-front candidate out of turn.
+
+**MCDRR** (multi-channel DRR, arXiv:1308.5092) exploits that the MMR's
+input link feeds a crossbar with ``num_ports`` *output channels*: an
+outer round-robin ring over output channels picks which channel's DRR
+ring provides the next candidate, so one blocked output cannot
+head-of-line-block the whole input link — candidate level 0 comes from
+the current channel, level 1 from the next backlogged channel, and so
+on, giving the arbiter channel-diverse candidates every cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.priorities import PriorityScheme
+
+__all__ = ["StatefulScheme", "WFQ", "DRR", "MCDRR", "WFQ_SCALE", "WFQ_HORIZON"]
+
+#: Virtual-time units charged per flit for a weight-1 flow.  A power of
+#: two, so any weight that divides it (all powers of two up to 2**20)
+#: yields exact per-flit increments — the differential tests use such
+#: weights to compare against the exact-arithmetic fluid reference.
+WFQ_SCALE = 1 << 20
+
+#: WFQ keys are ``HORIZON - finish_tag`` (descending key = ascending
+#: finish).  2**61 leaves the tier bit's headroom intact (< 2**62) and
+#: supports ~2**41 weight-1 flits before overflowing — far beyond any
+#: simulated run; the scheme raises loudly if it is ever reached.
+WFQ_HORIZON = 1 << 61
+
+
+class StatefulScheme(PriorityScheme):
+    """Shared plumbing for the stateful fair-queueing family."""
+
+    integer_valued = True
+    stateful = True
+
+    def __init__(self, num_ports: int, vcs_per_link: int) -> None:
+        if num_ports <= 0 or vcs_per_link <= 0:
+            raise ValueError("num_ports and vcs_per_link must be positive")
+        self.num_ports = num_ports
+        self.vcs_per_link = vcs_per_link
+        #: Router-shape guard: MMRouter refuses a scheme built for a
+        #: different (ports, vcs) geometry.
+        self.shape = (num_ports, vcs_per_link)
+
+    @classmethod
+    def from_config(cls, config) -> "StatefulScheme":
+        """Build from a :class:`~repro.router.config.RouterConfig`."""
+        return cls(config.num_ports, config.vcs_per_link)
+
+    def compute(self, slots: np.ndarray, delay: np.ndarray) -> np.ndarray:
+        raise NotImplementedError(
+            f"{self.name} is stateful: rank through keys()/keys_port() and "
+            "drive the on_setup/on_service/on_teardown lifecycle hooks "
+            "(MMRouter does this automatically)"
+        )
+
+
+class WFQ(StatefulScheme):
+    """Weighted fair queueing: rank VCs by virtual finish tag."""
+
+    name = "wfq"
+
+    def __init__(
+        self, num_ports: int, vcs_per_link: int, scale: int = WFQ_SCALE
+    ) -> None:
+        super().__init__(num_ports, vcs_per_link)
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        n, v = num_ports, vcs_per_link
+        # Python ints: virtual tags are unbounded in principle; the key
+        # mapping checks the horizon, the state itself cannot overflow.
+        self._weight = [[0] * v for _ in range(n)]
+        self._inc = [[scale] * v for _ in range(n)]
+        self._last_finish = [[0] * v for _ in range(n)]
+        self._head_tag: list[list[int | None]] = [[None] * v for _ in range(n)]
+        #: Per-port virtual clock (start-time semantics: advances to the
+        #: start tag of each served flit).
+        self._vtime = [0] * n
+
+    # -- lifecycle ------------------------------------------------------
+
+    def on_setup(
+        self, port: int, vc: int, out_port: int, slots: int, reserved: bool
+    ) -> None:
+        w = max(1, int(slots))
+        self._weight[port][vc] = w
+        self._inc[port][vc] = max(1, self.scale // w)
+        self._last_finish[port][vc] = 0
+        self._head_tag[port][vc] = None
+
+    def on_teardown(self, port: int, vc: int) -> None:
+        self._weight[port][vc] = 0
+        self._inc[port][vc] = self.scale
+        self._last_finish[port][vc] = 0
+        self._head_tag[port][vc] = None
+
+    def on_service(self, port: int, vc: int, out_port: int, now: int) -> None:
+        tag = self._head_tag[port][vc]
+        if tag is None:
+            # Served without a ranking pass this cycle (only reachable
+            # from synthetic drivers): assign the tag it would have had.
+            tag = (
+                max(self._vtime[port], self._last_finish[port][vc])
+                + self._inc[port][vc]
+            )
+        self._last_finish[port][vc] = tag
+        start = tag - self._inc[port][vc]
+        if start > self._vtime[port]:
+            self._vtime[port] = start
+        self._head_tag[port][vc] = None
+
+    # -- ranking --------------------------------------------------------
+
+    def keys_port(self, port: int, occupied: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.vcs_per_link, dtype=np.int64)
+        tags = self._head_tag[port]
+        last = self._last_finish[port]
+        inc = self._inc[port]
+        vt = self._vtime[port]
+        for vc in np.flatnonzero(occupied).tolist():
+            tag = tags[vc]
+            if tag is None:
+                base = last[vc]
+                tag = (vt if vt > base else base) + inc[vc]
+                tags[vc] = tag
+            key = WFQ_HORIZON - tag
+            if key < 1:
+                raise OverflowError(
+                    "WFQ virtual finish tag exceeded the 2**61 key "
+                    "horizon; lower the scale or shorten the run"
+                )
+            out[vc] = key
+        return out
+
+    # -- inspection (tests, fairness metrics) ---------------------------
+
+    def virtual_time(self, port: int) -> int:
+        return self._vtime[port]
+
+    def finish_tag(self, port: int, vc: int) -> int | None:
+        """The head flit's pending finish tag, if one is assigned."""
+        return self._head_tag[port][vc]
+
+
+class DRR(StatefulScheme):
+    """Deficit round-robin: quantum = reserved slots, cost = 1 per flit."""
+
+    name = "drr"
+
+    def __init__(self, num_ports: int, vcs_per_link: int) -> None:
+        super().__init__(num_ports, vcs_per_link)
+        n, v = num_ports, vcs_per_link
+        self._quantum = np.ones((n, v), dtype=np.int64)
+        self._deficit = np.zeros((n, v), dtype=np.int64)
+        #: Last-served VC per port; the ring front stays there while its
+        #: deficit lasts, then moves to the next backlogged VC.
+        self._cur = [0] * n
+
+    # -- lifecycle ------------------------------------------------------
+
+    def on_setup(
+        self, port: int, vc: int, out_port: int, slots: int, reserved: bool
+    ) -> None:
+        self._quantum[port, vc] = max(1, int(slots))
+        self._deficit[port, vc] = 0
+
+    def on_teardown(self, port: int, vc: int) -> None:
+        self._quantum[port, vc] = 1
+        self._deficit[port, vc] = 0
+
+    def on_service(self, port: int, vc: int, out_port: int, now: int) -> None:
+        if self._deficit[port, vc] < 1:
+            self._deficit[port, vc] += self._quantum[port, vc]
+        self._deficit[port, vc] -= 1
+        self._cur[port] = vc
+
+    # -- ranking --------------------------------------------------------
+
+    def keys_port(self, port: int, occupied: np.ndarray) -> np.ndarray:
+        v = self.vcs_per_link
+        deficit = self._deficit[port]
+        # Classic DRR empty-queue rule: an idle VC forfeits its deficit.
+        deficit[~occupied] = 0
+        out = np.zeros(v, dtype=np.int64)
+        active = np.flatnonzero(occupied).tolist()
+        if not active:
+            return out
+        cur = self._cur[port]
+        if occupied[cur] and deficit[cur] >= 1:
+            anchor = cur  # front keeps serving until its deficit runs out
+        else:
+            anchor = (cur + 1) % v
+        active.sort(key=lambda x: (x - anchor) % v)
+        top = v + 1
+        for rank, vc in enumerate(active):
+            out[vc] = top - rank
+        return out
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def deficits(self) -> np.ndarray:
+        """Read-only view of the deficit counters (property tests)."""
+        view = self._deficit.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def quanta(self) -> np.ndarray:
+        view = self._quantum.view()
+        view.flags.writeable = False
+        return view
+
+
+class MCDRR(StatefulScheme):
+    """Multi-channel DRR: outer ring over output channels, DRR within."""
+
+    name = "mcdrr"
+
+    def __init__(self, num_ports: int, vcs_per_link: int) -> None:
+        super().__init__(num_ports, vcs_per_link)
+        n, v = num_ports, vcs_per_link
+        self._quantum = np.ones((n, v), dtype=np.int64)
+        self._deficit = np.zeros((n, v), dtype=np.int64)
+        self._out_of = [[-1] * v for _ in range(n)]
+        #: Outer ring: next output channel to serve, per input port.
+        self._chan_cur = [0] * n
+        #: Inner DRR pointer per (input port, output channel).
+        self._inner_cur = [[0] * n for _ in range(n)]
+
+    # -- lifecycle ------------------------------------------------------
+
+    def on_setup(
+        self, port: int, vc: int, out_port: int, slots: int, reserved: bool
+    ) -> None:
+        self._quantum[port, vc] = max(1, int(slots))
+        self._deficit[port, vc] = 0
+        self._out_of[port][vc] = int(out_port)
+
+    def on_teardown(self, port: int, vc: int) -> None:
+        self._quantum[port, vc] = 1
+        self._deficit[port, vc] = 0
+        self._out_of[port][vc] = -1
+
+    def on_service(self, port: int, vc: int, out_port: int, now: int) -> None:
+        if self._deficit[port, vc] < 1:
+            self._deficit[port, vc] += self._quantum[port, vc]
+        self._deficit[port, vc] -= 1
+        if 0 <= out_port < self.num_ports:
+            self._inner_cur[port][out_port] = vc
+            self._chan_cur[port] = (out_port + 1) % self.num_ports
+
+    # -- ranking --------------------------------------------------------
+
+    def keys_port(self, port: int, occupied: np.ndarray) -> np.ndarray:
+        n, v = self.num_ports, self.vcs_per_link
+        deficit = self._deficit[port]
+        deficit[~occupied] = 0
+        out = np.zeros(v, dtype=np.int64)
+        active = np.flatnonzero(occupied).tolist()
+        if not active:
+            return out
+        out_of = self._out_of[port]
+        by_chan: dict[int, list[int]] = {}
+        for vc in active:
+            chan = out_of[vc]
+            if not (0 <= chan < n):
+                chan = 0  # defensive: occupied VC without a connection
+            by_chan.setdefault(chan, []).append(vc)
+        chan_anchor = self._chan_cur[port]
+        chans = sorted(by_chan, key=lambda c: (c - chan_anchor) % n)
+        n_present = len(chans)
+        inner_cur = self._inner_cur[port]
+        top = v * n + 1
+        for chan_rank, chan in enumerate(chans):
+            vcs = by_chan[chan]
+            cur = inner_cur[chan]
+            if cur in by_chan[chan] and deficit[cur] >= 1:
+                anchor = cur
+            else:
+                anchor = (cur + 1) % v
+            vcs.sort(key=lambda x: (x - anchor) % v)
+            # Interleave: depth 0 of every backlogged channel first, so
+            # candidate levels are channel-diverse.
+            for depth, vc in enumerate(vcs):
+                out[vc] = top - (depth * n_present + chan_rank)
+        return out
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def deficits(self) -> np.ndarray:
+        view = self._deficit.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def quanta(self) -> np.ndarray:
+        view = self._quantum.view()
+        view.flags.writeable = False
+        return view

@@ -255,6 +255,8 @@ class MultiRouterNetwork:
             candidates = self._eligible_candidates(router_id, router, now)
             grants = router.arbiter.match(candidates, rng)
             departures = router.crossbar.transfer(grants, router.vc_memory, now)
+            if router.scheme_stateful and departures:
+                router.notify_service(departures, now)
             degree = self.topology.degree(router_id)
             for dep in departures:
                 if dep.in_port < degree:

@@ -102,6 +102,8 @@ class ConnectionQos:
         "label",
         "class_key",
         "bounds",
+        "avg_slots",
+        "reserved",
         "flits",
         "units",
         "worst_delay",
@@ -117,6 +119,11 @@ class ConnectionQos:
         self.label = label
         self.class_key = CLASS_KEYS[conn.traffic_class]
         self.bounds = bounds
+        #: Reserved slots per round (the fairness weight) and whether the
+        #: connection holds a reservation at all — lets post-processing
+        #: compute weighted-fairness indices from the payload alone.
+        self.avg_slots = conn.avg_slots
+        self.reserved = conn.is_reserved
         self.flits = 0
         #: Delivery units seen (frames for framed traffic, flits else).
         self.units = 0
@@ -136,6 +143,8 @@ class ConnectionQos:
             "service_interval_cycles": b.service_interval_cycles,
             "deadline_cycles": b.deadline_cycles,
             "jitter_bound_cycles": b.jitter_bound_cycles,
+            "avg_slots": self.avg_slots,
+            "reserved": self.reserved,
             "flits": self.flits,
             "units": self.units,
             "worst_delay_cycles": self.worst_delay,

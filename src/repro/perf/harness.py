@@ -186,6 +186,8 @@ def _staged_run(sim: SingleRouterSim, workload, cycles: int) -> dict[str, int]:
             grants = router.arbiter.match(candidates, arb_rng)
         t4 = ns()
         departures = router.crossbar.transfer(grants, router.vc_memory, now)
+        if router.scheme_stateful and departures:
+            router.notify_service(departures, now)
         for dep in departures:
             router.credits.schedule_return(dep.in_port, dep.vc, now)
         t5 = ns()

@@ -66,6 +66,18 @@ class MMRouter:
             make_arbiter(arbiter, config) if isinstance(arbiter, str) else arbiter
         )
         self.scheme = make_scheme(scheme, config) if isinstance(scheme, str) else scheme
+        #: True when the scheme keeps per-VC scheduler state (fair
+        #: queueing): the router then feeds it the connection and
+        #: service lifecycle (``on_setup``/``on_teardown``/``on_service``).
+        self.scheme_stateful = bool(getattr(self.scheme, "stateful", False))
+        if self.scheme_stateful:
+            shape = getattr(self.scheme, "shape", None)
+            if shape is not None and shape != (config.num_ports, config.vcs_per_link):
+                raise ValueError(
+                    f"stateful scheme {self.scheme.name!r} was built for "
+                    f"shape {shape}, router is "
+                    f"{(config.num_ports, config.vcs_per_link)}"
+                )
         self.link_scheduler = LinkScheduler(config, self.scheme)
         n, v = config.num_ports, config.vcs_per_link
         # Per-VC connection attributes, kept as arrays for the vectorized
@@ -117,6 +129,14 @@ class MMRouter:
             )
             self._reserved[conn.in_port, conn.vc] = conn.is_reserved
             self._conn_version += 1
+            if self.scheme_stateful:
+                self.scheme.on_setup(
+                    conn.in_port,
+                    conn.vc,
+                    conn.out_port,
+                    conn.avg_slots,
+                    conn.is_reserved,
+                )
         return result
 
     def teardown(self, conn_id: int) -> Connection:
@@ -183,6 +203,8 @@ class MMRouter:
         self._tier[conn.in_port, conn.vc] = 1.0
         self._reserved[conn.in_port, conn.vc] = False
         self._conn_version += 1
+        if self.scheme_stateful:
+            self.scheme.on_teardown(conn.in_port, conn.vc)
 
     def connection_at(self, in_port: int, vc: int) -> int:
         """conn_id occupying (port, vc), or -1."""
@@ -203,11 +225,25 @@ class MMRouter:
             candidates = self._link_schedule(now)
             grants = self.arbiter.match(candidates, rng)
         departures = self.crossbar.transfer(grants, self.vc_memory, now)
+        if self.scheme_stateful and departures:
+            self.notify_service(departures, now)
         for dep in departures:
             self.credits.schedule_return(dep.in_port, dep.vc, now)
 
         self._accept_from_nics(now)
         return departures
+
+    def notify_service(self, departures: list[Departure], now: int) -> None:
+        """Feed crossbar services to a stateful scheme.
+
+        Every cycle loop that calls ``crossbar.transfer`` directly
+        (fault harness, multi-router network, perf harness) must invoke
+        this when ``scheme_stateful`` — the fair-queueing virtual clocks
+        and deficit counters advance on actual service.
+        """
+        scheme = self.scheme
+        for dep in departures:
+            scheme.on_service(dep.in_port, dep.vc, dep.out_port, now)
 
     def _link_schedule(self, now: int) -> list[list[Candidate]]:
         """Object-path link scheduling (reference; fault harness uses it)."""

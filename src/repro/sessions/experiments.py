@@ -15,7 +15,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence
 
-from ..analysis.blocking import BlockingPoint, erlang_b
+from ..analysis.blocking import BlockingPoint, erlang_b, kaufman_roberts_aggregate
 from ..campaign.executor import CampaignResult, run_campaign
 from ..campaign.plan import CampaignPlan, PointSpec, WorkloadSpec
 from ..campaign.store import ResultStore
@@ -96,6 +96,32 @@ def _erlang_reference(
     return erlang_b(offered_erlangs / config.num_ports, int(servers))
 
 
+def _kaufman_roberts_reference(
+    config: RouterConfig, churn: ChurnConfig, offered_erlangs: float
+) -> float:
+    """Kaufman–Roberts aggregate blocking for a pure-CBR mix; NaN otherwise.
+
+    The multi-rate counterpart of :func:`_erlang_reference`: each CBR
+    class reserves ``rate_to_slots(rate)`` of the ``round_cycles`` slot
+    capacity of one input link, and the per-link offered load splits
+    across classes by mix weight.  Defined for *any* pure-CBR mix,
+    including multi-class ones where Erlang-B has no single circuit
+    size; VBR/BE classes have no deterministic slot demand, so mixes
+    containing them return NaN.
+    """
+    active = [(name, w) for name, w in churn.mix if w > 0]
+    if not active or not all(name.startswith("cbr-") for name, _ in active):
+        return float("nan")
+    total_w = sum(w for _, w in active)
+    per_link = offered_erlangs / config.num_ports
+    classes = []
+    for name, w in active:
+        rate_bps = CBR_CLASSES[name.removeprefix("cbr-")].rate_bps
+        slots = int(config.rate_to_slots(rate_bps))
+        classes.append((per_link * w / total_w, slots))
+    return kaufman_roberts_aggregate(config.round_cycles, classes)
+
+
 def reduce_blocking(result: CampaignResult) -> list[BlockingPoint]:
     """One :class:`BlockingPoint` per campaign outcome."""
     points = []
@@ -114,6 +140,9 @@ def reduce_blocking(result: CampaignResult) -> list[BlockingPoint]:
                 offered_sessions=int(payload["offered"]),
                 blocked_sessions=int(payload["blocked"]),
                 erlang_b_reference=_erlang_reference(
+                    outcome.spec.config, spec.churn, offered_erl
+                ),
+                kaufman_roberts_reference=_kaufman_roberts_reference(
                     outcome.spec.config, spec.churn, offered_erl
                 ),
             )

@@ -105,3 +105,114 @@ class TestRendering:
         assert sparkline([2, 2, 2]) == "▁▁▁"
         log_line = sparkline([1, 10, 100, 1000], log=True)
         assert len(log_line) == 4
+
+
+class TestKaufmanRoberts:
+    def test_single_class_reduces_to_erlang_b(self):
+        from repro.analysis.blocking import erlang_b, kaufman_roberts
+
+        for capacity, slots, offered in [(10, 1, 3.0), (64, 4, 10.0),
+                                         (100, 7, 30.0), (12, 5, 0.5)]:
+            kr = kaufman_roberts(capacity, [(offered, slots)])[0]
+            assert kr == pytest.approx(
+                erlang_b(offered, capacity // slots), abs=1e-12
+            )
+
+    def test_two_class_matches_product_form(self):
+        """Brute-force the product-form stationary distribution."""
+        from repro.analysis.blocking import kaufman_roberts
+
+        capacity, classes = 20, [(3.0, 2), (1.5, 5)]
+        (a1, b1), (a2, b2) = classes
+        states = [
+            (n1, n2)
+            for n1 in range(capacity // b1 + 1)
+            for n2 in range(capacity // b2 + 1)
+            if n1 * b1 + n2 * b2 <= capacity
+        ]
+        weight = {
+            s: a1 ** s[0] / math.factorial(s[0])
+            * a2 ** s[1] / math.factorial(s[1])
+            for s in states
+        }
+        z = sum(weight.values())
+        expected = [
+            sum(w for s, w in weight.items()
+                if s[0] * b1 + s[1] * b2 > capacity - b) / z
+            for _, b in classes
+        ]
+        got = kaufman_roberts(capacity, classes)
+        assert got == pytest.approx(expected, abs=1e-10)
+
+    def test_wider_class_blocks_more(self):
+        from repro.analysis.blocking import kaufman_roberts
+
+        b_narrow, b_wide = kaufman_roberts(30, [(4.0, 1), (4.0, 6)])
+        assert b_wide > b_narrow
+
+    def test_aggregate_is_arrival_weighted(self):
+        from repro.analysis.blocking import (
+            kaufman_roberts,
+            kaufman_roberts_aggregate,
+        )
+
+        classes = [(3.0, 2), (1.5, 5)]
+        per_class = kaufman_roberts(20, classes)
+        agg = kaufman_roberts_aggregate(20, classes)
+        assert agg == pytest.approx(
+            (3.0 * per_class[0] + 1.5 * per_class[1]) / 4.5
+        )
+        assert kaufman_roberts_aggregate(20, [(0.0, 1)]) == 0.0
+
+    def test_validation(self):
+        from repro.analysis.blocking import kaufman_roberts
+
+        with pytest.raises(ValueError):
+            kaufman_roberts(-1, [(1.0, 1)])
+        with pytest.raises(ValueError):
+            kaufman_roberts(10, [])
+        with pytest.raises(ValueError):
+            kaufman_roberts(10, [(-1.0, 1)])
+        with pytest.raises(ValueError):
+            kaufman_roberts(10, [(1.0, 0)])
+
+    def test_zero_capacity_blocks_everything(self):
+        from repro.analysis.blocking import kaufman_roberts
+
+        assert kaufman_roberts(0, [(2.0, 1)]) == [1.0]
+
+
+class TestFairness:
+    def test_jain_extremes(self):
+        from repro.analysis.fairness import jain_index
+
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+        assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
+        assert jain_index([0, 0]) == 1.0
+        assert math.isnan(jain_index([]))
+        with pytest.raises(ValueError):
+            jain_index([1, -1])
+
+    def test_normalized_service(self):
+        from repro.analysis.fairness import normalized_service
+
+        assert normalized_service([10, 20], [1, 2]) == [10.0, 10.0]
+        with pytest.raises(ValueError):
+            normalized_service([1], [1, 2])
+        with pytest.raises(ValueError):
+            normalized_service([1], [0])
+
+    def test_worst_case_gps_lag(self):
+        from repro.analysis.fairness import worst_case_gps_lag
+
+        gps = {0: [1.0, 2.0], 1: [1.5]}
+        assert worst_case_gps_lag(gps, {0: [1.0, 2.5]}) == pytest.approx(0.5)
+        # A packetized scheduler can run ahead of the fluid.
+        assert worst_case_gps_lag(gps, {1: [1.0]}) == pytest.approx(-0.5)
+        # Truncated runs measure fewer flits than the reference: fine.
+        assert worst_case_gps_lag(gps, {0: [1.2]}) == pytest.approx(0.2)
+        assert math.isnan(worst_case_gps_lag(gps, {}))
+        with pytest.raises(ValueError):
+            worst_case_gps_lag(gps, {9: [1.0]})
+        with pytest.raises(ValueError):
+            worst_case_gps_lag(gps, {1: [1.0, 2.0]})

@@ -1,0 +1,148 @@
+"""Comparison-suite tests: campaign caching, parallel identity, schema.
+
+The acceptance contract for ``python -m repro fq``: points are
+campaign-cached (cold run misses, warm run hits), a parallel run is
+byte-identical to a serial one, and the JSON report validates against
+the ``repro/fq-comparison/v1`` schema.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.campaign.plan import canonical_json
+from repro.campaign.store import ResultStore
+from repro.fq.experiments import (
+    FQ_REPORT_SCHEMA,
+    _jain_from_telemetry,
+    comparison_plan,
+    comparison_report,
+    reduce_comparison,
+    render_comparison_table,
+    render_frontier_table,
+    run_comparison,
+    summarize_schemes,
+    validate_fq_report,
+)
+from repro.router.config import RouterConfig
+from repro.sim.engine import RunControl
+
+CFG = RouterConfig(num_ports=2, vcs_per_link=8, candidate_levels=2)
+CONTROL = RunControl(cycles=400, warmup_cycles=50)
+
+
+def tiny_plan(name="fq-test", schemes=("siabp", "wfq"), seeds=(0, 1)):
+    return comparison_plan(
+        name, CFG, schemes, loads=(0.6,), seeds=seeds, control=CONTROL
+    )
+
+
+class TestPlan:
+    def test_grid_order_and_arbiter(self):
+        plan = tiny_plan()
+        assert len(plan) == 4
+        assert [p.scheme for p in plan] == ["siabp", "siabp", "wfq", "wfq"]
+        assert all(p.arbiter == "coa" for p in plan)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_plan("x", CFG, schemes=())
+        with pytest.raises(ValueError):
+            comparison_plan("x", CFG, loads=())
+
+
+class TestCampaignCaching:
+    def test_cold_misses_then_warm_hits(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        plan = tiny_plan()
+        cold, cold_points = run_comparison(plan, store=store)
+        assert cold.misses == len(plan)
+        warm, warm_points = run_comparison(plan, store=store)
+        assert warm.hits == len(plan)
+        assert warm.misses == 0
+        assert warm_points == cold_points
+
+    def test_parallel_byte_identical_to_serial(self, tmp_path):
+        plan = tiny_plan()
+        serial, serial_points = run_comparison(
+            plan, jobs=1, store=ResultStore(tmp_path / "serial")
+        )
+        parallel, parallel_points = run_comparison(
+            plan, jobs=2, store=ResultStore(tmp_path / "parallel")
+        )
+        s_report = comparison_report(serial, serial_points, CFG)
+        p_report = comparison_report(parallel, parallel_points, CFG)
+        # Everything except the cache accounting must match byte for byte.
+        s_report.pop("campaign")
+        p_report.pop("campaign")
+        assert canonical_json(s_report) == canonical_json(p_report)
+
+    def test_reduce_requires_telemetry(self):
+        from repro.campaign.executor import run_campaign
+
+        result = run_campaign(tiny_plan(seeds=(0,)))  # telemetry off
+        with pytest.raises(ValueError, match="telemetry"):
+            reduce_comparison(result)
+
+
+class TestReduction:
+    def test_jain_from_telemetry(self):
+        payload = {"qos": {"connections": [
+            {"reserved": True, "flits": 10, "avg_slots": 1},
+            {"reserved": True, "flits": 40, "avg_slots": 4},
+            {"reserved": False, "flits": 999, "avg_slots": 1},
+        ]}}
+        assert _jain_from_telemetry(payload) == pytest.approx(1.0)
+        assert math.isnan(_jain_from_telemetry({"qos": {"connections": []}}))
+
+    def test_summaries_and_tables(self, tmp_path):
+        campaign, points = run_comparison(
+            tiny_plan(seeds=(0,)), store=ResultStore(tmp_path / "s")
+        )
+        summaries = summarize_schemes(points, CFG)
+        assert [s.scheme for s in summaries] == ["siabp", "wfq"]
+        assert all(s.hw_area_ge > 0 for s in summaries)
+        table = render_comparison_table(summaries, title="t")
+        frontier = render_frontier_table(summaries)
+        for s in summaries:
+            assert s.scheme in table and s.scheme in frontier
+        assert "frontier" in frontier
+        with pytest.raises(ValueError):
+            render_comparison_table([])
+
+
+class TestReportSchema:
+    def _report(self, tmp_path):
+        campaign, points = run_comparison(
+            tiny_plan(seeds=(0,)), store=ResultStore(tmp_path / "s")
+        )
+        return comparison_report(campaign, points, CFG)
+
+    def test_valid_report_roundtrips(self, tmp_path):
+        report = self._report(tmp_path)
+        assert report["schema"] == FQ_REPORT_SCHEMA
+        text = json.dumps(report, sort_keys=True, allow_nan=False)
+        assert validate_fq_report(json.loads(text)) == []
+
+    def test_validator_rejects_tampering(self, tmp_path):
+        report = self._report(tmp_path)
+        bad = json.loads(json.dumps(report))
+        bad["schema"] = "nope"
+        assert any("schema" in p for p in validate_fq_report(bad))
+
+        bad = json.loads(json.dumps(report))
+        del bad["points"][0]["jain_index"]
+        assert any("missing" in p for p in validate_fq_report(bad))
+
+        bad = json.loads(json.dumps(report))
+        bad["schemes"][0]["jain_index"] = 3.5
+        assert any("jain" in p for p in validate_fq_report(bad))
+
+        bad = json.loads(json.dumps(report))
+        bad["schemes"] = []
+        assert any("schemes" in p for p in validate_fq_report(bad))
+
+        assert validate_fq_report("not a dict") == [
+            "report is not a JSON object"
+        ]

@@ -1,0 +1,213 @@
+"""GPS fluid reference engine + WFQ-vs-GPS differential tests.
+
+The fluid engine is the analytic ground truth for the packetized
+fair-queueing schemes: WFQ (PGPS) must serve flits in the order GPS
+finishes them, and no flit may finish more than one packet time behind
+its fluid finish instant (Parekh–Gallager).  The differential tests pin
+both, against the scheme driven standalone and through the full router
+pipeline (crossbar, credits, candidate buffer).
+"""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.fairness import worst_case_gps_lag
+from repro.fq.gps import FluidFlow, GpsFluid
+from repro.fq.schemes import WFQ
+from repro.router import MMRouter, RouterConfig, TrafficClass
+
+
+class TestFluidFlowValidation:
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            FluidFlow(0, 0, ((0, 1),))
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            FluidFlow(0, 1, ((0, 0),))
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValueError):
+            FluidFlow(0, 1, ((3, 1), (3, 1)))
+        with pytest.raises(ValueError):
+            FluidFlow(0, 1, ((-1, 1),))
+
+    def test_engine_rejects_duplicate_ids_and_bad_capacity(self):
+        f = FluidFlow(0, 1, ((0, 1),))
+        with pytest.raises(ValueError):
+            GpsFluid([f, FluidFlow(0, 1, ((0, 1),))])
+        with pytest.raises(ValueError):
+            GpsFluid([f], capacity=0)
+        with pytest.raises(ValueError):
+            GpsFluid([])
+
+
+class TestGpsFluid:
+    def test_single_flow_serves_at_capacity(self):
+        res = GpsFluid([FluidFlow(7, 3, ((0, 4),))]).run()
+        assert res.finish_times[7] == [1, 2, 3, 4]
+        assert res.service_at(7, Fraction(5, 2)) == Fraction(5, 2)
+        assert res.service_at(7, 100) == 4
+
+    def test_equal_weights_split_evenly(self):
+        res = GpsFluid([
+            FluidFlow(0, 1, ((0, 2),)),
+            FluidFlow(1, 1, ((0, 2),)),
+        ]).run()
+        assert res.finish_times[0] == [2, 4]
+        assert res.finish_times[1] == [2, 4]
+        # Simultaneous finishes break on flow-given order.
+        assert res.finish_order() == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_weighted_rates_exact(self):
+        # w=2 drains at 2/3, w=1 at 1/3; after the heavy flow empties at
+        # t=3 the light one gets the whole link.
+        res = GpsFluid([
+            FluidFlow(0, 2, ((0, 2),)),
+            FluidFlow(1, 1, ((0, 2),)),
+        ]).run()
+        assert res.finish_times[0] == [Fraction(3, 2), 3]
+        assert res.finish_times[1] == [3, 4]
+        assert res.service_at(1, 3) == 1
+        assert res.service_at(1, 4) == 2
+
+    def test_idle_gap_then_arrival(self):
+        res = GpsFluid([FluidFlow(0, 1, ((0, 1), (5, 1)))]).run()
+        assert res.finish_times[0] == [1, 6]
+        assert res.service_at(0, 5) == 1
+
+    def test_work_conservation(self):
+        flows = [
+            FluidFlow(0, 1, ((0, 3),)),
+            FluidFlow(1, 4, ((0, 5),)),
+            FluidFlow(2, 2, ((2, 4),)),
+        ]
+        res = GpsFluid(flows).run()
+        # While any backlog exists the link serves exactly at capacity:
+        # total service at every breakpoint equals elapsed time.
+        times = sorted({t for c in res.service_curves.values() for t, _ in c})
+        for t in times:
+            total = sum(res.service_at(f.flow_id, t) for f in flows)
+            arrived = sum(
+                k for f in flows for at, k in f.arrivals if at <= t
+            )
+            assert total <= t
+            assert total <= arrived
+        end = times[-1]
+        assert sum(res.service_at(f.flow_id, end) for f in flows) == 12
+
+    def test_capacity_scales_times(self):
+        res = GpsFluid([FluidFlow(0, 1, ((0, 4),))], capacity=2).run()
+        assert res.finish_times[0] == [
+            Fraction(1, 2), 1, Fraction(3, 2), 2
+        ]
+
+
+def _run_packetized_wfq(weights, counts):
+    """Serve all-backlogged flows on a dedicated unit-capacity link."""
+    n = len(weights)
+    wfq = WFQ(1, n)
+    for vc, w in enumerate(weights):
+        wfq.on_setup(0, vc, 0, w, True)
+    backlog = list(counts)
+    order = []
+    actual = {vc: [] for vc in range(n)}
+    t = 0
+    while any(backlog):
+        occ = np.array([b > 0 for b in backlog])
+        keys = wfq.keys_port(0, occ)
+        vc = int(np.argmax(keys))  # first max = lowest-VC tie-break
+        wfq.on_service(0, vc, 0, t)
+        backlog[vc] -= 1
+        order.append(vc)
+        actual[vc].append(t + 1)
+        t += 1
+    return order, actual
+
+
+class TestWfqMatchesGps:
+    def test_differential_standalone(self):
+        weights = [1, 2, 4, 8]
+        counts = [6, 10, 14, 20]
+        order, actual = _run_packetized_wfq(weights, counts)
+        gps = GpsFluid([
+            FluidFlow(vc, w, ((0, c),))
+            for vc, (w, c) in enumerate(zip(weights, counts))
+        ]).run()
+        assert order == [fid for fid, _ in gps.finish_order()]
+        lag = worst_case_gps_lag(gps.finish_times, actual)
+        assert lag <= 1.0 + 1e-9
+
+    # Tier-1 GPS-lag property test: for any all-backlogged workload with
+    # scale-dividing weights, packetized WFQ must reproduce the fluid
+    # finish order exactly and never finish a flit more than one packet
+    # time behind fluid GPS (the PGPS bound with L_max/C = 1 cycle).
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([1, 2, 4, 8, 16]),
+                st.integers(min_value=1, max_value=12),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gps_lag_bounded_property(self, flows):
+        weights = [w for w, _ in flows]
+        counts = [c for _, c in flows]
+        order, actual = _run_packetized_wfq(weights, counts)
+        gps = GpsFluid([
+            FluidFlow(vc, w, ((0, c),))
+            for vc, (w, c) in enumerate(zip(weights, counts))
+        ]).run()
+        assert order == [fid for fid, _ in gps.finish_order()]
+        lag = worst_case_gps_lag(gps.finish_times, actual)
+        assert lag <= 1.0 + 1e-9
+
+
+class TestWfqThroughRouter:
+    """The acceptance differential: full router vs fluid reference."""
+
+    def test_router_service_order_matches_gps(self):
+        config = RouterConfig(num_ports=2, vcs_per_link=8,
+                              vc_buffer_depth=32, candidate_levels=2)
+        router = MMRouter(config, arbiter="coa", scheme="wfq")
+        rng = np.random.default_rng(0)
+        weights = [1, 2, 4, 8]
+        counts = [6, 10, 14, 20]
+        conns = []
+        for w in weights:
+            conn = router.establish(0, 1, TrafficClass.CBR, w).connection
+            assert conn is not None
+            conns.append(conn)
+        # Preload every flit at cycle 0, consuming a credit per push the
+        # way NIC acceptance would (credit conservation must hold when
+        # departures later return them).
+        for conn, count in zip(conns, counts):
+            for _ in range(count):
+                router.credits.consume(conn.in_port, conn.vc)
+                router.vc_memory.push(conn.in_port, conn.vc, 0, -1, False, 0)
+
+        vc_to_flow = {conn.vc: i for i, conn in enumerate(conns)}
+        order = []
+        actual = {i: [] for i in range(len(conns))}
+        for t in range(sum(counts) + 50):
+            for dep in router.step(t, rng):
+                flow = vc_to_flow[dep.vc]
+                order.append(flow)
+                actual[flow].append(t + 1)
+        assert len(order) == sum(counts)
+
+        gps = GpsFluid([
+            FluidFlow(i, w, ((0, c),))
+            for i, (w, c) in enumerate(zip(weights, counts))
+        ]).run()
+        assert order == [fid for fid, _ in gps.finish_order()]
+        lag = worst_case_gps_lag(gps.finish_times, actual)
+        assert math.isfinite(lag)
+        assert lag <= 1.0 + 1e-9

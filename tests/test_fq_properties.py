@@ -1,0 +1,109 @@
+"""Property tests for the fair-queueing schemes (hypothesis).
+
+The acceptance invariant: DRR/MCDRR deficit counters never exceed
+``quantum + max_flit_size`` for *any* sequence of arrivals, grants and
+lifecycle events — including crossbar grants that serve a VC out of
+ring order, idle resets, and mid-run re-setup.  The implementation
+actually maintains the stronger classic bound ``0 <= deficit <=
+quantum - 1`` (the quantum is added only when exhausted at service
+time, and one flit is always charged), which the tests assert.
+
+WFQ gets the matching key-domain property: whatever the lifecycle,
+every occupied VC's key stays inside ``[1, 2**62)`` so the link
+scheduler's tier folding can never collide or wrap.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.link_scheduler import MAX_INTEGER_KEY
+from repro.fq.schemes import DRR, MCDRR, WFQ
+
+N_VCS = 6
+N_PORTS = 2
+
+# One scheduler-facing event on port 0: (re)setup a VC, serve a VC (a
+# crossbar grant — any VC, not just the ring front), or a ranking pass
+# over a random occupancy mask (which applies the idle-reset rule).
+_EVENTS = st.lists(
+    st.one_of(
+        st.tuples(st.just("setup"),
+                  st.integers(0, N_VCS - 1),
+                  st.integers(1, 9)),
+        st.tuples(st.just("teardown"),
+                  st.integers(0, N_VCS - 1),
+                  st.just(0)),
+        st.tuples(st.just("serve"),
+                  st.integers(0, N_VCS - 1),
+                  st.integers(0, N_PORTS - 1)),
+        st.tuples(st.just("rank"),
+                  st.integers(0, 2 ** N_VCS - 1),
+                  st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _mask(bits: int) -> np.ndarray:
+    return np.array([(bits >> i) & 1 == 1 for i in range(N_VCS)])
+
+
+def _drive(scheme, events):
+    now = 0
+    for kind, a, b in events:
+        if kind == "setup":
+            scheme.on_setup(0, a, b % N_PORTS, b, True)
+        elif kind == "teardown":
+            scheme.on_teardown(0, a)
+        elif kind == "serve":
+            scheme.on_service(0, a, b, now)
+            now += 1
+        else:
+            scheme.keys_port(0, _mask(a))
+        yield
+
+
+@given(events=_EVENTS)
+@settings(max_examples=80, deadline=None)
+def test_drr_deficit_never_exceeds_quantum(events):
+    drr = DRR(N_PORTS, N_VCS)
+    for _ in _drive(drr, events):
+        d, q = drr.deficits, drr.quanta
+        assert (d >= 0).all()
+        assert (d <= q - 1).all()
+        # ... and a fortiori the acceptance bound quantum + flit size.
+        assert (d <= q + 1).all()
+
+
+@given(events=_EVENTS)
+@settings(max_examples=80, deadline=None)
+def test_mcdrr_deficit_never_exceeds_quantum(events):
+    mc = MCDRR(N_PORTS, N_VCS)
+    for _ in _drive(mc, events):
+        d, q = mc.deficits, mc.quanta
+        assert (d >= 0).all()
+        assert (d <= q - 1).all()
+
+
+@given(events=_EVENTS)
+@settings(max_examples=80, deadline=None)
+def test_wfq_keys_stay_in_fold_range(events):
+    wfq = WFQ(N_PORTS, N_VCS)
+    for _ in _drive(wfq, events):
+        for bits in (2 ** N_VCS - 1, 0b10101):
+            mask = _mask(bits)
+            keys = wfq.keys_port(0, mask)
+            assert (keys[mask] >= 1).all()
+            assert (keys[mask] < MAX_INTEGER_KEY).all()
+            assert (keys[~mask] == 0).all()
+
+
+@given(events=_EVENTS)
+@settings(max_examples=40, deadline=None)
+def test_drr_untouched_port_stays_zeroed(events):
+    """Events on port 0 must never leak state into port 1."""
+    drr = DRR(N_PORTS, N_VCS)
+    for _ in _drive(drr, events):
+        assert (drr.deficits[1] == 0).all()
+        assert (drr.quanta[1] == 1).all()

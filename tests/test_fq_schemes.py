@@ -1,0 +1,243 @@
+"""Fair-queueing scheme unit + router-integration tests.
+
+Covers the stateful PriorityScheme lifecycle (setup/service/teardown),
+key-range contracts that make the int64 tier folding safe, DRR/MCDRR
+ring mechanics, best-effort subordination under the fq schemes, and the
+fast-vs-reference path identity on the full router.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.link_scheduler import MAX_INTEGER_KEY
+from repro.core.registry import make_scheme
+from repro.fq.schemes import DRR, MCDRR, WFQ, WFQ_HORIZON, WFQ_SCALE
+from repro.router import MMRouter, RouterConfig, TrafficClass
+from repro.sim.engine import RunControl
+from repro.sim.simulation import SingleRouterSim
+from repro.traffic.mixes import build_cbr_workload
+
+FQ_SCHEMES = ("wfq", "drr", "mcdrr")
+
+
+def occ(v, *active):
+    mask = np.zeros(v, dtype=bool)
+    for vc in active:
+        mask[vc] = True
+    return mask
+
+
+class TestStatefulProtocol:
+    @pytest.mark.parametrize("name", FQ_SCHEMES)
+    def test_registry_builds_with_router_shape(self, name):
+        cfg = RouterConfig(num_ports=3, vcs_per_link=5, candidate_levels=2)
+        scheme = make_scheme(name, cfg)
+        assert scheme.stateful
+        assert scheme.integer_valued
+        assert scheme.shape == (3, 5)
+
+    @pytest.mark.parametrize("name", FQ_SCHEMES)
+    def test_compute_raises(self, name):
+        scheme = make_scheme(name, RouterConfig())
+        with pytest.raises(NotImplementedError):
+            scheme.compute(np.array([1]), np.array([0]))
+
+    def test_router_rejects_mismatched_shape(self):
+        cfg = RouterConfig(num_ports=2, vcs_per_link=4, candidate_levels=2)
+        with pytest.raises(ValueError, match="shape"):
+            MMRouter(cfg, scheme=WFQ(4, 64))
+
+    @pytest.mark.parametrize("name", FQ_SCHEMES)
+    def test_keys_within_tier_fold_range(self, name):
+        cfg = RouterConfig(num_ports=2, vcs_per_link=8, candidate_levels=2)
+        scheme = make_scheme(name, cfg)
+        for vc in range(8):
+            scheme.on_setup(0, vc, vc % 2, 1 + vc, True)
+        mask = occ(8, *range(8))
+        for t in range(50):
+            keys = scheme.keys_port(0, mask)
+            assert keys.dtype == np.int64
+            assert (keys[mask] >= 1).all()
+            assert (keys[mask] < MAX_INTEGER_KEY).all()
+            scheme.on_service(0, int(np.argmax(keys)), t % 2, t)
+        assert (scheme.keys_port(0, occ(8)) == 0).all()
+
+    @pytest.mark.parametrize("name", FQ_SCHEMES)
+    def test_keys_stacks_keys_port(self, name):
+        cfg = RouterConfig(num_ports=2, vcs_per_link=4, candidate_levels=2)
+        scheme = make_scheme(name, cfg)
+        scheme.on_setup(0, 1, 0, 2, True)
+        scheme.on_setup(1, 3, 1, 5, True)
+        occupied = np.zeros((2, 4), dtype=bool)
+        occupied[0, 1] = occupied[1, 3] = True
+        stacked = scheme.keys(occupied)
+        assert stacked.shape == (2, 4)
+        for p in range(2):
+            np.testing.assert_array_equal(
+                stacked[p], scheme.keys_port(p, occupied[p])
+            )
+
+
+class TestWfq:
+    def test_setup_derives_weight_and_increment(self):
+        wfq = WFQ(1, 4)
+        wfq.on_setup(0, 0, 0, 8, True)
+        assert wfq._weight[0][0] == 8
+        assert wfq._inc[0][0] == WFQ_SCALE // 8
+
+    def test_heavier_flow_ranks_first_and_chains(self):
+        wfq = WFQ(1, 2)
+        wfq.on_setup(0, 0, 0, 1, True)
+        wfq.on_setup(0, 1, 0, 4, True)
+        mask = occ(2, 0, 1)
+        keys = wfq.keys_port(0, mask)
+        assert keys[1] > keys[0]  # smaller finish tag = larger key
+        # The heavy flow's 4th flit finishes exactly when the light
+        # flow's 1st does: after three services its head tag levels.
+        for t in range(3):
+            wfq.on_service(0, 1, 0, t)
+            keys = wfq.keys_port(0, mask)
+        assert wfq.finish_tag(0, 1) == wfq.finish_tag(0, 0) == WFQ_SCALE
+
+    def test_teardown_resets_state(self):
+        wfq = WFQ(1, 2)
+        wfq.on_setup(0, 0, 0, 4, True)
+        wfq.keys_port(0, occ(2, 0))
+        wfq.on_service(0, 0, 0, 0)
+        wfq.on_teardown(0, 0)
+        assert wfq._weight[0][0] == 0
+        assert wfq._last_finish[0][0] == 0
+        assert wfq.finish_tag(0, 0) is None
+
+    def test_horizon_overflow_raises(self):
+        wfq = WFQ(1, 1)
+        wfq.on_setup(0, 0, 0, 1, True)
+        wfq._last_finish[0][0] = WFQ_HORIZON
+        with pytest.raises(OverflowError, match="horizon"):
+            wfq.keys_port(0, occ(1, 0))
+
+    def test_ports_are_independent(self):
+        wfq = WFQ(2, 2)
+        wfq.on_setup(0, 0, 0, 1, True)
+        wfq.on_setup(1, 0, 0, 1, True)
+        for t in range(5):
+            wfq.keys_port(0, occ(2, 0))
+            wfq.on_service(0, 0, 0, t)
+        assert wfq.virtual_time(0) > 0
+        assert wfq.virtual_time(1) == 0
+
+
+class TestDrr:
+    def test_round_robin_rotation_with_quantum(self):
+        drr = DRR(1, 4)
+        for vc in (0, 1, 2):
+            drr.on_setup(0, vc, 0, 2, True)
+        mask = occ(4, 0, 1, 2)
+        # All deficits exhausted, cur=0: the ring front is vc 1.
+        assert int(np.argmax(drr.keys_port(0, mask))) == 1
+        drr.on_service(0, 1, 0, 0)  # deficit[1]: 0 -> 1
+        # Front keeps serving while its deficit lasts...
+        assert int(np.argmax(drr.keys_port(0, mask))) == 1
+        drr.on_service(0, 1, 0, 1)  # deficit[1]: 1 -> 0
+        # ...then rotates to the next backlogged VC.
+        assert int(np.argmax(drr.keys_port(0, mask))) == 2
+
+    def test_empty_queue_forfeits_deficit(self):
+        drr = DRR(1, 4)
+        drr.on_setup(0, 0, 0, 4, True)
+        drr.on_service(0, 0, 0, 0)
+        assert drr.deficits[0, 0] == 3
+        drr.keys_port(0, occ(4, 1))  # vc 0 went idle
+        assert drr.deficits[0, 0] == 0
+
+    def test_teardown_resets(self):
+        drr = DRR(1, 2)
+        drr.on_setup(0, 0, 0, 5, True)
+        drr.on_service(0, 0, 0, 0)
+        drr.on_teardown(0, 0)
+        assert drr.quanta[0, 0] == 1
+        assert drr.deficits[0, 0] == 0
+
+    def test_inspection_views_read_only(self):
+        drr = DRR(1, 2)
+        with pytest.raises(ValueError):
+            drr.deficits[0, 0] = 9
+
+
+class TestMcdrr:
+    def test_candidates_are_channel_diverse(self):
+        mc = MCDRR(2, 4)
+        mc.on_setup(0, 0, 0, 1, True)  # channel 0
+        mc.on_setup(0, 1, 0, 1, True)  # channel 0
+        mc.on_setup(0, 2, 1, 1, True)  # channel 1
+        keys = mc.keys_port(0, occ(4, 0, 1, 2))
+        ranked = sorted((vc for vc in (0, 1, 2)), key=lambda vc: -keys[vc])
+        # Depth 0 of both channels outranks depth 1 of channel 0.
+        assert ranked[0] == 1  # chan 0 ring front (cur=0 -> anchor=1)
+        assert ranked[1] == 2  # chan 1's front interleaves next
+        assert ranked[2] == 0
+
+    def test_outer_ring_advances_past_served_channel(self):
+        mc = MCDRR(2, 4)
+        mc.on_setup(0, 0, 0, 1, True)
+        mc.on_setup(0, 2, 1, 1, True)
+        mask = occ(4, 0, 2)
+        keys = mc.keys_port(0, mask)
+        first = int(np.argmax(keys))
+        mc.on_service(0, first, 0 if first == 0 else 1, 0)
+        keys = mc.keys_port(0, mask)
+        second = int(np.argmax(keys))
+        assert {first, second} == {0, 2}  # alternates across channels
+
+    def test_teardown_clears_channel(self):
+        mc = MCDRR(2, 4)
+        mc.on_setup(0, 3, 1, 6, True)
+        mc.on_teardown(0, 3)
+        assert mc._out_of[0][3] == -1
+        assert mc.quanta[0, 3] == 1
+
+
+class TestBestEffortSubordination:
+    @pytest.mark.parametrize("name", FQ_SCHEMES)
+    def test_reserved_outranks_best_effort(self, name):
+        cfg = RouterConfig(num_ports=2, vcs_per_link=4, vc_buffer_depth=2,
+                           candidate_levels=2, flit_cycles_per_round=400)
+        router = MMRouter(cfg, scheme=name)
+        be = router.establish(0, 1, TrafficClass.BEST_EFFORT, 1).connection
+        cbr = router.establish(0, 1, TrafficClass.CBR, 1).connection
+        router.vc_memory.push(0, be.vc, 0, -1, False, now=0)
+        router.vc_memory.push(0, cbr.vc, 4096, -1, False, now=4096)
+        port0 = router._link_schedule(4096)[0]
+        assert [c.vc for c in port0[:2]] == [cbr.vc, be.vc]
+        assert port0[0].priority > port0[1].priority
+
+
+class TestRouterIntegration:
+    @pytest.mark.parametrize("name", FQ_SCHEMES)
+    def test_fast_and_reference_paths_identical(self, name):
+        cfg = RouterConfig(num_ports=2, vcs_per_link=8, candidate_levels=2)
+        control = RunControl(cycles=600, warmup_cycles=100)
+        results = []
+        for fast in (True, False):
+            sim = SingleRouterSim(cfg, arbiter="coa", scheme=name, seed=3,
+                                  fast_path=fast)
+            workload = build_cbr_workload(sim.router, 0.7, sim.rng.workload)
+            results.append(sim.run(workload, control).to_dict())
+        assert results[0] == results[1]
+
+    @pytest.mark.parametrize("name", FQ_SCHEMES)
+    def test_full_run_conserves_flow_control(self, name):
+        cfg = RouterConfig(num_ports=2, vcs_per_link=8, candidate_levels=2)
+        sim = SingleRouterSim(cfg, arbiter="coa", scheme=name, seed=1)
+        workload = build_cbr_workload(sim.router, 0.8, sim.rng.workload)
+        result = sim.run(workload, RunControl(cycles=500, warmup_cycles=0))
+        sim.router.check_flow_control_invariant()
+        assert result.throughput > 0
+
+    def test_teardown_notifies_scheme(self):
+        cfg = RouterConfig(num_ports=2, vcs_per_link=4, candidate_levels=2)
+        router = MMRouter(cfg, scheme="drr")
+        conn = router.establish(0, 1, TrafficClass.CBR, 3).connection
+        assert router.scheme.quanta[0, conn.vc] == 3
+        router.teardown(conn.conn_id)
+        assert router.scheme.quanta[0, conn.vc] == 1

@@ -1,0 +1,62 @@
+"""Registry edge cases: error quality and universal runnability.
+
+Two contracts for the name-based factories: an unknown name must fail
+with an error that lists *every* valid name (the CLI surfaces these
+verbatim), and every registered name — arbiter or scheme, stateless or
+stateful — must construct and complete a short smoke run at the paper
+configuration without tripping any invariant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import (
+    ARBITER_NAMES,
+    SCHEME_NAMES,
+    make_arbiter,
+    make_scheme,
+)
+from repro.router.config import RouterConfig
+from repro.sim.engine import RunControl
+from repro.sim.simulation import SingleRouterSim
+from repro.traffic.mixes import build_cbr_workload
+
+
+class TestUnknownNameErrors:
+    def test_arbiter_error_lists_every_valid_name(self):
+        with pytest.raises(ValueError) as excinfo:
+            make_arbiter("definitely-not-real", RouterConfig())
+        message = str(excinfo.value)
+        assert "definitely-not-real" in message
+        for name in ARBITER_NAMES:
+            assert name in message
+
+    def test_scheme_error_lists_every_valid_name(self):
+        with pytest.raises(ValueError) as excinfo:
+            make_scheme("definitely-not-real", RouterConfig())
+        message = str(excinfo.value)
+        assert "definitely-not-real" in message
+        for name in SCHEME_NAMES:
+            assert name in message
+
+
+def _smoke(arbiter: str, scheme: str) -> None:
+    """200-cycle paper-config (4x4, 64 VC) run; invariants must hold."""
+    config = RouterConfig()
+    sim = SingleRouterSim(config, arbiter=arbiter, scheme=scheme, seed=7)
+    workload = build_cbr_workload(sim.router, 0.6, sim.rng.workload)
+    result = sim.run(workload, RunControl(cycles=200, warmup_cycles=0))
+    sim.router.check_flow_control_invariant()
+    assert result.cycles == 200
+    assert result.throughput >= 0.0
+    assert np.isfinite(result.offered_load)
+
+
+class TestEveryNameRuns:
+    @pytest.mark.parametrize("arbiter", ARBITER_NAMES)
+    def test_every_arbiter_smokes(self, arbiter):
+        _smoke(arbiter, "siabp")
+
+    @pytest.mark.parametrize("scheme", SCHEME_NAMES)
+    def test_every_scheme_smokes(self, scheme):
+        _smoke("coa", scheme)

@@ -139,8 +139,13 @@ class TestBlockingSweep:
             assert point.policy in ("paper", "util-cap")
             assert point.offered_sessions > 0
             assert 0.0 <= point.blocking_probability <= 1.0
-            # Single-CBR-class demo mix: the Erlang-B reference exists.
+            # Single-CBR-class demo mix: the Erlang-B reference exists,
+            # and Kaufman-Roberts must agree with it (it reduces to
+            # Erlang-B when there is only one class).
             assert math.isfinite(point.erlang_b_reference)
+            assert point.kaufman_roberts_reference == pytest.approx(
+                point.erlang_b_reference, abs=1e-12
+            )
 
     def test_multi_class_mix_has_no_erlang_reference(self):
         plan = blocking_sweep_plan(
@@ -148,7 +153,26 @@ class TestBlockingSweep:
             control=RunControl(cycles=1_500, warmup_cycles=0),
         )
         _, points = run_blocking_sweep(plan)
+        # Two CBR classes: Erlang-B no longer applies, but the
+        # Kaufman-Roberts recursion handles the heterogeneous slot
+        # demands and still yields an analytic reference.
         assert math.isnan(points[0].erlang_b_reference)
+        assert math.isfinite(points[0].kaufman_roberts_reference)
+        assert 0.0 <= points[0].kaufman_roberts_reference <= 1.0
+
+    def test_vbr_mix_has_no_analytic_reference(self):
+        churn = dataclasses.replace(
+            CHURN, mix=(("cbr-low", 0.5), ("vbr", 0.5))
+        )
+        plan = blocking_sweep_plan(
+            "sweep", CFG, [4.0], ["paper"], base_churn=churn,
+            control=RunControl(cycles=1_500, warmup_cycles=0),
+        )
+        _, points = run_blocking_sweep(plan)
+        # VBR sessions have no fixed slot demand, so neither loss
+        # model applies.
+        assert math.isnan(points[0].erlang_b_reference)
+        assert math.isnan(points[0].kaufman_roberts_reference)
 
     def test_reduce_rejects_static_outcomes(self):
         plan = CampaignPlan(
