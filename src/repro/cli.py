@@ -259,6 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(fraction, default 0.3)")
     p_perf.add_argument("--profile", action="store_true",
                         help="also print a cProfile of the fast path")
+    p_perf.add_argument("--check-skip", action="store_true",
+                        help="only run the idle-skip bit-identity gate "
+                             "across an arbiter/seed matrix and exit")
     p_perf.set_defaults(func=cmd_perf)
 
     p_obs = sub.add_parser(
@@ -809,7 +812,34 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
-    from .perf import check_regression, profile_fast_path, run_perf, write_report
+    from .perf import (
+        check_regression,
+        profile_fast_path,
+        run_perf,
+        run_skip_check,
+        write_report,
+    )
+
+    if args.check_skip:
+        # Determinism gate: the idle-skip engine must be bit-identical
+        # to the plain loop for every arbiter family and several seeds.
+        rows = []
+        failed = False
+        for arbiter in ("coa", "wfa", "islip", "pim", "greedy", "random"):
+            for seed in (0, 1, 2):
+                ok, _ = run_skip_check(
+                    ports=args.ports, vcs=args.vcs, levels=args.levels,
+                    arbiter=arbiter, scheme=args.scheme, seed=seed,
+                )
+                rows.append([arbiter, seed, "ok" if ok else "DIVERGED"])
+                failed = failed or not ok
+        print(render_table(["arbiter", "seed", "skip identity"], rows,
+                           title="idle-skip bit-identity gate"))
+        if failed:
+            print("error: idle-skip run diverged from the reference loop",
+                  file=sys.stderr)
+            return 1
+        return 0
 
     report = run_perf(
         ports=args.ports, vcs=args.vcs, levels=args.levels,
@@ -828,6 +858,16 @@ def cmd_perf(args: argparse.Namespace) -> int:
         ["speedup", f"{report.speedup:.2f}x"],
         ["grants identical", report.grants_identical],
     ]
+    if report.low_load is not None:
+        ll = report.low_load
+        rows += [
+            [f"skip path @ load {ll.load} (cycles/sec)",
+             f"{ll.skip_cycles_per_sec:,.0f}"],
+            [f"reference @ load {ll.load} (cycles/sec)",
+             f"{ll.reference_cycles_per_sec:,.0f}"],
+            ["idle-skip speedup", f"{ll.speedup:.2f}x"],
+            ["skip identical", ll.skip_identical],
+        ]
     fast_total = sum(report.fast.stages_ns.values()) or 1
     for stage, ns in report.fast.stages_ns.items():
         rows.append([f"fast stage [{stage}]", f"{ns / fast_total:.1%}"])
@@ -835,6 +875,10 @@ def cmd_perf(args: argparse.Namespace) -> int:
                        title="scheduling hot-path benchmark"))
     if not report.grants_identical:
         print("error: fast and reference paths departed different flits",
+              file=sys.stderr)
+        return 1
+    if report.low_load is not None and not report.low_load.skip_identical:
+        print("error: idle-skip run diverged from the non-skipping run",
               file=sys.stderr)
         return 1
     if args.json:

@@ -75,6 +75,16 @@ class CandidateOrderArbiter(Arbiter):
         self._rows_scratch: list[list[tuple[int | float, int, int]]] = [
             [] for _ in range(levels * num_ports)
         ]
+        # With these rules a lone request is granted without consulting
+        # rng (_pick_row returns the only live row drawlessly and the
+        # single-request arbitration path never draws), so match_buffer
+        # may bypass the row machinery for 0/1 candidates.  random
+        # ordering and random arbitration draw even from 1-element
+        # pools, and level_only draws its tiebreak unconditionally.
+        self._single_fast = (
+            arbitration == "priority"
+            and ordering in ("level_conflict", "conflict_only")
+        )
 
     # ------------------------------------------------------------------
 
@@ -116,19 +126,39 @@ class CandidateOrderArbiter(Arbiter):
         object path), so every rng draw lands on the same request set.
         """
         n = self.num_ports
-        rows = self._rows_scratch
-        for row in rows:
-            row.clear()
         max_level = self.levels
         if buf.sparse_valid:
+            sparse = buf.sparse
+            if self._single_fast:
+                # 0/1-candidate bypass: drawless under these rules (see
+                # __init__), so the grant set — and every rng draw — is
+                # identical to the general path.
+                total = 0
+                for cands in sparse:
+                    total += min(len(cands), max_level)
+                    if total > 1:
+                        break
+                if total == 0:
+                    return []
+                if total == 1:
+                    for p, cands in enumerate(sparse):
+                        if cands:
+                            _key, vc, out = cands[0]
+                            return [(p, vc, out)]
+            rows = self._rows_scratch
+            for row in rows:
+                row.clear()
             # Python-native rows straight from the sparse fill — no numpy
             # round-trip.  Same (port, level) visiting order and the same
             # folded keys as the array path below.
-            for p, cands in enumerate(buf.sparse):
+            for p, cands in enumerate(sparse):
                 for level in range(min(len(cands), max_level)):
                     key, vc, out = cands[level]
                     rows[level * n + out].append((key, p, vc))
             return self._match_rows(rows, rng)
+        rows = self._rows_scratch
+        for row in rows:
+            row.clear()
         counts = buf.count.tolist()
         vcs = buf.vc.tolist()
         outs = buf.out_port.tolist()

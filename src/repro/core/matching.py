@@ -106,6 +106,18 @@ class Arbiter(abc.ABC):
     def reset(self) -> None:
         """Clear any internal fairness state (pointers); default no-op."""
 
+    def skip_idle_cycles(self, n: int) -> None:
+        """Advance per-cycle fairness state across ``n`` empty matchings.
+
+        The event-skipping engine calls this instead of running ``n``
+        :meth:`match` calls with no candidates.  The default no-op is
+        correct for every arbiter whose state moves only on grants
+        (iSLIP pointers, PIM/random draws, COA row picks all leave both
+        their state and the RNG untouched on an empty request set); the
+        wrapped WFA overrides it because its start diagonal rotates on
+        every arbitration, requests or not.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
 

@@ -90,6 +90,18 @@ class WaveFrontArbiter(Arbiter):
     def reset(self) -> None:
         self._start_diag = 0
 
+    def skip_idle_cycles(self, n: int) -> None:
+        """Rotate the start diagonal as if ``n`` empty sweeps had run.
+
+        :meth:`_sweep` advances the wrapped variant's start diagonal on
+        every arbitration — with or without requests — so skipped idle
+        cycles must rotate it analytically to keep skip-enabled runs
+        grant-identical to the reference loop.  The plain variant is
+        stateless and needs nothing.
+        """
+        if self.wrapped:
+            self._start_diag = (self._start_diag + n) % self.num_ports
+
     def match(
         self,
         candidates: Sequence[Sequence[Candidate]],

@@ -37,7 +37,12 @@ from ..router.credits import CreditWatchdog
 from ..sessions.signaling import readmit_elsewhere
 from ..sim.engine import RunControl
 from ..sim.metrics import FaultCounters, MetricsCollector
-from ..sim.simulation import SimResult, SingleRouterSim
+from ..sim.simulation import (
+    SimResult,
+    SingleRouterSim,
+    native_feeds,
+    next_injection_cycle,
+)
 from ..traffic.mixes import Workload
 from .degradation import (
     LEVEL_CLAMP_VBR_PEAK,
@@ -62,8 +67,9 @@ class FaultySingleRouterSim(SingleRouterSim):
         scheme: PriorityScheme | str = "siabp",
         seed: int = 0,
         faults: FaultConfig | None = None,
+        skip_idle: bool = False,
     ) -> None:
-        super().__init__(config, arbiter, scheme, seed)
+        super().__init__(config, arbiter, scheme, seed, skip_idle=skip_idle)
         cfg = faults if faults is not None else FaultConfig()
         if cfg.dead_port is not None and cfg.dead_port >= config.num_ports:
             raise ValueError(
@@ -125,7 +131,9 @@ class FaultySingleRouterSim(SingleRouterSim):
         router = self.router
         config = self.config
         cfg = self.fault_config
-        feeds = workload.build_feeds(control.cycles, self.rng.sources)
+        feeds = native_feeds(
+            workload.build_feeds(control.cycles, self.rng.sources)
+        )
         labels = workload.labels_by_conn()
         conn_of_vc = {
             (item.conn.in_port, item.conn.vc): item.conn.conn_id
@@ -139,7 +147,6 @@ class FaultySingleRouterSim(SingleRouterSim):
             telemetry.begin(router, workload, metrics, control)
             self.sim_watchdog.on_trip = telemetry.on_watchdog_trip
         arb_rng = self.rng.arbiter
-        nics = router.nics
         credits = router.credits
         vc_memory = router.vc_memory
         occupancy = vc_memory.occupancy
@@ -150,12 +157,28 @@ class FaultySingleRouterSim(SingleRouterSim):
             router.crossbar.reset_counters()
         self._refresh_classes()
         round_cycles = config.round_cycles
-        redirect = self._redirect
         injected = 0
         departed = 0
+        # Skipping is only safe when the fault config can never fire (no
+        # per-opportunity draws, no dead port); any live fault machinery
+        # disables it for the whole run.  Token-bucket refills at round
+        # boundaries clamp the fast-forward target below.
+        tel_next = (
+            getattr(telemetry, "next_event_cycle", None)
+            if telemetry is not None
+            else None
+        )
+        skipping = (
+            self.skip_idle
+            and cfg.is_inert
+            and (telemetry is None or tel_next is not None)
+        )
+        end = control.cycles
+        next_due = next_injection_cycle(feeds, pointers, end)
 
-        for now in range(control.cycles):
-            if not counters_reset and now == control.warmup_cycles:
+        now = 0
+        while now < end:
+            if not counters_reset and now >= control.warmup_cycles:
                 router.crossbar.reset_counters()
                 counters_reset = True
             if now % round_cycles == 0:
@@ -169,29 +192,9 @@ class FaultySingleRouterSim(SingleRouterSim):
                 self._activate_dead_port(now, metrics, labels)
             # 1. Source injection into the NICs (through the redirect map
             #    once recovery has moved connections to new VCs).
-            for port, feed in enumerate(feeds):
-                ptr = pointers[port]
-                cycles = feed.cycles
-                end = len(cycles)
-                nic = nics[port]
-                while ptr < end and cycles[ptr] <= now:
-                    vc: int | None = int(feed.vcs[ptr])
-                    if redirect:
-                        vc = redirect.get((port, vc), vc)
-                    if vc is None:
-                        # Connection was dropped: its source traffic has
-                        # nowhere to go.
-                        self.counters.flits_dropped += 1
-                    else:
-                        nic.inject(
-                            vc,
-                            int(cycles[ptr]),
-                            int(feed.frame_ids[ptr]),
-                            bool(feed.frame_last[ptr]),
-                        )
-                        injected += 1
-                    ptr += 1
-                pointers[port] = ptr
+            if now >= next_due:
+                injected += self._inject_faulty(feeds, pointers, now)
+                next_due = next_injection_cycle(feeds, pointers, end)
             # 2. Buffer faults, credit landing, counter watchdog.
             self.injector.step_stuck(now, occupancy)
             credits.deliver(now)
@@ -227,7 +230,26 @@ class FaultySingleRouterSim(SingleRouterSim):
             self._accept_with_faults(now, level)
             # 6. Conservation / livelock sweep.
             self.sim_watchdog.check(now, injected, departed, self._conserved_drops)
+            now += 1
+            # 7. Idle fast-forward (inert fault config only): jump to the
+            #    next injection, token-refill round or telemetry sample.
+            if skipping and next_due > now and router.is_idle():
+                target = next_due
+                next_round = now + (-now % round_cycles)
+                if next_round < target:
+                    target = next_round
+                if tel_next is not None:
+                    tel_cycle = tel_next(now)
+                    if tel_cycle < target:
+                        target = tel_cycle
+                if target > now:
+                    counters_reset = self._fast_forward(
+                        now, target, control, counters_reset
+                    )
+                    now = target
 
+        if not counters_reset:
+            router.crossbar.reset_counters()
         result = self._summarize(workload, control, metrics)
         counters = self.counters
         counters.duplicates_discarded = credits.duplicates_discarded
@@ -254,7 +276,9 @@ class FaultySingleRouterSim(SingleRouterSim):
         router = self.router
         config = self.config
         cfg = self.fault_config
-        feeds = workload.build_feeds(control.cycles, self.rng.sources)
+        feeds = native_feeds(
+            workload.build_feeds(control.cycles, self.rng.sources)
+        )
         labels = workload.labels_by_conn()
         conn_of_vc = {
             (item.conn.in_port, item.conn.vc): item.conn.conn_id
@@ -272,7 +296,6 @@ class FaultySingleRouterSim(SingleRouterSim):
         if engine.control_plane is not None:
             self.degradation.controller = engine.control_plane.recovery
         arb_rng = self.rng.arbiter
-        nics = router.nics
         credits = router.credits
         vc_memory = router.vc_memory
         occupancy = vc_memory.occupancy
@@ -283,12 +306,31 @@ class FaultySingleRouterSim(SingleRouterSim):
             router.crossbar.reset_counters()
         self._refresh_classes()
         round_cycles = config.round_cycles
-        redirect = self._redirect
         injected = 0
         departed = 0
+        # Same gating as :meth:`run`, plus the session engine must expose
+        # its next-event times; an attached control plane keeps per-cycle
+        # recovery state on the degradation policy, so it disables
+        # skipping outright.
+        tel_next = (
+            getattr(telemetry, "next_event_cycle", None)
+            if telemetry is not None
+            else None
+        )
+        eng_next = getattr(engine, "next_event_cycle", None)
+        skipping = (
+            self.skip_idle
+            and cfg.is_inert
+            and engine.control_plane is None
+            and eng_next is not None
+            and (telemetry is None or tel_next is not None)
+        )
+        end = control.cycles
+        next_due = next_injection_cycle(feeds, pointers, end)
 
-        for now in range(control.cycles):
-            if not counters_reset and now == control.warmup_cycles:
+        now = 0
+        while now < end:
+            if not counters_reset and now >= control.warmup_cycles:
                 router.crossbar.reset_counters()
                 counters_reset = True
             if now % round_cycles == 0:
@@ -305,27 +347,9 @@ class FaultySingleRouterSim(SingleRouterSim):
             # 0. Session lifecycle (signaling, arrivals, drains).
             engine.on_cycle(now)
             # 1. Source injection into the NICs.
-            for port, feed in enumerate(feeds):
-                ptr = pointers[port]
-                cycles = feed.cycles
-                end = len(cycles)
-                nic = nics[port]
-                while ptr < end and cycles[ptr] <= now:
-                    vc: int | None = int(feed.vcs[ptr])
-                    if redirect:
-                        vc = redirect.get((port, vc), vc)
-                    if vc is None:
-                        self.counters.flits_dropped += 1
-                    else:
-                        nic.inject(
-                            vc,
-                            int(cycles[ptr]),
-                            int(feed.frame_ids[ptr]),
-                            bool(feed.frame_last[ptr]),
-                        )
-                        injected += 1
-                    ptr += 1
-                pointers[port] = ptr
+            if now >= next_due:
+                injected += self._inject_faulty(feeds, pointers, now)
+                next_due = next_injection_cycle(feeds, pointers, end)
             injected += engine.inject(now)
             # 2. Buffer faults, credit landing, counter watchdog.
             self.injector.step_stuck(now, occupancy)
@@ -363,7 +387,30 @@ class FaultySingleRouterSim(SingleRouterSim):
             self._accept_with_faults(now, level)
             # 6. Conservation / livelock sweep.
             self.sim_watchdog.check(now, injected, departed, self._conserved_drops)
+            now += 1
+            # 7. Idle fast-forward (inert config, no control plane): jump
+            #    to the next injection, signaling event, refill round or
+            #    telemetry sample.
+            if skipping and next_due > now and router.is_idle():
+                target = next_due
+                eng_cycle = eng_next(now)
+                if eng_cycle < target:
+                    target = eng_cycle
+                next_round = now + (-now % round_cycles)
+                if next_round < target:
+                    target = next_round
+                if tel_next is not None:
+                    tel_cycle = tel_next(now)
+                    if tel_cycle < target:
+                        target = tel_cycle
+                if target > now:
+                    counters_reset = self._fast_forward(
+                        now, target, control, counters_reset
+                    )
+                    now = target
 
+        if not counters_reset:
+            router.crossbar.reset_counters()
         engine.finish()
         result = self._summarize(workload, control, metrics)
         counters = self.counters
@@ -383,6 +430,45 @@ class FaultySingleRouterSim(SingleRouterSim):
     # ------------------------------------------------------------------
     # Scheduling and link-transfer hooks
     # ------------------------------------------------------------------
+
+    def _inject_faulty(self, feeds, pointers, now: int) -> int:
+        """Redirect-aware twin of :func:`~repro.sim.simulation.inject_due_flits`.
+
+        One shared walk for both faulty cycle loops: feeds route through
+        the recovery redirect map (connections re-admitted on new VCs, or
+        dropped entirely).  Returns the number of flits actually
+        deposited, feeding the watchdog's conservation ledger.
+        """
+        nics = self.router.nics
+        redirect = self._redirect
+        counters = self.counters
+        injected = 0
+        for port, feed in enumerate(feeds):
+            ptr = pointers[port]
+            cycles = feed.cycles
+            end = len(cycles)
+            if ptr >= end or cycles[ptr] > now:
+                continue
+            nic = nics[port]
+            while ptr < end and cycles[ptr] <= now:
+                vc: int | None = int(feed.vcs[ptr])
+                if redirect:
+                    vc = redirect.get((port, vc), vc)
+                if vc is None:
+                    # Connection was dropped: its source traffic has
+                    # nowhere to go.
+                    counters.flits_dropped += 1
+                else:
+                    nic.inject(
+                        vc,
+                        int(cycles[ptr]),
+                        int(feed.frame_ids[ptr]),
+                        bool(feed.frame_last[ptr]),
+                    )
+                    injected += 1
+                ptr += 1
+            pointers[port] = ptr
+        return injected
 
     def _filter_candidates(self, candidates):
         """Drop candidates through the dead port or a stuck buffer slot."""

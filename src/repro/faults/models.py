@@ -167,3 +167,17 @@ class FaultConfig:
     @property
     def any_faults(self) -> bool:
         return self.has_random_faults or self.dead_port is not None
+
+    @property
+    def is_inert(self) -> bool:
+        """True when this config can never inject a fault or draw RNG.
+
+        The event-skipping engine consults this: with every
+        per-opportunity rate at zero and no structural dead port, the
+        fault harness's per-cycle hooks (injector, credit watchdog scan,
+        degradation update, conservation sweep) are provably no-ops on
+        idle cycles and consume no ``faults`` stream draws, so idle
+        spans may be fast-forwarded.  Any active fault disables skipping
+        for the whole run.
+        """
+        return not self.any_faults

@@ -148,6 +148,17 @@ class TelemetrySession:
         if now % self.config.stride == 0:
             self.timeseries.sample(now, self.router)
 
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle >= ``now`` where :meth:`on_cycle` does work.
+
+        On a departure-free cycle the hook touches nothing except the
+        strided time-series sample, so the event-skipping engine may
+        jump straight to the next stride multiple; it clamps its target
+        here so no sample is ever silenced.
+        """
+        stride = self.config.stride
+        return now + (-now % stride)
+
     def finish(self, result: "SimResult") -> None:
         """Seal the session: keep the result, pull the delay histograms."""
         self.result = result

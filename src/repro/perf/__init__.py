@@ -10,17 +10,21 @@ cycles/sec regressions against the committed baseline.
 from .harness import (
     PathStats,
     PerfReport,
+    SkipStats,
     check_regression,
     profile_fast_path,
     run_perf,
+    run_skip_check,
     write_report,
 )
 
 __all__ = [
     "PathStats",
     "PerfReport",
+    "SkipStats",
     "check_regression",
     "profile_fast_path",
     "run_perf",
+    "run_skip_check",
     "write_report",
 ]

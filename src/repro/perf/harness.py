@@ -19,6 +19,12 @@ Three measurements per report:
   of cycles and their departures compared flit for flit; a report with
   ``grants_identical: false`` means the zero-allocation path diverged from
   the reference and the speedup number is meaningless.
+* **low-load idle-skip point** — the paper's 10%-load configuration, where
+  most cycles are idle, measured with the event-skipping engine on
+  (``skip_idle=True``) against the plain object-path reference loop.  The
+  report also records ``skip_identical``: the skip-enabled run must be
+  bit-identical (``SimResult.to_dict()`` and the RNG fingerprint) to the
+  non-skipping run, or the speedup is meaningless.
 
 cProfile is opt-in (:func:`profile_fast_path`) because profiling distorts
 the numbers it reports.
@@ -37,14 +43,16 @@ from typing import Any
 
 from ..sim.engine import RunControl
 from ..sim.experiments import default_config
-from ..sim.simulation import SingleRouterSim
+from ..sim.simulation import SingleRouterSim, inject_due_flits
 from ..traffic.mixes import build_cbr_workload
 
 __all__ = [
     "PathStats",
+    "SkipStats",
     "PerfReport",
     "make_cbr_sim",
     "run_perf",
+    "run_skip_check",
     "write_report",
     "check_regression",
     "profile_fast_path",
@@ -68,6 +76,10 @@ _FULL_REPEATS = 5
 _QUICK_REPEATS = 3
 #: Cycles of side-by-side stepping for the grant-equivalence check.
 _EQUIV_CYCLES = 2_000
+#: Offered load of the paper's low-load point (mostly idle cycles).
+_LOW_LOAD = 0.1
+#: Full-run cycles for the skip-identity bit-identity check.
+_SKIP_CHECK_CYCLES = 3_000
 
 
 @dataclass
@@ -82,6 +94,25 @@ class PathStats:
     wall_s_all: list[float] = field(default_factory=list)
     #: ns per stage from the instrumented loop (relative attribution).
     stages_ns: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SkipStats:
+    """Idle-skip engine measurements at the low-load paper point."""
+
+    load: float
+    cycles: int
+    #: Skip-enabled fast path, best repetition.
+    skip_cycles_per_sec: float
+    #: Plain object-path reference loop, best repetition.
+    reference_cycles_per_sec: float
+    #: skip cycles/sec over reference cycles/sec.
+    speedup: float
+    #: Skip-enabled run bit-identical (SimResult + RNG fingerprint) to
+    #: the non-skipping run on both pipelines.
+    skip_identical: bool
+    wall_s_skip: list[float] = field(default_factory=list)
+    wall_s_reference: list[float] = field(default_factory=list)
 
 
 @dataclass
@@ -104,6 +135,8 @@ class PerfReport:
     speedup: float
     #: Both paths departed identical flits over the checked stretch.
     grants_identical: bool
+    #: Low-load idle-skip measurement (None when the point is disabled).
+    low_load: SkipStats | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -118,6 +151,7 @@ def make_cbr_sim(
     load: float,
     seed: int,
     fast_path: bool = True,
+    skip_idle: bool = False,
 ):
     """Build the benchmark's ``(sim, workload)`` pair from scratch.
 
@@ -128,7 +162,8 @@ def make_cbr_sim(
         num_ports=ports, vcs_per_link=vcs, candidate_levels=levels
     )
     sim = SingleRouterSim(
-        config, arbiter=arbiter, scheme=scheme, seed=seed, fast_path=fast_path
+        config, arbiter=arbiter, scheme=scheme, seed=seed,
+        fast_path=fast_path, skip_idle=skip_idle,
     )
     workload = build_cbr_workload(sim.router, load, sim.rng.workload)
     return sim, workload
@@ -159,20 +194,7 @@ def _staged_run(sim: SingleRouterSim, workload, cycles: int) -> dict[str, int]:
 
     for now in range(cycles):
         t0 = ns()
-        for port, feed in enumerate(feeds):
-            ptr = pointers[port]
-            cyc = feed.cycles
-            end = len(cyc)
-            nic = nics[port]
-            while ptr < end and cyc[ptr] <= now:
-                nic.inject(
-                    int(feed.vcs[ptr]),
-                    int(cyc[ptr]),
-                    int(feed.frame_ids[ptr]),
-                    bool(feed.frame_last[ptr]),
-                )
-                ptr += 1
-            pointers[port] = ptr
+        inject_due_flits(feeds, pointers, nics, now)
         t1 = ns()
         router.credits.deliver(now)
         t2 = ns()
@@ -211,20 +233,7 @@ def _departures(sim: SingleRouterSim, workload, cycles: int) -> list[tuple]:
     pointers = [0] * sim.config.num_ports
     out: list[tuple] = []
     for now in range(cycles):
-        for port, feed in enumerate(feeds):
-            ptr = pointers[port]
-            cyc = feed.cycles
-            end = len(cyc)
-            nic = nics[port]
-            while ptr < end and cyc[ptr] <= now:
-                nic.inject(
-                    int(feed.vcs[ptr]),
-                    int(cyc[ptr]),
-                    int(feed.frame_ids[ptr]),
-                    bool(feed.frame_last[ptr]),
-                )
-                ptr += 1
-            pointers[port] = ptr
+        inject_due_flits(feeds, pointers, nics, now)
         for dep in router.step(now, arb_rng):
             out.append(
                 (now, dep.in_port, dep.vc, dep.out_port, dep.gen_cycle,
@@ -262,6 +271,126 @@ def _measure_path(
     )
 
 
+def _run_signature(
+    ports: int,
+    vcs: int,
+    levels: int,
+    arbiter: str,
+    scheme: str,
+    load: float,
+    seed: int,
+    cycles: int,
+    warmup: int,
+    fast_path: bool,
+    skip_idle: bool,
+) -> tuple[str, str]:
+    """(canonical SimResult JSON, RNG fingerprint) of one full run."""
+    sim, workload = _make_sim(
+        ports, vcs, levels, arbiter, scheme, load, seed, fast_path, skip_idle
+    )
+    result = sim.run(
+        workload, RunControl(cycles=cycles, warmup_cycles=warmup)
+    )
+    return (
+        json.dumps(result.to_dict(), sort_keys=True),
+        sim.rng.state_fingerprint(),
+    )
+
+
+def run_skip_check(
+    *,
+    ports: int = 4,
+    vcs: int = 64,
+    levels: int = 4,
+    arbiter: str = "coa",
+    scheme: str = "siabp",
+    load: float = _LOW_LOAD,
+    seed: int = 0,
+    cycles: int = _SKIP_CHECK_CYCLES,
+    warmup: int | None = None,
+) -> tuple[bool, str]:
+    """Bit-identity gate for the idle-skip engine.
+
+    Runs the configuration with ``skip_idle`` off and on, on both the
+    buffer hot path and the object reference path, and compares the full
+    :meth:`~repro.sim.SimResult.to_dict` payload *and* the RNG stream
+    fingerprint.  Returns ``(ok, message)``; any divergence means the
+    fast-forward engine consumed RNG or dropped state on a skipped
+    cycle, and fails the gate.
+    """
+    warm = cycles // 4 if warmup is None else warmup
+    for fast_path in (True, False):
+        base = _run_signature(
+            ports, vcs, levels, arbiter, scheme, load, seed, cycles, warm,
+            fast_path, False,
+        )
+        skip = _run_signature(
+            ports, vcs, levels, arbiter, scheme, load, seed, cycles, warm,
+            fast_path, True,
+        )
+        if base != skip:
+            path = "fast" if fast_path else "reference"
+            what = "SimResult" if base[0] != skip[0] else "RNG fingerprint"
+            return False, (
+                f"skip divergence on the {path} path ({what}): "
+                f"{arbiter}/{scheme} load={load} seed={seed}"
+            )
+    return True, (
+        f"skip identity OK: {arbiter}/{scheme} load={load} seed={seed}, "
+        f"{cycles} cycles on both paths"
+    )
+
+
+def _run_skip_bench(
+    ports: int,
+    vcs: int,
+    levels: int,
+    arbiter: str,
+    scheme: str,
+    load: float,
+    seed: int,
+    cycles: int,
+    repeats: int,
+) -> SkipStats:
+    """Measure the idle-skip engine against the reference loop.
+
+    Interleaves skip-enabled fast-path runs with plain object-path
+    reference runs (the same noisy-neighbour defence as the headline
+    measurement) and stamps the result with the bit-identity verdict.
+    """
+    skip_walls: list[float] = []
+    ref_walls: list[float] = []
+    for _ in range(repeats):
+        sim, wl = _make_sim(
+            ports, vcs, levels, arbiter, scheme, load, seed, True, True
+        )
+        wall, _ = _timed_run(sim, wl, cycles)
+        skip_walls.append(wall)
+        sim, wl = _make_sim(
+            ports, vcs, levels, arbiter, scheme, load, seed, False, False
+        )
+        wall, _ = _timed_run(sim, wl, cycles)
+        ref_walls.append(wall)
+    identical, _ = run_skip_check(
+        ports=ports, vcs=vcs, levels=levels, arbiter=arbiter, scheme=scheme,
+        load=load, seed=seed, cycles=min(cycles, _SKIP_CHECK_CYCLES),
+    )
+    best_skip = min(skip_walls)
+    best_ref = min(ref_walls)
+    skip_cps = cycles / best_skip if best_skip > 0 else float("inf")
+    ref_cps = cycles / best_ref if best_ref > 0 else float("inf")
+    return SkipStats(
+        load=load,
+        cycles=cycles,
+        skip_cycles_per_sec=skip_cps,
+        reference_cycles_per_sec=ref_cps,
+        speedup=skip_cps / ref_cps,
+        skip_identical=identical,
+        wall_s_skip=skip_walls,
+        wall_s_reference=ref_walls,
+    )
+
+
 def run_perf(
     *,
     ports: int = 4,
@@ -274,6 +403,7 @@ def run_perf(
     cycles: int | None = None,
     quick: bool = False,
     repeats: int | None = None,
+    low_load: float | None = _LOW_LOAD,
 ) -> PerfReport:
     """Measure both pipelines and assemble the report."""
     n_cycles = cycles or (_QUICK_CYCLES if quick else _FULL_CYCLES)
@@ -313,6 +443,13 @@ def run_perf(
         sim_r, wl_r, equiv_cycles
     )
 
+    skip_stats = None
+    if low_load is not None:
+        skip_stats = _run_skip_bench(
+            ports, vcs, levels, arbiter, scheme, low_load, seed, n_cycles,
+            n_repeats,
+        )
+
     return PerfReport(
         ports=ports,
         vcs=vcs,
@@ -328,6 +465,7 @@ def run_perf(
         reference=reference,
         speedup=fast.cycles_per_sec / reference.cycles_per_sec,
         grants_identical=identical,
+        low_load=skip_stats,
     )
 
 

@@ -129,6 +129,15 @@ class NIC:
     # ------------------------------------------------------------------
 
     @property
+    def has_backlog(self) -> bool:
+        """True while any VC queue holds a flit (occupancy-bitmask read).
+
+        O(1) on the existing eligibility mask — the event-skipping
+        engine's idle predicate polls this every cycle.
+        """
+        return bool(self._mask)
+
+    @property
     def queue_lengths(self) -> np.ndarray:
         """(vcs,) flit counts waiting in the NIC (built on demand)."""
         arr = np.array([len(q) for q in self._queues], dtype=np.int64)

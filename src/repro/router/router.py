@@ -233,6 +233,25 @@ class MMRouter:
         self._accept_from_nics(now)
         return departures
 
+    def step_quiet(self, now: int) -> None:
+        """One cycle with every VC buffer empty — :meth:`step` minus the
+        provably grant-free scheduling work.
+
+        With no VC occupied, link scheduling yields an empty candidate
+        set and every arbiter returns an empty matching without drawing
+        RNG; the only state the full pipeline would still move is the
+        credit landings, the wrapped WFA's start diagonal (rotated one
+        position per sweep whether or not candidates exist — mirrored by
+        ``skip_idle_cycles(1)``), the crossbar cycle counter, and the
+        NIC-to-VC transfers.  The event-skipping loops call this on
+        busy-NIC/empty-VC cycles; callers must ensure
+        ``vc_memory._occ_mask == 0`` or results diverge.
+        """
+        self.credits.deliver(now)
+        self.arbiter.skip_idle_cycles(1)
+        self.crossbar.cycles += 1
+        self._accept_from_nics(now)
+
     def notify_service(self, departures: list[Departure], now: int) -> None:
         """Feed crossbar services to a stateful scheme.
 
@@ -289,6 +308,25 @@ class MMRouter:
     # ------------------------------------------------------------------
     # Inspection / invariants
     # ------------------------------------------------------------------
+
+    def is_idle(self) -> bool:
+        """True when no flit is buffered in the router or any NIC.
+
+        The event-skipping engine's idle predicate: when this holds, a
+        :meth:`step` can move no flit and consult no RNG — the arbiters
+        see empty candidate sets and return without drawing — so the
+        cycle may be skipped analytically.  Credits still in flight do
+        *not* block idleness: :meth:`CreditState.deliver` drains every
+        land-cycle at or before ``now`` in sorted order, and a landed
+        credit is unobservable until a NIC has a flit to forward.
+        Both reads are O(1) on existing occupancy bitmasks.
+        """
+        if self.vc_memory._occ_mask:
+            return False
+        for nic in self.nics:
+            if nic._mask:
+                return False
+        return True
 
     def buffered_flits(self) -> int:
         """Flits inside the router (excludes NIC backlogs)."""

@@ -199,6 +199,14 @@ class VCMemory:
             self._occ_mask &= ~(1 << f)
         return out
 
+    def is_empty(self) -> bool:
+        """True when no VC on any port holds a flit (bitmask read).
+
+        O(1) on the occupancy mask push/pop already maintain — the
+        event-skipping engine's idle predicate polls this every cycle.
+        """
+        return not self._occ_mask
+
     def heads(self, port: int) -> HeadView:
         """Vectorized head-flit view for one input port (see HeadView)."""
         head = self._head[port]

@@ -403,6 +403,44 @@ class SessionEngine:
         del lst[keep:]
         return deposited
 
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle >= ``now`` where :meth:`on_cycle` or
+        :meth:`inject` does any work.
+
+        The event-skipping engine clamps its fast-forward target here so
+        no signaling completion, arrival, dynamic-session flit, drain
+        poll, utilization sample or control-plane estimator step is ever
+        skipped.  Drains poll router occupancy every cycle, so a
+        non-empty drain list pins the engine to the next cycle.
+        """
+        if self._draining:
+            return now
+        spec = self.spec
+        nxt = now + (-now % spec.sample_stride)
+        cp = self.control_plane
+        if cp is not None:
+            c = now + (-now % cp.cfg.estimator_stride)
+            if c < nxt:
+                nxt = c
+        pending = self._pending
+        if pending:
+            c = pending[0][0]
+            if c < nxt:
+                nxt = c
+        timeline = self._live
+        i = self._next_arrival
+        if i < len(timeline):
+            c = timeline[i].spec.arrival_cycle
+            if c < nxt:
+                nxt = c
+        for live in self._injecting:
+            cycles = live.spec.cycles
+            if live.ptr < len(cycles):
+                c = int(cycles[live.ptr]) + live.offset
+                if c < nxt:
+                    nxt = c
+        return nxt if nxt > now else now
+
     def on_departures(self, now: int, departures) -> None:
         """Feed measured deadline violations to the CAC feedback window."""
         deadlines = self._deadline_of

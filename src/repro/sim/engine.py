@@ -95,6 +95,11 @@ class RunControl:
     simulations (~6M router cycles); pure-Python runs are shorter and the
     warmup removes the empty-router transient (see EXPERIMENTS.md for the
     lengths used per experiment).
+
+    ``warmup_cycles >= cycles`` is allowed and means the run never leaves
+    warmup: ``measured_cycles`` is 0 and every rate statistic comes out
+    empty (NaN throughput, zero utilization) rather than leaking
+    warmup-time counters into the summary.
     """
 
     cycles: int
@@ -103,9 +108,10 @@ class RunControl:
     def __post_init__(self) -> None:
         if self.cycles <= 0:
             raise ValueError("cycles must be positive")
-        if not (0 <= self.warmup_cycles < self.cycles):
-            raise ValueError("warmup_cycles must be in [0, cycles)")
+        if self.warmup_cycles < 0:
+            raise ValueError("warmup_cycles must be >= 0")
 
     @property
     def measured_cycles(self) -> int:
-        return self.cycles - self.warmup_cycles
+        """Cycles after the warmup cut (0 when warmup covers the run)."""
+        return max(0, self.cycles - self.warmup_cycles)

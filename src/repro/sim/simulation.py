@@ -11,6 +11,19 @@ its NICs), builds a workload onto it, and runs the cycle loop:
 
 Results come back as a :class:`SimResult` holding the per-group metric
 summaries the figures plot.
+
+With ``skip_idle=True`` the loops run an idle-cycle fast-forward engine:
+whenever the router is completely idle (no NIC backlog, no VC occupancy —
+see :meth:`repro.router.MMRouter.is_idle`) the next interesting cycle is
+computed analytically from the sorted injection feeds plus every enabled
+consumer's ``next_event_cycle`` (telemetry strides, session signaling),
+and ``now`` jumps there directly.  Skipped cycles consult no RNG stream
+and move no state except the analytic bookkeeping in
+:meth:`SingleRouterSim._fast_forward`, so skip-enabled runs are
+bit-identical (``SimResult.to_dict()`` and
+``RngStreams.state_fingerprint()``) to the reference loop — the
+differential tests in ``tests/test_event_skip.py`` pin it.  See
+``docs/architecture.md`` ("Event-skipping engine") for the invariants.
 """
 
 from __future__ import annotations
@@ -23,11 +36,88 @@ from ..core.matching import Arbiter
 from ..core.priorities import PriorityScheme
 from ..router.config import RouterConfig
 from ..router.router import MMRouter
-from ..traffic.mixes import Workload
+from ..traffic.mixes import PortFeed, Workload
 from .engine import RngStreams, RunControl
 from .metrics import MetricsCollector
 
-__all__ = ["SimResult", "SingleRouterSim"]
+__all__ = [
+    "SimResult",
+    "SingleRouterSim",
+    "inject_due_flits",
+    "native_feeds",
+    "next_injection_cycle",
+]
+
+#: Shared empty departure list for quiet cycles (never mutated; consumers
+#: only iterate it).
+_NO_DEPARTURES: list = []
+
+
+def native_feeds(feeds) -> list[PortFeed]:
+    """Feed clones with Python-list columns instead of numpy arrays.
+
+    The cycle loops read feed elements one at a time (the injection walk
+    and the next-event scan), where list indexing returns cached small
+    ints instead of allocating numpy scalars — an order-of-magnitude
+    difference per element.  Values are unchanged (``tolist`` converts
+    exactly), so runs are bit-identical either way.
+    """
+    return [
+        PortFeed(
+            cycles=f.cycles.tolist(),
+            vcs=f.vcs.tolist(),
+            frame_ids=f.frame_ids.tolist(),
+            frame_last=f.frame_last.tolist(),
+        )
+        for f in feeds
+    ]
+
+
+def inject_due_flits(feeds, pointers, nics, now: int) -> None:
+    """Deposit every feed flit due at or before ``now`` into its NIC.
+
+    The per-port injection-pointer walk shared by every cycle loop (the
+    three healthy twins here and the perf harness's inlined loops — the
+    faults harness keeps its own redirect-aware variant).  ``pointers``
+    is the per-port cursor list and is advanced in place.  Feeds are
+    sorted by cycle (``Workload.build_feeds`` guarantees it), so the walk
+    preserves generation order per port.
+    """
+    for port, feed in enumerate(feeds):
+        ptr = pointers[port]
+        cycles = feed.cycles
+        end = len(cycles)
+        if ptr >= end or cycles[ptr] > now:
+            continue
+        nic = nics[port]
+        while ptr < end and cycles[ptr] <= now:
+            nic.inject(
+                int(feed.vcs[ptr]),
+                int(cycles[ptr]),
+                int(feed.frame_ids[ptr]),
+                bool(feed.frame_last[ptr]),
+            )
+            ptr += 1
+        pointers[port] = ptr
+
+
+def next_injection_cycle(feeds, pointers, default: int) -> int:
+    """Earliest pending feed cycle across all ports, else ``default``.
+
+    The feed half of the event-skipping engine's next-event computation:
+    each port's cursor points at its next undelivered flit, so the
+    minimum over the cursor heads is the next cycle any static source
+    will touch a NIC.
+    """
+    nxt = default
+    for port, feed in enumerate(feeds):
+        ptr = pointers[port]
+        cycles = feed.cycles
+        if ptr < len(cycles):
+            c = cycles[ptr]
+            if c < nxt:
+                nxt = int(c)
+    return nxt
 
 
 @dataclass
@@ -156,11 +246,18 @@ class SingleRouterSim:
         scheme: PriorityScheme | str = "siabp",
         seed: int = 0,
         fast_path: bool = True,
+        skip_idle: bool = False,
     ) -> None:
         self.config = config
         self.router = MMRouter(config, arbiter, scheme, fast_path=fast_path)
         self.rng = RngStreams(seed)
         self.seed = seed
+        #: True enables the idle-cycle fast-forward engine (see module
+        #: docstring).  Results are bit-identical either way; the flag
+        #: only trades the skip-predicate check on busy cycles against
+        #: skipping all work on idle ones, so it defaults off for the
+        #: saturated-regime experiments the paper's figures run.
+        self.skip_idle = bool(skip_idle)
 
     # ------------------------------------------------------------------
 
@@ -198,7 +295,9 @@ class SingleRouterSim:
             return self._run_instrumented(workload, control, telemetry)
         router = self.router
         config = self.config
-        feeds = workload.build_feeds(control.cycles, self.rng.sources)
+        feeds = native_feeds(
+            workload.build_feeds(control.cycles, self.rng.sources)
+        )
         labels = workload.labels_by_conn()
         conn_of_vc = {
             (item.conn.in_port, item.conn.vc): item.conn.conn_id
@@ -213,30 +312,39 @@ class SingleRouterSim:
         counters_reset = control.warmup_cycles == 0
         if counters_reset:
             router.crossbar.reset_counters()
+        skipping = self.skip_idle
+        end = control.cycles
+        next_due = next_injection_cycle(feeds, pointers, end)
 
-        for now in range(control.cycles):
-            if not counters_reset and now == control.warmup_cycles:
+        now = 0
+        while now < end:
+            if not counters_reset and now >= control.warmup_cycles:
                 router.crossbar.reset_counters()
                 counters_reset = True
-            # 1. Source injection into the NICs.
-            for port, feed in enumerate(feeds):
-                ptr = pointers[port]
-                cycles = feed.cycles
-                end = len(cycles)
-                nic = nics[port]
-                while ptr < end and cycles[ptr] <= now:
-                    nic.inject(
-                        int(feed.vcs[ptr]),
-                        int(cycles[ptr]),
-                        int(feed.frame_ids[ptr]),
-                        bool(feed.frame_last[ptr]),
-                    )
-                    ptr += 1
-                pointers[port] = ptr
-            # 2. Router pipeline.  3. Metrics.
-            for dep in router.step(now, arb_rng):
-                metrics.record(dep, now)
+            # 1. Source injection into the NICs.  ``next_due`` caches the
+            #    earliest pending feed cycle so quiet cycles pay a single
+            #    integer compare instead of a per-port feed scan.
+            if now >= next_due:
+                inject_due_flits(feeds, pointers, nics, now)
+                next_due = next_injection_cycle(feeds, pointers, end)
+            # 2. Router pipeline.  3. Metrics.  Flits-only-in-NICs cycles
+            #    (every VC empty) cannot grant, so the quiet step drops
+            #    the scheduling work the full pipeline would waste.
+            if skipping and not router.vc_memory._occ_mask:
+                router.step_quiet(now)
+            else:
+                for dep in router.step(now, arb_rng):
+                    metrics.record(dep, now)
+            now += 1
+            # 4. Idle fast-forward to the next injection, if enabled.
+            if skipping and next_due > now and router.is_idle():
+                counters_reset = self._fast_forward(
+                    now, next_due, control, counters_reset
+                )
+                now = next_due
 
+        if not counters_reset:
+            router.crossbar.reset_counters()
         return self._summarize(workload, control, metrics)
 
     def _run_instrumented(
@@ -252,7 +360,9 @@ class SingleRouterSim:
         """
         router = self.router
         config = self.config
-        feeds = workload.build_feeds(control.cycles, self.rng.sources)
+        feeds = native_feeds(
+            workload.build_feeds(control.cycles, self.rng.sources)
+        )
         labels = workload.labels_by_conn()
         conn_of_vc = {
             (item.conn.in_port, item.conn.vc): item.conn.conn_id
@@ -268,32 +378,47 @@ class SingleRouterSim:
         counters_reset = control.warmup_cycles == 0
         if counters_reset:
             router.crossbar.reset_counters()
+        # Skipping must not silence a strided telemetry sample, so it
+        # stays off unless the observer can report its next event cycle
+        # (duck-typed like the rest of the telemetry protocol).
+        tel_next = getattr(telemetry, "next_event_cycle", None)
+        skipping = self.skip_idle and tel_next is not None
+        end = control.cycles
+        next_due = next_injection_cycle(feeds, pointers, end)
 
-        for now in range(control.cycles):
-            if not counters_reset and now == control.warmup_cycles:
+        now = 0
+        while now < end:
+            if not counters_reset and now >= control.warmup_cycles:
                 router.crossbar.reset_counters()
                 counters_reset = True
-            # 1. Source injection into the NICs.
-            for port, feed in enumerate(feeds):
-                ptr = pointers[port]
-                cycles = feed.cycles
-                end = len(cycles)
-                nic = nics[port]
-                while ptr < end and cycles[ptr] <= now:
-                    nic.inject(
-                        int(feed.vcs[ptr]),
-                        int(cycles[ptr]),
-                        int(feed.frame_ids[ptr]),
-                        bool(feed.frame_last[ptr]),
-                    )
-                    ptr += 1
-                pointers[port] = ptr
+            # 1. Source injection into the NICs (``next_due``-gated).
+            if now >= next_due:
+                inject_due_flits(feeds, pointers, nics, now)
+                next_due = next_injection_cycle(feeds, pointers, end)
             # 2. Router pipeline.  3. Metrics.  4. Telemetry.
-            departures = router.step(now, arb_rng)
-            for dep in departures:
-                metrics.record(dep, now)
+            if skipping and not router.vc_memory._occ_mask:
+                router.step_quiet(now)
+                departures = _NO_DEPARTURES
+            else:
+                departures = router.step(now, arb_rng)
+                for dep in departures:
+                    metrics.record(dep, now)
             telemetry.on_cycle(now, departures)
+            now += 1
+            # 5. Idle fast-forward to the next injection or sample.
+            if skipping and next_due > now and router.is_idle():
+                target = next_due
+                tel_cycle = tel_next(now)
+                if tel_cycle < target:
+                    target = tel_cycle
+                if target > now:
+                    counters_reset = self._fast_forward(
+                        now, target, control, counters_reset
+                    )
+                    now = target
 
+        if not counters_reset:
+            router.crossbar.reset_counters()
         result = self._summarize(workload, control, metrics)
         telemetry.finish(result)
         return result
@@ -312,7 +437,9 @@ class SingleRouterSim:
         """
         router = self.router
         config = self.config
-        feeds = workload.build_feeds(control.cycles, self.rng.sources)
+        feeds = native_feeds(
+            workload.build_feeds(control.cycles, self.rng.sources)
+        )
         labels = workload.labels_by_conn()
         conn_of_vc = {
             (item.conn.in_port, item.conn.vc): item.conn.conn_id
@@ -330,37 +457,65 @@ class SingleRouterSim:
         counters_reset = control.warmup_cycles == 0
         if counters_reset:
             router.crossbar.reset_counters()
+        # Both the engine and any telemetry must expose next-event times
+        # for skipping to stay bit-identical; otherwise it disables itself.
+        eng_next = getattr(engine, "next_event_cycle", None)
+        tel_next = (
+            getattr(telemetry, "next_event_cycle", None)
+            if telemetry is not None
+            else None
+        )
+        skipping = (
+            self.skip_idle
+            and eng_next is not None
+            and (telemetry is None or tel_next is not None)
+        )
+        end = control.cycles
+        next_due = next_injection_cycle(feeds, pointers, end)
 
-        for now in range(control.cycles):
-            if not counters_reset and now == control.warmup_cycles:
+        now = 0
+        while now < end:
+            if not counters_reset and now >= control.warmup_cycles:
                 router.crossbar.reset_counters()
                 counters_reset = True
             # 0. Session signaling: setups, teardowns, renegotiations.
             engine.on_cycle(now)
             # 1. Source injection into the NICs (static, then dynamic).
-            for port, feed in enumerate(feeds):
-                ptr = pointers[port]
-                cycles = feed.cycles
-                end = len(cycles)
-                nic = nics[port]
-                while ptr < end and cycles[ptr] <= now:
-                    nic.inject(
-                        int(feed.vcs[ptr]),
-                        int(cycles[ptr]),
-                        int(feed.frame_ids[ptr]),
-                        bool(feed.frame_last[ptr]),
-                    )
-                    ptr += 1
-                pointers[port] = ptr
+            if now >= next_due:
+                inject_due_flits(feeds, pointers, nics, now)
+                next_due = next_injection_cycle(feeds, pointers, end)
             engine.inject(now)
             # 2. Router pipeline.  3. Metrics.  4. Feedback / telemetry.
-            departures = router.step(now, arb_rng)
-            for dep in departures:
-                metrics.record(dep, now)
+            if skipping and not router.vc_memory._occ_mask:
+                router.step_quiet(now)
+                departures = _NO_DEPARTURES
+            else:
+                departures = router.step(now, arb_rng)
+                for dep in departures:
+                    metrics.record(dep, now)
             engine.on_departures(now, departures)
             if telemetry is not None:
                 telemetry.on_cycle(now, departures)
+            now += 1
+            # 5. Idle fast-forward to the next injection / signaling /
+            #    sampling event.
+            if skipping and next_due > now and router.is_idle():
+                target = next_due
+                eng_cycle = eng_next(now)
+                if eng_cycle < target:
+                    target = eng_cycle
+                if tel_next is not None:
+                    tel_cycle = tel_next(now)
+                    if tel_cycle < target:
+                        target = tel_cycle
+                if target > now:
+                    counters_reset = self._fast_forward(
+                        now, target, control, counters_reset
+                    )
+                    now = target
 
+        if not counters_reset:
+            router.crossbar.reset_counters()
         result = self._summarize(workload, control, metrics)
         engine.finish()
         if telemetry is not None:
@@ -368,6 +523,32 @@ class SingleRouterSim:
         return result
 
     # ------------------------------------------------------------------
+
+    def _fast_forward(
+        self, now: int, target: int, control: RunControl, counters_reset: bool
+    ) -> bool:
+        """Advance bookkeeping across the idle span ``[now, target)``.
+
+        Every skipped cycle would have: injected nothing, matched nothing
+        (so every arbiter's RNG and grant-driven state stay untouched),
+        transferred nothing, and accepted nothing.  The only per-cycle
+        state the reference loop would still move is the crossbar's
+        cycle counter (the utilization denominator) — including its
+        warmup reset if the cut falls inside the span — and the wrapped
+        WFA's rotating start diagonal, both advanced analytically here.
+        Returns the updated ``counters_reset`` flag.
+        """
+        crossbar = self.router.crossbar
+        if not counters_reset and control.warmup_cycles < target:
+            # The warmup cut lands on a skipped cycle: the reference loop
+            # would reset there and then count the remainder of the span.
+            crossbar.reset_counters()
+            crossbar.cycles += target - control.warmup_cycles
+            counters_reset = True
+        else:
+            crossbar.cycles += target - now
+        self.router.arbiter.skip_idle_cycles(target - now)
+        return counters_reset
 
     def _summarize(
         self, workload: Workload, control: RunControl, metrics: MetricsCollector
@@ -385,6 +566,13 @@ class SingleRouterSim:
         def us(stat_mean_cycles: float) -> float:
             return config.cycles_to_us(stat_mean_cycles)
 
+        measured = control.measured_cycles
+        throughput = (
+            metrics.measured_departures / (measured * config.num_ports)
+            if measured
+            else float("nan")
+        )
+
         return SimResult(
             config=config,
             arbiter=router.arbiter.name,
@@ -394,8 +582,7 @@ class SingleRouterSim:
             warmup_cycles=control.warmup_cycles,
             offered_load=workload.mean_offered_load(),
             utilization=router.crossbar.utilization,
-            throughput=metrics.measured_departures
-            / (control.measured_cycles * config.num_ports),
+            throughput=throughput,
             flit_delay_us=per_group(lambda g: us(g.flit_delay.mean)),
             flit_delay_p99_us=per_group(lambda g: us(g.flit_delay.percentile(99))),
             frame_delay_us=per_group(lambda g: us(g.frame_delay.mean)),

@@ -1,0 +1,357 @@
+"""Idle-cycle event-skipping engine: bit-identity and twin-drift sweep.
+
+The engine's contract is absolute: a ``skip_idle=True`` run must be
+bit-identical to the reference loop — the full ``SimResult.to_dict()``
+payload AND the RNG stream fingerprint — because a skipped cycle consults
+no RNG and moves no state the reference loop would have moved (see
+``docs/architecture.md``, "Event-skipping engine").  This module pins:
+
+* bit-identity across every registered arbiter, every priority scheme,
+  both pipelines (buffer hot path and object reference), telemetry and
+  session twins, over multiple seeds;
+* the warmup-covers-the-run edge case (``warmup_cycles >= cycles`` is
+  legal, measures nothing, and serializes to strict JSON);
+* the de-drifted injection walk shared by all cycle loops
+  (:func:`~repro.sim.simulation.inject_due_flits` /
+  :func:`~repro.sim.simulation.next_injection_cycle`) against a naive
+  per-cycle reference, under hypothesis-generated feeds with empty
+  ports, cycle-0 flits and same-cycle bursts.
+"""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ARBITER_NAMES, SCHEME_NAMES
+from repro.obs import TelemetryConfig, TelemetrySession
+from repro.router import RouterConfig
+from repro.sessions import ChurnConfig, SessionEngine, SessionsSpec
+from repro.sim import RunControl
+from repro.sim.simulation import (
+    SimResult,
+    SingleRouterSim,
+    inject_due_flits,
+    next_injection_cycle,
+)
+from repro.traffic.mixes import PortFeed, build_cbr_workload
+
+CFG = RouterConfig(num_ports=4, vcs_per_link=16, candidate_levels=4)
+
+CHURN = ChurnConfig(
+    arrivals_per_kcycle=4.0,
+    mean_hold_cycles=600.0,
+    mix=(("cbr-low", 0.5), ("vbr", 0.3), ("best-effort", 0.2)),
+)
+
+
+def _run(skip, arbiter="coa", scheme="siabp", seed=0, cycles=900,
+         warmup=150, load=0.12, fast=True, telemetry=False, sessions=False):
+    """One run's (canonical result JSON, RNG fingerprint) signature."""
+    sim = SingleRouterSim(
+        CFG, arbiter, scheme, seed, fast_path=fast, skip_idle=skip
+    )
+    workload = build_cbr_workload(sim.router, load, sim.rng.workload)
+    kwargs = {}
+    if telemetry:
+        kwargs["telemetry"] = TelemetrySession(TelemetryConfig(stride=64))
+    if sessions:
+        kwargs["sessions"] = SessionEngine.from_spec(
+            CFG, SessionsSpec(churn=CHURN), cycles, sim.rng.sessions
+        )
+    result = sim.run(
+        workload, RunControl(cycles=cycles, warmup_cycles=warmup), **kwargs
+    )
+    return (
+        json.dumps(result.to_dict(), sort_keys=True),
+        sim.rng.state_fingerprint(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: skip-enabled == reference, everywhere
+# ----------------------------------------------------------------------
+
+
+class TestSkipBitIdentity:
+    @pytest.mark.parametrize("arbiter", ARBITER_NAMES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_every_arbiter(self, arbiter, seed):
+        assert _run(False, arbiter=arbiter, seed=seed) == _run(
+            True, arbiter=arbiter, seed=seed
+        )
+
+    @pytest.mark.parametrize("scheme", SCHEME_NAMES)
+    def test_every_scheme(self, scheme):
+        assert _run(False, scheme=scheme, seed=1) == _run(
+            True, scheme=scheme, seed=1
+        )
+
+    @pytest.mark.parametrize("arbiter", ["coa", "wfa", "islip", "random"])
+    def test_object_reference_path(self, arbiter):
+        # The engine must also be exact on the object pipeline, and both
+        # pipelines must land on the same bits.
+        ref = _run(False, arbiter=arbiter, fast=False)
+        assert _run(True, arbiter=arbiter, fast=False) == ref
+        assert _run(True, arbiter=arbiter, fast=True) == ref
+
+    def test_telemetry_twin(self):
+        assert _run(False, telemetry=True) == _run(True, telemetry=True)
+
+    def test_sessions_twin(self):
+        assert _run(False, sessions=True) == _run(True, sessions=True)
+
+    def test_sessions_plus_telemetry_twin(self):
+        both = dict(sessions=True, telemetry=True)
+        assert _run(False, **both) == _run(True, **both)
+
+    @pytest.mark.parametrize("load", [0.01, 0.05, 0.5, 0.9])
+    def test_load_extremes(self, load):
+        assert _run(False, load=load) == _run(True, load=load)
+
+    @given(seed=st.integers(0, 1_000_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_seeds(self, seed):
+        assert _run(False, seed=seed, cycles=400, warmup=70) == _run(
+            True, seed=seed, cycles=400, warmup=70
+        )
+
+    def test_engine_actually_skips(self):
+        # Guard against the engine silently disabling itself: at low
+        # load the full pipeline must run on well under half the cycles.
+        sim = SingleRouterSim(CFG, "coa", "siabp", 0, skip_idle=True)
+        workload = build_cbr_workload(sim.router, 0.05, sim.rng.workload)
+        stepped = 0
+        original = sim.router.step
+
+        def counting_step(now, rng):
+            nonlocal stepped
+            stepped += 1
+            return original(now, rng)
+
+        sim.router.step = counting_step
+        sim.run(workload, RunControl(cycles=2000, warmup_cycles=0))
+        assert stepped < 1000, f"full pipeline ran on {stepped}/2000 cycles"
+
+
+# ----------------------------------------------------------------------
+# Warmup edge case: warmup_cycles >= cycles
+# ----------------------------------------------------------------------
+
+
+class TestWarmupCoversRun:
+    @pytest.mark.parametrize("warmup", [10, 25])
+    @pytest.mark.parametrize("skip", [False, True])
+    def test_zero_measured_cycles(self, warmup, skip):
+        sim = SingleRouterSim(CFG, "coa", "siabp", 0, skip_idle=skip)
+        workload = build_cbr_workload(sim.router, 0.4, sim.rng.workload)
+        control = RunControl(cycles=10, warmup_cycles=warmup)
+        assert control.measured_cycles == 0
+        result = sim.run(workload, control)
+        # Nothing measured: counters were reset at the end of the run,
+        # throughput has a zero denominator (NaN -> null in JSON), and
+        # utilization's cycles==0 guard reports 0.0.
+        assert math.isnan(result.throughput)
+        assert result.utilization == 0.0
+        assert all(v == 0 for v in result.flits.values())
+        payload = result.to_dict()
+        assert payload["throughput"] is None
+        json.dumps(payload, allow_nan=False)  # strict JSON
+        back = SimResult.from_dict(payload)
+        assert math.isnan(back.throughput)
+
+    def test_warmup_equal_cycles_identical_with_skip(self):
+        kw = dict(cycles=64, warmup=64, load=0.3)
+        assert _run(False, **kw) == _run(True, **kw)
+
+    def test_warmup_cut_inside_skipped_span(self):
+        # Warmup boundary lands mid-idle-gap: the fast-forward must
+        # reset counters exactly where the reference loop would.
+        kw = dict(cycles=600, warmup=173, load=0.03, seed=5)
+        assert _run(False, **kw) == _run(True, **kw)
+
+
+# ----------------------------------------------------------------------
+# Shared injection walk vs naive reference (twin-drift regression)
+# ----------------------------------------------------------------------
+
+
+class _RecorderNIC:
+    """Captures (vc, cycle, frame_id, frame_last, seen_at) per inject."""
+
+    def __init__(self):
+        self.flits = []
+        self.now = 0
+
+    def inject(self, vc, cycle, frame_id, frame_last):
+        self.flits.append((vc, cycle, frame_id, frame_last, self.now))
+
+
+def _naive_walk(feeds, horizon):
+    """Per-cycle reference: deliver due flits by scanning every cycle."""
+    nics = [_RecorderNIC() for _ in feeds]
+    delivered = [0] * len(feeds)
+    for now in range(horizon):
+        for port, feed in enumerate(feeds):
+            nics[port].now = now
+            while (
+                delivered[port] < len(feed.cycles)
+                and feed.cycles[delivered[port]] <= now
+            ):
+                i = delivered[port]
+                nics[port].inject(
+                    int(feed.vcs[i]), int(feed.cycles[i]),
+                    int(feed.frame_ids[i]), bool(feed.frame_last[i]),
+                )
+                delivered[port] += 1
+    return [nic.flits for nic in nics]
+
+
+@st.composite
+def feed_sets(draw):
+    """1-4 ports of sorted feeds: empty ports, cycle-0 flits and
+    same-cycle bursts all arise naturally from the strategy."""
+    n_ports = draw(st.integers(min_value=1, max_value=4))
+    feeds = []
+    for _ in range(n_ports):
+        cycles = sorted(
+            draw(st.lists(st.integers(0, 30), min_size=0, max_size=12))
+        )
+        k = len(cycles)
+        vcs = draw(st.lists(st.integers(0, 7), min_size=k, max_size=k))
+        feeds.append(
+            PortFeed(
+                cycles=np.asarray(cycles, dtype=np.int64),
+                vcs=np.asarray(vcs, dtype=np.int64),
+                frame_ids=np.arange(k, dtype=np.int64),
+                frame_last=np.zeros(k, dtype=bool),
+            )
+        )
+    return feeds
+
+
+class TestInjectionWalk:
+    @given(feeds=feed_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_cycle_by_cycle_matches_naive(self, feeds):
+        nics = [_RecorderNIC() for _ in feeds]
+        pointers = [0] * len(feeds)
+        for now in range(32):
+            for nic in nics:
+                nic.now = now
+            inject_due_flits(feeds, pointers, nics, now)
+        assert [n.flits for n in nics] == _naive_walk(feeds, 32)
+
+    @given(feeds=feed_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_event_driven_jumps_match_naive(self, feeds):
+        # Visit only the cycles next_injection_cycle names (the skip
+        # engine's schedule) — every flit must still land exactly once,
+        # on exactly its due cycle, in feed order.
+        nics = [_RecorderNIC() for _ in feeds]
+        pointers = [0] * len(feeds)
+        horizon = 32
+        now = next_injection_cycle(feeds, pointers, horizon)
+        while now < horizon:
+            for nic in nics:
+                nic.now = now
+            inject_due_flits(feeds, pointers, nics, now)
+            nxt = next_injection_cycle(feeds, pointers, horizon)
+            assert nxt > now, "walk must make progress"
+            now = nxt
+        assert [n.flits for n in nics] == _naive_walk(feeds, horizon)
+        assert all(
+            ptr == len(feed.cycles) for ptr, feed in zip(pointers, feeds)
+        )
+
+    @given(feeds=feed_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_flits_delivered_on_their_cycle(self, feeds):
+        nics = [_RecorderNIC() for _ in feeds]
+        pointers = [0] * len(feeds)
+        for now in range(32):
+            for nic in nics:
+                nic.now = now
+            inject_due_flits(feeds, pointers, nics, now)
+        for nic in nics:
+            for _vc, cycle, _fid, _last, seen_at in nic.flits:
+                assert seen_at == cycle
+
+    def test_same_cycle_burst_and_cycle_zero(self):
+        feed = PortFeed(
+            cycles=np.asarray([0, 0, 0, 4, 4], dtype=np.int64),
+            vcs=np.asarray([3, 1, 2, 0, 1], dtype=np.int64),
+            frame_ids=np.arange(5, dtype=np.int64),
+            frame_last=np.asarray([False, False, True, False, True]),
+        )
+        nic = _RecorderNIC()
+        pointers = [0]
+        assert next_injection_cycle([feed], pointers, 99) == 0
+        inject_due_flits([feed], pointers, [nic], 0)
+        assert [f[0] for f in nic.flits] == [3, 1, 2]  # feed order kept
+        assert next_injection_cycle([feed], pointers, 99) == 4
+        inject_due_flits([feed], pointers, [nic], 4)
+        assert len(nic.flits) == 5
+        assert next_injection_cycle([feed], pointers, 99) == 99
+
+    def test_empty_feeds(self):
+        feed = PortFeed(
+            cycles=np.asarray([], dtype=np.int64),
+            vcs=np.asarray([], dtype=np.int64),
+            frame_ids=np.asarray([], dtype=np.int64),
+            frame_last=np.asarray([], dtype=bool),
+        )
+        nic = _RecorderNIC()
+        pointers = [0]
+        inject_due_flits([feed], pointers, [nic], 0)
+        assert nic.flits == []
+        assert next_injection_cycle([feed], pointers, 1234) == 1234
+
+
+# ----------------------------------------------------------------------
+# Twin loops stay in lockstep after the de-drift refactor
+# ----------------------------------------------------------------------
+
+
+class TestTwinLoopDrift:
+    def test_disabled_twins_match_plain(self):
+        """Plain vs telemetry vs zero-churn sessions: same bits.
+
+        All three cycle loops now share the injection walk; a drifted
+        twin would change grants and therefore the result payload or
+        the arbiter RNG fingerprint.
+        """
+        plain = _run(False)
+        tel = _run(False, telemetry=True)
+        assert tel == plain
+
+        zero = dataclasses.replace(CHURN, arrivals_per_kcycle=0.0)
+
+        def zero_churn(skip):
+            sim = SingleRouterSim(CFG, "coa", "siabp", 0, skip_idle=skip)
+            workload = build_cbr_workload(sim.router, 0.12, sim.rng.workload)
+            engine = SessionEngine.from_spec(
+                CFG, SessionsSpec(churn=zero), 900, sim.rng.sessions
+            )
+            result = sim.run(
+                workload, RunControl(cycles=900, warmup_cycles=150),
+                sessions=engine,
+            )
+            return (
+                json.dumps(result.to_dict(), sort_keys=True),
+                sim.rng.state_fingerprint(),
+            )
+
+        assert zero_churn(False) == plain
+        assert zero_churn(True) == plain
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_skip_twins_match_each_other(self, seed):
+        # Skip-enabled telemetry/session twins against their own
+        # reference loops (the instrumented results differ from plain
+        # only through the enabled feature, never through the skipping).
+        for kw in ({"telemetry": True}, {"sessions": True}):
+            assert _run(False, seed=seed, **kw) == _run(True, seed=seed, **kw)

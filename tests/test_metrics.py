@@ -34,9 +34,12 @@ class TestRunControl:
         with pytest.raises(ValueError):
             RunControl(cycles=0)
         with pytest.raises(ValueError):
-            RunControl(cycles=10, warmup_cycles=10)
-        with pytest.raises(ValueError):
             RunControl(cycles=10, warmup_cycles=-1)
+
+    def test_warmup_may_cover_run(self):
+        # Degenerate but legal: every cycle is warmup, nothing measured.
+        assert RunControl(cycles=10, warmup_cycles=10).measured_cycles == 0
+        assert RunControl(cycles=10, warmup_cycles=25).measured_cycles == 0
 
     def test_measured_cycles(self):
         assert RunControl(100, 20).measured_cycles == 80
