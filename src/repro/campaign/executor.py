@@ -127,6 +127,19 @@ def _worker(payload: dict[str, Any]) -> dict[str, Any]:
         from ..obs.export import TelemetryConfig
 
         telemetry = TelemetryConfig.from_dict(telemetry_cfg)
+    if spec.fabric is not None:
+        # Fabric points run the multi-router simulator; the fabric
+        # payload rides the same store channel session payloads use.
+        if telemetry is not None:
+            raise ValueError("telemetry is not supported for fabric points")
+        from ..fabric.engine import execute_fabric_point
+
+        result, engine = execute_fabric_point(spec)
+        return {
+            "wall_s": time.monotonic() - t0,
+            "sessions": engine.to_payload(),
+            "result": result.to_dict(),
+        }
     out = execute_point(
         spec.workload,
         spec.config,
@@ -174,7 +187,9 @@ class PointOutcome:
     #: with telemetry; ``None`` otherwise.
     telemetry: dict[str, Any] | None = None
     #: Session-stats payload (``repro.sessions`` schema) when the point
-    #: spec carried a :class:`~repro.sessions.signaling.SessionsSpec`.
+    #: spec carried a :class:`~repro.sessions.signaling.SessionsSpec`, or
+    #: the fabric payload (``repro.fabric`` schema) when it carried a
+    #: :class:`~repro.fabric.spec.FabricSpec` — same store channel.
     sessions: dict[str, Any] | None = None
     #: Control-plane payload (``repro.control`` schema) when the point's
     #: sessions spec carried a :class:`~repro.control.config.ControlConfig`.
@@ -281,11 +296,13 @@ def run_campaign(
             cached_telemetry = store.get_telemetry(key)
             if cached_telemetry is None:
                 cached = None  # result alone cannot serve a telemetry run
-        if cached is not None and spec.sessions is not None:
+        if cached is not None and (
+            spec.sessions is not None or spec.fabric is not None
+        ):
             cached_sessions = store.get_sessions(key)
             if cached_sessions is None:
                 cached = None  # session stats also require a live run
-            elif spec.sessions.control is not None:
+            elif spec.sessions is not None and spec.sessions.control is not None:
                 cached_control = store.get_payload("control", key)
                 if cached_control is None:
                     cached = None  # control payloads need a live run too

@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -38,6 +38,10 @@ from ..router.router import MMRouter
 from ..sessions.signaling import SessionsSpec
 from ..sim.engine import RunControl
 from ..traffic.mixes import Workload, build_cbr_workload, build_vbr_workload
+
+if TYPE_CHECKING:  # import cycle: repro.fabric imports repro.network,
+    # whose experiments module imports this package lazily.
+    from ..fabric.spec import FabricSpec
 
 __all__ = [
     "CODE_VERSION",
@@ -187,6 +191,11 @@ class PointSpec:
     #: Optional fault-injection dimension.  ``None`` runs the healthy
     #: simulator — and, like ``sessions``, stays out of the hash.
     faults: FaultConfig | None = None
+    #: Optional multi-router fabric dimension (topology + churn + path
+    #: policy).  When set the point runs a :class:`~repro.fabric.engine.
+    #: FabricSim` instead of the single-router simulator; ``None`` stays
+    #: out of the hash so every existing cache key stays warm.
+    fabric: "FabricSpec | None" = None
 
     @property
     def control(self) -> RunControl:
@@ -207,12 +216,21 @@ class PointSpec:
             out["sessions"] = self.sessions.to_dict()
         if self.faults is not None:
             out["faults"] = self.faults.to_dict()
+        if self.fabric is not None:
+            out["fabric"] = self.fabric.to_dict()
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PointSpec":
         sessions = data.get("sessions")
         faults = data.get("faults")
+        fabric = data.get("fabric")
+        if fabric is not None:
+            # Deferred: repro.fabric imports repro.network, whose
+            # experiments module lazily imports this package.
+            from ..fabric.spec import FabricSpec
+
+            fabric = FabricSpec.from_dict(fabric)
         return cls(
             config=RouterConfig(**data["config"]),
             arbiter=data["arbiter"],
@@ -228,6 +246,7 @@ class PointSpec:
             faults=(
                 FaultConfig.from_dict(faults) if faults is not None else None
             ),
+            fabric=fabric,
         )
 
     def key(self) -> str:
@@ -252,6 +271,11 @@ class PointSpec:
             )
         if self.faults is not None:
             base += " faults"
+        if self.fabric is not None:
+            base += (
+                f" fabric={self.fabric.topology.describe()}"
+                f"/{self.fabric.path_policy}"
+            )
         return base
 
 

@@ -450,6 +450,66 @@ def build_parser() -> argparse.ArgumentParser:
                          help="candidate levels for COA cost (default 4)")
     p_sched.set_defaults(func=cmd_sched)
 
+    p_fabric = sub.add_parser(
+        "fabric",
+        help="multi-router fabric: session churn over a topology with "
+             "multi-hop CAC and alternate-path re-admission",
+    )
+    add_router_args(p_fabric)
+    # Fabric defaults differ from the single-router ones: ports must
+    # exceed the topology's max degree (mesh/torus/fat-tree reach 4) and
+    # small VC counts keep reservation rounds short.
+    p_fabric.set_defaults(ports=6, vcs=8)
+    p_fabric.add_argument("--arbiter", default="coa", choices=ARBITER_NAMES)
+    p_fabric.add_argument("--topology", default="mesh:3x3",
+                          help="named topology: ring:8, mesh:3x3, "
+                               "torus:3x3, fat-tree:4 (bare kind = "
+                               "default size)")
+    p_fabric.add_argument("--policy", default="first-fit",
+                          help="path policy for single runs "
+                               "(see --list-topologies)")
+    p_fabric.add_argument("--cycles", type=int, default=0,
+                          help="flit cycles (0 = 8000)")
+    p_fabric.add_argument("--rate", type=float, default=2.0,
+                          help="session arrivals per 1000 cycles per "
+                               "host port")
+    p_fabric.add_argument("--hold", type=float, default=3000.0,
+                          help="mean session holding time (cycles)")
+    p_fabric.add_argument("--load", type=float, default=0.0,
+                          help="static background CBR load per source "
+                               "router (0 disables the background)")
+    p_fabric.add_argument("--attempts", type=int, default=2,
+                          help="setup attempts per session: primary + "
+                               "alternates (default 2)")
+    p_fabric.add_argument("--events", type=int, default=12,
+                          help="fabric event-log tail lines to print")
+    p_fabric.add_argument("--demo", action="store_true",
+                          help="blocking-vs-arrival-rate table over path "
+                               "policies (campaign-executed)")
+    p_fabric.add_argument("--rates", type=_parse_floats,
+                          default=[1.0, 2.0, 4.0],
+                          help="--demo arrival rates per kcycle per port")
+    p_fabric.add_argument("--policies", type=_parse_names,
+                          default=["first-fit", "ecmp", "wrr"],
+                          help="--demo comma-separated path policies")
+    p_fabric.add_argument("-j", "--jobs", type=int, default=1,
+                          help="--demo worker processes (0 = per core)")
+    p_fabric.add_argument("--store", default=None, metavar="DIR",
+                          help="--demo result-store directory")
+    p_fabric.add_argument("--check-determinism", action="store_true",
+                          help="replay the same seed twice and verify the "
+                               "zero-churn run is bit-identical to a plain "
+                               "network loop; exit 1 on divergence")
+    p_fabric.add_argument("--list-topologies", action="store_true",
+                          help="list registered topology kinds and path "
+                               "policies")
+    p_fabric.add_argument("--bench", action="store_true",
+                          help="fixed-point wall-time + blocking summary "
+                               "per topology (BENCH_fabric.json)")
+    p_fabric.add_argument("--json", default=None, metavar="PATH",
+                          help="write the bench report")
+    p_fabric.set_defaults(func=cmd_fabric)
+
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(
         "artifact",
@@ -1396,6 +1456,318 @@ def cmd_sched(args: argparse.Namespace) -> int:
               f"({args.ports}x{args.ports} crossbar)",
     ))
     return 0
+
+
+def _fabric_config(args: argparse.Namespace) -> RouterConfig:
+    """Fabric-scale router config: small VC counts, short rounds."""
+    return RouterConfig(
+        num_ports=args.ports,
+        vcs_per_link=args.vcs,
+        candidate_levels=args.levels,
+        vc_buffer_depth=2,
+        flit_cycles_per_round=100 * args.vcs,
+    )
+
+
+def _fabric_run(args: argparse.Namespace, cycles: int):
+    """One fabric churn run.  Returns ``(result, engine, fingerprint)``."""
+    from .fabric import FabricSim, FabricSpec, parse_topology
+    from .sessions.churn import ChurnConfig
+
+    fabric = FabricSpec(
+        topology=parse_topology(args.topology),
+        churn=ChurnConfig(
+            arrivals_per_kcycle=args.rate,
+            mean_hold_cycles=args.hold,
+            mix=(("cbr-high", 1.0),),
+        ),
+        path_policy=args.policy,
+        max_path_attempts=args.attempts,
+        conns_per_router=4 if args.load > 0 else 0,
+        drain=args.load > 0,
+    )
+    sim = FabricSim(fabric, _fabric_config(args), arbiter=args.arbiter,
+                    scheme=args.scheme, seed=args.seed)
+    result = sim.run(args.load, cycles)
+    return result, sim.engine, sim.fingerprint()
+
+
+def _fabric_zero_churn_identical(args: argparse.Namespace,
+                                 cycles: int) -> bool:
+    """Zero-churn fabric run vs a plain MultiRouterNetwork loop.
+
+    Both build the same topology, static CBR background, and arbiter
+    stream; the fabric engine must add nothing — same delivered counts,
+    same residue, same RNG fingerprints.
+    """
+    from .fabric import FabricSim, FabricSpec, build_static_load, parse_topology
+    from .network import MultiRouterNetwork
+    from .sessions.churn import ChurnConfig
+    from .sim.engine import RngStreams
+
+    config = _fabric_config(args)
+    load = args.load if args.load > 0 else 0.3
+    topo_spec = parse_topology(args.topology)
+    fabric = FabricSpec(
+        topology=topo_spec,
+        churn=ChurnConfig(arrivals_per_kcycle=0.0),
+        conns_per_router=4,
+        drain=True,
+    )
+    sim = FabricSim(fabric, config, arbiter=args.arbiter,
+                    scheme=args.scheme, seed=args.seed)
+    fab_result = sim.run(load, cycles)
+
+    rng = RngStreams(args.seed)
+    net = MultiRouterNetwork(topo_spec.build(), config,
+                             arbiter=args.arbiter, scheme=args.scheme)
+    conns, schedules = build_static_load(net, 4, load, cycles, rng.workload)
+    pointers = [0] * len(conns)
+    arb = rng.arbiter
+    for now in range(cycles):
+        for idx, conn in enumerate(conns):
+            times = schedules[idx]
+            ptr = pointers[idx]
+            while ptr < len(times) and times[ptr] <= now:
+                net.inject(conn, gen_cycle=now)
+                ptr += 1
+            pointers[idx] = ptr
+        net.step(now, arb)
+    now = cycles
+    while net.total_buffered() > 0 and now < cycles * 3:
+        net.step(now, arb)
+        now += 1
+    plain_stat = net.end_to_end_delay
+    fab_net = sim.net
+    fab_stat = fab_net.end_to_end_delay
+    return (
+        fab_net.delivered == net.delivered
+        and fab_net.total_buffered() == net.total_buffered()
+        and fab_net.lost_flits == net.lost_flits
+        and (fab_stat.n, fab_stat.mean, fab_stat.max)
+        == (plain_stat.n, plain_stat.mean, plain_stat.max)
+        and sim.fingerprint() == rng.state_fingerprint()
+        and fab_result.to_dict()["flits"]["overall"] == net.delivered
+    )
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    from .fabric.paths import PATH_POLICIES
+    from .fabric.spec import TOPOLOGY_KINDS
+
+    if args.list_topologies:
+        rows = []
+        for kind, (_builder, required, defaults) in sorted(
+            TOPOLOGY_KINDS.items()
+        ):
+            default = ",".join(f"{n}={v}" for n, v in sorted(defaults.items()))
+            rows.append(["topology", kind, ",".join(required), default])
+        for policy in PATH_POLICIES:
+            rows.append(["path policy", policy, "-", "-"])
+        print(render_table(
+            ["kind", "name", "params", "default"], rows,
+            title="registered fabric topologies and path policies",
+        ))
+        return 0
+
+    if args.policy not in PATH_POLICIES:
+        print(f"error: unknown path policy {args.policy!r}; known: "
+              f"{', '.join(PATH_POLICIES)}", file=sys.stderr)
+        return 2
+
+    if args.bench:
+        report = _fabric_bench(args)
+        rows = [
+            [name, f"{t['wall_s']:.2f}", t["offered"], t["blocked"],
+             f"{t['blocking_probability']:.3f}",
+             f"{t['mean_hops']:.2f}", f"{t['balance_jain']:.3f}"]
+            for name, t in sorted(report["topologies"].items())
+        ]
+        print(render_table(
+            ["topology", "wall s", "offered", "blocked", "P(block)",
+             "hops", "jain"],
+            rows,
+            title=f"fabric bench: {report['cycles']} cycles, rate "
+                  f"{report['arrival_rate']}/kcycle, policy "
+                  f"{report['path_policy']}",
+        ))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True,
+                          allow_nan=False)
+                fh.write("\n")
+            print(f"report written to {args.json}")
+        return 0
+
+    if args.demo:
+        from .fabric.experiments import (
+            fabric_blocking_plan,
+            render_fabric_blocking_table,
+            run_fabric_blocking,
+        )
+        from .fabric.spec import parse_topology
+
+        for policy in args.policies:
+            if policy not in PATH_POLICIES:
+                print(f"error: unknown path policy {policy!r}",
+                      file=sys.stderr)
+                return 2
+        import dataclasses
+
+        from .fabric.experiments import DEMO_FABRIC_CHURN
+
+        cycles = args.cycles or 8_000
+        plan = fabric_blocking_plan(
+            "fabric-demo",
+            _fabric_config(args),
+            parse_topology(args.topology),
+            args.rates,
+            args.policies,
+            base_churn=dataclasses.replace(
+                DEMO_FABRIC_CHURN, mean_hold_cycles=args.hold
+            ),
+            control=RunControl(cycles=cycles, warmup_cycles=0),
+            max_path_attempts=args.attempts,
+            seed=args.seed,
+            arbiter=args.arbiter,
+            scheme=args.scheme,
+        )
+        campaign, points = run_fabric_blocking(
+            plan, jobs=_resolve_jobs(args.jobs), store=_open_store(args)
+        )
+        print(f"fabric blocking on {args.topology} — {cycles} cycles, "
+              f"{campaign.hits} cached / {len(campaign.outcomes)} points")
+        print(render_fabric_blocking_table(points))
+        return 0
+
+    cycles = args.cycles or 8_000
+    if args.check_determinism:
+        first_result, first_engine, first_fp = _fabric_run(args, cycles)
+        second_result, second_engine, second_fp = _fabric_run(args, cycles)
+        identical = (
+            first_engine.to_payload() == second_engine.to_payload()
+            and first_result.to_dict() == second_result.to_dict()
+            and first_fp == second_fp
+        )
+        if not identical:
+            print(f"DIVERGED: two seed={args.seed} fabric runs differ",
+                  file=sys.stderr)
+            return 1
+        if not _fabric_zero_churn_identical(args, min(cycles, 4_000)):
+            print("DIVERGED: zero-churn fabric run differs from the plain "
+                  "network loop", file=sys.stderr)
+            return 1
+        n_events = len(first_engine.event_log)
+        print(f"deterministic: seed={args.seed} replayed identically "
+              f"({n_events} fabric events, {cycles} cycles); zero-churn "
+              f"run bit-identical to the plain network loop")
+        return 0
+
+    result, engine, _ = _fabric_run(args, cycles)
+    payload = engine.to_payload()
+    low, high = payload["blocking_wilson_95"]
+    p_block = payload["blocking_probability"]
+    hops_mean = payload["hops"]["mean"]
+    net_stats = payload["network"]
+    rows = [
+        ["topology / policy",
+         f"{args.topology} / {payload['path_policy']}"],
+        ["arbiter / scheme",
+         f"{result.arbiter} / {result.scheme}"],
+        ["offered sessions", payload["offered"]],
+        ["admitted / blocked",
+         f"{payload['admitted']} / {payload['blocked']}"],
+        ["P(block) [wilson 95%]",
+         f"{0.0 if p_block is None else p_block:.4f} "
+         f"[{low:.3f}, {high:.3f}]"],
+        ["re-admitted on alternate",
+         payload["path_attempts"]["readmitted_alt"]],
+        ["mean hops (links)",
+         "n/a" if hops_mean is None else f"{hops_mean:.2f}"],
+        ["blocked at hop",
+         ", ".join(f"{h}:{n}" for h, n in
+                   sorted(payload["blocked_at_hop"].items(),
+                          key=lambda kv: int(kv[0]))) or "-"],
+        ["reserved-load jain index",
+         f"{payload['path_balance']['final']['jain']:.3f}"],
+        ["flits delivered / lost",
+         f"{net_stats['delivered']} / {net_stats['lost_flits']}"],
+        ["released connections", net_stats["released_connections"]],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"fabric churn run, {cycles} cycles"))
+    if args.events > 0 and payload["event_log"]:
+        tail = payload["event_log"][-args.events:]
+        print(f"\nfabric events ({len(payload['event_log'])} total, "
+              f"last {len(tail)}):")
+        for line in tail:
+            print(f"  {line}")
+    return 0
+
+
+def _fabric_bench(args: argparse.Namespace) -> dict:
+    """One fixed fabric point per registered topology kind, timed."""
+    import dataclasses
+    import time
+
+    from .fabric.experiments import (
+        DEMO_FABRIC_CHURN,
+        fabric_blocking_plan,
+        run_fabric_blocking,
+    )
+    from .fabric.spec import TOPOLOGY_KINDS, TopologySpec
+
+    config = _fabric_config(args)
+    cycles = args.cycles or 8_000
+    topologies: dict[str, dict] = {}
+    for kind in sorted(TOPOLOGY_KINDS):
+        _builder, _required, defaults = TOPOLOGY_KINDS[kind]
+        spec = TopologySpec(kind, tuple(sorted(defaults.items())))
+        plan = fabric_blocking_plan(
+            f"fabric-bench-{kind}", config, spec, [args.rate],
+            [args.policy],
+            base_churn=dataclasses.replace(
+                DEMO_FABRIC_CHURN, mean_hold_cycles=args.hold
+            ),
+            control=RunControl(cycles=cycles, warmup_cycles=0),
+            max_path_attempts=args.attempts,
+            seed=args.seed,
+            arbiter=args.arbiter,
+            scheme=args.scheme,
+        )
+        t0 = time.monotonic()
+        _campaign, points = run_fabric_blocking(plan, jobs=1)
+        wall_s = time.monotonic() - t0
+        point = points[0]
+        p_block = point.blocking_probability
+        topologies[point.topology] = {
+            "wall_s": wall_s,
+            "offered": point.offered_sessions,
+            "blocked": point.blocked_sessions,
+            "blocking_probability": (
+                0.0 if p_block != p_block else p_block
+            ),
+            "readmitted_alt": point.readmitted_alt,
+            "mean_hops": (
+                0.0 if point.mean_hops != point.mean_hops
+                else point.mean_hops
+            ),
+            "balance_jain": point.balance_jain,
+        }
+    return {
+        "schema": "repro/fabric-bench/v1",
+        "ports": args.ports,
+        "vcs": args.vcs,
+        "levels": args.levels,
+        "arbiter": args.arbiter,
+        "scheme": args.scheme,
+        "seed": args.seed,
+        "cycles": cycles,
+        "arrival_rate": args.rate,
+        "hold_cycles": args.hold,
+        "path_policy": args.policy,
+        "topologies": topologies,
+    }
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:

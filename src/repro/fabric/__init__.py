@@ -1,0 +1,50 @@
+"""Fabric subsystem: session churn over multi-router topologies.
+
+Merges the session-lifecycle engine with
+:class:`~repro.network.multirouter.MultiRouterNetwork`: deterministic
+churn timelines with (router, port) endpoints, multi-hop hop-by-hop
+admission with per-hop rollback, pluggable alternate-path policies
+(first-fit / ECMP hash / residual-weighted WRR), and blocked-at-hop
+re-admission over the next candidate path.
+
+``repro.fabric.experiments`` (campaign sweeps, Kaufman–Roberts
+references) is intentionally *not* imported here — it pulls in
+``repro.campaign``; import it explicitly, mirroring
+``repro.sessions.experiments``.
+"""
+
+from .churn import FabricSession, generate_fabric_timeline
+from .engine import (
+    FABRIC_SCHEMA,
+    FabricEngine,
+    FabricSim,
+    build_static_load,
+    execute_fabric_point,
+)
+from .paths import (
+    PATH_POLICIES,
+    PathProvider,
+    make_path_policy,
+    residual_bottleneck,
+    stable_hash,
+)
+from .spec import TOPOLOGY_KINDS, FabricSpec, TopologySpec, parse_topology
+
+__all__ = [
+    "FABRIC_SCHEMA",
+    "PATH_POLICIES",
+    "TOPOLOGY_KINDS",
+    "FabricEngine",
+    "FabricSession",
+    "FabricSim",
+    "FabricSpec",
+    "PathProvider",
+    "TopologySpec",
+    "build_static_load",
+    "execute_fabric_point",
+    "generate_fabric_timeline",
+    "make_path_policy",
+    "parse_topology",
+    "residual_bottleneck",
+    "stable_hash",
+]

@@ -1,0 +1,316 @@
+"""Fabric experiments: topology blocking sweeps over the campaign executor.
+
+The multi-router analogue of the sessions blocking sweep: sweep session
+arrival rate across topologies and path policies, run every point through
+:func:`repro.campaign.run_campaign` (content-addressed caching, worker
+pool, byte-identical serial-vs-parallel artifacts), and reduce each
+point's fabric payload to per-class blocking with Wilson intervals,
+admitted-path hop counts, and path-balance summaries.
+
+Reference curve: for *pure-CBR* mixes the expected load on the
+bottleneck link (under idealized equal-cost splitting) feeds the
+Kaufman–Roberts multi-rate recursion — a single-hop lower-bound on the
+multi-hop blocking the fabric measures.
+
+Imported lazily by ``repro.fabric`` users (this module pulls in
+``repro.campaign``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..analysis.blocking import kaufman_roberts_aggregate
+from ..analysis.stats import wilson_interval
+from ..campaign.executor import CampaignResult, run_campaign
+from ..campaign.plan import CampaignPlan, PointSpec, WorkloadSpec
+from ..campaign.store import ResultStore
+from ..router.config import RouterConfig
+from ..sessions.churn import ChurnConfig
+from ..sessions.signaling import SignalingConfig
+from ..sim.engine import RunControl
+from ..traffic.cbr import CBR_CLASSES
+from .paths import PathProvider
+from .spec import FabricSpec, TopologySpec
+
+__all__ = [
+    "DEMO_FABRIC_CHURN",
+    "FabricBlockingPoint",
+    "bottleneck_kr_reference",
+    "fabric_blocking_plan",
+    "fabric_point",
+    "reduce_fabric_blocking",
+    "render_fabric_blocking_table",
+    "run_fabric_blocking",
+    "summarize_points",
+]
+
+#: Demo churn base: single-class CBR (55 Mb/s streams) so the measured
+#: curves have a clean Kaufman–Roberts reference on the bottleneck link.
+DEMO_FABRIC_CHURN = ChurnConfig(
+    arrivals_per_kcycle=2.0,
+    mean_hold_cycles=3_000.0,
+    mix=(("cbr-high", 1.0),),
+)
+
+
+def fabric_point(
+    config: RouterConfig,
+    fabric: FabricSpec,
+    *,
+    cycles: int,
+    seed: int = 0,
+    arbiter: str = "coa",
+    scheme: str = "siabp",
+    target_load: float = 0.0,
+) -> PointSpec:
+    """One fabric campaign point (the workload spec is a placeholder —
+    fabric points build their background from the fabric spec itself)."""
+    return PointSpec(
+        config=config,
+        arbiter=arbiter,
+        scheme=scheme,
+        target_load=target_load,
+        seed=seed,
+        workload=WorkloadSpec.cbr(),
+        cycles=cycles,
+        warmup_cycles=0,
+        fabric=fabric,
+    )
+
+
+def fabric_blocking_plan(
+    name: str,
+    config: RouterConfig,
+    topology: TopologySpec,
+    arrival_rates: Sequence[float],
+    policies: Sequence[str],
+    *,
+    base_churn: ChurnConfig = DEMO_FABRIC_CHURN,
+    signaling: SignalingConfig = SignalingConfig(),
+    control: RunControl = RunControl(cycles=12_000, warmup_cycles=0),
+    k_paths: int = 4,
+    max_path_attempts: int = 2,
+    seed: int = 0,
+    arbiter: str = "coa",
+    scheme: str = "siabp",
+) -> CampaignPlan:
+    """Path-policy × arrival-rate grid over one topology."""
+    if not arrival_rates or not policies:
+        raise ValueError("need at least one arrival rate and one policy")
+    points = tuple(
+        fabric_point(
+            config,
+            FabricSpec(
+                topology=topology,
+                churn=dataclasses.replace(
+                    base_churn, arrivals_per_kcycle=float(rate)
+                ),
+                path_policy=policy,
+                k_paths=k_paths,
+                max_path_attempts=max_path_attempts,
+                signaling=signaling,
+            ),
+            cycles=control.cycles,
+            seed=seed,
+            arbiter=arbiter,
+            scheme=scheme,
+        )
+        for policy in policies
+        for rate in arrival_rates
+    )
+    return CampaignPlan(name=name, points=points)
+
+
+# ----------------------------------------------------------------------
+# Kaufman–Roberts bottleneck reference
+# ----------------------------------------------------------------------
+
+
+def _link_shares(fabric: FabricSpec, config: RouterConfig) -> dict:
+    """Expected per-link traversal share under idealized ECMP splitting.
+
+    Weighs each (src, dst) host pair by the source's host-port count
+    (arrivals are per port) and splits each pair's traffic evenly over
+    its candidate paths.  Shares sum to the mean path length, so the max
+    share is the fraction of total offered traffic crossing the
+    bottleneck link.
+    """
+    topo = fabric.topology.build()
+    hosts = fabric.topology.host_routers()
+    provider = PathProvider(topo, fabric.k_paths)
+    port_weight = {
+        r: config.num_ports - topo.degree(r) for r in hosts
+    }
+    total_ports = sum(port_weight.values())
+    shares: dict[tuple[int, int], float] = {}
+    for src in hosts:
+        src_w = port_weight[src] / total_ports
+        others = [d for d in hosts if d != src]
+        for dst in others:
+            pair_w = src_w / len(others)
+            paths = provider.paths(src, dst)
+            frac = pair_w / len(paths)
+            for path in paths:
+                for u, v in zip(path, path[1:]):
+                    shares[(u, v)] = shares.get((u, v), 0.0) + frac
+    return shares
+
+
+def bottleneck_kr_reference(
+    fabric: FabricSpec, config: RouterConfig, offered_erlangs: float
+) -> float:
+    """Kaufman–Roberts blocking on the expected bottleneck link.
+
+    Defined for pure-CBR mixes only (deterministic slot demands); the
+    per-class offered load on the most-loaded link is the total offered
+    session load times that link's expected traversal share, split by
+    mix weight.  Single-link, so it lower-bounds the multi-hop measured
+    blocking — a reference curve, not a prediction.
+    """
+    active = [(n, w) for n, w in fabric.churn.mix if w > 0]
+    if not active or not all(n.startswith("cbr-") for n, _ in active):
+        return float("nan")
+    shares = _link_shares(fabric, config)
+    if not shares:
+        return float("nan")
+    p_max = max(shares.values())
+    per_link = offered_erlangs * p_max
+    total_w = sum(w for _, w in active)
+    classes = []
+    for name, w in active:
+        rate_bps = CBR_CLASSES[name.removeprefix("cbr-")].rate_bps
+        slots = int(config.rate_to_slots(rate_bps))
+        classes.append((per_link * w / total_w, slots))
+    return kaufman_roberts_aggregate(config.round_cycles, classes)
+
+
+# ----------------------------------------------------------------------
+# Reduction
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FabricBlockingPoint:
+    """One reduced fabric campaign outcome (plot-ready)."""
+
+    topology: str
+    policy: str
+    offered_erlangs: float
+    offered_sessions: int
+    blocked_sessions: int
+    readmitted_alt: int
+    mean_hops: float
+    balance_jain: float
+    kaufman_roberts_reference: float
+
+    @property
+    def blocking_probability(self) -> float:
+        if self.offered_sessions == 0:
+            return float("nan")
+        return self.blocked_sessions / self.offered_sessions
+
+    @property
+    def blocking_wilson_95(self) -> tuple[float, float]:
+        return wilson_interval(self.blocked_sessions, self.offered_sessions)
+
+
+def reduce_fabric_blocking(
+    result: CampaignResult,
+) -> list[FabricBlockingPoint]:
+    """One :class:`FabricBlockingPoint` per campaign outcome."""
+    points = []
+    for outcome in result.outcomes:
+        payload = outcome.sessions
+        fab = outcome.spec.fabric
+        if payload is None or fab is None:
+            raise ValueError(
+                f"outcome {outcome.spec.describe()} has no fabric payload"
+            )
+        offered_erl = float(payload["offered_erlangs"])
+        hops_mean = payload["hops"]["mean"]
+        points.append(
+            FabricBlockingPoint(
+                topology=fab.topology.describe(),
+                policy=fab.path_policy,
+                offered_erlangs=offered_erl,
+                offered_sessions=int(payload["offered"]),
+                blocked_sessions=int(payload["blocked"]),
+                readmitted_alt=int(payload["path_attempts"]["readmitted_alt"]),
+                mean_hops=(
+                    float(hops_mean) if hops_mean is not None else float("nan")
+                ),
+                balance_jain=float(payload["path_balance"]["final"]["jain"]),
+                kaufman_roberts_reference=bottleneck_kr_reference(
+                    fab, outcome.spec.config, offered_erl
+                ),
+            )
+        )
+    return points
+
+
+def run_fabric_blocking(
+    plan: CampaignPlan,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress=None,
+) -> tuple[CampaignResult, list[FabricBlockingPoint]]:
+    """Execute a fabric blocking sweep and reduce it to plot-ready points."""
+    result = run_campaign(plan, jobs=jobs, store=store, progress=progress)
+    return result, reduce_fabric_blocking(result)
+
+
+def render_fabric_blocking_table(points: Sequence[FabricBlockingPoint]) -> str:
+    """Fixed-width text table of a reduced fabric sweep."""
+    header = (
+        f"{'topology':<16} {'policy':<10} {'offered':>8} {'block':>7} "
+        f"{'wilson95':>17} {'alt':>5} {'hops':>5} {'jain':>5} {'KR ref':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        low, high = p.blocking_wilson_95
+        bp = p.blocking_probability
+        kr = p.kaufman_roberts_reference
+        lines.append(
+            f"{p.topology:<16} {p.policy:<10} {p.offered_erlangs:>8.2f} "
+            f"{bp:>7.3f} [{low:>6.3f},{high:>6.3f}] "
+            f"{p.readmitted_alt:>5d} {p.mean_hops:>5.2f} "
+            f"{p.balance_jain:>5.3f} {kr:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def summarize_points(points: Sequence[FabricBlockingPoint]) -> dict[str, Any]:
+    """Strict-JSON summary of a reduced sweep (bench reports)."""
+    return {
+        "points": [
+            {
+                "topology": p.topology,
+                "policy": p.policy,
+                "offered_erlangs": p.offered_erlangs,
+                "offered_sessions": p.offered_sessions,
+                "blocked_sessions": p.blocked_sessions,
+                "blocking_probability": (
+                    None
+                    if p.blocking_probability != p.blocking_probability
+                    else p.blocking_probability
+                ),
+                "blocking_wilson_95": list(p.blocking_wilson_95),
+                "readmitted_alt": p.readmitted_alt,
+                "mean_hops": (
+                    None if p.mean_hops != p.mean_hops else p.mean_hops
+                ),
+                "balance_jain": p.balance_jain,
+                "kaufman_roberts_reference": (
+                    None
+                    if p.kaufman_roberts_reference
+                    != p.kaufman_roberts_reference
+                    else p.kaufman_roberts_reference
+                ),
+            }
+            for p in points
+        ]
+    }

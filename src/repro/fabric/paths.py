@@ -1,0 +1,187 @@
+"""Path enumeration and pluggable alternate-path selection policies.
+
+The fabric admits a session hop-by-hop along one candidate path at a
+time; which path it tries first — and in what order it falls back — is
+the *path policy*.  Three are provided (the WRR-over-ECMP fat-tree
+balancer family):
+
+* ``first-fit`` — always try candidates in enumeration order (shortest,
+  lowest router ids first).  The degenerate baseline: every session
+  between the same endpoints piles onto the same links.
+* ``ecmp`` — deterministic hash spreading: the session id and endpoints
+  hash (SHA-256, not Python's salted ``hash``) to a starting offset into
+  the candidate list; fallbacks wrap around.  Stateless and replayable.
+* ``wrr`` — smoothed weighted round-robin, weighted by each candidate
+  path's *residual bottleneck reservation* (``1 - max`` reserved output
+  link fraction along the path, read live from the per-router admission
+  ledgers).  Fallbacks are ordered by descending residual capacity.
+
+:class:`PathProvider` memoises the K-shortest candidate enumeration per
+endpoint pair (networkx ``shortest_simple_paths``, re-sorted for
+determinism), mirroring the path cache the exemplar controller keeps per
+switch pair.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from itertools import islice
+
+import networkx as nx
+
+from ..network.multirouter import MultiRouterNetwork
+from ..network.topology import Topology
+
+__all__ = [
+    "PATH_POLICIES",
+    "PathProvider",
+    "make_path_policy",
+    "residual_bottleneck",
+    "stable_hash",
+]
+
+#: Valid path-policy names, in documentation order.
+PATH_POLICIES = ("first-fit", "ecmp", "wrr")
+
+
+def stable_hash(*values: int) -> int:
+    """Deterministic non-negative hash of a few integers.
+
+    Python's ``hash`` is salted per process; campaign workers must pick
+    the same path for the same session in every process.
+    """
+    digest = hashlib.sha256(",".join(map(str, values)).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class PathProvider:
+    """Memoised K-shortest path enumeration over a topology."""
+
+    def __init__(self, topology: Topology, k_paths: int = 4) -> None:
+        if k_paths < 1:
+            raise ValueError("k_paths must be >= 1")
+        self.topology = topology
+        self.k_paths = k_paths
+        self._graph = topology.graph()
+        self._cache: dict[tuple[int, int], tuple[tuple[int, ...], ...]] = {}
+
+    def paths(self, src: int, dst: int) -> tuple[tuple[int, ...], ...]:
+        """Up to ``k_paths`` loop-free paths, shortest and id-ordered first.
+
+        Deterministic: the candidate set is re-sorted by (length, router
+        ids), so two processes enumerating the same topology agree on
+        both membership and order.
+        """
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is None:
+            gen = nx.shortest_simple_paths(self._graph, src, dst)
+            found = [tuple(p) for p in islice(gen, self.k_paths)]
+            cached = tuple(sorted(found, key=lambda p: (len(p), p)))
+            self._cache[key] = cached
+        return cached
+
+
+def residual_bottleneck(net: MultiRouterNetwork, path: tuple[int, ...]) -> float:
+    """Residual capacity of a path's most-reserved output link, in [0, 1].
+
+    Reads the live admission ledgers: for each traversed link, the
+    reserved average-bandwidth fraction of the upstream router's output
+    port; the path's weight is one minus the worst of them.
+    """
+    worst = 0.0
+    for u, v in zip(path, path[1:]):
+        port = net.topology.port_toward(u, v)
+        load = net.routers[u].admission.reserved_avg_load_out(port)
+        if load > worst:
+            worst = load
+    return max(0.0, 1.0 - worst)
+
+
+class FirstFitPolicy:
+    """Try candidates in enumeration order."""
+
+    name = "first-fit"
+
+    def order(
+        self,
+        paths: tuple[tuple[int, ...], ...],
+        sid: int,
+        net: MultiRouterNetwork,
+    ) -> list[int]:
+        return list(range(len(paths)))
+
+
+class EcmpHashPolicy:
+    """Deterministic hash over (sid, src, dst) picks the starting path."""
+
+    name = "ecmp"
+
+    def order(
+        self,
+        paths: tuple[tuple[int, ...], ...],
+        sid: int,
+        net: MultiRouterNetwork,
+    ) -> list[int]:
+        n = len(paths)
+        start = stable_hash(sid, paths[0][0], paths[0][-1]) % n
+        return [(start + i) % n for i in range(n)]
+
+
+class WrrResidualPolicy:
+    """Smoothed WRR weighted by residual bottleneck reservation.
+
+    Classic smoothed weighted round-robin (current weight += weight;
+    pick the max; subtract the total), with per-endpoint-pair state so
+    consecutive sessions between the same routers interleave across
+    paths proportionally to their live residual capacity.  Fallback
+    order after the WRR pick is by descending residual weight.
+    """
+
+    name = "wrr"
+
+    def __init__(self) -> None:
+        self._current: dict[tuple[int, int], list[float]] = {}
+
+    def order(
+        self,
+        paths: tuple[tuple[int, ...], ...],
+        sid: int,
+        net: MultiRouterNetwork,
+    ) -> list[int]:
+        n = len(paths)
+        weights = [residual_bottleneck(net, p) for p in paths]
+        total = sum(weights)
+        if total <= 0.0:  # fully reserved everywhere: fall back to RR
+            weights = [1.0] * n
+            total = float(n)
+        key = (paths[0][0], paths[0][-1])
+        current = self._current.setdefault(key, [0.0] * n)
+        for i in range(n):
+            current[i] += weights[i]
+        primary = max(range(n), key=lambda i: (current[i], -i))
+        current[primary] -= total
+        rest = sorted(
+            (i for i in range(n) if i != primary),
+            key=lambda i: (-weights[i], i),
+        )
+        return [primary, *rest]
+
+
+_POLICIES = {
+    "first-fit": FirstFitPolicy,
+    "ecmp": EcmpHashPolicy,
+    "wrr": WrrResidualPolicy,
+}
+assert tuple(_POLICIES) == PATH_POLICIES
+
+
+def make_path_policy(name: str):
+    """Instantiate a path policy by name; unknown names fail loudly."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown path policy {name!r}; known: {', '.join(PATH_POLICIES)}"
+        ) from None
+    return cls()

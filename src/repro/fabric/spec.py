@@ -1,0 +1,234 @@
+"""Plain-data specs for fabric runs: named topologies + churn + policy.
+
+A fabric point is content-addressed by the campaign store, so everything
+that defines it must be hashable, JSON round-trippable plain data:
+
+* :class:`TopologySpec` — a *named* topology recipe (``ring``, ``mesh``,
+  ``torus``, ``fat-tree``) plus integer parameters, buildable inside a
+  worker process.  Unknown names fail loudly, listing every valid one.
+* :class:`FabricSpec` — the full fabric dimension of a campaign point:
+  topology, churn process, path-selection policy, alternate-path budget,
+  signaling latencies, and the optional static background load.
+
+Like ``SessionsSpec``/``FaultConfig`` on :class:`~repro.campaign.plan.
+PointSpec`, a ``fabric`` spec is omitted from the point hash when absent
+so every existing cache key stays warm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..network.topology import (
+    Topology,
+    fat_tree,
+    fat_tree_edge_routers,
+    mesh,
+    ring,
+    torus,
+)
+from ..sessions.churn import ChurnConfig
+from ..sessions.signaling import SignalingConfig
+from .paths import PATH_POLICIES
+
+__all__ = ["TOPOLOGY_KINDS", "TopologySpec", "FabricSpec", "parse_topology"]
+
+
+def _build_ring(params: Mapping[str, int]) -> Topology:
+    return ring(params["n"])
+
+
+def _build_mesh(params: Mapping[str, int]) -> Topology:
+    return mesh(params["rows"], params["cols"])
+
+
+def _build_torus(params: Mapping[str, int]) -> Topology:
+    return torus(params["rows"], params["cols"])
+
+
+def _build_fat_tree(params: Mapping[str, int]) -> Topology:
+    return fat_tree(params["k"])
+
+
+#: kind -> (builder, required params, CLI default params).
+TOPOLOGY_KINDS: dict[
+    str, tuple[Callable[[Mapping[str, int]], Topology], tuple[str, ...], dict]
+] = {
+    "ring": (_build_ring, ("n",), {"n": 8}),
+    "mesh": (_build_mesh, ("rows", "cols"), {"rows": 3, "cols": 3}),
+    "torus": (_build_torus, ("rows", "cols"), {"rows": 3, "cols": 3}),
+    "fat-tree": (_build_fat_tree, ("k",), {"k": 4}),
+}
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A named, parameterized topology recipe (hashable plain data)."""
+
+    kind: str
+    #: Sorted (name, value) integer parameters.
+    params: tuple[tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology {self.kind!r}; "
+                f"known: {', '.join(sorted(TOPOLOGY_KINDS))}"
+            )
+        _builder, required, _defaults = TOPOLOGY_KINDS[self.kind]
+        ordered = tuple(sorted((str(n), int(v)) for n, v in self.params))
+        object.__setattr__(self, "params", ordered)
+        names = tuple(n for n, _v in ordered)
+        if names != tuple(sorted(required)):
+            raise ValueError(
+                f"topology {self.kind!r} needs params {sorted(required)}, "
+                f"got {list(names)}"
+            )
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def ring(n: int) -> "TopologySpec":
+        return TopologySpec("ring", (("n", n),))
+
+    @staticmethod
+    def mesh(rows: int, cols: int) -> "TopologySpec":
+        return TopologySpec("mesh", (("cols", cols), ("rows", rows)))
+
+    @staticmethod
+    def torus(rows: int, cols: int) -> "TopologySpec":
+        return TopologySpec("torus", (("cols", cols), ("rows", rows)))
+
+    @staticmethod
+    def fat_tree(k: int) -> "TopologySpec":
+        return TopologySpec("fat-tree", (("k", k),))
+
+    # -- behavior -------------------------------------------------------
+
+    @property
+    def params_dict(self) -> dict[str, int]:
+        return dict(self.params)
+
+    def build(self) -> Topology:
+        builder, _required, _defaults = TOPOLOGY_KINDS[self.kind]
+        return builder(self.params_dict)
+
+    def host_routers(self) -> tuple[int, ...]:
+        """Routers whose host ports source/sink fabric sessions.
+
+        A fat-tree attaches hosts only at its edge stage; every router of
+        the flat topologies is host-attached.
+        """
+        if self.kind == "fat-tree":
+            return fat_tree_edge_routers(self.params_dict["k"])
+        return tuple(range(self.build().num_routers))
+
+    def describe(self) -> str:
+        inner = ",".join(f"{n}={v}" for n, v in self.params)
+        return f"{self.kind}({inner})"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": self.params_dict}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        return cls(data["kind"], tuple(sorted(data.get("params", {}).items())))
+
+
+def parse_topology(text: str) -> TopologySpec:
+    """Parse a CLI topology spec: ``ring:6``, ``mesh:3x3``, ``fat-tree:4``.
+
+    A bare kind name uses that kind's default size.  Unknown names raise
+    a :class:`ValueError` listing every valid kind.
+    """
+    kind, _, arg = text.strip().partition(":")
+    if kind not in TOPOLOGY_KINDS:
+        raise ValueError(
+            f"unknown topology {kind!r}; "
+            f"known: {', '.join(sorted(TOPOLOGY_KINDS))}"
+        )
+    _builder, required, defaults = TOPOLOGY_KINDS[kind]
+    if not arg:
+        params = dict(defaults)
+    elif "x" in arg:
+        rows, _, cols = arg.partition("x")
+        params = {"rows": int(rows), "cols": int(cols)}
+    else:
+        params = {required[0]: int(arg)}
+    if tuple(sorted(params)) != tuple(sorted(required)):
+        raise ValueError(
+            f"topology {kind!r} takes params {sorted(required)}; "
+            f"could not parse {text!r}"
+        )
+    return TopologySpec(kind, tuple(sorted(params.items())))
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """The fabric dimension of a campaign point (hashable plain data).
+
+    ``churn`` drives dynamic sessions between (router, host-port)
+    endpoints; ``conns_per_router`` adds the static CBR background the
+    legacy network load experiment used (driven by the point's
+    ``target_load``; 0 disables it).  ``drain`` keeps stepping after the
+    horizon until the network empties (bounded at 3x), which the static
+    throughput experiment needs for exact delivered counts.
+    """
+
+    topology: TopologySpec
+    churn: ChurnConfig = field(default_factory=ChurnConfig)
+    path_policy: str = "first-fit"
+    #: K-shortest candidate paths enumerated per endpoint pair.
+    k_paths: int = 4
+    #: Setup attempts per session (primary + alternates), capped by the
+    #: number of candidate paths.
+    max_path_attempts: int = 2
+    signaling: SignalingConfig = field(default_factory=SignalingConfig)
+    #: Path-balance sampling stride, cycles.
+    sample_stride: int = 500
+    #: Static background CBR connections per source router (0 = none).
+    conns_per_router: int = 0
+    drain: bool = False
+
+    def __post_init__(self) -> None:
+        if self.path_policy not in PATH_POLICIES:
+            raise ValueError(
+                f"unknown path policy {self.path_policy!r}; "
+                f"known: {', '.join(PATH_POLICIES)}"
+            )
+        if self.k_paths < 1:
+            raise ValueError("k_paths must be >= 1")
+        if self.max_path_attempts < 1:
+            raise ValueError("max_path_attempts must be >= 1")
+        if self.sample_stride < 1:
+            raise ValueError("sample_stride must be >= 1")
+        if self.conns_per_router < 0:
+            raise ValueError("conns_per_router must be >= 0")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "topology": self.topology.to_dict(),
+            "churn": self.churn.to_dict(),
+            "path_policy": self.path_policy,
+            "k_paths": self.k_paths,
+            "max_path_attempts": self.max_path_attempts,
+            "signaling": self.signaling.to_dict(),
+            "sample_stride": self.sample_stride,
+            "conns_per_router": self.conns_per_router,
+            "drain": self.drain,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FabricSpec":
+        return cls(
+            topology=TopologySpec.from_dict(data["topology"]),
+            churn=ChurnConfig.from_dict(data["churn"]),
+            path_policy=data.get("path_policy", "first-fit"),
+            k_paths=data.get("k_paths", 4),
+            max_path_attempts=data.get("max_path_attempts", 2),
+            signaling=SignalingConfig.from_dict(data.get("signaling", {})),
+            sample_stride=data.get("sample_stride", 500),
+            conns_per_router=data.get("conns_per_router", 0),
+            drain=data.get("drain", False),
+        )

@@ -6,7 +6,15 @@ from .experiments import (
     run_network_load,
 )
 from .multirouter import MultiRouterNetwork, NetworkConnection
-from .topology import Topology, from_edges, mesh, ring
+from .topology import (
+    Topology,
+    fat_tree,
+    fat_tree_edge_routers,
+    from_edges,
+    mesh,
+    ring,
+    torus,
+)
 
 __all__ = [
     "NetworkRunResult",
@@ -18,4 +26,7 @@ __all__ = [
     "from_edges",
     "mesh",
     "ring",
+    "torus",
+    "fat_tree",
+    "fat_tree_edge_routers",
 ]

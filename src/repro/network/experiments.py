@@ -5,10 +5,14 @@ switch; this module asks the paper's follow-up question: does the COA's
 advantage survive multi-hop paths, where a flit must win arbitration at
 every router and congestion can back-propagate through link credits?
 
-:func:`network_load_experiment` drives a ring (or any topology) of MMRs
-with CBR connections between random endpoints and sweeps injected load,
-reporting delivered throughput and end-to-end delay per arbiter — the
-network analogue of Fig. 5.
+:func:`network_load_experiment` drives any named topology (``ring``,
+``mesh``, ``torus``, ``fat-tree``) of MMRs with CBR connections between
+random endpoints and sweeps injected load, reporting delivered
+throughput and end-to-end delay per arbiter — the network analogue of
+Fig. 5.  Every point runs through the campaign executor (zero-churn
+fabric points), so sweeps cache, parallelize, and resume like any other
+campaign; :func:`run_network_load` remains the direct single-run
+harness.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ import numpy as np
 from ..router.config import RouterConfig
 from ..router.connection import TrafficClass
 from .multirouter import MultiRouterNetwork, NetworkConnection
-from .topology import Topology, ring
+from .topology import Topology
 
 __all__ = ["NetworkRunResult", "run_network_load", "network_load_experiment"]
 
@@ -142,17 +146,74 @@ def network_load_experiment(
     config: RouterConfig | None = None,
     cycles: int = 4_000,
     seed: int = 0,
+    topology: str | None = None,
+    conns_per_router: int = 4,
+    jobs: int = 1,
+    store=None,
 ) -> dict[str, list[NetworkRunResult]]:
-    """N1: ring-of-MMRs load sweep, per arbiter (same seed => same
-    connection pattern and injection schedules)."""
-    topo = ring(num_routers)
+    """N1: network-of-MMRs load sweep, per arbiter.
+
+    ``topology`` names any registered kind (``"ring:6"``, ``"mesh:3x3"``,
+    ``"torus:3x3"``, ``"fat-tree:4"``; ``None`` keeps the historical
+    ring of ``num_routers``).  Points are zero-churn fabric points run
+    through :func:`repro.campaign.run_campaign` — same seed means the
+    same connection pattern and injection schedules across arbiters, and
+    a ``store`` serves repeat sweeps from cache.
+    """
+    # Deferred: this module is imported by ``repro.network`` itself, and
+    # the campaign/fabric packages import ``repro.network`` at load time.
+    from ..campaign.executor import run_campaign
+    from ..campaign.plan import CampaignPlan
+    from ..fabric.experiments import fabric_point
+    from ..fabric.spec import FabricSpec, TopologySpec, parse_topology
+    from ..sessions.churn import ChurnConfig
+
+    if topology is None:
+        topo_spec = TopologySpec.ring(num_routers)
+    else:
+        topo_spec = parse_topology(topology)
     cfg = config or RouterConfig(
         num_ports=4, vcs_per_link=32, candidate_levels=4, vc_buffer_depth=4
     )
-    return {
-        arbiter: [
-            run_network_load(topo, cfg, arbiter, load, cycles, seed)
-            for load in loads
-        ]
+    fabric = FabricSpec(
+        topology=topo_spec,
+        churn=ChurnConfig(arrivals_per_kcycle=0.0),
+        conns_per_router=conns_per_router,
+        drain=True,
+    )
+    points = tuple(
+        fabric_point(
+            cfg,
+            fabric,
+            cycles=cycles,
+            seed=seed,
+            arbiter=arbiter,
+            target_load=load,
+        )
         for arbiter in arbiters
-    }
+        for load in loads
+    )
+    plan = CampaignPlan(name="network-load", points=points)
+    campaign = run_campaign(plan, jobs=jobs, store=store)
+    results: dict[str, list[NetworkRunResult]] = {a: [] for a in arbiters}
+    for outcome in campaign.outcomes:
+        net = outcome.sessions["network"]
+        mean_delay = net["delay_mean_cycles"]
+        max_delay = net["delay_max_cycles"]
+        results[outcome.spec.arbiter].append(
+            NetworkRunResult(
+                arbiter=outcome.spec.arbiter,
+                target_load=outcome.spec.target_load,
+                connections=outcome.result.connections,
+                injected=net["static_injected"] + net["dynamic_injected"],
+                delivered=net["delivered"],
+                mean_delay_cycles=(
+                    float(mean_delay) if mean_delay is not None else float("nan")
+                ),
+                max_delay_cycles=(
+                    float(max_delay) if max_delay is not None else float("nan")
+                ),
+                residue=net["residue"],
+            )
+        )
+    return results

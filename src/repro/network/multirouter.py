@@ -100,9 +100,14 @@ class MultiRouterNetwork:
         self._connections: list[NetworkConnection] = []
         # (router, in_port, vc) -> (net_conn, hop_index)
         self._hop_lookup: dict[tuple[int, int, int], tuple[NetworkConnection, int]] = {}
+        # (src, dst) -> shortest router path; cleared on any failure so
+        # cached paths never route through dead elements.
+        self._path_cache: dict[tuple[int, int], list[int]] = {}
         #: End-to-end delay since generation, in cycles.
         self.end_to_end_delay = StreamingStat()
         self.delivered = 0
+        #: Per-connection delivered-flit counts (net_conn_id -> flits).
+        self.delivered_by_conn: dict[int, int] = {}
         #: Optional fault-event log (see :mod:`repro.faults`).
         self.schedule = schedule
         #: Failed routers / directed links (see :meth:`fail_router`,
@@ -118,6 +123,9 @@ class MultiRouterNetwork:
         #: Connections dropped because no alternative path admitted them.
         self.dropped_connections = 0
         self._dropped_ids: set[int] = set()
+        #: Connections gracefully released (see :meth:`release`).
+        self.released_connections = 0
+        self._released_ids: set[int] = set()
 
     # ------------------------------------------------------------------
     # Ports
@@ -135,6 +143,17 @@ class MultiRouterNetwork:
     # PCS setup
     # ------------------------------------------------------------------
 
+    def shortest_path_cached(self, src_router: int, dst_router: int) -> list[int]:
+        """Shortest surviving path, memoised until the next failure."""
+        key = (src_router, dst_router)
+        path = self._path_cache.get(key)
+        if path is None:
+            path = self.topology.shortest_path(
+                src_router, dst_router, self.dead_routers, self.dead_links
+            )
+            self._path_cache[key] = path
+        return list(path)
+
     def establish(
         self,
         src_router: int,
@@ -150,19 +169,41 @@ class MultiRouterNetwork:
         ``None`` (with every partial reservation released) if any hop
         rejects — the PCS probe would backtrack the same way.
         """
-        path = self.topology.shortest_path(
-            src_router, dst_router, self.dead_routers, self.dead_links
+        path = self.shortest_path_cached(src_router, dst_router)
+        net_conn, _blocked = self.establish_along(
+            path, traffic_class, avg_slots, peak_slots
         )
-        net_conn = self._establish_along(
+        return net_conn
+
+    def establish_along(
+        self,
+        path: list[int],
+        traffic_class: TrafficClass = TrafficClass.CBR,
+        avg_slots: int = 1,
+        peak_slots: int | None = None,
+        src_port: int | None = None,
+        dst_port: int | None = None,
+    ) -> tuple[NetworkConnection | None, int]:
+        """Set up a connection along an explicit router path, or roll back.
+
+        ``src_port`` / ``dst_port`` pick the host ports at the endpoints
+        (default: the first host port of each).  Returns ``(conn, -1)``
+        on success, or ``(None, hop_index)`` naming the hop whose
+        admission test rejected — the caller can retry over an alternate
+        path (blocked-at-hop re-admission).
+        """
+        net_conn, blocked = self._establish_along(
             path,
             len(self._connections),
             traffic_class,
             avg_slots,
             peak_slots,
+            src_port=src_port,
+            dst_port=dst_port,
         )
         if net_conn is not None:
             self._connections.append(net_conn)
-        return net_conn
+        return net_conn, blocked
 
     def _establish_along(
         self,
@@ -171,16 +212,38 @@ class MultiRouterNetwork:
         traffic_class: TrafficClass,
         avg_slots: int,
         peak_slots: int | None,
-    ) -> NetworkConnection | None:
-        """Reserve one hop per router along ``path``, or roll back."""
+        src_port: int | None = None,
+        dst_port: int | None = None,
+    ) -> tuple[NetworkConnection | None, int]:
+        """Reserve one hop per router along ``path``, or roll back.
+
+        Returns ``(conn, -1)`` or ``(None, index_of_rejecting_hop)``.
+        """
         src_router, dst_router = path[0], path[-1]
         if len(path) < 2 and src_router != dst_router:
             raise ValueError("path must traverse at least one link")
+        degree = self.topology.degree
+        for label, router, port in (
+            ("src_port", src_router, src_port),
+            ("dst_port", dst_router, dst_port),
+        ):
+            if port is not None and not (
+                degree(router) <= port < self.config.num_ports
+            ):
+                raise ValueError(
+                    f"{label}={port} is not a host port of router {router} "
+                    f"(host ports are {degree(router)}.."
+                    f"{self.config.num_ports - 1})"
+                )
         hops: list[Connection] = []
-        in_port = self.first_host_port(src_router)
+        in_port = (
+            src_port if src_port is not None else self.first_host_port(src_router)
+        )
         for idx, router_id in enumerate(path):
             if idx + 1 < len(path):
                 out_port = self.topology.port_toward(router_id, path[idx + 1])
+            elif dst_port is not None:
+                out_port = dst_port
             else:
                 out_port = self.first_host_port(router_id)
             result = self.routers[router_id].establish(
@@ -189,7 +252,7 @@ class MultiRouterNetwork:
             if not result.accepted:
                 for back_idx, conn in enumerate(hops):
                     self.routers[path[back_idx]].teardown(conn.conn_id)
-                return None
+                return None, idx
             hops.append(result.connection)
             if idx + 1 < len(path):
                 next_router = path[idx + 1]
@@ -208,7 +271,7 @@ class MultiRouterNetwork:
                 net_conn,
                 hop_idx,
             )
-        return net_conn
+        return net_conn, -1
 
     @property
     def connections(self) -> list[NetworkConnection]:
@@ -231,7 +294,10 @@ class MultiRouterNetwork:
         before a reroute still inject into the *current* first-hop VC.
         Flits offered to a dropped connection are counted lost.
         """
-        if net_conn.net_conn_id in self._dropped_ids:
+        if (
+            net_conn.net_conn_id in self._dropped_ids
+            or net_conn.net_conn_id in self._released_ids
+        ):
             self.lost_flits += 1
             return
         net_conn = self._connections[net_conn.net_conn_id]
@@ -302,6 +368,10 @@ class MultiRouterNetwork:
             # Ejected at a host port: the flit left the network.
             self.delivered += 1
             self.end_to_end_delay.add(now - dep.gen_cycle + 1)
+            eject = self._hop_lookup.get((router_id, dep.in_port, dep.vc))
+            if eject is not None:
+                cid = eject[0].net_conn_id
+                self.delivered_by_conn[cid] = self.delivered_by_conn.get(cid, 0) + 1
             return
         hop = self._hop_lookup.get((router_id, dep.in_port, dep.vc))
         down_router, down_port = dest
@@ -365,6 +435,7 @@ class MultiRouterNetwork:
             return
         self.dead_links.add((u, v))
         self.dead_links.add((v, u))
+        self._path_cache.clear()
         if self.schedule is not None:
             self.schedule.record(now, FaultKind.DEAD_LINK, f"link={u}<->{v}")
         victims = [
@@ -387,6 +458,7 @@ class MultiRouterNetwork:
         if router_id in self.dead_routers:
             return
         self.dead_routers.add(router_id)
+        self._path_cache.clear()
         for neighbor in self.topology.neighbors(router_id):
             self.dead_links.add((router_id, neighbor))
             self.dead_links.add((neighbor, router_id))
@@ -486,16 +558,20 @@ class MultiRouterNetwork:
         surviving path can admit the reservation.
         """
         try:
-            path = self.topology.shortest_path(
-                conn.src_router, conn.dst_router, self.dead_routers, self.dead_links
-            )
+            path = self.shortest_path_cached(conn.src_router, conn.dst_router)
         except ValueError:
             self._drop(conn, now, reason="no_path")
             return False
         backlog = self._teardown_hops(conn)
         traffic_class = conn.hops[0].traffic_class
-        replacement = self._establish_along(
-            path, conn.net_conn_id, traffic_class, conn.avg_slots, conn.peak_slots
+        replacement, _blocked = self._establish_along(
+            path,
+            conn.net_conn_id,
+            traffic_class,
+            conn.avg_slots,
+            conn.peak_slots,
+            src_port=conn.hops[0].in_port,
+            dst_port=conn.hops[-1].out_port,
         )
         if replacement is None:
             self.lost_flits += len(backlog)
@@ -523,6 +599,54 @@ class MultiRouterNetwork:
                 f"path={'->'.join(map(str, path))}",
             )
         return True
+
+    # ------------------------------------------------------------------
+    # Graceful teardown (fabric session lifecycle)
+    # ------------------------------------------------------------------
+
+    def connection_empty(self, conn: NetworkConnection) -> bool:
+        """True when no flit of this connection remains anywhere.
+
+        Checks the source NIC queue, every traversed VC buffer, and the
+        inter-router in-flight sets — the fabric teardown signal only
+        fires once the flow has fully drained.
+        """
+        if conn.net_conn_id in self._dropped_ids | self._released_ids:
+            return True
+        conn = self._connections[conn.net_conn_id]
+        path = conn.router_path
+        first = conn.hops[0]
+        if self.routers[path[0]].nics[first.in_port].queue_length(first.vc):
+            return False
+        for hop_idx, hop in enumerate(conn.hops):
+            router = self.routers[path[hop_idx]]
+            if router.vc_memory.occupancy_of(hop.in_port, hop.vc):
+                return False
+        keys = {
+            (path[i], hop.in_port, hop.vc) for i, hop in enumerate(conn.hops)
+        }
+        for arrivals in self._in_flight.values():
+            for a in arrivals:
+                if a[:3] in keys:
+                    return False
+        return True
+
+    def release(self, conn: NetworkConnection) -> None:
+        """Gracefully tear down a connection along every hop.
+
+        Unlike the fault path this is a planned release (session end):
+        the connection id is retired so later injections are refused, but
+        it does not count as dropped.  Flits still buffered at release
+        time are counted lost, so callers should drain first (see
+        :meth:`connection_empty`).
+        """
+        if conn.net_conn_id in self._dropped_ids | self._released_ids:
+            return
+        conn = self._connections[conn.net_conn_id]
+        backlog = self._teardown_hops(conn)
+        self.lost_flits += len(backlog)
+        self._released_ids.add(conn.net_conn_id)
+        self.released_connections += 1
 
     # ------------------------------------------------------------------
 

@@ -15,7 +15,15 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-__all__ = ["Topology", "mesh", "ring", "from_edges"]
+__all__ = [
+    "Topology",
+    "mesh",
+    "ring",
+    "torus",
+    "fat_tree",
+    "fat_tree_edge_routers",
+    "from_edges",
+]
 
 
 @dataclass(frozen=True)
@@ -132,6 +140,73 @@ def ring(n: int) -> Topology:
         raise ValueError("a ring needs at least 2 routers")
     pairs = [(i, (i + 1) % n) for i in range(n)] if n > 2 else [(0, 1)]
     return _bidirectional(pairs, n)
+
+
+def torus(rows: int, cols: int) -> Topology:
+    """2-D torus: a mesh with wrap-around links on every row and column.
+
+    Wrap links are only added along a dimension of size > 2 — with two
+    routers per row (or column) the wrap edge would duplicate the mesh
+    edge and corrupt the per-router port assignment.  ``torus(1, n)``
+    therefore degenerates to ``ring(n)`` and ``torus(2, 2)`` to
+    ``mesh(2, 2)``, matching the usual k-ary n-cube definition.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    pairs = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                pairs.append((node, node + 1))
+            if r + 1 < rows:
+                pairs.append((node, node + cols))
+    if cols > 2:
+        for r in range(rows):
+            pairs.append((r * cols + cols - 1, r * cols))
+    if rows > 2:
+        for c in range(cols):
+            pairs.append(((rows - 1) * cols + c, c))
+    return _bidirectional(pairs, rows * cols)
+
+
+def fat_tree(k: int) -> Topology:
+    """Three-stage k-ary fat-tree (k even): (k/2)^2 cores, k pods.
+
+    Router numbering is deterministic: cores first (``0 .. (k/2)^2-1``),
+    then per pod ``p`` the ``k/2`` aggregation routers followed by the
+    ``k/2`` edge routers.  Aggregation router ``i`` of every pod uplinks
+    to core group ``i`` (cores ``i*k/2 .. i*k/2 + k/2 - 1``); every edge
+    router connects to all aggregation routers of its pod.  Hosts attach
+    to the edge routers (see :func:`fat_tree_edge_routers`).
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity k must be an even integer >= 2")
+    half = k // 2
+    num_cores = half * half
+    pairs = []
+    for pod in range(k):
+        base = num_cores + pod * k
+        for agg in range(half):
+            for core in range(half):
+                pairs.append((agg * half + core, base + agg))
+        for edge in range(half):
+            for agg in range(half):
+                pairs.append((base + agg, base + half + edge))
+    return _bidirectional(pairs, num_cores + k * k)
+
+
+def fat_tree_edge_routers(k: int) -> tuple[int, ...]:
+    """Router ids of the edge (host-facing) stage of ``fat_tree(k)``."""
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity k must be an even integer >= 2")
+    half = k // 2
+    num_cores = half * half
+    return tuple(
+        num_cores + pod * k + half + edge
+        for pod in range(k)
+        for edge in range(half)
+    )
 
 
 def from_edges(num_routers: int, pairs: list[tuple[int, int]]) -> Topology:

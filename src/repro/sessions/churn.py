@@ -40,6 +40,7 @@ __all__ = [
     "ChurnConfig",
     "SessionSpec",
     "generate_timeline",
+    "make_session_spec",
 ]
 
 #: Session class names accepted in a churn mix.  ``cbr-*`` map onto the
@@ -260,6 +261,29 @@ def _make_session(
     rng: np.random.Generator,
 ) -> SessionSpec:
     out_port = int(rng.integers(config.num_ports))
+    return make_session_spec(
+        sid, in_port, out_port, arrival, cls_name, config, churn, rng
+    )
+
+
+def make_session_spec(
+    sid: int,
+    in_port: int,
+    out_port: int,
+    arrival: int,
+    cls_name: str,
+    config: RouterConfig,
+    churn: ChurnConfig,
+    rng: np.random.Generator,
+) -> SessionSpec:
+    """Build one session body for explicit endpoints.
+
+    This is the endpoint-generalised core of the churn generator: the
+    single-router timeline draws ``out_port`` itself, while the fabric
+    timeline picks (router, port) endpoints across a topology and passes
+    the ports in.  Everything after the endpoint choice (holding time,
+    class body, injection schedule) draws from ``rng`` in a fixed order.
+    """
     hold = _draw_hold(churn, rng)
     spec_args: dict[str, Any] = {
         "sid": sid,

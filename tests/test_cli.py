@@ -167,3 +167,90 @@ class TestObsCommands:
         assert "overhead_disabled" in report
         text = capsys.readouterr().out
         assert "overhead" in text
+
+
+class TestFabricCommands:
+    """The `fabric` subcommand: list, single run, determinism, demo."""
+
+    def test_list_topologies(self, capsys):
+        assert main(["fabric", "--list-topologies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ring", "mesh", "torus", "fat-tree",
+                     "first-fit", "ecmp", "wrr"):
+            assert name in out
+
+    def test_single_run_table(self, capsys):
+        code = main([
+            "fabric", "--topology", "ring:4", "--cycles", "2000",
+            "--rate", "3", "--events", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fabric churn run" in out
+        assert "offered sessions" in out
+        assert "P(block)" in out
+
+    def test_unknown_topology_is_loud(self, capsys):
+        with pytest.raises(ValueError, match="known:"):
+            main(["fabric", "--topology", "star:5", "--cycles", "500"])
+
+    def test_unknown_policy_fails_cleanly(self, capsys):
+        code = main([
+            "fabric", "--policy", "random-walk", "--cycles", "500",
+        ])
+        assert code == 2
+        assert "unknown path policy" in capsys.readouterr().err
+
+    def test_check_determinism(self, capsys):
+        code = main([
+            "fabric", "--check-determinism", "--topology", "ring:4",
+            "--cycles", "1500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deterministic" in out
+        assert "bit-identical" in out
+
+    def test_demo_table(self, capsys):
+        code = main([
+            "fabric", "--demo", "--topology", "ring:4",
+            "--rates", "2,4", "--policies", "first-fit,ecmp",
+            "--cycles", "1500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "first-fit" in out and "ecmp" in out
+        assert "KR ref" in out
+
+    def test_demo_store_warm_cache(self, tmp_path, capsys):
+        args = [
+            "fabric", "--demo", "--topology", "ring:4",
+            "--rates", "2", "--policies", "first-fit",
+            "--cycles", "1200", "--store", str(tmp_path / "store"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "0 cached / 1" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "1 cached / 1" in warm
+
+    def test_bench_writes_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "BENCH_fabric.json"
+        code = main([
+            "fabric", "--bench", "--cycles", "1000", "--rate", "1",
+            "--json", str(report_path),
+        ])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro/fabric-bench/v1"
+        assert set(report["topologies"]) == {
+            "fat-tree(k=4)", "mesh(cols=3,rows=3)", "ring(n=8)",
+            "torus(cols=3,rows=3)",
+        }
+        for stats in report["topologies"].values():
+            assert stats["wall_s"] > 0
+            assert stats["offered"] >= 0
+        assert "fabric bench" in capsys.readouterr().out

@@ -1,0 +1,202 @@
+"""Tests for fabric campaign integration (plan, executor, experiments).
+
+Covers the campaign-facing contracts of the fabric dimension: hash
+transparency (a point without ``fabric`` hashes exactly as before),
+serial-vs-parallel byte identity of the artifact store, warm-cache
+replay, and the Kaufman–Roberts bottleneck reference.
+"""
+
+import hashlib
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.plan import PointSpec, WorkloadSpec
+from repro.campaign.store import ResultStore
+from repro.fabric.experiments import (
+    DEMO_FABRIC_CHURN,
+    bottleneck_kr_reference,
+    fabric_blocking_plan,
+    fabric_point,
+    reduce_fabric_blocking,
+    render_fabric_blocking_table,
+    run_fabric_blocking,
+    summarize_points,
+)
+from repro.fabric.spec import FabricSpec, TopologySpec
+from repro.router.config import RouterConfig
+from repro.sessions.churn import ChurnConfig
+from repro.sim.engine import RunControl
+
+
+def make_config(**overrides):
+    base = dict(num_ports=6, vcs_per_link=8, vc_buffer_depth=2,
+                candidate_levels=4, flit_cycles_per_round=800)
+    base.update(overrides)
+    return RouterConfig(**base)
+
+
+def demo_plan(topology=None, rates=(2.0,), policies=("first-fit",),
+              cycles=3_000):
+    return fabric_blocking_plan(
+        "fabric-test",
+        make_config(),
+        topology or TopologySpec.torus(2, 3),
+        list(rates),
+        list(policies),
+        control=RunControl(cycles=cycles, warmup_cycles=0),
+    )
+
+
+def artifact_digest(root: Path) -> str:
+    """Hash every stored artifact except the timestamped manifests."""
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.json")):
+        if path.parent.name == "manifests":
+            continue
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+class TestHashTransparency:
+    def test_point_without_fabric_hashes_as_before(self):
+        spec = PointSpec(
+            config=make_config(), arbiter="coa", scheme="siabp",
+            target_load=0.5, seed=0, workload=WorkloadSpec.cbr(),
+            cycles=1_000, warmup_cycles=0,
+        )
+        assert "fabric" not in spec.to_dict()
+        explicit = PointSpec(
+            config=make_config(), arbiter="coa", scheme="siabp",
+            target_load=0.5, seed=0, workload=WorkloadSpec.cbr(),
+            cycles=1_000, warmup_cycles=0, fabric=None,
+        )
+        assert explicit.key() == spec.key()
+
+    def test_fabric_changes_the_key(self):
+        plain = PointSpec(
+            config=make_config(), arbiter="coa", scheme="siabp",
+            target_load=0.0, seed=0, workload=WorkloadSpec.cbr(),
+            cycles=1_000, warmup_cycles=0,
+        )
+        fab = fabric_point(
+            make_config(),
+            FabricSpec(topology=TopologySpec.ring(4)),
+            cycles=1_000,
+        )
+        assert fab.key() != plain.key()
+
+    def test_round_trip(self):
+        point = fabric_point(
+            make_config(),
+            FabricSpec(topology=TopologySpec.fat_tree(4),
+                       churn=DEMO_FABRIC_CHURN, path_policy="wrr"),
+            cycles=2_000, seed=3,
+        )
+        data = point.to_dict()
+        again = PointSpec.from_dict(data)
+        assert again == point
+        assert again.key() == point.key()
+        assert "fabric" in data
+        assert "fabric" in point.describe()
+
+
+class TestExecution:
+    def test_serial_parallel_byte_identical(self, tmp_path):
+        plan = demo_plan(rates=(1.0, 3.0))
+        serial, parallel = tmp_path / "serial", tmp_path / "parallel"
+        run_fabric_blocking(plan, jobs=1, store=ResultStore(serial))
+        run_fabric_blocking(plan, jobs=2, store=ResultStore(parallel))
+        assert artifact_digest(serial) == artifact_digest(parallel)
+
+    def test_warm_cache_replays(self, tmp_path):
+        plan = demo_plan()
+        store = ResultStore(tmp_path / "store")
+        cold, cold_points = run_fabric_blocking(plan, jobs=1, store=store)
+        warm, warm_points = run_fabric_blocking(plan, jobs=1, store=store)
+        assert cold.misses == len(plan.points)
+        assert warm.hits == len(plan.points)
+        assert cold_points == warm_points
+
+    def test_reduction_fields(self):
+        plan = demo_plan(policies=("ecmp",))
+        result, points = run_fabric_blocking(plan, jobs=1)
+        assert len(points) == 1
+        point = points[0]
+        assert point.topology == "torus(cols=3,rows=2)"
+        assert point.policy == "ecmp"
+        assert point.offered_sessions > 0
+        assert 0.0 <= point.blocking_probability <= 1.0
+        low, high = point.blocking_wilson_95
+        assert 0.0 <= low <= point.blocking_probability <= high <= 1.0
+        assert point.mean_hops >= 1.0
+        assert 0.0 < point.balance_jain <= 1.0
+        # pure-CBR mix: the KR reference is defined and sane.
+        assert 0.0 <= point.kaufman_roberts_reference <= 1.0
+        table = render_fabric_blocking_table(points)
+        assert "torus" in table and "ecmp" in table
+        summary = summarize_points(points)
+        assert summary["points"][0]["policy"] == "ecmp"
+
+    def test_reduction_rejects_non_fabric_outcomes(self):
+        plan = demo_plan()
+        result, _ = run_fabric_blocking(plan, jobs=1)
+        stripped = result.outcomes[0].__class__(
+            **{**result.outcomes[0].__dict__, "sessions": None}
+        )
+        result.outcomes[0] = stripped
+        with pytest.raises(ValueError, match="no fabric payload"):
+            reduce_fabric_blocking(result)
+
+
+class TestKaufmanRobertsReference:
+    def test_monotone_in_offered_load(self):
+        fab = FabricSpec(topology=TopologySpec.ring(6),
+                         churn=DEMO_FABRIC_CHURN)
+        config = make_config()
+        refs = [bottleneck_kr_reference(fab, config, erl)
+                for erl in (5.0, 20.0, 80.0)]
+        assert all(0.0 <= r <= 1.0 for r in refs)
+        assert refs[0] < refs[1] < refs[2]
+
+    def test_nan_for_non_cbr_mix(self):
+        fab = FabricSpec(
+            topology=TopologySpec.ring(4),
+            churn=ChurnConfig(mix=(("vbr", 1.0),)),
+        )
+        assert math.isnan(
+            bottleneck_kr_reference(fab, make_config(), 10.0))
+
+    def test_fat_tree_bottleneck_below_single_link_share(self):
+        # Equal-cost splitting over 4 core paths must reduce the
+        # bottleneck share vs the ring, where paths concentrate.
+        config = make_config()
+        ring_ref = bottleneck_kr_reference(
+            FabricSpec(topology=TopologySpec.ring(8),
+                       churn=DEMO_FABRIC_CHURN), config, 40.0)
+        ft_ref = bottleneck_kr_reference(
+            FabricSpec(topology=TopologySpec.fat_tree(4),
+                       churn=DEMO_FABRIC_CHURN), config, 40.0)
+        assert ft_ref < ring_ref
+
+
+class TestPlanValidation:
+    def test_needs_rates_and_policies(self):
+        with pytest.raises(ValueError):
+            fabric_blocking_plan("x", make_config(),
+                                 TopologySpec.ring(4), [], ["ecmp"])
+        with pytest.raises(ValueError):
+            fabric_blocking_plan("x", make_config(),
+                                 TopologySpec.ring(4), [1.0], [])
+
+    def test_grid_order(self):
+        plan = fabric_blocking_plan(
+            "x", make_config(), TopologySpec.ring(4),
+            [1.0, 2.0], ["first-fit", "ecmp"],
+        )
+        combos = [(p.fabric.path_policy, p.fabric.churn.arrivals_per_kcycle)
+                  for p in plan.points]
+        assert combos == [("first-fit", 1.0), ("first-fit", 2.0),
+                          ("ecmp", 1.0), ("ecmp", 2.0)]

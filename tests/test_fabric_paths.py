@@ -1,0 +1,167 @@
+"""Tests for repro.fabric.paths and repro.fabric.spec."""
+
+import pytest
+
+from repro.fabric.paths import (
+    PATH_POLICIES,
+    PathProvider,
+    make_path_policy,
+    residual_bottleneck,
+    stable_hash,
+)
+from repro.fabric.spec import FabricSpec, TopologySpec, parse_topology
+from repro.network.multirouter import MultiRouterNetwork
+from repro.network.topology import fat_tree, torus
+from repro.router.config import RouterConfig
+from repro.router.connection import TrafficClass
+
+
+def make_config(**overrides):
+    base = dict(num_ports=6, vcs_per_link=8, vc_buffer_depth=2,
+                candidate_levels=4, flit_cycles_per_round=800)
+    base.update(overrides)
+    return RouterConfig(**base)
+
+
+class TestPathProvider:
+    def test_enumeration_is_deterministic_and_sorted(self):
+        topo = fat_tree(4)
+        a = PathProvider(topo, k_paths=4)
+        b = PathProvider(topo, k_paths=4)
+        hosts = [4, 7, 9, 16]
+        for src in hosts:
+            for dst in hosts:
+                if src == dst:
+                    continue
+                pa, pb = a.paths(src, dst), b.paths(src, dst)
+                assert pa == pb
+                assert list(pa) == sorted(pa, key=lambda p: (len(p), p))
+                for path in pa:
+                    assert path[0] == src and path[-1] == dst
+                    assert len(set(path)) == len(path)  # loop-free
+
+    def test_equal_cost_paths_on_fat_tree(self):
+        # Cross-pod edge pairs in fat_tree(4) have 4 equal-cost
+        # 5-router paths (one per core).
+        provider = PathProvider(fat_tree(4), k_paths=4)
+        paths = provider.paths(6, 10)
+        assert len(paths) == 4
+        assert all(len(p) == 5 for p in paths)
+
+    def test_k_paths_validation(self):
+        with pytest.raises(ValueError):
+            PathProvider(torus(2, 2), k_paths=0)
+
+
+class TestStableHash:
+    def test_deterministic_and_spread(self):
+        assert stable_hash(1, 2, 3) == stable_hash(1, 2, 3)
+        values = {stable_hash(sid, 0, 5) % 4 for sid in range(64)}
+        assert values == {0, 1, 2, 3}  # spreads over candidates
+
+
+class TestPolicies:
+    def setup_method(self):
+        self.topo = torus(2, 3)
+        self.net = MultiRouterNetwork(self.topo, make_config())
+        self.provider = PathProvider(self.topo, k_paths=3)
+        self.paths = self.provider.paths(0, 4)
+
+    def test_first_fit_is_identity(self):
+        policy = make_path_policy("first-fit")
+        assert policy.order(self.paths, 7, self.net) == list(
+            range(len(self.paths))
+        )
+
+    def test_ecmp_rotation_covers_all(self):
+        policy = make_path_policy("ecmp")
+        starts = set()
+        for sid in range(32):
+            order = policy.order(self.paths, sid, self.net)
+            assert sorted(order) == list(range(len(self.paths)))
+            starts.add(order[0])
+        assert len(starts) == len(self.paths)
+
+    def test_wrr_prefers_residual_capacity(self):
+        policy = make_path_policy("wrr")
+        # Reserve heavily along the first candidate path; WRR must then
+        # favor the others.
+        first = self.paths[0]
+        conn, blocked = self.net.establish_along(
+            list(first), TrafficClass.CBR, avg_slots=700
+        )
+        assert conn is not None and blocked == -1
+        picks = [policy.order(self.paths, sid, self.net)[0]
+                 for sid in range(12)]
+        assert picks.count(0) < len(picks) / 3
+        # residual weighting is what drove it
+        weights = [residual_bottleneck(self.net, p) for p in self.paths]
+        assert weights[0] < max(weights[1:])
+
+    def test_wrr_interleaves_when_balanced(self):
+        policy = make_path_policy("wrr")
+        picks = [policy.order(self.paths, sid, self.net)[0]
+                 for sid in range(9)]
+        assert set(picks) == set(range(len(self.paths)))
+
+    def test_unknown_policy_is_loud(self):
+        with pytest.raises(ValueError, match="first-fit, ecmp, wrr"):
+            make_path_policy("random")
+        assert set(PATH_POLICIES) == {"first-fit", "ecmp", "wrr"}
+
+
+class TestTopologySpec:
+    def test_round_trip_and_build(self):
+        for spec in (TopologySpec.ring(6), TopologySpec.mesh(2, 3),
+                     TopologySpec.torus(3, 3), TopologySpec.fat_tree(4)):
+            again = TopologySpec.from_dict(spec.to_dict())
+            assert again == spec
+            topo = spec.build()
+            assert topo.num_routers > 1
+            hosts = spec.host_routers()
+            assert len(hosts) >= 2
+            assert all(0 <= r < topo.num_routers for r in hosts)
+
+    def test_fat_tree_hosts_are_edge_stage(self):
+        spec = TopologySpec.fat_tree(4)
+        assert len(spec.host_routers()) == 8
+
+    def test_unknown_kind_is_loud(self):
+        with pytest.raises(ValueError, match="fat-tree, mesh, ring, torus"):
+            TopologySpec("hypercube", (("n", 4),))
+
+    def test_wrong_params_are_loud(self):
+        with pytest.raises(ValueError, match="params"):
+            TopologySpec("ring", (("rows", 3),))
+
+    def test_parse(self):
+        assert parse_topology("ring:6") == TopologySpec.ring(6)
+        assert parse_topology("mesh:2x4") == TopologySpec.mesh(2, 4)
+        assert parse_topology("torus:3x3") == TopologySpec.torus(3, 3)
+        assert parse_topology("fat-tree:4") == TopologySpec.fat_tree(4)
+        assert parse_topology("ring") == TopologySpec.ring(8)
+
+    def test_parse_unknown_is_loud(self):
+        with pytest.raises(ValueError, match="known:"):
+            parse_topology("star:5")
+
+
+class TestFabricSpec:
+    def test_round_trip(self):
+        spec = FabricSpec(topology=TopologySpec.torus(2, 3),
+                          path_policy="wrr", k_paths=3,
+                          max_path_attempts=3, conns_per_router=2,
+                          drain=True)
+        assert FabricSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_policy_is_loud(self):
+        with pytest.raises(ValueError, match="first-fit, ecmp, wrr"):
+            FabricSpec(topology=TopologySpec.ring(4), path_policy="rr")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FabricSpec(topology=TopologySpec.ring(4), k_paths=0)
+        with pytest.raises(ValueError):
+            FabricSpec(topology=TopologySpec.ring(4), max_path_attempts=0)
+        with pytest.raises(ValueError):
+            FabricSpec(topology=TopologySpec.ring(4), conns_per_router=-1)

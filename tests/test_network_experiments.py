@@ -52,3 +52,39 @@ class TestExperiment:
         assert all(r.arbiter == "coa" for r in runs)
         # Delay grows (weakly) with load.
         assert runs[1].mean_delay_cycles >= runs[0].mean_delay_cycles * 0.8
+
+
+class TestNamedTopologyExperiment:
+    """The campaign-executed, any-topology rework of the N1 harness."""
+
+    def config6(self):
+        return RouterConfig(num_ports=6, vcs_per_link=16,
+                            candidate_levels=4, vc_buffer_depth=4)
+
+    def test_named_topologies_run(self):
+        for name in ("torus:2x3", "mesh:2x2", "fat-tree:4"):
+            results = network_load_experiment(
+                arbiters=("coa",), loads=(0.3,), config=self.config6(),
+                cycles=600, seed=1, topology=name,
+            )
+            run = results["coa"][0]
+            assert run.injected > 0
+            assert run.delivered == run.injected
+            assert run.residue == 0
+
+    def test_unknown_topology_is_loud(self):
+        with pytest.raises(ValueError, match="known:"):
+            network_load_experiment(arbiters=("coa",), loads=(0.3,),
+                                    config=self.config6(), cycles=400,
+                                    topology="hypercube:3")
+
+    def test_store_serves_repeat_sweeps(self, tmp_path):
+        from repro.campaign import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        kwargs = dict(arbiters=("coa",), loads=(0.3, 0.5), num_routers=3,
+                      config=tiny_config(), cycles=600, seed=4,
+                      store=store)
+        first = network_load_experiment(**kwargs)
+        second = network_load_experiment(**kwargs)
+        assert first == second

@@ -1,0 +1,120 @@
+"""Property test: multi-hop admission rollback restores every ledger.
+
+The fabric admits sessions hop-by-hop via
+``MultiRouterNetwork.establish_along``; when hop N rejects, the probe
+backtracks and every earlier hop's reservation must be released
+*exactly* — the reservation vectors (integer slot ledgers) of each
+router must be bit-equal to their pre-attempt snapshots.  Hypothesis
+drives random background occupancy plus a doomed oversized request to
+force rejections at every position along the path.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.network.multirouter import MultiRouterNetwork
+from repro.network.topology import ring, torus
+from repro.router.config import RouterConfig
+from repro.router.connection import TrafficClass
+
+
+def make_config(**overrides):
+    base = dict(num_ports=6, vcs_per_link=8, vc_buffer_depth=2,
+                candidate_levels=4, flit_cycles_per_round=800)
+    base.update(overrides)
+    return RouterConfig(**base)
+
+
+def snapshot(net):
+    return [router.admission.reservation_vectors() for router in net.routers]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 8),
+    background=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(1, 40)),
+        max_size=12,
+    ),
+    path_len=st.integers(2, 5),
+    start=st.integers(0, 7),
+)
+def test_blocked_establish_restores_all_reservation_vectors(
+    n, background, path_len, start
+):
+    """A rejected multi-hop setup leaves every router ledger untouched."""
+    config = make_config()
+    net = MultiRouterNetwork(ring(n), config)
+    for src, dst, slots in background:
+        src, dst = src % n, dst % n
+        if src == dst:
+            continue
+        net.establish(src, dst, TrafficClass.CBR, avg_slots=slots)
+    path = [(start + i) % n for i in range(min(path_len, n))]
+    # Seed one slot on the path so a full-round request cannot fit on
+    # top of it anywhere along the path: some hop must reject and roll
+    # the earlier hops back.
+    seeded, _ = net.establish_along(path, TrafficClass.CBR, avg_slots=1)
+    assume(seeded is not None)
+    before = snapshot(net)
+    conn, blocked = net.establish_along(
+        path, TrafficClass.CBR, avg_slots=config.round_cycles
+    )
+    assert conn is None
+    assert 0 <= blocked < len(path)
+    assert snapshot(net) == before
+    for router in net.routers:
+        router.admission.audit(router.table)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    fill=st.integers(1, 6),
+    seed_slots=st.integers(1, 30),
+)
+def test_failure_at_last_hop_restores_earlier_hops(fill, seed_slots):
+    """Force the rejection at the final hop specifically.
+
+    Earlier hops accept (small request), the destination router's host
+    port is pre-filled to capacity, so the probe reserves hops 0..N-1
+    and must release them when hop N rejects.
+    """
+    config = make_config()
+    topo = torus(2, 3)
+    net = MultiRouterNetwork(topo, config)
+    path = net.shortest_path_cached(0, 5)
+    assert len(path) >= 3
+    dst = path[-1]
+    host_port = net.first_host_port(dst)
+    # Saturate the destination host output port via single-router loops
+    # (same in/out router) so only the last hop is full.
+    round_cycles = config.round_cycles
+    filler = net.routers[dst].establish(
+        config.num_ports - 1, host_port, TrafficClass.CBR,
+        avg_slots=round_cycles - fill,
+    )
+    assert filler.accepted
+    before = snapshot(net)
+    conn, blocked = net.establish_along(
+        path, TrafficClass.CBR, avg_slots=fill + seed_slots,
+        dst_port=host_port,
+    )
+    assert conn is None
+    assert blocked == len(path) - 1
+    assert snapshot(net) == before
+    for router in net.routers:
+        router.admission.audit(router.table)
+
+
+def test_successful_establish_then_release_restores_vectors():
+    """Round-trip: set up across hops, tear down, ledgers pristine."""
+    config = make_config()
+    net = MultiRouterNetwork(torus(2, 3), config)
+    before = snapshot(net)
+    path = net.shortest_path_cached(0, 4)
+    conn, blocked = net.establish_along(path, TrafficClass.CBR, avg_slots=5)
+    assert conn is not None and blocked == -1
+    assert snapshot(net) != before
+    net.release(conn)
+    assert snapshot(net) == before
+    for router in net.routers:
+        router.admission.audit(router.table)

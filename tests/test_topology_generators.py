@@ -1,0 +1,125 @@
+"""Property tests for the torus and fat-tree topology generators.
+
+Three structural invariants every generated topology must satisfy:
+
+* degree and edge counts match the closed-form formulas of each family;
+* the port map is bidirectionally symmetric — every directed edge has
+  its reverse, and each router's ports are exactly ``0..degree-1``;
+* the graph is connected (all-pairs reachability), so every (src, dst)
+  fabric session has at least one candidate path.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.topology import (
+    fat_tree,
+    fat_tree_edge_routers,
+    ring,
+    torus,
+)
+
+
+def assert_port_map_symmetric(topo):
+    """Every directed edge has a reverse, and ports are dense per router."""
+    for (u, v) in topo.port_map:
+        assert (v, u) in topo.port_map, f"missing reverse of ({u}, {v})"
+    ports_of: dict[int, list[int]] = {}
+    for (u, _v), port in topo.port_map.items():
+        ports_of.setdefault(u, []).append(port)
+    for router, ports in ports_of.items():
+        assert sorted(ports) == list(range(len(ports))), (
+            f"router {router} ports not dense: {sorted(ports)}"
+        )
+        assert topo.degree(router) == len(ports)
+
+
+def assert_connected(topo):
+    graph = topo.graph()
+    assert graph.number_of_nodes() == topo.num_routers
+    if graph.is_directed():
+        assert nx.is_strongly_connected(graph)
+    else:
+        assert nx.is_connected(graph)
+
+
+class TestTorus:
+    @settings(max_examples=30, deadline=None)
+    @given(rows=st.integers(2, 6), cols=st.integers(2, 6))
+    def test_structure(self, rows, cols):
+        topo = torus(rows, cols)
+        assert topo.num_routers == rows * cols
+        # mesh edges plus one wrap per row/column where the wrap is not a
+        # duplicate of an existing mesh edge (dimension size > 2).
+        expected = rows * (cols - 1) + cols * (rows - 1)
+        expected += rows if cols > 2 else 0
+        expected += cols if rows > 2 else 0
+        assert len(topo.edges) == 2 * expected  # directed edges
+        assert_port_map_symmetric(topo)
+        assert_connected(topo)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rows=st.integers(3, 6), cols=st.integers(3, 6))
+    def test_regular_degree_four(self, rows, cols):
+        topo = torus(rows, cols)
+        for r in range(topo.num_routers):
+            assert topo.degree(r) == 4
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 8])
+    def test_degenerate_row_is_a_ring(self, n):
+        assert set(torus(1, n).edges) == set(ring(n).edges)
+        assert set(torus(n, 1).edges) == set(ring(n).edges)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            torus(0, 3)
+        with pytest.raises(ValueError):
+            torus(3, -1)
+
+
+class TestFatTree:
+    @settings(max_examples=10, deadline=None)
+    @given(k=st.sampled_from([2, 4, 6, 8]))
+    def test_structure(self, k):
+        topo = fat_tree(k)
+        half = k // 2
+        assert topo.num_routers == half * half + k * k
+        # Per pod: half aggs with half core uplinks each, plus a full
+        # agg x edge bipartite stage.
+        assert len(topo.edges) == 2 * (k * half * half * 2)
+        assert_port_map_symmetric(topo)
+        assert_connected(topo)
+
+    @settings(max_examples=10, deadline=None)
+    @given(k=st.sampled_from([2, 4, 6]))
+    def test_stage_degrees(self, k):
+        topo = fat_tree(k)
+        half = k // 2
+        num_cores = half * half
+        for core in range(num_cores):
+            assert topo.degree(core) == k  # one link per pod
+        for pod in range(k):
+            base = num_cores + pod * k
+            for agg in range(base, base + half):
+                assert topo.degree(agg) == k  # half up + half down
+            for edge in range(base + half, base + k):
+                assert topo.degree(edge) == half  # uplinks only
+
+    @settings(max_examples=10, deadline=None)
+    @given(k=st.sampled_from([2, 4, 6]))
+    def test_edge_routers(self, k):
+        topo = fat_tree(k)
+        hosts = fat_tree_edge_routers(k)
+        assert len(hosts) == k * (k // 2)
+        assert len(set(hosts)) == len(hosts)
+        half = k // 2
+        for router in hosts:
+            assert topo.degree(router) == half
+
+    def test_rejects_odd_or_small(self):
+        for bad in (0, 1, 3, 5):
+            with pytest.raises(ValueError):
+                fat_tree(bad)
+            with pytest.raises(ValueError):
+                fat_tree_edge_routers(bad)
