@@ -132,6 +132,18 @@ def _worker(payload: dict[str, Any]) -> dict[str, Any]:
         # payload rides the same store channel session payloads use.
         if telemetry is not None:
             raise ValueError("telemetry is not supported for fabric points")
+        if spec.shard is not None:
+            # Sharded execution is byte-identical to serial, so the
+            # returned artifacts (and the cache key) are the same —
+            # only the wall clock differs.
+            from ..shard import execute_shard_point
+
+            result, sessions_payload = execute_shard_point(spec)
+            return {
+                "wall_s": time.monotonic() - t0,
+                "sessions": sessions_payload,
+                "result": result.to_dict(),
+            }
         from ..fabric.engine import execute_fabric_point
 
         result, engine = execute_fabric_point(spec)

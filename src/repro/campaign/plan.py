@@ -42,6 +42,7 @@ from ..traffic.mixes import Workload, build_cbr_workload, build_vbr_workload
 if TYPE_CHECKING:  # import cycle: repro.fabric imports repro.network,
     # whose experiments module imports this package lazily.
     from ..fabric.spec import FabricSpec
+    from ..shard.spec import ShardSpec
 
 __all__ = [
     "CODE_VERSION",
@@ -196,6 +197,19 @@ class PointSpec:
     #: FabricSim` instead of the single-router simulator; ``None`` stays
     #: out of the hash so every existing cache key stays warm.
     fabric: "FabricSpec | None" = None
+    #: Optional sharded-execution dimension.  Pure *execution* choice:
+    #: it rides the manifest (``to_dict``) for provenance but is popped
+    #: from :meth:`key`, because sharded and serial runs of the same
+    #: point are byte-identical — so their cache entries cross-serve.
+    shard: "ShardSpec | None" = None
+
+    def __post_init__(self) -> None:
+        if self.shard is not None and self.fabric is None:
+            raise ValueError("shard execution requires a fabric point")
+        if self.shard is not None and self.fabric.rng_mode != "per-router":
+            raise ValueError(
+                "shard execution requires fabric rng_mode='per-router'"
+            )
 
     @property
     def control(self) -> RunControl:
@@ -218,6 +232,8 @@ class PointSpec:
             out["faults"] = self.faults.to_dict()
         if self.fabric is not None:
             out["fabric"] = self.fabric.to_dict()
+        if self.shard is not None:
+            out["shard"] = self.shard.to_dict()
         return out
 
     @classmethod
@@ -231,6 +247,11 @@ class PointSpec:
             from ..fabric.spec import FabricSpec
 
             fabric = FabricSpec.from_dict(fabric)
+        shard = data.get("shard")
+        if shard is not None:
+            from ..shard.spec import ShardSpec
+
+            shard = ShardSpec.from_dict(shard)
         return cls(
             config=RouterConfig(**data["config"]),
             arbiter=data["arbiter"],
@@ -247,12 +268,25 @@ class PointSpec:
                 FaultConfig.from_dict(faults) if faults is not None else None
             ),
             fabric=fabric,
+            shard=shard,
         )
+
+    def hashed_dict(self) -> dict[str, Any]:
+        """The spec dict with execution-only fields (``shard``) removed.
+
+        This is what :meth:`key` hashes and what the result store
+        persists: the sharded run of a point is byte-identical to its
+        serial run, so both must resolve to — and cross-serve — one
+        content-addressed artifact with identical bytes.
+        """
+        out = self.to_dict()
+        out.pop("shard", None)
+        return out
 
     def key(self) -> str:
         """Stable content address: SHA-256 of spec + code version."""
         payload = {
-            "spec": self.to_dict(),
+            "spec": self.hashed_dict(),
             "code_version": CODE_VERSION,
             "repro_version": __version__,
         }
@@ -276,6 +310,8 @@ class PointSpec:
                 f" fabric={self.fabric.topology.describe()}"
                 f"/{self.fabric.path_policy}"
             )
+        if self.shard is not None:
+            base += f" shard={self.shard.describe()}"
         return base
 
 

@@ -108,14 +108,15 @@ class ResultStore:
 
         The artifact body is canonical JSON of purely deterministic
         content, so re-running the same point always writes the same
-        bytes.
+        bytes — including under different execution layouts, which is
+        why the persisted spec is the *hashed* dict (shard-stripped).
         """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         body = canonical_json(
             {
                 "key": key,
-                "spec": spec.to_dict(),
+                "spec": spec.hashed_dict(),
                 "code_version": CODE_VERSION,
                 "repro_version": __version__,
                 "result": result,

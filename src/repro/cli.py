@@ -510,6 +510,60 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the bench report")
     p_fabric.set_defaults(func=cmd_fabric)
 
+    p_shard = sub.add_parser(
+        "shard",
+        help="sharded shared-nothing fabric execution: per-worker router "
+             "groups with cycle-barrier boundary exchange, byte-identical "
+             "to the serial reference",
+    )
+    add_router_args(p_shard)
+    p_shard.set_defaults(ports=6, vcs=8)
+    p_shard.add_argument("--arbiter", default="coa", choices=ARBITER_NAMES)
+    p_shard.add_argument("--topology", default="torus:4x4",
+                         help="named topology (see fabric "
+                              "--list-topologies)")
+    p_shard.add_argument("--workers", type=int, default=2,
+                         help="worker shards (default 2)")
+    p_shard.add_argument("--partitioner", default="auto",
+                         help="router partitioner: auto, contiguous, "
+                              "rows, pods")
+    p_shard.add_argument("--max-window", type=int, default=0,
+                         help="cap on the cycle-barrier window length "
+                              "(0 = unbounded idle windows)")
+    p_shard.add_argument("--inline", action="store_true",
+                         help="drive all shards in-process (no worker "
+                              "processes; same barrier protocol)")
+    p_shard.add_argument("--cycles", type=int, default=0,
+                         help="flit cycles (0 = 4000)")
+    p_shard.add_argument("--rate", type=float, default=4.0,
+                         help="session arrivals per 1000 cycles per "
+                              "host port")
+    p_shard.add_argument("--hold", type=float, default=1000.0,
+                         help="mean session holding time (cycles)")
+    p_shard.add_argument("--load", type=float, default=0.0,
+                         help="static background CBR load per source "
+                              "router (0 disables the background)")
+    p_shard.add_argument("--check-identity", action="store_true",
+                         help="run the serial reference and the sharded "
+                              "run for each worker count and compare "
+                              "byte-for-byte; exit 1 on divergence")
+    p_shard.add_argument("--workers-list", type=_parse_ints,
+                         default=[1, 2, 4], metavar="N,N,...",
+                         help="worker counts for --check-identity / "
+                              "--sweep / --bench (default 1,2,4)")
+    p_shard.add_argument("--bench", action="store_true",
+                         help="serial vs sharded cycles/sec "
+                              "(BENCH_shard.json)")
+    p_shard.add_argument("--sweep", default=None, metavar="TOPO,TOPO,...",
+                         help="bench a comma-separated topology list "
+                              "against --workers-list")
+    p_shard.add_argument("--json", default=None, metavar="PATH",
+                         help="write the bench report")
+    p_shard.add_argument("--baseline", default=None, metavar="PATH",
+                         help="gate the bench against a committed "
+                              "baseline report; exit 1 on regression")
+    p_shard.set_defaults(func=cmd_shard)
+
     p_repro = sub.add_parser("reproduce", help="regenerate a paper artifact")
     p_repro.add_argument(
         "artifact",
@@ -1768,6 +1822,138 @@ def _fabric_bench(args: argparse.Namespace) -> dict:
         "path_policy": args.policy,
         "topologies": topologies,
     }
+
+
+def _shard_fabric(args: argparse.Namespace):
+    """The shard CLI's fabric point (always per-router RNG)."""
+    from .fabric.spec import FabricSpec, parse_topology
+    from .sessions.churn import ChurnConfig
+
+    return FabricSpec(
+        topology=parse_topology(args.topology),
+        churn=ChurnConfig(
+            arrivals_per_kcycle=args.rate,
+            mean_hold_cycles=args.hold,
+            mix=(("cbr-high", 1.0),),
+        ),
+        conns_per_router=4 if args.load > 0 else 0,
+        drain=args.load > 0,
+        sample_stride=500,
+        rng_mode="per-router",
+    )
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    from .shard import ShardSpec, ShardedFabricSim, check_identity
+    from .shard.bench import (
+        check_shard_regression,
+        run_shard_bench,
+        write_report,
+    )
+
+    cycles = args.cycles or 4_000
+    config = _fabric_config(args)
+
+    if args.bench or args.sweep:
+        topologies = (
+            _parse_names(args.sweep) if args.sweep else [args.topology]
+        )
+        worker_counts = sorted({w for w in args.workers_list if w > 1})
+        report = run_shard_bench(
+            topologies,
+            worker_counts or [2, 4],
+            cycles=cycles,
+            seed=args.seed,
+            rate=args.rate,
+            inline=args.inline,
+        )
+        rows = []
+        for name, entry in sorted(report["topologies"].items()):
+            rows.append([name, entry["routers"], "serial",
+                         f"{entry['serial']['wall_s']:.2f}",
+                         f"{entry['serial']['cycles_per_sec']:,.0f}",
+                         "-", "-", "yes"])
+            for workers, stats in sorted(entry["workers"].items(),
+                                         key=lambda kv: int(kv[0])):
+                rows.append([
+                    name, entry["routers"], f"{workers}w",
+                    f"{stats['wall_s']:.2f}",
+                    f"{stats['cycles_per_sec']:,.0f}",
+                    f"{stats['speedup']:.2f}x",
+                    stats["crossing_flits"],
+                    "yes" if stats["identity_ok"] else "NO",
+                ])
+        print(render_table(
+            ["topology", "routers", "mode", "wall s", "cyc/s", "speedup",
+             "x-flits", "identical"],
+            rows,
+            title=f"shard scale bench: {report['cycles']} cycles, "
+                  f"{report['cpu_count']} CPUs"
+                  + (", inline" if report["inline"] else ""),
+        ))
+        if args.json:
+            write_report(report, args.json)
+            print(f"report written to {args.json}")
+        if args.baseline:
+            try:
+                ok, msg = check_shard_regression(report, args.baseline)
+            except FileNotFoundError:
+                print(f"error: baseline {args.baseline!r} not found",
+                      file=sys.stderr)
+                return 2
+            print(msg)
+            if not ok:
+                return 1
+        return 0
+
+    fabric = _shard_fabric(args)
+    if args.check_identity:
+        failed = False
+        for workers in args.workers_list:
+            shard = ShardSpec(workers=workers,
+                              partitioner=args.partitioner,
+                              max_window=args.max_window)
+            rep = check_identity(
+                fabric, config, arbiter=args.arbiter, scheme=args.scheme,
+                seed=args.seed, target_load=args.load, cycles=cycles,
+                shard=shard, inline=args.inline or workers == 1,
+            )
+            verdict = "identical" if rep.ok else "DIVERGED"
+            print(f"{args.topology} x {shard.describe()}: {verdict} "
+                  f"({rep.windows} windows, {rep.crossing_flits} boundary "
+                  f"flits, {rep.crossing_credits} credits)")
+            for line in rep.mismatches:
+                print(f"  {line}", file=sys.stderr)
+            failed = failed or not rep.ok
+        return 1 if failed else 0
+
+    shard = ShardSpec(workers=args.workers, partitioner=args.partitioner,
+                      max_window=args.max_window)
+    sim = ShardedFabricSim(fabric, config, arbiter=args.arbiter,
+                           scheme=args.scheme, seed=args.seed,
+                           shard=shard, inline=args.inline)
+    result = sim.run(args.load, cycles)
+    payload = sim.payload
+    net_stats = payload["network"]
+    group_sizes = ", ".join(str(len(p)) for p in sim.parts)
+    rows = [
+        ["topology / shard", f"{args.topology} / {shard.describe()}"],
+        ["router groups", group_sizes],
+        ["backend", "inline" if args.inline else "processes"],
+        ["barrier windows", sim.windows],
+        ["boundary flits / credits",
+         f"{sim.crossing_flits} / {sim.crossing_credits}"],
+        ["idle cycles skipped", sim.skipped_cycles],
+        ["offered sessions", payload["offered"]],
+        ["admitted / blocked",
+         f"{payload['admitted']} / {payload['blocked']}"],
+        ["flits delivered / lost",
+         f"{net_stats['delivered']} / {net_stats['lost_flits']}"],
+        ["backlog", result.to_dict()["backlog"]],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"sharded fabric run, {cycles} cycles"))
+    return 0
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:

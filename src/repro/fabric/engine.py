@@ -30,7 +30,11 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from ..network.multirouter import MultiRouterNetwork, NetworkConnection
+from ..network.multirouter import (
+    MultiRouterNetwork,
+    NetworkConnection,
+    RouterShard,
+)
 from ..router.config import RouterConfig
 from ..router.connection import TrafficClass
 from ..sessions.metrics import SessionEventLog, SessionStats
@@ -47,6 +51,7 @@ __all__ = [
     "FABRIC_SCHEMA",
     "FabricEngine",
     "FabricSim",
+    "StaticInjector",
     "build_static_load",
     "execute_fabric_point",
 ]
@@ -57,6 +62,9 @@ FABRIC_SCHEMA = "repro-fabric-v1"
 _SETUP = 0
 _STOP = 1
 _TEARDOWN = 2
+
+#: "No pending event" sentinel for next-event computations.
+_FAR = 1 << 62
 
 
 class _LiveFabricSession:
@@ -103,6 +111,16 @@ class FabricEngine:
         #: Static background injections (set by :class:`FabricSim`).
         self.static_injected = 0
         self.dynamic_injected = 0
+        #: Sharded execution: when set, :meth:`inject` deposits flits
+        #: only for sessions sourced at an owned router (pointers and
+        #: counters still advance globally, so every replica's ledgers
+        #: stay in lockstep).
+        self.owned_routers: set[int] | None = None
+        #: Sharded execution: per-cycle drain verdicts (net_conn_id ->
+        #: globally-empty), AND-merged across shards at the previous
+        #: barrier.  ``None`` polls :meth:`MultiRouterNetwork.
+        #: connection_empty` directly (serial execution).
+        self.drain_oracle: dict[int, bool] | None = None
         self._net: MultiRouterNetwork | None = None
         self._provider: PathProvider | None = None
         self._policy = None
@@ -177,26 +195,35 @@ class FabricEngine:
             self._sample_path_balance(now)
 
     def inject(self, now: int) -> int:
-        """Deposit every due flit of every active session into its NIC."""
+        """Deposit every due flit of every active session into its NIC.
+
+        With :attr:`owned_routers` set, sessions sourced at non-owned
+        routers advance their pointers and the (replicated) injected
+        counter without touching any NIC — the owning shard performs the
+        actual deposit, every other replica just keeps ledger lockstep.
+        """
         lst = self._injecting
         keep = 0
         deposited = 0
         routers = self._net.routers
+        owned = self.owned_routers
         for live in lst:
             spec = live.fs.spec
             cycles = spec.cycles
             end = len(cycles)
             ptr = live.ptr
             off = live.offset
+            deposit = owned is None or live.fs.src_router in owned
             nic = routers[live.fs.src_router].nics[spec.in_port]
             vc = live.conn.hops[0].vc
             while ptr < end and cycles[ptr] + off <= now:
-                nic.inject(
-                    vc,
-                    int(cycles[ptr] + off),
-                    int(spec.frame_ids[ptr]),
-                    bool(spec.frame_last[ptr]),
-                )
+                if deposit:
+                    nic.inject(
+                        vc,
+                        int(cycles[ptr] + off),
+                        int(spec.frame_ids[ptr]),
+                        bool(spec.frame_last[ptr]),
+                    )
                 ptr += 1
             deposited += ptr - live.ptr
             live.ptr = ptr
@@ -206,6 +233,52 @@ class FabricEngine:
         del lst[keep:]
         self.dynamic_injected += deposited
         return deposited
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which the engine can act.
+
+        The engine half of the event-skipping fold: when the network is
+        idle, the loop may fast-forward to the minimum over pending
+        signaling completions, the next timeline arrival, the next due
+        dynamic injection, and the next path-balance sample — draining
+        sessions pin the result to ``now`` (they are polled every
+        cycle).  Skipped cycles are provably no-ops for
+        :meth:`on_cycle`/:meth:`inject`.
+        """
+        if self._draining:
+            return now
+        nxt = _FAR
+        if self._pending:
+            c = self._pending[0][0]
+            if c < nxt:
+                nxt = c
+        if self._next_arrival < len(self._live):
+            c = self._live[self._next_arrival].fs.spec.arrival_cycle
+            if c < nxt:
+                nxt = c
+        for live in self._injecting:
+            c = int(live.fs.spec.cycles[live.ptr]) + live.offset
+            if c < nxt:
+                nxt = c
+        stride = self.spec.sample_stride
+        next_sample = ((now + stride - 1) // stride) * stride
+        if next_sample < nxt:
+            nxt = next_sample
+        return now if nxt < now else nxt
+
+    def drain_candidates(self, horizon: int) -> list[NetworkConnection]:
+        """Connections whose drain verdict the next barrier must carry.
+
+        Covers the currently draining set plus every active session
+        whose stop event fires at or before ``horizon`` — a session can
+        enter "draining" and be polled in the same cycle, so its
+        verdict must already be on the wire when that cycle runs.
+        """
+        conns = [live.conn for live in self._draining]
+        for cycle, _seq, kind, live in self._pending:
+            if kind == _STOP and cycle <= horizon and live.state == "active":
+                conns.append(live.conn)
+        return conns
 
     def finish(self) -> None:
         """Close out the run: count survivors, audit every ledger."""
@@ -317,9 +390,14 @@ class FabricEngine:
     def _poll_drains(self, now: int) -> None:
         net = self._net
         sig = self.spec.signaling
+        oracle = self.drain_oracle
         keep = []
         for live in self._draining:
-            if net.connection_empty(live.conn):
+            if (
+                net.connection_empty(live.conn)
+                if oracle is None
+                else oracle[live.conn.net_conn_id]
+            ):
                 live.state = "closing"
                 self._push(
                     now
@@ -407,7 +485,7 @@ class FabricEngine:
             },
         }
         net = self._net
-        stat = net.end_to_end_delay
+        n, total, mx = net.delay_summary()
         payload["network"] = {
             "static_injected": self.static_injected,
             "dynamic_injected": self.dynamic_injected,
@@ -416,8 +494,8 @@ class FabricEngine:
             "residue": net.total_buffered(),
             "released_connections": net.released_connections,
             "dropped_connections": net.dropped_connections,
-            "delay_mean_cycles": stat.mean if stat.n else None,
-            "delay_max_cycles": stat.max if stat.n else None,
+            "delay_mean_cycles": total / n if n else None,
+            "delay_max_cycles": mx if n else None,
         }
         return payload
 
@@ -469,6 +547,61 @@ def build_static_load(
     return conns, schedules
 
 
+class StaticInjector:
+    """Cursor state for the static background schedules.
+
+    One implementation shared by the serial loop and the shard runtime:
+    deposits walk connections in list order (the legacy inline order),
+    the injected counter advances globally in every replica, and with
+    ``owned`` set only connections sourced at an owned router actually
+    touch a NIC.
+    """
+
+    def __init__(
+        self,
+        net: MultiRouterNetwork,
+        conns: list[NetworkConnection],
+        schedules: list[np.ndarray],
+        owned: set[int] | None = None,
+    ) -> None:
+        self.net = net
+        self.conns = conns
+        self.schedules = schedules
+        self.pointers = [0] * len(conns)
+        self.owned = owned
+        self.injected = 0
+
+    def inject(self, now: int) -> None:
+        net = self.net
+        owned = self.owned
+        pointers = self.pointers
+        for idx, conn in enumerate(self.conns):
+            times = self.schedules[idx]
+            ptr = pointers[idx]
+            end = len(times)
+            if ptr >= end or times[ptr] > now:
+                continue
+            deposit = owned is None or conn.src_router in owned
+            while ptr < end and times[ptr] <= now:
+                if deposit:
+                    net.inject(conn, gen_cycle=now)
+                self.injected += 1
+                ptr += 1
+            pointers[idx] = ptr
+
+    def next_due(self, default: int) -> int:
+        """Earliest pending schedule cycle across all connections."""
+        nxt = default
+        pointers = self.pointers
+        for idx, times in enumerate(self.schedules):
+            ptr = pointers[idx]
+            if ptr < len(times):
+                c = int(times[ptr])
+                if c < nxt:
+                    nxt = c
+        return nxt
+
+
 # ----------------------------------------------------------------------
 # The fabric simulation
 # ----------------------------------------------------------------------
@@ -484,6 +617,7 @@ class FabricSim:
         arbiter: str = "coa",
         scheme: str = "siabp",
         seed: int = 0,
+        skip_idle: bool = False,
     ) -> None:
         self.fabric = fabric
         self.config = config
@@ -492,9 +626,22 @@ class FabricSim:
         self.seed = seed
         self.rng = RngStreams(seed)
         self.topology = fabric.topology.build()
+        per_router = fabric.rng_mode == "per-router"
         self.net = MultiRouterNetwork(
-            self.topology, config, arbiter=arbiter, scheme=scheme
+            self.topology,
+            config,
+            arbiter=arbiter,
+            scheme=scheme,
+            per_router_stats=per_router,
         )
+        #: Per-router stepping core (``rng_mode="per-router"`` only) —
+        #: the serial reference the sharded coordinator is checked
+        #: against, sharing the exact stepping code the shards run.
+        self.shard_core = RouterShard(self.net, seed) if per_router else None
+        #: Event-skipping fold: fast-forward provably idle stretches
+        #: (bit-identity gated by the skip twin tests).
+        self.skip_idle = skip_idle
+        self.skipped_cycles = 0
         self.engine: FabricEngine | None = None
 
     @property
@@ -530,29 +677,42 @@ class FabricSim:
         static_conns, schedules = build_static_load(
             net, fab.conns_per_router, target_load, cycles, self.rng.workload
         )
-        pointers = [0] * len(static_conns)
-        static_injected = 0
+        static = StaticInjector(net, static_conns, schedules)
+        core = self.shard_core
         arb = self.rng.arbiter
-        for now in range(cycles):
+        skipping = self.skip_idle
+        now = 0
+        while now < cycles:
             engine.on_cycle(now)
             engine.inject(now)
-            for idx, conn in enumerate(static_conns):
-                times = schedules[idx]
-                ptr = pointers[idx]
-                while ptr < len(times) and times[ptr] <= now:
-                    net.inject(conn, gen_cycle=now)
-                    static_injected += 1
-                    ptr += 1
-                pointers[idx] = ptr
-            net.step(now, arb)
+            static.inject(now)
+            if core is not None:
+                core.step(now)
+            else:
+                net.step(now, arb)
+            now += 1
+            if skipping and now < cycles and net.shard_idle():
+                target = min(
+                    cycles,
+                    engine.next_event_cycle(now),
+                    static.next_due(cycles),
+                    net.next_delivery_cycle(cycles),
+                )
+                if target > now:
+                    net.fast_forward(target - now)
+                    self.skipped_cycles += target - now
+                    now = target
         if fab.drain:
             now = cycles
             while net.total_buffered() > 0 and now < cycles * 3:
-                net.step(now, arb)
+                if core is not None:
+                    core.step(now)
+                else:
+                    net.step(now, arb)
                 now += 1
-        engine.static_injected = static_injected
+        engine.static_injected = static.injected
         engine.finish()
-        return self._summarise(target_load, cycles, static_injected)
+        return self._summarise(target_load, cycles, static.injected)
 
     def _summarise(
         self, target_load: float, cycles: int, static_injected: int
@@ -562,10 +722,10 @@ class FabricSim:
         ports = self.host_port_count
         injected = static_injected + engine.dynamic_injected
         denom = cycles * ports
-        stat = net.end_to_end_delay
+        n, total, _mx = net.delay_summary()
         nan = float("nan")
         delay_us = (
-            self.config.cycles_to_us(stat.mean) if stat.n else nan
+            self.config.cycles_to_us(total / n) if n else nan
         )
         fault: dict[str, int] = {}
         for key, value in (
@@ -598,6 +758,12 @@ class FabricSim:
 
     def fingerprint(self) -> str:
         return self.rng.state_fingerprint()
+
+    def router_fingerprints(self) -> dict[str, str]:
+        """Per-router arbiter-stream fingerprints (per-router mode only)."""
+        if self.shard_core is None:
+            return {}
+        return self.shard_core.router_fingerprints()
 
 
 def execute_fabric_point(spec: "PointSpec") -> tuple[SimResult, FabricEngine]:

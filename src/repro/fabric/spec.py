@@ -190,8 +190,21 @@ class FabricSpec:
     #: Static background CBR connections per source router (0 = none).
     conns_per_router: int = 0
     drain: bool = False
+    #: Arbiter-stream derivation: ``"shared"`` (one stream steps every
+    #: router — the legacy serial semantics) or ``"per-router"`` (each
+    #: router draws from its own ``(seed, router_id)``-derived stream —
+    #: required for sharded execution, and the semantics the sharded
+    #: byte-identity contract is stated against).  Changes results, so it
+    #: is part of the point hash; the default stays out of ``to_dict`` so
+    #: every existing cache key stays warm.
+    rng_mode: str = "shared"
 
     def __post_init__(self) -> None:
+        if self.rng_mode not in ("shared", "per-router"):
+            raise ValueError(
+                f"unknown rng_mode {self.rng_mode!r}; "
+                "known: shared, per-router"
+            )
         if self.path_policy not in PATH_POLICIES:
             raise ValueError(
                 f"unknown path policy {self.path_policy!r}; "
@@ -207,7 +220,7 @@ class FabricSpec:
             raise ValueError("conns_per_router must be >= 0")
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "topology": self.topology.to_dict(),
             "churn": self.churn.to_dict(),
             "path_policy": self.path_policy,
@@ -218,6 +231,9 @@ class FabricSpec:
             "conns_per_router": self.conns_per_router,
             "drain": self.drain,
         }
+        if self.rng_mode != "shared":
+            out["rng_mode"] = self.rng_mode
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FabricSpec":
@@ -231,4 +247,5 @@ class FabricSpec:
             sample_stride=data.get("sample_stride", 500),
             conns_per_router=data.get("conns_per_router", 0),
             drain=data.get("drain", False),
+            rng_mode=data.get("rng_mode", "shared"),
         )

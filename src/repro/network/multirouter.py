@@ -33,10 +33,37 @@ from ..faults.schedule import FaultSchedule
 from ..router.config import RouterConfig
 from ..router.connection import Connection, TrafficClass
 from ..router.router import MMRouter
+from ..sim.engine import generator_fingerprint, router_rng
 from ..sim.metrics import StreamingStat
 from .topology import Topology
 
-__all__ = ["NetworkConnection", "MultiRouterNetwork"]
+__all__ = [
+    "NetworkConnection",
+    "MultiRouterNetwork",
+    "RouterShard",
+    "merge_delay_parts",
+]
+
+
+def merge_delay_parts(
+    parts: "list[tuple[int, float, float]]",
+) -> tuple[int, float, float]:
+    """Fold per-router ``(n, total, max)`` delay parts in list order.
+
+    The fixed merge order behind the sharded-execution identity
+    contract: serial per-router runs and sharded runs both fold their
+    per-router accumulators in ascending router-id order, so the float
+    sums come out bit-identical on both sides.
+    """
+    n = 0
+    total = 0.0
+    mx = float("-inf")
+    for pn, ptotal, pmax in parts:
+        n += pn
+        total += ptotal
+        if pmax > mx:
+            mx = pmax
+    return n, total, mx
 
 
 @dataclass(frozen=True)
@@ -66,6 +93,8 @@ class MultiRouterNetwork:
         arbiter: str = "coa",
         scheme: str = "siabp",
         schedule: FaultSchedule | None = None,
+        owned: "frozenset[int] | set[int] | None" = None,
+        per_router_stats: bool = False,
     ) -> None:
         if config.num_ports <= topology.max_degree():
             raise ValueError(
@@ -78,6 +107,35 @@ class MultiRouterNetwork:
         self.routers = [
             MMRouter(config, arbiter, scheme) for _ in range(topology.num_routers)
         ]
+        #: Routers this instance data-plane-steps.  Control operations
+        #: (establish/release/ledgers) always span every router; only
+        #: stepping, injection, and buffered-flit accounting restrict to
+        #: the owned set.  Default: all routers (serial execution).
+        if owned is None:
+            self.owned = frozenset(range(topology.num_routers))
+        else:
+            self.owned = frozenset(owned)
+            bad = self.owned - set(range(topology.num_routers))
+            if bad:
+                raise ValueError(f"owned routers out of range: {sorted(bad)}")
+        self._owned_order = sorted(self.owned)
+        self._all_owned = len(self.owned) == topology.num_routers
+        #: Boundary egress: flits / credit returns whose destination
+        #: router another shard owns, accumulated between barriers.
+        #: Flit record: (arrival_cycle, router, in_port, vc, gen,
+        #: frame_id, frame_last); credit record: (cycle, router,
+        #: out_port, vc).
+        self._egress_flits: list[tuple] = []
+        self._egress_credits: list[tuple[int, int, int, int]] = []
+        #: Per-router end-to-end delay accumulators (per-router-RNG
+        #: mode).  When set, delivered-flit delays accumulate per
+        #: ejecting router instead of in ``end_to_end_delay``, so the
+        #: aggregate can be folded in a fixed router-id order no matter
+        #: how routers interleaved chronologically (see
+        #: :func:`merge_delay_parts`).
+        self._delay_by_router = (
+            [StreamingStat() for _ in self.routers] if per_router_stats else None
+        )
         # Inter-router credits: (router, out_port) -> per-VC counters at
         # the *upstream* side mirroring the downstream buffer space.
         self._link_credits: dict[tuple[int, int], np.ndarray] = {}
@@ -317,23 +375,56 @@ class MultiRouterNetwork:
         for router_id, router in enumerate(self.routers):
             if router_id in self.dead_routers:
                 continue
-            router.credits.deliver(now)
-            candidates = self._eligible_candidates(router_id, router, now)
-            grants = router.arbiter.match(candidates, rng)
-            departures = router.crossbar.transfer(grants, router.vc_memory, now)
-            if router.scheme_stateful and departures:
-                router.notify_service(departures, now)
-            degree = self.topology.degree(router_id)
-            for dep in departures:
-                if dep.in_port < degree:
-                    # Flit arrived over an inter-router link: return the
-                    # credit to the upstream router's output side.
-                    self._return_link_credit(router_id, dep.in_port, dep.vc, now)
-                else:
-                    # Flit arrived from a host NIC: NIC-side credit.
-                    router.credits.schedule_return(dep.in_port, dep.vc, now)
-                self._route_departure(router_id, dep, now)
+            self._step_router(router_id, router, now, rng)
+
+    def step_owned(self, now: int, rngs: "list") -> None:
+        """Advance only the owned routers, each on its own arbiter stream.
+
+        The per-router-RNG twin of :meth:`step`: ``rngs`` is indexed by
+        router id (entries for non-owned routers are never consulted), so
+        the grant sequence of any router is independent of which shard
+        steps it — the determinism half of the sharding contract.
+        """
+        self._deliver_in_flight(now)
+        self._deliver_credit_returns(now)
+        dead = self.dead_routers
+        routers = self.routers
+        for router_id in self._owned_order:
+            if router_id in dead:
+                continue
+            self._step_router(router_id, routers[router_id], now, rngs[router_id])
+
+    def _step_router(
+        self, router_id: int, router: MMRouter, now: int, rng
+    ) -> None:
+        """One cycle of one router — the RouterShard stepping core."""
+        router.credits.deliver(now)
+        if not router.vc_memory._occ_mask:
+            # Quiet cycle (every VC empty): link scheduling would yield
+            # an empty candidate set and every arbiter returns an empty
+            # matching without drawing RNG, so mirror the two counters
+            # the full pipeline would still move (the PR 8 step_quiet
+            # contract, pinned by the skip twin tests) and skip it.
+            router.arbiter.skip_idle_cycles(1)
+            router.crossbar.cycles += 1
             router._accept_from_nics(now)
+            return
+        candidates = self._eligible_candidates(router_id, router, now)
+        grants = router.arbiter.match(candidates, rng)
+        departures = router.crossbar.transfer(grants, router.vc_memory, now)
+        if router.scheme_stateful and departures:
+            router.notify_service(departures, now)
+        degree = self.topology.degree(router_id)
+        for dep in departures:
+            if dep.in_port < degree:
+                # Flit arrived over an inter-router link: return the
+                # credit to the upstream router's output side.
+                self._return_link_credit(router_id, dep.in_port, dep.vc, now)
+            else:
+                # Flit arrived from a host NIC: NIC-side credit.
+                router.credits.schedule_return(dep.in_port, dep.vc, now)
+            self._route_departure(router_id, dep, now)
+        router._accept_from_nics(now)
 
     def _eligible_candidates(self, router_id: int, router: MMRouter, now: int):
         candidates = router._link_schedule(now)
@@ -367,7 +458,11 @@ class MultiRouterNetwork:
         if dest is None:
             # Ejected at a host port: the flit left the network.
             self.delivered += 1
-            self.end_to_end_delay.add(now - dep.gen_cycle + 1)
+            delay = now - dep.gen_cycle + 1
+            if self._delay_by_router is None:
+                self.end_to_end_delay.add(delay)
+            else:
+                self._delay_by_router[router_id].add(delay)
             eject = self._hop_lookup.get((router_id, dep.in_port, dep.vc))
             if eject is not None:
                 cid = eject[0].net_conn_id
@@ -386,10 +481,18 @@ class MultiRouterNetwork:
         if self._link_credits[key][down_vc] < 0:
             raise RuntimeError("inter-router credit underflow")
         # One cycle of link traversal.
-        self._in_flight.setdefault(now + 1, []).append(
-            (down_router, down_port, down_vc, dep.gen_cycle, dep.frame_id,
-             dep.frame_last)
-        )
+        if self._all_owned or down_router in self.owned:
+            self._in_flight.setdefault(now + 1, []).append(
+                (down_router, down_port, down_vc, dep.gen_cycle, dep.frame_id,
+                 dep.frame_last)
+            )
+        else:
+            # Boundary crossing: another shard owns the destination —
+            # hold the flit in egress until the next barrier flush.
+            self._egress_flits.append(
+                (now + 1, down_router, down_port, down_vc, dep.gen_cycle,
+                 dep.frame_id, dep.frame_last)
+            )
 
     def _deliver_in_flight(self, now: int) -> None:
         arrivals = self._in_flight.pop(now, None)
@@ -414,9 +517,12 @@ class MultiRouterNetwork:
         """Called when a flit leaves a downstream buffer that an upstream
         router holds credits for."""
         u, port = self._upstream_of[(router, in_port)]
-        self._credit_returns.setdefault(
-            now + self.config.credit_return_delay, []
-        ).append((u, port, vc))
+        cycle = now + self.config.credit_return_delay
+        if self._all_owned or u in self.owned:
+            self._credit_returns.setdefault(cycle, []).append((u, port, vc))
+        else:
+            # The upstream side of this link lives in another shard.
+            self._egress_credits.append((cycle, u, port, vc))
 
     # ------------------------------------------------------------------
     # Fault injection and recovery (see repro.faults)
@@ -656,6 +762,171 @@ class MultiRouterNetwork:
         in_flight = sum(len(v) for v in self._in_flight.values())
         return buffered + in_flight
 
+    def local_buffered(self) -> int:
+        """Flits in owned routers/NICs, local links, and pending egress.
+
+        The shard-scoped :meth:`total_buffered`: summed over all shards
+        (plus flits the coordinator holds between flush and re-delivery)
+        it equals the serial reference's global count.
+        """
+        routers = self.routers
+        buffered = sum(
+            routers[rid].buffered_flits() + routers[rid].nic_backlog()
+            for rid in self._owned_order
+        )
+        in_flight = sum(len(v) for v in self._in_flight.values())
+        return buffered + in_flight + len(self._egress_flits)
+
+    def delay_summary(self) -> tuple[int, float, float]:
+        """``(n, total, max)`` of end-to-end delay, stats-mode independent.
+
+        Per-router mode folds the per-router accumulators in router-id
+        order (:func:`merge_delay_parts`); plain mode reads the single
+        global accumulator.  ``total / n`` equals ``StreamingStat.mean``
+        exactly in plain mode, so existing payload bytes are unchanged.
+        """
+        if self._delay_by_router is None:
+            stat = self.end_to_end_delay
+            return stat.n, stat.total, stat.max
+        return merge_delay_parts(
+            [(s.n, s.total, s.max) for s in self._delay_by_router]
+        )
+
+    def router_delay_parts(self) -> list[tuple[int, int, float, float]]:
+        """Owned routers' ``(router_id, n, total, max)`` delay parts."""
+        if self._delay_by_router is None:
+            raise RuntimeError("router_delay_parts needs per_router_stats")
+        out = []
+        for rid in self._owned_order:
+            s = self._delay_by_router[rid]
+            out.append((rid, s.n, s.total, s.max))
+        return out
+
+    # ------------------------------------------------------------------
+    # Shard boundary exchange + event skipping
+    # ------------------------------------------------------------------
+
+    def flush_egress(self) -> tuple[list[tuple], list[tuple]]:
+        """Take (and clear) the boundary flit/credit egress buffers."""
+        flits, credits = self._egress_flits, self._egress_credits
+        self._egress_flits = []
+        self._egress_credits = []
+        return flits, credits
+
+    def apply_boundary_flits(self, flits: "list[tuple]") -> None:
+        """Import boundary flits flushed by neighbouring shards.
+
+        The coordinator sorts imports canonically before delivery;
+        within one arrival cycle the records commute (each names a
+        distinct ``(router, in_port, vc)`` VC queue — crossbar matchings
+        grant an output port at most once per cycle), so merge order is
+        state-identical to the serial loop's chronological appends.
+        """
+        in_flight = self._in_flight
+        for cycle, router, in_port, vc, gen, frame_id, frame_last in flits:
+            in_flight.setdefault(cycle, []).append(
+                (router, in_port, vc, gen, frame_id, frame_last)
+            )
+
+    def apply_boundary_credits(
+        self, credits: "list[tuple[int, int, int, int]]"
+    ) -> None:
+        """Import boundary credit returns (commutative ``+= 1`` lands)."""
+        returns = self._credit_returns
+        for cycle, router, out_port, vc in credits:
+            returns.setdefault(cycle, []).append((router, out_port, vc))
+
+    def shard_idle(self) -> bool:
+        """True when every live owned router is idle (O(owned) bitmasks)."""
+        dead = self.dead_routers
+        routers = self.routers
+        for rid in self._owned_order:
+            if rid not in dead and not routers[rid].is_idle():
+                return False
+        return True
+
+    def next_delivery_cycle(self, default: int) -> int:
+        """Earliest pending link-delivery or credit-land cycle."""
+        nxt = default
+        if self._in_flight:
+            c = min(self._in_flight)
+            if c < nxt:
+                nxt = c
+        if self._credit_returns:
+            c = min(self._credit_returns)
+            if c < nxt:
+                nxt = c
+        return nxt
+
+    def fast_forward(self, span: int) -> None:
+        """Advance owned routers across ``span`` provably idle cycles.
+
+        Callers must have established that no owned router holds a flit
+        (:meth:`shard_idle`) and that no delivery lands inside the span
+        (:meth:`next_delivery_cycle`): then each skipped cycle would only
+        have rotated arbiter fairness state and the crossbar cycle
+        counter, both of which advance analytically here.  NIC credit
+        lands need nothing — ``CreditState.deliver`` drains every
+        land-cycle at or before ``now`` on the next real step.
+        """
+        if span <= 0:
+            return
+        dead = self.dead_routers
+        routers = self.routers
+        for rid in self._owned_order:
+            if rid in dead:
+                continue
+            router = routers[rid]
+            router.arbiter.skip_idle_cycles(span)
+            router.crossbar.cycles += span
+
     def run(self, cycles: int, rng: np.random.Generator) -> None:
         for now in range(cycles):
             self.step(now, rng)
+
+
+class RouterShard:
+    """Shared-nothing stepping core over the owned routers of a network.
+
+    Binds a :class:`MultiRouterNetwork` (built with an ``owned`` subset —
+    possibly all routers, which is the serial reference) to per-router
+    arbiter streams derived from ``(seed, router_id)`` via
+    :func:`repro.sim.engine.router_rng`.  Because streams are keyed by
+    router id and never by shard layout, and boundary traffic is merged
+    in canonical order, a partitioned run reproduces the serial per-router
+    run byte for byte.
+    """
+
+    def __init__(self, net: MultiRouterNetwork, seed: int) -> None:
+        self.net = net
+        self.seed = seed
+        self.rngs: list = [None] * net.topology.num_routers
+        for rid in net._owned_order:
+            self.rngs[rid] = router_rng(seed, rid)
+
+    def step(self, now: int) -> None:
+        self.net.step_owned(now, self.rngs)
+
+    def idle(self) -> bool:
+        return self.net.shard_idle()
+
+    def fast_forward(self, span: int) -> None:
+        self.net.fast_forward(span)
+
+    def flush_egress(self) -> tuple[list[tuple], list[tuple]]:
+        return self.net.flush_egress()
+
+    def apply_imports(
+        self, flits: "list[tuple]", credits: "list[tuple]"
+    ) -> None:
+        if flits:
+            self.net.apply_boundary_flits(flits)
+        if credits:
+            self.net.apply_boundary_credits(credits)
+
+    def router_fingerprints(self) -> dict[str, str]:
+        """Per owned router: SHA-256 of its arbiter-stream state."""
+        return {
+            str(rid): generator_fingerprint(self.rngs[rid])
+            for rid in self.net._owned_order
+        }

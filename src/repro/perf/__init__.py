@@ -5,6 +5,11 @@ both pipelines — the zero-allocation candidate-buffer hot path and the
 object-based reference path — verifies they depart the same flits, breaks
 the cycle down per stage, and emits ``BENCH_perf.json`` so CI can fail on
 cycles/sec regressions against the committed baseline.
+
+The fabric-scale companion lives in :mod:`repro.shard.bench` (re-exported
+here as :func:`run_shard_bench` / :func:`check_shard_regression`): serial
+vs sharded cycles/sec over topology × worker-count grids, emitting
+``BENCH_shard.json`` under the same committed-baseline regression gate.
 """
 
 from .harness import (
@@ -18,13 +23,31 @@ from .harness import (
     write_report,
 )
 
+
+def run_shard_bench(*args, **kwargs):
+    """Lazy alias for :func:`repro.shard.bench.run_shard_bench` (keeps
+    ``repro.perf`` import-light; the shard package pulls in fabric)."""
+    from ..shard.bench import run_shard_bench as _run
+
+    return _run(*args, **kwargs)
+
+
+def check_shard_regression(*args, **kwargs):
+    """Lazy alias for :func:`repro.shard.bench.check_shard_regression`."""
+    from ..shard.bench import check_shard_regression as _check
+
+    return _check(*args, **kwargs)
+
+
 __all__ = [
     "PathStats",
     "PerfReport",
     "SkipStats",
     "check_regression",
+    "check_shard_regression",
     "profile_fast_path",
     "run_perf",
+    "run_shard_bench",
     "run_skip_check",
     "write_report",
 ]

@@ -1,0 +1,34 @@
+"""Sharded shared-nothing fabric execution (hundred-router scale runs).
+
+Partitions a fabric topology into per-worker router groups, runs each
+group in its own replica (process or in-line), and exchanges boundary
+flits/credits at cycle barriers — with the repo's signature guarantee
+that the merged run is byte-identical to the serial single-process
+reference.  See :mod:`repro.shard.coordinator` for the protocol and the
+determinism argument.
+"""
+
+from .coordinator import (
+    IdentityReport,
+    ShardError,
+    ShardWorkerError,
+    ShardedFabricSim,
+    check_identity,
+    execute_shard_point,
+)
+from .partition import boundary_links, partition_routers, partition_summary
+from .spec import PARTITIONERS, ShardSpec
+
+__all__ = [
+    "PARTITIONERS",
+    "IdentityReport",
+    "ShardError",
+    "ShardSpec",
+    "ShardWorkerError",
+    "ShardedFabricSim",
+    "boundary_links",
+    "check_identity",
+    "execute_shard_point",
+    "partition_routers",
+    "partition_summary",
+]

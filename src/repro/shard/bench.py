@@ -1,0 +1,255 @@
+"""Shard scale bench: cycles/sec vs topology size vs worker count.
+
+The scale story behind ``python -m repro shard --bench`` and the
+committed ``BENCH_shard.json``: one fixed churn point per topology, run
+serially (the per-router reference) and under each requested worker
+count, best-of-N wall times each (the perf harness's noisy-neighbour
+defence).  Every sharded measurement also records its boundary-crossing
+counts and a quick inline identity verdict, so a speedup number from a
+diverging run can never look healthy.
+
+Caveat recorded in the report: ``cpu_count``.  On a single-CPU container
+worker processes time-slice one core and multi-worker runs *lose* to
+serial on barrier overhead; the regression gate therefore only enforces
+``multi-worker >= serial`` when the machine actually has at least as
+many CPUs as workers (the same caveat the perf bench documents for its
+speedup ratio).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter_ns
+from typing import Any
+
+from ..fabric.engine import FabricSim
+from ..fabric.spec import FabricSpec, parse_topology
+from ..router.config import RouterConfig
+from ..sessions.churn import ChurnConfig
+from .coordinator import ShardedFabricSim, check_identity
+from .partition import partition_summary
+from .spec import ShardSpec
+
+__all__ = [
+    "SHARD_BENCH_SCHEMA",
+    "bench_config",
+    "bench_fabric",
+    "run_shard_bench",
+    "write_report",
+    "check_shard_regression",
+]
+
+SHARD_BENCH_SCHEMA = "repro/shard-bench/v1"
+
+#: Default bench point (CI smoke: small but busy enough to cross shards).
+_CYCLES = 2_000
+_REPEATS = 2
+_RATE = 4.0
+_HOLD = 1_000.0
+_IDENTITY_CYCLES = 300
+
+
+def bench_config() -> RouterConfig:
+    """The fabric-scale router config the fabric bench also uses."""
+    return RouterConfig(
+        num_ports=6,
+        vcs_per_link=8,
+        candidate_levels=4,
+        vc_buffer_depth=2,
+        flit_cycles_per_round=800,
+    )
+
+
+def bench_fabric(topology: str, rate: float = _RATE) -> FabricSpec:
+    """The bench's churn point on one named topology (per-router RNG)."""
+    return FabricSpec(
+        topology=parse_topology(topology),
+        churn=ChurnConfig(
+            arrivals_per_kcycle=rate,
+            mean_hold_cycles=_HOLD,
+            mix=(("cbr-high", 1.0),),
+        ),
+        sample_stride=500,
+        rng_mode="per-router",
+    )
+
+
+def _timed_serial(
+    fabric: FabricSpec, config: RouterConfig, seed: int, cycles: int
+) -> float:
+    sim = FabricSim(fabric, config, seed=seed)
+    t0 = perf_counter_ns()
+    sim.run(0.0, cycles)
+    return (perf_counter_ns() - t0) / 1e9
+
+
+def _timed_sharded(
+    fabric: FabricSpec,
+    config: RouterConfig,
+    seed: int,
+    cycles: int,
+    shard: ShardSpec,
+    inline: bool,
+) -> tuple[float, ShardedFabricSim]:
+    sim = ShardedFabricSim(
+        fabric, config, seed=seed, shard=shard, inline=inline
+    )
+    t0 = perf_counter_ns()
+    sim.run(0.0, cycles)
+    return (perf_counter_ns() - t0) / 1e9, sim
+
+
+def run_shard_bench(
+    topologies: list[str] | None = None,
+    worker_counts: list[int] | None = None,
+    *,
+    cycles: int = _CYCLES,
+    seed: int = 0,
+    rate: float = _RATE,
+    repeats: int = _REPEATS,
+    inline: bool = False,
+    check: bool = True,
+) -> dict[str, Any]:
+    """Measure serial vs sharded cycles/sec over a topology x worker grid.
+
+    ``inline=True`` runs every replica in-process — useful to time the
+    barrier protocol itself without process overhead, and the only
+    honest mode on a 1-CPU machine.  ``check=False`` skips the inline
+    identity verdicts (they re-run every point at short length).
+    """
+    topologies = topologies or ["torus:4x4"]
+    worker_counts = worker_counts or [2, 4]
+    config = bench_config()
+    report: dict[str, Any] = {
+        "schema": SHARD_BENCH_SCHEMA,
+        "cycles": cycles,
+        "seed": seed,
+        "arrival_rate": rate,
+        "mean_hold_cycles": _HOLD,
+        "repeats": repeats,
+        "inline": inline,
+        "cpu_count": os.cpu_count() or 1,
+        "topologies": {},
+    }
+    for name in topologies:
+        fabric = bench_fabric(name, rate)
+        num_routers = fabric.topology.build().num_routers
+        serial_walls = [
+            _timed_serial(fabric, config, seed, cycles) for _ in range(repeats)
+        ]
+        serial_best = min(serial_walls)
+        serial_cps = cycles / serial_best if serial_best > 0 else float("inf")
+        entry: dict[str, Any] = {
+            "routers": num_routers,
+            "serial": {
+                "wall_s": serial_best,
+                "wall_s_all": serial_walls,
+                "cycles_per_sec": serial_cps,
+            },
+            "workers": {},
+        }
+        for workers in worker_counts:
+            if workers > num_routers:
+                continue
+            shard = ShardSpec(workers=workers)
+            walls = []
+            sim = None
+            for _ in range(repeats):
+                wall, sim = _timed_sharded(
+                    fabric, config, seed, cycles, shard, inline
+                )
+                walls.append(wall)
+            best = min(walls)
+            cps = cycles / best if best > 0 else float("inf")
+            identity_ok = True
+            if check:
+                identity_ok = check_identity(
+                    fabric,
+                    config,
+                    seed=seed,
+                    cycles=min(cycles, _IDENTITY_CYCLES),
+                    shard=shard,
+                    inline=True,
+                ).ok
+            entry["workers"][str(workers)] = {
+                "wall_s": best,
+                "wall_s_all": walls,
+                "cycles_per_sec": cps,
+                "speedup": cps / serial_cps if serial_cps > 0 else 0.0,
+                "crossing_flits": sim.crossing_flits,
+                "crossing_credits": sim.crossing_credits,
+                "windows": sim.windows,
+                "identity_ok": identity_ok,
+                "partition": partition_summary(fabric.topology, sim.parts),
+            }
+        report["topologies"][name] = entry
+    return report
+
+
+def write_report(report: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def check_shard_regression(
+    report: dict[str, Any],
+    baseline_path: str | Path,
+    max_regression: float = 0.5,
+) -> tuple[bool, str]:
+    """Gate a bench report against the committed baseline.
+
+    Three checks, any failure flips ``ok``:
+
+    * every sharded measurement's inline identity verdict holds;
+    * serial cycles/sec has not fallen more than ``max_regression``
+      below the baseline's, per topology;
+    * on machines with enough CPUs (``cpu_count >= workers``),
+      multi-worker throughput is at least serial throughput — the
+      acceptance criterion the multi-CPU CI runner enforces; on smaller
+      machines the speedup check is recorded as skipped, not failed.
+    """
+    baseline = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+    cpus = int(report.get("cpu_count", 1))
+    problems: list[str] = []
+    notes: list[str] = []
+    for name, entry in sorted(report["topologies"].items()):
+        base_entry = baseline.get("topologies", {}).get(name)
+        if base_entry is not None:
+            base_cps = float(base_entry["serial"]["cycles_per_sec"])
+            floor = base_cps * (1.0 - max_regression)
+            cur = float(entry["serial"]["cycles_per_sec"])
+            if cur < floor:
+                problems.append(
+                    f"{name}: serial {cur:,.0f} cyc/s < floor {floor:,.0f} "
+                    f"(baseline {base_cps:,.0f})"
+                )
+        for workers, stats in sorted(entry["workers"].items()):
+            if not stats.get("identity_ok", True):
+                problems.append(
+                    f"{name}/{workers}w: sharded run diverged from serial"
+                )
+            if int(workers) <= cpus:
+                if stats["cycles_per_sec"] < entry["serial"]["cycles_per_sec"]:
+                    problems.append(
+                        f"{name}/{workers}w: {stats['cycles_per_sec']:,.0f} "
+                        f"cyc/s < serial "
+                        f"{entry['serial']['cycles_per_sec']:,.0f} "
+                        f"on a {cpus}-CPU machine"
+                    )
+            else:
+                notes.append(
+                    f"{name}/{workers}w: speedup check skipped "
+                    f"({cpus} CPUs < {workers} workers)"
+                )
+    if problems:
+        return False, "; ".join(problems)
+    msg = "shard bench OK"
+    if notes:
+        msg += " (" + "; ".join(notes) + ")"
+    return True, msg

@@ -1,0 +1,555 @@
+"""Sharded fabric coordinator: cycle barriers, boundary exchange, merge.
+
+:class:`ShardedFabricSim` partitions a fabric's routers into per-worker
+groups, runs one :class:`~repro.shard.runtime.ShardRuntime` replica per
+group (in-process with ``inline=True``, otherwise in worker processes),
+and drives them through **cycle barriers**:
+
+1. collect each worker's barrier payload — flushed boundary flits and
+   credits, drain-candidate verdicts, idle flag, next local event;
+2. merge: sort boundary traffic canonically and route each record to the
+   worker owning its destination router; AND the drain verdicts into a
+   global oracle (a connection is drained only when *every* shard says
+   its share is empty);
+3. plan the next window: one cycle whenever any shard holds traffic or a
+   boundary flit is in flight (a crossing must land before the next
+   cycle runs), else jump to the earliest event any replica reports —
+   bounded by ``ShardSpec.max_window`` when set;
+4. command every worker to run the window, and repeat.
+
+Identity contract: the merged result is byte-identical to the serial
+single-process reference (``FabricSim`` with ``rng_mode="per-router"``)
+— ``SimResult.to_dict()``, the sessions payload, the per-router arbiter
+stream fingerprints, and the replica stream fingerprints all match
+exactly, for every worker count, partitioner, and window cap.
+:func:`check_identity` asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..fabric.engine import FabricSim
+from ..fabric.spec import FabricSpec
+from ..network.multirouter import merge_delay_parts
+from ..router.config import RouterConfig
+from ..sim.simulation import SimResult
+from .partition import partition_routers
+from .runtime import ShardRuntime, ShardTask
+from .spec import ShardSpec
+from .worker import worker_main
+
+if TYPE_CHECKING:
+    from ..campaign.plan import PointSpec
+
+__all__ = [
+    "ShardError",
+    "ShardWorkerError",
+    "ShardedFabricSim",
+    "IdentityReport",
+    "check_identity",
+    "execute_shard_point",
+]
+
+
+class ShardError(RuntimeError):
+    """Sharded-execution protocol violation or replica divergence."""
+
+
+class ShardWorkerError(ShardError):
+    """A shard worker died, raised, or stopped responding."""
+
+
+# ----------------------------------------------------------------------
+# Backends: same barrier protocol, two transports
+# ----------------------------------------------------------------------
+
+
+class _InlineBackend:
+    """All replicas in this process — tests and the workers=1 fallback."""
+
+    def __init__(self, task: ShardTask, parts, timeout_s: float) -> None:
+        self.runtimes = [
+            ShardRuntime(task, part, rank) for rank, part in enumerate(parts)
+        ]
+
+    def start(self) -> list[dict]:
+        return [rt.barrier_payload() for rt in self.runtimes]
+
+    def window(self, start, end, imports, oracle) -> list[dict]:
+        out = []
+        for rt, (flits, credits) in zip(self.runtimes, imports):
+            rt.apply_barrier(flits, credits, oracle)
+            rt.run_window(start, end)
+            out.append(rt.barrier_payload())
+        return out
+
+    def drain(self, start, end, imports) -> list[dict]:
+        out = []
+        for rt, (flits, credits) in zip(self.runtimes, imports):
+            rt.apply_barrier(flits, credits, {})
+            rt.run_drain_window(start, end)
+            out.append(rt.barrier_payload())
+        return out
+
+    def finish(self) -> list[dict]:
+        return [rt.final_stats() for rt in self.runtimes]
+
+    def stop(self) -> None:
+        pass
+
+
+class _ProcessBackend:
+    """One OS process per replica, a duplex pipe to each.
+
+    Pipes, not queues: ``multiprocessing.Queue`` routes every message
+    through a feeder thread, which adds a wake-up latency per hop that
+    dominates barrier-heavy runs (busy traffic means thousands of
+    length-1 windows).  A ``Pipe`` sends from the calling thread
+    directly, and :func:`multiprocessing.connection.wait` gives the
+    coordinator a select-style collect with liveness timeouts intact.
+    """
+
+    def __init__(self, task: ShardTask, parts, timeout_s: float) -> None:
+        self.timeout_s = timeout_s
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self.conns = []
+        self.procs = []
+        for rank, part in enumerate(parts):
+            local, remote = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=worker_main,
+                args=(task, part, rank, remote),
+                daemon=False,
+                name=f"repro-shard-{rank}",
+            )
+            proc.start()
+            remote.close()  # the worker holds the other end now
+            self.conns.append(local)
+            self.procs.append(proc)
+
+    def _check_liveness(self) -> None:
+        for rank, proc in enumerate(self.procs):
+            if not proc.is_alive():
+                raise ShardWorkerError(
+                    f"shard worker {rank} died mid-run "
+                    f"(exitcode {proc.exitcode})"
+                )
+
+    def _collect(self, expect: str) -> list[dict]:
+        payloads: list[dict | None] = [None] * len(self.procs)
+        pending = dict(enumerate(self.conns))
+        deadline = time.monotonic() + self.timeout_s
+        while pending:
+            ready = multiprocessing.connection.wait(
+                list(pending.values()), timeout=0.25
+            )
+            if not ready:
+                self._check_liveness()
+                if time.monotonic() > deadline:
+                    raise ShardWorkerError(
+                        f"shard barrier timed out after {self.timeout_s:.0f}s "
+                        f"({len(self.procs) - len(pending)}/{len(self.procs)} "
+                        f"workers reported)"
+                    )
+                continue
+            for conn in ready:
+                try:
+                    kind, rank, body = conn.recv()
+                except (EOFError, OSError):
+                    self._check_liveness()
+                    raise ShardWorkerError(
+                        "shard worker closed its pipe without reporting"
+                    )
+                if kind == "error":
+                    raise ShardWorkerError(
+                        f"shard worker {rank} raised:\n{body}"
+                    )
+                if kind != expect or payloads[rank] is not None:
+                    raise ShardWorkerError(
+                        f"shard protocol violation: got {kind!r} from worker "
+                        f"{rank}, expected {expect!r}"
+                    )
+                payloads[rank] = body
+                del pending[rank]
+        return payloads  # type: ignore[return-value]
+
+    def _broadcast(self, messages) -> None:
+        for rank, (conn, msg) in enumerate(zip(self.conns, messages)):
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                raise ShardWorkerError(
+                    f"shard worker {rank} is gone (broken pipe)"
+                )
+
+    def start(self) -> list[dict]:
+        return self._collect("barrier")
+
+    def window(self, start, end, imports, oracle) -> list[dict]:
+        self._broadcast(
+            [
+                ("window", start, end, flits, credits, oracle)
+                for flits, credits in imports
+            ]
+        )
+        return self._collect("barrier")
+
+    def drain(self, start, end, imports) -> list[dict]:
+        self._broadcast(
+            [("drain", start, end, flits, credits) for flits, credits in imports]
+        )
+        return self._collect("barrier")
+
+    def finish(self) -> list[dict]:
+        self._broadcast([("finish",)] * len(self.procs))
+        return self._collect("result")
+
+    def stop(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.send(("stop",))
+            except Exception:  # pragma: no cover - pipe torn down
+                pass
+        for proc in self.procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self.conns:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# The coordinator
+# ----------------------------------------------------------------------
+
+
+class ShardedFabricSim:
+    """Shared-nothing parallel twin of :class:`~repro.fabric.engine.
+    FabricSim` — same spec in, byte-identical result out."""
+
+    def __init__(
+        self,
+        fabric: FabricSpec,
+        config: RouterConfig,
+        arbiter: str = "coa",
+        scheme: str = "siabp",
+        seed: int = 0,
+        shard: ShardSpec | None = None,
+        inline: bool = False,
+        barrier_timeout_s: float = 60.0,
+    ) -> None:
+        if fabric.rng_mode != "per-router":
+            raise ValueError(
+                "sharded execution needs rng_mode='per-router' (the shared "
+                "arbiter stream cannot be split across workers)"
+            )
+        self.fabric = fabric
+        self.config = config
+        self.arbiter = arbiter
+        self.scheme = scheme
+        self.seed = seed
+        self.shard = shard if shard is not None else ShardSpec()
+        self.inline = inline
+        self.barrier_timeout_s = barrier_timeout_s
+        self.parts = partition_routers(
+            fabric.topology, self.shard.workers, self.shard.partitioner
+        )
+        self.topology = fabric.topology.build()
+        self.owner: dict[int, int] = {}
+        for rank, part in enumerate(self.parts):
+            for rid in part:
+                self.owner[rid] = rank
+        #: Filled by :meth:`run`.
+        self.payload: dict[str, Any] | None = None
+        self.router_fps: dict[str, str] = {}
+        self.streams_fp: str | None = None
+        self.crossing_flits = 0
+        self.crossing_credits = 0
+        self.windows = 0
+        self.skipped_cycles = 0
+
+    # -- barrier bookkeeping --------------------------------------------
+
+    def _route(self, payloads: list[dict], now: int):
+        """Sort boundary traffic canonically and route it by ownership."""
+        flits = sorted(f for p in payloads for f in p["flits"])
+        credits = sorted(c for p in payloads for c in p["credits"])
+        for f in flits:
+            if f[0] != now:
+                raise ShardError(
+                    f"boundary flit arrives at cycle {f[0]}, barrier is at "
+                    f"{now} — a crossing escaped its window"
+                )
+        for c in credits:
+            if c[0] < now:
+                raise ShardError(
+                    f"boundary credit lands at past cycle {c[0]} (now {now})"
+                )
+        imports: list[tuple[list, list]] = [
+            ([], []) for _ in range(len(self.parts))
+        ]
+        for f in flits:
+            imports[self.owner[f[1]]][0].append(f)
+        for c in credits:
+            imports[self.owner[c[1]]][1].append(c)
+        oracle: dict[int, bool] = {}
+        for p in payloads:
+            for cid, empty in p["digest"].items():
+                oracle[cid] = oracle.get(cid, True) and empty
+        self.crossing_flits += len(flits)
+        self.crossing_credits += len(credits)
+        return imports, oracle, flits
+
+    def _plan_window(
+        self, now: int, horizon: int, payloads: list[dict], crossing: bool
+    ) -> int:
+        """Next barrier cycle: 1-cycle windows while traffic exists,
+        straight to the earliest global event otherwise."""
+        if crossing or any(not p["idle"] for p in payloads):
+            end = now + 1
+        else:
+            end = max(now + 1, min(p["next_event"] for p in payloads))
+        if self.shard.max_window:
+            end = min(end, now + self.shard.max_window)
+        return min(end, horizon)
+
+    # -- the run --------------------------------------------------------
+
+    def run(self, target_load: float, cycles: int) -> SimResult:
+        task = ShardTask(
+            fabric=self.fabric,
+            config=self.config,
+            arbiter=self.arbiter,
+            scheme=self.scheme,
+            seed=self.seed,
+            target_load=target_load,
+            cycles=cycles,
+        )
+        backend_cls = _InlineBackend if self.inline else _ProcessBackend
+        backend = backend_cls(task, self.parts, self.barrier_timeout_s)
+        try:
+            payloads = backend.start()
+            now = 0
+            while now < cycles:
+                imports, oracle, flits = self._route(payloads, now)
+                end = self._plan_window(now, cycles, payloads, bool(flits))
+                payloads = backend.window(now, end, imports, oracle)
+                self.windows += 1
+                now = end
+            in_transit: list = []
+            if self.fabric.drain:
+                horizon = cycles * 3
+                while now < horizon:
+                    imports, _oracle, flits = self._route(payloads, now)
+                    buffered = sum(p["buffered"] for p in payloads)
+                    if buffered + len(flits) == 0:
+                        break
+                    payloads = backend.drain(now, now + 1, imports)
+                    self.windows += 1
+                    now += 1
+            # Crossings flushed at the final barrier were never
+            # re-delivered: they are still "in the network" and count
+            # toward the residue exactly as serial in-flight flits do.
+            in_transit = [f for p in payloads for f in p["flits"]]
+            stats = backend.finish()
+        finally:
+            backend.stop()
+        return self._merge(stats, in_transit, target_load, cycles)
+
+    # -- merging --------------------------------------------------------
+
+    def _merge(
+        self,
+        stats: list[dict],
+        in_transit: list,
+        target_load: float,
+        cycles: int,
+    ) -> SimResult:
+        fps = {s["streams_fingerprint"] for s in stats}
+        if len(fps) != 1:
+            raise ShardError(
+                "replica divergence: control-plane RNG stream fingerprints "
+                "differ across workers"
+            )
+        self.streams_fp = next(iter(fps))
+        rank0 = stats[0]
+        delivered = sum(s["delivered"] for s in stats)
+        lost = sum(s["lost_flits"] for s in stats)
+        backlog = sum(s["buffered"] for s in stats) + len(in_transit)
+        self.skipped_cycles = min(s["skipped_cycles"] for s in stats)
+        parts = sorted(
+            part for s in stats for part in s["delay_parts"]
+        )  # ascending router id: the serial fold order
+        n, total, mx = merge_delay_parts([p[1:] for p in parts])
+        self.router_fps = {}
+        for s in stats:
+            self.router_fps.update(s["router_fingerprints"])
+
+        payload = rank0["payload"]
+        payload["network"] = {
+            "static_injected": rank0["static_injected"],
+            "dynamic_injected": rank0["dynamic_injected"],
+            "delivered": delivered,
+            "lost_flits": lost,
+            "residue": backlog,
+            "released_connections": rank0["released_connections"],
+            "dropped_connections": rank0["dropped_connections"],
+            "delay_mean_cycles": total / n if n else None,
+            "delay_max_cycles": mx if n else None,
+        }
+        self.payload = payload
+
+        topo = self.topology
+        ports = sum(
+            self.config.num_ports - topo.degree(r)
+            for r in range(topo.num_routers)
+        )
+        injected = rank0["static_injected"] + rank0["dynamic_injected"]
+        denom = cycles * ports
+        nan = float("nan")
+        delay_us = self.config.cycles_to_us(total / n) if n else nan
+        fault: dict[str, int] = {}
+        for key, value in (
+            ("lost_flits", lost),
+            ("dropped_connections", rank0["dropped_connections"]),
+            ("rerouted", rank0["rerouted"]),
+        ):
+            if value:
+                fault[key] = value
+        return SimResult(
+            config=self.config,
+            arbiter=self.arbiter,
+            scheme=self.scheme,
+            seed=self.seed,
+            cycles=cycles,
+            warmup_cycles=0,
+            offered_load=injected / denom if denom else nan,
+            utilization=nan,
+            throughput=delivered / denom if denom else nan,
+            flit_delay_us={"overall": delay_us},
+            flit_delay_p99_us={},
+            frame_delay_us={},
+            jitter_us={},
+            flits={"overall": delivered},
+            frames={},
+            backlog=backlog,
+            connections=rank0["connections"],
+            fault=fault,
+        )
+
+
+# ----------------------------------------------------------------------
+# Identity gate
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class IdentityReport:
+    """Outcome of one sharded-vs-serial byte-identity check."""
+
+    workers: int
+    partitioner: str
+    max_window: int
+    cycles: int
+    mismatches: list[str] = field(default_factory=list)
+    crossing_flits: int = 0
+    crossing_credits: int = 0
+    windows: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def check_identity(
+    fabric: FabricSpec,
+    config: RouterConfig,
+    *,
+    arbiter: str = "coa",
+    scheme: str = "siabp",
+    seed: int = 0,
+    target_load: float = 0.0,
+    cycles: int = 400,
+    shard: ShardSpec | None = None,
+    inline: bool = True,
+    barrier_timeout_s: float = 60.0,
+) -> IdentityReport:
+    """Run serial reference and sharded twin; compare every byte.
+
+    Compares ``SimResult.to_dict()``, the sessions payload, the
+    per-router arbiter stream fingerprints, and the replicated control
+    stream fingerprint.  Any difference is recorded as a mismatch
+    string; an empty list is a pass.
+    """
+    shard = shard if shard is not None else ShardSpec()
+    report = IdentityReport(
+        workers=shard.workers,
+        partitioner=shard.partitioner,
+        max_window=shard.max_window,
+        cycles=cycles,
+    )
+    ref = FabricSim(fabric, config, arbiter=arbiter, scheme=scheme, seed=seed)
+    ref_result = ref.run(target_load, cycles)
+    ref_payload = ref.engine.to_payload()
+
+    sharded = ShardedFabricSim(
+        fabric,
+        config,
+        arbiter=arbiter,
+        scheme=scheme,
+        seed=seed,
+        shard=shard,
+        inline=inline,
+        barrier_timeout_s=barrier_timeout_s,
+    )
+    sh_result = sharded.run(target_load, cycles)
+    report.crossing_flits = sharded.crossing_flits
+    report.crossing_credits = sharded.crossing_credits
+    report.windows = sharded.windows
+
+    if sh_result.to_dict() != ref_result.to_dict():
+        report.mismatches.append("SimResult.to_dict() differs")
+    if sharded.payload != ref_payload:
+        report.mismatches.append("sessions payload differs")
+    if sharded.router_fps != ref.router_fingerprints():
+        report.mismatches.append("per-router RNG fingerprints differ")
+    if sharded.streams_fp != ref.fingerprint():
+        report.mismatches.append("control-plane stream fingerprint differs")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Campaign entry point
+# ----------------------------------------------------------------------
+
+
+def execute_shard_point(spec: "PointSpec") -> tuple[SimResult, dict[str, Any]]:
+    """Run one sharded fabric campaign point.
+
+    The shard dimension is execution-only (hash-transparent): the
+    returned result and payload are byte-identical to what
+    :func:`~repro.fabric.engine.execute_fabric_point` produces for the
+    same spec without the shard field, so cached artifacts cross-serve
+    between serial and sharded runs.
+    """
+    if spec.fabric is None or spec.shard is None:
+        raise ValueError("execute_shard_point needs fabric and shard set")
+    sim = ShardedFabricSim(
+        spec.fabric,
+        spec.config,
+        arbiter=spec.arbiter,
+        scheme=spec.scheme,
+        seed=spec.seed,
+        shard=spec.shard,
+    )
+    result = sim.run(spec.target_load, spec.cycles)
+    return result, sim.payload

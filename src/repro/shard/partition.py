@@ -1,0 +1,192 @@
+"""Topology partitioners: carve router ids into per-worker groups.
+
+A partition assigns every router of a :class:`~repro.fabric.spec.
+TopologySpec` to exactly one worker.  Because the sharded run is
+byte-identical to the serial reference for *any* partition, the choice
+only affects performance: a good partition minimises boundary links
+(flits crossing worker boundaries pay a barrier exchange) and balances
+router counts.  Three strategies are provided:
+
+* ``contiguous`` — split ``range(num_routers)`` into near-equal runs.
+  Always applicable; matches row-major locality on grid topologies.
+* ``rows`` — mesh/torus only: assign whole grid rows (router id
+  ``r * cols + c``) to workers, so the only boundary links are the
+  vertical (and wrap) links between row groups.
+* ``pods`` — fat-tree only: the core stage is one block and each pod
+  (aggregation + edge routers) is another; blocks are dealt out in
+  contiguous runs, so pod-internal links never cross a boundary.
+
+``auto`` picks ``rows``/``pods`` when the worker count fits that
+structure and falls back to ``contiguous``.
+"""
+
+from __future__ import annotations
+
+from ..fabric.spec import TopologySpec
+from ..network.topology import Topology
+
+__all__ = [
+    "partition_routers",
+    "boundary_links",
+    "partition_summary",
+]
+
+
+def _split_contiguous(n: int, workers: int) -> list[list[int]]:
+    """Split ``range(n)`` into ``workers`` near-equal contiguous runs."""
+    base, extra = divmod(n, workers)
+    parts: list[list[int]] = []
+    start = 0
+    for rank in range(workers):
+        size = base + (1 if rank < extra else 0)
+        parts.append(list(range(start, start + size)))
+        start += size
+    return parts
+
+
+def _split_blocks(blocks: list[list[int]], workers: int) -> list[list[int]]:
+    """Deal contiguous runs of blocks to workers, balancing router counts."""
+    parts: list[list[int]] = []
+    remaining_blocks = len(blocks)
+    remaining_routers = sum(len(b) for b in blocks)
+    idx = 0
+    for rank in range(workers):
+        want = remaining_routers / (workers - rank)
+        part: list[int] = []
+        # Leave at least one block for every remaining worker.
+        while idx < len(blocks) and (
+            not part
+            or (
+                remaining_blocks > workers - rank - 1
+                and len(part) + len(blocks[idx]) / 2 <= want
+            )
+        ):
+            part.extend(blocks[idx])
+            remaining_blocks -= 1
+            idx += 1
+        remaining_routers -= len(part)
+        parts.append(part)
+    return parts
+
+
+def _grid_shape(spec: TopologySpec) -> tuple[int, int] | None:
+    if spec.kind in ("mesh", "torus"):
+        params = spec.params_dict
+        return params["rows"], params["cols"]
+    return None
+
+
+def _rows_partition(spec: TopologySpec, workers: int) -> list[list[int]]:
+    shape = _grid_shape(spec)
+    if shape is None:
+        raise ValueError(
+            f"partitioner 'rows' needs a mesh or torus topology, "
+            f"got {spec.kind!r}"
+        )
+    rows, cols = shape
+    if workers > rows:
+        raise ValueError(
+            f"partitioner 'rows' cannot split {rows} rows across "
+            f"{workers} workers"
+        )
+    row_groups = _split_contiguous(rows, workers)
+    return [
+        [r * cols + c for r in group for c in range(cols)]
+        for group in row_groups
+    ]
+
+
+def _pods_partition(spec: TopologySpec, workers: int) -> list[list[int]]:
+    if spec.kind != "fat-tree":
+        raise ValueError(
+            f"partitioner 'pods' needs a fat-tree topology, got {spec.kind!r}"
+        )
+    k = spec.params_dict["k"]
+    half = k // 2
+    num_cores = half * half
+    blocks = [list(range(num_cores))]
+    for pod in range(k):
+        base = num_cores + pod * k
+        blocks.append(list(range(base, base + k)))
+    if workers > len(blocks):
+        raise ValueError(
+            f"partitioner 'pods' has {len(blocks)} blocks (cores + {k} "
+            f"pods) for {workers} workers"
+        )
+    return _split_blocks(blocks, workers)
+
+
+def partition_routers(
+    spec: TopologySpec, workers: int, partitioner: str = "auto"
+) -> tuple[tuple[int, ...], ...]:
+    """Partition a topology's routers into ``workers`` owned groups.
+
+    Returns one sorted router-id tuple per worker rank.  Groups are
+    disjoint, cover every router, and each is non-empty.  Raises
+    :class:`ValueError` when the worker count exceeds the router count
+    or the named partitioner does not fit the topology.
+    """
+    num_routers = spec.build().num_routers
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers > num_routers:
+        raise ValueError(
+            f"cannot split {num_routers} routers across {workers} workers"
+        )
+    if partitioner == "auto":
+        shape = _grid_shape(spec)
+        if shape is not None and workers <= shape[0]:
+            partitioner = "rows"
+        elif spec.kind == "fat-tree" and workers <= spec.params_dict["k"] + 1:
+            partitioner = "pods"
+        else:
+            partitioner = "contiguous"
+    if partitioner == "contiguous":
+        parts = _split_contiguous(num_routers, workers)
+    elif partitioner == "rows":
+        parts = _rows_partition(spec, workers)
+    elif partitioner == "pods":
+        parts = _pods_partition(spec, workers)
+    else:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r}; "
+            "known: auto, contiguous, rows, pods"
+        )
+    seen: set[int] = set()
+    for part in parts:
+        if not part:
+            raise ValueError(
+                f"partitioner {partitioner!r} produced an empty worker group"
+            )
+        seen.update(part)
+    if seen != set(range(num_routers)):  # pragma: no cover - defensive
+        raise ValueError(f"partitioner {partitioner!r} did not cover all routers")
+    return tuple(tuple(sorted(part)) for part in parts)
+
+
+def boundary_links(
+    topology: Topology, parts: tuple[tuple[int, ...], ...]
+) -> list[tuple[int, int]]:
+    """Directed inter-router links whose endpoints live in different parts."""
+    owner: dict[int, int] = {}
+    for rank, part in enumerate(parts):
+        for rid in part:
+            owner[rid] = rank
+    return sorted(
+        (u, v) for u, v in topology.edges if owner[u] != owner[v]
+    )
+
+
+def partition_summary(
+    spec: TopologySpec, parts: tuple[tuple[int, ...], ...]
+) -> dict:
+    """Plain-data description of one partition (bench/docs reporting)."""
+    topo = spec.build()
+    cut = boundary_links(topo, parts)
+    return {
+        "topology": spec.describe(),
+        "workers": len(parts),
+        "group_sizes": [len(p) for p in parts],
+        "boundary_links": len(cut),
+        "total_links": len(topo.edges),
+    }

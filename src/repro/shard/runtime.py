@@ -1,0 +1,256 @@
+"""Worker-side shard runtime: replicated control plane, owned data plane.
+
+Each worker rebuilds the **entire** fabric from plain data — topology,
+timeline, engine, static background — exactly as the serial
+:class:`~repro.fabric.engine.FabricSim` does, in the same RNG draw
+order.  Only the *data plane* is restricted to the worker's owned router
+group:
+
+* control operations (session arrivals, CAC admission along full paths,
+  releases, ledgers, the event log, path-balance samples) execute
+  identically in every replica, because they are deterministic functions
+  of the spec and seed and consume no run-time randomness;
+* flit injection, router stepping, and delay/loss accounting touch only
+  owned routers, with boundary flits/credits accumulated in egress
+  buffers that the coordinator exchanges at cycle barriers.
+
+The byte-identity argument: owned groups partition the routers, every
+router draws from its own ``(seed, router_id)``-keyed arbiter stream
+(:func:`repro.sim.engine.router_rng`), and boundary deliveries are
+merged in canonical order — so the union of all workers' data planes
+replays the serial per-router reference exactly, flit for flit and draw
+for draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..fabric.churn import generate_fabric_timeline
+from ..fabric.engine import FabricEngine, StaticInjector, build_static_load
+from ..fabric.spec import FabricSpec
+from ..router.config import RouterConfig
+from ..network.multirouter import MultiRouterNetwork, RouterShard
+from ..sim.engine import RngStreams
+
+__all__ = ["ShardTask", "ShardRuntime"]
+
+_FAR = 1 << 62
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to rebuild its replica (plain data)."""
+
+    fabric: FabricSpec
+    config: RouterConfig
+    arbiter: str
+    scheme: str
+    seed: int
+    target_load: float
+    cycles: int
+
+
+class ShardRuntime:
+    """One worker's replica: full control plane + owned data plane."""
+
+    def __init__(self, task: ShardTask, owned: tuple[int, ...], rank: int):
+        self.task = task
+        self.rank = rank
+        self.owned = frozenset(owned)
+        # Build order mirrors FabricSim exactly: RngStreams, topology,
+        # network, per-router streams, timeline (sessions stream),
+        # engine, static background (workload stream).  Every replica
+        # draws the same sequence from every stream, which the
+        # coordinator asserts via cross-worker stream fingerprints.
+        self.rng = RngStreams(task.seed)
+        self.topology = task.fabric.topology.build()
+        self.net = MultiRouterNetwork(
+            self.topology,
+            task.config,
+            arbiter=task.arbiter,
+            scheme=task.scheme,
+            owned=self.owned,
+            per_router_stats=True,
+        )
+        self.core = RouterShard(self.net, task.seed)
+        timeline = generate_fabric_timeline(
+            self.topology,
+            task.fabric.topology.host_routers(),
+            task.config,
+            task.fabric.churn,
+            task.cycles,
+            self.rng.sessions,
+        )
+        self.engine = FabricEngine(task.config, task.fabric, timeline)
+        self.engine.begin(self.net, task.cycles)
+        self.engine.owned_routers = set(self.owned)
+        # Sharded drain verdicts always come from the barrier-merged
+        # oracle; an empty dict (instead of None) makes a missing
+        # verdict a loud KeyError rather than a silent local poll.
+        self.engine.drain_oracle = {}
+        static_conns, schedules = build_static_load(
+            self.net,
+            task.fabric.conns_per_router,
+            task.target_load,
+            task.cycles,
+            self.rng.workload,
+        )
+        self.static = StaticInjector(
+            self.net, static_conns, schedules, owned=set(self.owned)
+        )
+        #: Next cycle to execute.
+        self.now = 0
+        self.skipped_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Window execution
+    # ------------------------------------------------------------------
+
+    def apply_barrier(
+        self,
+        flits: list[tuple],
+        credits: list[tuple],
+        oracle: dict[int, bool],
+    ) -> None:
+        """Land one barrier's imports and drain verdicts."""
+        self.core.apply_imports(flits, credits)
+        self.engine.drain_oracle = dict(oracle)
+
+    def run_window(self, start: int, end: int) -> None:
+        """Execute cycles ``[start, end)`` of the measured run.
+
+        The body is the serial :meth:`FabricSim.run` loop verbatim —
+        engine signaling/arrivals, dynamic injections, static
+        injections, owned-router step — plus the event-skipping
+        fast-forward whenever the shard goes idle, bounded by the
+        window end (idle skips are state-identical to stepping quiet
+        cycles, so sharded and serial runs need not skip in lockstep).
+        """
+        if start != self.now:
+            raise RuntimeError(
+                f"window starts at {start}, worker {self.rank} is at {self.now}"
+            )
+        engine = self.engine
+        static = self.static
+        net = self.net
+        core = self.core
+        now = start
+        while now < end:
+            engine.on_cycle(now)
+            engine.inject(now)
+            static.inject(now)
+            core.step(now)
+            now += 1
+            if now < end and net.shard_idle():
+                target = min(
+                    end,
+                    engine.next_event_cycle(now),
+                    static.next_due(end),
+                    net.next_delivery_cycle(end),
+                )
+                if target > now:
+                    net.fast_forward(target - now)
+                    self.skipped_cycles += target - now
+                    now = target
+        self.now = end
+
+    def run_drain_window(self, start: int, end: int) -> None:
+        """Execute post-horizon drain cycles (network step only, as the
+        serial drain loop does — the engine is not consulted)."""
+        if start != self.now:
+            raise RuntimeError(
+                f"drain window starts at {start}, worker {self.rank} "
+                f"is at {self.now}"
+            )
+        for now in range(start, end):
+            self.core.step(now)
+        self.now = end
+
+    # ------------------------------------------------------------------
+    # Barrier payloads
+    # ------------------------------------------------------------------
+
+    def _locally_empty(self, conn, flushed_flits: list[tuple]) -> bool:
+        """No flit of ``conn`` in this worker's owned state or its
+        just-flushed egress (those flits are the coordinator's until the
+        next window, but they are still *this* connection's flits)."""
+        if not self.net.connection_empty(conn):
+            return False
+        if flushed_flits:
+            live = self.net._connections[conn.net_conn_id]
+            keys = {
+                (live.router_path[i], hop.in_port, hop.vc)
+                for i, hop in enumerate(live.hops)
+            }
+            for rec in flushed_flits:
+                # rec = (arrival, router, in_port, vc, gen, fid, flast)
+                if (rec[1], rec[2], rec[3]) in keys:
+                    return False
+        return True
+
+    def barrier_payload(self) -> dict[str, Any]:
+        """Flush egress and report this worker's view at ``self.now``."""
+        net = self.net
+        flits, credits = net.flush_egress()
+        digest = {
+            conn.net_conn_id: self._locally_empty(conn, flits)
+            for conn in self.engine.drain_candidates(self.now)
+        }
+        idle = net.shard_idle()
+        if idle:
+            next_event = min(
+                self.engine.next_event_cycle(self.now),
+                self.static.next_due(_FAR),
+                net.next_delivery_cycle(_FAR),
+            )
+        else:
+            next_event = self.now
+        return {
+            "rank": self.rank,
+            "flits": flits,
+            "credits": credits,
+            "digest": digest,
+            "idle": idle,
+            "next_event": next_event,
+            "buffered": net.local_buffered(),
+        }
+
+    # ------------------------------------------------------------------
+    # Final statistics
+    # ------------------------------------------------------------------
+
+    def final_stats(self) -> dict[str, Any]:
+        """Close out the replica and report its share of the result.
+
+        Counters split two ways: *owned* quantities (delivered, lost,
+        per-router delay parts, buffered residue) are partial and summed
+        by the coordinator; *replicated* quantities (injected counts,
+        released/dropped connections) are identical in every replica and
+        taken from rank 0.  Rank 0 also ships the engine payload, whose
+        network section the coordinator patches with the merged values.
+        """
+        engine = self.engine
+        net = self.net
+        engine.static_injected = self.static.injected
+        engine.finish()
+        stats: dict[str, Any] = {
+            "rank": self.rank,
+            "delivered": net.delivered,
+            "lost_flits": net.lost_flits,
+            "buffered": net.local_buffered(),
+            "delay_parts": net.router_delay_parts(),
+            "router_fingerprints": self.core.router_fingerprints(),
+            "streams_fingerprint": self.rng.state_fingerprint(),
+            "static_injected": self.static.injected,
+            "dynamic_injected": engine.dynamic_injected,
+            "released_connections": net.released_connections,
+            "dropped_connections": net.dropped_connections,
+            "rerouted": net.rerouted,
+            "connections": len(net.connections),
+            "skipped_cycles": self.skipped_cycles,
+        }
+        if self.rank == 0:
+            stats["payload"] = engine.to_payload()
+        return stats

@@ -1,0 +1,71 @@
+"""Plain-data spec for sharded fabric execution.
+
+A :class:`ShardSpec` describes *how* a fabric point executes — how many
+worker processes, which partitioner carves the topology into per-worker
+router groups, and how far an all-idle barrier window may stretch.  It
+deliberately describes **nothing about the result**: a sharded run is
+byte-identical to the single-process per-router reference, so the shard
+dimension is execution-only and stays out of the campaign point hash
+(:meth:`repro.campaign.plan.PointSpec.key` pops it) while still riding
+the manifest for provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["PARTITIONERS", "ShardSpec"]
+
+#: Registered partitioner names (``auto`` dispatches per topology kind).
+PARTITIONERS = ("auto", "contiguous", "rows", "pods")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """The execution dimension of a sharded fabric run."""
+
+    #: Worker processes (1 = the degenerate single-shard run, still
+    #: driven through the barrier protocol).
+    workers: int = 2
+    #: Router-group partitioner: ``auto`` picks ``rows`` for mesh/torus
+    #: and ``pods`` for fat-tree when the worker count fits, falling
+    #: back to ``contiguous``.
+    partitioner: str = "auto"
+    #: Cap on the length of an all-idle barrier window, in cycles
+    #: (0 = unbounded: jump straight to the next global event).  Any
+    #: window containing traffic is always one cycle — the cap only
+    #: bounds how far idle stretches fast-forward between barriers.
+    max_window: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.partitioner not in PARTITIONERS:
+            raise ValueError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"known: {', '.join(PARTITIONERS)}"
+            )
+        if self.max_window < 0:
+            raise ValueError("max_window must be >= 0 (0 = unbounded)")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "partitioner": self.partitioner,
+            "max_window": self.max_window,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardSpec":
+        return cls(
+            workers=data.get("workers", 2),
+            partitioner=data.get("partitioner", "auto"),
+            max_window=data.get("max_window", 0),
+        )
+
+    def describe(self) -> str:
+        tail = f"/{self.partitioner}"
+        if self.max_window:
+            tail += f"/K={self.max_window}"
+        return f"{self.workers}w{tail}"

@@ -1,0 +1,93 @@
+"""Shard worker process: build the replica, then serve barrier commands.
+
+The coordinator drives workers with a tiny message protocol over one
+duplex :func:`multiprocessing.Pipe` connection per worker (pipes send
+from the calling thread directly — no feeder-thread latency per
+barrier, which matters when busy traffic forces length-1 windows):
+
+=================  =============================================  =========
+command            operands                                       reply
+=================  =============================================  =========
+``window``         start, end, flits, credits, drain oracle       ``barrier``
+``drain``          start, end, flits, credits                     ``barrier``
+``finish``         —                                              ``result``
+``stop``           —                                              (exits)
+=================  =============================================  =========
+
+Any exception inside the worker is reported as an ``error`` message
+carrying the formatted traceback, so the coordinator can fail loudly
+instead of hanging on a silent pipe.
+
+Crash-injection seam (tests only): ``REPRO_SHARD_CRASH=rank:cycle:path``
+hard-kills the named worker rank with :func:`os._exit` the first time a
+window reaches ``cycle``, using ``path`` as a crashed-once flag file —
+so a campaign retry of the same point succeeds on its second attempt.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+
+from .runtime import ShardRuntime, ShardTask
+
+__all__ = ["CRASH_ENV", "worker_main"]
+
+#: Environment variable naming the crash-injection seam.
+CRASH_ENV = "REPRO_SHARD_CRASH"
+
+
+def _crash_plan() -> tuple[int, int, str] | None:
+    raw = os.environ.get(CRASH_ENV)
+    if not raw:
+        return None
+    rank_s, cycle_s, flag = raw.split(":", 2)
+    return int(rank_s), int(cycle_s), flag
+
+
+def _maybe_crash(rank: int, start: int, end: int) -> None:
+    plan = _crash_plan()
+    if plan is None:
+        return
+    crash_rank, crash_cycle, flag = plan
+    if rank != crash_rank or not (start <= crash_cycle < end):
+        return
+    if os.path.exists(flag):
+        return  # already crashed once: let the retry succeed
+    with open(flag, "w", encoding="utf-8") as fh:
+        fh.write(f"crashed at cycle {crash_cycle}\n")
+    os._exit(1)
+
+
+def worker_main(task: ShardTask, owned: tuple[int, ...], rank: int,
+                conn) -> None:
+    """Process entry point: serve one shard until ``stop``."""
+    try:
+        runtime = ShardRuntime(task, owned, rank)
+        conn.send(("barrier", rank, runtime.barrier_payload()))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "window":
+                _start, _end, flits, credits, oracle = msg[1:]
+                runtime.apply_barrier(flits, credits, oracle)
+                _maybe_crash(rank, _start, _end)
+                runtime.run_window(_start, _end)
+                conn.send(("barrier", rank, runtime.barrier_payload()))
+            elif cmd == "drain":
+                _start, _end, flits, credits = msg[1:]
+                runtime.apply_barrier(flits, credits, {})
+                _maybe_crash(rank, _start, _end)
+                runtime.run_drain_window(_start, _end)
+                conn.send(("barrier", rank, runtime.barrier_payload()))
+            elif cmd == "finish":
+                conn.send(("result", rank, runtime.final_stats()))
+            elif cmd == "stop":
+                return
+            else:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unknown shard command {cmd!r}")
+    except BaseException:
+        try:
+            conn.send(("error", rank, traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already torn down
+            pass

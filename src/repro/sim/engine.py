@@ -14,11 +14,41 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RngStreams", "RunControl"]
+__all__ = [
+    "ROUTER_RNG_DOMAIN",
+    "RngStreams",
+    "RunControl",
+    "generator_fingerprint",
+    "router_rng",
+]
 
 #: Stable role -> child index mapping.  Append-only: renumbering roles
 #: would silently change every seeded experiment.
 _ROLES = ("workload", "sources", "arbiter", "misc", "faults", "sessions")
+
+#: SeedSequence spawn-key domain for per-router arbiter streams (the
+#: sharded fabric's RNG scheme).  :class:`RngStreams` spawns its role
+#: children with length-1 keys ``(i,)``; the length-2 key
+#: ``(ROUTER_RNG_DOMAIN, router_id)`` lives in a disjoint subtree, so a
+#: router stream can never collide with a role stream of the same seed.
+ROUTER_RNG_DOMAIN = 0x5244  # "RD", router domain
+
+
+def router_rng(seed: int, router_id: int) -> np.random.Generator:
+    """The arbiter stream of one router under per-router RNG derivation.
+
+    Keyed by *router id*, never by worker rank or shard layout: a router
+    draws the same tie-break sequence whether the run is serial or split
+    across any number of shards — the core of the sharded-execution
+    byte-identity contract.
+    """
+    ss = np.random.SeedSequence(seed, spawn_key=(ROUTER_RNG_DOMAIN, router_id))
+    return np.random.default_rng(ss)
+
+
+def generator_fingerprint(rng: np.random.Generator) -> str:
+    """SHA-256 over one generator's bit-generator state."""
+    return hashlib.sha256(repr(rng.bit_generator.state).encode()).hexdigest()
 
 
 class RngStreams:

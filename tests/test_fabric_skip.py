@@ -1,0 +1,83 @@
+"""Event-skipping fold into the fabric loop: bit-identity twin runs.
+
+``FabricSim(skip_idle=True)`` fast-forwards quiet stretches (no pending
+fabric event, no static injection due, no flit in flight) instead of
+stepping them; the contract is that the skipping run is byte-identical
+to the stepping run — same result dict, same engine payload, same RNG
+fingerprints — in both the legacy shared-arbiter-stream mode and the
+per-router RNG mode the shard subsystem requires.
+"""
+
+import pytest
+
+from repro.fabric.engine import FabricSim
+from repro.fabric.spec import FabricSpec, TopologySpec
+from repro.router.config import RouterConfig
+from repro.sessions.churn import ChurnConfig
+
+
+def make_config():
+    return RouterConfig(num_ports=6, vcs_per_link=8, vc_buffer_depth=2,
+                        candidate_levels=4, flit_cycles_per_round=800)
+
+
+def make_fabric(rate=2.0, rng_mode="shared", static=False):
+    return FabricSpec(
+        topology=TopologySpec.torus(2, 3),
+        churn=ChurnConfig(arrivals_per_kcycle=rate,
+                          mean_hold_cycles=400.0,
+                          mix=(("cbr-high", 1.0),)),
+        conns_per_router=4 if static else 0,
+        drain=static,
+        sample_stride=200,
+        rng_mode=rng_mode,
+    )
+
+
+def twin(fabric, cycles=2_000, load=0.0, seed=0):
+    """Run the same point with and without idle skipping."""
+    plain = FabricSim(fabric, make_config(), seed=seed)
+    fast = FabricSim(fabric, make_config(), seed=seed, skip_idle=True)
+    plain_result = plain.run(load, cycles)
+    fast_result = fast.run(load, cycles)
+    return plain, plain_result, fast, fast_result
+
+
+@pytest.mark.parametrize("rng_mode", ["shared", "per-router"])
+def test_churn_run_identical_with_skipping(rng_mode):
+    fabric = make_fabric(rate=1.5, rng_mode=rng_mode)
+    plain, plain_result, fast, fast_result = twin(fabric)
+    assert fast_result.to_dict() == plain_result.to_dict()
+    assert fast.engine.to_payload() == plain.engine.to_payload()
+    assert fast.fingerprint() == plain.fingerprint()
+    # Sparse churn leaves real idle stretches: the fold must engage.
+    assert fast.skipped_cycles > 0
+    assert plain.skipped_cycles == 0
+
+
+def test_per_router_fingerprints_identical_with_skipping():
+    fabric = make_fabric(rate=1.5, rng_mode="per-router")
+    plain, _, fast, _ = twin(fabric)
+    assert fast.router_fingerprints() == plain.router_fingerprints()
+
+
+def test_zero_churn_static_drain_identical_with_skipping():
+    fabric = make_fabric(rate=0.0, static=True)
+    plain, plain_result, fast, fast_result = twin(fabric, load=0.3)
+    assert fast_result.to_dict() == plain_result.to_dict()
+    assert fast.fingerprint() == plain.fingerprint()
+
+
+def test_static_load_with_churn_identical_with_skipping():
+    fabric = make_fabric(rate=2.0, rng_mode="per-router", static=True)
+    plain, plain_result, fast, fast_result = twin(fabric, load=0.2)
+    assert fast_result.to_dict() == plain_result.to_dict()
+    assert fast.engine.to_payload() == plain.engine.to_payload()
+    assert fast.router_fingerprints() == plain.router_fingerprints()
+
+
+def test_dense_traffic_skips_nothing():
+    """Saturated static background leaves no idle stretch to skip."""
+    fabric = make_fabric(rate=0.0, static=True)
+    _, _, fast, _ = twin(fabric, cycles=600, load=0.9)
+    assert fast.skipped_cycles < 600

@@ -1,0 +1,151 @@
+"""Campaign integration: the shard dimension is hash-transparent.
+
+Sharding is an execution choice, not a physics choice — so a sharded
+point must hash to the same key as its serial twin, produce bytewise
+the same stored artifacts, and cross-serve cache entries in both
+directions (a serial run warms the cache for a sharded re-run and vice
+versa).
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.plan import CampaignPlan, PointSpec, WorkloadSpec
+from repro.campaign.store import ResultStore
+from repro.fabric.spec import FabricSpec, TopologySpec
+from repro.router.config import RouterConfig
+from repro.sessions.churn import ChurnConfig
+from repro.shard import ShardSpec
+
+CONFIG = RouterConfig(num_ports=6, vcs_per_link=8, vc_buffer_depth=2,
+                      candidate_levels=4, flit_cycles_per_round=800)
+
+
+def make_fabric(rng_mode="per-router"):
+    return FabricSpec(
+        topology=TopologySpec.torus(3, 3),
+        churn=ChurnConfig(arrivals_per_kcycle=6.0,
+                          mean_hold_cycles=250.0,
+                          mix=(("cbr-high", 1.0),)),
+        sample_stride=100,
+        rng_mode=rng_mode,
+    )
+
+
+def make_point(shard=None, seed=0):
+    return PointSpec(
+        config=CONFIG, arbiter="coa", scheme="siabp", target_load=0.0,
+        seed=seed, workload=WorkloadSpec.cbr(), cycles=400,
+        warmup_cycles=0, fabric=make_fabric(), shard=shard,
+    )
+
+
+class TestHashTransparency:
+    def test_shard_field_does_not_change_the_key(self):
+        serial = make_point()
+        sharded = make_point(shard=ShardSpec(workers=4, max_window=8))
+        assert serial.key() == sharded.key()
+
+    def test_shard_field_rides_the_manifest_dict(self):
+        sharded = make_point(shard=ShardSpec(workers=2))
+        out = sharded.to_dict()
+        assert out["shard"] == {"workers": 2, "partitioner": "auto",
+                                "max_window": 0}
+        assert "shard" not in make_point().to_dict()
+
+    def test_roundtrip_preserves_shard(self):
+        sharded = make_point(shard=ShardSpec(workers=3, partitioner="rows"))
+        restored = PointSpec.from_dict(
+            json.loads(json.dumps(sharded.to_dict()))
+        )
+        assert restored.shard == sharded.shard
+        assert restored.key() == sharded.key()
+
+    def test_describe_mentions_shard(self):
+        assert "shard=2w/auto" in make_point(
+            shard=ShardSpec(workers=2)
+        ).describe()
+
+
+class TestValidation:
+    def test_shard_without_fabric_rejected(self):
+        with pytest.raises(ValueError, match="requires a fabric"):
+            PointSpec(
+                config=CONFIG, arbiter="coa", scheme="siabp",
+                target_load=0.0, seed=0, workload=WorkloadSpec.cbr(),
+                cycles=400, warmup_cycles=0, shard=ShardSpec(workers=2),
+            )
+
+    def test_shard_requires_per_router_rng(self):
+        with pytest.raises(ValueError, match="per-router"):
+            PointSpec(
+                config=CONFIG, arbiter="coa", scheme="siabp",
+                target_load=0.0, seed=0, workload=WorkloadSpec.cbr(),
+                cycles=400, warmup_cycles=0,
+                fabric=make_fabric(rng_mode="shared"),
+                shard=ShardSpec(workers=2),
+            )
+
+
+class TestCacheCrossServing:
+    def test_serial_run_serves_sharded_rerun(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        serial = run_campaign(
+            CampaignPlan("shard-x-serial", (make_point(),)), store=store,
+        )
+        assert serial.misses == 1
+        sharded = run_campaign(
+            CampaignPlan(
+                "shard-x-sharded", (make_point(shard=ShardSpec(workers=2)),)
+            ),
+            store=store,
+        )
+        assert sharded.hits == 1
+        assert (
+            sharded.outcomes[0].result.to_dict()
+            == serial.outcomes[0].result.to_dict()
+        )
+
+    def test_sharded_run_serves_serial_rerun(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        sharded = run_campaign(
+            CampaignPlan(
+                "shard-y-sharded", (make_point(shard=ShardSpec(workers=2)),)
+            ),
+            store=store,
+        )
+        assert sharded.misses == 1
+        serial = run_campaign(
+            CampaignPlan("shard-y-serial", (make_point(),)), store=store,
+        )
+        assert serial.hits == 1
+        assert (
+            serial.outcomes[0].result.to_dict()
+            == sharded.outcomes[0].result.to_dict()
+        )
+        assert (
+            serial.outcomes[0].sessions == sharded.outcomes[0].sessions
+        )
+
+    def test_sharded_and_serial_artifacts_bytewise_identical(self, tmp_path):
+        serial_store = ResultStore(tmp_path / "a")
+        shard_store = ResultStore(tmp_path / "b")
+        run_campaign(
+            CampaignPlan("shard-z-serial", (make_point(),)),
+            store=serial_store,
+        )
+        run_campaign(
+            CampaignPlan(
+                "shard-z-sharded", (make_point(shard=ShardSpec(workers=2)),)
+            ),
+            store=shard_store,
+        )
+        for sub in ("objects", "sessions"):
+            a_files = sorted((tmp_path / "a" / sub).rglob("*.json"))
+            b_files = sorted((tmp_path / "b" / sub).rglob("*.json"))
+            assert [p.name for p in a_files] == [p.name for p in b_files]
+            assert a_files, sub
+            for pa, pb in zip(a_files, b_files):
+                assert pa.read_bytes() == pb.read_bytes()

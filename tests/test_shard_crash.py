@@ -1,0 +1,85 @@
+"""Worker-crash behaviour: loud errors, no hangs, campaign retry.
+
+A killed shard worker must surface as :class:`ShardWorkerError` within
+the barrier timeout — never a silent hang on a queue — and a campaign
+point whose sharded execution crashed must succeed on its in-pool retry
+(the crash seam fires exactly once per flag file, mimicking a transient
+worker death).
+"""
+
+import pytest
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.plan import CampaignPlan, PointSpec, WorkloadSpec
+from repro.fabric.engine import FabricSim
+from repro.fabric.spec import FabricSpec, TopologySpec
+from repro.router.config import RouterConfig
+from repro.sessions.churn import ChurnConfig
+from repro.shard import ShardSpec, ShardedFabricSim, ShardWorkerError
+from repro.shard.worker import CRASH_ENV
+
+CONFIG = RouterConfig(num_ports=6, vcs_per_link=8, vc_buffer_depth=2,
+                      candidate_levels=4, flit_cycles_per_round=800)
+
+
+def make_fabric():
+    return FabricSpec(
+        topology=TopologySpec.torus(3, 3),
+        churn=ChurnConfig(arrivals_per_kcycle=6.0,
+                          mean_hold_cycles=250.0,
+                          mix=(("cbr-high", 1.0),)),
+        sample_stride=100,
+        rng_mode="per-router",
+    )
+
+
+def test_crashed_worker_fails_loudly(tmp_path, monkeypatch):
+    flag = tmp_path / "crash.flag"
+    monkeypatch.setenv(CRASH_ENV, f"1:50:{flag}")
+    sim = ShardedFabricSim(
+        make_fabric(), CONFIG, seed=0, shard=ShardSpec(workers=2),
+        barrier_timeout_s=30.0,
+    )
+    with pytest.raises(ShardWorkerError):
+        sim.run(0.0, 300)
+    assert flag.exists()
+
+
+def test_crash_then_retry_succeeds(tmp_path, monkeypatch):
+    """The seam crashes once; a fresh run of the same point succeeds
+    and still matches the serial reference byte for byte."""
+    flag = tmp_path / "crash.flag"
+    monkeypatch.setenv(CRASH_ENV, f"0:100:{flag}")
+
+    def run_once():
+        sim = ShardedFabricSim(
+            make_fabric(), CONFIG, seed=0, shard=ShardSpec(workers=2),
+            barrier_timeout_s=30.0,
+        )
+        return sim.run(0.0, 300)
+
+    with pytest.raises(ShardWorkerError):
+        run_once()
+    result = run_once()
+    serial = FabricSim(make_fabric(), CONFIG, seed=0)
+    assert result.to_dict() == serial.run(0.0, 300).to_dict()
+
+
+def test_campaign_retries_crashed_shard_point(tmp_path, monkeypatch):
+    """A sharded campaign point whose worker dies is retried in-pool and
+    completes on the second attempt."""
+    flag = tmp_path / "campaign-crash.flag"
+    monkeypatch.setenv(CRASH_ENV, f"1:80:{flag}")
+    spec = PointSpec(
+        config=CONFIG, arbiter="coa", scheme="siabp", target_load=0.0,
+        seed=0, workload=WorkloadSpec.cbr(), cycles=300, warmup_cycles=0,
+        fabric=make_fabric(), shard=ShardSpec(workers=2),
+    )
+    campaign = run_campaign(
+        CampaignPlan("shard-crash-retry", (spec,)), max_attempts=3,
+    )
+    outcome = campaign.outcomes[0]
+    assert outcome.attempts == 2
+    assert flag.exists()
+    serial = FabricSim(make_fabric(), CONFIG, seed=0)
+    assert outcome.result.to_dict() == serial.run(0.0, 300).to_dict()

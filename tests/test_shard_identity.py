@@ -1,0 +1,106 @@
+"""Shard identity matrix: sharded runs are byte-identical to serial.
+
+The contract under test is the subsystem's reason to exist: for every
+worker count, partitioner, and barrier window cap, the merged sharded
+run must equal the single-process reference byte for byte —
+``SimResult.to_dict()``, the engine payload, the per-router RNG
+fingerprints, and the stream fingerprint.  The matrix covers both
+partitioner families (grid rows, fat-tree pods), churn and zero-churn
+points, static background with a drain phase, window caps, and the real
+multiprocess backend.
+"""
+
+import pytest
+
+from repro.fabric.spec import FabricSpec, TopologySpec
+from repro.router.config import RouterConfig
+from repro.sessions.churn import ChurnConfig
+from repro.shard import ShardSpec, check_identity
+
+TOPOLOGIES = {
+    "torus:3x3": TopologySpec.torus(3, 3),
+    "fat-tree:4": TopologySpec.fat_tree(4),
+}
+
+
+def make_config():
+    return RouterConfig(num_ports=6, vcs_per_link=8, vc_buffer_depth=2,
+                        candidate_levels=4, flit_cycles_per_round=800)
+
+
+def make_fabric(topology, rate=6.0, static=False):
+    return FabricSpec(
+        topology=TOPOLOGIES[topology],
+        churn=ChurnConfig(arrivals_per_kcycle=rate,
+                          mean_hold_cycles=250.0,
+                          mix=(("cbr-high", 1.0),)),
+        conns_per_router=4 if static else 0,
+        drain=static,
+        sample_stride=100,
+        rng_mode="per-router",
+    )
+
+
+def assert_identical(report):
+    assert report.ok, "\n".join(report.mismatches)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_identity_matrix_healthy_churn(workers, topology, seed):
+    report = check_identity(
+        make_fabric(topology), make_config(), seed=seed, cycles=250,
+        shard=ShardSpec(workers=workers),
+    )
+    assert_identical(report)
+    if workers > 1:
+        assert report.crossing_flits > 0
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+def test_identity_zero_churn_static_drain(topology):
+    report = check_identity(
+        make_fabric(topology, rate=0.0, static=True), make_config(),
+        target_load=0.3, cycles=250, shard=ShardSpec(workers=2),
+    )
+    assert_identical(report)
+
+
+@pytest.mark.parametrize("max_window", [1, 16])
+def test_identity_holds_at_every_window_cap(max_window):
+    report = check_identity(
+        make_fabric("torus:3x3", rate=2.0), make_config(), cycles=400,
+        shard=ShardSpec(workers=2, max_window=max_window),
+    )
+    assert_identical(report)
+    if max_window == 1:
+        # Every cycle is its own barrier window.
+        assert report.windows == 400
+
+
+def test_identity_static_load_with_churn():
+    report = check_identity(
+        make_fabric("torus:3x3", rate=4.0, static=True), make_config(),
+        target_load=0.25, cycles=300, shard=ShardSpec(workers=3),
+    )
+    assert_identical(report)
+
+
+def test_identity_explicit_partitioners():
+    for partitioner in ("contiguous", "rows"):
+        report = check_identity(
+            make_fabric("torus:3x3"), make_config(), cycles=250,
+            shard=ShardSpec(workers=3, partitioner=partitioner),
+        )
+        assert_identical(report)
+
+
+def test_identity_real_process_backend():
+    """The multiprocess backend produces the same bytes as inline."""
+    report = check_identity(
+        make_fabric("torus:3x3"), make_config(), cycles=300,
+        shard=ShardSpec(workers=2), inline=False,
+    )
+    assert_identical(report)
+    assert report.crossing_flits > 0

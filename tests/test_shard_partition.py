@@ -1,0 +1,125 @@
+"""Partitioner unit tests: coverage, balance, structure, loud failures."""
+
+import pytest
+
+from repro.fabric.spec import TopologySpec
+from repro.shard import (
+    PARTITIONERS,
+    ShardSpec,
+    boundary_links,
+    partition_routers,
+    partition_summary,
+)
+
+
+def assert_valid_partition(spec, parts, workers):
+    n = spec.build().num_routers
+    assert len(parts) == workers
+    seen = [rid for part in parts for rid in part]
+    assert sorted(seen) == list(range(n))
+    assert len(seen) == len(set(seen))
+    for part in parts:
+        assert part == tuple(sorted(part))
+        assert part
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3, 4, 9])
+def test_contiguous_covers_and_balances(workers):
+    spec = TopologySpec.torus(3, 3)
+    parts = partition_routers(spec, workers, "contiguous")
+    assert_valid_partition(spec, parts, workers)
+    sizes = [len(p) for p in parts]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_rows_assigns_whole_grid_rows():
+    spec = TopologySpec.torus(4, 3)
+    parts = partition_routers(spec, 2, "rows")
+    assert_valid_partition(spec, parts, 2)
+    for part in parts:
+        rows = {rid // 3 for rid in part}
+        expect = {r * 3 + c for r in rows for c in range(3)}
+        assert set(part) == expect
+
+
+def test_rows_cut_is_vertical_links_only():
+    spec = TopologySpec.mesh(4, 4)
+    parts = partition_routers(spec, 2, "rows")
+    cut = boundary_links(spec.build(), parts)
+    # A 4x4 mesh split into two row pairs cuts one horizontal seam:
+    # 4 links, both directions.
+    assert len(cut) == 8
+    for u, v in cut:
+        assert abs(u - v) == 4  # vertical neighbours in row-major ids
+
+
+def test_pods_keeps_pods_whole():
+    spec = TopologySpec.fat_tree(4)
+    parts = partition_routers(spec, 5, "pods")
+    assert_valid_partition(spec, parts, 5)
+    # k=4: 4 cores then 4 pods of 4 routers; with 5 workers each block
+    # is its own worker.
+    assert parts[0] == (0, 1, 2, 3)
+    for pod in range(4):
+        base = 4 + pod * 4
+        assert parts[pod + 1] == tuple(range(base, base + 4))
+
+
+def test_auto_prefers_structure_then_falls_back():
+    grid = TopologySpec.torus(3, 3)
+    assert partition_routers(grid, 2, "auto") == partition_routers(
+        grid, 2, "rows"
+    )
+    # More workers than rows: auto falls back to contiguous.
+    assert partition_routers(grid, 5, "auto") == partition_routers(
+        grid, 5, "contiguous"
+    )
+    tree = TopologySpec.fat_tree(4)
+    assert partition_routers(tree, 3, "auto") == partition_routers(
+        tree, 3, "pods"
+    )
+
+
+def test_ring_boundary_links():
+    spec = TopologySpec.ring(4)
+    parts = partition_routers(spec, 2, "contiguous")
+    assert parts == ((0, 1), (2, 3))
+    cut = boundary_links(spec.build(), parts)
+    assert cut == [(0, 3), (1, 2), (2, 1), (3, 0)]
+
+
+def test_partition_summary_shape():
+    spec = TopologySpec.torus(3, 3)
+    parts = partition_routers(spec, 3, "rows")
+    summary = partition_summary(spec, parts)
+    assert summary["workers"] == 3
+    assert summary["group_sizes"] == [3, 3, 3]
+    assert 0 < summary["boundary_links"] <= summary["total_links"]
+
+
+@pytest.mark.parametrize("workers,partitioner", [
+    (10, "contiguous"),   # more workers than routers (3x3 = 9)
+    (4, "rows"),          # more workers than rows (3 rows)
+    (2, "pods"),          # pods on a torus
+])
+def test_misfit_partitions_fail_loudly(workers, partitioner):
+    with pytest.raises(ValueError):
+        partition_routers(TopologySpec.torus(3, 3), workers, partitioner)
+
+
+def test_unknown_partitioner_rejected():
+    with pytest.raises(ValueError):
+        partition_routers(TopologySpec.ring(4), 2, "zigzag")
+    with pytest.raises(ValueError):
+        ShardSpec(workers=2, partitioner="zigzag")
+
+
+def test_shard_spec_roundtrip_and_describe():
+    spec = ShardSpec(workers=4, partitioner="rows", max_window=16)
+    assert ShardSpec.from_dict(spec.to_dict()) == spec
+    assert spec.describe() == "4w/rows/K=16"
+    assert "auto" in PARTITIONERS
+    with pytest.raises(ValueError):
+        ShardSpec(workers=0)
+    with pytest.raises(ValueError):
+        ShardSpec(workers=2, max_window=-1)

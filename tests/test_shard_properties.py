@@ -1,0 +1,72 @@
+"""Property tests: shard identity and flit conservation under random churn.
+
+Hypothesis drives the shard subsystem across random seeds, worker
+counts, arrival rates, and barrier window caps.  Two invariants:
+
+* **identity** — the sharded run equals the serial reference byte for
+  byte, whatever the execution layout;
+* **conservation** — every injected flit is accounted for exactly once
+  across the merged counters: delivered + lost + backlog (owned-buffer
+  residue plus flits still crossing a boundary at the final barrier).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fabric.spec import FabricSpec, TopologySpec
+from repro.router.config import RouterConfig
+from repro.sessions.churn import ChurnConfig
+from repro.shard import ShardSpec, ShardedFabricSim, check_identity
+
+CONFIG = RouterConfig(num_ports=6, vcs_per_link=8, vc_buffer_depth=2,
+                      candidate_levels=4, flit_cycles_per_round=800)
+
+
+def make_fabric(rate):
+    return FabricSpec(
+        topology=TopologySpec.torus(3, 3),
+        churn=ChurnConfig(arrivals_per_kcycle=rate,
+                          mean_hold_cycles=200.0,
+                          mix=(("cbr-high", 1.0),)),
+        sample_stride=100,
+        rng_mode="per-router",
+    )
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    workers=st.integers(1, 4),
+    rate=st.floats(0.0, 12.0),
+    max_window=st.sampled_from([0, 1, 7]),
+)
+@settings(max_examples=12, deadline=None)
+def test_sharded_run_identical_to_serial(seed, workers, rate, max_window):
+    report = check_identity(
+        make_fabric(rate), CONFIG, seed=seed, cycles=150,
+        shard=ShardSpec(workers=workers, max_window=max_window),
+    )
+    assert report.ok, "\n".join(report.mismatches)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    workers=st.integers(2, 4),
+    rate=st.floats(1.0, 10.0),
+)
+@settings(max_examples=12, deadline=None)
+def test_boundary_crossings_conserve_flits(seed, workers, rate):
+    sim = ShardedFabricSim(
+        make_fabric(rate), CONFIG, seed=seed,
+        shard=ShardSpec(workers=workers), inline=True,
+    )
+    result = sim.run(0.0, 200)
+    net = sim.payload["network"]
+    injected = net["static_injected"] + net["dynamic_injected"]
+    out = result.to_dict()
+    delivered = out["flits"]["overall"]
+    assert delivered == net["delivered"]
+    # Exactly-once accounting across all shards and in-transit flits.
+    assert injected == delivered + net["lost_flits"] + out["backlog"]
+    # Every boundary credit answers a boundary flit that crossed the
+    # other way and later departed, so credits can never outrun flits.
+    assert sim.windows >= 1
+    assert 0 <= sim.crossing_credits <= sim.crossing_flits
